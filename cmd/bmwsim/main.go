@@ -1,0 +1,125 @@
+// Command bmwsim drives the cycle-accurate hardware simulators and
+// reports issue rates, cycle costs, and (for the BMW designs) a
+// verification of the pop stream against the golden software tree.
+//
+// Usage:
+//
+//	bmwsim -design rbmw   -m 2 -l 11 -ops 100000 -workload mixed
+//	bmwsim -design rpubmw -m 4 -l 8  -ops 100000 -workload pushpop
+//	bmwsim -design pifo   -cap 4096  -ops 100000
+//
+// Workloads: pushpop (densest legal alternation), fill (fill then
+// drain), mixed (randomised legal schedule).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	bmw "repro"
+)
+
+func main() {
+	design := flag.String("design", "rbmw", "rbmw | rpubmw | pifo")
+	m := flag.Int("m", 2, "tree order (BMW designs)")
+	l := flag.Int("l", 11, "tree levels (BMW designs)")
+	capacity := flag.Int("cap", 4096, "capacity (pifo)")
+	ops := flag.Int("ops", 100000, "operations to issue")
+	workload := flag.String("workload", "mixed", "pushpop | fill | mixed")
+	seed := flag.Int64("seed", 1, "workload seed")
+	plain := flag.Bool("plain", false, "disable sustained transfer (rbmw ablation)")
+	flag.Parse()
+
+	var sim bmw.CycleSim
+	switch *design {
+	case "rbmw":
+		s := bmw.NewRBMWSim(*m, *l)
+		s.Sustained = !*plain
+		sim = s
+	case "rpubmw":
+		sim = bmw.NewRPUBMWSim(*m, *l)
+	case "pifo":
+		sim = bmw.NewPIFOSim(*capacity)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
+		os.Exit(2)
+	}
+	fmt.Printf("%s: capacity %d elements\n", *design, sim.Cap())
+
+	golden := bmw.NewBMWTree(2, 24) // oversized reference multiset
+	rng := rand.New(rand.NewSource(*seed))
+	pushes, pops, rejected := 0, 0, 0
+	verify := func(got *bmw.Element) {
+		want, err := golden.Pop()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "verification underflow:", err)
+			os.Exit(1)
+		}
+		if got == nil || got.Value != want.Value {
+			fmt.Fprintf(os.Stderr, "VERIFICATION FAILED: sim popped %v, reference %v\n", got, want)
+			os.Exit(1)
+		}
+	}
+
+	issue := func(op bmw.Op) {
+		got, err := sim.Tick(op)
+		if err != nil {
+			rejected++
+			return
+		}
+		switch op.Kind {
+		case bmw.OpPush:
+			golden.Push(bmw.Element{Value: op.Value, Meta: op.Meta})
+			pushes++
+		case bmw.OpPop:
+			verify(got)
+			pops++
+		}
+	}
+
+	for i := 0; i < *ops; i++ {
+		switch *workload {
+		case "pushpop":
+			if sim.PushAvailable() && !sim.AlmostFull() {
+				issue(bmw.PushOp(uint64(rng.Intn(65536)), uint64(i)))
+			} else if sim.PopAvailable() && sim.Len() > 0 {
+				issue(bmw.PopOp())
+			} else {
+				sim.Tick(bmw.NopOp())
+			}
+			if sim.PopAvailable() && sim.Len() > 0 {
+				i++
+				issue(bmw.PopOp())
+			}
+		case "fill":
+			if !sim.AlmostFull() && sim.PushAvailable() {
+				issue(bmw.PushOp(uint64(rng.Intn(65536)), uint64(i)))
+			} else if sim.Len() > 0 && sim.PopAvailable() {
+				issue(bmw.PopOp())
+			} else {
+				sim.Tick(bmw.NopOp())
+			}
+		case "mixed":
+			switch {
+			case !sim.PushAvailable() && !sim.PopAvailable():
+				sim.Tick(bmw.NopOp())
+			case sim.Len() == 0 || (rng.Intn(2) == 0 && !sim.AlmostFull() && sim.PushAvailable()):
+				issue(bmw.PushOp(uint64(rng.Intn(65536)), uint64(i)))
+			case sim.PopAvailable():
+				issue(bmw.PopOp())
+			default:
+				sim.Tick(bmw.NopOp())
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+	}
+
+	cycles := sim.Cycle()
+	fmt.Printf("cycles: %d, pushes: %d, pops: %d, rejected issues: %d\n", cycles, pushes, pops, rejected)
+	fmt.Printf("ops/cycle: %.3f (stored at end: %d)\n", float64(pushes+pops)/float64(cycles), sim.Len())
+	fmt.Println("pop stream verified against the golden software BMW-Tree")
+}

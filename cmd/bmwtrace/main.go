@@ -1,0 +1,210 @@
+// Command bmwtrace records and replays priority-queue operation
+// traces. A trace is a JSON-lines file of push/pop operations; replay
+// drives any scheduler in the module with it and reports dequeue-order
+// accuracy against an exact reference — a practical way to compare the
+// accurate BMW-Tree with the approximate schedulers on custom
+// workloads.
+//
+// Usage:
+//
+//	bmwtrace -record -ops 50000 -pattern bursty -out trace.jsonl
+//	bmwtrace -replay trace.jsonl -queue bmwtree
+//	bmwtrace -replay trace.jsonl -queue sppifo
+//
+// Queues: bmwtree, pifo, pheap, pipeheap, sppifo, aifo, calendarq,
+// gearbox.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	bmw "repro"
+	"repro/internal/refpq"
+)
+
+// op is one trace record.
+type op struct {
+	Kind  string `json:"op"` // "push" | "pop"
+	Value uint64 `json:"value,omitempty"`
+	Meta  uint64 `json:"meta,omitempty"`
+}
+
+func main() {
+	record := flag.Bool("record", false, "generate a trace")
+	replay := flag.String("replay", "", "trace file to replay")
+	out := flag.String("out", "trace.jsonl", "output file for -record")
+	ops := flag.Int("ops", 50000, "operations to record")
+	pattern := flag.String("pattern", "bursty", "workload: bursty | uniform | monotone")
+	queue := flag.String("queue", "bmwtree", "scheduler for -replay")
+	seed := flag.Int64("seed", 1, "record seed")
+	flag.Parse()
+
+	switch {
+	case *record:
+		if err := doRecord(*out, *ops, *pattern, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *replay != "":
+		if err := doReplay(*replay, *queue); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// doRecord writes a trace whose pushes follow the chosen rank pattern
+// and whose pops keep the queue between empty and ~512 elements.
+func doRecord(path string, n int, pattern string, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	next := func() uint64 {
+		switch pattern {
+		case "bursty":
+			return uint64(rng.Intn(4))*1000 + uint64(rng.Intn(100))
+		case "uniform":
+			return uint64(rng.Intn(65536))
+		case "monotone":
+			return uint64(rng.Intn(8)) + uint64(n) // offset grows via closure below
+		default:
+			return uint64(rng.Intn(65536))
+		}
+	}
+	mono := uint64(0)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	defer w.Flush()
+	enc := json.NewEncoder(w)
+
+	inFlight := 0
+	for i := 0; i < n; i++ {
+		if inFlight == 0 || (rng.Intn(2) == 0 && inFlight < 512) {
+			v := next()
+			if pattern == "monotone" {
+				mono += uint64(rng.Intn(8))
+				v = mono + uint64(rng.Intn(16))
+			}
+			if err := enc.Encode(op{Kind: "push", Value: v, Meta: uint64(i)}); err != nil {
+				return err
+			}
+			inFlight++
+		} else {
+			if err := enc.Encode(op{Kind: "pop"}); err != nil {
+				return err
+			}
+			inFlight--
+		}
+	}
+	fmt.Printf("recorded %d ops (%s pattern) to %s\n", n, pattern, path)
+	return nil
+}
+
+func newQueue(name string) (bmw.PriorityQueue, error) {
+	switch name {
+	case "bmwtree":
+		return bmw.NewBMWTree(2, 12), nil
+	case "pifo":
+		return bmw.NewPIFO(8190), nil
+	case "pheap":
+		return bmw.NewPHeap(13), nil
+	case "pipeheap":
+		return bmw.NewPipelinedHeap(8191), nil
+	case "sppifo":
+		return bmw.NewSPPIFO(8, 8190), nil
+	case "aifo":
+		return bmw.NewAIFO(8190, 128, 0.1), nil
+	case "calendarq":
+		return bmw.NewCalendarQueue(64, 64, 8190), nil
+	case "gearbox":
+		return bmw.NewGearbox(3, 16, 16, 8190), nil
+	default:
+		return nil, fmt.Errorf("unknown queue %q", name)
+	}
+}
+
+// doReplay drives the scheduler with the trace and scores accuracy.
+func doReplay(path, queueName string) error {
+	q, err := newQueue(queueName)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	ref := refpq.New() // exact reference mirror of the queue's contents
+	var pushes, pops, nonMin, drops uint64
+	var meter bmw.InversionMeter
+	t0 := time.Now()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var o op
+		if err := json.Unmarshal(sc.Bytes(), &o); err != nil {
+			return fmt.Errorf("bad trace line: %w", err)
+		}
+		switch o.Kind {
+		case "push":
+			if err := q.Push(bmw.Element{Value: o.Value, Meta: o.Meta}); err != nil {
+				drops++
+				continue
+			}
+			ref.Push(refpq.Entry{Value: o.Value, Meta: o.Meta})
+			pushes++
+		case "pop":
+			if ref.Len() == 0 {
+				continue
+			}
+			min := ref.MinValue()
+			e, err := q.Pop()
+			if err != nil {
+				continue
+			}
+			pops++
+			meter.Observe(e.Value)
+			if e.Value > min {
+				nonMin++
+			}
+			if !ref.RemoveExact(refpq.Entry{Value: e.Value, Meta: e.Meta}) {
+				return fmt.Errorf("scheduler popped an element it was never given: %+v", e)
+			}
+		default:
+			return fmt.Errorf("bad trace op %q", o.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	elapsed := time.Since(t0)
+	fmt.Printf("queue %s: %d pushes, %d pops, %d drops in %v (%.1f Mops/s)\n",
+		queueName, pushes, pops, drops, elapsed.Round(time.Millisecond),
+		float64(pushes+pops)/elapsed.Seconds()/1e6)
+	fmt.Printf("accuracy: %d non-minimal pops (%.2f%%), inversion rate %.2f%%, mean displacement %.1f\n",
+		nonMin, pct(nonMin, pops), 100*meter.Rate(), meter.MeanMagnitude())
+	if nonMin == 0 {
+		fmt.Println("exact PIFO behaviour: every pop returned the current minimum")
+	}
+	return nil
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

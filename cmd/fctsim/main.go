@@ -1,0 +1,100 @@
+// Command fctsim runs the packet-level flow-completion-time experiment
+// of the paper's Section 6.4 (Figure 10): a star topology of TCP
+// sources sharing one bottleneck scheduled by a PIFO block with STFQ
+// ranks.
+//
+// Usage:
+//
+//	fctsim -sched bmw  -cap 4094 -flows 2000 -load 1.1
+//	fctsim -sched pifo -cap 512  -flows 2000 -load 1.1
+//	fctsim -sched bmw -hosts 32 -bps 1e9 -cap 254 -bmwlevels 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	bmw "repro"
+)
+
+func main() {
+	schedName := flag.String("sched", "bmw", "bmw | pifo | unlimited")
+	capacity := flag.Int("cap", 4094, "flow scheduler capacity")
+	bmwOrder := flag.Int("bmworder", 2, "BMW tree order")
+	bmwLevels := flag.Int("bmwlevels", 11, "BMW tree levels")
+	hosts := flag.Int("hosts", 128, "source hosts")
+	bps := flag.Float64("bps", 10e9, "link bandwidth, bits/s")
+	propMs := flag.Float64("prop", 3, "per-link propagation delay, ms")
+	flows := flag.Int("flows", 2000, "number of flows")
+	load := flag.Float64("load", 1.1, "offered bottleneck load")
+	store := flag.Int("store", 0, "rank store packet limit (0 = unlimited)")
+	rank := flag.String("rank", "stfq", "rank function: stfq | srpt | fcfs")
+	workload := flag.String("workload", "websearch", "flow sizes: websearch | datamining")
+	ecn := flag.Int("ecn", 0, "ECN marking threshold in packets (0 = off)")
+	dctcp := flag.Bool("dctcp", false, "enable DCTCP reaction to ECN marks")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	cfg := bmw.DefaultNetConfig()
+	cfg.NumHosts = *hosts
+	cfg.LinkBps = uint64(*bps)
+	cfg.PropDelayNs = uint64(*propMs * 1e6)
+	cfg.SchedCap = *capacity
+	cfg.BMWOrder = *bmwOrder
+	cfg.BMWLevels = *bmwLevels
+	cfg.NumFlows = *flows
+	cfg.Load = *load
+	cfg.StoreLimit = *store
+	cfg.Seed = *seed
+	cfg.TCP.MaxRTONs = 10e9
+	switch *schedName {
+	case "bmw":
+		cfg.Scheduler = bmw.SchedBMW
+	case "pifo":
+		cfg.Scheduler = bmw.SchedPIFO
+	case "unlimited":
+		cfg.Scheduler = bmw.SchedUnlimited
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *schedName)
+		os.Exit(2)
+	}
+	switch *rank {
+	case "stfq":
+		cfg.Rank = bmw.RankSTFQ
+	case "srpt":
+		cfg.Rank = bmw.RankSRPT
+	case "fcfs":
+		cfg.Rank = bmw.RankFCFS
+	default:
+		fmt.Fprintf(os.Stderr, "unknown rank function %q\n", *rank)
+		os.Exit(2)
+	}
+	switch *workload {
+	case "websearch":
+		cfg.Workload = bmw.WorkloadWebSearch
+	case "datamining":
+		cfg.Workload = bmw.WorkloadDataMining
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	cfg.ECNThresholdPkts = *ecn
+	cfg.TCP.DCTCP = *dctcp
+
+	fmt.Printf("scheduler %s (capacity %d flows), %d hosts, %.0f Gbps, %.1f ms links, %d flows at load %.2f\n",
+		*schedName, *capacity, *hosts, *bps/1e9, *propMs, *flows, *load)
+	t0 := time.Now()
+	res := bmw.RunFCTExperiment(cfg)
+	fmt.Printf("simulated %.2f s in %v (%d events)\n\n",
+		float64(res.SimEndNs)/1e9, time.Since(t0).Round(time.Millisecond), res.Events)
+
+	fmt.Print(bmw.FCTTable(*schedName, bmw.FCTBins(res)))
+	fmt.Println()
+	fmt.Printf("flows completed: %d/%d, overall mean normalised FCT: %.3f\n",
+		res.Completed, res.Generated, res.FCT.OverallMeanNorm())
+	fmt.Printf("bottleneck loss: %.4f (scheduler-full drops %d, buffer drops %d)\n",
+		res.LossRate, res.BlockStats.DropsScheduler, res.BlockStats.DropsStore)
+	fmt.Printf("TCP retransmits: %d, timeouts: %d\n", res.Retransmits, res.Timeouts)
+}

@@ -1,0 +1,62 @@
+// Datacenter: a miniature Figure 10 experiment.
+//
+// TCP sources behind a star topology send web-search-distributed flows
+// through one bottleneck scheduled by STFQ over a PIFO block. Two
+// scheduler builds compete: a BMW-Tree with room for 254 concurrent
+// flows, and a small scheduler with room for 16 — the scaled-down
+// version of the paper's 4094-vs-512 comparison. Under overload the
+// small scheduler runs out of flow slots and drops packets of new
+// flows; TCP pays in retransmissions and timeouts, and the flow
+// completion times show it.
+//
+//	go run ./examples/datacenter        (about half a minute)
+package main
+
+import (
+	"fmt"
+	"time"
+
+	bmw "repro"
+)
+
+func run(name string, kind bmw.NetConfig) bmw.NetResult {
+	t0 := time.Now()
+	res := bmw.RunFCTExperiment(kind)
+	fmt.Printf("%s: %d flows in %v — loss %.4f, %d retransmits, %d timeouts\n",
+		name, res.Completed, time.Since(t0).Round(time.Millisecond),
+		res.LossRate, res.Retransmits, res.Timeouts)
+	return res
+}
+
+func main() {
+	base := bmw.DefaultNetConfig()
+	base.NumHosts = 32
+	base.LinkBps = 1e9
+	base.BMWLevels = 7 // capacity 254
+	base.StoreLimit = 0
+	base.TCP.MaxRTONs = 10e9
+	base.NumFlows = 400
+	base.Load = 1.1
+	base.Seed = 7
+
+	cfgBMW := base
+	cfgBMW.Scheduler = bmw.SchedBMW
+	cfgBMW.SchedCap = 254
+
+	cfgPIFO := base
+	cfgPIFO.Scheduler = bmw.SchedPIFO
+	cfgPIFO.SchedCap = 16
+
+	fmt.Println("32 hosts -> 1 switch -> 1 server, 1 Gbps / 3 ms links, STFQ ranks, web-search flows, load 1.1")
+	rb := run("BMW-254", cfgBMW)
+	rp := run("PIFO-16", cfgPIFO)
+
+	fmt.Println()
+	fmt.Print(bmw.FCTTable("BMW-254", bmw.FCTBins(rb)))
+	fmt.Println()
+	fmt.Print(bmw.FCTTable("PIFO-16", bmw.FCTBins(rp)))
+	fmt.Println()
+	bn, pn := rb.FCT.OverallMeanNorm(), rp.FCT.OverallMeanNorm()
+	fmt.Printf("overall mean normalised FCT: BMW %.2f vs PIFO %.2f -> the larger scheduler cuts it by %.0f%%\n",
+		bn, pn, 100*(1-bn/pn))
+}

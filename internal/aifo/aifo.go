@@ -1,0 +1,120 @@
+// Package aifo implements AIFO (Yu et al., SIGCOMM 2021), the
+// single-FIFO approximation of a PIFO discussed in Section 7.2 of the
+// BMW-Tree paper. AIFO approximates PIFO behaviour *in dropped
+// packets*: it admits a packet only when its rank is low enough for
+// the current queue occupancy, then serves strictly FIFO.
+//
+// Admission rule (the paper's quantile check): a packet of rank r is
+// admitted iff
+//
+//	(1/(1-burst)) * (C - used)/C  >=  quantile(r)
+//
+// where quantile(r) is r's position within a sliding window of the
+// most recent ranks, C the queue capacity and burst a small slack
+// parameter. An empty-enough queue admits anything; a nearly full
+// queue admits only the lowest-ranked packets.
+package aifo
+
+import (
+	"repro/internal/core"
+)
+
+// Queue is an AIFO scheduler.
+type Queue struct {
+	fifo  []core.Element
+	cap   int
+	burst float64
+
+	window []uint64 // sliding window of recent ranks (ring)
+	wpos   int
+	wfull  bool
+
+	admitted, dropped uint64
+}
+
+// New creates an AIFO queue with the given capacity, sliding-window
+// size, and burst slack (0 <= burst < 1; the AIFO paper uses small
+// values like 0.1).
+func New(capacity, window int, burst float64) *Queue {
+	if capacity < 1 || window < 1 || burst < 0 || burst >= 1 {
+		panic("aifo: invalid parameters")
+	}
+	return &Queue{
+		cap:    capacity,
+		burst:  burst,
+		window: make([]uint64, window),
+	}
+}
+
+// Len returns the queued element count and Cap the capacity.
+func (q *Queue) Len() int { return len(q.fifo) }
+func (q *Queue) Cap() int { return q.cap }
+
+// Stats returns admitted and dropped packet counts.
+func (q *Queue) Stats() (admitted, dropped uint64) { return q.admitted, q.dropped }
+
+// quantile returns the fraction of windowed ranks strictly smaller
+// than r.
+func (q *Queue) quantile(r uint64) float64 {
+	n := q.wpos
+	if q.wfull {
+		n = len(q.window)
+	}
+	if n == 0 {
+		return 0
+	}
+	smaller := 0
+	for i := 0; i < n; i++ {
+		if q.window[i] < r {
+			smaller++
+		}
+	}
+	return float64(smaller) / float64(n)
+}
+
+// observe records a rank in the sliding window (admitted or not — the
+// window tracks the offered rank distribution).
+func (q *Queue) observe(r uint64) {
+	q.window[q.wpos] = r
+	q.wpos++
+	if q.wpos == len(q.window) {
+		q.wpos = 0
+		q.wfull = true
+	}
+}
+
+// Push applies the admission check; a rejected packet returns ErrFull
+// (the drop-based approximation of PIFO).
+func (q *Queue) Push(e core.Element) error {
+	quant := q.quantile(e.Value)
+	q.observe(e.Value)
+	headroom := float64(q.cap-len(q.fifo)) / float64(q.cap)
+	if len(q.fifo) >= q.cap || quant > headroom/(1-q.burst) {
+		q.dropped++
+		return core.ErrFull
+	}
+	q.fifo = append(q.fifo, e)
+	q.admitted++
+	return nil
+}
+
+// Pop serves strictly FIFO.
+func (q *Queue) Pop() (core.Element, error) {
+	if len(q.fifo) == 0 {
+		return core.Element{}, core.ErrEmpty
+	}
+	e := q.fifo[0]
+	q.fifo = q.fifo[1:]
+	if len(q.fifo) == 0 {
+		q.fifo = nil
+	}
+	return e, nil
+}
+
+// Peek returns the FIFO head (not necessarily the global minimum).
+func (q *Queue) Peek() (core.Element, error) {
+	if len(q.fifo) == 0 {
+		return core.Element{}, core.ErrEmpty
+	}
+	return q.fifo[0], nil
+}

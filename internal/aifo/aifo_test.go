@@ -1,0 +1,148 @@
+package aifo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := New(16, 32, 0.1)
+	for i := uint64(0); i < 5; i++ {
+		if err := q.Push(core.Element{Value: 10, Meta: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 5; i++ {
+		e, err := q.Pop()
+		if err != nil || e.Meta != i {
+			t.Fatalf("pop %d = %v,%v", i, e, err)
+		}
+	}
+	if _, err := q.Pop(); err != core.ErrEmpty {
+		t.Fatalf("pop empty = %v", err)
+	}
+}
+
+// TestAdmissionEmptyQueueAcceptsAll: with a near-empty queue the
+// headroom term admits any rank.
+func TestAdmissionEmptyQueueAcceptsAll(t *testing.T) {
+	q := New(100, 16, 0.1)
+	for _, r := range []uint64{5, 500, 50000} {
+		if err := q.Push(core.Element{Value: r}); err != nil {
+			t.Fatalf("empty queue rejected rank %d: %v", r, err)
+		}
+	}
+}
+
+// TestAdmissionFullQueuePrefersLowRanks: as the queue fills, only
+// low-quantile ranks are admitted; high ranks are dropped.
+func TestAdmissionFullQueuePrefersLowRanks(t *testing.T) {
+	q := New(50, 64, 0.0)
+	rng := rand.New(rand.NewSource(1))
+	// Fill to ~90% with mid ranks.
+	for q.Len() < 45 {
+		q.Push(core.Element{Value: uint64(500 + rng.Intn(100))})
+	}
+	// A very low rank must be admitted; a very high rank rejected.
+	if err := q.Push(core.Element{Value: 1}); err != nil {
+		t.Fatalf("low rank rejected at high occupancy: %v", err)
+	}
+	if err := q.Push(core.Element{Value: 10000}); err != core.ErrFull {
+		t.Fatalf("high rank admitted at high occupancy: %v", err)
+	}
+	admitted, dropped := q.Stats()
+	if admitted == 0 || dropped == 0 {
+		t.Fatalf("stats: admitted=%d dropped=%d", admitted, dropped)
+	}
+}
+
+func TestHardCapacity(t *testing.T) {
+	q := New(4, 8, 0.0)
+	filled := 0
+	for i := 0; i < 100 && filled < 4; i++ {
+		if q.Push(core.Element{Value: 1}) == nil {
+			filled++
+		}
+	}
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if err := q.Push(core.Element{Value: 0}); err != core.ErrFull {
+		t.Fatalf("overfull push = %v", err)
+	}
+}
+
+// TestWindowQuantile: the sliding window tracks the offered ranks, so
+// the quantile of the median rank converges to ~0.5.
+func TestWindowQuantile(t *testing.T) {
+	q := New(1000, 128, 0.1)
+	for r := uint64(0); r < 128; r++ {
+		q.observe(r)
+	}
+	if got := q.quantile(64); got < 0.45 || got > 0.55 {
+		t.Fatalf("quantile(median) = %.2f", got)
+	}
+	if q.quantile(0) != 0 {
+		t.Fatal("quantile of minimum must be 0")
+	}
+	if got := q.quantile(1 << 60); got != 1 {
+		t.Fatalf("quantile of maximum = %.2f", got)
+	}
+}
+
+// TestApproximatesPIFOInDrops reproduces the paper's classification:
+// AIFO approximates a PIFO "in dropped packets" — under overload the
+// dropped packets are predominantly high-rank ones.
+func TestApproximatesPIFOInDrops(t *testing.T) {
+	q := New(64, 128, 0.05)
+	rng := rand.New(rand.NewSource(7))
+	droppedHigh, droppedLow := 0, 0
+	for i := 0; i < 5000; i++ {
+		r := uint64(rng.Intn(1000))
+		err := q.Push(core.Element{Value: r})
+		if err != nil {
+			if r >= 500 {
+				droppedHigh++
+			} else {
+				droppedLow++
+			}
+		}
+		if i%3 == 0 {
+			q.Pop()
+		}
+	}
+	if droppedHigh <= droppedLow*2 {
+		t.Fatalf("drops not biased to high ranks: high=%d low=%d", droppedHigh, droppedLow)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	q := New(8, 8, 0.1)
+	if _, err := q.Peek(); err != core.ErrEmpty {
+		t.Fatal("peek empty")
+	}
+	q.Push(core.Element{Value: 3})
+	if e, _ := q.Peek(); e.Value != 3 {
+		t.Fatal("peek wrong")
+	}
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 8, 0.1) },
+		func() { New(8, 0, 0.1) },
+		func() { New(8, 8, 1.0) },
+		func() { New(8, 8, -0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid params did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

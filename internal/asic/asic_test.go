@@ -1,0 +1,104 @@
+package asic
+
+import (
+	"math"
+	"testing"
+)
+
+func within(t *testing.T, name string, got, want, tolPct float64) {
+	t.Helper()
+	if math.Abs(got-want)/want*100 > tolPct {
+		t.Errorf("%s = %.4f, want %.4f (±%.1f%%)", name, got, want, tolPct)
+	}
+}
+
+// TestTable4RPUBMW reproduces the two RPU-BMW rows of Table 4.
+func TestTable4RPUBMW(t *testing.T) {
+	r := RPUBMW(4, 8)
+	if r.Capacity != 87380 {
+		t.Fatalf("capacity = %d", r.Capacity)
+	}
+	if !r.MeetsTiming600 {
+		t.Error("8-4 RPU-BMW must close timing at 600 MHz")
+	}
+	within(t, "area", r.AreaMM2, 1.043, 2)
+	within(t, "area%", r.AreaPct, 0.522, 2)
+	within(t, "off-chip MB", r.OffChipMB, 0.57, 2)
+	within(t, "power mW", r.PowerMW, 5.79, 2)
+	within(t, "Mpps", r.Mpps, 200, 1)
+
+	r2 := RPUBMW(8, 5)
+	if r2.Capacity != 37448 {
+		t.Fatalf("capacity = %d", r2.Capacity)
+	}
+	within(t, "area", r2.AreaMM2, 0.127, 2)
+	within(t, "area%", r2.AreaPct, 0.064, 3)
+	within(t, "off-chip MB", r2.OffChipMB, 0.25, 3)
+	within(t, "power mW", r2.PowerMW, 3.10, 2)
+}
+
+// TestTable4PIFO reproduces the PIFO row and the paper's comparison:
+// the 37k-flow 5-8 RPU-BMW is smaller than a 1k PIFO.
+func TestTable4PIFO(t *testing.T) {
+	p := PIFO(1024)
+	within(t, "area", p.AreaMM2, 0.404, 1)
+	within(t, "area%", p.AreaPct, 0.202, 1)
+	if !p.MeetsTiming600 {
+		t.Error("1k PIFO closes timing per Table 4")
+	}
+	if r := RPUBMW(8, 5); r.AreaMM2 >= p.AreaMM2 {
+		t.Errorf("5-8 RPU-BMW (%.3f mm^2) should be smaller than 1k PIFO (%.3f mm^2)",
+			r.AreaMM2, p.AreaMM2)
+	}
+	if big := PIFO(4096); big.MeetsTiming600 {
+		t.Error("4k PIFO should not close 600 MHz (bus loading)")
+	}
+}
+
+// TestHeadline checks the paper's headline claim: RPU-BMW is the first
+// accurate PIFO supporting >80k flows at 200 Mpps, which is >800 Gbps
+// at 512-byte packets.
+func TestHeadline(t *testing.T) {
+	r := RPUBMW(4, 8)
+	if r.Capacity < 80000 {
+		t.Errorf("capacity %d < 80k", r.Capacity)
+	}
+	if r.Mpps < 200 {
+		t.Errorf("rate %.0f Mpps < 200", r.Mpps)
+	}
+	if g := r.GbpsAt(512); g < 800 {
+		t.Errorf("line rate %.0f Gbps < 800", g)
+	}
+}
+
+func TestMemorySplit(t *testing.T) {
+	// 4-order, 8-level: off-chip levels 7 and 8 = 4^7 + 4^8 = 81920.
+	if got := OffChipElements(4, 8); got != 81920 {
+		t.Errorf("OffChipElements(4,8) = %d, want 81920", got)
+	}
+	// On-chip levels 2..6 = 16+64+256+1024+4096 = 5456.
+	if got := OnChipElements(4, 8); got != 5456 {
+		t.Errorf("OnChipElements(4,8) = %d, want 5456", got)
+	}
+	// Root (level 1, M elements) is in RPU registers: the three regions
+	// partition the capacity.
+	if got := 4 + OnChipElements(4, 8) + OffChipElements(4, 8); got != 87380 {
+		t.Errorf("partition sums to %d, want 87380", got)
+	}
+	// Degenerate shapes.
+	if OffChipElements(2, 1) != 0 {
+		t.Error("single-level tree has no off-chip levels")
+	}
+	if OffChipElements(2, 2) != 4 {
+		t.Error("two-level tree stores level 2 (m^2 elements) off chip")
+	}
+	if OnChipElements(2, 3) != 0 {
+		t.Error("three-level tree keeps nothing in on-chip SRAM")
+	}
+}
+
+func TestSRAMNotBottleneck(t *testing.T) {
+	if SRAMCeilingMHz() < 600 {
+		t.Error("external SRAM must sustain the 600 MHz core clock")
+	}
+}

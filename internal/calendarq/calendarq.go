@@ -1,0 +1,105 @@
+// Package calendarq implements a rotating calendar queue, the
+// approximation behind AFQ/PCQ/Gearbox that Section 7.2 of the
+// BMW-Tree paper surveys (and Brown's classic 1988 structure). Ranks
+// map to time buckets of fixed width; dequeue drains the earliest
+// non-empty bucket in FIFO order, so packets within a bucket can leave
+// out of rank order (bounded inversions of up to one bucket width),
+// and ranks beyond the calendar horizon are squashed into the last
+// bucket (unbounded inversions there) — the "limited rank range"
+// problem the paper attributes to calendar-queue schedulers.
+package calendarq
+
+import (
+	"repro/internal/core"
+)
+
+// Queue is a rotating calendar queue.
+type Queue struct {
+	buckets    [][]core.Element
+	width      uint64 // rank units per bucket
+	horizon    uint64 // first rank not representable without squashing
+	head       int    // index of the current (earliest) bucket
+	headRank   uint64 // smallest rank the head bucket represents
+	size       int
+	cap        int
+	overflowed uint64 // elements squashed into the last bucket
+}
+
+// New creates a calendar with n buckets of the given rank width and a
+// total element capacity.
+func New(n int, width uint64, capacity int) *Queue {
+	if n < 2 || width == 0 || capacity < 1 {
+		panic("calendarq: invalid parameters")
+	}
+	return &Queue{
+		buckets: make([][]core.Element, n),
+		width:   width,
+		horizon: uint64(n) * width,
+		cap:     capacity,
+	}
+}
+
+// Len returns the stored element count and Cap the capacity.
+func (q *Queue) Len() int { return q.size }
+func (q *Queue) Cap() int { return q.cap }
+
+// Overflowed returns how many elements were squashed into the last
+// bucket because their rank exceeded the calendar horizon.
+func (q *Queue) Overflowed() uint64 { return q.overflowed }
+
+// Push files the element into its rank bucket (relative to the current
+// head); ranks past the horizon land in the last bucket.
+func (q *Queue) Push(e core.Element) error {
+	if q.size >= q.cap {
+		return core.ErrFull
+	}
+	n := len(q.buckets)
+	var offset uint64
+	if e.Value > q.headRank {
+		offset = (e.Value - q.headRank) / q.width
+	}
+	if offset >= uint64(n) {
+		offset = uint64(n) - 1
+		q.overflowed++
+	}
+	idx := (q.head + int(offset)) % n
+	q.buckets[idx] = append(q.buckets[idx], e)
+	q.size++
+	return nil
+}
+
+// Pop drains the earliest non-empty bucket FIFO-first, rotating the
+// calendar forward past empty buckets.
+func (q *Queue) Pop() (core.Element, error) {
+	if q.size == 0 {
+		return core.Element{}, core.ErrEmpty
+	}
+	q.rotate()
+	b := &q.buckets[q.head]
+	e := (*b)[0]
+	*b = (*b)[1:]
+	if len(*b) == 0 {
+		*b = nil
+	}
+	q.size--
+	return e, nil
+}
+
+// Peek returns the head of the earliest non-empty bucket.
+func (q *Queue) Peek() (core.Element, error) {
+	if q.size == 0 {
+		return core.Element{}, core.ErrEmpty
+	}
+	q.rotate()
+	return q.buckets[q.head][0], nil
+}
+
+// rotate advances the head to the first non-empty bucket, moving the
+// calendar's representable window forward.
+func (q *Queue) rotate() {
+	n := len(q.buckets)
+	for i := 0; i < n && len(q.buckets[q.head]) == 0; i++ {
+		q.head = (q.head + 1) % n
+		q.headRank += q.width
+	}
+}

@@ -1,0 +1,144 @@
+package calendarq
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func TestBucketedOrder(t *testing.T) {
+	q := New(8, 100, 64)
+	// Ranks in distinct buckets dequeue in bucket order.
+	for _, r := range []uint64{750, 150, 450} {
+		if err := q.Push(core.Element{Value: r}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []uint64{150, 450, 750}
+	for _, w := range want {
+		e, err := q.Pop()
+		if err != nil || e.Value != w {
+			t.Fatalf("pop = %v,%v want %d", e, err, w)
+		}
+	}
+	if _, err := q.Pop(); err != core.ErrEmpty {
+		t.Fatalf("pop empty = %v", err)
+	}
+}
+
+// TestIntraBucketFIFO: ranks within one bucket leave in arrival order,
+// which is where bounded inversions come from.
+func TestIntraBucketFIFO(t *testing.T) {
+	q := New(8, 100, 64)
+	q.Push(core.Element{Value: 90, Meta: 1})
+	q.Push(core.Element{Value: 10, Meta: 2}) // same bucket, lower rank, arrives later
+	e1, _ := q.Pop()
+	e2, _ := q.Pop()
+	if e1.Meta != 1 || e2.Meta != 2 {
+		t.Fatalf("intra-bucket order: %v then %v", e1, e2)
+	}
+	// That was an inversion: 90 left before 10.
+	var m stats.InversionMeter
+	m.Observe(e1.Value)
+	m.Observe(e2.Value)
+	if m.Inversions() != 1 {
+		t.Fatal("expected one bounded inversion")
+	}
+}
+
+// TestHorizonSquash: ranks beyond the calendar horizon land in the
+// last bucket (counted by Overflowed), the paper's "limited range of
+// values" critique.
+func TestHorizonSquash(t *testing.T) {
+	q := New(4, 10, 16) // horizon 40
+	q.Push(core.Element{Value: 5})
+	q.Push(core.Element{Value: 1000})
+	q.Push(core.Element{Value: 2000})
+	if q.Overflowed() != 2 {
+		t.Fatalf("Overflowed = %d", q.Overflowed())
+	}
+	e, _ := q.Pop()
+	if e.Value != 5 {
+		t.Fatalf("first pop = %d", e.Value)
+	}
+	// The squashed ranks are now indistinguishable: FIFO among them.
+	e, _ = q.Pop()
+	if e.Value != 1000 {
+		t.Fatalf("second pop = %d", e.Value)
+	}
+}
+
+func TestRotation(t *testing.T) {
+	q := New(4, 10, 64)
+	// Fill bucket 0, drain it, then push a rank that would have been
+	// beyond the original horizon — after rotation it is representable.
+	q.Push(core.Element{Value: 5})
+	q.Pop()
+	// Push ranks as the calendar advances.
+	rng := rand.New(rand.NewSource(1))
+	var m stats.InversionMeter
+	next := uint64(10)
+	inq := 0
+	for i := 0; i < 2000; i++ {
+		if inq < 30 && rng.Intn(2) == 0 {
+			if err := q.Push(core.Element{Value: next}); err == nil {
+				inq++
+			}
+			next += uint64(rng.Intn(15))
+		} else if inq > 0 {
+			e, err := q.Pop()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Observe(e.Value)
+			inq--
+		}
+	}
+	// Mostly-increasing ranks with a rotating calendar: inversions are
+	// bounded by a bucket width; most dequeues stay in order.
+	if m.Rate() > 0.3 {
+		t.Fatalf("inversion rate %.2f too high for monotone workload", m.Rate())
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	q := New(4, 10, 2)
+	q.Push(core.Element{Value: 1})
+	q.Push(core.Element{Value: 2})
+	if err := q.Push(core.Element{Value: 3}); err != core.ErrFull {
+		t.Fatalf("push full = %v", err)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	q := New(4, 10, 8)
+	if _, err := q.Peek(); err != core.ErrEmpty {
+		t.Fatal("peek empty")
+	}
+	q.Push(core.Element{Value: 25})
+	if e, _ := q.Peek(); e.Value != 25 {
+		t.Fatal("peek wrong")
+	}
+	if q.Len() != 1 {
+		t.Fatal("peek consumed")
+	}
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(1, 10, 8) },
+		func() { New(4, 0, 8) },
+		func() { New(4, 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid params did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/refpq"
+)
+
+// FuzzTreeAgainstReference interprets fuzz bytes as an operation
+// stream over a 3-order, 4-level tree and validates every pop against
+// the reference queue plus the structural invariants. Run with
+// `go test -fuzz=FuzzTreeAgainstReference ./internal/core` to explore;
+// the seed corpus runs under plain `go test`.
+func FuzzTreeAgainstReference(f *testing.F) {
+	f.Add([]byte{0x01, 0x82, 0x43, 0xFF, 0x00, 0x7E})
+	f.Add([]byte("push-pop-push-pop"))
+	f.Add([]byte{0, 0, 0, 0, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := New(3, 4)
+		ref := refpq.New()
+		for i, b := range data {
+			if b&0x80 != 0 && ref.Len() > 0 {
+				e, err := tr.Pop()
+				if err != nil {
+					t.Fatalf("pop: %v", err)
+				}
+				if e.Value != ref.MinValue() {
+					t.Fatalf("pop %d, reference min %d", e.Value, ref.MinValue())
+				}
+				if !ref.RemoveExact(refpq.Entry{Value: e.Value, Meta: e.Meta}) {
+					t.Fatal("popped element not in reference")
+				}
+			} else if !tr.AlmostFull() {
+				e := Element{Value: uint64(b & 0x7F), Meta: uint64(i)}
+				if err := tr.Push(e); err != nil {
+					t.Fatalf("push: %v", err)
+				}
+				ref.Push(refpq.Entry{Value: e.Value, Meta: e.Meta})
+			}
+			if i%13 == 0 {
+				if err := tr.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != ref.Len() {
+			t.Fatalf("size mismatch %d vs %d", tr.Len(), ref.Len())
+		}
+	})
+}

@@ -1,0 +1,142 @@
+// Package drr implements Deficit Round Robin (Shreedhar & Varghese,
+// 1996) — one of the few scheduling algorithms the BMW-Tree paper
+// notes actually ship in line-rate switches (Section 1). It is the
+// classic non-PIFO fair scheduler and serves as the conventional
+// baseline against the programmable PIFO/STFQ pipeline: byte-accurate
+// fairness without ranks, but no programmability — the algorithm is
+// the hardware.
+package drr
+
+import (
+	"errors"
+)
+
+// Errors returned by the scheduler.
+var (
+	ErrEmpty = errors.New("drr: empty")
+	ErrFull  = errors.New("drr: buffer full, packet dropped")
+)
+
+// packet is one queued packet.
+type packet struct {
+	bytes   uint32
+	payload any
+}
+
+// flowState is one flow's FIFO and deficit counter.
+type flowState struct {
+	queue   []packet
+	deficit uint64
+	quantum uint64
+	active  bool
+	inVisit bool // quantum already granted for the current round visit
+}
+
+// Scheduler is a DRR scheduler over dynamically appearing flows.
+type Scheduler struct {
+	flows      map[uint32]*flowState
+	activeRing []uint32 // round-robin order of active flows
+	cursor     int
+
+	defaultQuantum uint64
+	size           int
+	capPackets     int
+}
+
+// New creates a DRR scheduler with the given per-round quantum in
+// bytes and a total packet capacity.
+func New(quantum uint64, capacity int) *Scheduler {
+	if quantum == 0 || capacity < 1 {
+		panic("drr: quantum and capacity must be positive")
+	}
+	return &Scheduler{
+		flows:          make(map[uint32]*flowState),
+		defaultQuantum: quantum,
+		capPackets:     capacity,
+	}
+}
+
+// SetQuantum assigns a per-flow quantum (weighted DRR).
+func (s *Scheduler) SetQuantum(flow uint32, q uint64) {
+	if q == 0 {
+		panic("drr: quantum must be positive")
+	}
+	s.flow(flow).quantum = q
+}
+
+func (s *Scheduler) flow(id uint32) *flowState {
+	f, ok := s.flows[id]
+	if !ok {
+		f = &flowState{quantum: s.defaultQuantum}
+		s.flows[id] = f
+	}
+	return f
+}
+
+// Len returns the buffered packet count; Cap the capacity.
+func (s *Scheduler) Len() int { return s.size }
+func (s *Scheduler) Cap() int { return s.capPackets }
+
+// Enqueue buffers a packet on its flow's FIFO, activating the flow.
+func (s *Scheduler) Enqueue(flowID uint32, bytes uint32, payload any) error {
+	if s.size >= s.capPackets {
+		return ErrFull
+	}
+	f := s.flow(flowID)
+	f.queue = append(f.queue, packet{bytes: bytes, payload: payload})
+	if !f.active {
+		f.active = true
+		f.deficit = 0
+		s.activeRing = append(s.activeRing, flowID)
+	}
+	s.size++
+	return nil
+}
+
+// Dequeue serves the next packet under deficit round robin: the
+// current flow transmits while its deficit covers the head packet;
+// otherwise its deficit grows by one quantum per round.
+func (s *Scheduler) Dequeue() (flowID uint32, bytes uint32, payload any, err error) {
+	if s.size == 0 {
+		return 0, 0, nil, ErrEmpty
+	}
+	for {
+		if s.cursor >= len(s.activeRing) {
+			s.cursor = 0
+		}
+		id := s.activeRing[s.cursor]
+		f := s.flows[id]
+		if len(f.queue) == 0 {
+			// Deactivate and remove from the ring.
+			f.active = false
+			f.inVisit = false
+			s.activeRing = append(s.activeRing[:s.cursor], s.activeRing[s.cursor+1:]...)
+			continue
+		}
+		if !f.inVisit {
+			// First service opportunity of this round visit: grant one
+			// quantum, exactly once.
+			f.deficit += f.quantum
+			f.inVisit = true
+		}
+		head := f.queue[0]
+		if f.deficit < uint64(head.bytes) {
+			// Deficit exhausted: yield to the next flow, keeping the
+			// remainder for the next round.
+			f.inVisit = false
+			s.cursor++
+			continue
+		}
+		f.deficit -= uint64(head.bytes)
+		f.queue = f.queue[1:]
+		if len(f.queue) == 0 {
+			f.queue = nil
+			f.active = false
+			f.inVisit = false
+			f.deficit = 0 // an emptied flow forfeits its leftover deficit
+			s.activeRing = append(s.activeRing[:s.cursor], s.activeRing[s.cursor+1:]...)
+		}
+		s.size--
+		return id, head.bytes, head.payload, nil
+	}
+}

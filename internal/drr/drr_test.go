@@ -1,0 +1,143 @@
+package drr
+
+import (
+	"testing"
+)
+
+func TestRoundRobinEqualPackets(t *testing.T) {
+	s := New(1000, 64)
+	for i := 0; i < 6; i++ {
+		s.Enqueue(1, 1000, nil)
+		s.Enqueue(2, 1000, nil)
+	}
+	var order []uint32
+	for i := 0; i < 12; i++ {
+		id, _, _, err := s.Dequeue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		order = append(order, id)
+	}
+	// Strict alternation with equal quanta and equal sizes.
+	for i := 1; i < len(order); i++ {
+		if order[i] == order[i-1] {
+			t.Fatalf("no alternation at %d: %v", i, order)
+		}
+	}
+}
+
+// TestByteFairnessUnequalPackets is DRR's raison d'être: a flow
+// sending big packets must not get more bytes than a flow sending
+// small ones.
+func TestByteFairnessUnequalPackets(t *testing.T) {
+	s := New(1500, 4096)
+	for i := 0; i < 300; i++ {
+		s.Enqueue(1, 1500, nil) // big packets
+	}
+	for i := 0; i < 900; i++ {
+		s.Enqueue(2, 500, nil) // small packets
+	}
+	bytes := map[uint32]uint64{}
+	for i := 0; i < 600; i++ {
+		id, n, _, err := s.Dequeue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bytes[id] += uint64(n)
+	}
+	ratio := float64(bytes[1]) / float64(bytes[2])
+	if ratio < 0.85 || ratio > 1.18 {
+		t.Fatalf("byte shares not fair: %v (ratio %.2f)", bytes, ratio)
+	}
+}
+
+// TestWeightedQuanta: twice the quantum earns twice the bytes.
+func TestWeightedQuanta(t *testing.T) {
+	s := New(1000, 4096)
+	s.SetQuantum(2, 2000)
+	for i := 0; i < 600; i++ {
+		s.Enqueue(1, 1000, nil)
+		s.Enqueue(2, 1000, nil)
+	}
+	bytes := map[uint32]uint64{}
+	for i := 0; i < 600; i++ {
+		id, n, _, err := s.Dequeue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bytes[id] += uint64(n)
+	}
+	ratio := float64(bytes[2]) / float64(bytes[1])
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("weighted shares wrong: %v (ratio %.2f)", bytes, ratio)
+	}
+}
+
+// TestQuantumSmallerThanPacket: a flow whose packets exceed one
+// quantum still progresses by accumulating deficit across rounds.
+func TestQuantumSmallerThanPacket(t *testing.T) {
+	s := New(500, 64)
+	s.Enqueue(1, 1500, "jumbo")
+	s.Enqueue(2, 400, "small")
+	got := map[uint32]int{}
+	for i := 0; i < 2; i++ {
+		id, _, _, err := s.Dequeue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[id]++
+	}
+	if got[1] != 1 || got[2] != 1 {
+		t.Fatalf("both packets must eventually serve: %v", got)
+	}
+}
+
+func TestCapacityAndEmpty(t *testing.T) {
+	s := New(100, 2)
+	s.Enqueue(1, 50, nil)
+	s.Enqueue(1, 50, nil)
+	if err := s.Enqueue(1, 50, nil); err != ErrFull {
+		t.Fatalf("enqueue full = %v", err)
+	}
+	s.Dequeue()
+	s.Dequeue()
+	if _, _, _, err := s.Dequeue(); err != ErrEmpty {
+		t.Fatalf("dequeue empty = %v", err)
+	}
+}
+
+// TestFlowReactivation: a flow that drains and returns starts with a
+// clean deficit (no banked credit).
+func TestFlowReactivation(t *testing.T) {
+	s := New(1000, 64)
+	s.Enqueue(1, 1000, nil)
+	s.Dequeue()
+	// Re-activate with competition.
+	s.Enqueue(1, 1000, nil)
+	s.Enqueue(2, 1000, nil)
+	seen := map[uint32]int{}
+	for i := 0; i < 2; i++ {
+		id, _, _, _ := s.Dequeue()
+		seen[id]++
+	}
+	if seen[1] != 1 || seen[2] != 1 {
+		t.Fatalf("reactivation unfair: %v", seen)
+	}
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 10) },
+		func() { New(100, 0) },
+		func() { New(100, 10).SetQuantum(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid params did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,100 @@
+// Package eventq provides the discrete-event engine for the packet-
+// level simulator that substitutes for NS-3 in the paper's Section 6.4
+// experiment. Time is in integer nanoseconds; events at the same
+// timestamp run in scheduling order (FIFO tie-break), which keeps
+// simulations deterministic.
+package eventq
+
+import "container/heap"
+
+// event is one scheduled callback.
+type event struct {
+	at  uint64
+	seq uint64
+	fn  func()
+}
+
+type evHeap []event
+
+func (h evHeap) Len() int { return len(h) }
+func (h evHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h evHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *evHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *evHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Queue is a discrete-event queue with a simulated clock.
+type Queue struct {
+	h    evHeap
+	now  uint64
+	seq  uint64
+	runs uint64
+}
+
+// New returns an empty queue at time zero.
+func New() *Queue { return &Queue{} }
+
+// Now returns the current simulated time in nanoseconds.
+func (q *Queue) Now() uint64 { return q.now }
+
+// Pending returns the number of scheduled events.
+func (q *Queue) Pending() int { return len(q.h) }
+
+// Processed returns the number of events executed so far.
+func (q *Queue) Processed() uint64 { return q.runs }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: it
+// would silently corrupt causality.
+func (q *Queue) At(t uint64, fn func()) {
+	if t < q.now {
+		panic("eventq: event scheduled in the past")
+	}
+	q.seq++
+	heap.Push(&q.h, event{at: t, seq: q.seq, fn: fn})
+}
+
+// After schedules fn d nanoseconds from now.
+func (q *Queue) After(d uint64, fn func()) { q.At(q.now+d, fn) }
+
+// Step runs the next event; it reports false when the queue is empty.
+func (q *Queue) Step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.h).(event)
+	q.now = e.at
+	q.runs++
+	e.fn()
+	return true
+}
+
+// RunUntil executes events up to and including time t, then advances
+// the clock to t.
+func (q *Queue) RunUntil(t uint64) {
+	for len(q.h) > 0 && q.h[0].at <= t {
+		q.Step()
+	}
+	if t > q.now {
+		q.now = t
+	}
+}
+
+// Run executes events until none remain or the event budget is
+// exhausted (a guard against runaway simulations; 0 = unlimited).
+func (q *Queue) Run(budget uint64) {
+	for q.Step() {
+		if budget > 0 && q.runs >= budget {
+			return
+		}
+	}
+}

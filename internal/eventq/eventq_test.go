@@ -1,0 +1,126 @@
+package eventq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOrdering(t *testing.T) {
+	q := New()
+	var got []int
+	q.At(30, func() { got = append(got, 3) })
+	q.At(10, func() { got = append(got, 1) })
+	q.At(20, func() { got = append(got, 2) })
+	q.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if q.Now() != 30 {
+		t.Fatalf("Now = %d", q.Now())
+	}
+	if q.Processed() != 3 {
+		t.Fatalf("Processed = %d", q.Processed())
+	}
+}
+
+// TestFIFOAtSameTime: events at the same timestamp run in scheduling
+// order, keeping simulations deterministic.
+func TestFIFOAtSameTime(t *testing.T) {
+	q := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.At(5, func() { got = append(got, i) })
+	}
+	q.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time order broken: %v", got)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	q := New()
+	var fired []uint64
+	q.At(100, func() {
+		q.After(50, func() { fired = append(fired, q.Now()) })
+	})
+	q.Run(0)
+	if len(fired) != 1 || fired[0] != 150 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestPastPanics(t *testing.T) {
+	q := New()
+	q.At(100, func() {})
+	q.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	q.At(50, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	q := New()
+	count := 0
+	for _, tm := range []uint64{10, 20, 30, 40} {
+		q.At(tm, func() { count++ })
+	}
+	q.RunUntil(25)
+	if count != 2 || q.Now() != 25 {
+		t.Fatalf("count=%d now=%d", count, q.Now())
+	}
+	if q.Pending() != 2 {
+		t.Fatalf("pending = %d", q.Pending())
+	}
+	q.RunUntil(100)
+	if count != 4 || q.Now() != 100 {
+		t.Fatalf("count=%d now=%d", count, q.Now())
+	}
+}
+
+func TestBudget(t *testing.T) {
+	q := New()
+	var rec func()
+	n := 0
+	rec = func() {
+		n++
+		q.After(1, rec)
+	}
+	q.At(0, rec)
+	q.Run(100)
+	if n != 100 {
+		t.Fatalf("budget run executed %d events", n)
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	q := New()
+	if q.Step() {
+		t.Fatal("Step on empty returned true")
+	}
+}
+
+func TestRandomTimesMonotone(t *testing.T) {
+	q := New()
+	rng := rand.New(rand.NewSource(5))
+	var last uint64
+	ok := true
+	for i := 0; i < 1000; i++ {
+		at := uint64(rng.Intn(10000))
+		q.At(at, func() {
+			if q.Now() < last {
+				ok = false
+			}
+			last = q.Now()
+		})
+	}
+	q.Run(0)
+	if !ok {
+		t.Fatal("clock went backwards")
+	}
+}

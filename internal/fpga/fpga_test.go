@@ -1,0 +1,271 @@
+package fpga
+
+import (
+	"math"
+	"testing"
+)
+
+func within(t *testing.T, name string, got, want, tolPct float64) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Errorf("%s = %v, want 0", name, got)
+		}
+		return
+	}
+	if math.Abs(got-want)/want*100 > tolPct {
+		t.Errorf("%s = %.3f, want %.3f (±%.1f%%)", name, got, want, tolPct)
+	}
+}
+
+// TestTable3RBMW checks that the calibrated model reproduces the R-BMW
+// rows of Table 3 (Fmax, LUT%, FF%) at the paper's design points.
+func TestTable3RBMW(t *testing.T) {
+	rows := []struct {
+		m, l                int
+		cap                 int
+		fmax, lutPct, ffPct float64
+	}{
+		{2, 11, 4094, 384.61, 25.51, 12.29},
+		{4, 6, 5460, 200, 46.22, 14.2},
+		{8, 4, 4680, 188.67, 66.79, 11.69},
+	}
+	for _, row := range rows {
+		r := RBMW(XCU200, row.m, row.l)
+		if r.Capacity != row.cap {
+			t.Errorf("M=%d L=%d capacity = %d, want %d", row.m, row.l, r.Capacity, row.cap)
+		}
+		if !r.Feasible {
+			t.Errorf("M=%d L=%d infeasible", row.m, row.l)
+		}
+		within(t, "Fmax", r.FmaxMHz, row.fmax, 1)
+		within(t, "LUT%", r.LUTPct, row.lutPct, 2)
+		within(t, "FF%", r.FFPct, row.ffPct, 2)
+	}
+}
+
+// TestTable2RPUBMW checks the three largest-scale RPU-BMW rows of
+// Table 2.
+func TestTable2RPUBMW(t *testing.T) {
+	rows := []struct {
+		m, l, cap                      int
+		fmax, lutPct, lutramPct, ffPct float64
+	}{
+		{2, 15, 65534, 82.64, 11.43, 20.13, 0.14},
+		{4, 8, 87380, 93.45, 15.03, 26.81, 0.13},
+		{8, 5, 37448, 125, 7.36, 11.52, 0.15},
+	}
+	for _, row := range rows {
+		r := RPUBMW(XCU200, row.m, row.l)
+		if r.Capacity != row.cap {
+			t.Errorf("M=%d L=%d capacity = %d, want %d", row.m, row.l, r.Capacity, row.cap)
+		}
+		within(t, "Fmax", r.FmaxMHz, row.fmax, 1)
+		within(t, "LUT%", r.LUTPct, row.lutPct, 2)
+		within(t, "LUTRAM%", r.LUTRAMPct, row.lutramPct, 2)
+		within(t, "FF%", r.FFPct, row.ffPct, 10)
+	}
+}
+
+// TestTable3RPUBMW checks the RPU-BMW half of Table 3 (same capacities
+// as the largest R-BMW configurations).
+func TestTable3RPUBMW(t *testing.T) {
+	rows := []struct {
+		m, l         int
+		fmax, lutPct float64
+	}{
+		{2, 11, 204.08, 1.23},
+		{4, 6, 277.77, 1.44},
+		{8, 4, 212.76, 1.77},
+	}
+	for _, row := range rows {
+		r := RPUBMW(XCU200, row.m, row.l)
+		within(t, "Fmax", r.FmaxMHz, row.fmax, 1)
+		within(t, "LUT%", r.LUTPct, row.lutPct, 4)
+		// Table 3's headline: RPU-BMW costs far fewer resources than
+		// R-BMW at the same capacity.
+		rb := RBMW(XCU200, row.m, row.l)
+		if r.LUTPct > rb.LUTPct/5 {
+			t.Errorf("M=%d: RPU-BMW LUT%% %.2f not ≪ R-BMW %.2f", row.m, r.LUTPct, rb.LUTPct)
+		}
+		if r.FFPct > 1 {
+			t.Errorf("M=%d: RPU-BMW FF%% %.2f, expected ≪ 1%%", row.m, r.FFPct)
+		}
+	}
+}
+
+// TestHeadlineThroughput checks Section 6.1's headline: the 11-2 R-BMW
+// reaches 192 Mpps, 4.8x the original PIFO's 40 Mpps at similar
+// capacity.
+func TestHeadlineThroughput(t *testing.T) {
+	r := RBMW(XCU200, 2, 11)
+	within(t, "R-BMW Mpps", r.Mpps, 192.3, 1)
+	p := PIFO(XCU200, 4096)
+	within(t, "PIFO Mpps", p.Mpps, 40, 2)
+	speedup := r.Mpps / p.Mpps
+	if speedup < 4.5 || speedup > 5.1 {
+		t.Errorf("R-BMW/PIFO speedup = %.2fx, want ≈4.8x", speedup)
+	}
+	// 4-order and 8-order R-BMW: 2.5x and 2.35x PIFO (Section 6.1).
+	within(t, "4-order speedup", RBMW(XCU200, 4, 6).Mpps/p.Mpps, 2.5, 5)
+	within(t, "8-order speedup", RBMW(XCU200, 8, 4).Mpps/p.Mpps, 2.35, 5)
+}
+
+// TestFigure8Shapes checks the qualitative shapes of Figure 8 that the
+// model must produce structurally.
+func TestFigure8Shapes(t *testing.T) {
+	// (a) R-BMW Fmax is flat across levels for a given order, and falls
+	// with order; PIFO is far below at matched capacity.
+	for _, m := range []int{2, 4, 8} {
+		f3 := RBMW(XCU200, m, 3).FmaxMHz
+		fMax := RBMW(XCU200, m, MaxLevels(XCU200, "R-BMW", m)).FmaxMHz
+		if f3 != fMax {
+			t.Errorf("M=%d: R-BMW Fmax varies with levels (%.1f vs %.1f)", m, f3, fMax)
+		}
+	}
+	if !(RBMW(XCU200, 2, 5).FmaxMHz > RBMW(XCU200, 4, 5).FmaxMHz &&
+		RBMW(XCU200, 4, 5).FmaxMHz > RBMW(XCU200, 8, 4).FmaxMHz) {
+		t.Error("R-BMW Fmax not decreasing in node complexity (order)")
+	}
+	for _, n := range []int{256, 1024, 4096} {
+		if PIFO(XCU200, n).FmaxMHz >= RBMW(XCU200, 2, 5).FmaxMHz {
+			t.Errorf("PIFO at %d entries not slower than R-BMW", n)
+		}
+	}
+	// PIFO frequency decreases with capacity (bus loading).
+	if !(PIFO(XCU200, 256).FmaxMHz > PIFO(XCU200, 1024).FmaxMHz &&
+		PIFO(XCU200, 1024).FmaxMHz > PIFO(XCU200, 4096).FmaxMHz) {
+		t.Error("PIFO Fmax not decreasing with capacity")
+	}
+
+	// (b) LUT per element constant per design; PIFO consumes the most.
+	for _, m := range []int{2, 4, 8} {
+		perElemSmall := RBMW(XCU200, m, 3).LUT / float64(RBMW(XCU200, m, 3).Capacity)
+		perElemBig := RBMW(XCU200, m, 6).LUT / float64(RBMW(XCU200, m, 6).Capacity)
+		if math.Abs(perElemSmall-perElemBig) > 1e-9 {
+			t.Errorf("M=%d LUT/elem not constant", m)
+		}
+		if pifoLUTPerElem <= perElemBig {
+			t.Errorf("PIFO LUT/elem %.1f not above R-BMW M=%d %.1f", pifoLUTPerElem, m, perElemBig)
+		}
+	}
+
+	// (c) FF per element: M=2 slightly above M=4 and M=8 (per-node
+	// overhead amortised over M); PIFO below all (no counters).
+	f2 := rbmwFFPerElem[2]
+	if !(f2 > rbmwFFPerElem[4] && rbmwFFPerElem[4] > rbmwFFPerElem[8]) {
+		t.Error("R-BMW FF/elem ordering wrong")
+	}
+	if pifoFFPerElem >= rbmwFFPerElem[8] {
+		t.Error("PIFO FF/elem should be below R-BMW (no counters)")
+	}
+}
+
+// TestFigure9Shapes checks the qualitative shapes of Figure 9.
+func TestFigure9Shapes(t *testing.T) {
+	// (a) Fmax decreases with levels for each order: non-increasing
+	// everywhere (flat only under the fabric ceiling at shallow depths)
+	// and strictly decreasing across the calibrated range.
+	for _, m := range []int{2, 4, 8} {
+		prev := math.Inf(1)
+		lmax := MaxLevels(XCU200, "RPU-BMW", m)
+		sawDecline := false
+		for l := 4; l <= lmax; l++ {
+			f := RPUBMW(XCU200, m, l).FmaxMHz
+			if f > prev {
+				t.Errorf("M=%d: Fmax increased at L=%d (%.1f > %.1f)", m, l, f, prev)
+			}
+			if f < prev && prev != math.Inf(1) {
+				sawDecline = true
+			}
+			prev = f
+		}
+		if !sawDecline {
+			t.Errorf("M=%d: Fmax never declines with levels", m)
+		}
+	}
+	// (b) LUT% proportional to elements regardless of order and level:
+	// at large scales the per-element term dominates the per-RPU logic,
+	// so LUT/element converges to the same constant for every order.
+	for _, m := range []int{2, 4, 8} {
+		l := MaxLevels(XCU200, "RPU-BMW", m)
+		r := RPUBMW(XCU200, m, l)
+		perElem := r.LUT / float64(r.Capacity)
+		if math.Abs(perElem-rpuLUTPerElem)/rpuLUTPerElem > 0.15 {
+			t.Errorf("M=%d: LUT/elem %.2f deviates from proportionality (%.3f)", m, perElem, rpuLUTPerElem)
+		}
+	}
+	// (c) FF grows linearly with levels.
+	for _, m := range []int{2, 4, 8} {
+		d1 := RPUBMW(XCU200, m, 5).FF - RPUBMW(XCU200, m, 4).FF
+		d2 := RPUBMW(XCU200, m, 8).FF - RPUBMW(XCU200, m, 7).FF
+		if math.Abs(d1-d2) > 1e-9 {
+			t.Errorf("M=%d: FF not linear in levels", m)
+		}
+	}
+}
+
+// TestTable2Gbps checks Section 6.2: every Table 2 configuration
+// reaches 100 Gbps with 512-byte packets given the 3-cycle push-pop.
+func TestTable2Gbps(t *testing.T) {
+	for _, p := range []struct{ m, l int }{{2, 15}, {4, 8}, {8, 5}} {
+		r := RPUBMW(XCU200, p.m, p.l)
+		if g := r.GbpsAt(512); g < 100 {
+			t.Errorf("M=%d L=%d reaches only %.1f Gbps, want >= 100", p.m, p.l, g)
+		}
+	}
+}
+
+// TestMaxLevels checks the scalability limits: the paper reports that
+// resources allow a 12-level 2-order R-BMW in theory (Section 6.1
+// footnote) and the largest synthesised RPU-BMW configurations of
+// Table 2 are feasible.
+func TestMaxLevels(t *testing.T) {
+	if got := MaxLevels(XCU200, "R-BMW", 2); got != 12 {
+		t.Errorf("R-BMW M=2 max levels = %d, want 12", got)
+	}
+	if got := MaxLevels(XCU200, "RPU-BMW", 4); got < 8 {
+		t.Errorf("RPU-BMW M=4 max levels = %d, want >= 8", got)
+	}
+	if got := MaxLevels(XCU200, "RPU-BMW", 2); got < 15 {
+		t.Errorf("RPU-BMW M=2 max levels = %d, want >= 15", got)
+	}
+	if got := MaxLevels(XCU200, "RPU-BMW", 8); got < 5 {
+		t.Errorf("RPU-BMW M=8 max levels = %d, want >= 5", got)
+	}
+}
+
+func TestInterpFallback(t *testing.T) {
+	// Orders the paper did not synthesise get interpolated constants
+	// between the M=2 and M=8 anchors.
+	v := interp(rbmwLUTPerElem, 5)
+	if v <= rbmwLUTPerElem[2] || v >= rbmwLUTPerElem[8] {
+		t.Errorf("interp(5) = %.1f out of range", v)
+	}
+	r := RBMW(XCU200, 3, 4)
+	if !r.Feasible || r.FmaxMHz <= 0 {
+		t.Error("interpolated order should be feasible")
+	}
+	rp := RPUBMW(XCU200, 6, 5)
+	if !rp.Feasible || rp.FmaxMHz <= 0 {
+		t.Error("interpolated RPU order should be feasible")
+	}
+}
+
+func TestInfeasibleDesigns(t *testing.T) {
+	r := RBMW(XCU200, 2, 14) // 32766 elements: way past the LUT budget
+	if r.Feasible || r.Mpps != 0 {
+		t.Errorf("14-2 R-BMW should be infeasible: %+v", r)
+	}
+	p := PIFO(XCU200, 8192)
+	if p.Feasible {
+		t.Error("8192-entry PIFO should not fit")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := RBMW(XCU200, 2, 11).String()
+	if len(s) == 0 {
+		t.Fatal("empty report string")
+	}
+}

@@ -1,0 +1,154 @@
+package gearbox
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func TestBasicOrder(t *testing.T) {
+	q := New(3, 4, 10, 64) // horizon 10*4^3 = 640
+	for _, r := range []uint64{500, 35, 180, 5} {
+		if err := q.Push(core.Element{Value: r}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []uint64{5, 35, 180, 500}
+	for _, w := range want {
+		e, err := q.Pop()
+		if err != nil || e.Value != w {
+			t.Fatalf("pop = %v,%v want %d", e, err, w)
+		}
+	}
+	if _, err := q.Pop(); err != core.ErrEmpty {
+		t.Fatalf("pop empty = %v", err)
+	}
+}
+
+// TestHorizonBeatsFlatCalendar: with the same bucket count, the
+// gearbox covers a far larger rank span than a flat calendar, which is
+// its reason to exist (the paper's "limited range of values" problem).
+func TestHorizonBeatsFlatCalendar(t *testing.T) {
+	q := New(3, 8, 10, 64)
+	flatHorizon := uint64(3*8) * 10 // same 24 buckets in one flat ring
+	if q.Horizon() <= flatHorizon*4 {
+		t.Fatalf("gearbox horizon %d not ≫ flat %d", q.Horizon(), flatHorizon)
+	}
+	// A rank far beyond the flat horizon still orders correctly.
+	q.Push(core.Element{Value: 5000})
+	q.Push(core.Element{Value: 3})
+	e, _ := q.Pop()
+	if e.Value != 3 {
+		t.Fatalf("near rank served %d first", e.Value)
+	}
+	e, _ = q.Pop()
+	if e.Value != 5000 {
+		t.Fatalf("far rank = %d", e.Value)
+	}
+	if _, over := q.Stats(); over != 0 {
+		t.Fatalf("rank within horizon counted as overflow")
+	}
+}
+
+// TestGearShiftMigration: draining into the future forces coarse
+// buckets to re-bucket into fine gears.
+func TestGearShiftMigration(t *testing.T) {
+	q := New(2, 4, 10, 64) // fine span 40, horizon 160
+	// Two elements in the same coarse bucket but different fine buckets.
+	q.Push(core.Element{Value: 50})
+	q.Push(core.Element{Value: 75})
+	e1, _ := q.Pop()
+	e2, _ := q.Pop()
+	if e1.Value != 50 || e2.Value != 75 {
+		t.Fatalf("coarse bucket not refined: %d then %d", e1.Value, e2.Value)
+	}
+	mig, _ := q.Stats()
+	if mig == 0 {
+		t.Fatal("no migrations recorded")
+	}
+}
+
+// TestBoundedInversions: on a mostly-increasing rank stream the
+// gearbox's inversions are bounded by bucket granularity — far fewer
+// than total pops — while an exact BMW-Tree has none.
+func TestBoundedInversions(t *testing.T) {
+	q := New(3, 16, 16, 1024) // fine span 256, gear-1 span 4096
+	tr := core.New(2, 10)
+	rng := rand.New(rand.NewSource(5))
+	var gm, bm stats.InversionMeter
+	next := uint64(100)
+	inq := 0
+	for step := 0; step < 30000; step++ {
+		if inq < 100 && (inq == 0 || rng.Intn(2) == 0) {
+			r := next + uint64(rng.Intn(32))
+			next += uint64(rng.Intn(8))
+			q.Push(core.Element{Value: r})
+			tr.Push(core.Element{Value: r})
+			inq++
+		} else {
+			e1, err := q.Pop()
+			if err != nil {
+				t.Fatal(err)
+			}
+			e2, _ := tr.Pop()
+			gm.Observe(e1.Value)
+			bm.Observe(e2.Value)
+			inq--
+		}
+	}
+	if gm.Rate() > 0.5 {
+		t.Fatalf("gearbox inversion rate %.2f unbounded", gm.Rate())
+	}
+	t.Logf("inversion rate: gearbox %.3f (mean magnitude %.1f), exact tree %.3f",
+		gm.Rate(), gm.MeanMagnitude(), bm.Rate())
+}
+
+func TestCapacity(t *testing.T) {
+	q := New(2, 2, 1, 2)
+	q.Push(core.Element{Value: 1})
+	q.Push(core.Element{Value: 2})
+	if err := q.Push(core.Element{Value: 3}); err != core.ErrFull {
+		t.Fatalf("push full = %v", err)
+	}
+}
+
+func TestPeekMatchesPop(t *testing.T) {
+	q := New(2, 4, 10, 32)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		q.Push(core.Element{Value: uint64(rng.Intn(150)), Meta: uint64(i)})
+	}
+	for q.Len() > 0 {
+		p, err := q.Peek()
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := q.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != e {
+			t.Fatalf("peek %v != pop %v", p, e)
+		}
+	}
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 4, 10, 8) },
+		func() { New(2, 1, 10, 8) },
+		func() { New(2, 4, 0, 8) },
+		func() { New(2, 4, 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid params did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,169 @@
+// Package hsched composes PIFO priority queues into the scheduling
+// trees of the PIFO model (Sivaraman et al., SIGCOMM 2016) — the
+// "logical PIFOs" of the architecture in Figure 1 of the BMW-Tree
+// paper. A tree of PIFOs expresses hierarchical policies such as HPFQ
+// (fair queueing among classes, fair queueing among the flows inside
+// each class): every node holds a PIFO ordering its children by ranks
+// its own policy computes; a packet's enqueue pushes one element into
+// each PIFO along its root-to-leaf path, and a dequeue follows minimum
+// ranks from the root down to a packet.
+//
+// Any priority-queue implementation in this module — including the
+// BMW-Tree, which is the point of the paper — can back each node.
+package hsched
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pifoblock"
+	"repro/internal/sched"
+)
+
+// Errors returned by the tree.
+var (
+	ErrFull  = errors.New("hsched: a PIFO on the path is full, packet dropped")
+	ErrEmpty = errors.New("hsched: empty")
+)
+
+// node is one scheduling-tree vertex.
+type node struct {
+	parent int
+	pq     pifoblock.FlowScheduler
+	ranker sched.Ranker
+}
+
+// pending couples a leaf-queued packet with its opaque payload.
+type pending struct {
+	pkt     sched.Packet
+	payload any
+}
+
+// Tree is a hierarchical scheduler.
+type Tree struct {
+	nodes []node
+
+	handles map[uint64]pending
+	nextID  uint64
+	size    int
+}
+
+// New creates a tree whose root schedules with the given PIFO and rank
+// policy. The root has node id 0.
+func New(pq pifoblock.FlowScheduler, r sched.Ranker) *Tree {
+	return &Tree{
+		nodes:   []node{{parent: -1, pq: pq, ranker: r}},
+		handles: make(map[uint64]pending),
+	}
+}
+
+// AddNode attaches a child scheduler under parent and returns its node
+// id. Interior nodes order their children; a node used as an Enqueue
+// target orders packets by flow.
+func (t *Tree) AddNode(parent int, pq pifoblock.FlowScheduler, r sched.Ranker) int {
+	if parent < 0 || parent >= len(t.nodes) {
+		panic(fmt.Sprintf("hsched: invalid parent %d", parent))
+	}
+	t.nodes = append(t.nodes, node{parent: parent, pq: pq, ranker: r})
+	return len(t.nodes) - 1
+}
+
+// Len returns the number of queued packets.
+func (t *Tree) Len() int { return t.size }
+
+// Enqueue admits a packet at the given leaf node: one element is
+// pushed into every PIFO on the root-to-leaf path. At interior nodes
+// the "flow" seen by the rank policy is the child node id, so
+// per-class policies (e.g. weighted STFQ between classes) work
+// unchanged; at the leaf it is the packet's own flow.
+func (t *Tree) Enqueue(leaf int, p sched.Packet, payload any) error {
+	if leaf < 0 || leaf >= len(t.nodes) {
+		panic(fmt.Sprintf("hsched: invalid leaf %d", leaf))
+	}
+	// Collect the path root -> leaf.
+	var path []int
+	for n := leaf; n != -1; n = t.nodes[n].parent {
+		path = append(path, n)
+	}
+	// Admission: every PIFO on the path needs one free slot.
+	for _, n := range path {
+		if t.nodes[n].pq.Len() >= t.nodes[n].pq.Cap() {
+			return ErrFull
+		}
+	}
+	// Push top-down (path is leaf->root, so iterate backwards).
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		var elem core.Element
+		if i == 0 {
+			// Leaf level: the packet itself. Handles live above
+			// handleBase so they can never collide with child node ids.
+			id := handleBase + t.nextID
+			t.nextID++
+			t.handles[id] = pending{pkt: p, payload: payload}
+			rank := t.nodes[n].ranker.Rank(p)
+			elem = core.Element{Value: rank, Meta: id}
+		} else {
+			// Interior level: the child we are descending towards,
+			// ranked by this node's policy with the child as the flow.
+			child := path[i-1]
+			rank := t.nodes[n].ranker.Rank(sched.Packet{
+				Flow:  uint32(child),
+				Bytes: p.Bytes,
+			})
+			elem = core.Element{Value: rank, Meta: uint64(child)}
+		}
+		if err := t.nodes[n].pq.Push(elem); err != nil {
+			panic(fmt.Sprintf("hsched: push failed below capacity: %v", err))
+		}
+	}
+	t.size++
+	return nil
+}
+
+// Dequeue pops the tree: minimum at the root selects a child, and so
+// on down to a leaf element, which resolves to the packet.
+func (t *Tree) Dequeue() (sched.Packet, any, error) {
+	if t.size == 0 {
+		return sched.Packet{}, nil, ErrEmpty
+	}
+	n := 0
+	for {
+		e, err := t.nodes[n].pq.Pop()
+		if err != nil {
+			panic(fmt.Sprintf("hsched: inconsistent occupancy at node %d: %v", n, err))
+		}
+		// An interior element's Meta is a child node id (< handleBase);
+		// a leaf element's Meta is a packet handle (>= handleBase).
+		if child, ok := t.childOf(n, e.Meta); ok {
+			t.nodes[n].ranker.OnDequeue(sched.Packet{Flow: uint32(child)}, e.Value)
+			n = child
+			continue
+		}
+		pend, ok := t.handles[e.Meta]
+		if !ok {
+			panic(fmt.Sprintf("hsched: dangling handle %d at node %d", e.Meta, n))
+		}
+		delete(t.handles, e.Meta)
+		t.nodes[n].ranker.OnDequeue(pend.pkt, e.Value)
+		t.size--
+		return pend.pkt, pend.payload, nil
+	}
+}
+
+// handleBase separates the packet-handle namespace from child node
+// ids in element metadata.
+const handleBase = uint64(1) << 32
+
+// childOf reports whether meta names a child node of n.
+func (t *Tree) childOf(n int, meta uint64) (int, bool) {
+	if meta >= handleBase {
+		return 0, false
+	}
+	c := int(meta)
+	if c > 0 && c < len(t.nodes) && t.nodes[c].parent == n {
+		return c, true
+	}
+	return 0, false
+}

@@ -1,0 +1,155 @@
+package hsched
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// TestHPFQ is the classic scheduling-tree example: the root divides
+// the link between two classes with weights 1:1; class A fair-queues
+// two flows, class B carries one. Flow shares must come out 25/25/50.
+func TestHPFQ(t *testing.T) {
+	root := New(core.New(2, 6), sched.NewSTFQ(1))
+	classA := root.AddNode(0, core.New(2, 6), sched.NewSTFQ(1))
+	classB := root.AddNode(0, core.New(2, 6), sched.NewSTFQ(1))
+
+	// Backlog all three flows.
+	for i := 0; i < 20; i++ {
+		if err := root.Enqueue(classA, sched.Packet{Flow: 1, Bytes: 1000}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := root.Enqueue(classA, sched.Packet{Flow: 2, Bytes: 1000}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := root.Enqueue(classB, sched.Packet{Flow: 3, Bytes: 1000}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := map[uint32]int{}
+	for i := 0; i < 40; i++ {
+		p, _, err := root.Dequeue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p.Flow]++
+	}
+	// Hierarchical fairness: flow 3 gets ~half the service, flows 1 and
+	// 2 about a quarter each.
+	if counts[3] < 18 || counts[3] > 22 {
+		t.Fatalf("class B share = %d/40, want ~20 (HPFQ)", counts[3])
+	}
+	if counts[1] < 8 || counts[1] > 12 || counts[2] < 8 || counts[2] > 12 {
+		t.Fatalf("class A flows = %d/%d, want ~10 each", counts[1], counts[2])
+	}
+}
+
+// TestWeightedClasses gives class B twice class A's weight.
+func TestWeightedClasses(t *testing.T) {
+	rootRanker := sched.NewSTFQ(1)
+	root := New(core.New(2, 6), rootRanker)
+	classA := root.AddNode(0, core.New(2, 6), sched.NewSTFQ(1))
+	classB := root.AddNode(0, core.New(2, 6), sched.NewSTFQ(1))
+	rootRanker.SetWeight(uint32(classA), 1)
+	rootRanker.SetWeight(uint32(classB), 2)
+
+	for i := 0; i < 30; i++ {
+		root.Enqueue(classA, sched.Packet{Flow: 1, Bytes: 900}, nil)
+		root.Enqueue(classB, sched.Packet{Flow: 2, Bytes: 900}, nil)
+	}
+	counts := map[uint32]int{}
+	for i := 0; i < 30; i++ {
+		p, _, err := root.Dequeue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p.Flow]++
+	}
+	if counts[2] < 18 || counts[2] > 22 {
+		t.Fatalf("weight-2 class got %d/30, want ~20", counts[2])
+	}
+}
+
+func TestSingleNodeDegeneratesToPIFO(t *testing.T) {
+	tr := New(core.New(2, 4), sched.FCFS{})
+	for _, arr := range []uint64{5, 1, 3} {
+		if err := tr.Enqueue(0, sched.Packet{Flow: 1, Arrival: arr}, arr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []uint64{1, 3, 5}
+	for _, w := range want {
+		p, payload, err := tr.Dequeue()
+		if err != nil || p.Arrival != w || payload.(uint64) != w {
+			t.Fatalf("pop = %v,%v,%v want %d", p, payload, err, w)
+		}
+	}
+	if _, _, err := tr.Dequeue(); err != ErrEmpty {
+		t.Fatalf("dequeue empty = %v", err)
+	}
+}
+
+func TestAdmissionChecksWholePath(t *testing.T) {
+	// Tiny root PIFO (capacity 2) above a roomy leaf: the third packet
+	// must be rejected without corrupting either queue.
+	root := New(core.New(2, 1), sched.FCFS{})
+	leaf := root.AddNode(0, core.New(2, 4), sched.FCFS{})
+	if err := root.Enqueue(leaf, sched.Packet{Flow: 1, Arrival: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Enqueue(leaf, sched.Packet{Flow: 1, Arrival: 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Enqueue(leaf, sched.Packet{Flow: 1, Arrival: 3}, nil); err != ErrFull {
+		t.Fatalf("overfull enqueue = %v", err)
+	}
+	if root.Len() != 2 {
+		t.Fatalf("Len = %d", root.Len())
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := root.Dequeue(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestThreeLevels(t *testing.T) {
+	// root -> tenant -> app -> flows.
+	root := New(core.New(2, 6), sched.NewSTFQ(1))
+	tenant := root.AddNode(0, core.New(2, 6), sched.NewSTFQ(1))
+	app := root.AddNode(tenant, core.New(2, 6), sched.NewSTFQ(1))
+	for i := 0; i < 10; i++ {
+		if err := root.Enqueue(app, sched.Packet{Flow: uint32(i % 2), Bytes: 500}, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := 0
+	for {
+		_, _, err := root.Dequeue()
+		if err != nil {
+			break
+		}
+		seen++
+	}
+	if seen != 10 {
+		t.Fatalf("dequeued %d/10", seen)
+	}
+}
+
+func TestInvalidNodePanics(t *testing.T) {
+	tr := New(core.New(2, 3), sched.FCFS{})
+	for name, fn := range map[string]func(){
+		"bad parent": func() { tr.AddNode(99, core.New(2, 3), sched.FCFS{}) },
+		"bad leaf":   func() { tr.Enqueue(42, sched.Packet{}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,276 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/trafficgen"
+)
+
+// scaled returns a down-scaled Figure 10 configuration that keeps the
+// mechanism (flow-scheduler capacity between the two designs) while
+// running in test-sized time: 32 hosts, 1 Gbps links, ~600 flows.
+func scaled(kind SchedulerKind, capacity int, load float64) Config {
+	cfg := DefaultConfig()
+	cfg.NumHosts = 32
+	cfg.LinkBps = 1e9
+	cfg.Scheduler = kind
+	cfg.SchedCap = capacity
+	cfg.BMWOrder = 2
+	cfg.BMWLevels = 7 // capacity 254
+	cfg.StoreLimit = 0
+	cfg.TCP.MaxRTONs = 10e9
+	cfg.NumFlows = 600
+	cfg.Load = load
+	cfg.Seed = 42
+	return cfg
+}
+
+func TestAllFlowsCompleteBMW(t *testing.T) {
+	res := New(scaled(SchedBMW, 254, 0.9)).Run()
+	if res.Completed != res.Generated {
+		t.Fatalf("completed %d of %d", res.Completed, res.Generated)
+	}
+	if res.LossRate != 0 {
+		t.Fatalf("BMW run dropped packets: %.4f", res.LossRate)
+	}
+	if res.Retransmits != 0 || res.Timeouts != 0 {
+		t.Fatalf("lossless run had retx=%d tmo=%d", res.Retransmits, res.Timeouts)
+	}
+	// Every normalised FCT is >= 1 (nothing beats the unloaded ideal).
+	for _, b := range res.FCT.Binned(stats.DefaultBins()) {
+		if b.Flows > 0 && b.MeanNormFCT < 0.999 {
+			t.Fatalf("bin %s mean norm FCT %.3f < 1", b.Label(), b.MeanNormFCT)
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := New(scaled(SchedBMW, 254, 0.9)).Run()
+	b := New(scaled(SchedBMW, 254, 0.9)).Run()
+	if a.Events != b.Events || a.SimEndNs != b.SimEndNs || a.Completed != b.Completed {
+		t.Fatalf("same seed, different runs: %+v vs %+v", a, b)
+	}
+	c := New(scaled(SchedBMW, 254, 0.9))
+	c2 := scaled(SchedBMW, 254, 0.9)
+	c2.Seed = 43
+	d := New(c2).Run()
+	_ = c
+	if a.Events == d.Events && a.SimEndNs == d.SimEndNs {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+// TestLowLoadNearIdeal: at 30% load with few flows, normalised FCTs
+// stay near 1 — the simulator's latency accounting is calibrated.
+func TestLowLoadNearIdeal(t *testing.T) {
+	cfg := scaled(SchedBMW, 254, 0.3)
+	cfg.NumFlows = 100
+	res := New(cfg).Run()
+	if res.Completed != 100 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+	small := res.FCT.Binned(stats.DefaultBins())[0]
+	if small.Flows == 0 || small.MeanNormFCT > 1.5 {
+		t.Fatalf("small flows at low load: %+v", small)
+	}
+	if overall := res.FCT.OverallMeanNorm(); overall > 3 {
+		t.Fatalf("overall mean norm FCT %.2f at 30%% load", overall)
+	}
+}
+
+// TestFigure10Mechanism is the scaled-down Figure 10: under sustained
+// overload the number of concurrently backlogged flows exceeds the
+// small scheduler's flow capacity but not the BMW-Tree's, so only the
+// small scheduler drops packets and its flows suffer timeouts; the
+// BMW-backed scheduler yields the lower overall normalised FCT.
+func TestFigure10Mechanism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second packet simulation")
+	}
+	bmw := New(scaled(SchedBMW, 254, 1.1)).Run()
+	pifo := New(scaled(SchedPIFO, 16, 1.1)).Run()
+
+	if bmw.BlockStats.DropsScheduler != 0 {
+		t.Fatalf("BMW (capacity 254) dropped %d new-flow packets", bmw.BlockStats.DropsScheduler)
+	}
+	if pifo.BlockStats.DropsScheduler == 0 {
+		t.Fatal("small PIFO (capacity 16) never hit its flow capacity; mechanism untested")
+	}
+	if pifo.Retransmits == 0 {
+		t.Fatal("PIFO drops caused no retransmissions")
+	}
+	bn := bmw.FCT.OverallMeanNorm()
+	pn := pifo.FCT.OverallMeanNorm()
+	if bn >= pn {
+		t.Fatalf("BMW norm FCT %.2f not better than PIFO %.2f", bn, pn)
+	}
+	t.Logf("overall mean normalised FCT: BMW %.2f, PIFO %.2f (%.0f%% reduction); PIFO loss %.4f",
+		bn, pn, 100*(1-bn/pn), pifo.LossRate)
+}
+
+func TestIdealFCT(t *testing.T) {
+	s := New(scaled(SchedBMW, 254, 0.9))
+	// A single MSS flow: one full segment -> RTT + serialisation.
+	got := s.idealFCTNs(1460)
+	want := s.baseRTTNs() + uint64(1500)*8e9/s.cfg.LinkBps
+	if got != want {
+		t.Fatalf("idealFCT = %d, want %d", got, want)
+	}
+	// Larger flows scale with wire bytes.
+	if s.idealFCTNs(1_000_000) <= s.idealFCTNs(10_000) {
+		t.Fatal("ideal FCT not increasing in size")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	cfg := scaled(SchedBMW, 254, 0.9)
+	cfg.BMWLevels = 3 // capacity 14 < SchedCap 254
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undersized BMW shape did not panic")
+		}
+	}()
+	New(cfg)
+}
+
+func TestUnlimitedScheduler(t *testing.T) {
+	cfg := scaled(SchedUnlimited, 0, 0.5)
+	cfg.NumFlows = 50
+	res := New(cfg).Run()
+	if res.Completed != 50 || res.LossRate != 0 {
+		t.Fatalf("unlimited scheduler: %+v", res)
+	}
+}
+
+// TestProgrammability_SRPTvsFCFS swaps the rank function — the whole
+// point of the PIFO model — and verifies the textbook outcome: under
+// load, SRPT ranks cut small-flow completion times relative to FCFS,
+// at the cost of the largest flows.
+func TestProgrammability_SRPTvsFCFS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second packet simulation")
+	}
+	base := scaled(SchedBMW, 254, 0.9)
+	base.NumFlows = 400
+
+	fcfs := base
+	fcfs.Rank = RankFCFS
+	srpt := base
+	srpt.Rank = RankSRPT
+
+	rf := New(fcfs).Run()
+	rs := New(srpt).Run()
+	if rf.Completed != 400 || rs.Completed != 400 {
+		t.Fatalf("completed %d / %d", rf.Completed, rs.Completed)
+	}
+
+	binsF := rf.FCT.Binned(stats.DefaultBins())
+	binsS := rs.FCT.Binned(stats.DefaultBins())
+	// Small flows (first two bins) must improve under SRPT.
+	for i := 0; i < 2; i++ {
+		if binsS[i].Flows == 0 {
+			continue
+		}
+		if binsS[i].MeanNormFCT >= binsF[i].MeanNormFCT {
+			t.Errorf("bin %s: SRPT %.2f not better than FCFS %.2f",
+				binsS[i].Label(), binsS[i].MeanNormFCT, binsF[i].MeanNormFCT)
+		}
+	}
+	t.Logf("small-flow mean norm FCT: SRPT %.2f vs FCFS %.2f",
+		binsS[1].MeanNormFCT, binsF[1].MeanNormFCT)
+	// The largest flows pay for it.
+	last := len(binsS) - 1
+	for last > 0 && binsS[last].Flows == 0 {
+		last--
+	}
+	if binsS[last].MeanNormFCT <= binsF[last].MeanNormFCT {
+		t.Logf("note: largest bin SRPT %.2f vs FCFS %.2f (penalty not visible at this load)",
+			binsS[last].MeanNormFCT, binsF[last].MeanNormFCT)
+	}
+}
+
+// TestSTFQIsDefaultRank guards the Figure 10 configuration.
+func TestSTFQIsDefaultRank(t *testing.T) {
+	if DefaultConfig().Rank != RankSTFQ {
+		t.Fatal("default rank function must be STFQ (the paper's Figure 10 setting)")
+	}
+}
+
+// TestECNDCTCPAvoidsLossAtShallowBuffers is the data-center extension
+// experiment: both runs get the same shallow switch buffer (a fraction
+// of the path BDP). Loss-driven NewReno repeatedly overflows it and
+// pays in retransmissions and timeouts; DCTCP sources react to ECN
+// marks before the buffer fills, complete without a single drop, and
+// finish flows faster across the board.
+func TestECNDCTCPAvoidsLossAtShallowBuffers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second packet simulation")
+	}
+	base := scaled(SchedBMW, 254, 0.9)
+	base.NumFlows = 300
+	base.StoreLimit = 400 // ~0.4 x BDP: shallow shared buffer
+
+	reno := base
+
+	dctcp := base
+	dctcp.ECNThresholdPkts = 100 // mark well before the buffer fills
+	dctcp.TCP.DCTCP = true
+
+	rr := New(reno).Run()
+	rd := New(dctcp).Run()
+	if rr.Completed != 300 || rd.Completed != 300 {
+		t.Fatalf("completed %d / %d", rr.Completed, rd.Completed)
+	}
+	if rr.BlockStats.DropsStore == 0 {
+		t.Fatal("NewReno never overflowed the shallow buffer; regime wrong")
+	}
+	// At this 12 ms RTT the marks take a full round trip to bite, so
+	// slow-start overshoot can still clip the buffer occasionally —
+	// but drops must fall by an order of magnitude.
+	if rd.BlockStats.DropsStore*10 >= rr.BlockStats.DropsStore {
+		t.Fatalf("DCTCP drops %d not <= 10%% of NewReno's %d",
+			rd.BlockStats.DropsStore, rr.BlockStats.DropsStore)
+	}
+	nr, nd := rr.FCT.OverallMeanNorm(), rd.FCT.OverallMeanNorm()
+	if nd >= nr {
+		t.Fatalf("DCTCP norm FCT %.2f not below NewReno %.2f", nd, nr)
+	}
+	t.Logf("shallow buffer: NewReno norm FCT %.2f (%d buffer drops, %d timeouts) vs DCTCP %.2f (%d drops)",
+		nr, rr.BlockStats.DropsStore, rr.Timeouts, nd, rd.BlockStats.DropsStore)
+}
+
+// TestIncast runs the classic synchronized-burst workload: 24 servers
+// each answer with 100 KB at t=0 through the BMW-backed bottleneck.
+// Everything completes, and the queue's high-water mark reflects the
+// burst; with ECN+DCTCP the peak shrinks substantially.
+func TestIncast(t *testing.T) {
+	base := scaled(SchedBMW, 254, 0.9)
+	base.CustomFlows = trafficgenIncast(24, 100<<10)
+
+	plain := New(base).Run()
+	if plain.Completed != 24 {
+		t.Fatalf("completed %d/24", plain.Completed)
+	}
+	if plain.PeakQueuePkts < 100 {
+		t.Fatalf("incast peak queue = %d packets, expected a deep burst", plain.PeakQueuePkts)
+	}
+
+	ecn := base
+	ecn.ECNThresholdPkts = 60
+	ecn.TCP.DCTCP = true
+	marked := New(ecn).Run()
+	if marked.Completed != 24 {
+		t.Fatalf("completed %d/24 with ECN", marked.Completed)
+	}
+	if marked.PeakQueuePkts >= plain.PeakQueuePkts {
+		t.Fatalf("ECN peak %d not below plain %d", marked.PeakQueuePkts, plain.PeakQueuePkts)
+	}
+	t.Logf("incast peak queue: NewReno %d pkts vs DCTCP+ECN %d pkts",
+		plain.PeakQueuePkts, marked.PeakQueuePkts)
+}
+
+// trafficgenIncast is a small indirection so the test reads cleanly.
+func trafficgenIncast(servers int, bytes uint64) []trafficgen.Flow {
+	return trafficgen.GenerateIncast(servers, bytes, 0)
+}

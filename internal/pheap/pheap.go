@@ -1,0 +1,227 @@
+// Package pheap implements the pHeap priority queue of Bhagwan & Lin,
+// "Fast and scalable priority queue architecture for high-speed network
+// switches" (INFOCOM 2000) — one of the two heap-variant baselines of
+// Table 1 in the BMW-Tree paper.
+//
+// pHeap is a binary tree satisfying the heap property whose insert
+// steers new elements towards the leftmost sub-tree with free capacity:
+// each node records how many free slots remain below-left and
+// below-right, inserts go left whenever the left sub-tree has room, and
+// the displaced (larger) value follows the same rule. This makes insert
+// pipelineable, but — as the BMW-Tree paper observes — it is NOT
+// balanced: a drained-and-refilled queue concentrates elements in the
+// left spine, so the left sub-tree can be much deeper than the right
+// one for the same occupancy. The paper's Table 1 scores it
+// pipeline-friendly but neither balanced nor autonomous (a node must
+// look up its left child's capacity before steering).
+//
+// Each tree position holds one element (unlike the M-element BMW
+// nodes). A tree of depth D holds 2^D - 1 elements.
+package pheap
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+type entry struct {
+	val  uint64
+	meta uint64
+	used bool
+	free int // free slots in the sub-tree rooted here (incl. this slot)
+}
+
+// Heap is a pHeap with fixed depth.
+type Heap struct {
+	depth int
+	tree  []entry // 1-based complete binary tree
+	size  int
+}
+
+// New creates a pHeap of the given depth (levels); capacity is
+// 2^depth - 1.
+func New(depth int) *Heap {
+	if depth < 1 || depth > 30 {
+		panic(fmt.Sprintf("pheap: invalid depth %d", depth))
+	}
+	cap := (1 << depth) - 1
+	h := &Heap{depth: depth, tree: make([]entry, cap+1)}
+	for i := 1; i <= cap; i++ {
+		h.tree[i].free = h.subtreeCap(i)
+	}
+	return h
+}
+
+// subtreeCap returns the capacity of the sub-tree rooted at 1-based
+// index i.
+func (h *Heap) subtreeCap(i int) int {
+	// Depth of node i is floor(log2(i)) + 1.
+	d := 0
+	for v := i; v > 0; v >>= 1 {
+		d++
+	}
+	return (1 << (h.depth - d + 1)) - 1
+}
+
+// Len returns the stored element count; Cap the capacity; Depth the
+// number of levels.
+func (h *Heap) Len() int   { return h.size }
+func (h *Heap) Cap() int   { return len(h.tree) - 1 }
+func (h *Heap) Depth() int { return h.depth }
+
+// Push inserts an element, steering left-first by free capacity.
+func (h *Heap) Push(e core.Element) error {
+	if h.size >= h.Cap() {
+		return core.ErrFull
+	}
+	val, meta := e.Value, e.Meta
+	i := 1
+	for {
+		n := &h.tree[i]
+		n.free--
+		if !n.used {
+			n.val, n.meta, n.used = val, meta, true
+			break
+		}
+		if val < n.val {
+			val, n.val = n.val, val
+			meta, n.meta = n.meta, meta
+		}
+		// Left-first steering: pHeap checks the left child's capacity and
+		// goes left whenever it has room.
+		l, r := 2*i, 2*i+1
+		if l > h.Cap() {
+			panic("pheap: insert descended past the last level")
+		}
+		if h.tree[l].free > 0 {
+			i = l
+		} else if r <= h.Cap() && h.tree[r].free > 0 {
+			i = r
+		} else {
+			panic("pheap: no free sub-tree despite free counter")
+		}
+	}
+	h.size++
+	return nil
+}
+
+// Pop removes and returns the minimum (the root), refilling the vacancy
+// by lifting the smaller child recursively (top-down, pipelineable).
+func (h *Heap) Pop() (core.Element, error) {
+	if h.size == 0 {
+		return core.Element{}, core.ErrEmpty
+	}
+	out := core.Element{Value: h.tree[1].val, Meta: h.tree[1].meta}
+	i := 1
+	for {
+		n := &h.tree[i]
+		n.free++
+		l, r := 2*i, 2*i+1
+		// pHeap's pop compares a node's two children to pick the lift.
+		best := 0
+		if l <= h.Cap() && h.tree[l].used {
+			best = l
+		}
+		if r <= h.Cap() && h.tree[r].used && (best == 0 || h.tree[r].val < h.tree[best].val) {
+			best = r
+		}
+		if best == 0 {
+			n.used = false
+			break
+		}
+		n.val, n.meta = h.tree[best].val, h.tree[best].meta
+		i = best
+	}
+	h.size--
+	return out, nil
+}
+
+// Peek returns the minimum without removing it.
+func (h *Heap) Peek() (core.Element, error) {
+	if h.size == 0 {
+		return core.Element{}, core.ErrEmpty
+	}
+	return core.Element{Value: h.tree[1].val, Meta: h.tree[1].meta}, nil
+}
+
+// MaxDepthUsed returns the deepest level holding an element (1-based),
+// the imbalance metric compared against BMW-Tree in the Table 1
+// experiment: for identical occupancy pHeap's left-first steering grows
+// deeper than an insertion-balanced structure.
+func (h *Heap) MaxDepthUsed() int {
+	deepest := 0
+	for i := 1; i <= h.Cap(); i++ {
+		if h.tree[i].used {
+			d := 0
+			for v := i; v > 0; v >>= 1 {
+				d++
+			}
+			if d > deepest {
+				deepest = d
+			}
+		}
+	}
+	return deepest
+}
+
+// SideCounts returns the number of elements stored in the root's left
+// and right sub-trees — the imbalance witness of Table 1.
+func (h *Heap) SideCounts() (left, right int) {
+	if h.Cap() < 3 {
+		if h.tree[1].used {
+			return 0, 0
+		}
+		return 0, 0
+	}
+	left = h.subtreeCap(2) - h.tree[2].free
+	right = h.subtreeCap(3) - h.tree[3].free
+	return left, right
+}
+
+// CheckInvariants verifies the heap property and free counters.
+func (h *Heap) CheckInvariants() error {
+	total, err := h.check(1)
+	if err != nil {
+		return err
+	}
+	if total != h.size {
+		return fmt.Errorf("pheap: tree holds %d elements, size is %d", total, h.size)
+	}
+	return nil
+}
+
+func (h *Heap) check(i int) (int, error) {
+	if i > h.Cap() {
+		return 0, nil
+	}
+	n := h.tree[i]
+	count := 0
+	if n.used {
+		count = 1
+		for _, c := range []int{2 * i, 2*i + 1} {
+			if c <= h.Cap() && h.tree[c].used && h.tree[c].val < n.val {
+				return 0, fmt.Errorf("pheap: heap violation at %d vs child %d", i, c)
+			}
+		}
+	} else {
+		for _, c := range []int{2 * i, 2*i + 1} {
+			if c <= h.Cap() && h.tree[c].used {
+				return 0, fmt.Errorf("pheap: orphan below empty node %d", i)
+			}
+		}
+	}
+	lc, err := h.check(2 * i)
+	if err != nil {
+		return 0, err
+	}
+	rc, err := h.check(2*i + 1)
+	if err != nil {
+		return 0, err
+	}
+	count += lc + rc
+	if got := h.subtreeCap(i) - n.free; got != count {
+		return 0, fmt.Errorf("pheap: free counter at %d implies %d elements, found %d", i, got, count)
+	}
+	return count, nil
+}

@@ -1,0 +1,152 @@
+package pheap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/refpq"
+)
+
+func TestBasic(t *testing.T) {
+	h := New(4) // capacity 15
+	if h.Cap() != 15 {
+		t.Fatalf("Cap = %d", h.Cap())
+	}
+	for _, v := range []uint64{8, 3, 5, 1, 9} {
+		if err := h.Push(core.Element{Value: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 3, 5, 8, 9}
+	for _, w := range want {
+		e, err := h.Pop()
+		if err != nil || e.Value != w {
+			t.Fatalf("pop = %v,%v want %d", e, err, w)
+		}
+		if err := h.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.Pop(); err != core.ErrEmpty {
+		t.Fatalf("pop empty = %v", err)
+	}
+}
+
+func TestFullError(t *testing.T) {
+	h := New(2) // capacity 3
+	for i := 0; i < 3; i++ {
+		if err := h.Push(core.Element{Value: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Push(core.Element{Value: 9}); err != core.ErrFull {
+		t.Fatalf("push full = %v", err)
+	}
+}
+
+// TestLeftSkew reproduces the Table 1 observation: pHeap inserts
+// left-first, so a partially filled queue concentrates in the left
+// sub-tree and grows deep, unlike the insertion-balanced BMW-Tree.
+func TestLeftSkew(t *testing.T) {
+	h := New(6) // capacity 63
+	// Fill half the capacity.
+	for i := 0; i < 31; i++ {
+		if err := h.Push(core.Element{Value: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	left, right := h.SideCounts()
+	if left <= right {
+		t.Fatalf("expected left skew: left %d, right %d", left, right)
+	}
+	// 31 elements fit in depth 5 of a balanced structure; pHeap's
+	// left-first steering reaches the full depth 6 much earlier.
+	if h.MaxDepthUsed() != 6 {
+		t.Fatalf("depth used = %d, want full depth 6 (left-spine growth)", h.MaxDepthUsed())
+	}
+}
+
+func TestRandomAgainstReference(t *testing.T) {
+	h := New(7)
+	ref := refpq.New()
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 20000; i++ {
+		if ref.Len() == 0 || (rng.Intn(2) == 0 && h.Len() < h.Cap()) {
+			e := core.Element{Value: uint64(rng.Intn(100)), Meta: uint64(i)}
+			if err := h.Push(e); err != nil {
+				t.Fatal(err)
+			}
+			ref.Push(refpq.Entry{Value: e.Value, Meta: e.Meta})
+		} else {
+			e, err := h.Pop()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Value != ref.MinValue() {
+				t.Fatalf("pop %d, ref min %d", e.Value, ref.MinValue())
+			}
+			if !ref.RemoveExact(refpq.Entry{Value: e.Value, Meta: e.Meta}) {
+				t.Fatal("popped element not in reference")
+			}
+		}
+		if i%371 == 0 {
+			if err := h.CheckInvariants(); err != nil {
+				t.Fatalf("after op %d: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestQuickSortedDrain(t *testing.T) {
+	prop := func(vals []uint16, dRaw uint8) bool {
+		d := 2 + int(dRaw)%8
+		h := New(d)
+		if len(vals) > h.Cap() {
+			vals = vals[:h.Cap()]
+		}
+		for _, v := range vals {
+			if err := h.Push(core.Element{Value: uint64(v)}); err != nil {
+				return false
+			}
+		}
+		if err := h.CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		var prev uint64
+		for i := range vals {
+			e, err := h.Pop()
+			if err != nil {
+				return false
+			}
+			if i > 0 && e.Value < prev {
+				return false
+			}
+			prev = e.Value
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillToCapacity(t *testing.T) {
+	h := New(5)
+	for i := 0; i < h.Cap(); i++ {
+		if err := h.Push(core.Element{Value: uint64(i % 13)}); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != h.Cap() {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}

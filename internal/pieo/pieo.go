@@ -1,0 +1,115 @@
+// Package pieo implements the PIEO (Push-In-Extract-Out) scheduler
+// primitive of Shrivastav, "Fast, scalable, and programmable packet
+// scheduler in hardware" (SIGCOMM 2019), which Section 7.1 of the
+// BMW-Tree paper surveys as the main alternative abstraction to PIFO.
+//
+// PIEO generalises PIFO: elements carry a rank and an eligibility
+// time, and dequeue extracts the smallest-ranked *eligible* element
+// ("smallest eligible packet first"), which expresses
+// non-work-conserving algorithms without external gating. The hardware
+// keeps a rank-sorted list and evaluates eligibility in parallel; this
+// software model keeps the same ordered list with binary-search
+// insertion and returns exactly what the hardware would.
+package pieo
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Entry is one PIEO element: rank orders extraction, Eligible is the
+// earliest time (arbitrary monotone units) the element may leave.
+type Entry struct {
+	Rank     uint64
+	Eligible uint64
+	Meta     uint64
+}
+
+// List is a PIEO with fixed capacity.
+type List struct {
+	entries []Entry // sorted by Rank, FIFO among equal ranks
+	cap     int
+}
+
+// New creates a PIEO with the given capacity.
+func New(capacity int) *List {
+	if capacity < 1 {
+		panic("pieo: capacity must be positive")
+	}
+	return &List{cap: capacity}
+}
+
+// Len returns the stored element count; Cap the capacity.
+func (l *List) Len() int { return len(l.entries) }
+func (l *List) Cap() int { return l.cap }
+
+// Push inserts in rank order (after equal ranks).
+func (l *List) Push(e Entry) error {
+	if len(l.entries) >= l.cap {
+		return core.ErrFull
+	}
+	i := sort.Search(len(l.entries), func(i int) bool { return l.entries[i].Rank > e.Rank })
+	l.entries = append(l.entries, Entry{})
+	copy(l.entries[i+1:], l.entries[i:])
+	l.entries[i] = e
+	return nil
+}
+
+// ExtractEligible removes and returns the smallest-ranked element
+// whose eligibility time is <= now. ok is false when nothing is
+// eligible (the defining non-work-conserving behaviour).
+func (l *List) ExtractEligible(now uint64) (Entry, bool) {
+	for i, e := range l.entries {
+		if e.Eligible <= now {
+			l.remove(i)
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// ExtractWhere removes and returns the smallest-ranked element
+// matching an arbitrary predicate — PIEO's "dequeue anywhere"
+// generalisation.
+func (l *List) ExtractWhere(pred func(Entry) bool) (Entry, bool) {
+	for i, e := range l.entries {
+		if pred(e) {
+			l.remove(i)
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// PeekEligible returns the smallest-ranked eligible element without
+// removing it.
+func (l *List) PeekEligible(now uint64) (Entry, bool) {
+	for _, e := range l.entries {
+		if e.Eligible <= now {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// NextEligibleAt returns the earliest time at which some element will
+// become eligible, and ok=false on an empty list. A shaping scheduler
+// uses it to set its wake-up timer.
+func (l *List) NextEligibleAt() (uint64, bool) {
+	if len(l.entries) == 0 {
+		return 0, false
+	}
+	min := l.entries[0].Eligible
+	for _, e := range l.entries[1:] {
+		if e.Eligible < min {
+			min = e.Eligible
+		}
+	}
+	return min, true
+}
+
+func (l *List) remove(i int) {
+	copy(l.entries[i:], l.entries[i+1:])
+	l.entries = l.entries[:len(l.entries)-1]
+}

@@ -1,0 +1,159 @@
+package pieo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSmallestEligibleFirst(t *testing.T) {
+	l := New(8)
+	// Smallest rank not yet eligible; a larger rank is.
+	l.Push(Entry{Rank: 1, Eligible: 100, Meta: 1})
+	l.Push(Entry{Rank: 5, Eligible: 0, Meta: 2})
+	l.Push(Entry{Rank: 9, Eligible: 0, Meta: 3})
+
+	e, ok := l.ExtractEligible(50)
+	if !ok || e.Meta != 2 {
+		t.Fatalf("extract at t=50 = %v,%v; want rank-5 element (rank-1 ineligible)", e, ok)
+	}
+	// Once time passes, the smallest rank wins again.
+	e, ok = l.ExtractEligible(100)
+	if !ok || e.Meta != 1 {
+		t.Fatalf("extract at t=100 = %v,%v; want rank-1 element", e, ok)
+	}
+}
+
+func TestNothingEligible(t *testing.T) {
+	l := New(4)
+	l.Push(Entry{Rank: 1, Eligible: 1000})
+	if _, ok := l.ExtractEligible(10); ok {
+		t.Fatal("extracted an ineligible element")
+	}
+	if _, ok := l.PeekEligible(10); ok {
+		t.Fatal("peeked an ineligible element")
+	}
+	at, ok := l.NextEligibleAt()
+	if !ok || at != 1000 {
+		t.Fatalf("NextEligibleAt = %d,%v", at, ok)
+	}
+	if e, ok := l.ExtractEligible(1000); !ok || e.Rank != 1 {
+		t.Fatal("element not extractable at its eligibility time")
+	}
+	if _, ok := l.NextEligibleAt(); ok {
+		t.Fatal("NextEligibleAt on empty")
+	}
+}
+
+func TestFIFOAmongEqualRanks(t *testing.T) {
+	l := New(8)
+	for i := uint64(0); i < 4; i++ {
+		l.Push(Entry{Rank: 7, Eligible: 0, Meta: i})
+	}
+	for i := uint64(0); i < 4; i++ {
+		e, ok := l.ExtractEligible(0)
+		if !ok || e.Meta != i {
+			t.Fatalf("tie order broken at %d: %v", i, e)
+		}
+	}
+}
+
+func TestExtractWhere(t *testing.T) {
+	l := New(8)
+	l.Push(Entry{Rank: 1, Meta: 10})
+	l.Push(Entry{Rank: 2, Meta: 20})
+	l.Push(Entry{Rank: 3, Meta: 10})
+	// Dequeue anywhere: smallest rank with Meta == 20.
+	e, ok := l.ExtractWhere(func(e Entry) bool { return e.Meta == 20 })
+	if !ok || e.Rank != 2 {
+		t.Fatalf("ExtractWhere = %v,%v", e, ok)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if _, ok := l.ExtractWhere(func(e Entry) bool { return e.Meta == 99 }); ok {
+		t.Fatal("matched nothing but extracted")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	l := New(2)
+	l.Push(Entry{Rank: 1})
+	l.Push(Entry{Rank: 2})
+	if err := l.Push(Entry{Rank: 3}); err != core.ErrFull {
+		t.Fatalf("push full = %v", err)
+	}
+}
+
+// TestShapingSchedule uses PIEO as a shaper: eligibility times form a
+// token-bucket schedule and extraction at increasing wall times
+// releases packets exactly at their spaced departure times.
+func TestShapingSchedule(t *testing.T) {
+	l := New(16)
+	// 5 packets eligible at t = 0, 10, 20, 30, 40; ranks follow times.
+	for i := uint64(0); i < 5; i++ {
+		l.Push(Entry{Rank: i, Eligible: i * 10, Meta: i})
+	}
+	released := 0
+	for now := uint64(0); now < 50; now++ {
+		for {
+			e, ok := l.ExtractEligible(now)
+			if !ok {
+				break
+			}
+			if e.Eligible > now {
+				t.Fatalf("released early: %v at %d", e, now)
+			}
+			if now != e.Eligible {
+				t.Fatalf("packet %d released at %d, want %d", e.Meta, now, e.Eligible)
+			}
+			released++
+		}
+	}
+	if released != 5 {
+		t.Fatalf("released %d", released)
+	}
+}
+
+// TestRandomAgainstScan cross-checks ExtractEligible against a naive
+// full-scan oracle.
+func TestRandomAgainstScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l := New(128)
+	var mirror []Entry
+	for step := 0; step < 5000; step++ {
+		if len(mirror) == 0 || (rng.Intn(2) == 0 && len(mirror) < 128) {
+			e := Entry{Rank: uint64(rng.Intn(100)), Eligible: uint64(rng.Intn(50)), Meta: uint64(step)}
+			if err := l.Push(e); err != nil {
+				t.Fatal(err)
+			}
+			mirror = append(mirror, e)
+		} else {
+			now := uint64(rng.Intn(60))
+			got, ok := l.ExtractEligible(now)
+			// Oracle: smallest rank among eligible; earliest push wins ties.
+			best := -1
+			for i, e := range mirror {
+				if e.Eligible <= now && (best < 0 || e.Rank < mirror[best].Rank) {
+					best = i
+				}
+			}
+			if (best >= 0) != ok {
+				t.Fatalf("step %d: eligibility disagreement (oracle %v, got %v)", step, best >= 0, ok)
+			}
+			if ok {
+				if got.Rank != mirror[best].Rank {
+					t.Fatalf("step %d: rank %d, oracle %d", step, got.Rank, mirror[best].Rank)
+				}
+				// Remove the extracted element from the mirror.
+				for i, e := range mirror {
+					if e == got {
+						mirror = append(mirror[:i], mirror[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package pifo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/refpq"
+)
+
+func TestBasicOrder(t *testing.T) {
+	p := New(8)
+	for _, v := range []uint64{5, 1, 9, 3, 7} {
+		if err := p.Push(core.Element{Value: v, Meta: v * 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []uint64{1, 3, 5, 7, 9}
+	for _, w := range want {
+		e, err := p.Pop()
+		if err != nil || e.Value != w {
+			t.Fatalf("pop = %v,%v want %d", e, err, w)
+		}
+	}
+	if _, err := p.Pop(); err != core.ErrEmpty {
+		t.Fatalf("pop empty = %v", err)
+	}
+}
+
+// TestFIFOAmongTies verifies the shift-register insertion rule: equal
+// ranks dequeue in arrival order.
+func TestFIFOAmongTies(t *testing.T) {
+	p := New(16)
+	for i := uint64(0); i < 5; i++ {
+		p.Push(core.Element{Value: 7, Meta: i})
+	}
+	p.Push(core.Element{Value: 3, Meta: 100})
+	p.Push(core.Element{Value: 9, Meta: 200})
+	e, _ := p.Pop()
+	if e.Value != 3 {
+		t.Fatalf("head = %d, want 3", e.Value)
+	}
+	for i := uint64(0); i < 5; i++ {
+		e, _ := p.Pop()
+		if e.Value != 7 || e.Meta != i {
+			t.Fatalf("tie %d popped %+v, want meta %d", i, e, i)
+		}
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	p := New(4)
+	for i := 0; i < 4; i++ {
+		if p.AlmostFull() {
+			t.Fatal("full too early")
+		}
+		if err := p.Push(core.Element{Value: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.AlmostFull() {
+		t.Fatal("not full at capacity")
+	}
+	if err := p.Push(core.Element{Value: 0}); err != core.ErrFull {
+		t.Fatalf("push full = %v", err)
+	}
+}
+
+func TestOneOpPerCycle(t *testing.T) {
+	p := New(64)
+	ops := 0
+	for i := 0; i < 20; i++ {
+		if _, err := p.Tick(hw.PushOp(uint64(i%5), uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+		ops++
+		if _, err := p.Tick(hw.PopOp()); err != nil {
+			t.Fatal(err)
+		}
+		ops++
+	}
+	if p.Cycle() != uint64(ops) {
+		t.Fatalf("cycles = %d, want %d (one op per cycle, no idle restrictions)", p.Cycle(), ops)
+	}
+	pushes, pops := p.Stats()
+	if pushes != 20 || pops != 20 {
+		t.Fatalf("stats = %d,%d", pushes, pops)
+	}
+}
+
+func TestRandomAgainstReference(t *testing.T) {
+	p := New(512)
+	ref := refpq.New()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		if ref.Len() == 0 || (rng.Intn(2) == 0 && !p.AlmostFull()) {
+			e := core.Element{Value: uint64(rng.Intn(128)), Meta: uint64(i)}
+			if err := p.Push(e); err != nil {
+				t.Fatal(err)
+			}
+			ref.Push(refpq.Entry{Value: e.Value, Meta: e.Meta})
+		} else {
+			e, err := p.Pop()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Value != ref.MinValue() {
+				t.Fatalf("pop %d, ref min %d", e.Value, ref.MinValue())
+			}
+			if !ref.RemoveExact(refpq.Entry{Value: e.Value, Meta: e.Meta}) {
+				t.Fatalf("popped element not in reference")
+			}
+		}
+	}
+}
+
+func TestQuickSortedDrain(t *testing.T) {
+	prop := func(vals []uint16) bool {
+		p := New(len(vals) + 1)
+		for _, v := range vals {
+			if err := p.Push(core.Element{Value: uint64(v)}); err != nil {
+				return false
+			}
+		}
+		var prev uint64
+		for i := range vals {
+			e, err := p.Pop()
+			if err != nil {
+				return false
+			}
+			if i > 0 && e.Value < prev {
+				return false
+			}
+			prev = e.Value
+		}
+		return p.Len() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(8)
+	p.Push(core.Element{Value: 1})
+	p.Reset()
+	if p.Len() != 0 {
+		t.Fatal("Reset did not empty")
+	}
+	if _, err := p.Peek(); err != core.ErrEmpty {
+		t.Fatal("peek after reset")
+	}
+}
+
+// TestTickPushPop verifies the dual-port behaviour of the original
+// PIFO: one enqueue and one dequeue complete in a single cycle, so the
+// scheduling rate equals the clock rate.
+func TestTickPushPop(t *testing.T) {
+	p := New(16)
+	p.Push(core.Element{Value: 5, Meta: 1})
+	c := p.Cycle()
+	e, err := p.TickPushPop(hw.PushOp(9, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Value != 5 {
+		t.Fatalf("popped %d, want 5 (the pre-existing minimum)", e.Value)
+	}
+	if p.Cycle() != c+1 {
+		t.Fatal("push+pop did not complete in one cycle")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if _, err := p.TickPushPop(hw.PopOp()); err == nil {
+		t.Fatal("TickPushPop must require a push operand")
+	}
+}

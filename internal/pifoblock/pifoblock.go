@@ -1,0 +1,210 @@
+// Package pifoblock assembles the PIFO block of Figure 1 in the paper:
+// a rank store buffering the non-head packets of each flow in FIFO
+// order, in front of a flow scheduler (any priority queue from this
+// module) that holds exactly one element — the head packet — per
+// non-empty flow.
+//
+// Because packets of the same flow leave in FIFO order, only flow heads
+// contend (Section 2.2): the number of flows a PIFO block supports
+// equals the flow scheduler's element capacity. When a packet of a new
+// flow arrives and the flow scheduler is full, the packet is dropped —
+// the mechanism behind the original PIFO's 0.5%-4% loss in the paper's
+// packet-level evaluation (Section 6.4).
+package pifoblock
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// FlowScheduler is the priority-queue contract of Section 2.3: push an
+// element by rank, pop the minimum. All queue implementations in this
+// module (core.Tree, pifo.PIFO, pheap.Heap, pipeheap.Heap) satisfy it.
+type FlowScheduler interface {
+	Push(core.Element) error
+	Pop() (core.Element, error)
+	Peek() (core.Element, error)
+	Len() int
+	Cap() int
+}
+
+// Errors reported by the block.
+var (
+	// ErrSchedulerFull: a new flow arrived while the flow scheduler was
+	// at capacity; its packet is dropped.
+	ErrSchedulerFull = errors.New("pifoblock: flow scheduler full, packet dropped")
+	// ErrStoreFull: the rank store reached its buffer limit.
+	ErrStoreFull = errors.New("pifoblock: rank store full, packet dropped")
+	// ErrEmpty: dequeue on an empty block.
+	ErrEmpty = errors.New("pifoblock: empty")
+	// ErrNotEligible: the head packet's rank is in the future
+	// (non-work-conserving dequeue).
+	ErrNotEligible = errors.New("pifoblock: head not eligible yet")
+)
+
+// entry is one buffered packet: its precomputed rank, ranker metadata,
+// and the caller's opaque payload.
+type entry struct {
+	rank    uint64
+	pkt     sched.Packet
+	payload any
+}
+
+// Stats counts the block's activity.
+type Stats struct {
+	Enqueued       uint64
+	Dequeued       uint64
+	DropsScheduler uint64 // new flow, scheduler full
+	DropsStore     uint64 // rank store buffer full
+}
+
+// Block is a PIFO block: rank store + flow scheduler + rank function.
+type Block struct {
+	flowSched FlowScheduler
+	ranker    sched.Ranker
+
+	// head holds the packet currently represented in the flow
+	// scheduler for each active flow; queues holds the flow's non-head
+	// packets in FIFO order (the rank store).
+	head   map[uint32]entry
+	queues map[uint32][]entry
+
+	// StoreLimit bounds the total number of packets in the rank store
+	// (0 = unlimited). It models the SRAM buffer of Figure 1.
+	StoreLimit int
+	storeLen   int
+
+	stats Stats
+}
+
+// New creates a PIFO block over the given flow scheduler and ranker.
+func New(fs FlowScheduler, r sched.Ranker) *Block {
+	return &Block{
+		flowSched: fs,
+		ranker:    r,
+		head:      make(map[uint32]entry),
+		queues:    make(map[uint32][]entry),
+	}
+}
+
+// Len returns the total number of buffered packets (scheduler heads +
+// rank store).
+func (b *Block) Len() int { return b.flowSched.Len() + b.storeLen }
+
+// ActiveFlows returns the number of flows with a head packet in the
+// flow scheduler.
+func (b *Block) ActiveFlows() int { return b.flowSched.Len() }
+
+// FlowCapacity returns the maximum number of concurrent flows: the flow
+// scheduler's element capacity (Section 2.2).
+func (b *Block) FlowCapacity() int { return b.flowSched.Cap() }
+
+// Stats returns a snapshot of the block's counters.
+func (b *Block) Stats() Stats { return b.stats }
+
+// Enqueue admits a packet: the rank is computed by the rank function;
+// the packet either becomes its flow's head (entering the flow
+// scheduler) or waits in the rank store. The two push cases of Figure 1:
+// a head packet of a newly non-empty flow bypasses the rank store; a
+// non-head packet waits in the store until its flow's head departs.
+func (b *Block) Enqueue(p sched.Packet, payload any) error {
+	if _, active := b.head[p.Flow]; active {
+		if b.StoreLimit > 0 && b.storeLen >= b.StoreLimit {
+			b.stats.DropsStore++
+			return ErrStoreFull
+		}
+		rank := b.ranker.Rank(p)
+		b.queues[p.Flow] = append(b.queues[p.Flow], entry{rank: rank, pkt: p, payload: payload})
+		b.storeLen++
+		b.stats.Enqueued++
+		return nil
+	}
+	// New head: needs a slot in the flow scheduler.
+	if b.flowSched.Len() >= b.flowSched.Cap() {
+		b.stats.DropsScheduler++
+		return ErrSchedulerFull
+	}
+	rank := b.ranker.Rank(p)
+	if err := b.flowSched.Push(core.Element{Value: rank, Meta: uint64(p.Flow)}); err != nil {
+		// Cap was checked above; a failure here is a broken scheduler.
+		panic(fmt.Sprintf("pifoblock: scheduler push failed below capacity: %v", err))
+	}
+	b.head[p.Flow] = entry{rank: rank, pkt: p, payload: payload}
+	b.stats.Enqueued++
+	return nil
+}
+
+// Dequeue pops the packet with the smallest rank and promotes the
+// flow's next packet from the rank store into the flow scheduler (the
+// pop case of Figure 1).
+func (b *Block) Dequeue() (sched.Packet, any, error) {
+	return b.dequeue(0, false)
+}
+
+// DequeueEligible pops the minimum-rank packet only if its rank is <=
+// now — the non-work-conserving discipline for shaping rank functions
+// (ranks are departure times). It returns ErrNotEligible when the head
+// must still wait.
+func (b *Block) DequeueEligible(now uint64) (sched.Packet, any, error) {
+	return b.dequeue(now, true)
+}
+
+// PeekRank returns the smallest rank currently schedulable.
+func (b *Block) PeekRank() (uint64, error) {
+	e, err := b.flowSched.Peek()
+	if err != nil {
+		return 0, ErrEmpty
+	}
+	return e.Value, nil
+}
+
+func (b *Block) dequeue(now uint64, gated bool) (sched.Packet, any, error) {
+	if gated {
+		e, err := b.flowSched.Peek()
+		if err != nil {
+			return sched.Packet{}, nil, ErrEmpty
+		}
+		if e.Value > now {
+			return sched.Packet{}, nil, ErrNotEligible
+		}
+	}
+	e, err := b.flowSched.Pop()
+	if err != nil {
+		return sched.Packet{}, nil, ErrEmpty
+	}
+	flow := uint32(e.Meta)
+	head, ok := b.head[flow]
+	if !ok {
+		panic(fmt.Sprintf("pifoblock: scheduler popped unknown flow %d", flow))
+	}
+	if head.rank != e.Value {
+		panic(fmt.Sprintf("pifoblock: rank skew for flow %d: head %d, scheduler %d", flow, head.rank, e.Value))
+	}
+	b.ranker.OnDequeue(head.pkt, head.rank)
+
+	if q := b.queues[flow]; len(q) > 0 {
+		next := q[0]
+		switch {
+		case len(q) == 1:
+			delete(b.queues, flow)
+		case cap(q) > 64 && 4*len(q) < cap(q):
+			// Compact: a long-lived flow's FIFO slice would otherwise pin
+			// its high-water-mark backing array forever.
+			b.queues[flow] = append([]entry(nil), q[1:]...)
+		default:
+			b.queues[flow] = q[1:]
+		}
+		b.storeLen--
+		b.head[flow] = next
+		if err := b.flowSched.Push(core.Element{Value: next.rank, Meta: uint64(flow)}); err != nil {
+			panic(fmt.Sprintf("pifoblock: head promotion failed: %v", err))
+		}
+	} else {
+		delete(b.head, flow)
+	}
+	b.stats.Dequeued++
+	return head.pkt, head.payload, nil
+}

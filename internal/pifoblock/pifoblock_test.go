@@ -1,0 +1,252 @@
+package pifoblock
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pifo"
+	"repro/internal/sched"
+)
+
+func newBlock(capacity int) *Block {
+	return New(core.New(2, levelsFor(capacity)), sched.FCFS{})
+}
+
+// levelsFor returns the smallest 2-order tree depth with at least n
+// elements.
+func levelsFor(n int) int {
+	l := 1
+	for core.Capacity(2, l) < n {
+		l++
+	}
+	return l
+}
+
+func TestHeadOnlyInScheduler(t *testing.T) {
+	b := newBlock(16)
+	// Three packets of one flow: one head in the scheduler, two stored.
+	for i := 0; i < 3; i++ {
+		if err := b.Enqueue(sched.Packet{Flow: 1, Arrival: uint64(i)}, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.ActiveFlows() != 1 {
+		t.Fatalf("ActiveFlows = %d, want 1 (only the head contends)", b.ActiveFlows())
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	// FIFO within the flow.
+	for i := 0; i < 3; i++ {
+		_, payload, err := b.Dequeue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if payload.(int) != i {
+			t.Fatalf("dequeued payload %v, want %d (FIFO within flow)", payload, i)
+		}
+	}
+	if _, _, err := b.Dequeue(); err != ErrEmpty {
+		t.Fatalf("dequeue empty = %v", err)
+	}
+}
+
+// TestFigure1Example replays the worked example of Figure 1: p(A,0)
+// pops; the new head of flow A, p(A,2), is promoted from the rank store
+// and lands between p(B,1) and p(C,3); a packet of a previously empty
+// flow D bypasses the rank store.
+func TestFigure1Example(t *testing.T) {
+	b := New(pifo.New(16), sched.FCFS{})
+	// FCFS ranks = Arrival; use Arrival to encode the figure's ranks.
+	mustEnq := func(flow uint32, rank uint64, name string) {
+		if err := b.Enqueue(sched.Packet{Flow: flow, Arrival: rank}, name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustEnq(1, 0, "p(A,0)")
+	mustEnq(2, 1, "p(B,1)")
+	mustEnq(3, 3, "p(C,3)")
+	mustEnq(1, 2, "p(A,2)") // non-head of A: waits in the rank store
+	if b.ActiveFlows() != 3 {
+		t.Fatalf("ActiveFlows = %d, want 3", b.ActiveFlows())
+	}
+
+	_, name, err := b.Dequeue()
+	if err != nil || name.(string) != "p(A,0)" {
+		t.Fatalf("first pop = %v, %v", name, err)
+	}
+	// p(A,2) must now be in the scheduler between p(B,1) and p(C,3).
+	mustEnq(4, 4, "p(D,4)") // flow D goes empty -> non-empty: bypasses store
+	want := []string{"p(B,1)", "p(A,2)", "p(C,3)", "p(D,4)"}
+	for _, w := range want {
+		_, name, err := b.Dequeue()
+		if err != nil || name.(string) != w {
+			t.Fatalf("pop = %v, %v; want %s", name, err, w)
+		}
+	}
+}
+
+// TestSchedulerFullDropsNewFlows reproduces the loss mechanism of the
+// packet-level evaluation: when more flows are active than the flow
+// scheduler supports, packets of new flows are dropped, while packets
+// of already-active flows are still buffered.
+func TestSchedulerFullDropsNewFlows(t *testing.T) {
+	b := newBlock(6) // 2-order, 2-level tree: 6 flows max
+	for f := uint32(1); f <= 6; f++ {
+		if err := b.Enqueue(sched.Packet{Flow: f, Arrival: uint64(f)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Enqueue(sched.Packet{Flow: 7, Arrival: 100}, nil); err != ErrSchedulerFull {
+		t.Fatalf("7th flow = %v, want ErrSchedulerFull", err)
+	}
+	// An active flow's packet is still accepted into the rank store.
+	if err := b.Enqueue(sched.Packet{Flow: 3, Arrival: 200}, nil); err != nil {
+		t.Fatalf("active flow packet rejected: %v", err)
+	}
+	st := b.Stats()
+	if st.DropsScheduler != 1 {
+		t.Fatalf("DropsScheduler = %d", st.DropsScheduler)
+	}
+	// Draining one flow frees a slot for flow 7.
+	if _, _, err := b.Dequeue(); err != nil {
+		t.Fatal(err)
+	}
+	// Flow 1 had a single packet, so its slot is free now.
+	if err := b.Enqueue(sched.Packet{Flow: 7, Arrival: 300}, nil); err != nil {
+		t.Fatalf("flow 7 after drain: %v", err)
+	}
+}
+
+func TestStoreLimit(t *testing.T) {
+	b := newBlock(16)
+	b.StoreLimit = 2
+	for i := 0; i < 4; i++ {
+		err := b.Enqueue(sched.Packet{Flow: 1, Arrival: uint64(i)}, i)
+		if i < 3 && err != nil { // head + 2 stored
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if i == 3 && err != ErrStoreFull {
+			t.Fatalf("packet 3 = %v, want ErrStoreFull", err)
+		}
+	}
+	if b.Stats().DropsStore != 1 {
+		t.Fatalf("DropsStore = %d", b.Stats().DropsStore)
+	}
+}
+
+// TestSTFQOverPIFOBlock runs STFQ over the block and verifies fair
+// interleaving: two backlogged flows with equal weights alternate on
+// the wire.
+func TestSTFQOverPIFOBlock(t *testing.T) {
+	b := New(core.New(2, 4), sched.NewSTFQ(1))
+	for i := 0; i < 10; i++ {
+		if err := b.Enqueue(sched.Packet{Flow: 1, Bytes: 1000}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Enqueue(sched.Packet{Flow: 2, Bytes: 1000}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := map[uint32]int{}
+	var lastFlow uint32
+	alternations := 0
+	for i := 0; i < 20; i++ {
+		p, _, err := b.Dequeue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p.Flow]++
+		if i > 0 && p.Flow != lastFlow {
+			alternations++
+		}
+		lastFlow = p.Flow
+	}
+	if counts[1] != 10 || counts[2] != 10 {
+		t.Fatalf("unfair dequeue: %v", counts)
+	}
+	if alternations < 15 {
+		t.Fatalf("flows did not interleave: %d alternations", alternations)
+	}
+}
+
+// TestNonWorkConservingDequeue drives a token-bucket shaper through the
+// block: DequeueEligible releases packets only at their eligible times.
+func TestNonWorkConservingDequeue(t *testing.T) {
+	tb := sched.NewTokenBucket(1000, 0) // 1000 B/s, no burst
+	b := New(core.New(2, 3), tb)
+	for i := 0; i < 3; i++ {
+		if err := b.Enqueue(sched.Packet{Flow: 1, Bytes: 1000, Arrival: 0}, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := b.DequeueEligible(0); err != nil {
+		t.Fatalf("first packet should be eligible at 0: %v", err)
+	}
+	if _, _, err := b.DequeueEligible(5e8); err != ErrNotEligible {
+		t.Fatalf("second packet at t=0.5s = %v, want ErrNotEligible", err)
+	}
+	if _, _, err := b.DequeueEligible(1e9); err != nil {
+		t.Fatalf("second packet at t=1s: %v", err)
+	}
+	r, err := b.PeekRank()
+	if err != nil || r != 2e9 {
+		t.Fatalf("PeekRank = %d,%v want 2e9", r, err)
+	}
+}
+
+// TestRandomManyFlows stress-tests promotion bookkeeping across many
+// flows and validates global rank order of the dequeue sequence given
+// FCFS ranks and per-flow FIFO arrival.
+func TestRandomManyFlows(t *testing.T) {
+	b := New(core.New(4, 4), sched.FCFS{})
+	rng := rand.New(rand.NewSource(77))
+	arrival := uint64(0)
+	inFlight := 0
+	for step := 0; step < 20000; step++ {
+		if inFlight == 0 || (rng.Intn(2) == 0 && b.ActiveFlows() < b.FlowCapacity()) {
+			arrival++
+			f := uint32(rng.Intn(100))
+			err := b.Enqueue(sched.Packet{Flow: f, Arrival: arrival}, nil)
+			if err == ErrSchedulerFull {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			inFlight++
+		} else {
+			_, _, err := b.Dequeue()
+			if err != nil {
+				t.Fatal(err)
+			}
+			inFlight--
+		}
+	}
+	// Drain and verify per-flow FIFO by arrival.
+	lastPerFlow := map[uint32]uint64{}
+	for {
+		p, _, err := b.Dequeue()
+		if err == ErrEmpty {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last, ok := lastPerFlow[p.Flow]; ok && p.Arrival < last {
+			t.Fatalf("flow %d out of FIFO order", p.Flow)
+		}
+		lastPerFlow[p.Flow] = p.Arrival
+	}
+}
+
+func TestPeekRankEmpty(t *testing.T) {
+	b := newBlock(4)
+	if _, err := b.PeekRank(); err != ErrEmpty {
+		t.Fatalf("PeekRank empty = %v", err)
+	}
+	if _, _, err := b.DequeueEligible(0); err != ErrEmpty {
+		t.Fatalf("DequeueEligible empty = %v", err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package pipeheap implements the Pipelined Heap of Ioannou &
+// Katevenis, "Pipelined heap (priority queue) management for advanced
+// scheduling in high-speed networks" (IEEE/ACM ToN 2007) — the second
+// heap-variant baseline of Table 1 in the BMW-Tree paper.
+//
+// It is a conventional binary min-heap kept as a complete tree (hence
+// self-balanced). The insert operation is modified to be top-down and
+// pipelineable: the new value descends along the unique path from the
+// root to the next free leaf position, swapping with smaller ancestors
+// on the way. The pop operation is the classic one: the root leaves,
+// the right-most leaf is moved to the root, and a shift-down restores
+// the heap property.
+//
+// The BMW-Tree paper's Table 1 critique, reproduced by this model's
+// access traces: during a pop the rightmost leaf must "fly from bottom
+// to top and then cross from top to bottom", so each level needs a
+// connection to the root and the youngest in-progress insert must be
+// tracked, which makes the pipeline expensive; and nodes are not
+// autonomous — the shift-down compares a node with its two children.
+// PathStats records the up-down data movement so the Table 1 experiment
+// can quantify it.
+package pipeheap
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Heap is a fixed-capacity complete binary min-heap with top-down
+// insertion.
+type Heap struct {
+	tree []core.Element // 1-based
+	size int
+	cap  int
+
+	// Movement accounting for the Table 1 experiment.
+	upMoves   uint64 // leaf-to-root transfers (pop only)
+	downMoves uint64 // level-to-level downward transfers
+}
+
+// New creates a heap with the given capacity.
+func New(capacity int) *Heap {
+	if capacity < 1 {
+		panic(fmt.Sprintf("pipeheap: invalid capacity %d", capacity))
+	}
+	return &Heap{tree: make([]core.Element, capacity+1), cap: capacity}
+}
+
+// Len returns the stored element count; Cap the capacity.
+func (h *Heap) Len() int { return h.size }
+func (h *Heap) Cap() int { return h.cap }
+
+// Push inserts top-down along the path from the root to the next free
+// position (the pipelined insert of Ioannou & Katevenis).
+func (h *Heap) Push(e core.Element) error {
+	if h.size >= h.cap {
+		return core.ErrFull
+	}
+	h.size++
+	target := h.size
+	// The path root -> target is given by the bits of target below the
+	// leading one.
+	depth := 0
+	for v := target; v > 1; v >>= 1 {
+		depth++
+	}
+	val := e
+	for d := depth; d > 0; d-- {
+		i := target >> d
+		if val.Value < h.tree[i].Value {
+			val, h.tree[i] = h.tree[i], val
+		}
+		h.downMoves++
+	}
+	h.tree[target] = val
+	return nil
+}
+
+// Pop removes the root, moves the right-most leaf to the root (one
+// bottom-to-top flight), and shifts down.
+func (h *Heap) Pop() (core.Element, error) {
+	if h.size == 0 {
+		return core.Element{}, core.ErrEmpty
+	}
+	out := h.tree[1]
+	last := h.tree[h.size]
+	h.size--
+	h.upMoves++ // the leaf crosses from the bottom level to the root
+	if h.size == 0 {
+		return out, nil
+	}
+	i := 1
+	for {
+		l, r := 2*i, 2*i+1
+		if l > h.size {
+			break
+		}
+		smallest := l
+		if r <= h.size && h.tree[r].Value < h.tree[l].Value {
+			smallest = r
+		}
+		if h.tree[smallest].Value >= last.Value {
+			break
+		}
+		h.tree[i] = h.tree[smallest]
+		h.downMoves++
+		i = smallest
+	}
+	h.tree[i] = last
+	return out, nil
+}
+
+// Peek returns the minimum without removing it.
+func (h *Heap) Peek() (core.Element, error) {
+	if h.size == 0 {
+		return core.Element{}, core.ErrEmpty
+	}
+	return h.tree[1], nil
+}
+
+// PathStats returns the accumulated data movements: upMoves counts
+// bottom-to-top leaf flights (one per pop — the movement that breaks
+// pipelining), downMoves counts level-to-level downward transfers.
+func (h *Heap) PathStats() (upMoves, downMoves uint64) {
+	return h.upMoves, h.downMoves
+}
+
+// CheckInvariants verifies the heap property over the complete tree.
+func (h *Heap) CheckInvariants() error {
+	for i := 2; i <= h.size; i++ {
+		if h.tree[i].Value < h.tree[i/2].Value {
+			return fmt.Errorf("pipeheap: heap violation at %d", i)
+		}
+	}
+	return nil
+}

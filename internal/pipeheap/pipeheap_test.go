@@ -1,0 +1,151 @@
+package pipeheap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/refpq"
+)
+
+func TestBasic(t *testing.T) {
+	h := New(15)
+	for _, v := range []uint64{8, 3, 5, 1, 9, 1} {
+		if err := h.Push(core.Element{Value: v}); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []uint64{1, 1, 3, 5, 8, 9}
+	for _, w := range want {
+		e, err := h.Pop()
+		if err != nil || e.Value != w {
+			t.Fatalf("pop = %v,%v want %d", e, err, w)
+		}
+		if err := h.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.Pop(); err != core.ErrEmpty {
+		t.Fatalf("pop empty = %v", err)
+	}
+}
+
+func TestFullError(t *testing.T) {
+	h := New(3)
+	for i := 0; i < 3; i++ {
+		if err := h.Push(core.Element{Value: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Push(core.Element{Value: 9}); err != core.ErrFull {
+		t.Fatalf("push full = %v", err)
+	}
+}
+
+// TestPopMovesDataUpward quantifies the Table 1 critique: every pop
+// moves the right-most leaf from the bottom of the heap to the root
+// (one bottom-to-top flight per pop), the movement that makes the
+// classic pop expensive to pipeline. BMW-Tree pops only ever move data
+// between adjacent levels.
+func TestPopMovesDataUpward(t *testing.T) {
+	h := New(127)
+	for i := 0; i < 100; i++ {
+		h.Push(core.Element{Value: uint64(i)})
+	}
+	const pops = 50
+	for i := 0; i < pops; i++ {
+		if _, err := h.Pop(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	up, _ := h.PathStats()
+	if up != pops {
+		t.Fatalf("upMoves = %d, want one per pop (%d)", up, pops)
+	}
+}
+
+func TestRandomAgainstReference(t *testing.T) {
+	h := New(300)
+	ref := refpq.New()
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 20000; i++ {
+		if ref.Len() == 0 || (rng.Intn(2) == 0 && h.Len() < h.Cap()) {
+			e := core.Element{Value: uint64(rng.Intn(100)), Meta: uint64(i)}
+			if err := h.Push(e); err != nil {
+				t.Fatal(err)
+			}
+			ref.Push(refpq.Entry{Value: e.Value, Meta: e.Meta})
+		} else {
+			e, err := h.Pop()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Value != ref.MinValue() {
+				t.Fatalf("pop %d, ref min %d", e.Value, ref.MinValue())
+			}
+			if !ref.RemoveExact(refpq.Entry{Value: e.Value, Meta: e.Meta}) {
+				t.Fatal("popped element not in reference")
+			}
+		}
+		if i%371 == 0 {
+			if err := h.CheckInvariants(); err != nil {
+				t.Fatalf("after op %d: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestQuickSortedDrain(t *testing.T) {
+	prop := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := New(len(vals))
+		for _, v := range vals {
+			if err := h.Push(core.Element{Value: uint64(v)}); err != nil {
+				return false
+			}
+		}
+		if err := h.CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		var prev uint64
+		for i := range vals {
+			e, err := h.Pop()
+			if err != nil {
+				return false
+			}
+			if i > 0 && e.Value < prev {
+				return false
+			}
+			prev = e.Value
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompleteShape verifies self-balance: a pipelined heap always
+// occupies positions 1..size of the array (a complete tree), the
+// "Self-Balanced" property of Table 1.
+func TestCompleteShape(t *testing.T) {
+	h := New(63)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		if h.Len() == 0 || (rng.Intn(2) == 0 && h.Len() < h.Cap()) {
+			h.Push(core.Element{Value: uint64(rng.Intn(50))})
+		} else {
+			h.Pop()
+		}
+		if err := h.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,372 @@
+package rbmw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/treecheck"
+)
+
+func TestPushEveryCycle(t *testing.T) {
+	s := New(2, 4)
+	for i := 0; i < s.Cap(); i++ {
+		if !s.PushAvailable() {
+			t.Fatal("push_available dropped")
+		}
+		if _, err := s.Tick(hw.PushOp(uint64(i%7), uint64(i))); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	if got := s.Cycle(); got != uint64(s.Cap()) {
+		t.Fatalf("pushed %d elements in %d cycles, want one per cycle", s.Cap(), got)
+	}
+	if !s.AlmostFull() {
+		t.Fatal("almost_full not raised at capacity")
+	}
+	if _, err := s.Tick(hw.PushOp(1, 1)); err != core.ErrFull {
+		t.Fatalf("push on full = %v, want ErrFull", err)
+	}
+}
+
+// TestConsecutivePopsIllegal verifies the pop_available handshake of
+// Section 4.2.2: a pop immediately after a pop is rejected, and a push
+// or null signal restores availability.
+func TestConsecutivePopsIllegal(t *testing.T) {
+	s := New(2, 3)
+	for i := 0; i < 6; i++ {
+		s.Tick(hw.PushOp(uint64(i), 0))
+	}
+	if _, err := s.Tick(hw.PopOp()); err != nil {
+		t.Fatal(err)
+	}
+	if s.PopAvailable() {
+		t.Fatal("pop_available still 1 right after a pop")
+	}
+	if _, err := s.Tick(hw.PopOp()); err == nil {
+		t.Fatal("second consecutive pop accepted")
+	}
+	// A null signal restores pop_available.
+	s.Tick(hw.NopOp())
+	if !s.PopAvailable() {
+		t.Fatal("pop_available not restored after null")
+	}
+	if _, err := s.Tick(hw.PopOp()); err != nil {
+		t.Fatalf("pop after null: %v", err)
+	}
+	// A push also restores pop_available (pop-push then pop is legal).
+	s.Tick(hw.PushOp(100, 0))
+	if !s.PopAvailable() {
+		t.Fatal("pop_available not restored after push")
+	}
+}
+
+// TestPushPopTwoCycles verifies the headline R-BMW rate: a push-pop
+// consecutive sequence costs 2 cycles (Figure 4), so n pairs complete in
+// 2n cycles.
+func TestPushPopTwoCycles(t *testing.T) {
+	s := New(2, 11)
+	// Preload half the tree.
+	for i := 0; i < 100; i++ {
+		s.Tick(hw.PushOp(uint64(i), 0))
+	}
+	start := s.Cycle()
+	const pairs = 500
+	for i := 0; i < pairs; i++ {
+		if _, err := s.Tick(hw.PushOp(uint64(i%64), 0)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Tick(hw.PopOp()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Cycle() - start; got != 2*pairs {
+		t.Fatalf("%d push-pop pairs took %d cycles, want %d", pairs, got, 2*pairs)
+	}
+}
+
+func TestPopEmpty(t *testing.T) {
+	s := New(2, 3)
+	if _, err := s.Tick(hw.PopOp()); err != core.ErrEmpty {
+		t.Fatalf("pop on empty = %v, want ErrEmpty", err)
+	}
+}
+
+func TestPopResultCombinatorial(t *testing.T) {
+	s := New(2, 3)
+	s.Tick(hw.PushOp(42, 7))
+	c := s.Cycle()
+	e, err := s.Tick(hw.PopOp())
+	if err != nil || e == nil {
+		t.Fatalf("pop: %v %v", e, err)
+	}
+	if e.Value != 42 || e.Meta != 7 {
+		t.Fatalf("pop result = %+v", *e)
+	}
+	if s.Cycle() != c+1 {
+		t.Fatal("pop result was not emitted in the issuing cycle")
+	}
+}
+
+func TestDrainSorted(t *testing.T) {
+	s := New(4, 3)
+	rng := rand.New(rand.NewSource(3))
+	n := s.Cap()
+	for i := 0; i < n; i++ {
+		if _, err := s.Tick(hw.PushOp(uint64(rng.Intn(100)), uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := s.Drain()
+	if len(out) != n {
+		t.Fatalf("drained %d, want %d", len(out), n)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Value < out[i-1].Value {
+			t.Fatalf("drain not sorted at %d: %d < %d", i, out[i].Value, out[i-1].Value)
+		}
+	}
+	if err := treecheck.Check(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// legalDriver issues the same random legal schedule to the wave
+// simulator and the golden model and asserts identical pop results.
+func legalDriver(t *testing.T, m, l int, ops int, seed int64) {
+	t.Helper()
+	s := New(m, l)
+	g := core.New(m, l)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < ops; i++ {
+		var op hw.Op
+		switch {
+		case g.Len() == 0:
+			op = hw.PushOp(uint64(rng.Intn(256)), uint64(i))
+		case !s.PopAvailable():
+			// After a pop: push or null only.
+			if rng.Intn(2) == 0 && !g.AlmostFull() {
+				op = hw.PushOp(uint64(rng.Intn(256)), uint64(i))
+			} else {
+				op = hw.NopOp()
+			}
+		case g.AlmostFull():
+			if rng.Intn(4) == 0 {
+				op = hw.NopOp()
+			} else {
+				op = hw.PopOp()
+			}
+		default:
+			switch rng.Intn(5) {
+			case 0:
+				op = hw.NopOp()
+			case 1, 2:
+				op = hw.PushOp(uint64(rng.Intn(256)), uint64(i))
+			default:
+				op = hw.PopOp()
+			}
+		}
+
+		got, err := s.Tick(op)
+		if err != nil {
+			t.Fatalf("m=%d l=%d op %d (%v): %v", m, l, i, op.Kind, err)
+		}
+		switch op.Kind {
+		case hw.Push:
+			if err := g.Push(core.Element{Value: op.Value, Meta: op.Meta}); err != nil {
+				t.Fatal(err)
+			}
+		case hw.Pop:
+			want, err := g.Pop()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got == nil || *got != want {
+				t.Fatalf("m=%d l=%d op %d: sim popped %v, golden model popped %v", m, l, i, got, want)
+			}
+		}
+		if g.Len() != s.Len() {
+			t.Fatalf("m=%d l=%d op %d: size mismatch %d vs %d", m, l, i, s.Len(), g.Len())
+		}
+	}
+	// Settle the pipeline and compare full state via invariants plus a
+	// complete drain.
+	for !s.Quiescent() {
+		if _, err := s.Tick(hw.NopOp()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := treecheck.Check(s); err != nil {
+		t.Fatalf("m=%d l=%d: %v", m, l, err)
+	}
+	for g.Len() > 0 {
+		want, _ := g.Pop()
+		for !s.PopAvailable() {
+			s.Tick(hw.NopOp())
+		}
+		got, err := s.Tick(hw.PopOp())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != want {
+			t.Fatalf("m=%d l=%d final drain: sim %v, golden %v", m, l, got, want)
+		}
+	}
+}
+
+// TestEquivalenceWithGoldenModel is the central correctness property of
+// the pipelined design: for every legal issue schedule the wave
+// simulation is operation-for-operation identical to the sequential
+// golden model (it pops exactly the same (value, meta) pairs).
+func TestEquivalenceWithGoldenModel(t *testing.T) {
+	shapes := []struct{ m, l int }{{2, 3}, {2, 6}, {2, 11}, {3, 4}, {4, 4}, {4, 6}, {8, 3}, {8, 4}}
+	for i, shape := range shapes {
+		legalDriver(t, shape.m, shape.l, 5000, int64(i+1))
+	}
+}
+
+// TestQuickEquivalence drives the same property through testing/quick
+// with random shapes and seeds.
+func TestQuickEquivalence(t *testing.T) {
+	prop := func(mRaw, lRaw uint8, seed int64) bool {
+		m := 2 + int(mRaw)%7
+		l := 2 + int(lRaw)%4
+		legalDriver(t, m, l, 800, seed)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPushPopStress alternates push-pop at the maximum legal rate with
+// adversarial value patterns (ascending, descending, constant) and
+// validates against the golden model plus a final sorted drain.
+func TestPushPopStress(t *testing.T) {
+	patterns := map[string]func(i int) uint64{
+		"ascending":  func(i int) uint64 { return uint64(i) },
+		"descending": func(i int) uint64 { return uint64(1<<20 - i) },
+		"constant":   func(i int) uint64 { return 7 },
+	}
+	for name, f := range patterns {
+		t.Run(name, func(t *testing.T) {
+			s := New(2, 6)
+			g := core.New(2, 6)
+			// Preload.
+			for i := 0; i < 30; i++ {
+				s.Tick(hw.PushOp(f(i), uint64(i)))
+				g.Push(core.Element{Value: f(i), Meta: uint64(i)})
+			}
+			for i := 30; i < 1000; i++ {
+				if _, err := s.Tick(hw.PushOp(f(i), uint64(i))); err != nil {
+					t.Fatal(err)
+				}
+				g.Push(core.Element{Value: f(i), Meta: uint64(i)})
+				got, err := s.Tick(hw.PopOp())
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, _ := g.Pop()
+				if *got != want {
+					t.Fatalf("%s step %d: sim %v golden %v", name, i, *got, want)
+				}
+			}
+			out := s.Drain()
+			for i := 1; i < len(out); i++ {
+				if out[i].Value < out[i-1].Value {
+					t.Fatalf("%s: drain unsorted", name)
+				}
+			}
+		})
+	}
+}
+
+// TestBalanceUnderPipeline verifies the insertion-balance property holds
+// in the pipelined implementation too: a push-only schedule never leaves
+// sibling counters differing by more than 1 once the pipeline settles.
+func TestBalanceUnderPipeline(t *testing.T) {
+	s := New(4, 4)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < s.Cap(); i++ {
+		if _, err := s.Tick(hw.PushOp(uint64(rng.Intn(1000)), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for !s.Quiescent() {
+		s.Tick(hw.NopOp())
+	}
+	if err := treecheck.Check(s); err != nil {
+		t.Fatal(err)
+	}
+	// Full tree: every full node's counters are perfectly determined.
+	nn := 0
+	for n, p := 0, 1; n < s.Levels()-1; n++ {
+		nn += p
+		p *= 4
+	}
+	for n := 0; n < nn; n++ {
+		var lo, hi uint32
+		for i := 0; i < 4; i++ {
+			_, c, ok := s.SlotState(n, i)
+			if !ok {
+				t.Fatalf("node %d slot %d empty in a full tree", n, i)
+			}
+			if i == 0 || c < lo {
+				lo = c
+			}
+			if i == 0 || c > hi {
+				hi = c
+			}
+		}
+		if hi-lo > 1 {
+			t.Fatalf("node %d imbalance %d after push-only fill", n, hi-lo)
+		}
+	}
+}
+
+// TestPlainModeIssueRates verifies the Section 4.2.1 (pre-optimisation)
+// ablation: without sustained transfer a pop occupies three cycles and
+// blocks pushes too, while the functional results stay identical.
+func TestPlainModeIssueRates(t *testing.T) {
+	s := New(2, 5)
+	s.Sustained = false
+	g := core.New(2, 5)
+	for i := 0; i < 20; i++ {
+		s.Tick(hw.PushOp(uint64(i), 0))
+		g.Push(core.Element{Value: uint64(i)})
+	}
+	if _, err := s.Tick(hw.PopOp()); err != nil {
+		t.Fatal(err)
+	}
+	if s.PushAvailable() || s.PopAvailable() {
+		t.Fatal("plain mode: availability must drop for two cycles after a pop")
+	}
+	if _, err := s.Tick(hw.PushOp(99, 0)); err == nil {
+		t.Fatal("plain mode accepted a push right after a pop")
+	}
+	s.Tick(hw.NopOp())
+	if s.PushAvailable() {
+		t.Fatal("plain mode: still one blocked cycle to go")
+	}
+	s.Tick(hw.NopOp())
+	if !s.PushAvailable() || !s.PopAvailable() {
+		t.Fatal("plain mode: availability not restored after two idle cycles")
+	}
+	// Functional equivalence is unchanged: drain matches the golden model.
+	g.Pop()
+	for g.Len() > 0 {
+		want, _ := g.Pop()
+		for !s.PopAvailable() {
+			s.Tick(hw.NopOp())
+		}
+		got, err := s.Tick(hw.PopOp())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != want {
+			t.Fatalf("plain mode drain mismatch: %v vs %v", got, want)
+		}
+	}
+}

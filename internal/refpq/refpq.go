@@ -1,0 +1,65 @@
+// Package refpq provides a trivially correct priority-queue reference
+// used to validate every hardware and software priority-queue
+// implementation in this module. It is a plain binary min-heap over
+// (value, meta) pairs with deterministic value ordering; elements with
+// equal values are interchangeable, matching the PIFO model, where only
+// the rank orders packets.
+package refpq
+
+import "container/heap"
+
+// Entry is one reference element.
+type Entry struct {
+	Value uint64
+	Meta  uint64
+}
+
+type entryHeap []Entry
+
+func (h entryHeap) Len() int            { return len(h) }
+func (h entryHeap) Less(i, j int) bool  { return h[i].Value < h[j].Value }
+func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x interface{}) { *h = append(*h, x.(Entry)) }
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Queue is the reference priority queue.
+type Queue struct {
+	h entryHeap
+}
+
+// New returns an empty reference queue.
+func New() *Queue { return &Queue{} }
+
+// Len returns the number of stored elements.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Push inserts an entry.
+func (q *Queue) Push(e Entry) { heap.Push(&q.h, e) }
+
+// MinValue returns the smallest stored value. It panics on an empty
+// queue; callers check Len first.
+func (q *Queue) MinValue() uint64 { return q.h[0].Value }
+
+// PopMin removes and returns an entry with the smallest value.
+func (q *Queue) PopMin() Entry { return heap.Pop(&q.h).(Entry) }
+
+// RemoveExact removes one entry equal to e (both value and meta) and
+// reports whether it was present. It is used to validate pop results that
+// may legally return any element tied at the minimum value: the caller
+// first checks the popped value equals MinValue, then removes the exact
+// (value, meta) pair popped by the implementation under test.
+func (q *Queue) RemoveExact(e Entry) bool {
+	for i := range q.h {
+		if q.h[i] == e {
+			heap.Remove(&q.h, i)
+			return true
+		}
+	}
+	return false
+}

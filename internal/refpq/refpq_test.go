@@ -1,0 +1,53 @@
+package refpq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMinAndRemove(t *testing.T) {
+	q := New()
+	q.Push(Entry{Value: 5, Meta: 1})
+	q.Push(Entry{Value: 3, Meta: 2})
+	q.Push(Entry{Value: 7, Meta: 3})
+	if q.MinValue() != 3 {
+		t.Fatalf("min = %d", q.MinValue())
+	}
+	if !q.RemoveExact(Entry{Value: 3, Meta: 2}) {
+		t.Fatal("remove failed")
+	}
+	if q.RemoveExact(Entry{Value: 3, Meta: 2}) {
+		t.Fatal("double remove succeeded")
+	}
+	if q.MinValue() != 5 || q.Len() != 2 {
+		t.Fatalf("state after remove: min %d len %d", q.MinValue(), q.Len())
+	}
+}
+
+func TestPopMinSorted(t *testing.T) {
+	q := New()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		q.Push(Entry{Value: uint64(rng.Intn(100)), Meta: uint64(i)})
+	}
+	var prev uint64
+	for i := 0; q.Len() > 0; i++ {
+		e := q.PopMin()
+		if i > 0 && e.Value < prev {
+			t.Fatal("unsorted")
+		}
+		prev = e.Value
+	}
+}
+
+func TestDuplicatesDistinguishedByMeta(t *testing.T) {
+	q := New()
+	q.Push(Entry{Value: 4, Meta: 1})
+	q.Push(Entry{Value: 4, Meta: 2})
+	if !q.RemoveExact(Entry{Value: 4, Meta: 2}) {
+		t.Fatal("exact duplicate removal failed")
+	}
+	if q.Len() != 1 || q.PopMin().Meta != 1 {
+		t.Fatal("wrong twin removed")
+	}
+}

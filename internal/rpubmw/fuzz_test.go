@@ -1,0 +1,67 @@
+package rpubmw
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+)
+
+// FuzzPipelineEquivalence interprets fuzz bytes as a legal issue
+// schedule for the RPU pipeline and cross-checks every pop against the
+// golden software model. Run with `go test -fuzz=FuzzPipelineEquivalence
+// ./internal/rpubmw` to explore; the seed corpus runs in plain tests.
+func FuzzPipelineEquivalence(f *testing.F) {
+	f.Add([]byte{0x10, 0x90, 0x20, 0xA0, 0x30})
+	f.Add([]byte("interleaved operations everywhere"))
+	f.Add([]byte{255, 0, 255, 0, 255, 0, 255, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := New(2, 4)
+		g := core.New(2, 4)
+		for i, b := range data {
+			var op hw.Op
+			switch {
+			case !s.PushAvailable():
+				op = hw.NopOp() // mandatory idle after a pop
+			case b&0x80 != 0 && g.Len() > 0:
+				op = hw.PopOp()
+			case !g.AlmostFull():
+				op = hw.PushOp(uint64(b&0x7F), uint64(i))
+			default:
+				op = hw.NopOp()
+			}
+			got, err := s.Tick(op)
+			if err != nil {
+				t.Fatalf("tick %d (%v): %v", i, op.Kind, err)
+			}
+			switch op.Kind {
+			case hw.Push:
+				if err := g.Push(core.Element{Value: op.Value, Meta: op.Meta}); err != nil {
+					t.Fatal(err)
+				}
+			case hw.Pop:
+				want, err := g.Pop()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got == nil || *got != want {
+					t.Fatalf("tick %d: sim %v golden %v", i, got, want)
+				}
+			}
+		}
+		for g.Len() > 0 {
+			if !s.PopAvailable() {
+				s.Tick(hw.NopOp())
+				continue
+			}
+			want, _ := g.Pop()
+			got, err := s.Tick(hw.PopOp())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *got != want {
+				t.Fatalf("drain: sim %v golden %v", got, want)
+			}
+		}
+	})
+}

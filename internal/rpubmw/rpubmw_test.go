@@ -1,0 +1,387 @@
+package rpubmw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/treecheck"
+)
+
+func TestPushEveryCycle(t *testing.T) {
+	s := New(4, 3)
+	for i := 0; i < s.Cap(); i++ {
+		if _, err := s.Tick(hw.PushOp(uint64(i%11), uint64(i))); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	if got := s.Cycle(); got != uint64(s.Cap()) {
+		t.Fatalf("pushed %d elements in %d cycles, want one per cycle", s.Cap(), got)
+	}
+	if !s.AlmostFull() {
+		t.Fatal("almost_full not raised")
+	}
+	if _, err := s.Tick(hw.PushOp(0, 0)); err != core.ErrFull {
+		t.Fatalf("push on full = %v", err)
+	}
+}
+
+// TestIdleCycleAfterPop verifies the handshake of Section 5.2.3: both
+// push_available and pop_available drop for exactly one cycle after a
+// pop, so pop-push and pop-pop are rejected while push-pop is legal.
+func TestIdleCycleAfterPop(t *testing.T) {
+	s := New(2, 3)
+	for i := 0; i < 10; i++ {
+		s.Tick(hw.PushOp(uint64(i), 0))
+	}
+	if _, err := s.Tick(hw.PopOp()); err != nil {
+		t.Fatal(err)
+	}
+	if s.PushAvailable() || s.PopAvailable() {
+		t.Fatal("availability not dropped after pop")
+	}
+	if _, err := s.Tick(hw.PushOp(1, 0)); err == nil {
+		t.Fatal("pop-push accepted")
+	}
+	if _, err := s.Tick(hw.PopOp()); err == nil {
+		t.Fatal("pop-pop accepted")
+	}
+	s.Tick(hw.NopOp())
+	if !s.PushAvailable() || !s.PopAvailable() {
+		t.Fatal("availability not restored after null")
+	}
+	// push-pop (push immediately followed by pop) is legal.
+	if _, err := s.Tick(hw.PushOp(5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Tick(hw.PopOp()); err != nil {
+		t.Fatalf("push-pop rejected: %v", err)
+	}
+}
+
+// TestPushPopThreeCycles verifies the headline RPU-BMW rate: the common
+// push-pop sequence costs 3 cycles (push, pop, mandatory idle — Figure
+// 7), so n pairs complete in 3n cycles.
+func TestPushPopThreeCycles(t *testing.T) {
+	s := New(4, 8)
+	for i := 0; i < 100; i++ {
+		s.Tick(hw.PushOp(uint64(i), 0))
+	}
+	start := s.Cycle()
+	const pairs = 300
+	for i := 0; i < pairs; i++ {
+		if _, err := s.Tick(hw.PushOp(uint64(i%64), 0)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Tick(hw.PopOp()); err != nil {
+			t.Fatal(err)
+		}
+		s.Tick(hw.NopOp()) // mandatory idle
+	}
+	if got := s.Cycle() - start; got != 3*pairs {
+		t.Fatalf("%d push-pop pairs took %d cycles, want %d", pairs, got, 3*pairs)
+	}
+}
+
+func TestPopEmptyAndResultTiming(t *testing.T) {
+	s := New(2, 3)
+	if _, err := s.Tick(hw.PopOp()); err != core.ErrEmpty {
+		t.Fatalf("pop on empty = %v", err)
+	}
+	s.Tick(hw.PushOp(9, 3))
+	c := s.Cycle()
+	e, err := s.Tick(hw.PopOp())
+	if err != nil || e == nil || e.Value != 9 || e.Meta != 3 {
+		t.Fatalf("pop = %v, %v", e, err)
+	}
+	if s.Cycle() != c+1 {
+		t.Fatal("pop result not combinational in the issuing cycle")
+	}
+}
+
+func TestDrainSortedAndInvariants(t *testing.T) {
+	s := New(4, 4)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < s.Cap(); i++ {
+		if _, err := s.Tick(hw.PushOp(uint64(rng.Intn(500)), uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for !s.Quiescent() {
+		s.Tick(hw.NopOp())
+	}
+	if err := treecheck.Check(s); err != nil {
+		t.Fatal(err)
+	}
+	out := s.Drain()
+	for i := 1; i < len(out); i++ {
+		if out[i].Value < out[i-1].Value {
+			t.Fatalf("drain unsorted at %d", i)
+		}
+	}
+}
+
+// legalDriver issues the same random legal schedule to the RPU simulator
+// and the golden model and asserts identical pop results.
+func legalDriver(t *testing.T, m, l int, ops int, seed int64) {
+	t.Helper()
+	s := New(m, l)
+	g := core.New(m, l)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < ops; i++ {
+		var op hw.Op
+		switch {
+		case !s.PushAvailable():
+			op = hw.NopOp() // mandatory idle after pop
+		case g.Len() == 0:
+			op = hw.PushOp(uint64(rng.Intn(256)), uint64(i))
+		case g.AlmostFull():
+			if rng.Intn(4) == 0 {
+				op = hw.NopOp()
+			} else {
+				op = hw.PopOp()
+			}
+		default:
+			switch rng.Intn(5) {
+			case 0:
+				op = hw.NopOp()
+			case 1, 2:
+				op = hw.PushOp(uint64(rng.Intn(256)), uint64(i))
+			default:
+				op = hw.PopOp()
+			}
+		}
+
+		got, err := s.Tick(op)
+		if err != nil {
+			t.Fatalf("m=%d l=%d op %d (%v): %v", m, l, i, op.Kind, err)
+		}
+		switch op.Kind {
+		case hw.Push:
+			if err := g.Push(core.Element{Value: op.Value, Meta: op.Meta}); err != nil {
+				t.Fatal(err)
+			}
+		case hw.Pop:
+			want, err := g.Pop()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got == nil || *got != want {
+				t.Fatalf("m=%d l=%d op %d: sim popped %v, golden popped %v", m, l, i, got, want)
+			}
+		}
+		if g.Len() != s.Len() {
+			t.Fatalf("m=%d l=%d op %d: size mismatch", m, l, i)
+		}
+	}
+	for !s.Quiescent() {
+		if _, err := s.Tick(hw.NopOp()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := treecheck.Check(s); err != nil {
+		t.Fatalf("m=%d l=%d: %v", m, l, err)
+	}
+	for g.Len() > 0 {
+		want, _ := g.Pop()
+		for !s.PopAvailable() {
+			s.Tick(hw.NopOp())
+		}
+		got, err := s.Tick(hw.PopOp())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != want {
+			t.Fatalf("m=%d l=%d final drain: sim %v golden %v", m, l, got, want)
+		}
+	}
+}
+
+// TestEquivalenceWithGoldenModel: for every legal issue schedule the
+// RPU+SRAM pipeline pops exactly the golden model's (value, meta) pairs.
+func TestEquivalenceWithGoldenModel(t *testing.T) {
+	shapes := []struct{ m, l int }{{2, 3}, {2, 7}, {2, 15}, {3, 4}, {4, 4}, {4, 8}, {8, 3}, {8, 5}}
+	for i, shape := range shapes {
+		ops := 5000
+		if core.Capacity(shape.m, shape.l) > 20000 {
+			ops = 2000
+		}
+		legalDriver(t, shape.m, shape.l, ops, int64(i+1))
+	}
+}
+
+func TestQuickEquivalence(t *testing.T) {
+	prop := func(mRaw, lRaw uint8, seed int64) bool {
+		m := 2 + int(mRaw)%7
+		l := 2 + int(lRaw)%4
+		legalDriver(t, m, l, 800, seed)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOperationHidingCollisions verifies that back-to-back operations
+// really do exercise the write-first SRAM path: a saturated push-pop
+// workload must produce read-during-write collisions (the operation
+// hiding of Section 5.2.3), and the results stay correct.
+func TestOperationHidingCollisions(t *testing.T) {
+	s := New(2, 5)
+	g := core.New(2, 5)
+	for i := 0; i < 20; i++ {
+		s.Tick(hw.PushOp(uint64(100+i), uint64(i)))
+		g.Push(core.Element{Value: uint64(100 + i), Meta: uint64(i)})
+	}
+	for i := 0; i < 200; i++ {
+		s.Tick(hw.PushOp(uint64(i%50), uint64(i)))
+		g.Push(core.Element{Value: uint64(i % 50), Meta: uint64(i)})
+		got, err := s.Tick(hw.PopOp())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := g.Pop()
+		if *got != want {
+			t.Fatalf("step %d: %v vs %v", i, *got, want)
+		}
+		s.Tick(hw.NopOp())
+	}
+	_, _, collisions := s.RAMStats()
+	if collisions == 0 {
+		t.Fatal("no read-during-write collisions: operation hiding never exercised")
+	}
+	t.Logf("operation-hiding collisions: %d", collisions)
+}
+
+// TestPopPushHazard demonstrates the structural hazard the idle cycle
+// prevents: with Strict disabled, issuing a push in the cycle right
+// after a pop makes the push read a stale node (the pop's write-back is
+// still pending) and collide on the SRAM write port — the simulation
+// detects the double write and panics, evidencing why the paper's
+// Section 5.2.3 forbids pop-push sequences.
+func TestPopPushHazard(t *testing.T) {
+	s := New(2, 4)
+	s.Strict = false
+	// Build a tree deep enough that a pop's write-back is outstanding.
+	for i := 0; i < 14; i++ {
+		if _, err := s.Tick(hw.PushOp(uint64(i), uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pop-push sequence did not trip the SRAM hazard")
+		}
+	}()
+	if _, err := s.Tick(hw.PopOp()); err != nil {
+		t.Fatal(err)
+	}
+	// Illegal: push in the idle cycle. The pop is still resident in the
+	// level-2 RPU; this push races it.
+	s.Tick(hw.PushOp(0, 99))
+	s.Tick(hw.NopOp())
+	s.Tick(hw.NopOp())
+	s.Tick(hw.NopOp())
+}
+
+// TestSRAMAccessPattern checks the dimensional claim of Section 5.1:
+// the design uses L RPUs and L-1 SRAMs, with level i holding M^(i-1)
+// nodes.
+func TestSRAMAccessPattern(t *testing.T) {
+	s := New(4, 6)
+	if len(s.rams) != 5 {
+		t.Fatalf("L-1 SRAMs: got %d, want 5", len(s.rams))
+	}
+	words := 4
+	for i, r := range s.rams {
+		if r.Words() != words {
+			t.Fatalf("SRAM_%d has %d words, want %d", i+2, r.Words(), words)
+		}
+		words *= 4
+	}
+}
+
+func TestLocate(t *testing.T) {
+	s := New(2, 4)
+	cases := []struct{ n, level, local int }{
+		{0, 1, 0}, {1, 2, 0}, {2, 2, 1}, {3, 3, 0}, {6, 3, 3}, {7, 4, 0}, {14, 4, 7},
+	}
+	for _, c := range cases {
+		lvl, local := s.locate(c.n)
+		if lvl != c.level || local != c.local {
+			t.Errorf("locate(%d) = (%d,%d), want (%d,%d)", c.n, lvl, local, c.level, c.local)
+		}
+	}
+}
+
+func TestMaxOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("order above MaxOrder did not panic")
+		}
+	}()
+	New(MaxOrder+1, 2)
+}
+
+// TestPlainModeLatencies verifies the Section 5.2.1 ablation: without
+// combinational logic and operation hiding, a push occupies the RPU
+// interface for 3 cycles and a pop for 6, so a push-pop pair costs 9
+// cycles instead of the optimised 3 — while the functional behaviour
+// stays identical to the golden model.
+func TestPlainModeLatencies(t *testing.T) {
+	s := New(2, 5)
+	s.Plain = true
+	g := core.New(2, 5)
+	for i := 0; i < 20; i++ {
+		for !s.PushAvailable() {
+			s.Tick(hw.NopOp())
+		}
+		if _, err := s.Tick(hw.PushOp(uint64(i*3%17), uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+		g.Push(core.Element{Value: uint64(i * 3 % 17), Meta: uint64(i)})
+	}
+	// A fresh push blocks the interface for two more cycles.
+	if s.PushAvailable() {
+		t.Fatal("plain mode: interface free right after a push")
+	}
+	if _, err := s.Tick(hw.PushOp(1, 1)); err == nil {
+		t.Fatal("plain mode accepted a push mid-operation")
+	}
+	s.Tick(hw.NopOp())
+	s.Tick(hw.NopOp())
+	if !s.PushAvailable() {
+		t.Fatal("plain mode: push latency longer than 3 cycles")
+	}
+
+	// Cycle cost of a push-pop pair at the densest legal schedule.
+	start := s.Cycle()
+	const pairs = 50
+	for i := 0; i < pairs; i++ {
+		for !s.PushAvailable() {
+			s.Tick(hw.NopOp())
+		}
+		s.Tick(hw.PushOp(uint64(i%13), 100+uint64(i)))
+		g.Push(core.Element{Value: uint64(i % 13), Meta: 100 + uint64(i)})
+		for !s.PopAvailable() {
+			s.Tick(hw.NopOp())
+		}
+		got, err := s.Tick(hw.PopOp())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := g.Pop()
+		if *got != want {
+			t.Fatalf("plain mode mismatch: %v vs %v", got, want)
+		}
+	}
+	// push (3) + pop (6) = 9 cycles per pair, minus the fact that the
+	// last pop's tail cycles are not awaited: allow the final pair to
+	// be in flight.
+	perPair := float64(s.Cycle()-start) / pairs
+	if perPair < 8.8 || perPair > 9.2 {
+		t.Fatalf("plain push-pop pair = %.2f cycles, want ≈9 (3+6)", perPair)
+	}
+}

@@ -1,0 +1,316 @@
+// Package rtl is a structural, signal-level simulation of the R-BMW
+// modular building block of Figure 3 in the paper. Where internal/rbmw
+// simulates the pipeline's behaviour with operation waves, this package
+// reproduces the paper's *hardware decomposition*: every node is an
+// identical module with the exact pin list of Section 4.1
+// (i_push/i_pop, i_push_data/i_pop_data, o_push/o_pop one-hot enables,
+// o_push_data/o_pop_data, o_pop_result on the root), wired only to its
+// parent and children, evaluated in a two-phase combinational/commit
+// cycle like synthesisable RTL:
+//
+//   - phase 1 (combinational, node-local): each module applies its
+//     registered i_push to a shadow copy of pifo_data and drives
+//     o_pop_data with the shadow minimum — the sustained transfer of
+//     Section 4.2.2, where the reported minimum reflects an in-flight
+//     push but never an in-flight pop;
+//   - phase 2 (combinational, parent-to-child wires only): each module
+//     with i_pop asserted selects its minimum slot, grafts the child's
+//     o_pop_data bus (i_pop_data is M elements wide after the
+//     sustained-transfer modification), and raises o_pop for that
+//     child;
+//   - commit (rising edge): shadow state becomes architectural state,
+//     o_push/o_pop signals latch into the children's i_push/i_pop
+//     registers.
+//
+// The package tests prove this structural netlist is cycle-for-cycle
+// identical to the behavioural wave simulator and the golden software
+// tree — the modularity claim of Section 3.3 ("trees of various sizes
+// can be elegantly constructed by duplicating the node and connecting
+// them") executed literally.
+package rtl
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+)
+
+// Elem is one pifo_data entry carried on the data buses: priority,
+// metadata and the sub-tree counter.
+type Elem struct {
+	Val   uint64
+	Meta  uint64
+	Count uint32
+}
+
+// Module is one building block (Figure 3). All fields prefixed in/out
+// mirror the pin list; in* are registers latched at the previous
+// rising edge, out* are combinational outputs valid during the current
+// cycle.
+type Module struct {
+	m int
+
+	// Architectural state: pifo_data.
+	state []Elem
+
+	// Registered inputs.
+	inPush     bool
+	inPushData Elem
+	inPop      bool
+
+	// Combinational outputs (valid after Eval phases).
+	outPopData  Elem // sustained-transfer minimum report to the parent
+	outPopEmpty bool // no element to report
+	outPush     int  // child index receiving a push next cycle (-1 none)
+	outPushData Elem
+	outPop      int // child index receiving a pop next cycle (-1 none)
+
+	// shadow is the post-push state computed in phase 1.
+	shadow []Elem
+
+	children []*Module // nil entries below the last level
+}
+
+// newModule builds one block of order m.
+func newModule(m int) *Module {
+	return &Module{
+		m:        m,
+		state:    make([]Elem, m),
+		shadow:   make([]Elem, m),
+		children: make([]*Module, m),
+		outPush:  -1,
+		outPop:   -1,
+	}
+}
+
+// evalPush is phase 1: apply the registered i_push node-locally and
+// drive o_pop_data from the shadow (post-push) state.
+func (n *Module) evalPush() {
+	copy(n.shadow, n.state)
+	n.outPush = -1
+	n.outPop = -1
+	if n.inPush {
+		placed := false
+		for i := 0; i < n.m; i++ {
+			if n.shadow[i].Count == 0 {
+				n.shadow[i] = Elem{Val: n.inPushData.Val, Meta: n.inPushData.Meta, Count: 1}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// min_sub_tree: least-loaded child, leftmost on ties.
+			min := 0
+			for i := 1; i < n.m; i++ {
+				if n.shadow[i].Count < n.shadow[min].Count {
+					min = i
+				}
+			}
+			n.shadow[min].Count++
+			push := n.inPushData
+			if push.Val < n.shadow[min].Val {
+				push.Val, n.shadow[min].Val = n.shadow[min].Val, push.Val
+				push.Meta, n.shadow[min].Meta = n.shadow[min].Meta, push.Meta
+			}
+			if n.children[min] == nil {
+				panic("rtl: push descended past the last level")
+			}
+			n.outPush = min
+			n.outPushData = push
+		}
+	}
+	// Sustained transfer: continuously report the (post-push) minimum.
+	j := n.minShadowSlot()
+	if j < 0 {
+		n.outPopEmpty = true
+	} else {
+		n.outPopEmpty = false
+		n.outPopData = n.shadow[j]
+	}
+}
+
+// evalPop is phase 2: consume i_pop using the children's o_pop_data
+// buses (i_pop_data), mutating the shadow and raising o_pop.
+func (n *Module) evalPop() (result Elem, valid bool) {
+	if !n.inPop {
+		return Elem{}, false
+	}
+	j := n.minShadowSlot()
+	if j < 0 {
+		panic("rtl: i_pop asserted on an empty node")
+	}
+	result = n.shadow[j]
+	n.shadow[j].Count--
+	if n.shadow[j].Count == 0 {
+		n.shadow[j] = Elem{}
+		return result, true
+	}
+	child := n.children[j]
+	if child == nil || child.outPopEmpty {
+		panic("rtl: counter promises a child element that is not reported")
+	}
+	// Graft the child's sustained minimum; its counter stays local.
+	n.shadow[j].Val = child.outPopData.Val
+	n.shadow[j].Meta = child.outPopData.Meta
+	n.outPop = j
+	return result, true
+}
+
+// minShadowSlot returns the leftmost minimum occupied shadow slot.
+func (n *Module) minShadowSlot() int {
+	min := -1
+	for i := 0; i < n.m; i++ {
+		if n.shadow[i].Count == 0 {
+			continue
+		}
+		if min < 0 || n.shadow[i].Val < n.shadow[min].Val {
+			min = i
+		}
+	}
+	return min
+}
+
+// commitState is the first half of the rising edge: shadow state
+// becomes architectural and the module's own input registers clear.
+// Signal routing happens afterwards in route, for every module, so
+// that a child's clear cannot wipe a flag its parent just latched.
+func (n *Module) commitState() {
+	copy(n.state, n.shadow)
+	n.inPush = false
+	n.inPop = false
+}
+
+// route is the second half of the rising edge: outbound signals latch
+// into the children's input registers.
+func (n *Module) route() {
+	if n.outPush >= 0 {
+		c := n.children[n.outPush]
+		c.inPush = true
+		c.inPushData = n.outPushData
+	}
+	if n.outPop >= 0 {
+		n.children[n.outPop].inPop = true
+	}
+}
+
+// Tree is the netlist: (m^l-1)/(m-1) identical modules connected
+// parent-to-child, plus the external interface of the root.
+type Tree struct {
+	m, l     int
+	modules  []*Module
+	root     *Module
+	size     int
+	capacity int
+	cycle    uint64
+
+	popCooldown int
+}
+
+// New builds and wires the netlist for an order-m, l-level tree.
+func New(m, l int) *Tree {
+	nn := core.NumNodes(m, l)
+	mods := make([]*Module, nn)
+	for i := range mods {
+		mods[i] = newModule(m)
+	}
+	for i := range mods {
+		for k := 0; k < m; k++ {
+			ci := i*m + k + 1
+			if ci < nn {
+				mods[i].children[k] = mods[ci]
+			}
+		}
+	}
+	return &Tree{
+		m:        m,
+		l:        l,
+		modules:  mods,
+		root:     mods[0],
+		capacity: nn * m,
+	}
+}
+
+// Order, Levels, Len, Cap, Cycle, AlmostFull mirror the behavioural
+// simulator's accessors.
+func (t *Tree) Order() int       { return t.m }
+func (t *Tree) Levels() int      { return t.l }
+func (t *Tree) Len() int         { return t.size }
+func (t *Tree) Cap() int         { return t.capacity }
+func (t *Tree) Cycle() uint64    { return t.cycle }
+func (t *Tree) AlmostFull() bool { return t.size >= t.capacity }
+
+// PushAvailable and PopAvailable implement the Section 4.2.2
+// handshake.
+func (t *Tree) PushAvailable() bool { return true }
+func (t *Tree) PopAvailable() bool  { return t.popCooldown == 0 }
+
+// SlotState exposes architectural state for the shared invariant
+// checker (quiescent pipelines only).
+func (t *Tree) SlotState(n, i int) (value uint64, count uint32, ok bool) {
+	e := t.modules[n].state[i]
+	return e.Val, e.Count, e.Count != 0
+}
+
+// Quiescent reports whether any module holds a pending input.
+func (t *Tree) Quiescent() bool {
+	for _, m := range t.modules {
+		if m.inPush || m.inPop {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick advances one clock with the external signal applied to the
+// root's pins, returning o_pop_result for a pop.
+func (t *Tree) Tick(op hw.Op) (*core.Element, error) {
+	switch op.Kind {
+	case hw.Push:
+		if t.AlmostFull() {
+			return nil, core.ErrFull
+		}
+		t.root.inPush = true
+		t.root.inPushData = Elem{Val: op.Value, Meta: op.Meta}
+		t.size++
+	case hw.Pop:
+		if t.popCooldown > 0 {
+			return nil, fmt.Errorf("rtl: pop issued while pop_available=0")
+		}
+		if t.size == 0 {
+			return nil, core.ErrEmpty
+		}
+		t.root.inPop = true
+		t.size--
+	}
+	t.cycle++
+
+	// Phase 1 on every module (node-local, any order).
+	for _, m := range t.modules {
+		m.evalPush()
+	}
+	// Phase 2: pops read children's phase-1 outputs. Parent-before-
+	// child order is irrelevant because i_pop registers were latched
+	// last cycle and at most one module per level holds one.
+	var result *core.Element
+	for _, m := range t.modules {
+		r, valid := m.evalPop()
+		if valid && m == t.root {
+			result = &core.Element{Value: r.Val, Meta: r.Meta}
+		}
+	}
+	// Rising edge: commit all state, then latch routed signals.
+	for _, m := range t.modules {
+		m.commitState()
+	}
+	for _, m := range t.modules {
+		m.route()
+	}
+
+	if op.Kind == hw.Pop {
+		t.popCooldown = 1
+	} else if t.popCooldown > 0 {
+		t.popCooldown--
+	}
+	return result, nil
+}

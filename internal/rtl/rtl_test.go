@@ -1,0 +1,169 @@
+package rtl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/rbmw"
+	"repro/internal/treecheck"
+)
+
+// TestNetlistShape: the structural claim of Section 3.3 — the tree is
+// (m^l-1)/(m-1) identical modules wired only parent-to-child.
+func TestNetlistShape(t *testing.T) {
+	tr := New(2, 4)
+	if len(tr.modules) != 15 {
+		t.Fatalf("modules = %d, want 15", len(tr.modules))
+	}
+	// Leaf modules have no children wired.
+	for i := 7; i < 15; i++ {
+		for _, c := range tr.modules[i].children {
+			if c != nil {
+				t.Fatal("leaf module has a child wire")
+			}
+		}
+	}
+	// Every non-root module is the child of exactly one parent.
+	seen := map[*Module]int{}
+	for _, m := range tr.modules {
+		for _, c := range m.children {
+			if c != nil {
+				seen[c]++
+			}
+		}
+	}
+	for i, m := range tr.modules[1:] {
+		if seen[m] != 1 {
+			t.Fatalf("module %d has %d parents", i+1, seen[m])
+		}
+	}
+}
+
+// TestLockstepWithWaveSimulator drives the structural netlist and the
+// behavioural wave simulator with the same cycle-by-cycle signals and
+// requires identical pop results at identical cycles — the two
+// descriptions of the hardware must be indistinguishable.
+func TestLockstepWithWaveSimulator(t *testing.T) {
+	shapes := []struct{ m, l int }{{2, 3}, {2, 6}, {3, 4}, {4, 4}, {8, 3}}
+	for si, shape := range shapes {
+		netlist := New(shape.m, shape.l)
+		wave := rbmw.New(shape.m, shape.l)
+		golden := core.New(shape.m, shape.l)
+		rng := rand.New(rand.NewSource(int64(si + 1)))
+		for i := 0; i < 4000; i++ {
+			var op hw.Op
+			switch {
+			case golden.Len() == 0:
+				op = hw.PushOp(uint64(rng.Intn(256)), uint64(i))
+			case !netlist.PopAvailable():
+				if rng.Intn(2) == 0 && !golden.AlmostFull() {
+					op = hw.PushOp(uint64(rng.Intn(256)), uint64(i))
+				} else {
+					op = hw.NopOp()
+				}
+			case golden.AlmostFull():
+				op = hw.PopOp()
+			default:
+				switch rng.Intn(4) {
+				case 0:
+					op = hw.NopOp()
+				case 1, 2:
+					op = hw.PushOp(uint64(rng.Intn(256)), uint64(i))
+				default:
+					op = hw.PopOp()
+				}
+			}
+			if netlist.PopAvailable() != wave.PopAvailable() {
+				t.Fatalf("shape %v op %d: availability skew", shape, i)
+			}
+			rN, errN := netlist.Tick(op)
+			rW, errW := wave.Tick(op)
+			if (errN == nil) != (errW == nil) {
+				t.Fatalf("shape %v op %d: error skew %v vs %v", shape, i, errN, errW)
+			}
+			if errN != nil {
+				continue
+			}
+			switch op.Kind {
+			case hw.Push:
+				golden.Push(core.Element{Value: op.Value, Meta: op.Meta})
+			case hw.Pop:
+				want, _ := golden.Pop()
+				if rN == nil || rW == nil || *rN != *rW || *rN != want {
+					t.Fatalf("shape %v op %d: netlist %v wave %v golden %v", shape, i, rN, rW, want)
+				}
+			}
+			if netlist.Cycle() != wave.Cycle() {
+				t.Fatalf("cycle skew: %d vs %d", netlist.Cycle(), wave.Cycle())
+			}
+		}
+		// Settle and compare architectural state via the shared checker.
+		for !netlist.Quiescent() {
+			netlist.Tick(hw.NopOp())
+		}
+		if err := treecheck.Check(netlist); err != nil {
+			t.Fatalf("shape %v: %v", shape, err)
+		}
+	}
+}
+
+// TestSustainedTransferAtPinLevel reproduces Figure 4's timing at the
+// pin level: in the cycle a pop is issued, o_pop_result carries the
+// minimum and the selected child's o_pop line rises for the next
+// cycle.
+func TestSustainedTransferAtPinLevel(t *testing.T) {
+	tr := New(2, 3)
+	for _, v := range []uint64{10, 17, 57, 21, 32, 43, 74, 33} {
+		if _, err := tr.Tick(hw.PushOp(v, v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for !tr.Quiescent() {
+		tr.Tick(hw.NopOp())
+	}
+	r, err := tr.Tick(hw.PopOp())
+	if err != nil || r.Value != 10 {
+		t.Fatalf("o_pop_result = %v, %v", r, err)
+	}
+	// The root raised o_pop to exactly one child, whose i_pop register
+	// is now set.
+	popped := 0
+	for _, c := range tr.root.children {
+		if c.inPop {
+			popped++
+		}
+	}
+	if popped != 1 {
+		t.Fatalf("o_pop raised to %d children, want 1", popped)
+	}
+	// Sustained transfer: the root keeps reporting its (new) minimum on
+	// o_pop_data without any pop signal.
+	tr.Tick(hw.NopOp())
+	if tr.root.outPopEmpty || tr.root.outPopData.Val != 17 {
+		t.Fatalf("o_pop_data = %+v, want sustained report of 17", tr.root.outPopData)
+	}
+}
+
+func TestErrorsAndHandshake(t *testing.T) {
+	tr := New(2, 2)
+	if _, err := tr.Tick(hw.PopOp()); err != core.ErrEmpty {
+		t.Fatalf("pop empty = %v", err)
+	}
+	for i := 0; i < tr.Cap(); i++ {
+		if _, err := tr.Tick(hw.PushOp(uint64(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tr.Tick(hw.PushOp(9, 0)); err != core.ErrFull {
+		t.Fatalf("push full = %v", err)
+	}
+	tr.Tick(hw.PopOp())
+	if tr.PopAvailable() {
+		t.Fatal("pop_available after pop")
+	}
+	if _, err := tr.Tick(hw.PopOp()); err == nil {
+		t.Fatal("pop-pop accepted")
+	}
+}

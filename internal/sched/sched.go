@@ -1,0 +1,237 @@
+// Package sched implements the rank-computation side of the PIFO model
+// (Section 2 of the paper): a scheduling algorithm is expressed as a
+// function that assigns each packet a rank; the flow scheduler (any
+// priority queue in this module) dequeues in rank order.
+//
+// Provided algorithms, mirroring the paper's Section 2.1/2.2 catalogue:
+//
+//   - FCFS: rank = arrival time.
+//   - STFQ (Start-Time Fair Queueing, Goyal et al.): rank = the
+//     packet's virtual start tag — used for the Figure 10 experiment.
+//   - WFQ-style finish-tag fair queueing.
+//   - SRPT: rank = remaining flow size.
+//   - Strict priority: rank = class.
+//   - Token bucket: a non-work-conserving shaper whose rank is the
+//     packet's eligible departure time.
+package sched
+
+// Packet is the metadata a ranker sees at enqueue time.
+type Packet struct {
+	Flow    uint32
+	Bytes   uint32
+	Arrival uint64 // ns
+
+	// Remaining is the flow's remaining size in bytes (SRPT).
+	Remaining uint64
+	// Class is the priority class (strict priority; 0 is highest).
+	Class uint8
+}
+
+// Ranker computes a rank for each packet at enqueue and observes
+// dequeues (some algorithms, like STFQ, advance virtual time from the
+// packet entering service).
+type Ranker interface {
+	// Rank returns the packet's rank; smaller dequeues first.
+	Rank(p Packet) uint64
+	// OnDequeue informs the ranker that a packet with the given rank
+	// has been dequeued for transmission.
+	OnDequeue(p Packet, rank uint64)
+}
+
+// FCFS ranks packets by arrival time (First Come First Serve).
+type FCFS struct{}
+
+// Rank returns the packet's arrival time.
+func (FCFS) Rank(p Packet) uint64 { return p.Arrival }
+
+// OnDequeue is a no-op for FCFS.
+func (FCFS) OnDequeue(Packet, uint64) {}
+
+// SRPT ranks packets by the remaining size of their flow (Shortest
+// Remaining Processing Time), minimising mean flow completion time.
+type SRPT struct{}
+
+// Rank returns the flow's remaining bytes.
+func (SRPT) Rank(p Packet) uint64 { return p.Remaining }
+
+// OnDequeue is a no-op for SRPT.
+func (SRPT) OnDequeue(Packet, uint64) {}
+
+// StrictPriority ranks packets by their class; ties (same class) are
+// broken by the flow scheduler's FIFO-or-arbitrary tie policy.
+type StrictPriority struct{}
+
+// Rank returns the packet's class.
+func (StrictPriority) Rank(p Packet) uint64 { return uint64(p.Class) }
+
+// OnDequeue is a no-op for strict priorities.
+func (StrictPriority) OnDequeue(Packet, uint64) {}
+
+// STFQ is Start-Time Fair Queueing: each packet's rank is its virtual
+// start tag max(V, F_flow); the flow's virtual finish advances by
+// length/weight; the system virtual time V is the start tag of the
+// packet currently in service. This is the rank function the paper's
+// packet-level evaluation (Section 6.4) installs on both RPU-BMW and
+// PIFO.
+type STFQ struct {
+	// DefaultWeight applies to flows without an explicit weight. The
+	// Figure 10 experiment gives all flows the same weight.
+	DefaultWeight uint32
+
+	weights map[uint32]uint32
+	finish  map[uint32]uint64
+	virtual uint64
+}
+
+// NewSTFQ creates an STFQ ranker with the given default weight
+// (must be > 0).
+func NewSTFQ(defaultWeight uint32) *STFQ {
+	if defaultWeight == 0 {
+		panic("sched: STFQ weight must be positive")
+	}
+	return &STFQ{
+		DefaultWeight: defaultWeight,
+		weights:       make(map[uint32]uint32),
+		finish:        make(map[uint32]uint64),
+	}
+}
+
+// SetWeight assigns a per-flow weight.
+func (s *STFQ) SetWeight(flow uint32, w uint32) {
+	if w == 0 {
+		panic("sched: STFQ weight must be positive")
+	}
+	s.weights[flow] = w
+}
+
+// Rank returns the packet's virtual start tag and advances the flow's
+// virtual finish tag.
+func (s *STFQ) Rank(p Packet) uint64 {
+	w := s.DefaultWeight
+	if pw, ok := s.weights[p.Flow]; ok {
+		w = pw
+	}
+	start := s.virtual
+	if f := s.finish[p.Flow]; f > start {
+		start = f
+	}
+	s.finish[p.Flow] = start + uint64(p.Bytes)/uint64(w)
+	return start
+}
+
+// OnDequeue advances the system virtual time to the start tag of the
+// packet entering service.
+func (s *STFQ) OnDequeue(_ Packet, rank uint64) {
+	if rank > s.virtual {
+		s.virtual = rank
+	}
+}
+
+// VirtualTime exposes the current system virtual time (tests).
+func (s *STFQ) VirtualTime() uint64 { return s.virtual }
+
+// Forget drops per-flow state for a finished flow, bounding memory over
+// long simulations.
+func (s *STFQ) Forget(flow uint32) {
+	delete(s.weights, flow)
+	delete(s.finish, flow)
+}
+
+// WFQ is finish-tag weighted fair queueing: rank = max(V, F_flow) +
+// length/weight ("WFQ employs virtual departure time as rank",
+// Section 2.2).
+type WFQ struct {
+	DefaultWeight uint32
+
+	weights map[uint32]uint32
+	finish  map[uint32]uint64
+	virtual uint64
+}
+
+// NewWFQ creates a WFQ ranker with the given default weight.
+func NewWFQ(defaultWeight uint32) *WFQ {
+	if defaultWeight == 0 {
+		panic("sched: WFQ weight must be positive")
+	}
+	return &WFQ{
+		DefaultWeight: defaultWeight,
+		weights:       make(map[uint32]uint32),
+		finish:        make(map[uint32]uint64),
+	}
+}
+
+// SetWeight assigns a per-flow weight.
+func (s *WFQ) SetWeight(flow uint32, w uint32) {
+	if w == 0 {
+		panic("sched: WFQ weight must be positive")
+	}
+	s.weights[flow] = w
+}
+
+// Rank returns the packet's virtual finish tag.
+func (s *WFQ) Rank(p Packet) uint64 {
+	w := s.DefaultWeight
+	if pw, ok := s.weights[p.Flow]; ok {
+		w = pw
+	}
+	start := s.virtual
+	if f := s.finish[p.Flow]; f > start {
+		start = f
+	}
+	fin := start + uint64(p.Bytes)/uint64(w)
+	s.finish[p.Flow] = fin
+	return fin
+}
+
+// OnDequeue advances the virtual time to the dequeued finish tag.
+func (s *WFQ) OnDequeue(_ Packet, rank uint64) {
+	if rank > s.virtual {
+		s.virtual = rank
+	}
+}
+
+// TokenBucket is a non-work-conserving shaper: each flow drains at
+// RateBytesPerSec with burst BurstBytes; a packet's rank is the
+// earliest time (ns) it may depart. A shaped queue must hold packets
+// until wall-clock time reaches the head's rank (Section 2.1, Token
+// Bucket / traffic shaping).
+type TokenBucket struct {
+	RateBytesPerSec uint64
+	BurstBytes      uint64
+
+	release map[uint32]uint64 // earliest next departure per flow
+}
+
+// NewTokenBucket creates a shaper with the given per-flow rate and
+// burst.
+func NewTokenBucket(rateBytesPerSec, burstBytes uint64) *TokenBucket {
+	if rateBytesPerSec == 0 {
+		panic("sched: token bucket rate must be positive")
+	}
+	return &TokenBucket{
+		RateBytesPerSec: rateBytesPerSec,
+		BurstBytes:      burstBytes,
+		release:         make(map[uint32]uint64),
+	}
+}
+
+// Rank returns the packet's eligible departure time in nanoseconds,
+// using the virtual-release-time (leaky bucket with burst) formulation:
+// idle credit is capped at one burst, and a packet is eligible at
+// max(arrival, release).
+func (tb *TokenBucket) Rank(p Packet) uint64 {
+	rel := tb.release[p.Flow]
+	burstNs := tb.BurstBytes * 1e9 / tb.RateBytesPerSec
+	if rel+burstNs < p.Arrival {
+		rel = p.Arrival - burstNs
+	}
+	eligible := rel
+	if p.Arrival > eligible {
+		eligible = p.Arrival
+	}
+	tb.release[p.Flow] = rel + uint64(p.Bytes)*1e9/tb.RateBytesPerSec
+	return eligible
+}
+
+// OnDequeue is a no-op: shaping state advances at enqueue.
+func (tb *TokenBucket) OnDequeue(Packet, uint64) {}

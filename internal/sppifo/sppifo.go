@@ -1,0 +1,119 @@
+// Package sppifo implements SP-PIFO (Alcoz, Dietmüller, Vanbever —
+// NSDI 2020), the strict-priority-queue approximation of a PIFO that
+// the BMW-Tree paper discusses in Section 7.2. It serves as an
+// *approximate* comparator for the accuracy experiment: unlike the
+// BMW-Tree, SP-PIFO can dequeue packets out of rank order
+// ("inversions"), which is precisely the weakness that motivates an
+// accurate large-scale PIFO.
+//
+// SP-PIFO maps ranks onto N strict-priority FIFO queues with dynamic
+// per-queue bounds, adapted on the fly:
+//
+//   - push (rank r): scan queues from the lowest priority to the
+//     highest; enqueue into the first queue whose bound is <= r and
+//     raise that bound to r ("push-up"). If even the highest-priority
+//     queue's bound exceeds r, an unavoidable inversion risk was
+//     detected: enqueue into the highest-priority queue and decrease
+//     every bound by the violation amount ("push-down").
+//   - pop: serve the highest-priority non-empty queue in FIFO order.
+//
+// An inversion is a dequeued packet whose rank is smaller than the
+// maximum rank dequeued before it.
+package sppifo
+
+import (
+	"repro/internal/core"
+)
+
+// Queue is an SP-PIFO scheduler with a fixed number of priority levels
+// and a shared element capacity.
+type Queue struct {
+	queues [][]core.Element // queues[0] is the highest priority
+	bounds []uint64
+	size   int
+	cap    int
+
+	pushUps, pushDowns uint64
+}
+
+// New creates an SP-PIFO with n strict-priority queues and the given
+// total element capacity.
+func New(n, capacity int) *Queue {
+	if n < 1 || capacity < 1 {
+		panic("sppifo: need at least one queue and capacity")
+	}
+	return &Queue{
+		queues: make([][]core.Element, n),
+		bounds: make([]uint64, n),
+		cap:    capacity,
+	}
+}
+
+// Len returns the stored element count; Cap the capacity; NumQueues
+// the number of strict-priority FIFOs.
+func (q *Queue) Len() int       { return q.size }
+func (q *Queue) Cap() int       { return q.cap }
+func (q *Queue) NumQueues() int { return len(q.queues) }
+
+// Stats returns the adaptation counters: push-up events (bound raised)
+// and push-down events (bounds collectively lowered after a violation).
+func (q *Queue) Stats() (pushUps, pushDowns uint64) { return q.pushUps, q.pushDowns }
+
+// Push maps the element to a queue per the SP-PIFO adaptation rules.
+func (q *Queue) Push(e core.Element) error {
+	if q.size >= q.cap {
+		return core.ErrFull
+	}
+	// Scan from the lowest priority (last queue) upwards.
+	for i := len(q.queues) - 1; i >= 0; i-- {
+		if e.Value >= q.bounds[i] {
+			q.queues[i] = append(q.queues[i], e)
+			q.bounds[i] = e.Value
+			q.pushUps++
+			q.size++
+			return nil
+		}
+	}
+	// Violation: even the highest-priority queue's bound exceeds the
+	// rank. Enqueue there and push all bounds down by the excess.
+	delta := q.bounds[0] - e.Value
+	for i := range q.bounds {
+		if q.bounds[i] >= delta {
+			q.bounds[i] -= delta
+		} else {
+			q.bounds[i] = 0
+		}
+	}
+	q.queues[0] = append(q.queues[0], e)
+	q.pushDowns++
+	q.size++
+	return nil
+}
+
+// Pop dequeues from the highest-priority non-empty FIFO.
+func (q *Queue) Pop() (core.Element, error) {
+	for i := range q.queues {
+		if len(q.queues[i]) > 0 {
+			e := q.queues[i][0]
+			q.queues[i] = q.queues[i][1:]
+			if len(q.queues[i]) == 0 {
+				q.queues[i] = nil // release drained backing array
+			}
+			q.size--
+			return e, nil
+		}
+	}
+	return core.Element{}, core.ErrEmpty
+}
+
+// Peek returns the head of the highest-priority non-empty FIFO. Note
+// that unlike an accurate PIFO this is not necessarily the global
+// minimum.
+func (q *Queue) Peek() (core.Element, error) {
+	for i := range q.queues {
+		if len(q.queues[i]) > 0 {
+			return q.queues[i][0], nil
+		}
+	}
+	return core.Element{}, core.ErrEmpty
+}

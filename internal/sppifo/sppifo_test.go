@@ -1,0 +1,147 @@
+package sppifo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/refpq"
+)
+
+func TestFIFOWithinQueue(t *testing.T) {
+	q := New(4, 64)
+	// Identical ranks land in the same queue and keep FIFO order.
+	for i := uint64(0); i < 5; i++ {
+		if err := q.Push(core.Element{Value: 10, Meta: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 5; i++ {
+		e, err := q.Pop()
+		if err != nil || e.Meta != i {
+			t.Fatalf("pop %d = %v, %v", i, e, err)
+		}
+	}
+}
+
+func TestCapacityAndEmpty(t *testing.T) {
+	q := New(2, 3)
+	for i := 0; i < 3; i++ {
+		if err := q.Push(core.Element{Value: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Push(core.Element{Value: 9}); err != core.ErrFull {
+		t.Fatalf("push full = %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := q.Pop(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := q.Pop(); err != core.ErrEmpty {
+		t.Fatalf("pop empty = %v", err)
+	}
+	if _, err := q.Peek(); err != core.ErrEmpty {
+		t.Fatalf("peek empty = %v", err)
+	}
+}
+
+// TestBoundAdaptation exercises push-up and push-down: ascending ranks
+// raise bounds; a sudden low rank triggers a push-down that lowers
+// every bound.
+func TestBoundAdaptation(t *testing.T) {
+	q := New(3, 64)
+	// Descending pushes fill the bounds bottom-up: 10 lands in the
+	// lowest-priority queue, 5 and 3 climb into the higher ones.
+	for _, r := range []uint64{10, 5, 3} {
+		q.Push(core.Element{Value: r})
+	}
+	ups, downs := q.Stats()
+	if ups != 3 || downs != 0 {
+		t.Fatalf("after descending pushes: ups=%d downs=%d", ups, downs)
+	}
+	// Every bound now exceeds rank 1: push-down.
+	q.Push(core.Element{Value: 1})
+	_, downs = q.Stats()
+	if downs != 1 {
+		t.Fatalf("low rank did not trigger push-down: downs=%d", downs)
+	}
+}
+
+// TestInaccuracyVersusAccuratePIFO is the accuracy experiment at unit
+// scale. "Accurate" per the paper means every pop returns the current
+// minimum rank in the queue; we count pops violating that against a
+// reference multiset. The BMW-Tree scores zero by construction;
+// SP-PIFO's FIFO queues cannot avoid violations on bursty rank
+// patterns.
+func TestInaccuracyVersusAccuratePIFO(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sp := New(8, 1<<12)
+	tr := core.New(2, 12)
+	ref := refpq.New()
+
+	spBad, bmwBad, pops := 0, 0, 0
+	inFlight := 0
+	for step := 0; step < 20000; step++ {
+		if inFlight < 512 && (inFlight == 0 || rng.Intn(2) == 0) {
+			base := uint64(rng.Intn(4)) * 1000
+			r := base + uint64(rng.Intn(100))
+			if err := sp.Push(core.Element{Value: r}); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Push(core.Element{Value: r}); err != nil {
+				t.Fatal(err)
+			}
+			ref.Push(refpq.Entry{Value: r})
+			inFlight++
+		} else {
+			min := ref.MinValue()
+			e1, err := sp.Pop()
+			if err != nil {
+				t.Fatal(err)
+			}
+			e2, err := tr.Pop()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e1.Value > min {
+				spBad++
+			}
+			if e2.Value > min {
+				bmwBad++
+			}
+			// Keep the reference multiset in sync with the accurate
+			// scheduler's contents (both see the same pushes).
+			if !ref.RemoveExact(refpq.Entry{Value: e2.Value}) {
+				t.Fatal("reference desync")
+			}
+			pops++
+			inFlight--
+		}
+	}
+	if bmwBad != 0 {
+		t.Fatalf("accurate PIFO popped a non-minimum %d times", bmwBad)
+	}
+	if spBad == 0 {
+		t.Fatal("SP-PIFO produced no order violations on a bursty pattern")
+	}
+	t.Logf("non-minimal pops: SP-PIFO %d/%d (%.2f%%), BMW-Tree 0",
+		spBad, pops, 100*float64(spBad)/float64(pops))
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 10) },
+		func() { New(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid params did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

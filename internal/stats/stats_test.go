@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNormalized(t *testing.T) {
+	r := FlowRecord{Bytes: 100, FCTNs: 300, IdealFCTNs: 100}
+	if r.Normalized() != 3 {
+		t.Fatalf("normalized = %f", r.Normalized())
+	}
+	if !math.IsNaN((FlowRecord{}).Normalized()) {
+		t.Fatal("zero ideal should be NaN")
+	}
+}
+
+func TestBinned(t *testing.T) {
+	var f FCT
+	// Two small flows (norm 2, 4), one large flow (norm 3).
+	f.Add(FlowRecord{Bytes: 5 << 10, FCTNs: 200, IdealFCTNs: 100})
+	f.Add(FlowRecord{Bytes: 6 << 10, FCTNs: 400, IdealFCTNs: 100})
+	f.Add(FlowRecord{Bytes: 5 << 20, FCTNs: 300, IdealFCTNs: 100})
+	bins := f.Binned(DefaultBins())
+	if bins[0].Flows != 2 || bins[0].MeanNormFCT != 3 {
+		t.Fatalf("small bin = %+v", bins[0])
+	}
+	var largeBin *Bin
+	for i := range bins {
+		if bins[i].LoBytes <= 5<<20 && 5<<20 < bins[i].HiBytes {
+			largeBin = &bins[i]
+		}
+	}
+	if largeBin == nil || largeBin.Flows != 1 || largeBin.MeanNormFCT != 3 {
+		t.Fatalf("large bin = %+v", largeBin)
+	}
+	if f.Count() != 3 {
+		t.Fatalf("Count = %d", f.Count())
+	}
+}
+
+func TestOverallMean(t *testing.T) {
+	var f FCT
+	f.Add(FlowRecord{Bytes: 1, FCTNs: 100, IdealFCTNs: 100})
+	f.Add(FlowRecord{Bytes: 1, FCTNs: 300, IdealFCTNs: 100})
+	if got := f.OverallMeanNorm(); got != 2 {
+		t.Fatalf("overall mean = %f", got)
+	}
+	var empty FCT
+	if !math.IsNaN(empty.OverallMeanNorm()) {
+		t.Fatal("empty mean should be NaN")
+	}
+}
+
+func TestBinLabels(t *testing.T) {
+	b := Bin{LoBytes: 10 << 10, HiBytes: 30 << 10}
+	if b.Label() != "10K-30K" {
+		t.Fatalf("label = %q", b.Label())
+	}
+	last := Bin{LoBytes: 10 << 20, HiBytes: math.MaxUint64}
+	if last.Label() != ">10M" {
+		t.Fatalf("label = %q", last.Label())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Median != 2.5 {
+		t.Fatalf("median = %f", s.Median)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i + 1)
+	}
+	s := Summarize(vals)
+	if s.P99 < 99 || s.P99 > 100 {
+		t.Fatalf("p99 = %f", s.P99)
+	}
+}
+
+func TestTable(t *testing.T) {
+	var f FCT
+	f.Add(FlowRecord{Bytes: 5 << 10, FCTNs: 200, IdealFCTNs: 100})
+	out := Table("test", f.Binned(DefaultBins()))
+	if !strings.Contains(out, "0-10K") || !strings.Contains(out, "2.000") {
+		t.Fatalf("table output:\n%s", out)
+	}
+}

@@ -1,0 +1,465 @@
+// Package tcp implements a packet-level TCP New Reno model — the
+// congestion control the paper's NS-3 evaluation applies to all source
+// hosts (Section 6.4). It provides what a flow-completion-time study
+// needs: slow start, congestion avoidance, fast retransmit / NewReno
+// fast recovery with partial-ACK retransmission, retransmission
+// timeouts with exponential backoff and Karn's algorithm for RTT
+// sampling, and a cumulative-ACK receiver with out-of-order buffering.
+//
+// Simplifications relative to a kernel stack, chosen to keep the FCT
+// dynamics faithful while staying simulator-sized: no receiver-window
+// limit (memory is ample), no delayed ACKs (one ACK per data segment),
+// byte-counting windows, and go-back-N after a timeout (the canonical
+// behaviour of simple simulators; it only makes timeouts costlier,
+// which is the effect the experiment measures).
+package tcp
+
+import (
+	"fmt"
+
+	"repro/internal/eventq"
+)
+
+// Segment is a TCP segment on the wire: either data (Len > 0) or a
+// pure cumulative ACK.
+type Segment struct {
+	Flow  uint32
+	Seq   uint64 // first payload byte offset
+	Len   uint32 // payload bytes (0 for pure ACK)
+	IsAck bool
+	AckNo uint64 // next expected byte (cumulative)
+
+	// CE is the ECN congestion-experienced codepoint, set by a marking
+	// queue in the network; ECE echoes it back on the ACK path.
+	CE  bool
+	ECE bool
+}
+
+// Config holds the transport parameters.
+type Config struct {
+	MSS          uint32 // payload bytes per segment
+	InitCwndMSS  uint32 // initial window in segments
+	MaxCwndMSS   uint32 // window cap in segments (stands in for rwnd; 0 = unlimited)
+	MinRTONs     uint64
+	InitRTONs    uint64
+	MaxRTONs     uint64
+	DupAckThresh int
+
+	// DCTCP enables the data-center TCP reaction to ECN marks
+	// (Alizadeh et al. — the same study the web-search workload comes
+	// from): the window shrinks in proportion to the fraction alpha of
+	// marked bytes, estimated with gain DCTCPg per window. Loss
+	// handling stays NewReno.
+	DCTCP  bool
+	DCTCPg float64
+}
+
+// DefaultConfig mirrors common simulator settings: 1460-byte MSS,
+// initial window of 10 segments, 200 ms minimum RTO, 1 s initial RTO.
+func DefaultConfig() Config {
+	return Config{
+		MSS:          1460,
+		InitCwndMSS:  10,
+		MaxCwndMSS:   4096,
+		MinRTONs:     200e6,
+		InitRTONs:    1e9,
+		MaxRTONs:     60e9,
+		DupAckThresh: 3,
+	}
+}
+
+// sentInfo tracks one in-flight segment for RTT sampling.
+type sentInfo struct {
+	sentAt uint64
+	retx   bool
+}
+
+// Sender is the NewReno sending side of one flow.
+type Sender struct {
+	cfg    Config
+	q      *eventq.Queue
+	flow   uint32
+	total  uint64
+	output func(Segment)
+	onDone func(finishNs uint64)
+
+	sndUna uint64
+	sndNxt uint64
+
+	cwnd     float64 // bytes
+	ssthresh float64
+	inFR     bool
+	recover  uint64
+	dupAcks  int
+
+	srtt, rttvar float64
+	rto          uint64
+	haveRTT      bool
+
+	// DCTCP state.
+	alpha       float64
+	ackedBytes  uint64
+	markedBytes uint64
+	alphaEnd    uint64 // alpha observation window ends when sndUna passes this
+	cutEnd      uint64 // at most one multiplicative cut per window of data
+
+	sent map[uint64]sentInfo // keyed by segment end offset
+
+	timerGen uint64
+	done     bool
+
+	// Counters for tests and reporting.
+	Retransmits uint64
+	Timeouts    uint64
+	FastRecov   uint64
+}
+
+// NewSender creates a sender for a flow of total bytes. output
+// transmits a segment into the network; onDone fires once when the last
+// byte is cumulatively acknowledged.
+func NewSender(q *eventq.Queue, cfg Config, flow uint32, total uint64, output func(Segment), onDone func(uint64)) *Sender {
+	if total == 0 {
+		panic("tcp: empty flow")
+	}
+	if cfg.MSS == 0 || cfg.DupAckThresh <= 0 {
+		panic("tcp: invalid config")
+	}
+	return &Sender{
+		cfg:      cfg,
+		q:        q,
+		flow:     flow,
+		total:    total,
+		output:   output,
+		onDone:   onDone,
+		cwnd:     float64(cfg.InitCwndMSS) * float64(cfg.MSS),
+		ssthresh: 1 << 50, // effectively unbounded until the first loss
+		rto:      cfg.InitRTONs,
+		sent:     make(map[uint64]sentInfo),
+	}
+}
+
+// Start begins transmission (sends the initial window).
+func (s *Sender) Start() { s.trySend() }
+
+// Done reports whether the flow completed.
+func (s *Sender) Done() bool { return s.done }
+
+// Flow returns the flow ID.
+func (s *Sender) Flow() uint32 { return s.flow }
+
+// inflight returns the outstanding bytes.
+func (s *Sender) inflight() uint64 { return s.sndNxt - s.sndUna }
+
+// trySend transmits new data while the effective window (cwnd capped
+// by the receiver-window stand-in) allows.
+func (s *Sender) trySend() {
+	wnd := s.cwnd
+	if s.cfg.MaxCwndMSS > 0 {
+		if cap := float64(s.cfg.MaxCwndMSS) * float64(s.cfg.MSS); wnd > cap {
+			wnd = cap
+		}
+	}
+	for !s.done && s.sndNxt < s.total {
+		segLen := uint64(s.cfg.MSS)
+		if s.sndNxt+segLen > s.total {
+			segLen = s.total - s.sndNxt
+		}
+		if float64(s.inflight()+segLen) > wnd {
+			break
+		}
+		s.transmit(s.sndNxt, uint32(segLen), false)
+		s.sndNxt += segLen
+	}
+	s.armTimer()
+}
+
+// transmit emits one segment and records its send time for RTT
+// sampling (suppressed on retransmissions per Karn's algorithm).
+func (s *Sender) transmit(seq uint64, n uint32, isRetx bool) {
+	end := seq + uint64(n)
+	info := sentInfo{sentAt: s.q.Now(), retx: isRetx}
+	if _, ok := s.sent[end]; ok {
+		// Re-sending a byte range already transmitted (fast retransmit or
+		// post-timeout go-back-N): excluded from RTT sampling per Karn.
+		info.retx = true
+	}
+	s.sent[end] = info
+	if info.retx {
+		s.Retransmits++
+	}
+	s.output(Segment{Flow: s.flow, Seq: seq, Len: n})
+}
+
+// armTimer (re)starts the retransmission timer when data is
+// outstanding.
+func (s *Sender) armTimer() {
+	if s.done || s.inflight() == 0 {
+		s.timerGen++ // disarm
+		return
+	}
+	s.timerGen++
+	gen := s.timerGen
+	s.q.After(s.rto, func() {
+		if gen == s.timerGen && !s.done {
+			s.onTimeout()
+		}
+	})
+}
+
+// OnAck processes a cumulative acknowledgement.
+func (s *Sender) OnAck(ackNo uint64) { s.OnAckECN(ackNo, false) }
+
+// OnAckECN processes a cumulative acknowledgement carrying an ECN
+// echo. With Config.DCTCP set, marked bytes feed the alpha estimator
+// and trigger at most one proportional window cut per window of data.
+func (s *Sender) OnAckECN(ackNo uint64, ece bool) {
+	if s.done {
+		return
+	}
+	if s.cfg.DCTCP && ackNo > s.sndUna {
+		s.dctcpObserve(ackNo, ece)
+	}
+	switch {
+	case ackNo > s.sndUna:
+		s.onNewAck(ackNo)
+	case ackNo == s.sndUna && s.inflight() > 0:
+		s.onDupAck()
+	}
+}
+
+// dctcpObserve accumulates the marked-byte fraction and applies the
+// DCTCP window law: once per window, alpha <- (1-g)alpha + gF and, if
+// any bytes were marked, cwnd <- cwnd(1 - alpha/2).
+func (s *Sender) dctcpObserve(ackNo uint64, ece bool) {
+	acked := ackNo - s.sndUna
+	s.ackedBytes += acked
+	if ece {
+		s.markedBytes += acked
+	}
+	if ackNo < s.alphaEnd {
+		// Still observing the current window.
+		if ece && ackNo >= s.cutEnd {
+			s.cut()
+		}
+		return
+	}
+	if s.ackedBytes > 0 {
+		g := s.cfg.DCTCPg
+		if g <= 0 || g > 1 {
+			g = 1.0 / 16
+		}
+		f := float64(s.markedBytes) / float64(s.ackedBytes)
+		s.alpha = (1-g)*s.alpha + g*f
+	}
+	if ece && ackNo >= s.cutEnd {
+		s.cut()
+	}
+	s.ackedBytes, s.markedBytes = 0, 0
+	s.alphaEnd = s.sndNxt
+}
+
+// cut applies one multiplicative DCTCP decrease and leaves slow start.
+func (s *Sender) cut() {
+	s.cwnd *= 1 - s.alpha/2
+	if min := float64(s.cfg.MSS); s.cwnd < min {
+		s.cwnd = min
+	}
+	s.ssthresh = s.cwnd
+	s.cutEnd = s.sndNxt // at most one cut per in-flight window
+}
+
+// Alpha returns the DCTCP mark-fraction estimate (tests).
+func (s *Sender) Alpha() float64 { return s.alpha }
+
+func (s *Sender) onNewAck(ackNo uint64) {
+	// RTT sample from the newest segment this ACK covers, if it was
+	// never retransmitted (Karn).
+	if info, ok := s.sent[ackNo]; ok && !info.retx {
+		s.sampleRTT(s.q.Now() - info.sentAt)
+	}
+	// Segment ends are MSS-aligned (the final one ends at total), so the
+	// acked range can be cleaned in O(acked/MSS) instead of scanning the
+	// whole in-flight map per ACK.
+	mss := uint64(s.cfg.MSS)
+	for end := (s.sndUna/mss)*mss + mss; end <= ackNo; end += mss {
+		delete(s.sent, end)
+	}
+	delete(s.sent, ackNo)
+	acked := ackNo - s.sndUna
+	s.sndUna = ackNo
+	s.dupAcks = 0
+
+	if s.inFR {
+		if ackNo >= s.recover {
+			// Full ACK: leave fast recovery (deflate).
+			s.inFR = false
+			s.cwnd = s.ssthresh
+		} else {
+			// Partial ACK (NewReno): retransmit the next hole, deflate by
+			// the amount acked, stay in recovery.
+			s.retransmitOne(s.sndUna)
+			s.cwnd -= float64(acked)
+			if s.cwnd < float64(s.cfg.MSS) {
+				s.cwnd = float64(s.cfg.MSS)
+			}
+			s.cwnd += float64(s.cfg.MSS)
+		}
+	} else if s.cwnd < s.ssthresh {
+		// Slow start: one MSS per ACK.
+		s.cwnd += float64(s.cfg.MSS)
+	} else {
+		// Congestion avoidance: MSS*MSS/cwnd per ACK.
+		s.cwnd += float64(s.cfg.MSS) * float64(s.cfg.MSS) / s.cwnd
+	}
+
+	if s.sndUna >= s.total {
+		s.done = true
+		s.timerGen++
+		s.onDone(s.q.Now())
+		return
+	}
+	s.trySend()
+}
+
+func (s *Sender) onDupAck() {
+	s.dupAcks++
+	if s.inFR {
+		// Window inflation per duplicate ACK.
+		s.cwnd += float64(s.cfg.MSS)
+		s.trySend()
+		return
+	}
+	if s.dupAcks == s.cfg.DupAckThresh {
+		// Fast retransmit + NewReno fast recovery.
+		s.FastRecov++
+		s.inFR = true
+		s.recover = s.sndNxt
+		s.ssthresh = s.halfFlight()
+		s.cwnd = s.ssthresh + float64(s.cfg.DupAckThresh)*float64(s.cfg.MSS)
+		s.retransmitOne(s.sndUna)
+		s.armTimer()
+	}
+}
+
+// retransmitOne resends the segment starting at seq.
+func (s *Sender) retransmitOne(seq uint64) {
+	n := uint64(s.cfg.MSS)
+	if seq+n > s.total {
+		n = s.total - seq
+	}
+	if seq+n > s.sndNxt {
+		n = s.sndNxt - seq
+	}
+	if n == 0 {
+		return
+	}
+	s.transmit(seq, uint32(n), true)
+}
+
+func (s *Sender) onTimeout() {
+	s.Timeouts++
+	s.ssthresh = s.halfFlight()
+	s.cwnd = float64(s.cfg.MSS)
+	s.inFR = false
+	s.dupAcks = 0
+	// Go-back-N: retransmit from the first unacknowledged byte.
+	s.sndNxt = s.sndUna
+	// Exponential backoff.
+	s.rto *= 2
+	if s.rto > s.cfg.MaxRTONs {
+		s.rto = s.cfg.MaxRTONs
+	}
+	s.trySend()
+}
+
+// halfFlight returns max(inflight/2, 2*MSS) in bytes.
+func (s *Sender) halfFlight() float64 {
+	half := float64(s.inflight()) / 2
+	if min := 2 * float64(s.cfg.MSS); half < min {
+		half = min
+	}
+	return half
+}
+
+// sampleRTT runs the Jacobson/Karels estimator and clamps the RTO.
+func (s *Sender) sampleRTT(rtt uint64) {
+	r := float64(rtt)
+	if !s.haveRTT {
+		s.srtt = r
+		s.rttvar = r / 2
+		s.haveRTT = true
+	} else {
+		const alpha, beta = 0.125, 0.25
+		d := s.srtt - r
+		if d < 0 {
+			d = -d
+		}
+		s.rttvar = (1-beta)*s.rttvar + beta*d
+		s.srtt = (1-alpha)*s.srtt + alpha*r
+	}
+	rto := uint64(s.srtt + 4*s.rttvar)
+	if rto < s.cfg.MinRTONs {
+		rto = s.cfg.MinRTONs
+	}
+	if rto > s.cfg.MaxRTONs {
+		rto = s.cfg.MaxRTONs
+	}
+	s.rto = rto
+}
+
+// SRTT returns the smoothed RTT estimate in nanoseconds (0 until the
+// first sample).
+func (s *Sender) SRTT() uint64 { return uint64(s.srtt) }
+
+// RTO returns the current retransmission timeout.
+func (s *Sender) RTO() uint64 { return s.rto }
+
+// Cwnd returns the congestion window in bytes.
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// Receiver is the receiving side of one flow: cumulative ACKs with
+// out-of-order buffering.
+type Receiver struct {
+	expected uint64
+	ooo      map[uint64]uint32 // seq -> len
+	sendAck  func(ackNo uint64, ece bool)
+
+	// Received counts distinct payload bytes delivered in order.
+	Received uint64
+}
+
+// NewReceiver creates a receiver; sendAck transmits a cumulative ACK
+// back to the sender, echoing the segment's ECN mark (ece).
+func NewReceiver(sendAck func(ackNo uint64, ece bool)) *Receiver {
+	return &Receiver{ooo: make(map[uint64]uint32), sendAck: sendAck}
+}
+
+// OnData processes a data segment and emits an ACK.
+func (r *Receiver) OnData(seg Segment) {
+	if seg.Len == 0 {
+		panic(fmt.Sprintf("tcp: zero-length data segment %+v", seg))
+	}
+	switch {
+	case seg.Seq == r.expected:
+		r.expected += uint64(seg.Len)
+		// Drain any now-contiguous buffered segments.
+		for {
+			l, ok := r.ooo[r.expected]
+			if !ok {
+				break
+			}
+			delete(r.ooo, r.expected)
+			r.expected += uint64(l)
+		}
+	case seg.Seq > r.expected:
+		r.ooo[seg.Seq] = seg.Len
+	default:
+		// Fully or partially duplicate segment below the cumulative
+		// point: a retransmission overlap; nothing to store.
+	}
+	r.Received = r.expected
+	r.sendAck(r.expected, seg.CE)
+}
+
+// Expected returns the next in-order byte the receiver awaits.
+func (r *Receiver) Expected() uint64 { return r.expected }

@@ -1,0 +1,363 @@
+package tcp
+
+import (
+	"testing"
+
+	"repro/internal/eventq"
+)
+
+// harness wires a sender and receiver over a perfect fixed-delay link,
+// with an optional per-segment drop decision on the data path.
+type harness struct {
+	q         *eventq.Queue
+	snd       *Sender
+	rcv       *Receiver
+	delay     uint64
+	dropData  func(seg Segment, nth uint64) bool
+	nthData   uint64
+	finished  bool
+	finishNs  uint64
+	delivered uint64
+}
+
+func newHarness(total uint64, cfg Config, delay uint64, drop func(Segment, uint64) bool) *harness {
+	h := &harness{q: eventq.New(), delay: delay, dropData: drop}
+	h.rcv = NewReceiver(func(ackNo uint64, ece bool) {
+		h.q.After(h.delay, func() { h.snd.OnAckECN(ackNo, ece) })
+	})
+	h.snd = NewSender(h.q, cfg, 1, total,
+		func(seg Segment) {
+			h.nthData++
+			if h.dropData != nil && h.dropData(seg, h.nthData) {
+				return
+			}
+			h.q.After(h.delay, func() {
+				h.rcv.OnData(seg)
+				h.delivered++
+			})
+		},
+		func(fin uint64) { h.finished = true; h.finishNs = fin })
+	return h
+}
+
+func (h *harness) run(t *testing.T) {
+	t.Helper()
+	h.snd.Start()
+	h.q.Run(10_000_000)
+	if !h.finished {
+		t.Fatalf("flow did not complete: una=%d nxt=%d cwnd=%.0f timeouts=%d",
+			h.snd.sndUna, h.snd.sndNxt, h.snd.Cwnd(), h.snd.Timeouts)
+	}
+}
+
+func TestLosslessTransfer(t *testing.T) {
+	cfg := DefaultConfig()
+	const total = 1_000_000
+	h := newHarness(total, cfg, 1e6, nil) // 1 ms one-way, RTT 2 ms
+	h.run(t)
+	if h.rcv.Expected() != total {
+		t.Fatalf("receiver got %d bytes, want %d", h.rcv.Expected(), total)
+	}
+	if h.snd.Retransmits != 0 || h.snd.Timeouts != 0 {
+		t.Fatalf("lossless run had %d retransmits, %d timeouts", h.snd.Retransmits, h.snd.Timeouts)
+	}
+	// RTT estimate near 2 ms.
+	if srtt := h.snd.SRTT(); srtt < 1_900_000 || srtt > 2_200_000 {
+		t.Errorf("SRTT = %d, want ≈2ms", srtt)
+	}
+	if h.snd.RTO() < cfg.MinRTONs {
+		t.Error("RTO below minimum")
+	}
+}
+
+func TestTinyFlowSingleSegment(t *testing.T) {
+	h := newHarness(100, DefaultConfig(), 1e6, nil)
+	h.run(t)
+	if h.rcv.Expected() != 100 {
+		t.Fatalf("got %d bytes", h.rcv.Expected())
+	}
+	// One data segment, completion in one RTT.
+	if h.finishNs != 2e6 {
+		t.Errorf("FCT = %d, want 2e6 (one RTT)", h.finishNs)
+	}
+}
+
+// TestSlowStartGrowth: with a large transfer and no loss, the window
+// doubles every RTT initially.
+func TestSlowStartGrowth(t *testing.T) {
+	cfg := DefaultConfig()
+	h := newHarness(5_000_000, cfg, 1e6, nil)
+	h.snd.Start()
+	// After a few RTTs the window should exceed the initial by 4x.
+	h.q.RunUntil(8e6) // 4 RTTs
+	if h.snd.Cwnd() < 4*float64(cfg.InitCwndMSS)*float64(cfg.MSS) {
+		t.Fatalf("cwnd after 4 RTT = %.0f, want exponential growth", h.snd.Cwnd())
+	}
+	h.q.Run(10_000_000)
+	if !h.finished {
+		t.Fatal("did not finish")
+	}
+}
+
+// TestFastRetransmit drops exactly one mid-stream segment: the loss is
+// repaired by fast retransmit (no timeout) and the transfer completes.
+func TestFastRetransmit(t *testing.T) {
+	cfg := DefaultConfig()
+	const total = 2_000_000
+	h := newHarness(total, cfg, 1e6, func(seg Segment, nth uint64) bool {
+		return nth == 20 // drop the 20th transmitted data segment
+	})
+	h.run(t)
+	if h.rcv.Expected() != total {
+		t.Fatalf("receiver got %d", h.rcv.Expected())
+	}
+	if h.snd.FastRecov != 1 {
+		t.Fatalf("fast recoveries = %d, want 1", h.snd.FastRecov)
+	}
+	if h.snd.Timeouts != 0 {
+		t.Fatalf("timeouts = %d, want 0 (loss repaired by fast retransmit)", h.snd.Timeouts)
+	}
+	if h.snd.Retransmits == 0 {
+		t.Fatal("no retransmission recorded")
+	}
+}
+
+// TestNewRenoPartialAcks drops several segments from one window: NewReno
+// repairs them one per partial ACK within a single fast-recovery epoch.
+func TestNewRenoPartialAcks(t *testing.T) {
+	cfg := DefaultConfig()
+	const total = 2_000_000
+	h := newHarness(total, cfg, 1e6, func(seg Segment, nth uint64) bool {
+		return nth == 30 || nth == 32 || nth == 34
+	})
+	h.run(t)
+	if h.rcv.Expected() != total {
+		t.Fatalf("receiver got %d", h.rcv.Expected())
+	}
+	if h.snd.FastRecov != 1 {
+		t.Fatalf("fast recoveries = %d, want 1 (partial ACKs stay in one epoch)", h.snd.FastRecov)
+	}
+	if h.snd.Timeouts != 0 {
+		t.Fatalf("timeouts = %d, want 0", h.snd.Timeouts)
+	}
+}
+
+// TestTimeoutOnTailLoss: dropping the final segments leaves too few
+// dupacks, so recovery needs the RTO and exponential backoff.
+func TestTimeoutOnTailLoss(t *testing.T) {
+	cfg := DefaultConfig()
+	const total = 14600 // exactly 10 MSS
+	drops := map[uint64]bool{9: true, 10: true}
+	h := newHarness(total, cfg, 1e6, func(seg Segment, nth uint64) bool {
+		return drops[nth]
+	})
+	h.run(t)
+	if h.rcv.Expected() != total {
+		t.Fatalf("receiver got %d", h.rcv.Expected())
+	}
+	if h.snd.Timeouts == 0 {
+		t.Fatal("tail loss must trigger a timeout")
+	}
+	// FCT must include at least one RTO; the first eight segments'
+	// RTT samples legitimately shrink the RTO down to the minimum.
+	if h.finishNs < cfg.MinRTONs {
+		t.Fatalf("FCT %d shorter than one minimum RTO", h.finishNs)
+	}
+}
+
+// TestHeavyRandomLoss: 5% deterministic-pattern loss still completes,
+// exercising interleaved fast recoveries and timeouts, and the receiver
+// sees every byte exactly once in order.
+func TestHeavyRandomLoss(t *testing.T) {
+	cfg := DefaultConfig()
+	const total = 3_000_000
+	h := newHarness(total, cfg, 1e6, func(seg Segment, nth uint64) bool {
+		return nth%20 == 13
+	})
+	h.run(t)
+	if h.rcv.Expected() != total {
+		t.Fatalf("receiver got %d", h.rcv.Expected())
+	}
+	if h.snd.Retransmits == 0 {
+		t.Fatal("expected retransmissions under 5% loss")
+	}
+}
+
+// TestRTOBackoff verifies exponential backoff when every packet is lost
+// for a while.
+func TestRTOBackoff(t *testing.T) {
+	cfg := DefaultConfig()
+	blackhole := true
+	h := newHarness(100_000, cfg, 1e6, func(seg Segment, nth uint64) bool {
+		return blackhole
+	})
+	h.snd.Start()
+	h.q.RunUntil(uint64(7.2e9)) // RTOs at 1s, +2s, +4s
+	if h.snd.Timeouts < 3 {
+		t.Fatalf("timeouts = %d, want >= 3", h.snd.Timeouts)
+	}
+	if h.snd.RTO() < 8e9 {
+		t.Fatalf("RTO = %d, want >= 8e9 after 3 backoffs", h.snd.RTO())
+	}
+	// Heal the path; the flow must still complete.
+	blackhole = false
+	h.q.Run(10_000_000)
+	if !h.finished {
+		t.Fatal("flow did not complete after blackhole healed")
+	}
+}
+
+// TestCwndCollapsesOnTimeout: after an RTO the window restarts from one
+// MSS (slow start).
+func TestCwndCollapsesOnTimeout(t *testing.T) {
+	cfg := DefaultConfig()
+	dropping := false
+	h := newHarness(5_000_000, cfg, 1e6, func(seg Segment, nth uint64) bool {
+		return dropping
+	})
+	h.snd.Start()
+	h.q.RunUntil(6e6)
+	if h.snd.Cwnd() <= float64(cfg.InitCwndMSS)*float64(cfg.MSS) {
+		t.Fatal("cwnd did not grow before loss")
+	}
+	dropping = true
+	h.q.RunUntil(h.q.Now() + 3e9)
+	if h.snd.Timeouts == 0 {
+		t.Fatal("no timeout during blackhole")
+	}
+	dropping = false
+	// Immediately after the RTO the window restarted at 1 MSS; it may
+	// have grown a little since, but must be far below the pre-loss one.
+	if h.snd.Cwnd() > h.snd.ssthresh+float64(cfg.MSS) {
+		t.Fatalf("cwnd = %.0f after timeout, ssthresh = %.0f", h.snd.Cwnd(), h.snd.ssthresh)
+	}
+	h.q.Run(20_000_000)
+	if !h.finished {
+		t.Fatal("did not finish")
+	}
+}
+
+// TestReceiverOutOfOrder: the receiver buffers out-of-order segments
+// and acknowledges cumulatively.
+func TestReceiverOutOfOrder(t *testing.T) {
+	var acks []uint64
+	r := NewReceiver(func(a uint64, _ bool) { acks = append(acks, a) })
+	r.OnData(Segment{Seq: 1460, Len: 1460}) // gap
+	r.OnData(Segment{Seq: 2920, Len: 1460}) // gap continues
+	if r.Expected() != 0 {
+		t.Fatalf("expected = %d before hole filled", r.Expected())
+	}
+	r.OnData(Segment{Seq: 0, Len: 1460}) // hole fills; drain to 4380
+	if r.Expected() != 4380 {
+		t.Fatalf("expected = %d, want 4380", r.Expected())
+	}
+	if len(acks) != 3 || acks[0] != 0 || acks[1] != 0 || acks[2] != 4380 {
+		t.Fatalf("acks = %v", acks)
+	}
+	// Duplicate data is re-acked but not double counted.
+	r.OnData(Segment{Seq: 0, Len: 1460})
+	if r.Expected() != 4380 {
+		t.Fatal("duplicate moved the cumulative point")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	q := eventq.New()
+	for name, fn := range map[string]func(){
+		"empty flow": func() { NewSender(q, DefaultConfig(), 1, 0, nil, nil) },
+		"zero mss":   func() { NewSender(q, Config{DupAckThresh: 3}, 1, 10, nil, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// markingHarness wires sender/receiver over a link that sets the CE
+// codepoint on a configurable fraction of data segments.
+func newMarkingHarness(total uint64, cfg Config, delay uint64, mark func(nth uint64) bool) *harness {
+	h := &harness{q: eventq.New(), delay: delay}
+	h.rcv = NewReceiver(func(ackNo uint64, ece bool) {
+		h.q.After(h.delay, func() { h.snd.OnAckECN(ackNo, ece) })
+	})
+	h.snd = NewSender(h.q, cfg, 1, total,
+		func(seg Segment) {
+			h.nthData++
+			if mark != nil && mark(h.nthData) {
+				seg.CE = true
+			}
+			h.q.After(h.delay, func() { h.rcv.OnData(seg) })
+		},
+		func(fin uint64) { h.finished = true; h.finishNs = fin })
+	return h
+}
+
+// TestDCTCPAlphaConvergence: with every packet marked, alpha converges
+// towards 1 and the window is cut towards halving per window; with no
+// marks alpha stays 0 and the window grows unimpeded.
+func TestDCTCPAlphaConvergence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DCTCP = true
+	cfg.DCTCPg = 0.25
+	h := newMarkingHarness(5_000_000, cfg, 1e6, func(nth uint64) bool { return true })
+	h.run(t)
+	if h.rcv.Expected() != 5_000_000 {
+		t.Fatalf("receiver got %d", h.rcv.Expected())
+	}
+	if h.snd.Alpha() < 0.5 {
+		t.Fatalf("alpha = %.3f under full marking, want near 1", h.snd.Alpha())
+	}
+
+	clean := newMarkingHarness(5_000_000, cfg, 1e6, nil)
+	clean.run(t)
+	if clean.snd.Alpha() != 0 {
+		t.Fatalf("alpha = %.3f with no marks", clean.snd.Alpha())
+	}
+}
+
+// TestDCTCPGentlerThanLoss: sparse marking trims the window without
+// retransmissions — ECN signals congestion without losing packets.
+func TestDCTCPGentlerThanLoss(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DCTCP = true
+	h := newMarkingHarness(3_000_000, cfg, 1e6, func(nth uint64) bool { return nth%10 == 0 })
+	h.run(t)
+	if h.snd.Retransmits != 0 || h.snd.Timeouts != 0 {
+		t.Fatalf("marking caused retransmissions: %d/%d", h.snd.Retransmits, h.snd.Timeouts)
+	}
+	if h.snd.Alpha() == 0 {
+		t.Fatal("alpha never updated despite marks")
+	}
+}
+
+// TestDCTCPCutOncePerWindow: a burst of marked ACKs within one window
+// must not collapse the window exponentially.
+func TestDCTCPCutOncePerWindow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DCTCP = true
+	q := eventq.New()
+	var snd *Sender
+	snd = NewSender(q, cfg, 1, 10_000_000, func(Segment) {}, func(uint64) {})
+	snd.Start()
+	before := snd.Cwnd()
+	// Deliver marked ACKs covering three segments of the same window.
+	snd.OnAckECN(uint64(cfg.MSS), true)
+	afterFirst := snd.Cwnd()
+	snd.OnAckECN(uint64(cfg.MSS)*2, true)
+	snd.OnAckECN(uint64(cfg.MSS)*3, true)
+	afterThree := snd.Cwnd()
+	if afterFirst >= before {
+		t.Fatalf("no cut on first marked ACK: %.0f -> %.0f", before, afterFirst)
+	}
+	// Subsequent marked ACKs in the same window grow cwnd normally
+	// (slow-start/CA increments) but apply no further multiplicative
+	// cuts: the window must not keep shrinking.
+	if afterThree < afterFirst {
+		t.Fatalf("window cut more than once per window: %.0f then %.0f", afterFirst, afterThree)
+	}
+}

@@ -1,0 +1,130 @@
+// Package tm assembles a multi-port traffic manager around per-port
+// PIFO blocks — the component the paper's conclusion positions the
+// BMW-Tree for ("an attractive option for the programmable scheduler
+// in the next-generation traffic managers"). Each egress port owns a
+// PIFO block (rank store + flow scheduler + rank policy); all ports
+// share one packet buffer with an optional per-port cap, the standard
+// shared-memory switch arrangement.
+package tm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pifoblock"
+	"repro/internal/sched"
+)
+
+// Errors returned by the traffic manager.
+var (
+	ErrBufferFull = errors.New("tm: shared packet buffer exhausted")
+	ErrPortLimit  = errors.New("tm: per-port buffer cap exceeded")
+)
+
+// Config parameterises the traffic manager.
+type Config struct {
+	Ports       int
+	BufferBytes uint64 // shared buffer budget (0 = unlimited)
+	PortBytes   uint64 // per-port cap within the shared buffer (0 = unlimited)
+
+	// NewScheduler and NewRanker build each port's flow scheduler and
+	// rank policy.
+	NewScheduler func(port int) pifoblock.FlowScheduler
+	NewRanker    func(port int) sched.Ranker
+}
+
+// PortStats counts one port's activity.
+type PortStats struct {
+	Enqueued, Dequeued          uint64
+	DropsBuffer, DropsPort      uint64
+	DropsScheduler, DropsStore  uint64
+	BytesQueued, BytesHighWater uint64
+}
+
+// TM is a multi-port traffic manager.
+type TM struct {
+	cfg    Config
+	blocks []*pifoblock.Block
+	stats  []PortStats
+	used   uint64
+}
+
+// New builds the traffic manager.
+func New(cfg Config) *TM {
+	if cfg.Ports < 1 || cfg.NewScheduler == nil || cfg.NewRanker == nil {
+		panic("tm: need ports and factories")
+	}
+	t := &TM{cfg: cfg, stats: make([]PortStats, cfg.Ports)}
+	for p := 0; p < cfg.Ports; p++ {
+		t.blocks = append(t.blocks, pifoblock.New(cfg.NewScheduler(p), cfg.NewRanker(p)))
+	}
+	return t
+}
+
+// Ports returns the port count; BufferUsed the queued bytes.
+func (t *TM) Ports() int                  { return len(t.blocks) }
+func (t *TM) BufferUsed() uint64          { return t.used }
+func (t *TM) Port(p int) *pifoblock.Block { return t.blocks[p] }
+
+// Stats returns a port's counters.
+func (t *TM) Stats(port int) PortStats { return t.stats[port] }
+
+// Enqueue admits a packet for an egress port, enforcing the shared and
+// per-port buffer budgets before the port's PIFO block applies its own
+// flow-capacity rules.
+func (t *TM) Enqueue(port int, p sched.Packet, payload any) error {
+	if port < 0 || port >= len(t.blocks) {
+		panic(fmt.Sprintf("tm: invalid port %d", port))
+	}
+	st := &t.stats[port]
+	bytes := uint64(p.Bytes)
+	if t.cfg.BufferBytes > 0 && t.used+bytes > t.cfg.BufferBytes {
+		st.DropsBuffer++
+		return ErrBufferFull
+	}
+	if t.cfg.PortBytes > 0 && st.BytesQueued+bytes > t.cfg.PortBytes {
+		st.DropsPort++
+		return ErrPortLimit
+	}
+	if err := t.blocks[port].Enqueue(p, payload); err != nil {
+		switch err {
+		case pifoblock.ErrSchedulerFull:
+			st.DropsScheduler++
+		case pifoblock.ErrStoreFull:
+			st.DropsStore++
+		}
+		return err
+	}
+	t.used += bytes
+	st.BytesQueued += bytes
+	if st.BytesQueued > st.BytesHighWater {
+		st.BytesHighWater = st.BytesQueued
+	}
+	st.Enqueued++
+	return nil
+}
+
+// Dequeue serves an egress port's next packet by rank.
+func (t *TM) Dequeue(port int) (sched.Packet, any, error) {
+	if port < 0 || port >= len(t.blocks) {
+		panic(fmt.Sprintf("tm: invalid port %d", port))
+	}
+	p, payload, err := t.blocks[port].Dequeue()
+	if err != nil {
+		return p, payload, err
+	}
+	st := &t.stats[port]
+	t.used -= uint64(p.Bytes)
+	st.BytesQueued -= uint64(p.Bytes)
+	st.Dequeued++
+	return p, payload, nil
+}
+
+// TotalLen returns queued packets across all ports.
+func (t *TM) TotalLen() int {
+	n := 0
+	for _, b := range t.blocks {
+		n += b.Len()
+	}
+	return n
+}

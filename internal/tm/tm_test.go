@@ -1,0 +1,142 @@
+package tm
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pifoblock"
+	"repro/internal/sched"
+)
+
+func newTM(ports int, buffer, portCap uint64) *TM {
+	return New(Config{
+		Ports:       ports,
+		BufferBytes: buffer,
+		PortBytes:   portCap,
+		NewScheduler: func(int) pifoblock.FlowScheduler {
+			return core.New(2, 6) // 126 flows per port
+		},
+		NewRanker: func(int) sched.Ranker { return sched.NewSTFQ(1) },
+	})
+}
+
+func TestPortIsolationOfRankState(t *testing.T) {
+	tm := newTM(2, 0, 0)
+	// Same flow id on two ports: independent STFQ state, independent
+	// queues.
+	for i := 0; i < 4; i++ {
+		if err := tm.Enqueue(0, sched.Packet{Flow: 1, Bytes: 1000}, "p0"); err != nil {
+			t.Fatal(err)
+		}
+		if err := tm.Enqueue(1, sched.Packet{Flow: 1, Bytes: 1000}, "p1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tm.TotalLen() != 8 {
+		t.Fatalf("TotalLen = %d", tm.TotalLen())
+	}
+	for i := 0; i < 4; i++ {
+		_, pay, err := tm.Dequeue(0)
+		if err != nil || pay.(string) != "p0" {
+			t.Fatalf("port 0 dequeue: %v %v", pay, err)
+		}
+	}
+	if _, _, err := tm.Dequeue(0); err == nil {
+		t.Fatal("port 0 should be empty")
+	}
+	if tm.Port(1).Len() != 4 {
+		t.Fatal("port 1 disturbed by port 0 service")
+	}
+}
+
+func TestSharedBufferBudget(t *testing.T) {
+	tm := newTM(2, 5000, 0)
+	// Port 0 consumes the shared buffer.
+	for i := 0; i < 5; i++ {
+		if err := tm.Enqueue(0, sched.Packet{Flow: uint32(i), Bytes: 1000}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tm.Enqueue(1, sched.Packet{Flow: 9, Bytes: 1000}, nil); err != ErrBufferFull {
+		t.Fatalf("over-budget enqueue = %v", err)
+	}
+	if tm.Stats(1).DropsBuffer != 1 {
+		t.Fatal("buffer drop not counted")
+	}
+	// Draining port 0 frees budget for port 1.
+	tm.Dequeue(0)
+	if err := tm.Enqueue(1, sched.Packet{Flow: 9, Bytes: 1000}, nil); err != nil {
+		t.Fatalf("enqueue after drain: %v", err)
+	}
+	if tm.BufferUsed() != 5000 {
+		t.Fatalf("BufferUsed = %d", tm.BufferUsed())
+	}
+}
+
+func TestPerPortCap(t *testing.T) {
+	tm := newTM(2, 0, 2000)
+	tm.Enqueue(0, sched.Packet{Flow: 1, Bytes: 1000}, nil)
+	tm.Enqueue(0, sched.Packet{Flow: 2, Bytes: 1000}, nil)
+	if err := tm.Enqueue(0, sched.Packet{Flow: 3, Bytes: 1000}, nil); err != ErrPortLimit {
+		t.Fatalf("per-port cap = %v", err)
+	}
+	// The other port is unaffected.
+	if err := tm.Enqueue(1, sched.Packet{Flow: 1, Bytes: 1000}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Stats(0).DropsPort != 1 {
+		t.Fatal("port drop not counted")
+	}
+}
+
+func TestSchedulerCapacityDropCounted(t *testing.T) {
+	tm := New(Config{
+		Ports:        1,
+		NewScheduler: func(int) pifoblock.FlowScheduler { return core.New(2, 1) }, // 2 flows
+		NewRanker:    func(int) sched.Ranker { return sched.FCFS{} },
+	})
+	tm.Enqueue(0, sched.Packet{Flow: 1, Arrival: 1, Bytes: 100}, nil)
+	tm.Enqueue(0, sched.Packet{Flow: 2, Arrival: 2, Bytes: 100}, nil)
+	if err := tm.Enqueue(0, sched.Packet{Flow: 3, Arrival: 3, Bytes: 100}, nil); err != pifoblock.ErrSchedulerFull {
+		t.Fatalf("scheduler-full = %v", err)
+	}
+	if tm.Stats(0).DropsScheduler != 1 {
+		t.Fatal("scheduler drop not counted")
+	}
+	// A dropped packet must not consume buffer.
+	if tm.BufferUsed() != 200 {
+		t.Fatalf("BufferUsed = %d", tm.BufferUsed())
+	}
+}
+
+func TestHighWaterMark(t *testing.T) {
+	tm := newTM(1, 0, 0)
+	for i := 0; i < 3; i++ {
+		tm.Enqueue(0, sched.Packet{Flow: uint32(i), Bytes: 1000}, nil)
+	}
+	tm.Dequeue(0)
+	tm.Dequeue(0)
+	st := tm.Stats(0)
+	if st.BytesHighWater != 3000 || st.BytesQueued != 1000 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInvalidUsePanics(t *testing.T) {
+	tm := newTM(1, 0, 0)
+	for name, fn := range map[string]func(){
+		"bad port enq": func() { tm.Enqueue(5, sched.Packet{}, nil) },
+		"bad port deq": func() { tm.Dequeue(-1) },
+		"no factories": func() { New(Config{Ports: 1}) },
+		"zero ports":   func() { newTM(0, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,261 @@
+// Package trafficgen generates the workload of the paper's packet-level
+// evaluation (Section 6.4): TCP flows whose sizes follow the empirical
+// web-search flow-size distribution measured in a production data
+// center (Alizadeh et al. — the paper's reference [39]), with flow
+// start times forming a Poisson process and each flow initiating on a
+// random source host.
+//
+// Substitution note (see DESIGN.md): the original trace is proprietary;
+// we embed the published CDF that the pFabric/DCTCP line of work uses
+// to reproduce it and sample by inverse transform with piecewise-linear
+// interpolation.
+package trafficgen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// cdfPoint is one knot of the empirical distribution.
+type cdfPoint struct {
+	bytes float64
+	cdf   float64
+}
+
+// webSearchCDF is the data-center web-search flow-size distribution:
+// ~53% of flows are under 100 KB, while the ~3% of flows above 10 MB
+// carry most of the bytes (heavy tail).
+var webSearchCDF = []cdfPoint{
+	{0, 0},
+	{10e3, 0.15},
+	{20e3, 0.20},
+	{30e3, 0.30},
+	{50e3, 0.40},
+	{80e3, 0.53},
+	{200e3, 0.60},
+	{1e6, 0.70},
+	{2e6, 0.80},
+	{5e6, 0.90},
+	{10e6, 0.97},
+	{30e6, 1.00},
+}
+
+// dataMiningCDF is the companion data-mining flow-size distribution
+// from the same measurement literature (pFabric): ~80% of flows are
+// tiny (under 10 kB) while a <2% tail of multi-hundred-megabyte flows
+// carries nearly all bytes — an even heavier tail than web-search.
+var dataMiningCDF = []cdfPoint{
+	{0, 0},
+	{180, 0.10},
+	{216, 0.20},
+	{560, 0.30},
+	{900, 0.40},
+	{1100, 0.50},
+	{1870, 0.60},
+	{3160, 0.70},
+	{10e3, 0.80},
+	{400e3, 0.90},
+	{3.16e6, 0.95},
+	{100e6, 0.98},
+	{667e6, 1.00},
+}
+
+// Distribution selects a flow-size law.
+type Distribution int
+
+// The embedded empirical distributions.
+const (
+	WebSearchDist Distribution = iota
+	DataMiningDist
+)
+
+func (d Distribution) table() []cdfPoint {
+	switch d {
+	case WebSearchDist:
+		return webSearchCDF
+	case DataMiningDist:
+		return dataMiningCDF
+	default:
+		panic("trafficgen: unknown distribution")
+	}
+}
+
+// String names the distribution.
+func (d Distribution) String() string {
+	switch d {
+	case WebSearchDist:
+		return "websearch"
+	case DataMiningDist:
+		return "datamining"
+	default:
+		return "unknown"
+	}
+}
+
+// Sampler draws flow sizes from an embedded empirical distribution by
+// inverse transform with piecewise-linear interpolation.
+type Sampler struct {
+	rng  *rand.Rand
+	dist []cdfPoint
+}
+
+// NewSampler creates a deterministic sampler for the distribution.
+func NewSampler(seed int64, d Distribution) *Sampler {
+	return &Sampler{rng: rand.New(rand.NewSource(seed)), dist: d.table()}
+}
+
+// WebSearch samples flow sizes from the web-search distribution.
+// (Retained name; equivalent to NewSampler(seed, WebSearchDist).)
+type WebSearch = Sampler
+
+// NewWebSearch creates a web-search sampler with its own deterministic
+// source.
+func NewWebSearch(seed int64) *WebSearch { return NewSampler(seed, WebSearchDist) }
+
+// Sample draws one flow size in bytes (at least 1).
+func (w *Sampler) Sample() uint64 {
+	u := w.rng.Float64()
+	for i := 1; i < len(w.dist); i++ {
+		lo, hi := w.dist[i-1], w.dist[i]
+		if u <= hi.cdf {
+			frac := (u - lo.cdf) / (hi.cdf - lo.cdf)
+			b := lo.bytes + frac*(hi.bytes-lo.bytes)
+			if b < 1 {
+				b = 1
+			}
+			return uint64(b)
+		}
+	}
+	return uint64(w.dist[len(w.dist)-1].bytes)
+}
+
+// MeanBytesOf returns a distribution's analytic mean (piecewise-linear
+// CDF => sum of segment midpoints weighted by probability mass).
+func MeanBytesOf(d Distribution) float64 {
+	tab := d.table()
+	mean := 0.0
+	for i := 1; i < len(tab); i++ {
+		lo, hi := tab[i-1], tab[i]
+		mean += (hi.cdf - lo.cdf) * (lo.bytes + hi.bytes) / 2
+	}
+	return mean
+}
+
+// MeanBytes returns the web-search distribution's analytic mean.
+func MeanBytes() float64 { return MeanBytesOf(WebSearchDist) }
+
+// CDFAt returns the web-search distribution function at x bytes
+// (tests).
+func CDFAt(x float64) float64 { return CDFAtOf(WebSearchDist, x) }
+
+// CDFAtOf returns d's distribution function at x bytes.
+func CDFAtOf(d Distribution, x float64) float64 {
+	tab := d.table()
+	if x <= 0 {
+		return 0
+	}
+	for i := 1; i < len(tab); i++ {
+		lo, hi := tab[i-1], tab[i]
+		if x <= hi.bytes {
+			return lo.cdf + (hi.cdf-lo.cdf)*(x-lo.bytes)/(hi.bytes-lo.bytes)
+		}
+	}
+	return 1
+}
+
+// Poisson generates exponentially distributed inter-arrival gaps for a
+// target arrival rate.
+type Poisson struct {
+	rng    *rand.Rand
+	meanNs float64
+}
+
+// NewPoisson creates an arrival process with the given rate in flows
+// per second.
+func NewPoisson(seed int64, flowsPerSec float64) *Poisson {
+	if flowsPerSec <= 0 {
+		panic("trafficgen: arrival rate must be positive")
+	}
+	return &Poisson{rng: rand.New(rand.NewSource(seed)), meanNs: 1e9 / flowsPerSec}
+}
+
+// NextGapNs draws the nanoseconds until the next flow arrival.
+func (p *Poisson) NextGapNs() uint64 {
+	g := p.rng.ExpFloat64() * p.meanNs
+	if g < 1 {
+		g = 1
+	}
+	if g > math.MaxInt64 {
+		g = math.MaxInt64
+	}
+	return uint64(g)
+}
+
+// RateForLoad returns the Poisson flow arrival rate (flows/sec) that
+// drives a link of linkBps at the given utilisation with the
+// web-search mean flow size: load = rate * meanBytes * 8 / linkBps.
+func RateForLoad(load float64, linkBps uint64) float64 {
+	return RateForLoadOf(WebSearchDist, load, linkBps)
+}
+
+// RateForLoadOf is RateForLoad for an arbitrary distribution.
+func RateForLoadOf(d Distribution, load float64, linkBps uint64) float64 {
+	if load <= 0 || load >= 1.5 {
+		panic("trafficgen: load must be in (0, 1.5)")
+	}
+	return load * float64(linkBps) / (8 * MeanBytesOf(d))
+}
+
+// Flow is one generated flow: its start time, size, and source host.
+type Flow struct {
+	ID      uint32
+	StartNs uint64
+	Bytes   uint64
+	Source  int
+}
+
+// Generate builds a deterministic flow schedule: n flows, Poisson
+// arrivals at the rate that loads linkBps to the requested utilisation,
+// web-search sizes, uniform-random sources among numSources hosts.
+func Generate(seed int64, n int, load float64, linkBps uint64, numSources int) []Flow {
+	return GenerateDist(seed, n, load, linkBps, numSources, WebSearchDist)
+}
+
+// GenerateDist is Generate with a selectable flow-size distribution.
+func GenerateDist(seed int64, n int, load float64, linkBps uint64, numSources int, d Distribution) []Flow {
+	sizes := NewSampler(seed, d)
+	arr := NewPoisson(seed+1, RateForLoadOf(d, load, linkBps))
+	src := rand.New(rand.NewSource(seed + 2))
+	flows := make([]Flow, n)
+	t := uint64(0)
+	for i := range flows {
+		t += arr.NextGapNs()
+		flows[i] = Flow{
+			ID:      uint32(i + 1),
+			StartNs: t,
+			Bytes:   sizes.Sample(),
+			Source:  src.Intn(numSources),
+		}
+	}
+	return flows
+}
+
+// GenerateIncast builds the classic data-center incast workload: one
+// synchronized response of bytesPer from every one of servers sources,
+// all starting at startNs (one flow per source). It is the burst
+// pattern that stresses shallow buffers and motivates DCTCP.
+func GenerateIncast(servers int, bytesPer uint64, startNs uint64) []Flow {
+	if servers < 1 || bytesPer == 0 {
+		panic("trafficgen: invalid incast parameters")
+	}
+	flows := make([]Flow, servers)
+	for i := range flows {
+		flows[i] = Flow{
+			ID:      uint32(i + 1),
+			StartNs: startNs,
+			Bytes:   bytesPer,
+			Source:  i,
+		}
+	}
+	return flows
+}

@@ -1,0 +1,179 @@
+package trafficgen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCDFMonotone(t *testing.T) {
+	prev := -1.0
+	for x := 0.0; x <= 40e6; x += 1e5 {
+		c := CDFAt(x)
+		if c < prev {
+			t.Fatalf("CDF not monotone at %g", x)
+		}
+		prev = c
+	}
+	if CDFAt(0) != 0 || CDFAt(40e6) != 1 {
+		t.Fatal("CDF endpoints wrong")
+	}
+}
+
+// TestWebSearchShape verifies the distribution's defining facts: ~53%
+// of flows under 80 KB, a ~3% tail above 10 MB, and the heavy tail
+// carrying most bytes.
+func TestWebSearchShape(t *testing.T) {
+	w := NewWebSearch(42)
+	const n = 200000
+	var under80k, over10m int
+	var total, tailBytes float64
+	for i := 0; i < n; i++ {
+		s := float64(w.Sample())
+		total += s
+		if s <= 80e3 {
+			under80k++
+		}
+		if s > 10e6 {
+			over10m++
+			tailBytes += s
+		}
+	}
+	if frac := float64(under80k) / n; math.Abs(frac-0.53) > 0.02 {
+		t.Errorf("fraction under 80KB = %.3f, want ≈0.53", frac)
+	}
+	if frac := float64(over10m) / n; math.Abs(frac-0.03) > 0.01 {
+		t.Errorf("fraction over 10MB = %.3f, want ≈0.03", frac)
+	}
+	if byteFrac := tailBytes / total; byteFrac < 0.3 {
+		t.Errorf("tail byte share = %.3f, want heavy tail (>0.3)", byteFrac)
+	}
+	// Empirical mean near the analytic mean.
+	if mean := total / n; math.Abs(mean-MeanBytes())/MeanBytes() > 0.05 {
+		t.Errorf("empirical mean %.0f vs analytic %.0f", mean, MeanBytes())
+	}
+}
+
+func TestMeanBytes(t *testing.T) {
+	m := MeanBytes()
+	if m < 1.5e6 || m > 2.0e6 {
+		t.Errorf("mean = %.0f, want ≈1.7 MB", m)
+	}
+}
+
+func TestPoissonMeanGap(t *testing.T) {
+	p := NewPoisson(7, 1000) // 1000 flows/s -> mean gap 1e6 ns
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(p.NextGapNs())
+	}
+	mean := sum / n
+	if math.Abs(mean-1e6)/1e6 > 0.02 {
+		t.Errorf("mean gap = %.0f ns, want ≈1e6", mean)
+	}
+}
+
+func TestRateForLoad(t *testing.T) {
+	r := RateForLoad(0.8, 10e9)
+	// load = rate * mean * 8 / bps
+	back := r * MeanBytes() * 8 / 10e9
+	if math.Abs(back-0.8) > 1e-9 {
+		t.Errorf("round-trip load = %f", back)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(3, 100, 0.8, 10e9, 16)
+	b := Generate(3, 100, 0.8, 10e9, 16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Generate not deterministic")
+		}
+	}
+	var last uint64
+	for i, f := range a {
+		if f.StartNs <= last && i > 0 {
+			t.Fatal("start times not strictly increasing")
+		}
+		last = f.StartNs
+		if f.Source < 0 || f.Source >= 16 {
+			t.Fatalf("source out of range: %d", f.Source)
+		}
+		if f.Bytes == 0 {
+			t.Fatal("zero-size flow")
+		}
+		if f.ID != uint32(i+1) {
+			t.Fatal("IDs not sequential")
+		}
+	}
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero rate": func() { NewPoisson(1, 0) },
+		"zero load": func() { RateForLoad(0, 1e9) },
+		"huge load": func() { RateForLoad(2, 1e9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestDataMiningShape verifies the data-mining distribution's defining
+// facts: ~80% of flows under 10 KB and an extremely heavy byte tail.
+func TestDataMiningShape(t *testing.T) {
+	s := NewSampler(42, DataMiningDist)
+	const n = 200000
+	var under10k int
+	var total, tail float64
+	for i := 0; i < n; i++ {
+		v := float64(s.Sample())
+		total += v
+		if v <= 10e3 {
+			under10k++
+		}
+		if v > 3.16e6 {
+			tail += v
+		}
+	}
+	if frac := float64(under10k) / n; math.Abs(frac-0.8) > 0.02 {
+		t.Errorf("fraction under 10KB = %.3f, want ≈0.8", frac)
+	}
+	if byteFrac := tail / total; byteFrac < 0.7 {
+		t.Errorf("top-5%% byte share = %.2f, want very heavy tail", byteFrac)
+	}
+	if mean := total / n; math.Abs(mean-MeanBytesOf(DataMiningDist))/MeanBytesOf(DataMiningDist) > 0.1 {
+		t.Errorf("empirical mean %.0f vs analytic %.0f", mean, MeanBytesOf(DataMiningDist))
+	}
+}
+
+func TestDistributionNames(t *testing.T) {
+	if WebSearchDist.String() != "websearch" || DataMiningDist.String() != "datamining" {
+		t.Fatal("names wrong")
+	}
+	if Distribution(9).String() != "unknown" {
+		t.Fatal("unknown name wrong")
+	}
+}
+
+func TestGenerateDistDataMining(t *testing.T) {
+	flows := GenerateDist(7, 200, 0.8, 1e9, 8, DataMiningDist)
+	if len(flows) != 200 {
+		t.Fatal("count")
+	}
+	small := 0
+	for _, f := range flows {
+		if f.Bytes <= 10e3 {
+			small++
+		}
+	}
+	if small < 120 {
+		t.Fatalf("only %d/200 small flows; distribution not applied", small)
+	}
+}

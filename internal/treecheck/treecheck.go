@@ -1,0 +1,100 @@
+// Package treecheck verifies the structural invariants of a BMW-Tree
+// (Section 3.1 of the paper) over any implementation that can expose its
+// node state: the golden software model and both cycle-accurate hardware
+// simulations. Sharing one checker guarantees all implementations are
+// held to identical invariants.
+package treecheck
+
+import "fmt"
+
+// State is the read-only view of a BMW-Tree's storage. Nodes are indexed
+// breadth-first (node n's k-th child is n*M+k+1); slots are indexed
+// 0..M-1 within a node. ok is false for an empty slot (counter zero).
+type State interface {
+	Order() int
+	Levels() int
+	Len() int
+	SlotState(node, i int) (value uint64, count uint32, ok bool)
+}
+
+// numNodes returns (m^l-1)/(m-1).
+func numNodes(m, l int) int {
+	n, p := 0, 1
+	for i := 0; i < l; i++ {
+		n += p
+		p *= m
+	}
+	return n
+}
+
+// Check validates the heap property, counter correctness, emptiness
+// below vacant slots, and total-size consistency. It returns nil when
+// all invariants hold.
+func Check(s State) error {
+	m := s.Order()
+	nn := numNodes(m, s.Levels())
+	total := 0
+	for i := 0; i < m; i++ {
+		c, err := checkSlot(s, nn, 0, i)
+		if err != nil {
+			return err
+		}
+		total += c
+	}
+	if total != s.Len() {
+		return fmt.Errorf("treecheck: root counters sum to %d, Len() is %d", total, s.Len())
+	}
+	return nil
+}
+
+func checkSlot(s State, nn, n, i int) (int, error) {
+	m := s.Order()
+	val, count, ok := s.SlotState(n, i)
+	child := n*m + i + 1
+	if !ok {
+		if count != 0 {
+			return 0, fmt.Errorf("treecheck: node %d slot %d empty but counter %d", n, i, count)
+		}
+		if err := checkEmptyBelow(s, nn, n, i); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+	size := 1
+	if child < nn {
+		for j := 0; j < m; j++ {
+			cv, _, cok := s.SlotState(child, j)
+			if cok && cv < val {
+				return 0, fmt.Errorf("treecheck: heap violation: node %d slot %d value %d > descendant node %d slot %d value %d",
+					n, i, val, child, j, cv)
+			}
+			c, err := checkSlot(s, nn, child, j)
+			if err != nil {
+				return 0, err
+			}
+			size += c
+		}
+	}
+	if uint32(size) != count {
+		return 0, fmt.Errorf("treecheck: counter violation: node %d slot %d counter %d, sub-tree size %d",
+			n, i, count, size)
+	}
+	return size, nil
+}
+
+func checkEmptyBelow(s State, nn, n, i int) error {
+	m := s.Order()
+	child := n*m + i + 1
+	if child >= nn {
+		return nil
+	}
+	for j := 0; j < m; j++ {
+		if _, _, ok := s.SlotState(child, j); ok {
+			return fmt.Errorf("treecheck: orphan element below empty slot: node %d slot %d", child, j)
+		}
+		if err := checkEmptyBelow(s, nn, child, j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
