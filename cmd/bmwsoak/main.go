@@ -1,0 +1,365 @@
+// bmwsoak is the differential chaos-soak harness for the fault
+// subsystem (the robustness counterpart of bmwsim): it runs a long
+// randomized push/pop workload through a protected hardware pipeline
+// while a seeded fault plan flips stored bits, and cross-checks every
+// pop against the golden software tree.
+//
+// Every injected fault must be accounted for: corrected transparently
+// by SECDED, detected (ECC, register parity, structural hazard or the
+// online invariant checker) and repaired by drain-and-rebuild recovery,
+// or — only in the unprotected ablation — escaped as a silent pop-order
+// divergence, which the harness reports with a first-divergence trace.
+//
+// Examples:
+//
+//	bmwsoak -design rpubmw -cycles 1000000 -faults 1000 -ecc secded
+//	bmwsoak -design rpubmw -cycles 1000000 -faults 1000 -ecc off -checkevery 64
+//	bmwsoak -design rbmw -faults 200 -ecc parity -checkevery 32
+//
+// The run is reproducible from the printed command line: the seed
+// drives the workload, the fault plan's random draws and the placement
+// of the scheduled strikes.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/hw"
+	"repro/internal/rbmw"
+	"repro/internal/rpubmw"
+	"repro/internal/trafficgen"
+)
+
+// soakSim is the protected-pipeline surface the harness drives: the
+// CycleSim contract plus the fault-tolerance hooks both hardware
+// designs implement.
+type soakSim interface {
+	Tick(hw.Op) (*core.Element, error)
+	Cycle() uint64
+	Len() int
+	Cap() int
+	AlmostFull() bool
+	PushAvailable() bool
+	PopAvailable() bool
+	Quiescent() bool
+	Verify() error
+	Detected() uint64
+	Recoveries() uint64
+	CheckRuns() uint64
+	Recover() ([]core.Element, int)
+	AttachFaults(hw.FaultStepper)
+}
+
+// divergence records the first silent pop-order mismatch: an escaped
+// fault the protection layer never saw.
+type divergence struct {
+	cycle      uint64
+	got, want  string
+	injections []faultinject.Injection
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bmwsoak: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func fmtElem(e *core.Element) string {
+	if e == nil {
+		return "<none>"
+	}
+	return fmt.Sprintf("{value %d meta %d}", e.Value, e.Meta)
+}
+
+func main() {
+	var (
+		design     = flag.String("design", "rpubmw", "hardware design to soak: rbmw | rpubmw")
+		m          = flag.Int("m", 4, "tree order (M-way nodes)")
+		l          = flag.Int("l", 4, "tree levels")
+		cycles     = flag.Uint64("cycles", 1_000_000, "clock cycles to run before the final drain")
+		faults     = flag.Int("faults", 1000, "scheduled random single-bit flips spread over the run")
+		rate       = flag.Float64("rate", 0, "per-cycle probability of an extra rate-driven flip")
+		maxRandom  = flag.Int("maxrandom", 0, "cap on rate-driven flips (0 = unlimited)")
+		stuck      = flag.Int("stuck", 0, "random stuck-at bits pinned from cycle 1")
+		eccFlag    = flag.String("ecc", "secded", "memory protection: off | parity | secded")
+		scrub      = flag.Int("scrub", 4, "background scrub cadence in ticks per word (0 disables; SECDED only)")
+		checkEvery = flag.Uint64("checkevery", 0, "online tree-invariant check period in cycles (0 disables)")
+		workload   = flag.String("workload", "websearch", "rank distribution: websearch | datamining")
+		seed       = flag.Int64("seed", 1, "seed for the workload, the fault plan and fault placement")
+	)
+	flag.Parse()
+	if *cycles == 0 {
+		fatalf("-cycles must be positive")
+	}
+	if *m < 2 || *l < 1 {
+		fatalf("invalid tree shape -m %d -l %d (want m >= 2, l >= 1)", *m, *l)
+	}
+
+	var mode faultinject.ECCMode
+	switch *eccFlag {
+	case "off":
+		mode = faultinject.EccOff
+	case "parity":
+		mode = faultinject.EccParity
+	case "secded":
+		mode = faultinject.EccSECDED
+	default:
+		fatalf("unknown -ecc mode %q (want off, parity or secded)", *eccFlag)
+	}
+
+	var dist trafficgen.Distribution
+	switch *workload {
+	case "websearch":
+		dist = trafficgen.WebSearchDist
+	case "datamining":
+		dist = trafficgen.DataMiningDist
+	default:
+		fatalf("unknown -workload %q (want websearch or datamining)", *workload)
+	}
+
+	// The full repro line comes first so any reported divergence can be
+	// replayed from the log alone.
+	fmt.Printf("bmwsoak -design %s -m %d -l %d -cycles %d -faults %d -rate %g -maxrandom %d -stuck %d -ecc %s -scrub %d -checkevery %d -workload %s -seed %d\n",
+		*design, *m, *l, *cycles, *faults, *rate, *maxRandom, *stuck, mode, *scrub, *checkEvery, dist, *seed)
+
+	var (
+		sim       soakSim
+		targets   []hw.FaultTarget
+		eccTotals func() faultinject.ECCStats
+	)
+	switch *design {
+	case "rbmw":
+		// The register design has no SRAM to code: off disables the
+		// per-slot parity column, any other mode enables it.
+		s := rbmw.New(*m, *l)
+		s.Protect(mode != faultinject.EccOff)
+		s.CheckEvery = *checkEvery
+		sim, targets = s, []hw.FaultTarget{s}
+		eccTotals = func() faultinject.ECCStats { return faultinject.ECCStats{} }
+	case "rpubmw":
+		s := rpubmw.New(*m, *l)
+		s.Protect(mode, *scrub)
+		s.CheckEvery = *checkEvery
+		sim, targets = s, s.FaultTargets()
+		eccTotals = s.ECCTotals
+	default:
+		fatalf("unknown -design %q (want rbmw or rpubmw)", *design)
+	}
+
+	plan := faultinject.NewPlan(faultinject.Config{Seed: *seed, Rate: *rate, MaxRandom: *maxRandom})
+	for _, t := range targets {
+		plan.Register(t)
+	}
+	sim.AttachFaults(plan)
+	// Strike placement draws from its own stream so changing -faults
+	// does not perturb the workload.
+	place := rand.New(rand.NewSource(*seed ^ 0x6a09e667))
+	for i := 0; i < *faults; i++ {
+		plan.ScheduleRandomFlip(1 + uint64(place.Int63n(int64(*cycles))))
+	}
+	if *stuck > 0 {
+		plan.AddRandomStuck(*stuck, 1)
+	}
+
+	golden := core.New(*m, *l)
+	sampler := trafficgen.NewSampler(*seed, dist)
+	wrng := rand.New(rand.NewSource(*seed + 1))
+
+	var (
+		pushes, pops, nops uint64
+		seq                uint64
+		escaped            uint64
+		recoverEvents      uint64
+		totalDropped       int
+		firstDiv           *divergence
+		detectedBy         = map[string]uint64{}
+	)
+
+	// classify attributes one latched detection to the unit that raised
+	// it (register parity, an SRAM's ECC, or the online checker).
+	classify := func(err error) {
+		var ce *hw.CorruptionError
+		if errors.As(err, &ce) {
+			detectedBy[ce.Unit]++
+		}
+	}
+
+	// rebuild drains the (possibly corrupt) pipeline through Recover and
+	// resynchronises the golden tree from the survivor list; replaying
+	// the identical list in the identical order reproduces the exact
+	// slot layout, so subsequent pop order stays comparable.
+	rebuild := func() {
+		survivors, dropped := sim.Recover()
+		totalDropped += dropped
+		recoverEvents++
+		golden.Reset()
+		for _, e := range survivors {
+			if err := golden.Push(e); err != nil {
+				fatalf("golden rebuild overflow at cycle %d: %v", sim.Cycle(), err)
+			}
+		}
+	}
+
+	// checkPop reconciles one pop against the golden model; a mismatch
+	// with no detection is an escaped fault.
+	checkPop := func(got *core.Element) {
+		want, gerr := golden.Pop()
+		if gerr != nil && got == nil {
+			return // both empty: consistent
+		}
+		if gerr == nil && got != nil && got.Value == want.Value && got.Meta == want.Meta {
+			return
+		}
+		escaped++
+		if firstDiv == nil {
+			tr := plan.Trace()
+			if len(tr) > 5 {
+				tr = tr[len(tr)-5:]
+			}
+			wantStr := "<none>"
+			if gerr == nil {
+				wantStr = fmtElem(&want)
+			}
+			firstDiv = &divergence{
+				cycle:      sim.Cycle(),
+				got:        fmtElem(got),
+				want:       wantStr,
+				injections: append([]faultinject.Injection(nil), tr...),
+			}
+		}
+		rebuild()
+	}
+
+	// Soak phase: a randomized legal schedule for the configured number
+	// of cycles, with occasional idle bursts (traffic gaps) long enough
+	// to drain the pipeline — the windows in which the online checker
+	// finds it quiescent. Ticks refused by a latched fault do not
+	// consume a cycle; recovery clears the latch and the loop resumes.
+	gapLen := 2**l + 4
+	idle := 0
+	for sim.Cycle() < *cycles {
+		if idle == 0 && wrng.Intn(97) == 0 {
+			idle = gapLen
+		}
+		wantPop := golden.Len() > 0 && (golden.AlmostFull() || wrng.Intn(3) == 0)
+		var op hw.Op
+		switch {
+		case idle > 0:
+			idle--
+			op = hw.NopOp()
+		case wantPop && sim.PopAvailable():
+			op = hw.PopOp()
+		case !wantPop && !golden.AlmostFull() && sim.PushAvailable():
+			seq++
+			op = hw.PushOp(sampler.Sample(), seq)
+		default:
+			op = hw.NopOp()
+		}
+		got, err := sim.Tick(op)
+		if err != nil {
+			if !errors.Is(err, hw.ErrCorrupt) {
+				fatalf("cycle %d: %v", sim.Cycle(), err)
+			}
+			// The in-flight operation (if any) is stranded inside the
+			// pipeline and harvested by Recover; the golden tree is
+			// rebuilt from the same survivors, so neither side applies
+			// this cycle's op.
+			classify(err)
+			rebuild()
+			continue
+		}
+		switch op.Kind {
+		case hw.Push:
+			pushes++
+			if err := golden.Push(core.Element{Value: op.Value, Meta: op.Meta}); err != nil {
+				fatalf("golden push at cycle %d: %v", sim.Cycle(), err)
+			}
+		case hw.Pop:
+			pops++
+			checkPop(got)
+		default:
+			nops++
+		}
+	}
+
+	// Drain phase: empty both trees in lockstep so every element the
+	// pipeline still holds is reconciled. Bounded to catch a pipeline
+	// that corruption has wedged into never emptying.
+	maxDrain := uint64(sim.Cap())*8 + 1024
+	for drained := uint64(0); golden.Len() > 0 || sim.Len() > 0; drained++ {
+		if drained > maxDrain {
+			fatalf("drain did not converge after %d cycles (sim %d, golden %d left)",
+				maxDrain, sim.Len(), golden.Len())
+		}
+		if !sim.PopAvailable() {
+			if _, err := sim.Tick(hw.NopOp()); err != nil {
+				if !errors.Is(err, hw.ErrCorrupt) {
+					fatalf("drain nop: %v", err)
+				}
+				classify(err)
+				rebuild()
+			}
+			continue
+		}
+		got, err := sim.Tick(hw.PopOp())
+		if err != nil {
+			if !errors.Is(err, hw.ErrCorrupt) {
+				fatalf("drain pop: %v", err)
+			}
+			classify(err)
+			rebuild()
+			continue
+		}
+		pops++
+		checkPop(got)
+	}
+
+	verifyErr := sim.Verify()
+
+	fmt.Printf("workload: %d cycles, %d pushes, %d pops, %d nops (%s ranks)\n",
+		sim.Cycle(), pushes, pops, nops, dist)
+	fmt.Printf("faults:   injected=%d (scheduled=%d rate=%d stuck-applied=%d) pending=%d\n",
+		plan.Injected(), plan.Injected()-plan.RateInjected()-plan.StuckApplied(),
+		plan.RateInjected(), plan.StuckApplied(), plan.PendingScheduled())
+	st := eccTotals()
+	fmt.Printf("ecc:      corrected-reads=%d detected-reads=%d scrubs=%d scrub-corrected=%d scrub-detected=%d\n",
+		st.CorrectedReads, st.DetectedReads, st.Scrubs, st.ScrubCorrected, st.ScrubDetected)
+	fmt.Printf("recovery: detected=%d recoveries=%d dropped-slots=%d check-runs=%d\n",
+		sim.Detected(), recoverEvents, totalDropped, sim.CheckRuns())
+	if len(detectedBy) > 0 {
+		units := make([]string, 0, len(detectedBy))
+		for u := range detectedBy {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		fmt.Printf("detected by:")
+		for _, u := range units {
+			fmt.Printf(" %s=%d", u, detectedBy[u])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("escaped:  %d silent divergence(s)\n", escaped)
+	if firstDiv != nil {
+		fmt.Printf("first divergence at cycle %d: sim popped %s, golden expected %s\n",
+			firstDiv.cycle, firstDiv.got, firstDiv.want)
+		for _, inj := range firstDiv.injections {
+			fmt.Printf("  recent injection — %s\n", inj)
+		}
+	}
+	if verifyErr != nil {
+		fmt.Printf("final verify: %v\n", verifyErr)
+	} else {
+		fmt.Printf("final verify: clean\n")
+	}
+
+	if mode != faultinject.EccOff && escaped > 0 {
+		fatalf("%d fault(s) escaped a protected (%s) pipeline", escaped, mode)
+	}
+}

@@ -1,0 +1,128 @@
+package bmw_test
+
+import (
+	"errors"
+	"testing"
+
+	bmw "repro"
+)
+
+// TestPriorityQueueBoundaries pins the ErrFull/ErrEmpty contract at the
+// exact capacity boundaries for every PriorityQueue implementation: a
+// queue accepts exactly Cap() elements, refuses the next push with
+// ErrFull, yields exactly Cap() sorted elements back, refuses the next
+// pop (and peek) with ErrEmpty, and keeps working after both refusals.
+func TestPriorityQueueBoundaries(t *testing.T) {
+	queues := map[string]bmw.PriorityQueue{
+		"bmwtree":  bmw.NewBMWTree(2, 4),
+		"pifo":     bmw.NewPIFO(30),
+		"pheap":    bmw.NewPHeap(4),
+		"pipeheap": bmw.NewPipelinedHeap(30),
+	}
+	for name, q := range queues {
+		t.Run(name, func(t *testing.T) {
+			n := q.Cap()
+			if n <= 0 {
+				t.Fatalf("Cap = %d", n)
+			}
+
+			// Empty boundary before any push.
+			if _, err := q.Pop(); !errors.Is(err, bmw.ErrEmpty) {
+				t.Fatalf("pop on empty = %v, want ErrEmpty", err)
+			}
+			if _, err := q.Peek(); !errors.Is(err, bmw.ErrEmpty) {
+				t.Fatalf("peek on empty = %v, want ErrEmpty", err)
+			}
+
+			// Exactly Cap() pushes succeed; descending values stress the
+			// placement paths of every design.
+			for i := 0; i < n; i++ {
+				e := bmw.Element{Value: uint64(n - i), Meta: uint64(i)}
+				if err := q.Push(e); err != nil {
+					t.Fatalf("push %d/%d: %v", i+1, n, err)
+				}
+			}
+			if q.Len() != n {
+				t.Fatalf("Len = %d, want %d", q.Len(), n)
+			}
+
+			// Full boundary: one more push must refuse without damage.
+			if err := q.Push(bmw.Element{Value: 0, Meta: 999}); !errors.Is(err, bmw.ErrFull) {
+				t.Fatalf("push at capacity = %v, want ErrFull", err)
+			}
+			if q.Len() != n {
+				t.Fatalf("Len after refused push = %d, want %d", q.Len(), n)
+			}
+
+			// Exactly Cap() sorted pops come back.
+			prev := uint64(0)
+			for i := 0; i < n; i++ {
+				e, err := q.Pop()
+				if err != nil {
+					t.Fatalf("pop %d/%d: %v", i+1, n, err)
+				}
+				if e.Value < prev {
+					t.Fatalf("pop %d: value %d after %d (unsorted)", i, e.Value, prev)
+				}
+				prev = e.Value
+			}
+
+			// Empty boundary again, then the queue must still work.
+			if _, err := q.Pop(); !errors.Is(err, bmw.ErrEmpty) {
+				t.Fatalf("pop after drain = %v, want ErrEmpty", err)
+			}
+			if err := q.Push(bmw.Element{Value: 7, Meta: 1}); err != nil {
+				t.Fatalf("push after boundary refusals: %v", err)
+			}
+			if e, err := q.Pop(); err != nil || e.Value != 7 {
+				t.Fatalf("pop after boundary refusals = %v, %v", e, err)
+			}
+		})
+	}
+}
+
+// TestProtectedSimFacade exercises the fault-tolerance surface through
+// the public package: a seeded plan flipping a register bit must
+// surface a typed ErrCorrupt from the protected simulator, and Recover
+// must return the pipeline to service.
+func TestProtectedSimFacade(t *testing.T) {
+	s := bmw.NewProtectedRBMWSim(2, 3, 0)
+	plan := bmw.NewFaultPlan(bmw.FaultConfig{Seed: 5})
+	plan.Register(s)
+	s.AttachFaults(plan)
+	plan.ScheduleFlip(3, s.TargetName(), 0, 17)
+
+	for i := 0; i < 3; i++ {
+		if _, err := s.Tick(bmw.PushOp(uint64(10-i), uint64(i))); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	// Popping reads node 0's registers through the parity check, which
+	// must trip over the flipped value bit.
+	var tickErr error
+	for i := 0; i < 10 && tickErr == nil; i++ {
+		if s.PopAvailable() {
+			_, tickErr = s.Tick(bmw.PopOp())
+		} else {
+			_, tickErr = s.Tick(bmw.NopOp())
+		}
+	}
+	if !errors.Is(tickErr, bmw.ErrCorrupt) {
+		t.Fatalf("flip went undetected: %v", tickErr)
+	}
+	var ce *bmw.CorruptionError
+	if !errors.As(tickErr, &ce) || ce.Unit != s.TargetName() {
+		t.Fatalf("error = %v, want CorruptionError in %s", tickErr, s.TargetName())
+	}
+	if plan.Injected() != 1 {
+		t.Fatalf("Injected = %d, want 1", plan.Injected())
+	}
+
+	survivors, _ := s.Recover()
+	if len(survivors) == 0 {
+		t.Fatal("recovery harvested nothing")
+	}
+	if _, err := s.Tick(bmw.NopOp()); err != nil {
+		t.Fatalf("tick after recovery: %v", err)
+	}
+}

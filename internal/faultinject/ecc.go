@@ -1,0 +1,505 @@
+// ECC model: a Hamming(72,64) SECDED code and an ECC-protected
+// Simple Dual-Port RAM that implements the same port contract as
+// hw.SDPRAM while storing code words that a fault plan can corrupt.
+//
+// The coding choice mirrors deployed SRAM protection: each 64-bit
+// payload chunk carries 7 Hamming check bits plus one overall parity
+// bit (72 bits stored per chunk). Single-bit errors per chunk are
+// corrected, double-bit errors are detected, and a background scrubber
+// rewrites corrected words so independent single-bit upsets cannot
+// accumulate into an uncorrectable pair. A cheaper parity-only mode
+// (65 bits per chunk, detect-only) and an unprotected mode (64 bits,
+// silent corruption) are provided for ablation: the chaos-soak harness
+// uses them to demonstrate what SECDED buys.
+package faultinject
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/hw"
+)
+
+// ECCMode selects the protection layered on stored words.
+type ECCMode int
+
+const (
+	// EccOff stores raw payload bits; faults corrupt silently.
+	EccOff ECCMode = iota
+	// EccParity stores one parity bit per 64-bit chunk: any odd number
+	// of flipped bits in a chunk is detected, nothing is corrected.
+	EccParity
+	// EccSECDED stores Hamming(72,64): single-bit errors per chunk are
+	// corrected, double-bit errors are detected.
+	EccSECDED
+)
+
+// String names the mode as the bmwsoak flags spell it.
+func (m ECCMode) String() string {
+	switch m {
+	case EccOff:
+		return "off"
+	case EccParity:
+		return "parity"
+	case EccSECDED:
+		return "secded"
+	default:
+		return fmt.Sprintf("ECCMode(%d)", int(m))
+	}
+}
+
+// bitsPerChunk returns the stored width of one 64-bit payload chunk.
+func (m ECCMode) bitsPerChunk() int {
+	switch m {
+	case EccOff:
+		return 64
+	case EccParity:
+		return 65
+	case EccSECDED:
+		return 72
+	default:
+		panic(fmt.Sprintf("faultinject: unknown ECC mode %d", int(m)))
+	}
+}
+
+// Hamming(72,64) layout: code-word positions 1..71 hold the 7 check
+// bits (at the power-of-two positions) and the 64 data bits (at the
+// rest); the 72nd bit is the overall parity of the other 71. The
+// tables below are the position maps, built once at init.
+var (
+	hammingDataPos [64]int   // data bit i -> code position (1..71)
+	hammingPosData [72]int   // code position -> data bit index, -1 if check
+	hammingMask    [7]uint64 // check bit k -> mask of data bits it covers
+)
+
+func init() {
+	for p := range hammingPosData {
+		hammingPosData[p] = -1
+	}
+	i := 0
+	for p := 1; p <= 71; p++ {
+		if p&(p-1) == 0 { // power of two: check-bit position
+			continue
+		}
+		hammingDataPos[i] = p
+		hammingPosData[p] = i
+		for k := 0; k < 7; k++ {
+			if p&(1<<k) != 0 {
+				hammingMask[k] |= 1 << uint(i)
+			}
+		}
+		i++
+	}
+	if i != 64 {
+		panic("faultinject: Hamming position table construction failed")
+	}
+}
+
+func parity64(x uint64) uint8 { return uint8(bits.OnesCount64(x) & 1) }
+
+// secdedEncode returns the 8 check bits for a 64-bit payload: bits 0..6
+// are the Hamming check bits, bit 7 the overall parity over all 72
+// stored bits (even total parity).
+func secdedEncode(d uint64) uint8 {
+	var c uint8
+	for k := 0; k < 7; k++ {
+		c |= parity64(d&hammingMask[k]) << uint(k)
+	}
+	c |= (parity64(d) ^ uint8(bits.OnesCount8(c)&1)) << 7
+	return c
+}
+
+// chunkStatus classifies one chunk's decode.
+type chunkStatus int
+
+const (
+	chunkClean chunkStatus = iota
+	chunkCorrected
+	chunkBad
+)
+
+// secdedDecode checks and, when possible, corrects one stored chunk.
+// It returns the (possibly corrected) payload and the chunk status.
+func secdedDecode(d uint64, c uint8) (uint64, chunkStatus) {
+	var syndrome int
+	for k := 0; k < 7; k++ {
+		syndrome |= int(parity64(d&hammingMask[k])^((c>>uint(k))&1)) << uint(k)
+	}
+	overall := parity64(d) ^ uint8(bits.OnesCount8(c)&1)
+	switch {
+	case syndrome == 0 && overall == 0:
+		return d, chunkClean
+	case overall == 1:
+		// Odd number of flips: assume one, locatable by the syndrome.
+		if syndrome == 0 {
+			return d, chunkCorrected // the overall-parity bit itself
+		}
+		if syndrome&(syndrome-1) == 0 {
+			return d, chunkCorrected // a Hamming check bit
+		}
+		if syndrome <= 71 && hammingPosData[syndrome] >= 0 {
+			return d ^ (1 << uint(hammingPosData[syndrome])), chunkCorrected
+		}
+		return d, chunkBad // syndrome points outside the code word
+	default:
+		// Even number of flips with a nonzero syndrome: double-bit
+		// error, detectable but not correctable.
+		return d, chunkBad
+	}
+}
+
+// WordCodec serialises a RAM word type T into fixed 64-bit payload
+// chunks for protection and fault injection. Encode must fill exactly
+// Chunks() entries and Decode must be its inverse on clean data.
+type WordCodec[T any] interface {
+	Chunks() int
+	Encode(word T, dst []uint64)
+	Decode(src []uint64) T
+}
+
+// codeword is the stored form of one RAM word: payload chunks plus one
+// check byte per chunk (unused bits per the mode).
+type codeword struct {
+	data  []uint64
+	check []uint8
+}
+
+// ECCStats aggregates a protected RAM's detection/correction activity.
+type ECCStats struct {
+	// CorrectedReads counts functional reads whose data needed (and
+	// received) single-bit correction.
+	CorrectedReads uint64
+	// DetectedReads counts functional reads that hit an uncorrectable
+	// error and surfaced a CorruptionError.
+	DetectedReads uint64
+	// Scrubs counts background scrub passes over single words.
+	Scrubs uint64
+	// ScrubCorrected counts words rewritten clean by the scrubber.
+	ScrubCorrected uint64
+	// ScrubDetected counts scrub passes that found an uncorrectable
+	// word (left in place for the functional path to trip over).
+	ScrubDetected uint64
+}
+
+// ECCRAM is a Simple Dual-Port RAM that stores ECC code words. It
+// implements hw.RAM[T] with the exact port protocol and write-first
+// collision semantics of hw.SDPRAM, plus hw.FaultTarget so a fault
+// plan can flip stored bits. Encoding happens on Write, detection and
+// correction on the read capture at Tick; an optional scrubber walks
+// one word every ScrubEvery ticks through the maintenance path and
+// rewrites correctable words.
+type ECCRAM[T any] struct {
+	name   string
+	codec  WordCodec[T]
+	mode   ECCMode
+	chunks int
+	mem    []codeword
+
+	scrubEvery  int
+	scrubCursor int
+	sinceScrub  int
+
+	readPending  bool
+	readAddr     int
+	writePending bool
+	writeAddr    int
+	writeData    T // clean copy for the write-first collision path
+	writeCode    codeword
+
+	dataValid bool
+	data      T
+	readErr   error
+
+	ticks                     uint64
+	reads, writes, collisions uint64
+	ecc                       ECCStats
+
+	scratch []uint64
+}
+
+// NewECCRAM builds a protected RAM of the given depth. scrubEvery
+// selects the background scrub cadence (one word per scrubEvery ticks;
+// 0 disables scrubbing). The zero value of T must encode to all-zero
+// chunks for the initial memory image to be consistent, which holds
+// for the plain struct words the simulators store.
+func NewECCRAM[T any](name string, words int, codec WordCodec[T], mode ECCMode, scrubEvery int) *ECCRAM[T] {
+	if words < 1 {
+		panic(fmt.Sprintf("faultinject: invalid ECCRAM depth %d", words))
+	}
+	chunks := codec.Chunks()
+	if chunks < 1 {
+		panic("faultinject: codec must produce at least one chunk")
+	}
+	r := &ECCRAM[T]{
+		name:       name,
+		codec:      codec,
+		mode:       mode,
+		chunks:     chunks,
+		mem:        make([]codeword, words),
+		scrubEvery: scrubEvery,
+		scratch:    make([]uint64, chunks),
+	}
+	var zero T
+	for i := range r.mem {
+		r.mem[i] = r.encode(zero)
+	}
+	return r
+}
+
+// encode builds a fresh code word for one payload word.
+func (r *ECCRAM[T]) encode(w T) codeword {
+	cw := codeword{data: make([]uint64, r.chunks), check: make([]uint8, r.chunks)}
+	r.codec.Encode(w, cw.data)
+	switch r.mode {
+	case EccParity:
+		for i, d := range cw.data {
+			cw.check[i] = parity64(d)
+		}
+	case EccSECDED:
+		for i, d := range cw.data {
+			cw.check[i] = secdedEncode(d)
+		}
+	}
+	return cw
+}
+
+// decode checks one stored word, correcting what the mode allows.
+// When repair is true, corrected chunks are rewritten in place (the
+// scrub path). It returns the decoded word, how many chunks needed
+// correction, and the indices of uncorrectable chunks.
+func (r *ECCRAM[T]) decode(addr int, repair bool) (T, int, []int) {
+	cw := r.mem[addr]
+	var bad []int
+	corrected := 0
+	for i := 0; i < r.chunks; i++ {
+		d := cw.data[i]
+		switch r.mode {
+		case EccOff:
+			r.scratch[i] = d
+		case EccParity:
+			if parity64(d) != cw.check[i] {
+				bad = append(bad, i)
+			}
+			r.scratch[i] = d
+		case EccSECDED:
+			fixed, st := secdedDecode(d, cw.check[i])
+			r.scratch[i] = fixed
+			switch st {
+			case chunkCorrected:
+				corrected++
+				if repair {
+					cw.data[i] = fixed
+					cw.check[i] = secdedEncode(fixed)
+				}
+			case chunkBad:
+				bad = append(bad, i)
+			}
+		}
+	}
+	return r.codec.Decode(r.scratch), corrected, bad
+}
+
+// Words returns the RAM depth.
+func (r *ECCRAM[T]) Words() int { return len(r.mem) }
+
+// Mode returns the protection mode.
+func (r *ECCRAM[T]) Mode() ECCMode { return r.mode }
+
+// checkAddr mirrors hw.SDPRAM's issue-time bounds check.
+func (r *ECCRAM[T]) checkAddr(port string, addr int) {
+	if addr < 0 || addr >= len(r.mem) {
+		panic(fmt.Sprintf("faultinject: %s address %d out of range [0,%d)", port, addr, len(r.mem)))
+	}
+}
+
+// Read presents addr on the read port for the current cycle.
+func (r *ECCRAM[T]) Read(addr int) {
+	r.checkAddr("read", addr)
+	if r.readPending {
+		panic(fmt.Sprintf("faultinject: second read issued in one cycle (addr %d, pending %d)", addr, r.readAddr))
+	}
+	r.readPending = true
+	r.readAddr = addr
+	r.reads++
+}
+
+// Write presents addr/data on the write port; the code word is built
+// here (encode on write).
+func (r *ECCRAM[T]) Write(addr int, data T) {
+	r.checkAddr("write", addr)
+	if r.writePending {
+		panic(fmt.Sprintf("faultinject: second write issued in one cycle (addr %d, pending %d)", addr, r.writeAddr))
+	}
+	r.writePending = true
+	r.writeAddr = addr
+	r.writeData = data
+	r.writeCode = r.encode(data)
+	r.writes++
+}
+
+// Tick commits the pending write, captures the pending read (decoding
+// and correcting it), and runs one scrub step. Write-first collision
+// returns the just-written data, which is clean by construction.
+func (r *ECCRAM[T]) Tick() {
+	r.ticks++
+	r.dataValid = false
+	r.readErr = nil
+	if r.readPending {
+		if r.writePending && r.writeAddr == r.readAddr {
+			r.data = r.writeData
+			r.collisions++
+		} else {
+			d, corrected, bad := r.decode(r.readAddr, false)
+			r.data = d
+			if corrected > 0 {
+				r.ecc.CorrectedReads++
+			}
+			if len(bad) > 0 {
+				r.ecc.DetectedReads++
+				r.readErr = &hw.CorruptionError{
+					Unit:  r.name,
+					Word:  r.readAddr,
+					Chunk: bad[0],
+					Cycle: r.ticks,
+					Detail: fmt.Sprintf("uncorrectable %s error (%d bad chunk(s))",
+						r.mode, len(bad)),
+				}
+			}
+		}
+		r.dataValid = true
+	}
+	if r.writePending {
+		r.mem[r.writeAddr] = r.writeCode
+	}
+	r.readPending = false
+	r.writePending = false
+	r.scrubStep()
+}
+
+// scrubStep advances the background scrubber: every scrubEvery ticks
+// it decodes one word through the maintenance path and rewrites it if
+// correction was needed. SECDED only; parity cannot repair.
+func (r *ECCRAM[T]) scrubStep() {
+	if r.scrubEvery <= 0 || r.mode != EccSECDED {
+		return
+	}
+	r.sinceScrub++
+	if r.sinceScrub < r.scrubEvery {
+		return
+	}
+	r.sinceScrub = 0
+	addr := r.scrubCursor
+	r.scrubCursor = (r.scrubCursor + 1) % len(r.mem)
+	r.ecc.Scrubs++
+	_, corrected, bad := r.decode(addr, true)
+	if corrected > 0 {
+		r.ecc.ScrubCorrected++
+	}
+	if len(bad) > 0 {
+		r.ecc.ScrubDetected++
+	}
+}
+
+// Data returns the word captured by the read issued in the previous
+// cycle, after correction. ok is false if no read was issued. A
+// detected uncorrectable error is reported by ReadError; the returned
+// word is then the best-effort decode.
+func (r *ECCRAM[T]) Data() (T, bool) { return r.data, r.dataValid }
+
+// ReadError returns nil if the last captured read decoded cleanly (or
+// was corrected), or the *hw.CorruptionError describing an
+// uncorrectable error.
+func (r *ECCRAM[T]) ReadError() error { return r.readErr }
+
+// Pending reports an uncommitted port request, as in hw.SDPRAM.
+func (r *ECCRAM[T]) Pending() bool { return r.readPending || r.writePending }
+
+// Peek decodes the committed word through the maintenance path without
+// touching the ports or the counters.
+func (r *ECCRAM[T]) Peek(addr int) T {
+	cw := r.mem[addr]
+	for i := 0; i < r.chunks; i++ {
+		d := cw.data[i]
+		if r.mode == EccSECDED {
+			d, _ = secdedDecode(d, cw.check[i])
+		}
+		r.scratch[i] = d
+	}
+	return r.codec.Decode(r.scratch)
+}
+
+// Poke rewrites a committed word with a fresh clean code word: the
+// maintenance write used by recovery rebuilds.
+func (r *ECCRAM[T]) Poke(addr int, data T) { r.mem[addr] = r.encode(data) }
+
+// Audit decodes a committed word and reports which chunks are
+// uncorrectably corrupt, for the drain-and-rebuild recovery path.
+func (r *ECCRAM[T]) Audit(addr int) (T, []int) {
+	w, _, bad := r.decode(addr, false)
+	return w, bad
+}
+
+// Stats reports port activity, mirroring hw.SDPRAM.
+func (r *ECCRAM[T]) Stats() (reads, writes, collisions uint64) {
+	return r.reads, r.writes, r.collisions
+}
+
+// ECCStats reports the protection activity since construction.
+func (r *ECCRAM[T]) ECCStats() ECCStats { return r.ecc }
+
+// --- hw.FaultTarget ---
+
+// TargetName identifies this RAM in fault plans.
+func (r *ECCRAM[T]) TargetName() string { return r.name }
+
+// WordBits is the stored width of one word: payload plus check bits.
+func (r *ECCRAM[T]) WordBits() int { return r.chunks * r.mode.bitsPerChunk() }
+
+// locateBit maps a word-relative bit index onto (chunk, offset).
+func (r *ECCRAM[T]) locateBit(bit int) (chunk, off int) {
+	per := r.mode.bitsPerChunk()
+	if bit < 0 || bit >= r.chunks*per {
+		panic(fmt.Sprintf("faultinject: bit %d out of range [0,%d)", bit, r.chunks*per))
+	}
+	return bit / per, bit % per
+}
+
+// PeekBit reports a stored bit (payload or check).
+func (r *ECCRAM[T]) PeekBit(word, bit int) bool {
+	r.checkAddr("peekbit", word)
+	chunk, off := r.locateBit(bit)
+	if off < 64 {
+		return r.mem[word].data[chunk]&(1<<uint(off)) != 0
+	}
+	return r.mem[word].check[chunk]&(1<<uint(off-64)) != 0
+}
+
+// FlipBit inverts a stored bit in place — the injection primitive.
+func (r *ECCRAM[T]) FlipBit(word, bit int) {
+	r.checkAddr("flipbit", word)
+	chunk, off := r.locateBit(bit)
+	if off < 64 {
+		r.mem[word].data[chunk] ^= 1 << uint(off)
+	} else {
+		r.mem[word].check[chunk] ^= 1 << uint(off-64)
+	}
+}
+
+// Interface conformance.
+var (
+	_ hw.RAM[uint64] = (*ECCRAM[uint64])(nil)
+	_ hw.FaultTarget = (*ECCRAM[uint64])(nil)
+)
+
+// U64Codec is the trivial codec for RAMs whose word is a single
+// uint64 (tests and simple stores).
+type U64Codec struct{}
+
+// Chunks returns 1.
+func (U64Codec) Chunks() int { return 1 }
+
+// Encode stores the word in the single chunk.
+func (U64Codec) Encode(w uint64, dst []uint64) { dst[0] = w }
+
+// Decode restores the word.
+func (U64Codec) Decode(src []uint64) uint64 { return src[0] }

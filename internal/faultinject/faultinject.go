@@ -1,0 +1,281 @@
+// Package faultinject provides the fault-injection and memory-
+// protection subsystem for the cycle-accurate hardware simulations:
+// seeded deterministic fault plans (single-event-upset bit flips and
+// stuck-at faults, rate- or schedule-driven) that corrupt any
+// hw.FaultTarget, and an ECC layer (SECDED or parity) over the SRAM
+// and register storage those faults attack.
+//
+// The design follows the memory-integrity practice of the pipelined
+// hardware priority-queue literature: storage is the vulnerable
+// surface, so every storable bit is addressable by the injector, and
+// every protection mechanism (Hamming SECDED on SRAM words, parity on
+// register files, the online tree invariant checker) is accounted for
+// by counters that a soak harness can reconcile — injected faults must
+// end up corrected, detected, or (for an unprotected ablation)
+// demonstrably escaped.
+//
+// Determinism is load-bearing: a Plan is seeded, consumes its RNG in a
+// fixed order, and logs every injection, so any divergence found by
+// the chaos-soak harness is reproducible from the command line that
+// produced it.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hw"
+)
+
+// Config parameterises a fault plan.
+type Config struct {
+	// Seed drives every random choice the plan makes.
+	Seed int64
+	// Rate is the per-cycle probability of one rate-driven random
+	// single-bit flip across all registered targets (0 disables).
+	Rate float64
+	// MaxRandom caps the number of rate-driven flips (0 = unlimited).
+	// Scheduled flips and stuck-at faults are not counted against it.
+	MaxRandom int
+	// Start and Stop bound the active window in cycles for rate-driven
+	// injection and stuck-at enforcement (Stop 0 = no upper bound).
+	Start, Stop uint64
+}
+
+// Injection records one storage corruption the plan performed.
+type Injection struct {
+	Cycle  uint64
+	Target string
+	Word   int
+	Bit    int
+	Kind   string // "rate", "scheduled", "stuck"
+}
+
+// String formats the injection for divergence traces.
+func (i Injection) String() string {
+	return fmt.Sprintf("cycle %d: %s fault in %s word %d bit %d", i.Cycle, i.Kind, i.Target, i.Word, i.Bit)
+}
+
+// scheduled is one planned flip: either an explicit location or a
+// random draw performed when the cycle arrives.
+type scheduled struct {
+	target    string // empty for random draws
+	word, bit int
+	random    bool
+}
+
+// stuckFault pins one bit to a value from a given cycle on.
+type stuckFault struct {
+	target    string
+	word, bit int
+	value     bool
+	from      uint64
+}
+
+// maxTraceLen bounds the retained injection log; the counters keep
+// exact totals beyond it.
+const maxTraceLen = 4096
+
+// Plan is a seeded, deterministic fault plan. Register storage targets,
+// optionally add scheduled or stuck-at faults, then call Step once per
+// simulated cycle (the simulators do this automatically when a plan is
+// attached). All mutation happens between clock edges: Step runs after
+// a cycle's Tick, so a fault becomes visible to reads of the following
+// cycles — the semantics of an upset landing in an idle array.
+type Plan struct {
+	cfg Config
+	rng *rand.Rand
+
+	targets []hw.FaultTarget
+	byName  map[string]hw.FaultTarget
+
+	schedule map[uint64][]scheduled
+	stucks   []stuckFault
+
+	injected     uint64
+	rateInjected uint64
+	stuckApplied uint64
+	trace        []Injection
+}
+
+// NewPlan builds a fault plan from the configuration.
+func NewPlan(cfg Config) *Plan {
+	if cfg.Rate < 0 || cfg.Rate > 1 {
+		panic(fmt.Sprintf("faultinject: rate %v outside [0,1]", cfg.Rate))
+	}
+	return &Plan{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		byName:   make(map[string]hw.FaultTarget),
+		schedule: make(map[uint64][]scheduled),
+	}
+}
+
+// Register adds a storage target to the plan. Registration order
+// matters for determinism: random draws weight targets by bit count in
+// the order they were registered.
+func (p *Plan) Register(t hw.FaultTarget) {
+	name := t.TargetName()
+	if _, dup := p.byName[name]; dup {
+		panic(fmt.Sprintf("faultinject: duplicate target %q", name))
+	}
+	p.targets = append(p.targets, t)
+	p.byName[name] = t
+}
+
+// Targets lists the registered target names in registration order.
+func (p *Plan) Targets() []string {
+	out := make([]string, len(p.targets))
+	for i, t := range p.targets {
+		out[i] = t.TargetName()
+	}
+	return out
+}
+
+// ScheduleFlip plans a single-bit flip of an explicit location at the
+// given cycle.
+func (p *Plan) ScheduleFlip(cycle uint64, target string, word, bit int) {
+	p.schedule[cycle] = append(p.schedule[cycle], scheduled{target: target, word: word, bit: bit})
+}
+
+// ScheduleRandomFlip plans one uniformly random single-bit flip at the
+// given cycle; the location is drawn when the cycle arrives, so the
+// whole fault set is reproducible from the seed.
+func (p *Plan) ScheduleRandomFlip(cycle uint64) {
+	p.schedule[cycle] = append(p.schedule[cycle], scheduled{random: true})
+}
+
+// AddStuck pins target's bit to value from cycle `from` on: every Step
+// re-forces the bit, modelling a hard (stuck-at) fault rather than a
+// transient upset.
+func (p *Plan) AddStuck(target string, word, bit int, value bool, from uint64) {
+	p.stucks = append(p.stucks, stuckFault{target: target, word: word, bit: bit, value: value, from: from})
+}
+
+// AddRandomStuck pins n uniformly random bits (drawn immediately from
+// the plan's RNG over the currently registered targets) from cycle
+// `from` on.
+func (p *Plan) AddRandomStuck(n int, from uint64) {
+	for i := 0; i < n; i++ {
+		t, word, bit, ok := p.drawLocation()
+		if !ok {
+			panic("faultinject: AddRandomStuck with no registered targets")
+		}
+		p.AddStuck(t.TargetName(), word, bit, p.rng.Intn(2) == 1, from)
+	}
+}
+
+// drawLocation picks a uniformly random stored bit across all
+// registered targets, weighted by their bit counts.
+func (p *Plan) drawLocation() (hw.FaultTarget, int, int, bool) {
+	var total int64
+	for _, t := range p.targets {
+		total += int64(t.Words()) * int64(t.WordBits())
+	}
+	if total == 0 {
+		return nil, 0, 0, false
+	}
+	idx := p.rng.Int63n(total)
+	for _, t := range p.targets {
+		n := int64(t.Words()) * int64(t.WordBits())
+		if idx < n {
+			return t, int(idx / int64(t.WordBits())), int(idx % int64(t.WordBits())), true
+		}
+		idx -= n
+	}
+	panic("faultinject: bit index out of range")
+}
+
+// active reports whether the window admits rate/stuck activity.
+func (p *Plan) active(cycle uint64) bool {
+	if cycle < p.cfg.Start {
+		return false
+	}
+	return p.cfg.Stop == 0 || cycle <= p.cfg.Stop
+}
+
+// record logs one performed injection.
+func (p *Plan) record(cycle uint64, t hw.FaultTarget, word, bit int, kind string) {
+	p.injected++
+	if kind == "rate" {
+		p.rateInjected++
+	}
+	if len(p.trace) < maxTraceLen {
+		p.trace = append(p.trace, Injection{Cycle: cycle, Target: t.TargetName(), Word: word, Bit: bit, Kind: kind})
+	}
+}
+
+// Step performs the cycle's injections: scheduled flips for this
+// cycle, at most one rate-driven flip, and stuck-at enforcement. Call
+// once per simulated cycle, after the clock edge.
+func (p *Plan) Step(cycle uint64) {
+	for _, s := range p.schedule[cycle] {
+		if s.random {
+			t, word, bit, ok := p.drawLocation()
+			if !ok {
+				continue
+			}
+			t.FlipBit(word, bit)
+			p.record(cycle, t, word, bit, "scheduled")
+			continue
+		}
+		t, ok := p.byName[s.target]
+		if !ok {
+			panic(fmt.Sprintf("faultinject: scheduled fault for unregistered target %q", s.target))
+		}
+		t.FlipBit(s.word, s.bit)
+		p.record(cycle, t, s.word, s.bit, "scheduled")
+	}
+	delete(p.schedule, cycle)
+
+	if p.cfg.Rate > 0 && p.active(cycle) {
+		// One RNG draw per cycle regardless of budget keeps the stream
+		// deterministic under different MaxRandom settings.
+		hit := p.rng.Float64() < p.cfg.Rate
+		if hit && (p.cfg.MaxRandom == 0 || p.rateInjected < uint64(p.cfg.MaxRandom)) {
+			if t, word, bit, ok := p.drawLocation(); ok {
+				t.FlipBit(word, bit)
+				p.record(cycle, t, word, bit, "rate")
+			}
+		}
+	}
+
+	for _, s := range p.stucks {
+		if cycle < s.from || !p.active(cycle) {
+			continue
+		}
+		t, ok := p.byName[s.target]
+		if !ok {
+			panic(fmt.Sprintf("faultinject: stuck fault for unregistered target %q", s.target))
+		}
+		if t.PeekBit(s.word, s.bit) != s.value {
+			t.FlipBit(s.word, s.bit)
+			p.stuckApplied++
+			p.record(cycle, t, s.word, s.bit, "stuck")
+		}
+	}
+}
+
+// Injected returns the total number of bit corruptions performed
+// (transient flips plus stuck-at re-assertions).
+func (p *Plan) Injected() uint64 { return p.injected }
+
+// RateInjected returns the rate-driven subset of Injected.
+func (p *Plan) RateInjected() uint64 { return p.rateInjected }
+
+// StuckApplied returns how many times a stuck-at fault actually
+// changed a bit.
+func (p *Plan) StuckApplied() uint64 { return p.stuckApplied }
+
+// PendingScheduled returns how many scheduled flips have not fired yet.
+func (p *Plan) PendingScheduled() int {
+	n := 0
+	for _, s := range p.schedule {
+		n += len(s)
+	}
+	return n
+}
+
+// Trace returns the retained injection log (up to the first 4096
+// injections), for divergence reports.
+func (p *Plan) Trace() []Injection { return p.trace }

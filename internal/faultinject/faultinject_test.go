@@ -1,0 +1,144 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPlanScheduledFlip fires an explicit scheduled fault at its cycle
+// and only then.
+func TestPlanScheduledFlip(t *testing.T) {
+	r := NewECCRAM[uint64]("ram", 4, U64Codec{}, EccOff, 0)
+	p := NewPlan(Config{Seed: 1})
+	p.Register(r)
+	p.ScheduleFlip(5, "ram", 2, 7)
+	for c := uint64(0); c < 5; c++ {
+		p.Step(c)
+	}
+	if p.Injected() != 0 {
+		t.Fatalf("injected %d before the scheduled cycle", p.Injected())
+	}
+	p.Step(5)
+	if p.Injected() != 1 {
+		t.Fatalf("injected = %d want 1", p.Injected())
+	}
+	if !r.PeekBit(2, 7) {
+		t.Fatal("scheduled bit not flipped")
+	}
+	tr := p.Trace()
+	if len(tr) != 1 || tr[0].Cycle != 5 || tr[0].Target != "ram" || tr[0].Word != 2 || tr[0].Bit != 7 {
+		t.Fatalf("trace = %+v", tr)
+	}
+}
+
+// TestPlanDeterminism runs two identically seeded plans over identical
+// targets and requires identical injection traces.
+func TestPlanDeterminism(t *testing.T) {
+	run := func() []Injection {
+		r := NewECCRAM[uint64]("ram", 64, U64Codec{}, EccOff, 0)
+		p := NewPlan(Config{Seed: 42, Rate: 0.3})
+		p.Register(r)
+		for i := 0; i < 50; i++ {
+			p.ScheduleRandomFlip(uint64(i * 3))
+		}
+		for c := uint64(0); c < 200; c++ {
+			p.Step(c)
+		}
+		return p.Trace()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no injections recorded")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identically seeded plans diverged")
+	}
+}
+
+// TestPlanScheduledRandomExactCount checks that N scheduled random
+// flips inside the run window inject exactly N faults — the seed
+// hygiene the soak harness depends on.
+func TestPlanScheduledRandomExactCount(t *testing.T) {
+	r := NewECCRAM[uint64]("ram", 16, U64Codec{}, EccSECDED, 0)
+	p := NewPlan(Config{Seed: 7})
+	p.Register(r)
+	const n = 100
+	for i := 0; i < n; i++ {
+		p.ScheduleRandomFlip(uint64(i % 37))
+	}
+	for c := uint64(0); c < 37; c++ {
+		p.Step(c)
+	}
+	if p.Injected() != n {
+		t.Fatalf("injected = %d want %d", p.Injected(), n)
+	}
+	if p.PendingScheduled() != 0 {
+		t.Fatalf("pending = %d want 0", p.PendingScheduled())
+	}
+}
+
+// TestPlanRateWindowAndBudget checks the Start/Stop window and the
+// MaxRandom budget bound rate-driven injection.
+func TestPlanRateWindowAndBudget(t *testing.T) {
+	r := NewECCRAM[uint64]("ram", 8, U64Codec{}, EccOff, 0)
+	p := NewPlan(Config{Seed: 3, Rate: 1.0, MaxRandom: 5, Start: 10, Stop: 100})
+	p.Register(r)
+	for c := uint64(0); c < 10; c++ {
+		p.Step(c)
+	}
+	if p.RateInjected() != 0 {
+		t.Fatalf("injected %d before Start", p.RateInjected())
+	}
+	for c := uint64(10); c < 200; c++ {
+		p.Step(c)
+	}
+	if p.RateInjected() != 5 {
+		t.Fatalf("rate-injected = %d want budget 5", p.RateInjected())
+	}
+}
+
+// TestPlanStuckAt checks a stuck-at fault is re-asserted after the
+// stored word is rewritten clean.
+func TestPlanStuckAt(t *testing.T) {
+	r := NewECCRAM[uint64]("ram", 2, U64Codec{}, EccOff, 0)
+	p := NewPlan(Config{Seed: 1})
+	p.Register(r)
+	p.AddStuck("ram", 0, 4, true, 0)
+	p.Step(0)
+	if !r.PeekBit(0, 4) {
+		t.Fatal("stuck-at-1 not applied")
+	}
+	// A functional write overwrites the bit; the next Step re-pins it.
+	r.Write(0, 0)
+	r.Tick()
+	if r.PeekBit(0, 4) {
+		t.Fatal("write did not clear the bit")
+	}
+	p.Step(1)
+	if !r.PeekBit(0, 4) {
+		t.Fatal("stuck-at-1 not re-asserted after rewrite")
+	}
+	if p.StuckApplied() != 2 {
+		t.Fatalf("StuckApplied = %d want 2", p.StuckApplied())
+	}
+}
+
+// TestPlanMultiTargetDraws registers two targets of very different
+// sizes and checks random draws eventually land in both.
+func TestPlanMultiTargetDraws(t *testing.T) {
+	big := NewECCRAM[uint64]("big", 64, U64Codec{}, EccOff, 0)
+	small := NewECCRAM[uint64]("small", 1, U64Codec{}, EccOff, 0)
+	p := NewPlan(Config{Seed: 9, Rate: 1.0})
+	p.Register(big)
+	p.Register(small)
+	for c := uint64(0); c < 2000; c++ {
+		p.Step(c)
+	}
+	seen := map[string]bool{}
+	for _, inj := range p.Trace() {
+		seen[inj.Target] = true
+	}
+	if !seen["big"] || !seen["small"] {
+		t.Fatalf("draws did not cover both targets: %v", seen)
+	}
+}

@@ -12,7 +12,102 @@
 // is the property Section 5.2.3 exploits for operation hiding.
 package hw
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt is the sentinel for storage corruption detected by a
+// protection mechanism (ECC, parity, or an online invariant checker).
+// Concrete detections are reported as *CorruptionError values wrapping
+// this sentinel, so callers can test with errors.Is(err, ErrCorrupt)
+// and then inspect the detail.
+var ErrCorrupt = errors.New("hw: storage corruption detected")
+
+// CorruptionError describes one detected corruption event: where it was
+// observed and, when known, which structure reported it. A simulator
+// that returns a CorruptionError from Tick has latched a fault status
+// and refuses further operations until recovered.
+type CorruptionError struct {
+	// Unit names the detecting structure ("sram3", "rbmw-regs", ...).
+	Unit string
+	// Word and Chunk locate the corrupt storage word (Chunk is the
+	// ECC-protected sub-word, -1 when not applicable).
+	Word, Chunk int
+	// Cycle is the clock cycle of detection.
+	Cycle uint64
+	// Detail is the mechanism-specific description.
+	Detail string
+	// Cause optionally carries the underlying typed error (for
+	// example a *treecheck.Violation from an online invariant check).
+	Cause error
+}
+
+// Error formats the detection report.
+func (e *CorruptionError) Error() string {
+	if e.Chunk >= 0 {
+		return fmt.Sprintf("hw: corruption detected in %s word %d chunk %d at cycle %d: %s",
+			e.Unit, e.Word, e.Chunk, e.Cycle, e.Detail)
+	}
+	return fmt.Sprintf("hw: corruption detected in %s word %d at cycle %d: %s",
+		e.Unit, e.Word, e.Cycle, e.Detail)
+}
+
+// Unwrap lets errors.Is(err, ErrCorrupt) match every detection and
+// errors.As reach the underlying cause when one is recorded.
+func (e *CorruptionError) Unwrap() []error {
+	if e.Cause != nil {
+		return []error{ErrCorrupt, e.Cause}
+	}
+	return []error{ErrCorrupt}
+}
+
+// FaultStepper is the per-cycle hook of a fault plan: a simulator with
+// an attached stepper calls Step once at the end of every consumed
+// clock cycle, so injected faults land between clock edges (the
+// semantics of an upset striking an idle array). Implemented by
+// faultinject.Plan.
+type FaultStepper interface {
+	Step(cycle uint64)
+}
+
+// FaultTarget is the injection interface of the fault subsystem: any
+// bit-addressable storage structure (an SRAM's code words, a register
+// file) exposes its bits so a fault plan can flip them or pin them
+// (stuck-at). Implementations are expected to model the *storage* only;
+// data already latched into port output registers is not disturbed,
+// matching the physics of a single-event upset in an array.
+type FaultTarget interface {
+	// TargetName identifies the structure in fault plans and reports.
+	TargetName() string
+	// Words is the number of addressable storage words.
+	Words() int
+	// WordBits is the width of one word in bits, including any check
+	// bits the protection scheme stores alongside the payload.
+	WordBits() int
+	// PeekBit reports the current value of a stored bit.
+	PeekBit(word, bit int) bool
+	// FlipBit inverts a stored bit in place.
+	FlipBit(word, bit int)
+}
+
+// RAM is the port-level contract of the Simple Dual-Port RAM model:
+// one read port, one write port, write-first collision semantics, and
+// a one-cycle read latency. SDPRAM is the unprotected implementation;
+// internal/faultinject provides an ECC-protected, fault-injectable one.
+// Peek and Poke are maintenance paths (testbench/scrub/rebuild), not
+// functional ports.
+type RAM[T any] interface {
+	Words() int
+	Read(addr int)
+	Write(addr int, data T)
+	Tick()
+	Data() (data T, ok bool)
+	Pending() bool
+	Peek(addr int) T
+	Poke(addr int, data T)
+	Stats() (reads, writes, collisions uint64)
+}
 
 // OpKind identifies an external operation presented to a flow scheduler
 // in one clock cycle.
@@ -88,10 +183,20 @@ func NewSDPRAM[T any](words int) *SDPRAM[T] {
 // Words returns the RAM depth.
 func (r *SDPRAM[T]) Words() int { return len(r.mem) }
 
+// checkAddr validates a port address at issue time. Catching the
+// violation here, rather than as a raw slice-index panic inside Tick,
+// reports the offending port and address in the cycle that issued it.
+func (r *SDPRAM[T]) checkAddr(port string, addr int) {
+	if addr < 0 || addr >= len(r.mem) {
+		panic(fmt.Sprintf("hw: %s address %d out of range [0,%d)", port, addr, len(r.mem)))
+	}
+}
+
 // Read presents addr on the read port for the current cycle. Issuing two
 // reads in one cycle is a simulation bug and panics (the hardware has a
-// single read port).
+// single read port), as is an address outside [0, Words()).
 func (r *SDPRAM[T]) Read(addr int) {
+	r.checkAddr("read", addr)
 	if r.readPending {
 		panic(fmt.Sprintf("hw: second read issued in one cycle (addr %d, pending %d)", addr, r.readAddr))
 	}
@@ -101,8 +206,10 @@ func (r *SDPRAM[T]) Read(addr int) {
 }
 
 // Write presents addr/data on the write port for the current cycle.
-// Issuing two writes in one cycle panics (single write port).
+// Issuing two writes in one cycle panics (single write port), as does
+// an address outside [0, Words()).
 func (r *SDPRAM[T]) Write(addr int, data T) {
+	r.checkAddr("write", addr)
 	if r.writePending {
 		panic(fmt.Sprintf("hw: second write issued in one cycle (addr %d, pending %d)", addr, r.writeAddr))
 	}
@@ -148,6 +255,11 @@ func (r *SDPRAM[T]) Pending() bool { return r.readPending || r.writePending }
 // Peek returns the committed contents of a word without using the read
 // port. Test and checker helper; not part of the hardware interface.
 func (r *SDPRAM[T]) Peek(addr int) T { return r.mem[addr] }
+
+// Poke overwrites the committed contents of a word without using the
+// write port. Maintenance path used by testbenches and by recovery
+// rebuilds; not part of the hardware interface.
+func (r *SDPRAM[T]) Poke(addr int, data T) { r.mem[addr] = data }
 
 // Stats reports the port activity since construction: total reads,
 // total writes, and read-during-write collisions (the operation-hiding

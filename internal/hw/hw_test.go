@@ -1,6 +1,10 @@
 package hw
 
-import "testing"
+import (
+	"errors"
+	"strings"
+	"testing"
+)
 
 func TestOpKindString(t *testing.T) {
 	if Nop.String() != "nop" || Push.String() != "push" || Pop.String() != "pop" {
@@ -133,5 +137,100 @@ func TestSDPRAMStats(t *testing.T) {
 	reads, writes, _ := r.Stats()
 	if reads != 3 || writes != 5 {
 		t.Fatalf("stats = %d reads %d writes, want 3, 5", reads, writes)
+	}
+}
+
+// TestSDPRAMAddressBounds proves out-of-range addresses fail at issue
+// time, on both ports, with a message naming the port and the range —
+// not later inside Tick as a raw slice-index panic.
+func TestSDPRAMAddressBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		use  func(r *SDPRAM[int])
+		want string
+	}{
+		{"read-negative", func(r *SDPRAM[int]) { r.Read(-1) }, "read address -1 out of range [0,4)"},
+		{"read-high", func(r *SDPRAM[int]) { r.Read(4) }, "read address 4 out of range [0,4)"},
+		{"write-negative", func(r *SDPRAM[int]) { r.Write(-3, 0) }, "write address -3 out of range [0,4)"},
+		{"write-high", func(r *SDPRAM[int]) { r.Write(7, 0) }, "write address 7 out of range [0,4)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewSDPRAM[int](4)
+			defer func() {
+				msg, ok := recover().(string)
+				if !ok {
+					t.Fatalf("no panic for %s", tc.name)
+				}
+				if !strings.Contains(msg, tc.want) {
+					t.Fatalf("panic %q does not contain %q", msg, tc.want)
+				}
+				// The port must not be left half-issued: legal traffic
+				// still works afterwards.
+				r.Write(0, 42)
+				r.Read(0)
+				r.Tick()
+				if d, ok := r.Data(); !ok || d != 42 {
+					t.Fatalf("RAM unusable after rejected address: %d, %v", d, ok)
+				}
+			}()
+			tc.use(r)
+		})
+	}
+}
+
+// TestSDPRAMInBoundsEdgeAddresses exercises the accepted boundary
+// addresses 0 and Words()-1 end to end.
+func TestSDPRAMInBoundsEdgeAddresses(t *testing.T) {
+	r := NewSDPRAM[int](4)
+	r.Write(0, 10)
+	r.Tick()
+	r.Write(3, 13)
+	r.Tick()
+	r.Read(0)
+	r.Tick()
+	if d, _ := r.Data(); d != 10 {
+		t.Fatalf("word 0 = %d", d)
+	}
+	r.Read(3)
+	r.Tick()
+	if d, _ := r.Data(); d != 13 {
+		t.Fatalf("word 3 = %d", d)
+	}
+}
+
+// TestSDPRAMPoke checks the maintenance write path commits immediately
+// and is observable by both Peek and the functional read port.
+func TestSDPRAMPoke(t *testing.T) {
+	r := NewSDPRAM[int](2)
+	r.Poke(1, 99)
+	if r.Peek(1) != 99 {
+		t.Fatalf("Peek after Poke = %d", r.Peek(1))
+	}
+	r.Read(1)
+	r.Tick()
+	if d, _ := r.Data(); d != 99 {
+		t.Fatalf("port read after Poke = %d", d)
+	}
+}
+
+// TestCorruptionError checks the typed fault status wraps ErrCorrupt
+// and formats its location.
+func TestCorruptionError(t *testing.T) {
+	withChunk := &CorruptionError{Unit: "sram3", Word: 7, Chunk: 2, Cycle: 41, Detail: "double-bit error"}
+	if !errors.Is(withChunk, ErrCorrupt) {
+		t.Fatal("CorruptionError does not match ErrCorrupt")
+	}
+	for _, want := range []string{"sram3", "word 7", "chunk 2", "cycle 41", "double-bit error"} {
+		if !strings.Contains(withChunk.Error(), want) {
+			t.Fatalf("error %q missing %q", withChunk.Error(), want)
+		}
+	}
+	noChunk := &CorruptionError{Unit: "rbmw-regs", Word: 3, Chunk: -1, Cycle: 9, Detail: "parity mismatch"}
+	if strings.Contains(noChunk.Error(), "chunk") {
+		t.Fatalf("chunk-less error mentions chunk: %q", noChunk.Error())
+	}
+	if !errors.Is(noChunk, ErrCorrupt) {
+		t.Fatal("chunk-less CorruptionError does not match ErrCorrupt")
 	}
 }

@@ -1,0 +1,330 @@
+// Fault tolerance for the R-BMW register pipeline.
+//
+// The register file (one {value, metadata, counter} slot per word) can be
+// protected with a per-slot parity bit, recomputed by the functional
+// datapath on every write (touch) and checked on every node access
+// (checkNode). Parity detects any single-bit upset in a slot; it cannot
+// correct, so a detection latches a sticky fault status — Tick refuses
+// further operations — until Recover drains the surviving elements and
+// rebuilds a clean tree.
+//
+// The Sim also implements hw.FaultTarget so a faultinject.Plan can flip
+// or pin register bits, and accepts an hw.FaultStepper so injections
+// land between clock edges.
+package rbmw
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/treecheck"
+)
+
+// slotBits is the payload width of one register slot: 64-bit value,
+// 64-bit metadata, 32-bit counter.
+const slotBits = 64 + 64 + 32
+
+// slotParity returns the even-parity bit over a slot's stored bits.
+func slotParity(sl *slot) uint8 {
+	return uint8((bits.OnesCount64(sl.val) + bits.OnesCount64(sl.meta) + bits.OnesCount32(sl.count)) & 1)
+}
+
+// Protect enables (or disables) parity protection on the register file.
+// The pipeline must be quiescent: the parity column is (re)computed from
+// the committed register state.
+func (s *Sim) Protect(on bool) {
+	if !s.Quiescent() {
+		panic("rbmw: Protect requires a quiescent pipeline")
+	}
+	s.protected = on
+	if on {
+		if s.parity == nil {
+			s.parity = make([]uint8, len(s.nodes))
+		}
+		for i := range s.nodes {
+			s.parity[i] = slotParity(&s.nodes[i])
+		}
+	}
+}
+
+// Protected reports whether register parity is enabled.
+func (s *Sim) Protected() bool { return s.protected }
+
+// AttachFaults connects a fault plan's clock hook: Step is called once
+// at the end of every consumed cycle. The caller is responsible for also
+// registering the Sim as a target on the plan.
+func (s *Sim) AttachFaults(st hw.FaultStepper) { s.stepper = st }
+
+// tolerant reports whether detections should latch a fault status
+// instead of panicking: any protection or injection machinery is
+// attached. A bare simulator keeps the fail-fast panics, so clean-run
+// behaviour is byte-for-byte identical to the unprotected build.
+func (s *Sim) tolerant() bool {
+	return s.protected || s.stepper != nil || s.CheckEvery > 0
+}
+
+// fail latches the first detected corruption; later detections in the
+// same (aborted) cycle are ignored.
+func (s *Sim) fail(err *hw.CorruptionError) {
+	if s.faultErr == nil {
+		s.faultErr = err
+		s.detected++
+	}
+}
+
+// touch recomputes the parity bit of a slot the datapath just wrote.
+func (s *Sim) touch(idx int) {
+	if s.protected {
+		s.parity[idx] = slotParity(&s.nodes[idx])
+	}
+}
+
+// checkNode verifies the parity of every slot of node n, as the hardware
+// would when the node's comparator tree reads its registers. A mismatch
+// latches the fault status.
+func (s *Sim) checkNode(n int) {
+	if !s.protected || s.faultErr != nil {
+		return
+	}
+	base := n * s.m
+	for i := 0; i < s.m; i++ {
+		idx := base + i
+		if slotParity(&s.nodes[idx]) != s.parity[idx]&1 {
+			s.fail(&hw.CorruptionError{
+				Unit: s.TargetName(), Word: idx, Chunk: -1, Cycle: s.cycle,
+				Detail: "register parity mismatch",
+			})
+			return
+		}
+	}
+}
+
+// endOfCycle runs once per consumed Tick, after all waves: the online
+// invariant checker (on the first quiescent cycle once CheckEvery
+// cycles have elapsed since the last check, so a busy pipeline does not
+// starve it) and then the attached fault plan, so upsets strike between
+// clock edges.
+func (s *Sim) endOfCycle() {
+	if s.faultErr == nil && s.CheckEvery > 0 && s.cycle >= s.lastCheck+s.CheckEvery && s.Quiescent() {
+		s.lastCheck = s.cycle
+		s.checkRuns++
+		if err := treecheck.Check(s); err != nil {
+			s.fail(&hw.CorruptionError{
+				Unit: "rbmw-online-check", Word: -1, Chunk: -1, Cycle: s.cycle,
+				Detail: err.Error(), Cause: err,
+			})
+		}
+	}
+	if s.stepper != nil {
+		s.stepper.Step(s.cycle)
+	}
+}
+
+// Faulted reports whether a corruption has been detected and latched.
+func (s *Sim) Faulted() bool { return s.faultErr != nil }
+
+// FaultError returns the latched *hw.CorruptionError, or nil.
+func (s *Sim) FaultError() error { return s.faultErr }
+
+// Detected returns the number of corruptions detected since construction.
+func (s *Sim) Detected() uint64 { return s.detected }
+
+// Recoveries returns the number of completed Recover calls.
+func (s *Sim) Recoveries() uint64 { return s.recoveries }
+
+// CheckRuns returns how many times the online invariant checker ran.
+func (s *Sim) CheckRuns() uint64 { return s.checkRuns }
+
+// Verify is a read-only health check: it scans the parity column (when
+// protected) and runs the shared treecheck invariants. Unlike the online
+// checker it does not latch a fault. Meaningful only when quiescent.
+func (s *Sim) Verify() error {
+	if s.protected {
+		for idx := range s.nodes {
+			if slotParity(&s.nodes[idx]) != s.parity[idx]&1 {
+				return &hw.CorruptionError{
+					Unit: s.TargetName(), Word: idx, Chunk: -1, Cycle: s.cycle,
+					Detail: "register parity mismatch",
+				}
+			}
+		}
+	}
+	return treecheck.Check(s)
+}
+
+// hw.FaultTarget — the register file as bit-addressable storage. One
+// word per slot: bits 0-63 value, 64-127 metadata, 128-159 counter, and
+// bit 160 the parity bit when protection is enabled.
+
+var _ hw.FaultTarget = (*Sim)(nil)
+
+// TargetName identifies the register file in fault plans and reports.
+func (s *Sim) TargetName() string { return "rbmw-regs" }
+
+// Words returns the number of register slots.
+func (s *Sim) Words() int { return len(s.nodes) }
+
+// WordBits returns the stored width of one slot, including the parity
+// bit when protection is enabled.
+func (s *Sim) WordBits() int {
+	if s.protected {
+		return slotBits + 1
+	}
+	return slotBits
+}
+
+// PeekBit reports a stored register bit.
+func (s *Sim) PeekBit(word, bit int) bool {
+	sl := &s.nodes[word]
+	switch {
+	case bit < 64:
+		return sl.val>>uint(bit)&1 != 0
+	case bit < 128:
+		return sl.meta>>uint(bit-64)&1 != 0
+	case bit < slotBits:
+		return sl.count>>uint(bit-128)&1 != 0
+	case bit == slotBits && s.protected:
+		return s.parity[word]&1 != 0
+	default:
+		panic(fmt.Sprintf("rbmw: PeekBit bit %d out of range", bit))
+	}
+}
+
+// FlipBit inverts a stored register bit in place — the injection path.
+// It deliberately does not update the parity column: that is the
+// corruption the protection exists to catch.
+func (s *Sim) FlipBit(word, bit int) {
+	sl := &s.nodes[word]
+	switch {
+	case bit < 64:
+		sl.val ^= 1 << uint(bit)
+	case bit < 128:
+		sl.meta ^= 1 << uint(bit-64)
+	case bit < slotBits:
+		sl.count ^= 1 << uint(bit-128)
+	case bit == slotBits && s.protected:
+		s.parity[word] ^= 1
+	default:
+		panic(fmt.Sprintf("rbmw: FlipBit bit %d out of range", bit))
+	}
+}
+
+// bestMin is minSlot without the health machinery: the leftmost
+// minimum-value occupied slot of node n, or -1 when the node is empty.
+// Recovery uses it to locate stale duplicates without latching faults.
+func (s *Sim) bestMin(n int) int {
+	base := n * s.m
+	min := -1
+	for i := 0; i < s.m; i++ {
+		if s.nodes[base+i].count == 0 {
+			continue
+		}
+		if min < 0 || s.nodes[base+i].val < s.nodes[base+min].val {
+			min = i
+		}
+	}
+	if min < 0 {
+		return -1
+	}
+	return base + min
+}
+
+// Recover drains every surviving element out of the (possibly corrupt)
+// register file and rebuilds a clean tree from scratch, clearing the
+// latched fault status. It returns the survivors in harvest order and
+// the number of slots dropped because their parity proved the payload
+// corrupt.
+//
+// Harvesting accounts for in-flight work at the moment the fault
+// latched: pending and stranded push waves carry elements not yet
+// parked in any slot (harvested from the wave latch); pending and
+// stranded pop waves mark a node whose minimum slot is a stale
+// duplicate of a value already grafted into the parent (skipped).
+//
+// The rebuild replays the survivors, in order, through the standard
+// push datapath. Because that algorithm is the same one the golden
+// model uses, a golden tree rebuilt by pushing the identical list in
+// the identical order reproduces the exact slot layout — so subsequent
+// pop order (including metadata of tied values) stays equivalent.
+func (s *Sim) Recover() (survivors []core.Element, dropped int) {
+	skipNode := make(map[int]bool)
+	harvestWave := func(w wave) {
+		if w.push {
+			survivors = append(survivors, core.Element{Value: w.val, Meta: w.meta})
+		} else {
+			skipNode[w.node] = true
+		}
+	}
+	for _, w := range s.next {
+		harvestWave(w)
+	}
+	for _, w := range s.stranded {
+		harvestWave(w)
+	}
+	skipSlot := make(map[int]bool)
+	for n := range skipNode {
+		if j := s.bestMin(n); j >= 0 {
+			skipSlot[j] = true
+		}
+	}
+	for idx := range s.nodes {
+		sl := &s.nodes[idx]
+		if sl.count == 0 || skipSlot[idx] {
+			continue
+		}
+		if s.protected && slotParity(sl) != s.parity[idx]&1 {
+			dropped++
+			continue
+		}
+		survivors = append(survivors, core.Element{Value: sl.val, Meta: sl.meta})
+	}
+	if len(survivors) > s.capacity {
+		// Corrupt counters can make the harvest overshoot; shed the
+		// excess rather than overflow the rebuilt tree.
+		dropped += len(survivors) - s.capacity
+		survivors = survivors[:s.capacity]
+	}
+
+	// Reset to a clean, quiescent, empty machine.
+	for i := range s.nodes {
+		s.nodes[i] = slot{}
+	}
+	if s.protected {
+		for i := range s.parity {
+			s.parity[i] = 0
+		}
+	}
+	s.next = s.next[:0]
+	s.cur = s.cur[:0]
+	s.stranded = nil
+	s.faultErr = nil
+	s.size = 0
+	s.popCooldown, s.pushCooldown = 0, 0
+
+	// Rebuild by replaying the survivors through the push datapath,
+	// applying each wave chain synchronously (maintenance path, not
+	// clocked operation: Cycle does not advance).
+	for _, e := range survivors {
+		s.pushSync(e.Value, e.Meta)
+	}
+	s.recoveries++
+	return survivors, dropped
+}
+
+// pushSync applies a full push — root to resting slot — in zero cycles,
+// chaining the wave the datapath would spread over one cycle per level.
+func (s *Sim) pushSync(val, meta uint64) {
+	w := wave{node: 0, push: true, val: val, meta: meta}
+	for {
+		s.next = s.next[:0]
+		s.stepPush(w)
+		if len(s.next) == 0 {
+			break
+		}
+		w = s.next[0]
+	}
+	s.next = s.next[:0]
+	s.size++
+}

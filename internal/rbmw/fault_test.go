@@ -1,0 +1,337 @@
+package rbmw
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/hw"
+	"repro/internal/treecheck"
+)
+
+// drainBoth pops sim and golden in lockstep and fails on any mismatch.
+func drainBoth(t *testing.T, s *Sim, g *core.Tree) {
+	t.Helper()
+	for g.Len() > 0 {
+		if !s.PopAvailable() {
+			if _, err := s.Tick(hw.NopOp()); err != nil {
+				t.Fatalf("nop: %v", err)
+			}
+			continue
+		}
+		want, err := g.Pop()
+		if err != nil {
+			t.Fatalf("golden pop: %v", err)
+		}
+		got, err := s.Tick(hw.PopOp())
+		if err != nil {
+			t.Fatalf("sim pop: %v", err)
+		}
+		if got.Value != want.Value || got.Meta != want.Meta {
+			t.Fatalf("pop mismatch: sim {%d %d} golden {%d %d}", got.Value, got.Meta, want.Value, want.Meta)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("sim still holds %d elements after golden drained", s.Len())
+	}
+}
+
+// TestProtectZeroFaultEquivalence proves parity protection is purely
+// passive: with no faults injected, a protected simulator's outputs are
+// identical to the golden model over a randomized workload.
+func TestProtectZeroFaultEquivalence(t *testing.T) {
+	const m, l = 4, 3
+	s := New(m, l)
+	s.Protect(true)
+	s.CheckEvery = 8
+	g := core.New(m, l)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 4000; i++ {
+		switch {
+		case rng.Intn(3) != 0 && !s.AlmostFull():
+			v, mt := uint64(rng.Intn(500)), uint64(i)
+			if err := g.Push(core.Element{Value: v, Meta: mt}); err != nil {
+				t.Fatalf("golden push: %v", err)
+			}
+			if _, err := s.Tick(hw.PushOp(v, mt)); err != nil {
+				t.Fatalf("sim push: %v", err)
+			}
+		case s.PopAvailable() && g.Len() > 0:
+			want, _ := g.Pop()
+			got, err := s.Tick(hw.PopOp())
+			if err != nil {
+				t.Fatalf("sim pop: %v", err)
+			}
+			if got.Value != want.Value || got.Meta != want.Meta {
+				t.Fatalf("op %d: pop mismatch", i)
+			}
+		default:
+			s.Tick(hw.NopOp())
+		}
+	}
+	drainBoth(t, s, g)
+	if s.Detected() != 0 {
+		t.Fatalf("detected %d corruptions with no faults injected", s.Detected())
+	}
+	if s.CheckRuns() == 0 {
+		t.Fatal("online checker never ran")
+	}
+}
+
+// TestParityDetectsFlip flips one register bit and requires the next
+// access to that node to latch a typed, sticky corruption error.
+func TestParityDetectsFlip(t *testing.T) {
+	s := New(2, 3)
+	s.Protect(true)
+	for i := 0; i < 6; i++ {
+		if _, err := s.Tick(hw.PushOp(uint64(10+i), uint64(i))); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+	for !s.Quiescent() {
+		s.Tick(hw.NopOp())
+	}
+	s.FlipBit(0, 3) // bit 3 of the root's first slot value
+	_, err := s.Tick(hw.PopOp())
+	if err == nil {
+		t.Fatal("pop after bit flip succeeded")
+	}
+	if !errors.Is(err, hw.ErrCorrupt) {
+		t.Fatalf("error %v does not wrap hw.ErrCorrupt", err)
+	}
+	var ce *hw.CorruptionError
+	if !errors.As(err, &ce) || ce.Unit != "rbmw-regs" || ce.Word != 0 {
+		t.Fatalf("CorruptionError = %+v", ce)
+	}
+	if !s.Faulted() || s.Detected() != 1 {
+		t.Fatalf("Faulted=%v Detected=%d", s.Faulted(), s.Detected())
+	}
+	// The fault status is sticky: further operations refuse.
+	if _, err2 := s.Tick(hw.NopOp()); !errors.Is(err2, hw.ErrCorrupt) {
+		t.Fatalf("post-fault Tick returned %v", err2)
+	}
+}
+
+// TestOnlineCheckerCatchesCounterCorruption disables parity and relies
+// on the periodic treecheck pass to catch a corrupted counter.
+func TestOnlineCheckerCatchesCounterCorruption(t *testing.T) {
+	s := New(2, 3)
+	s.CheckEvery = 1
+	for i := 0; i < 8; i++ {
+		if _, err := s.Tick(hw.PushOp(uint64(i), 0)); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+	for !s.Quiescent() {
+		s.Tick(hw.NopOp())
+	}
+	s.FlipBit(0, 128) // low counter bit of the root's first slot
+	_, err := s.Tick(hw.NopOp())
+	if err == nil {
+		t.Fatal("online checker missed the corrupted counter")
+	}
+	var v *treecheck.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("error %v does not carry a *treecheck.Violation", err)
+	}
+	if !errors.Is(err, hw.ErrCorrupt) {
+		t.Fatalf("error %v does not wrap hw.ErrCorrupt", err)
+	}
+}
+
+// TestRecoverRoundTrip corrupts a value bit, lets parity catch it, then
+// recovers and checks the survivors replay identically on a golden tree
+// rebuilt from the same list.
+func TestRecoverRoundTrip(t *testing.T) {
+	const m, l = 4, 3
+	s := New(m, l)
+	s.Protect(true)
+	rng := rand.New(rand.NewSource(5))
+	n := 40
+	for i := 0; i < n; i++ {
+		if _, err := s.Tick(hw.PushOp(uint64(rng.Intn(1000)), uint64(i))); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+	for !s.Quiescent() {
+		s.Tick(hw.NopOp())
+	}
+	s.FlipBit(0, 40)
+	if _, err := s.Tick(hw.PopOp()); !errors.Is(err, hw.ErrCorrupt) {
+		t.Fatalf("expected corruption, got %v", err)
+	}
+	survivors, dropped := s.Recover()
+	if dropped != 1 {
+		t.Fatalf("dropped = %d want 1 (the parity-bad slot)", dropped)
+	}
+	if len(survivors) != n-1 {
+		t.Fatalf("survivors = %d want %d", len(survivors), n-1)
+	}
+	if s.Faulted() || s.Len() != n-1 || s.Recoveries() != 1 {
+		t.Fatalf("post-recover state: faulted=%v len=%d recoveries=%d", s.Faulted(), s.Len(), s.Recoveries())
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("Verify after recover: %v", err)
+	}
+	g := core.New(m, l)
+	for _, e := range survivors {
+		if err := g.Push(core.Element{Value: e.Value, Meta: e.Meta}); err != nil {
+			t.Fatalf("golden rebuild: %v", err)
+		}
+	}
+	drainBoth(t, s, g)
+}
+
+// TestRecoverMidFlight latches a fault while waves are in the pipeline
+// and checks no element is lost or duplicated: in-flight push payloads
+// are harvested, stale pop duplicates are skipped.
+func TestRecoverMidFlight(t *testing.T) {
+	const m, l = 2, 4
+	s := New(m, l)
+	s.Protect(true)
+	rng := rand.New(rand.NewSource(17))
+	type elem struct{ v, mt uint64 }
+	live := map[elem]int{}
+	push := func(v, mt uint64) {
+		if _, err := s.Tick(hw.PushOp(v, mt)); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+		live[elem{v, mt}]++
+	}
+	for i := 0; i < 12; i++ {
+		push(uint64(rng.Intn(100)), uint64(i))
+	}
+	// Keep waves in flight, then corrupt a mid-tree slot while a pop
+	// wave descends.
+	e, err := s.Tick(hw.PopOp())
+	if err != nil {
+		t.Fatalf("pop: %v", err)
+	}
+	live[elem{e.Value, e.Meta}]--
+	push(uint64(rng.Intn(100)), 1000) // push wave now in flight
+	s.FlipBit(2, 7)                   // node 1's first slot value
+	var ferr error
+	for i := 0; i < 2*l && ferr == nil; i++ {
+		_, ferr = s.Tick(hw.NopOp())
+	}
+	if ferr == nil {
+		// The flipped slot was never accessed; force a scan.
+		ferr = s.Verify()
+		if ferr == nil {
+			t.Skip("corrupted slot not on any wave path")
+		}
+		s.fail(ferr.(*hw.CorruptionError))
+	}
+	if !errors.Is(ferr, hw.ErrCorrupt) {
+		t.Fatalf("expected corruption, got %v", ferr)
+	}
+	survivors, dropped := s.Recover()
+	if got := len(survivors) + dropped; got != 12 {
+		t.Fatalf("survivors %d + dropped %d != 12 live elements", len(survivors), dropped)
+	}
+	// Every survivor must be one of the live elements (no duplicates of
+	// the popped value, no phantoms).
+	for _, sv := range survivors {
+		k := elem{sv.Value, sv.Meta}
+		if live[k] <= 0 {
+			t.Fatalf("survivor {%d %d} was not live", sv.Value, sv.Meta)
+		}
+		live[k]--
+	}
+	g := core.New(m, l)
+	for _, sv := range survivors {
+		g.Push(core.Element{Value: sv.Value, Meta: sv.Meta})
+	}
+	drainBoth(t, s, g)
+}
+
+// TestFaultTargetBits round-trips PeekBit/FlipBit across the value,
+// metadata, counter and parity ranges of a slot word.
+func TestFaultTargetBits(t *testing.T) {
+	s := New(2, 2)
+	s.Protect(true)
+	if s.TargetName() != "rbmw-regs" {
+		t.Fatalf("TargetName = %q", s.TargetName())
+	}
+	if s.Words() != 6 || s.WordBits() != slotBits+1 {
+		t.Fatalf("Words=%d WordBits=%d", s.Words(), s.WordBits())
+	}
+	for _, bit := range []int{0, 63, 64, 127, 128, 159, 160} {
+		before := s.PeekBit(3, bit)
+		s.FlipBit(3, bit)
+		if s.PeekBit(3, bit) == before {
+			t.Fatalf("bit %d did not flip", bit)
+		}
+		s.FlipBit(3, bit)
+		if s.PeekBit(3, bit) != before {
+			t.Fatalf("bit %d did not flip back", bit)
+		}
+	}
+	s.Protect(false)
+	if s.WordBits() != slotBits {
+		t.Fatalf("unprotected WordBits = %d", s.WordBits())
+	}
+}
+
+// TestInjectionPlanIntegration wires a faultinject.Plan to the
+// simulator: scheduled register flips land between cycles and parity
+// catches every one; recovery resumes a consistent machine each time.
+func TestInjectionPlanIntegration(t *testing.T) {
+	const m, l = 4, 3
+	s := New(m, l)
+	s.Protect(true)
+	plan := faultinject.NewPlan(faultinject.Config{Seed: 99})
+	plan.Register(s)
+	s.AttachFaults(plan)
+	for i := 1; i <= 10; i++ {
+		plan.ScheduleRandomFlip(uint64(i * 120))
+	}
+
+	g := core.New(m, l)
+	rng := rand.New(rand.NewSource(23))
+	recoveries := 0
+	for i := 0; i < 2000; i++ {
+		var err error
+		switch {
+		case rng.Intn(3) != 0 && !s.AlmostFull():
+			v, mt := uint64(rng.Intn(400)), uint64(i)
+			_, err = s.Tick(hw.PushOp(v, mt))
+			if err == nil {
+				g.Push(core.Element{Value: v, Meta: mt})
+			}
+		case s.PopAvailable() && s.Len() > 0 && !s.Faulted():
+			var got *core.Element
+			got, err = s.Tick(hw.PopOp())
+			if err == nil {
+				want, gerr := g.Pop()
+				if gerr != nil {
+					t.Fatalf("golden pop: %v", gerr)
+				}
+				if got.Value != want.Value || got.Meta != want.Meta {
+					t.Fatalf("op %d: divergence before any detection", i)
+				}
+			}
+		default:
+			_, err = s.Tick(hw.NopOp())
+		}
+		if err != nil && errors.Is(err, hw.ErrCorrupt) {
+			survivors, _ := s.Recover()
+			g.Reset()
+			for _, sv := range survivors {
+				g.Push(core.Element{Value: sv.Value, Meta: sv.Meta})
+			}
+			recoveries++
+		} else if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if plan.Injected() == 0 {
+		t.Fatal("plan injected nothing")
+	}
+	if s.Detected() == 0 || recoveries == 0 {
+		t.Fatalf("detected=%d recoveries=%d want both > 0", s.Detected(), recoveries)
+	}
+	drainBoth(t, s, g)
+}

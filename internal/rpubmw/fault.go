@@ -1,0 +1,575 @@
+// Fault tolerance for the RPU-BMW pipeline.
+//
+// Two storage classes need protection: the SRAM macros backing levels
+// 2..L, and the RPU_1 latches holding the root node. Protect swaps the
+// plain SDPRAMs for ECC-protected RAMs (SECDED or parity, with an
+// optional background scrubber) and adds a parity bit per root register
+// slot, maintained by the datapath on every write and checked when the
+// root is operated on.
+//
+// SECDED corrects single-bit SRAM upsets transparently; uncorrectable
+// errors and root-parity mismatches latch a sticky *hw.CorruptionError
+// — Tick refuses further operations — until Recover drains the
+// surviving elements and rebuilds a clean tree. The simulator also
+// implements hw.FaultTarget for the root latches, and FaultTargets
+// exposes every injectable structure for plan registration.
+package rpubmw
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/hw"
+	"repro/internal/treecheck"
+)
+
+// rootSlotBits is the payload width of one root register slot.
+const rootSlotBits = 64 + 64 + 32
+
+// nodeCodec serialises a node (the first m slots) into 64-bit chunks
+// for the ECC layer: three chunks per slot — value, metadata, counter.
+type nodeCodec struct{ m int }
+
+// Chunks returns 3 chunks per live slot.
+func (c nodeCodec) Chunks() int { return 3 * c.m }
+
+// Encode spreads the node over the chunk array.
+func (c nodeCodec) Encode(w node, dst []uint64) {
+	for i := 0; i < c.m; i++ {
+		dst[3*i] = w.slots[i].val
+		dst[3*i+1] = w.slots[i].meta
+		dst[3*i+2] = uint64(w.slots[i].count)
+	}
+}
+
+// Decode restores the node from the chunk array.
+func (c nodeCodec) Decode(src []uint64) node {
+	var w node
+	for i := 0; i < c.m; i++ {
+		w.slots[i].val = src[3*i]
+		w.slots[i].meta = src[3*i+1]
+		w.slots[i].count = uint32(src[3*i+2])
+	}
+	return w
+}
+
+// slotParityOf returns the even-parity bit over one root slot.
+func slotParityOf(sl *slot) uint8 {
+	return uint8((bits.OnesCount64(sl.val) + bits.OnesCount64(sl.meta) + bits.OnesCount32(sl.count)) & 1)
+}
+
+// Protect replaces the level SRAMs with ECC-protected RAMs (named
+// "sram2".."sramL") in the given mode and enables parity over the root
+// registers. scrubEvery sets the per-RAM background scrub cadence in
+// ticks (0 disables; SECDED only). It must be called on a fresh
+// simulator, before any operation.
+//
+// EccOff is the unprotected ablation: the SRAMs and root latches stay
+// bit-addressable for fault injection, but no coding bit is stored
+// anywhere — corruption is silent until the online checker or a
+// structural hazard trips over it.
+func (s *Sim) Protect(mode faultinject.ECCMode, scrubEvery int) {
+	if s.cycle != 0 || s.size != 0 {
+		panic("rpubmw: Protect requires a fresh simulator")
+	}
+	s.protected = true
+	s.rootParity = mode != faultinject.EccOff
+	words := s.m
+	for lvl := 2; lvl <= s.l; lvl++ {
+		s.rams[lvl-2] = faultinject.NewECCRAM[node](
+			fmt.Sprintf("sram%d", lvl), words, nodeCodec{m: s.m}, mode, scrubEvery)
+		words *= s.m
+	}
+	for i := range s.parity {
+		s.parity[i] = 0 // empty slots have even parity
+	}
+}
+
+// Protected reports whether ECC/parity protection is enabled.
+func (s *Sim) Protected() bool { return s.protected }
+
+// AttachFaults connects a fault plan's clock hook: Step is called once
+// at the end of every consumed cycle. The caller also registers the
+// targets from FaultTargets on the plan.
+func (s *Sim) AttachFaults(st hw.FaultStepper) { s.stepper = st }
+
+// FaultTargets returns every injectable storage structure: the root
+// latches (the Sim itself) and each level's RAM when it supports
+// injection.
+func (s *Sim) FaultTargets() []hw.FaultTarget {
+	ts := []hw.FaultTarget{s}
+	for _, r := range s.rams {
+		if ft, ok := r.(hw.FaultTarget); ok {
+			ts = append(ts, ft)
+		}
+	}
+	return ts
+}
+
+// tolerant reports whether detections latch instead of panicking: any
+// protection or injection machinery is attached. A bare simulator keeps
+// the fail-fast panics, so clean-run behaviour is unchanged.
+func (s *Sim) tolerant() bool {
+	return s.protected || s.stepper != nil || s.CheckEvery > 0
+}
+
+// sramName labels a level's RAM in corruption reports.
+func (s *Sim) sramName(lvl int) string { return fmt.Sprintf("sram%d", lvl) }
+
+// readError surfaces the ECC layer's verdict on the last captured read.
+func readError(r hw.RAM[node]) error {
+	if er, ok := r.(interface{ ReadError() error }); ok {
+		return er.ReadError()
+	}
+	return nil
+}
+
+// fail latches the first detected corruption.
+func (s *Sim) fail(err *hw.CorruptionError) {
+	if s.faultErr == nil {
+		s.faultErr = err
+		s.detected++
+	}
+}
+
+// failErr latches an already-built corruption error (the ECC path).
+func (s *Sim) failErr(err error) {
+	if s.faultErr == nil {
+		s.faultErr = err
+		s.detected++
+	}
+}
+
+// strand preserves an operation voided by a fault for recovery. The
+// operation was voided before any of its effects applied: for a pop
+// that means its node's minimum was never lifted and remains
+// harvestable in place.
+func (s *Sim) strand(lvl int, ar fetch) {
+	s.strandLifted(lvl, ar, false)
+}
+
+// strandLifted preserves an operation interrupted mid-processing,
+// recording whether a pop had already delivered its lift.
+func (s *Sim) strandLifted(lvl int, ar fetch, lifted bool) {
+	s.stranded = append(s.stranded, levelFetch{lvl: lvl, ar: ar, lifted: lifted})
+}
+
+// touchRoot recomputes the parity bit of a root slot the datapath just
+// wrote.
+func (s *Sim) touchRoot(i int) {
+	if s.rootParity {
+		s.parity[i] = slotParityOf(&s.root[i])
+	}
+}
+
+// checkRoot verifies the parity of every root slot, as RPU_1 would when
+// its comparator tree reads the latches. A mismatch latches the fault.
+func (s *Sim) checkRoot() {
+	if !s.rootParity || s.faultErr != nil {
+		return
+	}
+	for i := 0; i < s.m; i++ {
+		if slotParityOf(&s.root[i]) != s.parity[i]&1 {
+			s.fail(&hw.CorruptionError{
+				Unit: s.TargetName(), Word: i, Chunk: -1, Cycle: s.cycle,
+				Detail: "root register parity mismatch",
+			})
+			return
+		}
+	}
+}
+
+// endOfCycle runs once per consumed Tick: the online invariant checker
+// (on the first quiescent cycle once CheckEvery cycles have elapsed
+// since the last check, so a busy pipeline does not starve it) and then
+// the attached fault plan, so upsets strike between the clock edges.
+func (s *Sim) endOfCycle() {
+	if s.faultErr == nil && s.CheckEvery > 0 && s.cycle >= s.lastCheck+s.CheckEvery && s.Quiescent() {
+		s.lastCheck = s.cycle
+		s.checkRuns++
+		if err := treecheck.Check(s); err != nil {
+			s.fail(&hw.CorruptionError{
+				Unit: "rpubmw-online-check", Word: -1, Chunk: -1, Cycle: s.cycle,
+				Detail: err.Error(), Cause: err,
+			})
+		}
+	}
+	if s.stepper != nil {
+		s.stepper.Step(s.cycle)
+	}
+}
+
+// Faulted reports whether a corruption has been detected and latched.
+func (s *Sim) Faulted() bool { return s.faultErr != nil }
+
+// FaultError returns the latched corruption error, or nil.
+func (s *Sim) FaultError() error { return s.faultErr }
+
+// Detected returns the number of corruptions detected since
+// construction.
+func (s *Sim) Detected() uint64 { return s.detected }
+
+// Recoveries returns the number of completed Recover calls.
+func (s *Sim) Recoveries() uint64 { return s.recoveries }
+
+// CheckRuns returns how many times the online invariant checker ran.
+func (s *Sim) CheckRuns() uint64 { return s.checkRuns }
+
+// ECCTotals sums the protection activity of every level's RAM.
+func (s *Sim) ECCTotals() faultinject.ECCStats {
+	var t faultinject.ECCStats
+	for _, r := range s.rams {
+		er, ok := r.(*faultinject.ECCRAM[node])
+		if !ok {
+			continue
+		}
+		st := er.ECCStats()
+		t.CorrectedReads += st.CorrectedReads
+		t.DetectedReads += st.DetectedReads
+		t.Scrubs += st.Scrubs
+		t.ScrubCorrected += st.ScrubCorrected
+		t.ScrubDetected += st.ScrubDetected
+	}
+	return t
+}
+
+// Verify is a read-only health check: root parity, a full decode of
+// every SRAM word, and the shared treecheck invariants. It does not
+// latch a fault. Meaningful only when the pipeline is quiescent.
+func (s *Sim) Verify() error {
+	if s.rootParity {
+		for i := 0; i < s.m; i++ {
+			if slotParityOf(&s.root[i]) != s.parity[i]&1 {
+				return &hw.CorruptionError{
+					Unit: s.TargetName(), Word: i, Chunk: -1, Cycle: s.cycle,
+					Detail: "root register parity mismatch",
+				}
+			}
+		}
+	}
+	if s.protected {
+		for idx, r := range s.rams {
+			er, ok := r.(*faultinject.ECCRAM[node])
+			if !ok {
+				continue
+			}
+			for a := 0; a < er.Words(); a++ {
+				if _, bad := er.Audit(a); len(bad) > 0 {
+					return &hw.CorruptionError{
+						Unit: s.sramName(idx + 2), Word: a, Chunk: bad[0], Cycle: s.cycle,
+						Detail: "uncorrectable stored error",
+					}
+				}
+			}
+		}
+	}
+	return treecheck.Check(s)
+}
+
+// hw.FaultTarget — the root node's RPU_1 latches as bit-addressable
+// storage. One word per slot: bits 0-63 value, 64-127 metadata,
+// 128-159 counter, bit 160 the parity latch when protection is on.
+
+var _ hw.FaultTarget = (*Sim)(nil)
+
+// TargetName identifies the root latches in fault plans and reports.
+func (s *Sim) TargetName() string { return "rpu-regs" }
+
+// Words returns the number of root register slots.
+func (s *Sim) Words() int { return s.m }
+
+// WordBits returns the stored width of one root slot, including the
+// parity latch when protection is enabled.
+func (s *Sim) WordBits() int {
+	if s.rootParity {
+		return rootSlotBits + 1
+	}
+	return rootSlotBits
+}
+
+// PeekBit reports a stored root register bit.
+func (s *Sim) PeekBit(word, bit int) bool {
+	sl := &s.root[word]
+	switch {
+	case bit < 64:
+		return sl.val>>uint(bit)&1 != 0
+	case bit < 128:
+		return sl.meta>>uint(bit-64)&1 != 0
+	case bit < rootSlotBits:
+		return sl.count>>uint(bit-128)&1 != 0
+	case bit == rootSlotBits && s.rootParity:
+		return s.parity[word]&1 != 0
+	default:
+		panic(fmt.Sprintf("rpubmw: PeekBit bit %d out of range", bit))
+	}
+}
+
+// FlipBit inverts a stored root register bit — the injection path. It
+// deliberately does not maintain the parity latch: that mismatch is
+// what checkRoot detects.
+func (s *Sim) FlipBit(word, bit int) {
+	sl := &s.root[word]
+	switch {
+	case bit < 64:
+		sl.val ^= 1 << uint(bit)
+	case bit < 128:
+		sl.meta ^= 1 << uint(bit-64)
+	case bit < rootSlotBits:
+		sl.count ^= 1 << uint(bit-128)
+	case bit == rootSlotBits && s.rootParity:
+		s.parity[word] ^= 1
+	default:
+		panic(fmt.Sprintf("rpubmw: FlipBit bit %d out of range", bit))
+	}
+}
+
+// audit decodes one committed SRAM word and reports uncorrectable
+// chunks; for an unprotected SDPRAM the word is returned as-is.
+func (s *Sim) audit(idx, addr int) (node, []int) {
+	if er, ok := s.rams[idx].(*faultinject.ECCRAM[node]); ok {
+		return er.Audit(addr)
+	}
+	return s.rams[idx].Peek(addr), nil
+}
+
+// bestMinOf is minSlotOf without the panic: the leftmost minimum-value
+// occupied slot, or -1 for an empty node. Recovery uses it to locate
+// stale duplicates.
+func bestMinOf(slots []slot) int {
+	min := -1
+	for i := range slots {
+		if slots[i].count == 0 {
+			continue
+		}
+		if min < 0 || slots[i].val < slots[min].val {
+			min = i
+		}
+	}
+	return min
+}
+
+// Recover drains every surviving element out of the (possibly corrupt)
+// storage and rebuilds a clean tree, clearing the latched fault status.
+// It returns the survivors in harvest order and the number of slots
+// dropped because the protection layer proved their payload corrupt.
+//
+// The harvest accounts for all in-flight state at the moment the fault
+// latched:
+//
+//   - a node held in an RPU awaiting a lift (liftQ) is authoritative —
+//     its SRAM copy is stale and skipped, and its vacant slot holds a
+//     stale duplicate of the value already lifted to the parent;
+//   - the root slot awaiting a lift (rootLift) is likewise skipped;
+//   - fetch-register and stranded push operations carry elements not
+//     resident in any slot and are harvested from the latches;
+//   - a pop stranded after its lift delivered marks a node whose
+//     minimum slot duplicates the value already lifted above it;
+//   - a pop still in a fetch register, or voided before its node
+//     arrived, has lifted nothing: its node is harvested intact (the
+//     parent's vacancy is the stale slot, covered by the two rules
+//     above).
+//
+// The rebuild replays the survivors, in order, through the standard
+// push placement algorithm via the maintenance paths. A golden model
+// rebuilt by pushing the identical list in the identical order
+// reproduces the exact slot layout, so subsequent pop order (including
+// metadata of tied values) stays equivalent.
+func (s *Sim) Recover() (survivors []core.Element, dropped int) {
+	// Commit port state first: writes issued in the latching cycle are
+	// still pending and Peek/Audit only see committed words.
+	for _, r := range s.rams {
+		r.Tick()
+	}
+
+	// Root registers.
+	skipRoot := -1
+	if s.rootLift.valid {
+		skipRoot = s.rootLift.vac
+	}
+	for i := 0; i < s.m; i++ {
+		sl := s.root[i]
+		if sl.count == 0 || i == skipRoot {
+			continue
+		}
+		if s.rootParity && slotParityOf(&sl) != s.parity[i]&1 {
+			dropped++
+			continue
+		}
+		survivors = append(survivors, core.Element{Value: sl.val, Meta: sl.meta})
+	}
+
+	// Nodes held in RPUs: authoritative over their SRAM copies.
+	skipWord := make(map[[2]int]bool)
+	for idx := range s.liftQ {
+		lw := &s.liftQ[idx]
+		if !lw.valid {
+			continue
+		}
+		skipWord[[2]int{idx, lw.addr}] = true
+		for i := 0; i < s.m; i++ {
+			sl := lw.node.slots[i]
+			if sl.count == 0 || i == lw.vac {
+				continue
+			}
+			survivors = append(survivors, core.Element{Value: sl.val, Meta: sl.meta})
+		}
+	}
+
+	// In-flight and stranded operations. A pop marks its node stale
+	// only if its lift already delivered; a fetch-register pop (never
+	// processed) and a pop voided before processing lifted nothing.
+	staleWord := make(map[[2]int]bool)
+	takeOp := func(lvl int, ar fetch, lifted bool) {
+		if !ar.valid {
+			return
+		}
+		if ar.kind == hw.Push {
+			survivors = append(survivors, core.Element{Value: ar.val, Meta: ar.meta})
+			return
+		}
+		if !lifted {
+			return
+		}
+		idx := lvl - 2
+		if idx >= 0 && idx < len(s.rams) && !skipWord[[2]int{idx, ar.addr}] {
+			staleWord[[2]int{idx, ar.addr}] = true
+		}
+	}
+	for idx, f := range s.fetchQ {
+		takeOp(idx+2, f, false)
+	}
+	for _, sf := range s.stranded {
+		takeOp(sf.lvl, sf.ar, sf.lifted)
+	}
+
+	// SRAM words, dropping slots the ECC layer proves corrupt and the
+	// stale minimum of any node with an unfinished pop.
+	for idx, r := range s.rams {
+		for a := 0; a < r.Words(); a++ {
+			if skipWord[[2]int{idx, a}] {
+				continue
+			}
+			nd, bad := s.audit(idx, a)
+			badSlot := make(map[int]bool, len(bad))
+			for _, c := range bad {
+				badSlot[c/3] = true
+			}
+			stale := -1
+			if staleWord[[2]int{idx, a}] {
+				stale = bestMinOf(nd.slots[:s.m])
+			}
+			for i := 0; i < s.m; i++ {
+				sl := nd.slots[i]
+				if sl.count == 0 || i == stale {
+					continue
+				}
+				if badSlot[i] {
+					dropped++
+					continue
+				}
+				survivors = append(survivors, core.Element{Value: sl.val, Meta: sl.meta})
+			}
+		}
+	}
+
+	if len(survivors) > s.capacity {
+		// Corrupt counters can make the harvest overshoot; shed the
+		// excess rather than overflow the rebuilt tree.
+		dropped += len(survivors) - s.capacity
+		survivors = survivors[:s.capacity]
+	}
+
+	// Reset to a clean, quiescent, empty machine.
+	var zero node
+	for i := range s.root {
+		s.root[i] = slot{}
+	}
+	for i := range s.parity {
+		s.parity[i] = 0
+	}
+	for idx, r := range s.rams {
+		for a := 0; a < r.Words(); a++ {
+			r.Poke(a, zero)
+		}
+		s.fetchQ[idx] = fetch{}
+		s.liftQ[idx] = liftWait{}
+	}
+	s.rootLift = liftWait{}
+	s.stranded = nil
+	s.faultErr = nil
+	s.size = 0
+	s.available = true
+	s.cooldown = 0
+
+	// Rebuild by replaying the survivors through the push placement
+	// algorithm (maintenance path: Cycle does not advance).
+	for _, e := range survivors {
+		s.pushSync(e.Value, e.Meta)
+	}
+	s.recoveries++
+	return survivors, dropped
+}
+
+// pushSync applies a full push — root to resting slot — through the
+// maintenance paths, mirroring the placement the pipelined datapath
+// (and the golden model) would perform.
+func (s *Sim) pushSync(val, meta uint64) {
+	for i := 0; i < s.m; i++ {
+		if s.root[i].count == 0 {
+			s.root[i] = slot{val: val, meta: meta, count: 1}
+			s.touchRoot(i)
+			s.size++
+			return
+		}
+	}
+	min := 0
+	for i := 1; i < s.m; i++ {
+		if s.root[i].count < s.root[min].count {
+			min = i
+		}
+	}
+	s.root[min].count++
+	if val < s.root[min].val {
+		val, s.root[min].val = s.root[min].val, val
+		meta, s.root[min].meta = s.root[min].meta, meta
+	}
+	s.touchRoot(min)
+	lvl, addr := 2, min
+	for {
+		r := s.rams[lvl-2]
+		nd := r.Peek(addr)
+		placed, next := false, 0
+		for i := 0; i < s.m; i++ {
+			if nd.slots[i].count == 0 {
+				nd.slots[i] = slot{val: val, meta: meta, count: 1}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			mi := 0
+			for i := 1; i < s.m; i++ {
+				if nd.slots[i].count < nd.slots[mi].count {
+					mi = i
+				}
+			}
+			nd.slots[mi].count++
+			if val < nd.slots[mi].val {
+				val, nd.slots[mi].val = nd.slots[mi].val, val
+				meta, nd.slots[mi].meta = nd.slots[mi].meta, meta
+			}
+			next = addr*s.m + mi
+		}
+		r.Poke(addr, nd)
+		if placed {
+			break
+		}
+		if lvl == s.l {
+			panic("rpubmw: recovery rebuild overflowed the last level")
+		}
+		lvl, addr = lvl+1, next
+	}
+	s.size++
+}

@@ -1,0 +1,365 @@
+package rpubmw
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/hw"
+)
+
+// drainWithRecovery pops sim and golden in lockstep; on a detected
+// corruption it recovers the sim and rebuilds the golden tree from the
+// survivors. It returns the number of recoveries performed.
+func drainWithRecovery(t *testing.T, s *Sim, g *core.Tree) int {
+	t.Helper()
+	recoveries := 0
+	for g.Len() > 0 || s.Len() > 0 {
+		if !s.PopAvailable() {
+			if _, err := s.Tick(hw.NopOp()); err != nil && errors.Is(err, hw.ErrCorrupt) {
+				recoveries += rebuild(t, s, g)
+				continue
+			}
+			continue
+		}
+		got, err := s.Tick(hw.PopOp())
+		if err != nil {
+			if !errors.Is(err, hw.ErrCorrupt) {
+				t.Fatalf("pop: %v", err)
+			}
+			recoveries += rebuild(t, s, g)
+			continue
+		}
+		want, gerr := g.Pop()
+		if gerr != nil {
+			t.Fatalf("golden pop: %v", gerr)
+		}
+		if got.Value != want.Value || got.Meta != want.Meta {
+			t.Fatalf("pop mismatch: sim {%d %d} golden {%d %d}", got.Value, got.Meta, want.Value, want.Meta)
+		}
+	}
+	return recoveries
+}
+
+func rebuild(t *testing.T, s *Sim, g *core.Tree) int {
+	t.Helper()
+	survivors, _ := s.Recover()
+	g.Reset()
+	for _, e := range survivors {
+		if err := g.Push(core.Element{Value: e.Value, Meta: e.Meta}); err != nil {
+			t.Fatalf("golden rebuild: %v", err)
+		}
+	}
+	return 1
+}
+
+// fill pushes n random elements into both sim and golden.
+func fill(t *testing.T, s *Sim, g *core.Tree, n int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		v, mt := uint64(rng.Intn(1000)), uint64(i)
+		if _, err := s.Tick(hw.PushOp(v, mt)); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+		if err := g.Push(core.Element{Value: v, Meta: mt}); err != nil {
+			t.Fatalf("golden push %d: %v", i, err)
+		}
+	}
+	for !s.Quiescent() {
+		s.Tick(hw.NopOp())
+	}
+}
+
+// TestProtectZeroFaultEquivalence proves the ECC layer is transparent:
+// a SECDED-protected simulator with a scrubber matches the golden model
+// operation for operation when no faults are injected.
+func TestProtectZeroFaultEquivalence(t *testing.T) {
+	const m, l = 4, 3
+	s := New(m, l)
+	s.Protect(faultinject.EccSECDED, 3)
+	s.CheckEvery = 16
+	g := core.New(m, l)
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 4000; i++ {
+		switch {
+		case !s.PushAvailable():
+			s.Tick(hw.NopOp())
+		case rng.Intn(3) != 0 && !g.AlmostFull():
+			v, mt := uint64(rng.Intn(500)), uint64(i)
+			if _, err := s.Tick(hw.PushOp(v, mt)); err != nil {
+				t.Fatalf("push: %v", err)
+			}
+			g.Push(core.Element{Value: v, Meta: mt})
+		case g.Len() > 0:
+			want, _ := g.Pop()
+			got, err := s.Tick(hw.PopOp())
+			if err != nil {
+				t.Fatalf("pop: %v", err)
+			}
+			if got.Value != want.Value || got.Meta != want.Meta {
+				t.Fatalf("op %d: pop mismatch", i)
+			}
+		default:
+			s.Tick(hw.NopOp())
+		}
+	}
+	if r := drainWithRecovery(t, s, g); r != 0 {
+		t.Fatalf("%d recoveries on a clean run", r)
+	}
+	if s.Detected() != 0 {
+		t.Fatalf("detected %d corruptions with no faults injected", s.Detected())
+	}
+	if s.CheckRuns() == 0 {
+		t.Fatal("online checker never ran")
+	}
+}
+
+// TestSECDEDCorrectsSingleBit flips one stored SRAM bit and requires
+// the pipeline to keep producing golden-identical output with zero
+// detections — the correction is transparent.
+func TestSECDEDCorrectsSingleBit(t *testing.T) {
+	const m, l = 2, 3
+	s := New(m, l)
+	s.Protect(faultinject.EccSECDED, 0)
+	g := core.New(m, l)
+	fill(t, s, g, s.Cap(), 31)
+	targets := s.FaultTargets()
+	leaf := targets[len(targets)-1] // sramL
+	if leaf.TargetName() != "sram3" {
+		t.Fatalf("unexpected target order: %v", leaf.TargetName())
+	}
+	leaf.FlipBit(0, 7) // payload bit of slot 0's value chunk
+	if r := drainWithRecovery(t, s, g); r != 0 {
+		t.Fatalf("%d recoveries; SECDED should have corrected silently", r)
+	}
+	if s.Detected() != 0 {
+		t.Fatalf("detected %d; single-bit error must be corrected", s.Detected())
+	}
+	if s.ECCTotals().CorrectedReads == 0 {
+		t.Fatal("no corrected reads recorded")
+	}
+}
+
+// TestSECDEDDetectsDoubleBit flips two bits in one chunk: the read must
+// surface a typed corruption error, and recovery must drop exactly the
+// poisoned slot while the rest of the tree drains golden-identically.
+func TestSECDEDDetectsDoubleBit(t *testing.T) {
+	const m, l = 2, 3
+	s := New(m, l)
+	s.Protect(faultinject.EccSECDED, 0)
+	g := core.New(m, l)
+	fill(t, s, g, s.Cap(), 33)
+	sram2 := s.FaultTargets()[1]
+	if sram2.TargetName() != "sram2" {
+		t.Fatalf("unexpected target order: %v", sram2.TargetName())
+	}
+	sram2.FlipBit(0, 2)
+	sram2.FlipBit(0, 5) // two flips in slot 0's value chunk: uncorrectable
+	recoveries := drainWithRecovery(t, s, g)
+	if recoveries != 1 {
+		t.Fatalf("recoveries = %d want 1", recoveries)
+	}
+	if s.Detected() != 1 {
+		t.Fatalf("detected = %d want 1", s.Detected())
+	}
+	if s.ECCTotals().DetectedReads != 1 {
+		t.Fatalf("DetectedReads = %d want 1", s.ECCTotals().DetectedReads)
+	}
+}
+
+// TestRecoverConservesVoidedRefill pins the in-flight accounting: a
+// pop whose refill fetch is voided by an uncorrectable read has lifted
+// nothing, so the fetched node must be harvested intact — skipping its
+// minimum as a "stale duplicate" would silently lose an element. Every
+// element remaining in the machine must come back as a survivor or a
+// counted drop, and nothing already delivered may reappear.
+func TestRecoverConservesVoidedRefill(t *testing.T) {
+	const m, l = 2, 3
+	s := New(m, l)
+	s.Protect(faultinject.EccSECDED, 0)
+	for i, v := range []uint64{100, 99, 98, 97, 96, 95} {
+		if _, err := s.Tick(hw.PushOp(v, uint64(i))); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+		for !s.Quiescent() {
+			s.Tick(hw.NopOp())
+		}
+	}
+	// One clean pop (95) with its refill completed.
+	for !s.PopAvailable() {
+		s.Tick(hw.NopOp())
+	}
+	if got, err := s.Tick(hw.PopOp()); err != nil || got.Value != 95 {
+		t.Fatalf("pop = %v, %v want 95", got, err)
+	}
+	for !s.Quiescent() {
+		s.Tick(hw.NopOp())
+	}
+	// Poison the word the next refill will fetch, then pop: the element
+	// is delivered, but the refill read is uncorrectable and voids the
+	// lift with the substitute still resident below.
+	sram2 := s.FaultTargets()[1]
+	if sram2.TargetName() != "sram2" {
+		t.Fatalf("unexpected target order: %v", sram2.TargetName())
+	}
+	sram2.FlipBit(0, 2)
+	sram2.FlipBit(0, 5) // two flips in slot 0's value chunk: uncorrectable
+	for !s.PopAvailable() {
+		s.Tick(hw.NopOp())
+	}
+	if got, err := s.Tick(hw.PopOp()); err != nil || got.Value != 96 {
+		t.Fatalf("pop = %v, %v want 96", got, err)
+	}
+	if _, err := s.Tick(hw.NopOp()); !errors.Is(err, hw.ErrCorrupt) {
+		t.Fatalf("refill over the poisoned word not detected: %v", err)
+	}
+	remaining := s.Len()
+	survivors, dropped := s.Recover()
+	if len(survivors)+dropped != remaining {
+		t.Fatalf("conservation: %d survivors + %d dropped != %d remaining",
+			len(survivors), dropped, remaining)
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped = %d want 1 (exactly the poisoned slot)", dropped)
+	}
+	for _, e := range survivors {
+		if e.Value <= 96 {
+			t.Fatalf("phantom survivor %d: value was already delivered", e.Value)
+		}
+	}
+}
+
+// TestParityModeDetectsSingleBit checks the parity-only ablation:
+// a single flip is detected (not corrected) and recovery drops the
+// poisoned slot.
+func TestParityModeDetectsSingleBit(t *testing.T) {
+	const m, l = 2, 3
+	s := New(m, l)
+	s.Protect(faultinject.EccParity, 0)
+	g := core.New(m, l)
+	fill(t, s, g, s.Cap(), 35)
+	s.FaultTargets()[1].FlipBit(0, 11)
+	if r := drainWithRecovery(t, s, g); r != 1 {
+		t.Fatalf("recoveries = %d want 1", r)
+	}
+	if s.Detected() != 1 {
+		t.Fatalf("detected = %d want 1", s.Detected())
+	}
+}
+
+// TestRootParityDetectsFlip flips a root latch bit: the next root
+// operation must latch a sticky corruption naming the rpu-regs unit.
+func TestRootParityDetectsFlip(t *testing.T) {
+	const m, l = 2, 3
+	s := New(m, l)
+	s.Protect(faultinject.EccSECDED, 0)
+	g := core.New(m, l)
+	fill(t, s, g, 6, 37)
+	s.FlipBit(0, 70) // metadata bit of root slot 0
+	_, err := s.Tick(hw.PopOp())
+	if err == nil {
+		t.Fatal("pop after root flip succeeded")
+	}
+	var ce *hw.CorruptionError
+	if !errors.As(err, &ce) || ce.Unit != "rpu-regs" {
+		t.Fatalf("error = %v", err)
+	}
+	if _, err2 := s.Tick(hw.NopOp()); !errors.Is(err2, hw.ErrCorrupt) {
+		t.Fatalf("fault status not sticky: %v", err2)
+	}
+	if r := drainWithRecovery(t, s, g); r != 1 {
+		t.Fatalf("recoveries = %d want 1", r)
+	}
+}
+
+// TestScrubberRepairsIdleCorruption flips a bit and lets the background
+// scrubber repair it before the functional path ever reads the word.
+func TestScrubberRepairsIdleCorruption(t *testing.T) {
+	const m, l = 2, 3
+	s := New(m, l)
+	s.Protect(faultinject.EccSECDED, 1) // scrub one word per tick
+	g := core.New(m, l)
+	fill(t, s, g, s.Cap(), 39)
+	s.FaultTargets()[2].FlipBit(1, 3)
+	// One full scrub sweep of the largest RAM.
+	for i := 0; i < 8; i++ {
+		if _, err := s.Tick(hw.NopOp()); err != nil {
+			t.Fatalf("nop: %v", err)
+		}
+	}
+	st := s.ECCTotals()
+	if st.ScrubCorrected == 0 {
+		t.Fatalf("scrubber repaired nothing: %+v", st)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("Verify after scrub: %v", err)
+	}
+	if r := drainWithRecovery(t, s, g); r != 0 || s.Detected() != 0 {
+		t.Fatalf("recoveries=%d detected=%d after scrub repair", r, s.Detected())
+	}
+}
+
+// TestInjectionPlanIntegration drives the full loop: a seeded plan
+// injecting scheduled flips across every target (root latches and all
+// SRAM levels) while a random workload runs differentially against the
+// golden model, recovering on every detection. SECDED corrects most
+// SRAM strikes; everything detected recovers consistently.
+func TestInjectionPlanIntegration(t *testing.T) {
+	const m, l = 4, 3
+	s := New(m, l)
+	s.Protect(faultinject.EccSECDED, 4)
+	s.CheckEvery = 64
+	plan := faultinject.NewPlan(faultinject.Config{Seed: 77})
+	for _, tgt := range s.FaultTargets() {
+		plan.Register(tgt)
+	}
+	s.AttachFaults(plan)
+	for i := 1; i <= 25; i++ {
+		plan.ScheduleRandomFlip(uint64(i * 97))
+	}
+
+	g := core.New(m, l)
+	rng := rand.New(rand.NewSource(41))
+	recoveries := 0
+	for i := 0; i < 3000; i++ {
+		var err error
+		switch {
+		case !s.PushAvailable():
+			_, err = s.Tick(hw.NopOp())
+		case rng.Intn(3) != 0 && !g.AlmostFull():
+			v, mt := uint64(rng.Intn(400)), uint64(i)
+			_, err = s.Tick(hw.PushOp(v, mt))
+			if err == nil {
+				g.Push(core.Element{Value: v, Meta: mt})
+			}
+		case g.Len() > 0:
+			var got *core.Element
+			got, err = s.Tick(hw.PopOp())
+			if err == nil {
+				want, gerr := g.Pop()
+				if gerr != nil {
+					t.Fatalf("golden pop: %v", gerr)
+				}
+				if got.Value != want.Value || got.Meta != want.Meta {
+					t.Fatalf("op %d: divergence before any detection", i)
+				}
+			}
+		default:
+			_, err = s.Tick(hw.NopOp())
+		}
+		if err != nil {
+			if !errors.Is(err, hw.ErrCorrupt) {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			recoveries += rebuild(t, s, g)
+		}
+	}
+	if plan.Injected() != 25 {
+		t.Fatalf("injected = %d want 25", plan.Injected())
+	}
+	drainWithRecovery(t, s, g)
+	t.Logf("detected=%d recoveries=%d ecc=%+v", s.Detected(), recoveries, s.ECCTotals())
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/hw"
 )
 
@@ -62,6 +63,88 @@ func FuzzPipelineEquivalence(f *testing.F) {
 			if *got != want {
 				t.Fatalf("drain: sim %v golden %v", got, want)
 			}
+		}
+	})
+}
+
+// FuzzRPUBMWVsCore is the protected-pipeline differential target: the
+// first byte selects geometry, ECC mode, scrub cadence and the online
+// checker, and the rest drives a legal issue schedule cross-checked
+// against the golden model. With no faults injected every protection
+// combination must be fully transparent. Run with
+// `go test -fuzz=FuzzRPUBMWVsCore ./internal/rpubmw`.
+func FuzzRPUBMWVsCore(f *testing.F) {
+	f.Add([]byte{0x00, 0x10, 0x90, 0x20, 0xA0, 0x30})
+	f.Add([]byte{0x17, 255, 0, 255, 0, 255, 0, 255, 0})
+	f.Add([]byte("interleaved operations everywhere"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		cfg := data[0]
+		data = data[1:]
+		m := 2 + int(cfg&0x03) // order 2..5
+		const l = 3
+		s := New(m, l)
+		switch (cfg >> 2) & 0x03 {
+		case 1:
+			s.Protect(faultinject.EccParity, 0)
+		case 2:
+			s.Protect(faultinject.EccSECDED, 0)
+		case 3:
+			s.Protect(faultinject.EccSECDED, 2)
+		}
+		if cfg&0x10 != 0 {
+			s.CheckEvery = 4
+		}
+		g := core.New(m, l)
+		for i, b := range data {
+			var op hw.Op
+			switch {
+			case !s.PushAvailable():
+				op = hw.NopOp() // mandatory idle after a pop
+			case b&0x80 != 0 && g.Len() > 0:
+				op = hw.PopOp()
+			case !g.AlmostFull():
+				op = hw.PushOp(uint64(b&0x7F), uint64(i))
+			default:
+				op = hw.NopOp()
+			}
+			got, err := s.Tick(op)
+			if err != nil {
+				t.Fatalf("tick %d (%v): %v", i, op.Kind, err)
+			}
+			switch op.Kind {
+			case hw.Push:
+				if err := g.Push(core.Element{Value: op.Value, Meta: op.Meta}); err != nil {
+					t.Fatal(err)
+				}
+			case hw.Pop:
+				want, err := g.Pop()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got == nil || *got != want {
+					t.Fatalf("tick %d: sim %v golden %v", i, got, want)
+				}
+			}
+		}
+		for g.Len() > 0 {
+			if !s.PopAvailable() {
+				s.Tick(hw.NopOp())
+				continue
+			}
+			want, _ := g.Pop()
+			got, err := s.Tick(hw.PopOp())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *got != want {
+				t.Fatalf("drain: sim %v golden %v", got, want)
+			}
+		}
+		if s.Detected() != 0 {
+			t.Fatalf("clean run detected %d corruptions", s.Detected())
 		}
 	})
 }

@@ -84,11 +84,11 @@ type Sim struct {
 	capacity int
 	size     int
 
-	root     [MaxOrder]slot     // level 1: the root node in RPU_1 registers
-	rams     []*hw.SDPRAM[node] // rams[i] backs level i+2 (levels 2..L)
-	fetchQ   []fetch            // fetchQ[i] for level i+2
-	liftQ    []liftWait         // liftQ[i] for level i+2
-	rootLift liftWait           // root's pending substitute slot
+	root     [MaxOrder]slot // level 1: the root node in RPU_1 registers
+	rams     []hw.RAM[node] // rams[i] backs level i+2 (levels 2..L)
+	fetchQ   []fetch        // fetchQ[i] for level i+2
+	liftQ    []liftWait     // liftQ[i] for level i+2
+	rootLift liftWait       // root's pending substitute slot
 
 	cycle     uint64
 	available bool // push/pop availability (drops for the cycle after a pop)
@@ -109,6 +109,49 @@ type Sim struct {
 	cooldown int
 
 	pushes, pops uint64
+
+	// Fault-tolerance state (see fault.go). protected enables SECDED (or
+	// parity) SRAMs and parity over the root registers; rootParity is
+	// false in the EccOff ablation, where storage stays injectable but
+	// every coding bit is dropped; faultErr latches the first detected
+	// corruption and Tick refuses operations until Recover is called.
+	protected  bool
+	rootParity bool
+	parity     [MaxOrder]uint8
+	stepper    hw.FaultStepper
+	faultErr   error
+	detected   uint64
+	recoveries uint64
+	// stranded records operations voided because a fault latched
+	// mid-cycle: push entries carry live payloads for recovery to
+	// harvest; pop entries stranded after their lift delivered mark a
+	// node whose minimum is a stale duplicate of the lifted value,
+	// while pops voided before processing leave their node intact.
+	stranded []levelFetch
+	// liftDelivered is transient per-arrival state: stepPop sets it
+	// once the popped minimum has been handed to the level above, so
+	// the panic-recovery path knows whether the fetched node's minimum
+	// is now a stale duplicate.
+	liftDelivered bool
+
+	// CheckEvery enables the online invariant checker: once CheckEvery
+	// cycles have elapsed since the last check, the first quiescent
+	// cycle runs the shared treecheck invariants over the committed
+	// tree state. 0 disables (the default).
+	CheckEvery uint64
+	lastCheck  uint64
+	checkRuns  uint64
+}
+
+// levelFetch is a stranded operation: the level it was bound for plus
+// the fetch-register contents. lifted records whether a pop had
+// already delivered its minimum to the level above when it was
+// stranded — only then is the fetched node's minimum a stale
+// duplicate that recovery must skip.
+type levelFetch struct {
+	lvl    int
+	ar     fetch
+	lifted bool
 }
 
 // New creates an RPU-BMW simulator for an order-m, l-level tree.
@@ -216,6 +259,9 @@ func (s *Sim) locate(n int) (level, local int) {
 // returning the popped element for a pop (combinational in the issuing
 // cycle, the root being register-resident).
 func (s *Sim) Tick(op hw.Op) (*core.Element, error) {
+	if s.faultErr != nil {
+		return nil, s.faultErr
+	}
 	// Issue legality.
 	switch op.Kind {
 	case hw.Push:
@@ -258,29 +304,26 @@ func (s *Sim) Tick(op hw.Op) (*core.Element, error) {
 			continue
 		}
 		lvl := idx + 2
-		nd, ok := s.rams[idx].Data()
-		if !ok {
-			panic("rpubmw: arrival without SRAM data")
+		if s.faultErr != nil {
+			// A fault latched earlier this cycle; this arrival is voided
+			// and preserved for recovery.
+			s.strand(lvl, ar)
+			continue
 		}
-		switch ar.kind {
-		case hw.Push:
-			s.stepPush(lvl, ar, nd)
-		case hw.Pop:
-			s.stepPop(lvl, ar, nd)
+		if err := readError(s.rams[idx]); err != nil {
+			// The ECC layer caught an uncorrectable error on the word
+			// this RPU was about to operate on.
+			s.failErr(err)
+			s.strand(lvl, ar)
+			continue
 		}
+		s.processArrival(idx, lvl, ar)
 	}
 
 	// External operation at the root (RPU_1 registers).
 	var result *core.Element
-	switch op.Kind {
-	case hw.Push:
-		s.rootPush(op.Value, op.Meta)
-		s.size++
-		s.pushes++
-	case hw.Pop:
-		result = s.rootPop()
-		s.size--
-		s.pops++
+	if s.faultErr == nil {
+		result = s.rootOp(op)
 	}
 
 	s.available = op.Kind != hw.Pop
@@ -298,7 +341,92 @@ func (s *Sim) Tick(op hw.Op) (*core.Element, error) {
 			}
 		}
 	}
+
+	// End of cycle: online invariant checker, then the attached fault
+	// plan strikes between the clock edges (see fault.go).
+	s.endOfCycle()
+	if s.faultErr != nil {
+		return nil, s.faultErr
+	}
 	return result, nil
+}
+
+// processArrival runs one level's RPU for the cycle. In tolerant mode
+// (protection or injection attached) a panic raised by corrupt state —
+// an impossible minimum, a busy latch, a routing violation — is
+// converted into a latched fault and the arrival is stranded for
+// recovery; a bare simulator keeps the fail-fast panics.
+func (s *Sim) processArrival(idx, lvl int, ar fetch) {
+	s.liftDelivered = false
+	defer func() {
+		if !s.tolerant() {
+			return
+		}
+		if p := recover(); p != nil {
+			s.fail(&hw.CorruptionError{
+				Unit: s.sramName(lvl), Word: ar.addr, Chunk: -1, Cycle: s.cycle,
+				Detail: fmt.Sprintf("structural hazard: %v", p),
+			})
+			s.strandLifted(lvl, ar, s.liftDelivered)
+		}
+	}()
+	nd, ok := s.rams[idx].Data()
+	if !ok {
+		panic("rpubmw: arrival without SRAM data")
+	}
+	switch ar.kind {
+	case hw.Push:
+		s.stepPush(lvl, ar, nd)
+	case hw.Pop:
+		s.stepPop(lvl, ar, nd)
+	}
+}
+
+// rootOp applies the external operation to the register-resident root,
+// with the same tolerant-mode panic conversion as processArrival. When
+// a fault latches mid-operation the op is voided: no element leaves the
+// machine and no counters move, so every live element remains
+// harvestable by Recover.
+func (s *Sim) rootOp(op hw.Op) (result *core.Element) {
+	defer func() {
+		if !s.tolerant() {
+			return
+		}
+		if p := recover(); p != nil {
+			s.fail(&hw.CorruptionError{
+				Unit: s.TargetName(), Word: -1, Chunk: -1, Cycle: s.cycle,
+				Detail: fmt.Sprintf("structural hazard: %v", p),
+			})
+			if op.Kind == hw.Pop {
+				// Abort the half-issued pop: forgetting the pending lift
+				// leaves the minimum in its slot for recovery to harvest.
+				s.rootLift = liftWait{}
+			}
+			result = nil
+		}
+	}()
+	switch op.Kind {
+	case hw.Push:
+		s.checkRoot()
+		if s.faultErr != nil {
+			s.strand(2, fetch{valid: true, kind: hw.Push, val: op.Value, meta: op.Meta})
+			return nil
+		}
+		s.rootPush(op.Value, op.Meta)
+		s.size++
+		s.pushes++
+	case hw.Pop:
+		s.checkRoot()
+		if s.faultErr != nil {
+			return nil
+		}
+		result = s.rootPop()
+		if result != nil {
+			s.size--
+			s.pops++
+		}
+	}
+	return result
 }
 
 // rootPush applies a push to the register-resident root: park in the
@@ -308,6 +436,7 @@ func (s *Sim) rootPush(val, meta uint64) {
 	for i := 0; i < s.m; i++ {
 		if s.root[i].count == 0 {
 			s.root[i] = slot{val: val, meta: meta, count: 1}
+			s.touchRoot(i)
 			return
 		}
 	}
@@ -322,7 +451,11 @@ func (s *Sim) rootPush(val, meta uint64) {
 		val, s.root[min].val = s.root[min].val, val
 		meta, s.root[min].meta = s.root[min].meta, meta
 	}
-	s.issueRead(2, min, fetch{valid: true, kind: hw.Push, addr: min, val: val, meta: meta})
+	s.touchRoot(min)
+	f := fetch{valid: true, kind: hw.Push, addr: min, val: val, meta: meta}
+	if !s.issueRead(2, min, f) {
+		s.strand(2, f) // preserve the displaced element for recovery
+	}
 }
 
 // rootPop pops the root's minimum and, if the sub-tree below still holds
@@ -333,10 +466,17 @@ func (s *Sim) rootPop() *core.Element {
 	s.root[j].count--
 	if s.root[j].count == 0 {
 		s.root[j] = slot{}
+		s.touchRoot(j)
 		return out
 	}
+	s.touchRoot(j)
 	s.rootLift = liftWait{valid: true, vac: j}
-	s.issueRead(2, j, fetch{valid: true, kind: hw.Pop, addr: j})
+	if !s.issueRead(2, j, fetch{valid: true, kind: hw.Pop, addr: j}) {
+		// The substitute read could not issue: abort the pop so the
+		// minimum stays in its slot for recovery to harvest.
+		s.rootLift = liftWait{}
+		return nil
+	}
 	return out
 }
 
@@ -364,11 +504,22 @@ func (s *Sim) stepPush(lvl int, ar fetch, nd node) {
 			val, nd.slots[min].val = nd.slots[min].val, val
 			meta, nd.slots[min].meta = nd.slots[min].meta, meta
 		}
+		forward := fetch{valid: true, kind: hw.Push, addr: ar.addr*s.m + min, val: val, meta: meta}
 		if lvl == s.l {
-			panic("rpubmw: push descended past the last level")
+			// Possible only when a corrupted counter routed the push into
+			// a full sub-tree; in tolerant mode latch and preserve the
+			// loser, otherwise fail fast.
+			if !s.tolerant() {
+				panic("rpubmw: push descended past the last level")
+			}
+			s.fail(&hw.CorruptionError{
+				Unit: s.sramName(lvl), Word: ar.addr, Chunk: -1, Cycle: s.cycle,
+				Detail: "push descended past the last level (corrupt sub-tree counter)",
+			})
+			s.strand(lvl, forward)
+		} else if !s.issueRead(lvl+1, forward.addr, forward) {
+			s.strand(lvl+1, forward)
 		}
-		s.issueRead(lvl+1, ar.addr*s.m+min,
-			fetch{valid: true, kind: hw.Push, addr: ar.addr*s.m + min, val: val, meta: meta})
 	}
 	s.rams[lvl-2].Write(ar.addr, nd)
 }
@@ -387,6 +538,7 @@ func (s *Sim) stepPop(lvl int, ar fetch, nd node) {
 		}
 		s.root[s.rootLift.vac].val = lifted.val
 		s.root[s.rootLift.vac].meta = lifted.meta
+		s.touchRoot(s.rootLift.vac)
 		s.rootLift = liftWait{}
 	} else {
 		lw := &s.liftQ[lvl-3]
@@ -398,6 +550,7 @@ func (s *Sim) stepPop(lvl int, ar fetch, nd node) {
 		s.rams[lvl-3].Write(lw.addr, lw.node)
 		*lw = liftWait{}
 	}
+	s.liftDelivered = true
 
 	// Remove the lifted element from this node.
 	nd.slots[j].count--
@@ -414,17 +567,38 @@ func (s *Sim) stepPop(lvl int, ar fetch, nd node) {
 		panic("rpubmw: RPU lift register busy (schedule violates pipeline spacing)")
 	}
 	s.liftQ[lvl-2] = liftWait{valid: true, addr: ar.addr, node: nd, vac: j}
+	// On failure the fault is latched and the liftWait entry stays
+	// valid; recovery treats the held node as authoritative.
 	s.issueRead(lvl+1, ar.addr*s.m+j, fetch{valid: true, kind: hw.Pop, addr: ar.addr*s.m + j})
 }
 
 // issueRead presents the read address to the level's SRAM and parks the
 // operation in the level's fetch register; the data arrives next cycle.
-func (s *Sim) issueRead(lvl, addr int, f fetch) {
+// It reports whether the read was issued: in tolerant mode a busy fetch
+// register or an out-of-range address (both only reachable through
+// corrupted routing state) latch a fault and return false instead of
+// panicking, so callers can preserve in-flight payloads for recovery.
+func (s *Sim) issueRead(lvl, addr int, f fetch) bool {
 	if s.fetchQ[lvl-2].valid {
+		if s.tolerant() {
+			s.fail(&hw.CorruptionError{
+				Unit: s.sramName(lvl), Word: addr, Chunk: -1, Cycle: s.cycle,
+				Detail: "fetch register busy (corrupt routing state)",
+			})
+			return false
+		}
 		panic(fmt.Sprintf("rpubmw: level %d fetch register busy (double read)", lvl))
+	}
+	if s.tolerant() && (addr < 0 || addr >= s.rams[lvl-2].Words()) {
+		s.fail(&hw.CorruptionError{
+			Unit: s.sramName(lvl), Word: addr, Chunk: -1, Cycle: s.cycle,
+			Detail: "read address out of range (corrupt routing state)",
+		})
+		return false
 	}
 	s.rams[lvl-2].Read(addr)
 	s.fetchQ[lvl-2] = f
+	return true
 }
 
 // minSlotOf returns the index of the leftmost minimum-value occupied

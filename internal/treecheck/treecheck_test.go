@@ -1,6 +1,7 @@
 package treecheck
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -93,5 +94,73 @@ func TestEmptyTree(t *testing.T) {
 	f := &fakeState{m: 3, l: 2, size: 0, slots: map[[2]int][2]uint64{}}
 	if err := Check(f); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTypedViolations checks that each violation class surfaces as a
+// *Violation with the right Kind and location, so the online checker
+// mode of the hardware simulators can classify detections.
+func TestTypedViolations(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(f *fakeState)
+		kind   Kind
+		node   int
+		slot   int
+	}{
+		{"heap", func(f *fakeState) { f.slots[[2]int{1, 0}] = [2]uint64{3, 1} }, HeapViolation, 0, 0},
+		{"counter", func(f *fakeState) { f.slots[[2]int{0, 0}] = [2]uint64{5, 3} }, CounterViolation, 0, 0},
+		{"orphan", func(f *fakeState) {
+			delete(f.slots, [2]int{0, 1})
+			f.slots[[2]int{2, 0}] = [2]uint64{9, 1}
+		}, OrphanViolation, 2, 0},
+		{"size", func(f *fakeState) { f.size = 7 }, SizeViolation, -1, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := valid22()
+			tc.mutate(f)
+			err := Check(f)
+			var v *Violation
+			if !errors.As(err, &v) {
+				t.Fatalf("err %T is not *Violation: %v", err, err)
+			}
+			if v.Kind != tc.kind {
+				t.Fatalf("kind = %v want %v", v.Kind, tc.kind)
+			}
+			if v.Node != tc.node || v.Slot != tc.slot {
+				t.Fatalf("location = (%d,%d) want (%d,%d)", v.Node, v.Slot, tc.node, tc.slot)
+			}
+		})
+	}
+}
+
+// TestKindString pins the class names used in soak reports.
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		HeapViolation:    "heap violation",
+		CounterViolation: "counter violation",
+		OrphanViolation:  "orphan element",
+		SizeViolation:    "size mismatch",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+// TestPhantomCounterViolation models a fault flipping an empty slot's
+// counter to nonzero with ok=false semantics preserved by the state
+// view — the checker must flag it.
+func TestPhantomCounterViolation(t *testing.T) {
+	f := valid22()
+	// fakeState reports ok=count!=0, so emulate a phantom element the
+	// way a flipped counter bit appears through SlotState: an occupied
+	// slot whose counter disagrees with the (empty) sub-tree below.
+	f.slots[[2]int{0, 1}] = [2]uint64{7, 9}
+	err := Check(f)
+	var v *Violation
+	if !errors.As(err, &v) || v.Kind != CounterViolation {
+		t.Fatalf("phantom counter not classified: %v", err)
 	}
 }
