@@ -366,6 +366,32 @@ func BenchmarkCycleSimSpeed(b *testing.B) {
 	}
 }
 
+// BenchmarkPushPop measures the R-BMW hot path (alternating push/pop
+// at the sustained rate) with instrumentation disabled versus enabled.
+// The "bare" variant is the regression guard for the observability
+// probes: with no registry attached every hook is a single nil check,
+// so it must stay within a few percent of the pre-probe simulator.
+func BenchmarkPushPop(b *testing.B) {
+	run := func(b *testing.B, s bmw.CycleSim) {
+		for i := 0; i < 64; i++ {
+			s.Tick(bmw.PushOp(uint64(i%997), 0))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Tick(bmw.PushOp(uint64(i%997), 0))
+			s.Tick(bmw.PopOp())
+		}
+	}
+	b.Run("rbmw-bare", func(b *testing.B) {
+		run(b, bmw.NewRBMWSim(2, 11))
+	})
+	b.Run("rbmw-instrumented", func(b *testing.B) {
+		s := bmw.NewRBMWSim(2, 11)
+		s.Instrument(bmw.NewMetricsRegistry(), "rbmw")
+		run(b, s)
+	})
+}
+
 // BenchmarkAccuracy_E11 runs the dequeue-order accuracy experiment
 // (extension E11): the fraction of pops returning a non-minimal rank
 // for the accurate BMW-Tree versus the approximate schedulers of

@@ -506,6 +506,12 @@ func DefaultNetConfig() NetConfig { return netsim.DefaultConfig() }
 // RunFCTExperiment executes one packet-level simulation run.
 func RunFCTExperiment(cfg NetConfig) NetResult { return netsim.New(cfg).Run() }
 
+// NewNetSim returns a configured packet-level simulation without
+// running it, so callers can Instrument it (live bottleneck-queue
+// probes, safe to scrape over HTTP while Run is in progress) before
+// calling Run.
+func NewNetSim(cfg NetConfig) *netsim.Sim { return netsim.New(cfg) }
+
 // FCTBins buckets a run's flow records with the default Figure 10
 // flow-size edges.
 func FCTBins(r NetResult) []FCTBin { return r.FCT.Binned(stats.DefaultBins()) }

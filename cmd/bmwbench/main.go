@@ -26,11 +26,17 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: table1|fig8|table2|fig9|table3|table4|throughput|ablation|fig10|all")
 	quick := flag.Bool("quick", false, "use the scaled-down configuration for fig10")
 	seed := flag.Int64("seed", 42, "workload seed for fig10")
+	metricsOut := flag.String("metrics-out", "", "write a machine-readable BENCH_<exp>.json report to this path")
 	flag.Parse()
+
+	if *metricsOut != "" {
+		rep = newReport(*exp, *seed)
+	}
 
 	run := func(name string, fn func()) {
 		if *exp == name || *exp == "all" {
 			fn()
+			rep.ran(name)
 			fmt.Println()
 		}
 	}
@@ -45,6 +51,7 @@ func main() {
 	run("accuracy", accuracy)
 	if *exp == "fig10" {
 		fig10(*quick, *seed)
+		rep.ran("fig10")
 	} else if *exp == "all" {
 		fmt.Println("figure 10 (packet-level FCT) is long-running; invoke with -exp fig10 [-quick]")
 	}
@@ -53,6 +60,13 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if rep != nil {
+		if err := rep.write(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics report written to %s\n", *metricsOut)
 	}
 }
 
@@ -173,6 +187,14 @@ func throughput() {
 	fmt.Printf("RPU-BMW  8-4: %.3f cycles per push-pop pair x 600 MHz    = %6.1f Mpps (paper: 200, >800 Gbps at 512 B)\n", rp, 600/rp)
 	fmt.Printf("PIFO    4096: %.3f cycles per push-pop pair x %.2f MHz   = %6.1f Mpps (paper: 40)\n", pf, fPF, fPF/pf)
 	fmt.Printf("speedup R-BMW/PIFO: %.1fx (paper: 4.8x)\n", (fRB/rb)/(fPF/pf))
+	rep.metric("rbmw_cycles_per_pair", rb)
+	rep.metric("rpubmw_cycles_per_pair", rp)
+	rep.metric("pifo_cycles_per_pair", pf)
+	rep.metric("rbmw_mpps", fRB/rb)
+	rep.metric("pifo_mpps", fPF/pf)
+	if rep != nil {
+		throughputProof(rep)
+	}
 }
 
 func cyclesPerPair(s bmw.CycleSim, pairs int) float64 {
@@ -215,13 +237,19 @@ func ablation() {
 	s1 := bmw.NewRBMWSim(2, 8)
 	s2 := bmw.NewRBMWSim(2, 8)
 	s2.Sustained = false
+	rbOpt, rbPlain := cyclesPerPair(s1, 2000), cyclesPerPair(s2, 2000)
 	fmt.Printf("R-BMW   sustained transfer (4.2.2): %.3f cycles/pair; plain sequential (4.2.1): %.3f cycles/pair\n",
-		cyclesPerPair(s1, 2000), cyclesPerPair(s2, 2000))
+		rbOpt, rbPlain)
 	u1 := bmw.NewRPUBMWSim(4, 6)
 	u2 := bmw.NewRPUBMWSim(4, 6)
 	u2.Plain = true
+	rpOpt, rpPlain := cyclesPerPair(u1, 2000), cyclesPerPair(u2, 2000)
 	fmt.Printf("RPU-BMW comb+hiding (5.2.2-5.2.3): %.3f cycles/pair; plain sequential (5.2.1): %.3f cycles/pair\n",
-		cyclesPerPair(u1, 2000), cyclesPerPair(u2, 2000))
+		rpOpt, rpPlain)
+	rep.metric("ablation_rbmw_sustained_cycles_per_pair", rbOpt)
+	rep.metric("ablation_rbmw_plain_cycles_per_pair", rbPlain)
+	rep.metric("ablation_rpubmw_optimised_cycles_per_pair", rpOpt)
+	rep.metric("ablation_rpubmw_plain_cycles_per_pair", rpPlain)
 	tr := bmw.NewBMWTree(2, 9)
 	ph := bmw.NewPHeap(10)
 	for i := 0; i < 2*tr.Cap()/5; i++ {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -30,6 +31,8 @@ func main() {
 	workload := flag.String("workload", "mixed", "pushpop | fill | mixed")
 	seed := flag.Int64("seed", 1, "workload seed")
 	plain := flag.Bool("plain", false, "disable sustained transfer (rbmw ablation)")
+	metricsOut := flag.String("metrics-out", "", "write the run's metrics snapshot JSON to this file")
+	traceOut := flag.String("trace", "", "write a Perfetto/Chrome cycle trace JSON to this file (rbmw, rpubmw)")
 	flag.Parse()
 
 	var sim bmw.CycleSim
@@ -47,6 +50,33 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("%s: capacity %d elements\n", *design, sim.Cap())
+
+	// The BMW designs carry native pipeline probes; PIFO exposes only
+	// interface-level counters and has no per-level trace to record.
+	var reg *bmw.MetricsRegistry
+	if *metricsOut != "" {
+		reg = bmw.NewMetricsRegistry()
+		if in, ok := sim.(interface {
+			Instrument(*bmw.MetricsRegistry, string)
+		}); ok {
+			in.Instrument(reg, *design)
+		} else {
+			fmt.Fprintf(os.Stderr, "design %q has no metric probes\n", *design)
+			os.Exit(2)
+		}
+	}
+	var tr *bmw.TraceRecorder
+	if *traceOut != "" {
+		if tt, ok := sim.(interface {
+			TraceTo(*bmw.TraceRecorder, int64)
+		}); ok {
+			tr = bmw.NewTraceRecorder()
+			tt.TraceTo(tr, 1)
+		} else {
+			fmt.Fprintf(os.Stderr, "design %q records no cycle trace (rbmw and rpubmw do)\n", *design)
+			os.Exit(2)
+		}
+	}
 
 	golden := bmw.NewBMWTree(2, 24) // oversized reference multiset
 	rng := rand.New(rand.NewSource(*seed))
@@ -122,4 +152,34 @@ func main() {
 	fmt.Printf("cycles: %d, pushes: %d, pops: %d, rejected issues: %d\n", cycles, pushes, pops, rejected)
 	fmt.Printf("ops/cycle: %.3f (stored at end: %d)\n", float64(pushes+pops)/float64(cycles), sim.Len())
 	fmt.Println("pop stream verified against the golden software BMW-Tree")
+
+	if *metricsOut != "" {
+		b, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		if err == nil {
+			err = os.WriteFile(*metricsOut, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics snapshot:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+	}
+	if tr != nil {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			_, err = tr.WriteTo(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cycle trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("cycle trace written to %s (%d events", *traceOut, tr.Len())
+		if d := tr.Dropped(); d > 0 {
+			fmt.Printf(", %d dropped at the recorder cap", d)
+		}
+		fmt.Println(") — open in https://ui.perfetto.dev")
+	}
 }

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/rbmw"
 	"repro/internal/rpubmw"
 	"repro/internal/trafficgen"
@@ -93,6 +95,8 @@ func main() {
 		checkEvery = flag.Uint64("checkevery", 0, "online tree-invariant check period in cycles (0 disables)")
 		workload   = flag.String("workload", "websearch", "rank distribution: websearch | datamining")
 		seed       = flag.Int64("seed", 1, "seed for the workload, the fault plan and fault placement")
+		httpAddr   = flag.String("http", "", "serve /metrics, /metrics.json and /debug/pprof on this address during the run")
+		metricsOut = flag.String("metrics-out", "", "write the final metrics snapshot JSON to this file")
 	)
 	flag.Parse()
 	if *cycles == 0 {
@@ -168,6 +172,23 @@ func main() {
 		plan.AddRandomStuck(*stuck, 1)
 	}
 
+	// Observability: probes are owned atomics written only by this
+	// goroutine, so the HTTP endpoint can scrape mid-run without racing
+	// the plan or the simulator. A nil registry disables every probe.
+	var reg *obs.Registry
+	if *httpAddr != "" || *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	sm := newSoakMetrics(reg)
+	if *httpAddr != "" {
+		fmt.Printf("metrics endpoint on http://%s/metrics\n", *httpAddr)
+		go func() {
+			if err := <-obs.Serve(*httpAddr, reg); err != nil {
+				fmt.Fprintln(os.Stderr, "bmwsoak: metrics endpoint:", err)
+			}
+		}()
+	}
+
 	golden := core.New(*m, *l)
 	sampler := trafficgen.NewSampler(*seed, dist)
 	wrng := rand.New(rand.NewSource(*seed + 1))
@@ -199,6 +220,8 @@ func main() {
 		survivors, dropped := sim.Recover()
 		totalDropped += dropped
 		recoverEvents++
+		sm.recoverEvents.Inc()
+		sm.droppedSlots.Add(uint64(dropped))
 		golden.Reset()
 		for _, e := range survivors {
 			if err := golden.Push(e); err != nil {
@@ -218,6 +241,7 @@ func main() {
 			return
 		}
 		escaped++
+		sm.escaped.Inc()
 		if firstDiv == nil {
 			tr := plan.Trace()
 			if len(tr) > 5 {
@@ -244,7 +268,11 @@ func main() {
 	// consume a cycle; recovery clears the latch and the loop resumes.
 	gapLen := 2**l + 4
 	idle := 0
+	const samplePeriod = 1024 // gauge refresh cadence for live scraping
 	for sim.Cycle() < *cycles {
+		if reg != nil && sim.Cycle()%samplePeriod == 0 {
+			sm.sample(sim, plan, eccTotals)
+		}
 		if idle == 0 && wrng.Intn(97) == 0 {
 			idle = gapLen
 		}
@@ -278,14 +306,17 @@ func main() {
 		switch op.Kind {
 		case hw.Push:
 			pushes++
+			sm.pushes.Inc()
 			if err := golden.Push(core.Element{Value: op.Value, Meta: op.Meta}); err != nil {
 				fatalf("golden push at cycle %d: %v", sim.Cycle(), err)
 			}
 		case hw.Pop:
 			pops++
+			sm.pops.Inc()
 			checkPop(got)
 		default:
 			nops++
+			sm.nops.Inc()
 		}
 	}
 
@@ -318,9 +349,13 @@ func main() {
 			continue
 		}
 		pops++
+		sm.pops.Inc()
 		checkPop(got)
 	}
 
+	if reg != nil {
+		sm.sample(sim, plan, eccTotals)
+	}
 	verifyErr := sim.Verify()
 
 	fmt.Printf("workload: %d cycles, %d pushes, %d pops, %d nops (%s ranks)\n",
@@ -357,6 +392,17 @@ func main() {
 		fmt.Printf("final verify: %v\n", verifyErr)
 	} else {
 		fmt.Printf("final verify: clean\n")
+	}
+
+	if *metricsOut != "" {
+		b, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		if err == nil {
+			err = os.WriteFile(*metricsOut, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fatalf("metrics snapshot: %v", err)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
 	}
 
 	if mode != faultinject.EccOff && escaped > 0 {

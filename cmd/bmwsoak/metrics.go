@@ -1,0 +1,75 @@
+package main
+
+import (
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// soakMetrics publishes the soak loop's progress for the -http
+// endpoint and the -metrics-out dump. Every instrument is an owned
+// atomic: the soak loop is the only writer (counters inline, gauges
+// via sample at a fixed cadence), the HTTP handler only reads, so a
+// live run can be scraped without racing the fault plan or the
+// simulator. Built over a nil registry, every probe is a no-op.
+type soakMetrics struct {
+	cycles    *obs.Gauge
+	occupancy *obs.Gauge
+
+	pushes, pops, nops *obs.Counter
+	escaped            *obs.Counter
+	recoverEvents      *obs.Counter
+	droppedSlots       *obs.Counter
+
+	injected, rateInjected   *obs.Gauge
+	stuckApplied, pendingSch *obs.Gauge
+	detected, recoveries     *obs.Gauge
+	checkRuns                *obs.Gauge
+
+	eccCorrected, eccDetected          *obs.Gauge
+	eccScrubs, eccScrubCorr, eccScrubD *obs.Gauge
+}
+
+func newSoakMetrics(reg *obs.Registry) *soakMetrics {
+	return &soakMetrics{
+		cycles:        reg.Gauge("soak_cycles"),
+		occupancy:     reg.Gauge("soak_occupancy"),
+		pushes:        reg.Counter("soak_pushes_total"),
+		pops:          reg.Counter("soak_pops_total"),
+		nops:          reg.Counter("soak_nops_total"),
+		escaped:       reg.Counter("soak_escaped_divergences_total"),
+		recoverEvents: reg.Counter("soak_recovery_events_total"),
+		droppedSlots:  reg.Counter("soak_dropped_slots_total"),
+		injected:      reg.Gauge("soak_faults_injected"),
+		rateInjected:  reg.Gauge("soak_faults_rate_injected"),
+		stuckApplied:  reg.Gauge("soak_faults_stuck_applied"),
+		pendingSch:    reg.Gauge("soak_faults_pending_scheduled"),
+		detected:      reg.Gauge("soak_fault_detected"),
+		recoveries:    reg.Gauge("soak_fault_recoveries"),
+		checkRuns:     reg.Gauge("soak_fault_check_runs"),
+		eccCorrected:  reg.Gauge("soak_ecc_corrected_reads"),
+		eccDetected:   reg.Gauge("soak_ecc_detected_reads"),
+		eccScrubs:     reg.Gauge("soak_ecc_scrubs"),
+		eccScrubCorr:  reg.Gauge("soak_ecc_scrub_corrected"),
+		eccScrubD:     reg.Gauge("soak_ecc_scrub_detected"),
+	}
+}
+
+// sample snapshots the fault plan, the simulator's recovery layer and
+// the ECC totals into gauges. Called from the soak loop only.
+func (sm *soakMetrics) sample(sim soakSim, plan *faultinject.Plan, ecc func() faultinject.ECCStats) {
+	sm.cycles.Set(float64(sim.Cycle()))
+	sm.occupancy.Set(float64(sim.Len()))
+	sm.injected.Set(float64(plan.Injected()))
+	sm.rateInjected.Set(float64(plan.RateInjected()))
+	sm.stuckApplied.Set(float64(plan.StuckApplied()))
+	sm.pendingSch.Set(float64(plan.PendingScheduled()))
+	sm.detected.Set(float64(sim.Detected()))
+	sm.recoveries.Set(float64(sim.Recoveries()))
+	sm.checkRuns.Set(float64(sim.CheckRuns()))
+	st := ecc()
+	sm.eccCorrected.Set(float64(st.CorrectedReads))
+	sm.eccDetected.Set(float64(st.DetectedReads))
+	sm.eccScrubs.Set(float64(st.Scrubs))
+	sm.eccScrubCorr.Set(float64(st.ScrubCorrected))
+	sm.eccScrubD.Set(float64(st.ScrubDetected))
+}

@@ -43,6 +43,7 @@ func main() {
 	pattern := flag.String("pattern", "bursty", "workload: bursty | uniform | monotone")
 	queue := flag.String("queue", "bmwtree", "scheduler for -replay")
 	seed := flag.Int64("seed", 1, "record seed")
+	metricsOut := flag.String("metrics-out", "", "write replay metrics snapshot JSON to this file")
 	flag.Parse()
 
 	switch {
@@ -52,7 +53,7 @@ func main() {
 			os.Exit(1)
 		}
 	case *replay != "":
-		if err := doReplay(*replay, *queue); err != nil {
+		if err := doReplay(*replay, *queue, *metricsOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -63,22 +64,23 @@ func main() {
 }
 
 // doRecord writes a trace whose pushes follow the chosen rank pattern
-// and whose pops keep the queue between empty and ~512 elements.
+// and whose pops keep the queue between empty and ~512 elements. The
+// trace is fully determined by (n, pattern, seed): no wall-clock
+// seeding, so re-recording with the same flags reproduces it exactly.
 func doRecord(path string, n int, pattern string, seed int64) error {
 	rng := rand.New(rand.NewSource(seed))
+	mono := uint64(0)
 	next := func() uint64 {
 		switch pattern {
 		case "bursty":
 			return uint64(rng.Intn(4))*1000 + uint64(rng.Intn(100))
-		case "uniform":
-			return uint64(rng.Intn(65536))
 		case "monotone":
-			return uint64(rng.Intn(8)) + uint64(n) // offset grows via closure below
-		default:
+			mono += uint64(rng.Intn(8))
+			return mono + uint64(rng.Intn(16))
+		default: // uniform
 			return uint64(rng.Intn(65536))
 		}
 	}
-	mono := uint64(0)
 
 	f, err := os.Create(path)
 	if err != nil {
@@ -92,12 +94,7 @@ func doRecord(path string, n int, pattern string, seed int64) error {
 	inFlight := 0
 	for i := 0; i < n; i++ {
 		if inFlight == 0 || (rng.Intn(2) == 0 && inFlight < 512) {
-			v := next()
-			if pattern == "monotone" {
-				mono += uint64(rng.Intn(8))
-				v = mono + uint64(rng.Intn(16))
-			}
-			if err := enc.Encode(op{Kind: "push", Value: v, Meta: uint64(i)}); err != nil {
+			if err := enc.Encode(op{Kind: "push", Value: next(), Meta: uint64(i)}); err != nil {
 				return err
 			}
 			inFlight++
@@ -136,10 +133,18 @@ func newQueue(name string) (bmw.PriorityQueue, error) {
 }
 
 // doReplay drives the scheduler with the trace and scores accuracy.
-func doReplay(path, queueName string) error {
+// With metricsOut, the queue is wrapped in interface-level probes and
+// the final snapshot (push/pop/rejection counts, occupancy highwater,
+// accuracy gauges) is dumped as JSON.
+func doReplay(path, queueName, metricsOut string) error {
 	q, err := newQueue(queueName)
 	if err != nil {
 		return err
+	}
+	var reg *bmw.MetricsRegistry
+	if metricsOut != "" {
+		reg = bmw.NewMetricsRegistry()
+		q = bmw.NewInstrumentedQueue(reg, queueName, q)
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -198,6 +203,19 @@ func doReplay(path, queueName string) error {
 		nonMin, pct(nonMin, pops), 100*meter.Rate(), meter.MeanMagnitude())
 	if nonMin == 0 {
 		fmt.Println("exact PIFO behaviour: every pop returned the current minimum")
+	}
+	if metricsOut != "" {
+		reg.Gauge(queueName + "_non_minimal_pop_pct").Set(pct(nonMin, pops))
+		reg.Gauge(queueName + "_inversion_rate_pct").Set(100 * meter.Rate())
+		reg.Gauge(queueName + "_mean_displacement").Set(meter.MeanMagnitude())
+		b, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(metricsOut, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("replay metrics written to %s\n", metricsOut)
 	}
 	return nil
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +36,8 @@ func main() {
 	ecn := flag.Int("ecn", 0, "ECN marking threshold in packets (0 = off)")
 	dctcp := flag.Bool("dctcp", false, "enable DCTCP reaction to ECN marks")
 	seed := flag.Int64("seed", 42, "workload seed")
+	httpAddr := flag.String("http", "", "serve /metrics, /metrics.json and /debug/pprof on this address during the run")
+	metricsOut := flag.String("metrics-out", "", "write the final metrics snapshot JSON to this file")
 	flag.Parse()
 
 	cfg := bmw.DefaultNetConfig()
@@ -85,8 +88,26 @@ func main() {
 
 	fmt.Printf("scheduler %s (capacity %d flows), %d hosts, %.0f Gbps, %.1f ms links, %d flows at load %.2f\n",
 		*schedName, *capacity, *hosts, *bps/1e9, *propMs, *flows, *load)
+
+	// The netsim probes are owned atomics updated from the event loop,
+	// so the HTTP endpoint can scrape them while Run is in progress.
+	sim := bmw.NewNetSim(cfg)
+	var reg *bmw.MetricsRegistry
+	if *httpAddr != "" || *metricsOut != "" {
+		reg = bmw.NewMetricsRegistry()
+		sim.Instrument(reg, "fctsim")
+	}
+	if *httpAddr != "" {
+		fmt.Printf("metrics endpoint on http://%s/metrics\n", *httpAddr)
+		go func() {
+			if err := <-bmw.ServeMetrics(*httpAddr, reg); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics endpoint:", err)
+			}
+		}()
+	}
+
 	t0 := time.Now()
-	res := bmw.RunFCTExperiment(cfg)
+	res := sim.Run()
 	fmt.Printf("simulated %.2f s in %v (%d events)\n\n",
 		float64(res.SimEndNs)/1e9, time.Since(t0).Round(time.Millisecond), res.Events)
 
@@ -97,4 +118,17 @@ func main() {
 	fmt.Printf("bottleneck loss: %.4f (scheduler-full drops %d, buffer drops %d)\n",
 		res.LossRate, res.BlockStats.DropsScheduler, res.BlockStats.DropsStore)
 	fmt.Printf("TCP retransmits: %d, timeouts: %d\n", res.Retransmits, res.Timeouts)
+
+	if *metricsOut != "" {
+		b, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics snapshot:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*metricsOut, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics snapshot:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+	}
 }

@@ -2,6 +2,7 @@ package bmw_test
 
 import (
 	"errors"
+	"math/rand"
 	"testing"
 
 	bmw "repro"
@@ -124,5 +125,76 @@ func TestProtectedSimFacade(t *testing.T) {
 	}
 	if _, err := s.Tick(bmw.NopOp()); err != nil {
 		t.Fatalf("tick after recovery: %v", err)
+	}
+}
+
+// TestMetricsSnapshotInvariants drives every PriorityQueue through a
+// randomized workload behind the interface-level probes and checks the
+// accounting identities any correct queue-plus-instrumentation pair
+// must satisfy at all times: pushes - pops == occupancy, occupancy
+// never exceeds capacity, and the high-water mark sits between the
+// current occupancy and the capacity.
+func TestMetricsSnapshotInvariants(t *testing.T) {
+	queues := map[string]bmw.PriorityQueue{
+		"bmwtree":  bmw.NewBMWTree(2, 4),
+		"pifo":     bmw.NewPIFO(30),
+		"pheap":    bmw.NewPHeap(4),
+		"pipeheap": bmw.NewPipelinedHeap(30),
+	}
+	for name, inner := range queues {
+		t.Run(name, func(t *testing.T) {
+			reg := bmw.NewMetricsRegistry()
+			q := bmw.NewInstrumentedQueue(reg, name, inner)
+			rng := rand.New(rand.NewSource(7))
+
+			check := func(step int) {
+				snap := reg.Snapshot()
+				pushes := snap.Counter(name + "_pushes_total")
+				pops := snap.Counter(name + "_pops_total")
+				occ := snap.Gauge(name + "_occupancy")
+				capacity := snap.Gauge(name + "_capacity")
+				high := snap.Gauge(name + "_occupancy_highwater")
+				if float64(pushes-pops) != occ {
+					t.Fatalf("step %d: pushes(%d) - pops(%d) != occupancy(%g)", step, pushes, pops, occ)
+				}
+				if occ > capacity {
+					t.Fatalf("step %d: occupancy %g exceeds capacity %g", step, occ, capacity)
+				}
+				if high < occ || high > capacity {
+					t.Fatalf("step %d: highwater %g outside [occupancy %g, capacity %g]", step, high, occ, capacity)
+				}
+			}
+
+			// Randomized workload biased toward pushes so the queue
+			// sweeps through full (rejections must not count as pushes)
+			// and empty (ditto for pops) along the way.
+			for i := 0; i < 2000; i++ {
+				if rng.Intn(3) != 0 {
+					q.Push(bmw.Element{Value: uint64(rng.Intn(512)), Meta: uint64(i)})
+				} else {
+					q.Pop()
+				}
+				if i%97 == 0 {
+					check(i)
+				}
+			}
+			for q.Len() > 0 {
+				if _, err := q.Pop(); err != nil {
+					t.Fatalf("drain: %v", err)
+				}
+			}
+			check(-1)
+			snap := reg.Snapshot()
+			if snap.Gauge(name+"_occupancy") != 0 {
+				t.Fatalf("occupancy after drain = %g, want 0", snap.Gauge(name+"_occupancy"))
+			}
+			if snap.Counter(name+"_pushes_total") != snap.Counter(name+"_pops_total") {
+				t.Fatalf("drained queue has pushes %d != pops %d",
+					snap.Counter(name+"_pushes_total"), snap.Counter(name+"_pops_total"))
+			}
+			if snap.Counter(name+"_rejected_ops_total") == 0 {
+				t.Fatalf("workload never hit a boundary; rejected_ops_total = 0")
+			}
+		})
 	}
 }

@@ -51,6 +51,9 @@ type Tree struct {
 	numNodes int
 	size     int
 	capacity int
+
+	pushes, pops uint64
+	maxSize      int
 }
 
 // Common errors returned by priority-queue implementations in this module.
@@ -176,6 +179,10 @@ func (t *Tree) Push(e Element) error {
 		n = n*t.m + min + 1
 	}
 	t.size++
+	t.pushes++
+	if t.size > t.maxSize {
+		t.maxSize = t.size
+	}
 	return nil
 }
 
@@ -221,7 +228,36 @@ func (t *Tree) Pop() (Element, error) {
 		si = ci - child*t.m
 	}
 	t.size--
+	t.pops++
 	return out, nil
+}
+
+// OpStats returns the number of successful pushes and pops since
+// creation (Reset does not clear them).
+func (t *Tree) OpStats() (pushes, pops uint64) { return t.pushes, t.pops }
+
+// HighWatermark returns the largest occupancy reached since creation.
+func (t *Tree) HighWatermark() int { return t.maxSize }
+
+// LevelOccupancy counts the occupied slots at a 1-based level.
+func (t *Tree) LevelOccupancy(lvl int) int {
+	if lvl < 1 || lvl > t.l {
+		return 0
+	}
+	start, count := 0, 1
+	for i := 1; i < lvl; i++ {
+		start += count
+		count *= t.m
+	}
+	occ := 0
+	for n := start; n < start+count; n++ {
+		for i := 0; i < t.m; i++ {
+			if t.nodes[n*t.m+i].count != 0 {
+				occ++
+			}
+		}
+	}
+	return occ
 }
 
 // minSlot returns the absolute flat index of the smallest valid element

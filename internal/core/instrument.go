@@ -1,0 +1,29 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Instrument registers the golden model's probes in reg under the
+// given metric-name prefix. All instruments are snapshot-time
+// callbacks reading tree state — snapshot only between operations.
+// A nil registry is a no-op.
+func (t *Tree) Instrument(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc(prefix+"_pushes_total", func() uint64 { return t.pushes })
+	reg.CounterFunc(prefix+"_pops_total", func() uint64 { return t.pops })
+	reg.GaugeFunc(prefix+"_occupancy", func() float64 { return float64(t.size) })
+	reg.GaugeFunc(prefix+"_capacity", func() float64 { return float64(t.capacity) })
+	reg.GaugeFunc(prefix+"_occupancy_highwater", func() float64 { return float64(t.maxSize) })
+	reg.GaugeFunc(prefix+"_max_imbalance", func() float64 { return float64(t.MaxImbalance()) })
+	reg.GaugeFunc(prefix+"_depth", func() float64 { return float64(t.Depth()) })
+	for lvl := 1; lvl <= t.l; lvl++ {
+		lvl := lvl
+		reg.GaugeFunc(fmt.Sprintf("%s_level%d_occupancy", prefix, lvl),
+			func() float64 { return float64(t.LevelOccupancy(lvl)) })
+	}
+}

@@ -1,0 +1,48 @@
+package hw
+
+// CycleKind classifies what a pipeline did with one consumed clock
+// cycle, from the issue interface's point of view. The observability
+// probes count cycles by kind so an experiment can decompose a run
+// into useful work versus the handshake's mandatory gaps versus true
+// idleness — the decomposition behind the paper's sustained-rate
+// claims (1 push/cycle for R-BMW, the idle-after-pop of RPU-BMW).
+type CycleKind int
+
+const (
+	// CycleIssuePush: a push was accepted at the root this cycle.
+	CycleIssuePush CycleKind = iota
+	// CycleIssuePop: a pop was accepted and its result emitted.
+	CycleIssuePop
+	// CycleStall: no operation could be issued because the handshake
+	// (pop_available / push_available, Plain-mode cooldowns, the
+	// RPU-BMW mandatory idle-after-pop) forbade it.
+	CycleStall
+	// CycleDrain: nothing was issued, but waves or RPU operations were
+	// still in flight below the root.
+	CycleDrain
+	// CycleIdle: nothing issued and the pipeline quiescent.
+	CycleIdle
+
+	numCycleKinds
+)
+
+// NumCycleKinds is the number of classifications, for sizing tables.
+const NumCycleKinds = int(numCycleKinds)
+
+// String returns the snake_case name used in metric names and traces.
+func (k CycleKind) String() string {
+	switch k {
+	case CycleIssuePush:
+		return "issue_push"
+	case CycleIssuePop:
+		return "issue_pop"
+	case CycleStall:
+		return "stall"
+	case CycleDrain:
+		return "drain"
+	case CycleIdle:
+		return "idle"
+	default:
+		return "unknown"
+	}
+}

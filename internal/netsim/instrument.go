@@ -1,0 +1,32 @@
+package netsim
+
+import "repro/internal/obs"
+
+// probes are the live instruments a running simulation updates. They
+// are owned atomics, so an HTTP scrape concurrent with Run is safe —
+// unlike snapshot-time callbacks, which would race with the event
+// loop. nil (the default) disables them at one branch per hook.
+type probes struct {
+	enqueued  *obs.Counter
+	completed *obs.Counter
+	queueLen  *obs.Gauge
+	queuePeak *obs.Gauge
+	simNs     *obs.Gauge
+}
+
+// Instrument registers live probes in reg under the given metric-name
+// prefix. Must be called before Run. The instruments are updated from
+// the event loop with atomic stores, so reg can be served over HTTP
+// while the simulation runs. A nil registry is a no-op.
+func (s *Sim) Instrument(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	s.probes = &probes{
+		enqueued:  reg.Counter(prefix + "_bottleneck_enqueued_total"),
+		completed: reg.Counter(prefix + "_flows_completed_total"),
+		queueLen:  reg.Gauge(prefix + "_bottleneck_queue_pkts"),
+		queuePeak: reg.Gauge(prefix + "_bottleneck_queue_peak_pkts"),
+		simNs:     reg.Gauge(prefix + "_sim_time_ns"),
+	}
+}

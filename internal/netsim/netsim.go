@@ -155,6 +155,10 @@ type Sim struct {
 	fct       *stats.FCT
 	completed int
 	peakQueue int
+
+	// probes are the attached live instruments (see instrument.go);
+	// nil means uninstrumented.
+	probes *probes
 }
 
 // New builds a simulator from the config.
@@ -279,6 +283,10 @@ func (s *Sim) startFlow(spec trafficgen.Flow) {
 		func(seg tcp.Segment) { s.sendFromHost(spec.Source, fs, seg) },
 		func(finish uint64) {
 			s.completed++
+			if s.probes != nil {
+				s.probes.completed.Inc()
+				s.probes.simNs.Set(float64(finish))
+			}
 			s.fct.Add(stats.FlowRecord{
 				Bytes:      spec.Bytes,
 				FCTNs:      finish - start,
@@ -329,6 +337,12 @@ func (s *Sim) switchArrival(fs *flowState, seg tcp.Segment) {
 	}
 	if n := s.block.Len(); n > s.peakQueue {
 		s.peakQueue = n
+	}
+	if s.probes != nil {
+		s.probes.enqueued.Inc()
+		s.probes.queueLen.Set(float64(s.block.Len()))
+		s.probes.queuePeak.Max(float64(s.peakQueue))
+		s.probes.simNs.Set(float64(s.q.Now()))
 	}
 	s.kickEgress()
 }

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry over HTTP for long-running commands:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  Snapshot as JSON
+//	/debug/vars    expvar (Go runtime memstats etc.)
+//	/debug/pprof/  CPU/heap/goroutine profiles
+//
+// Only owned instruments (atomics) should live in a registry served
+// live — callback instruments would be sampled concurrently with the
+// producer. Long-running commands sample mutable sim state into
+// gauges from their own loop instead.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(r.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts an HTTP server for the registry on addr in a new
+// goroutine and returns immediately. Errors (e.g. port in use) are
+// delivered on the returned channel.
+func Serve(addr string, r *Registry) <-chan error {
+	errc := make(chan error, 1)
+	srv := &http.Server{Addr: addr, Handler: Handler(r)}
+	go func() { errc <- srv.ListenAndServe() }()
+	return errc
+}

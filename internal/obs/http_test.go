@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total").Add(2)
+	r.Gauge("occ").Set(4)
+	h := Handler(r)
+
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return sb.String(), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(body, "hits_total 2") || !strings.Contains(ctype, "text/plain") {
+		t.Fatalf("/metrics body %q ctype %q", body, ctype)
+	}
+
+	body, ctype = get("/metrics.json")
+	if !strings.Contains(ctype, "application/json") {
+		t.Fatalf("/metrics.json ctype %q", ctype)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not JSON: %v\n%s", err, body)
+	}
+	if snap.Counter("hits_total") != 2 || snap.Gauge("occ") != 4 {
+		t.Fatalf("/metrics.json snapshot wrong: %s", body)
+	}
+
+	body, _ = get("/debug/vars")
+	if !strings.Contains(body, "memstats") {
+		t.Fatal("/debug/vars missing memstats")
+	}
+
+	body, _ = get("/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Fatal("/debug/pprof/ index missing goroutine profile")
+	}
+}

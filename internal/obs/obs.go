@@ -1,0 +1,377 @@
+// Package obs is the zero-dependency observability core shared by the
+// cycle-accurate simulators, the software priority queues and the
+// experiment commands: counters, gauges and fixed-bucket histograms
+// collected in a Registry with a consistent Snapshot API, a Chrome
+// Trace Event recorder that renders simulated pipelines as waveforms
+// in ui.perfetto.dev (trace.go), and Prometheus-text / expvar / pprof
+// HTTP sinks for the long-running commands (http.go).
+//
+// Design constraints, in order:
+//
+//  1. A disabled probe must be free. Every mutating method is a no-op
+//     on a nil receiver, so an uninstrumented simulator pays exactly
+//     one pointer-nil branch on its hot path and nothing else.
+//  2. Owned instruments (Counter, Gauge, Histogram) are safe for
+//     concurrent use: a producer loop can increment them while an HTTP
+//     scrape reads a Snapshot. They are plain atomics — no locks on
+//     the update path.
+//  3. Callback instruments (CounterFunc, GaugeFunc) sample external
+//     state at Snapshot time. They let existing structures (SRAM port
+//     stats, tree occupancy, fault-plan totals) surface without any
+//     hot-path bookkeeping, but the callbacks run unsynchronised with
+//     the producer — register them only for state that is read when
+//     the producer is paused, or that is itself race-safe.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric. The zero value
+// is ready to use; all methods are atomic and no-ops on nil.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time float64 metric. The zero value is ready;
+// all methods are atomic and no-ops on nil.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Max raises the gauge to v if v is larger — a high-watermark update.
+func (g *Gauge) Max(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution of uint64 observations
+// (cycle latencies, pipeline depths). Bucket i counts observations
+// <= Bounds[i]; one extra overflow bucket counts the rest. All methods
+// are atomic and no-ops on nil.
+type Histogram struct {
+	bounds  []uint64
+	buckets []atomic.Uint64 // len(bounds)+1, last is overflow
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// NewHistogram builds a histogram with the given ascending upper
+// bounds. It panics on empty or unsorted bounds.
+func NewHistogram(bounds []uint64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d", i))
+		}
+	}
+	return &Histogram{
+		bounds:  append([]uint64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// HistogramSnapshot is one histogram's state at Snapshot time. Counts
+// has one entry per bound plus a final overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Count  uint64   `json:"count"`
+	Sum    uint64   `json:"sum"`
+}
+
+// Mean returns the average observation (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// snapshot captures the histogram.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// instrument is one named registry entry.
+type instrument struct {
+	name string
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+	cf   func() uint64
+	gf   func() float64
+}
+
+// Registry names and collects instruments. Registration takes a lock;
+// the instruments themselves are lock-free. Registration methods are
+// nil-safe: on a nil Registry they return nil instruments, whose
+// methods are in turn no-ops — so a whole probe tree can be disabled
+// by passing a nil registry.
+type Registry struct {
+	mu    sync.Mutex
+	order []*instrument
+	index map[string]*instrument
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*instrument)}
+}
+
+// validName enforces Prometheus-compatible metric names so the text
+// exposition never needs escaping: [a-zA-Z_][a-zA-Z0-9_]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// register adds (or finds) a named instrument, panicking on a name
+// reused for a different kind — always a wiring bug.
+func (r *Registry) register(name string, build func() *instrument) *instrument {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok := r.index[name]; ok {
+		return in
+	}
+	in := build()
+	in.name = name
+	r.order = append(r.order, in)
+	r.index[name] = in
+	return in
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	in := r.register(name, func() *instrument { return &instrument{c: &Counter{}} })
+	if in.c == nil {
+		panic(fmt.Sprintf("obs: metric %q already registered with a different kind", name))
+	}
+	return in.c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	in := r.register(name, func() *instrument { return &instrument{g: &Gauge{}} })
+	if in.g == nil {
+		panic(fmt.Sprintf("obs: metric %q already registered with a different kind", name))
+	}
+	return in.g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	in := r.register(name, func() *instrument { return &instrument{h: NewHistogram(bounds)} })
+	if in.h == nil {
+		panic(fmt.Sprintf("obs: metric %q already registered with a different kind", name))
+	}
+	return in.h
+}
+
+// CounterFunc registers a callback sampled at Snapshot time as a
+// counter. See the package comment for the synchronisation contract.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.register(name, func() *instrument { return &instrument{cf: fn} })
+}
+
+// GaugeFunc registers a callback sampled at Snapshot time as a gauge.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, func() *instrument { return &instrument{gf: fn} })
+}
+
+// Snapshot is the full state of a registry at one instant, in the
+// shape the -metrics-out JSON dumps use.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Counter returns a snapshotted counter by name (0 when absent).
+func (s Snapshot) Counter(name string) uint64 { return s.Counters[name] }
+
+// Gauge returns a snapshotted gauge by name (0 when absent).
+func (s Snapshot) Gauge(name string) float64 { return s.Gauges[name] }
+
+// Snapshot captures every instrument, running callback instruments in
+// registration order. A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	for _, in := range r.instruments() {
+		switch {
+		case in.c != nil:
+			s.Counters[in.name] = in.c.Value()
+		case in.cf != nil:
+			s.Counters[in.name] = in.cf()
+		case in.g != nil:
+			s.Gauges[in.name] = in.g.Value()
+		case in.gf != nil:
+			s.Gauges[in.name] = in.gf()
+		case in.h != nil:
+			s.Histograms[in.name] = in.h.snapshot()
+		}
+	}
+	return s
+}
+
+// instruments returns a stable copy of the registration order.
+func (r *Registry) instruments() []*instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*instrument(nil), r.order...)
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (counters with # TYPE counter, gauges with gauge,
+// histograms with cumulative _bucket/_sum/_count series).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, in := range r.instruments() {
+		var err error
+		switch {
+		case in.c != nil:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", in.name, in.name, in.c.Value())
+		case in.cf != nil:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", in.name, in.name, in.cf())
+		case in.g != nil:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", in.name, in.name, in.g.Value())
+		case in.gf != nil:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", in.name, in.name, in.gf())
+		case in.h != nil:
+			err = writePromHistogram(w, in.name, in.h.snapshot())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram with cumulative buckets.
+func writePromHistogram(w io.Writer, name string, s HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	cum := uint64(0)
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b, cum); err != nil {
+			return err
+		}
+	}
+	cum += s.Counts[len(s.Bounds)]
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+		name, cum, name, s.Sum, name, s.Count)
+	return err
+}

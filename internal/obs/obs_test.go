@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Max(9)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value")
+	}
+	var h *Histogram
+	h.Observe(7)
+
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("y") != nil || r.Histogram("z", []uint64{1}) != nil {
+		t.Fatal("nil registry should hand out nil instruments")
+	}
+	r.CounterFunc("cf", func() uint64 { return 1 })
+	r.GaugeFunc("gf", func() float64 { return 1 })
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("ops_total") != c {
+		t.Fatal("re-registration should return the same counter")
+	}
+
+	g := r.Gauge("occupancy")
+	g.Set(12.5)
+	if got := g.Value(); got != 12.5 {
+		t.Fatalf("gauge = %g, want 12.5", got)
+	}
+	g.Max(10) // lower: no change
+	if got := g.Value(); got != 12.5 {
+		t.Fatalf("gauge after Max(10) = %g, want 12.5", got)
+	}
+	g.Max(40)
+	if got := g.Value(); got != 40 {
+		t.Fatalf("gauge after Max(40) = %g, want 40", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []uint64{1, 2, 4})
+	for _, v := range []uint64{0, 1, 2, 3, 4, 9} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	want := []uint64{2, 1, 2, 1} // <=1: {0,1}; <=2: {2}; <=4: {3,4}; overflow: {9}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 6 || s.Sum != 19 {
+		t.Fatalf("count/sum = %d/%d, want 6/19", s.Count, s.Sum)
+	}
+	if m := s.Mean(); m < 3.16 || m > 3.17 {
+		t.Fatalf("mean = %g, want 19/6", m)
+	}
+}
+
+func TestHistogramBadBounds(t *testing.T) {
+	for _, bounds := range [][]uint64{nil, {}, {3, 1}, {2, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind conflict")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"", "1abc", "a-b", "a.b", "a b", "héllo"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", name)
+				}
+			}()
+			r.Counter(name)
+		}()
+	}
+}
+
+func TestSnapshotFuncsAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pushes_total").Add(7)
+	r.Gauge("depth").Set(3)
+	r.CounterFunc("ram_reads_total", func() uint64 { return 11 })
+	r.GaugeFunc("load", func() float64 { return 0.5 })
+	r.Histogram("h", []uint64{10}).Observe(2)
+
+	s := r.Snapshot()
+	if s.Counter("pushes_total") != 7 || s.Counter("ram_reads_total") != 11 {
+		t.Fatalf("counters: %+v", s.Counters)
+	}
+	if s.Gauge("depth") != 3 || s.Gauge("load") != 0.5 {
+		t.Fatalf("gauges: %+v", s.Gauges)
+	}
+	if s.Counter("missing") != 0 || s.Gauge("missing") != 0 {
+		t.Fatal("absent metrics should read zero")
+	}
+
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counter("pushes_total") != 7 || back.Histograms["h"].Count != 1 {
+		t.Fatalf("round trip lost data: %s", b)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops_total").Add(3)
+	r.Gauge("occ").Set(1.5)
+	h := r.Histogram("lat_cycles", []uint64{1, 4})
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(9)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE ops_total counter\nops_total 3\n",
+		"# TYPE occ gauge\nocc 1.5\n",
+		"# TYPE lat_cycles histogram\n",
+		"lat_cycles_bucket{le=\"1\"} 1\n",
+		"lat_cycles_bucket{le=\"4\"} 2\n",
+		"lat_cycles_bucket{le=\"+Inf\"} 3\n",
+		"lat_cycles_sum 12\n",
+		"lat_cycles_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentUse exercises registration, updates, and snapshots
+// from many goroutines; run under -race in CI.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared_total")
+			g := r.Gauge("shared_gauge")
+			h := r.Histogram("shared_hist", []uint64{2, 8, 32})
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Set(float64(j))
+				g.Max(float64(j))
+				h.Observe(uint64(j % 40))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 100; j++ {
+			_ = r.Snapshot()
+			_ = r.WritePrometheus(&strings.Builder{})
+		}
+	}()
+	wg.Wait()
+	if got := r.Snapshot().Counter("shared_total"); got != 8000 {
+		t.Fatalf("shared_total = %d, want 8000", got)
+	}
+}

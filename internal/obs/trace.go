@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// TraceEvent is one Chrome Trace Event (the JSON array format read by
+// chrome://tracing and ui.perfetto.dev). Ts and Dur are in
+// microseconds; the simulators map 1 cycle = 1 µs so Perfetto's
+// timeline reads directly in cycles.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	Pid   int64          `json:"pid"`
+	Tid   int64          `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Trace is a complete Chrome Trace Event file: the JSON object format
+// with a traceEvents array, which both viewers accept.
+type Trace struct {
+	TraceEvents []TraceEvent `json:"traceEvents"`
+}
+
+// maxTraceEvents caps recorder memory; past it, events are counted as
+// dropped instead of stored so a long soak cannot OOM.
+const maxTraceEvents = 1 << 20
+
+// TraceRecorder accumulates trace events. All methods are safe for
+// concurrent use and no-ops on a nil recorder, mirroring the metrics
+// instruments: a simulator holds one pointer and pays one nil branch
+// when tracing is off.
+type TraceRecorder struct {
+	mu      sync.Mutex
+	events  []TraceEvent
+	dropped uint64
+}
+
+// NewTraceRecorder returns an empty recorder.
+func NewTraceRecorder() *TraceRecorder {
+	return &TraceRecorder{}
+}
+
+func (t *TraceRecorder) add(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) >= maxTraceEvents {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// ProcessName labels a pid track group (metadata event).
+func (t *TraceRecorder) ProcessName(pid int64, name string) {
+	t.add(TraceEvent{Name: "process_name", Phase: "M", Pid: pid,
+		Args: map[string]any{"name": name}})
+}
+
+// ThreadName labels a tid track within a pid (metadata event).
+func (t *TraceRecorder) ThreadName(pid, tid int64, name string) {
+	t.add(TraceEvent{Name: "thread_name", Phase: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name}})
+}
+
+// Slice records a complete duration event ("X"): name on track
+// (pid, tid) from cycle ts lasting dur cycles.
+func (t *TraceRecorder) Slice(pid, tid, ts, dur int64, name string, args map[string]any) {
+	if dur <= 0 {
+		dur = 1
+	}
+	t.add(TraceEvent{Name: name, Phase: "X", Ts: ts, Dur: dur, Pid: pid, Tid: tid, Args: args})
+}
+
+// Begin opens a duration event ("B") to be closed by End on the same
+// track. Used for spans whose length isn't known up front (refill
+// strands, lift waits).
+func (t *TraceRecorder) Begin(pid, tid, ts int64, name string, args map[string]any) {
+	t.add(TraceEvent{Name: name, Phase: "B", Ts: ts, Pid: pid, Tid: tid, Args: args})
+}
+
+// End closes the most recent Begin on the track ("E").
+func (t *TraceRecorder) End(pid, tid, ts int64) {
+	t.add(TraceEvent{Name: "", Phase: "E", Ts: ts, Pid: pid, Tid: tid})
+}
+
+// Instant records a zero-duration marker ("i") with thread scope.
+func (t *TraceRecorder) Instant(pid, tid, ts int64, name string, args map[string]any) {
+	t.add(TraceEvent{Name: name, Phase: "i", Ts: ts, Pid: pid, Tid: tid, Scope: "t", Args: args})
+}
+
+// Counter records a counter sample ("C"); Perfetto renders each key in
+// args as a stacked area series on its own track.
+func (t *TraceRecorder) Counter(pid, ts int64, name string, values map[string]any) {
+	t.add(TraceEvent{Name: name, Phase: "C", Ts: ts, Pid: pid, Args: values})
+}
+
+// Len returns the number of recorded events.
+func (t *TraceRecorder) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns the number of events discarded after the cap.
+func (t *TraceRecorder) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns a copy of the recorded events in arrival order.
+func (t *TraceRecorder) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// WriteTo emits the trace as Chrome Trace Event JSON, loadable in
+// ui.perfetto.dev or chrome://tracing.
+func (t *TraceRecorder) WriteTo(w io.Writer) (int64, error) {
+	tr := Trace{TraceEvents: t.Events()}
+	if tr.TraceEvents == nil {
+		tr.TraceEvents = []TraceEvent{}
+	}
+	b, err := json.Marshal(tr)
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// ParseTrace decodes Chrome Trace Event JSON (object-with-traceEvents
+// format) — the inverse of WriteTo, used by tests and tools.
+func ParseTrace(b []byte) (Trace, error) {
+	var tr Trace
+	if err := json.Unmarshal(b, &tr); err != nil {
+		return Trace{}, err
+	}
+	return tr, nil
+}
+
+// validPhases are the Trace Event phases this package emits.
+var validPhases = map[string]bool{
+	"X": true, "B": true, "E": true, "i": true, "C": true, "M": true,
+}
+
+// ValidateTrace checks structural conformance with the Chrome Trace
+// Event schema as this package uses it: known phases, non-negative
+// timestamps, named non-E events, positive durations on X slices, and
+// balanced B/E pairs per (pid, tid) track.
+func ValidateTrace(tr Trace) error {
+	open := map[[2]int64]int{}
+	for i, ev := range tr.TraceEvents {
+		if !validPhases[ev.Phase] {
+			return fmt.Errorf("event %d: unknown phase %q", i, ev.Phase)
+		}
+		if ev.Ts < 0 {
+			return fmt.Errorf("event %d (%s): negative ts %d", i, ev.Name, ev.Ts)
+		}
+		switch ev.Phase {
+		case "X":
+			if ev.Dur <= 0 {
+				return fmt.Errorf("event %d (%s): X slice with dur %d", i, ev.Name, ev.Dur)
+			}
+		case "B":
+			open[[2]int64{ev.Pid, ev.Tid}]++
+		case "E":
+			k := [2]int64{ev.Pid, ev.Tid}
+			if open[k] == 0 {
+				return fmt.Errorf("event %d: E without matching B on pid=%d tid=%d", i, ev.Pid, ev.Tid)
+			}
+			open[k]--
+		}
+		if ev.Name == "" && ev.Phase != "E" {
+			return fmt.Errorf("event %d: empty name on phase %q", i, ev.Phase)
+		}
+	}
+	for k, n := range open {
+		if n != 0 {
+			return fmt.Errorf("pid=%d tid=%d: %d unclosed B events", k[0], k[1], n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestNilTraceRecorderIsNoOp(t *testing.T) {
+	var tr *TraceRecorder
+	tr.ProcessName(1, "p")
+	tr.ThreadName(1, 2, "t")
+	tr.Slice(1, 2, 0, 3, "s", nil)
+	tr.Begin(1, 2, 0, "b", nil)
+	tr.End(1, 2, 1)
+	tr.Instant(1, 2, 0, "i", nil)
+	tr.Counter(1, 0, "c", map[string]any{"v": 1})
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil recorder not inert")
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.TraceEvents) != 0 {
+		t.Fatal("nil recorder trace should be empty")
+	}
+}
+
+// TestTraceRoundTripValidates is the acceptance-criteria schema test:
+// a recorded trace serialises to Chrome Trace Event JSON, parses back,
+// and validates structurally.
+func TestTraceRoundTripValidates(t *testing.T) {
+	tr := NewTraceRecorder()
+	tr.ProcessName(1, "rbmw")
+	tr.ThreadName(1, 0, "level 0")
+	tr.ThreadName(1, 1, "level 1")
+	tr.Slice(1, 0, 0, 1, "push", map[string]any{"rank": 7})
+	tr.Slice(1, 1, 1, 2, "pop", nil)
+	tr.Begin(1, 1, 3, "refill", nil)
+	tr.End(1, 1, 6)
+	tr.Instant(1, 0, 4, "almost_full", nil)
+	tr.Counter(1, 5, "occupancy", map[string]any{"level0": 3, "level1": 8})
+
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(parsed.TraceEvents) != tr.Len() {
+		t.Fatalf("parsed %d events, recorded %d", len(parsed.TraceEvents), tr.Len())
+	}
+	if err := ValidateTrace(parsed); err != nil {
+		t.Fatalf("trace fails schema validation: %v", err)
+	}
+	// Spot-check a field survived the round trip.
+	found := false
+	for _, ev := range parsed.TraceEvents {
+		if ev.Name == "push" && ev.Phase == "X" && ev.Dur == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("push slice lost in round trip")
+	}
+}
+
+func TestValidateTraceRejectsMalformed(t *testing.T) {
+	cases := map[string]Trace{
+		"unknown phase": {TraceEvents: []TraceEvent{{Name: "x", Phase: "Q"}}},
+		"negative ts":   {TraceEvents: []TraceEvent{{Name: "x", Phase: "i", Ts: -1}}},
+		"zero-dur X":    {TraceEvents: []TraceEvent{{Name: "x", Phase: "X", Dur: 0}}},
+		"unmatched E":   {TraceEvents: []TraceEvent{{Phase: "E"}}},
+		"unclosed B":    {TraceEvents: []TraceEvent{{Name: "x", Phase: "B"}}},
+		"unnamed slice": {TraceEvents: []TraceEvent{{Phase: "X", Dur: 1}}},
+	}
+	for name, tr := range cases {
+		if err := ValidateTrace(tr); err == nil {
+			t.Errorf("%s: validation should have failed", name)
+		}
+	}
+}
+
+func TestTraceSliceClampsDuration(t *testing.T) {
+	tr := NewTraceRecorder()
+	tr.Slice(1, 0, 0, 0, "zero", nil)
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Dur != 1 {
+		t.Fatalf("zero-dur slice not clamped: %+v", evs)
+	}
+}
+
+func TestTraceRecorderCap(t *testing.T) {
+	tr := NewTraceRecorder()
+	tr.events = make([]TraceEvent, maxTraceEvents)
+	tr.Instant(1, 0, 0, "over", nil)
+	if tr.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", tr.Dropped())
+	}
+	if tr.Len() != maxTraceEvents {
+		t.Fatalf("len grew past cap: %d", tr.Len())
+	}
+}
+
+// TestTraceConcurrent drives the recorder from several goroutines;
+// run under -race in CI.
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTraceRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				tr.Slice(int64(i), 0, int64(j), 1, "s", nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 2000 {
+		t.Fatalf("len = %d, want 2000", tr.Len())
+	}
+}

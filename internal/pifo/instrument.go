@@ -1,0 +1,20 @@
+package pifo
+
+import "repro/internal/obs"
+
+// Instrument registers the PIFO's probes in reg under the given
+// metric-name prefix. All instruments are snapshot-time callbacks —
+// the shift-register model is purely software state, so there is no
+// per-cycle bookkeeping to add; snapshot only between operations.
+// A nil registry is a no-op.
+func (p *PIFO) Instrument(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc(prefix+"_pushes_total", func() uint64 { return p.pushes })
+	reg.CounterFunc(prefix+"_pops_total", func() uint64 { return p.pops })
+	reg.CounterFunc(prefix+"_cycles_total", func() uint64 { return p.cycle })
+	reg.GaugeFunc(prefix+"_occupancy", func() float64 { return float64(len(p.entries)) })
+	reg.GaugeFunc(prefix+"_capacity", func() float64 { return float64(p.cap) })
+	reg.GaugeFunc(prefix+"_occupancy_highwater", func() float64 { return float64(p.maxLen) })
+}

@@ -38,6 +38,7 @@ type PIFO struct {
 	cycle   uint64
 
 	pushes, pops uint64
+	maxLen       int
 }
 
 // New creates an empty PIFO with the given capacity (number of shift
@@ -90,8 +91,14 @@ func (p *PIFO) Push(e core.Element) error {
 	copy(p.entries[lo+1:], p.entries[lo:])
 	p.entries[lo] = e
 	p.pushes++
+	if len(p.entries) > p.maxLen {
+		p.maxLen = len(p.entries)
+	}
 	return nil
 }
+
+// HighWatermark returns the largest occupancy reached since creation.
+func (p *PIFO) HighWatermark() int { return p.maxLen }
 
 // Pop removes and returns the head (smallest rank; FIFO among ties).
 func (p *PIFO) Pop() (core.Element, error) {

@@ -1,0 +1,138 @@
+package rbmw
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/obs"
+)
+
+// TestInstrumentedRun checks the probe wiring: operation counters,
+// cycle classification totals, occupancy, depth histograms, and
+// rejected-issue counting after a mixed workload.
+func TestInstrumentedRun(t *testing.T) {
+	s := New(2, 4)
+	reg := obs.NewRegistry()
+	s.Instrument(reg, "rbmw")
+
+	// Fill 10, then 5 push-pop pairs, then drain 10 with nop spacing.
+	for i := 0; i < 10; i++ {
+		if _, err := s.Tick(hw.PushOp(uint64(100-i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Tick(hw.PopOp()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Tick(hw.PushOp(uint64(200+i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One illegal pop-after-pop to exercise the rejected counter.
+	if _, err := s.Tick(hw.PopOp()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Tick(hw.PopOp()); err == nil {
+		t.Fatal("second consecutive pop should be rejected")
+	}
+	s.Drain()
+
+	snap := reg.Snapshot()
+	pushes, pops := snap.Counter("rbmw_pushes_total"), snap.Counter("rbmw_pops_total")
+	if pushes != 15 || pops != 15 {
+		t.Fatalf("pushes/pops = %d/%d, want 15/15", pushes, pops)
+	}
+	if got := snap.Gauge("rbmw_occupancy"); got != 0 {
+		t.Fatalf("final occupancy = %g, want 0", got)
+	}
+	if got := snap.Gauge("rbmw_occupancy_highwater"); got != 10 {
+		t.Fatalf("highwater = %g, want 10", got)
+	}
+	if got := snap.Counter("rbmw_rejected_issues_total"); got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+	// Every consumed cycle is classified exactly once.
+	var classified uint64
+	for k := 0; k < hw.NumCycleKinds; k++ {
+		classified += snap.Counter("rbmw_cycles_" + hw.CycleKind(k).String() + "_total")
+	}
+	if classified != s.Cycle() {
+		t.Fatalf("classified %d cycles, sim ran %d", classified, s.Cycle())
+	}
+	if snap.Counter("rbmw_cycles_issue_push_total") != 15 ||
+		snap.Counter("rbmw_cycles_issue_pop_total") != 15 {
+		t.Fatalf("issue mix wrong: %+v", snap.Counters)
+	}
+	// Every push chain terminated somewhere; same for pops.
+	if h := snap.Histograms["rbmw_push_depth_levels"]; h.Count != 15 {
+		t.Fatalf("push depth observations = %d, want 15", h.Count)
+	}
+	if h := snap.Histograms["rbmw_pop_depth_levels"]; h.Count != 15 {
+		t.Fatalf("pop depth observations = %d, want 15", h.Count)
+	}
+	// Per-level occupancies sum to total occupancy (0 after drain).
+	var lvlSum float64
+	for lvl := 1; lvl <= 4; lvl++ {
+		lvlSum += snap.Gauge(levelName("rbmw", lvl))
+	}
+	if lvlSum != 0 {
+		t.Fatalf("level occupancies sum to %g after drain", lvlSum)
+	}
+}
+
+func levelName(prefix string, lvl int) string {
+	return prefix + "_level" + string(rune('0'+lvl)) + "_occupancy"
+}
+
+// TestTraceRecordsValidPerfetto runs an instrumented workload with a
+// trace recorder attached and validates the emitted file against the
+// Chrome Trace Event schema.
+func TestTraceRecordsValidPerfetto(t *testing.T) {
+	s := New(2, 3)
+	tr := obs.NewTraceRecorder()
+	s.TraceTo(tr, 1)
+	for i := 0; i < 8; i++ {
+		if _, err := s.Tick(hw.PushOp(uint64(50-i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drain()
+
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := obs.ParseTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	if err := obs.ValidateTrace(parsed); err != nil {
+		t.Fatalf("trace fails schema validation: %v", err)
+	}
+	// The trace must contain per-level tracks and wave slices.
+	names := map[string]int{}
+	for _, ev := range parsed.TraceEvents {
+		names[ev.Name+"/"+ev.Phase]++
+	}
+	if names["thread_name/M"] != 3 {
+		t.Fatalf("want 3 level track names, got %d", names["thread_name/M"])
+	}
+	if names["push/X"] == 0 || names["pop/X"] == 0 {
+		t.Fatalf("missing wave slices: %v", names)
+	}
+}
+
+// TestLevelIndexing pins the breadth-first level computation the
+// probes rely on.
+func TestLevelIndexing(t *testing.T) {
+	s := New(2, 4)
+	for _, tc := range []struct{ node, lvl int }{
+		{0, 1}, {1, 2}, {2, 2}, {3, 3}, {6, 3}, {7, 4}, {14, 4},
+	} {
+		if got := s.level(tc.node); got != tc.lvl {
+			t.Errorf("level(%d) = %d, want %d", tc.node, got, tc.lvl)
+		}
+	}
+}

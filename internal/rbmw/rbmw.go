@@ -68,6 +68,12 @@ type Sim struct {
 
 	cycle uint64
 
+	// instr is the attached observability state (see instrument.go);
+	// nil means uninstrumented and every hook is a single nil branch.
+	// It lives beside the per-cycle fields so the hooks' nil checks
+	// read a cache line the step functions already touch.
+	instr *instrumentation
+
 	// Sustained selects the sustained-transfer optimisation of Section
 	// 4.2.2 (the default). When disabled, the simulator gates issues per
 	// the plain sequential-logic design of Section 4.2.1: a pop occupies
@@ -177,21 +183,25 @@ func (s *Sim) Tick(op hw.Op) (*core.Element, error) {
 	switch op.Kind {
 	case hw.Push:
 		if s.pushCooldown > 0 {
-			return nil, fmt.Errorf("rbmw: push issued while push_available=0")
+			return nil, s.reject(fmt.Errorf("rbmw: push issued while push_available=0"))
 		}
 		if s.AlmostFull() {
-			return nil, core.ErrFull
+			return nil, s.reject(core.ErrFull)
 		}
 	case hw.Pop:
 		if s.popCooldown > 0 {
-			return nil, fmt.Errorf("rbmw: pop issued while pop_available=0 (consecutive pops are illegal)")
+			return nil, s.reject(fmt.Errorf("rbmw: pop issued while pop_available=0 (consecutive pops are illegal)"))
 		}
 		if s.size == 0 {
-			return nil, core.ErrEmpty
+			return nil, s.reject(core.ErrEmpty)
 		}
 	}
 
 	s.cycle++
+	var ckind hw.CycleKind
+	if s.instr != nil {
+		ckind = s.classifyCycle(op)
+	}
 	s.cur, s.next = s.next, s.cur[:0]
 
 	// Phase 1: push waves, including a newly issued push at the root.
@@ -257,8 +267,12 @@ func (s *Sim) Tick(op hw.Op) (*core.Element, error) {
 		}
 	}
 
-	// End of cycle: run the online invariant checker if due, then let an
-	// attached fault plan strike between the clock edges (see fault.go).
+	// End of cycle: record observability facts, run the online invariant
+	// checker if due, then let an attached fault plan strike between the
+	// clock edges (see fault.go).
+	if s.instr != nil {
+		s.instr.endCycle(s, ckind)
+	}
 	s.endOfCycle()
 	if s.faultErr != nil {
 		return nil, s.faultErr
@@ -270,6 +284,11 @@ func (s *Sim) Tick(op hw.Op) (*core.Element, error) {
 // park in the leftmost empty slot, or displace down the least-loaded
 // sub-tree.
 func (s *Sim) stepPush(w wave) {
+	lvl := 0
+	if s.instr != nil {
+		lvl = s.level(w.node)
+		s.instr.traceWave(s.cycle, lvl, true)
+	}
 	s.checkNode(w.node)
 	if s.faultErr != nil {
 		s.stranded = append(s.stranded, w)
@@ -280,6 +299,9 @@ func (s *Sim) stepPush(w wave) {
 		if s.nodes[base+i].count == 0 {
 			s.nodes[base+i] = slot{val: w.val, meta: w.meta, count: 1}
 			s.touch(base + i)
+			if s.instr != nil {
+				s.instr.pushDepth.Observe(uint64(lvl))
+			}
 			return
 		}
 	}
@@ -323,6 +345,11 @@ func (s *Sim) stepPush(w wave) {
 // it with the child's combinational minimum — which already reflects a
 // push processed at the child this cycle.
 func (s *Sim) stepPop(w wave) {
+	lvl := 0
+	if s.instr != nil {
+		lvl = s.level(w.node)
+		s.instr.traceWave(s.cycle, lvl, false)
+	}
 	s.checkNode(w.node)
 	if s.faultErr != nil {
 		s.stranded = append(s.stranded, w)
@@ -338,6 +365,9 @@ func (s *Sim) stepPop(w wave) {
 	if sl.count == 0 {
 		*sl = slot{}
 		s.touch(j)
+		if s.instr != nil {
+			s.instr.popDepth.Observe(uint64(lvl))
+		}
 		return
 	}
 	si := j - w.node*s.m

@@ -1,0 +1,144 @@
+package rpubmw
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/obs"
+)
+
+// TestInstrumentedRun checks operation counters, the mandatory
+// idle-after-pop accounting, operation-hiding counters, and cycle
+// classification after a legal mixed workload.
+func TestInstrumentedRun(t *testing.T) {
+	s := New(4, 3)
+	reg := obs.NewRegistry()
+	s.Instrument(reg, "rpubmw")
+
+	// Fill 20 (one push per cycle), then 6 pop / idle / push triples —
+	// the paper's 3-cycle push-pop rate — then drain.
+	for i := 0; i < 20; i++ {
+		if _, err := s.Tick(hw.PushOp(uint64(500-i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := s.Tick(hw.PopOp()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Tick(hw.NopOp()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Tick(hw.PushOp(uint64(600+i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drain()
+
+	snap := reg.Snapshot()
+	if p, q := snap.Counter("rpubmw_pushes_total"), snap.Counter("rpubmw_pops_total"); p != 26 || q != 26 {
+		t.Fatalf("pushes/pops = %d/%d, want 26/26", p, q)
+	}
+	// Every pop is followed by exactly one mandatory idle nop in this
+	// schedule — except the final Drain pop, which empties the tree
+	// and leaves it quiescent, so no nop is ever issued after it.
+	mand := snap.Counter("rpubmw_mandatory_idle_total")
+	if mand != 25 {
+		t.Fatalf("mandatory idle cycles = %d, want 25 (one per pop but the last)", mand)
+	}
+	// Deep pushes displace into SRAM; write-first hits happen under
+	// back-to-back pushes to the same node.
+	if snap.Counter("rpubmw_sram_reads_total") == 0 || snap.Counter("rpubmw_sram_writes_total") == 0 {
+		t.Fatalf("SRAM port counters empty: %+v", snap.Counters)
+	}
+	var classified uint64
+	for k := 0; k < hw.NumCycleKinds; k++ {
+		classified += snap.Counter("rpubmw_cycles_" + hw.CycleKind(k).String() + "_total")
+	}
+	if classified != s.Cycle() {
+		t.Fatalf("classified %d cycles, sim ran %d", classified, s.Cycle())
+	}
+	if got := snap.Gauge("rpubmw_occupancy"); got != 0 {
+		t.Fatalf("final occupancy = %g, want 0", got)
+	}
+	if got := snap.Gauge("rpubmw_occupancy_highwater"); got != 20 {
+		t.Fatalf("highwater = %g, want 20", got)
+	}
+}
+
+// TestOperationHidingCounter pins the write-first collision metric:
+// back-to-back pushes displacing into the same SRAM node make the
+// second read collide with the first write-back, and the probe must
+// surface it.
+func TestOperationHidingCounter(t *testing.T) {
+	s := New(2, 5)
+	reg := obs.NewRegistry()
+	s.Instrument(reg, "rpubmw")
+	// The saturated push/pop/idle workload of the package's
+	// operation-hiding test: repeated displacement down unbalanced
+	// sub-trees makes consecutive operations hit the same SRAM word.
+	for i := 0; i < 20; i++ {
+		s.Tick(hw.PushOp(uint64(100+i), uint64(i)))
+	}
+	for i := 0; i < 200; i++ {
+		s.Tick(hw.PushOp(uint64(i%50), uint64(i)))
+		if _, err := s.Tick(hw.PopOp()); err != nil {
+			t.Fatal(err)
+		}
+		s.Tick(hw.NopOp())
+	}
+	for !s.Quiescent() {
+		s.Tick(hw.NopOp())
+	}
+	snap := reg.Snapshot()
+	hits := snap.Counter("rpubmw_sram_write_first_hits_total")
+	_, _, direct := s.RAMStats()
+	if hits != direct {
+		t.Fatalf("probe reports %d write-first hits, sim counted %d", hits, direct)
+	}
+	if hits == 0 {
+		t.Fatal("expected at least one operation-hiding event under back-to-back pushes")
+	}
+}
+
+// TestTraceRecordsValidPerfetto validates the RPU-BMW trace — level
+// tracks, SRAM port tracks, refill strands — against the Chrome Trace
+// Event schema.
+func TestTraceRecordsValidPerfetto(t *testing.T) {
+	s := New(2, 3)
+	tr := obs.NewTraceRecorder()
+	s.TraceTo(tr, 2)
+	for i := 0; i < 10; i++ {
+		if _, err := s.Tick(hw.PushOp(uint64(100-i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drain()
+
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := obs.ParseTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	if err := obs.ValidateTrace(parsed); err != nil {
+		t.Fatalf("trace fails schema validation: %v", err)
+	}
+	var sramTrack, strandSlice, rootOps bool
+	for _, ev := range parsed.TraceEvents {
+		switch {
+		case ev.Phase == "X" && ev.Tid >= sramTidBase && ev.Tid < strandTidBase:
+			sramTrack = true
+		case ev.Phase == "X" && ev.Tid >= strandTidBase && ev.Name == "lift_wait":
+			strandSlice = true
+		case ev.Phase == "X" && ev.Tid == 1 && (ev.Name == "push" || ev.Name == "pop"):
+			rootOps = true
+		}
+	}
+	if !sramTrack || !strandSlice || !rootOps {
+		t.Fatalf("trace missing tracks: sram=%v strand=%v root=%v", sramTrack, strandSlice, rootOps)
+	}
+}

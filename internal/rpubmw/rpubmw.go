@@ -93,6 +93,12 @@ type Sim struct {
 	cycle     uint64
 	available bool // push/pop availability (drops for the cycle after a pop)
 
+	// instr is the attached observability state (see instrument.go);
+	// nil means uninstrumented and every hook is a single nil branch.
+	// It lives beside the per-cycle fields so the hooks' nil checks
+	// read a cache line every Tick already touches.
+	instr *instrumentation
+
 	// Strict rejects issue sequences the hardware forbids (an operation
 	// in the cycle immediately after a pop). With Strict disabled the
 	// simulator executes them anyway so tests can observe the SRAM
@@ -266,20 +272,25 @@ func (s *Sim) Tick(op hw.Op) (*core.Element, error) {
 	switch op.Kind {
 	case hw.Push:
 		if s.Strict && !s.PushAvailable() {
-			return nil, fmt.Errorf("rpubmw: push issued while push_available=0")
+			return nil, s.reject(fmt.Errorf("rpubmw: push issued while push_available=0"))
 		}
 		if s.AlmostFull() {
-			return nil, core.ErrFull
+			return nil, s.reject(core.ErrFull)
 		}
 	case hw.Pop:
 		if s.Strict && !s.PopAvailable() {
-			return nil, fmt.Errorf("rpubmw: pop issued while pop_available=0")
+			return nil, s.reject(fmt.Errorf("rpubmw: pop issued while pop_available=0"))
 		}
 		if s.size == 0 {
-			return nil, core.ErrEmpty
+			return nil, s.reject(core.ErrEmpty)
 		}
 	}
 
+	var ckind hw.CycleKind
+	wasAvailable := s.available
+	if s.instr != nil {
+		ckind = s.classifyCycle(op)
+	}
 	s.cycle++
 
 	// Clock edge: SRAM writes commit, reads issued last cycle capture
@@ -342,8 +353,11 @@ func (s *Sim) Tick(op hw.Op) (*core.Element, error) {
 		}
 	}
 
-	// End of cycle: online invariant checker, then the attached fault
-	// plan strikes between the clock edges (see fault.go).
+	// End of cycle: record observability facts, then the online
+	// invariant checker and the attached fault plan (see fault.go).
+	if s.instr != nil {
+		s.instr.endCycle(s, ckind, op, wasAvailable)
+	}
 	s.endOfCycle()
 	if s.faultErr != nil {
 		return nil, s.faultErr
@@ -357,6 +371,9 @@ func (s *Sim) Tick(op hw.Op) (*core.Element, error) {
 // converted into a latched fault and the arrival is stranded for
 // recovery; a bare simulator keeps the fail-fast panics.
 func (s *Sim) processArrival(idx, lvl int, ar fetch) {
+	if s.instr != nil {
+		s.instr.traceOp(s.cycle, int64(lvl), ar.kind)
+	}
 	s.liftDelivered = false
 	defer func() {
 		if !s.tolerant() {
@@ -405,6 +422,9 @@ func (s *Sim) rootOp(op hw.Op) (result *core.Element) {
 			result = nil
 		}
 	}()
+	if s.instr != nil {
+		s.instr.traceOp(s.cycle, 1, op.Kind)
+	}
 	switch op.Kind {
 	case hw.Push:
 		s.checkRoot()
@@ -437,6 +457,9 @@ func (s *Sim) rootPush(val, meta uint64) {
 		if s.root[i].count == 0 {
 			s.root[i] = slot{val: val, meta: meta, count: 1}
 			s.touchRoot(i)
+			if s.instr != nil {
+				s.instr.pushDepth.Observe(1)
+			}
 			return
 		}
 	}
@@ -467,6 +490,9 @@ func (s *Sim) rootPop() *core.Element {
 	if s.root[j].count == 0 {
 		s.root[j] = slot{}
 		s.touchRoot(j)
+		if s.instr != nil {
+			s.instr.popDepth.Observe(1)
+		}
 		return out
 	}
 	s.touchRoot(j)
@@ -488,6 +514,9 @@ func (s *Sim) stepPush(lvl int, ar fetch, nd node) {
 		if nd.slots[i].count == 0 {
 			nd.slots[i] = slot{val: ar.val, meta: ar.meta, count: 1}
 			placed = true
+			if s.instr != nil {
+				s.instr.pushDepth.Observe(uint64(lvl))
+			}
 			break
 		}
 	}
@@ -557,6 +586,9 @@ func (s *Sim) stepPop(lvl int, ar fetch, nd node) {
 	if nd.slots[j].count == 0 {
 		nd.slots[j] = slot{}
 		s.rams[lvl-2].Write(ar.addr, nd)
+		if s.instr != nil {
+			s.instr.popDepth.Observe(uint64(lvl))
+		}
 		return
 	}
 	if lvl == s.l {

@@ -82,8 +82,11 @@ func (f *FCT) Binned(edges []uint64) []Bin {
 		if i < 0 || i >= len(bins) {
 			continue
 		}
+		// An unfinished or zero-ideal record yields a NaN (or, from a
+		// hand-built record, an Inf) slowdown; one such value would
+		// poison the bin's mean and p99, so drop it here.
 		n := r.Normalized()
-		if math.IsNaN(n) {
+		if math.IsNaN(n) || math.IsInf(n, 0) {
 			continue
 		}
 		bins[i].Flows++
@@ -104,19 +107,20 @@ func (f *FCT) Binned(edges []uint64) []Bin {
 	return bins
 }
 
-// OverallMeanNorm returns the mean normalised FCT across all flows.
+// OverallMeanNorm returns the mean normalised FCT across all flows
+// with a finite slowdown; NaN if there are none.
 func (f *FCT) OverallMeanNorm() float64 {
-	if len(f.records) == 0 {
-		return math.NaN()
-	}
 	sum := 0.0
 	n := 0
 	for _, r := range f.records {
 		v := r.Normalized()
-		if !math.IsNaN(v) {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
 			sum += v
 			n++
 		}
+	}
+	if n == 0 {
+		return math.NaN()
 	}
 	return sum / float64(n)
 }

@@ -96,3 +96,38 @@ func TestTable(t *testing.T) {
 		t.Fatalf("table output:\n%s", out)
 	}
 }
+
+// TestDegenerateRecordsDoNotPoison is the regression test for NaN/Inf
+// slowdowns: a record with a zero ideal FCT (NaN slowdown) must be
+// dropped from bins and the overall mean instead of turning every
+// aggregate into NaN.
+func TestDegenerateRecordsDoNotPoison(t *testing.T) {
+	var f FCT
+	f.Add(FlowRecord{Bytes: 100, FCTNs: 200, IdealFCTNs: 100}) // slowdown 2
+	f.Add(FlowRecord{Bytes: 100, FCTNs: 400, IdealFCTNs: 100}) // slowdown 4
+	f.Add(FlowRecord{Bytes: 100, FCTNs: 999, IdealFCTNs: 0})   // NaN slowdown
+
+	bins := f.Binned([]uint64{0, 1000})
+	if bins[0].Flows != 2 {
+		t.Fatalf("bin counted %d flows, want 2 (NaN record dropped)", bins[0].Flows)
+	}
+	if bins[0].MeanNormFCT != 3 {
+		t.Fatalf("bin mean = %f, want 3", bins[0].MeanNormFCT)
+	}
+	if math.IsNaN(bins[0].P99NormFCT) || bins[0].P99NormFCT < 2 || bins[0].P99NormFCT > 4 {
+		t.Fatalf("bin p99 = %f, want finite in [2, 4]", bins[0].P99NormFCT)
+	}
+	if got := f.OverallMeanNorm(); got != 3 {
+		t.Fatalf("overall mean = %f, want 3", got)
+	}
+
+	// All-degenerate input: aggregates must be empty/NaN, not panic.
+	var bad FCT
+	bad.Add(FlowRecord{Bytes: 1, FCTNs: 1, IdealFCTNs: 0})
+	if !math.IsNaN(bad.OverallMeanNorm()) {
+		t.Fatal("all-degenerate overall mean should be NaN")
+	}
+	if b := bad.Binned([]uint64{0, 1000}); b[0].Flows != 0 {
+		t.Fatalf("all-degenerate bin counted %d flows, want 0", b[0].Flows)
+	}
+}
