@@ -475,13 +475,22 @@ type (
 	NetResult = netsim.Result
 	// FCTBin is one flow-size bucket of the Figure 10 series.
 	FCTBin = stats.Bin
+	// SchedulerKind selects the bottleneck flow scheduler.
+	SchedulerKind = netsim.SchedulerKind
+	// RankAlgo selects the rank function programmed into the block.
+	RankAlgo = netsim.RankAlgo
 )
 
-// Scheduler selectors for NetConfig.
+// Scheduler selectors for NetConfig. The approximate kinds (SP-PIFO,
+// Gearbox, calendar queue) admit rank inversions, which the run's
+// NetResult reports alongside per-packet sojourn quantiles.
 const (
 	SchedBMW       = netsim.SchedBMW
 	SchedPIFO      = netsim.SchedPIFO
 	SchedUnlimited = netsim.SchedUnlimited
+	SchedSPPIFO    = netsim.SchedSPPIFO
+	SchedGearbox   = netsim.SchedGearbox
+	SchedCalendarQ = netsim.SchedCalendarQ
 )
 
 // Rank-function selectors for NetConfig: the scheduler is programmed

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+	"io"
+)
+
+// Delta is one metric's baseline-to-current comparison.
+type Delta struct {
+	Name      string
+	Old, New  float64
+	Unit      string
+	Direction string
+	// Change is the signed relative change (new-old)/old.
+	Change float64
+	// Regressed: the change moved against Direction by more than the
+	// noise threshold.
+	Regressed bool
+}
+
+// compareReports walks the union of both metric sets; metrics present
+// on only one side are reported with Regressed=false (a vanished
+// metric is a schema change, not a perf regression — the schema check
+// lives in CI). threshold is the relative noise band, e.g. 0.10.
+func compareReports(base, cur Report, threshold float64) []Delta {
+	deltas := make([]Delta, 0, len(cur.Metrics))
+	for _, name := range sortedNames(cur.Metrics) {
+		nm := cur.Metrics[name]
+		om, ok := base.Metrics[name]
+		if !ok {
+			continue
+		}
+		d := Delta{Name: name, Old: om.Value, New: nm.Value, Unit: nm.Unit, Direction: nm.Direction}
+		switch {
+		case om.Value == 0 && nm.Value == 0:
+			// no change
+		case om.Value == 0:
+			// A metric appearing from zero: regression only if lower is
+			// better (e.g. inversions going 0 -> nonzero).
+			d.Change = 1
+			d.Regressed = nm.Direction == lowerIsBetter
+		default:
+			d.Change = (nm.Value - om.Value) / om.Value
+			switch nm.Direction {
+			case higherIsBetter:
+				d.Regressed = d.Change < -threshold
+			case lowerIsBetter:
+				d.Regressed = d.Change > threshold
+			}
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// regressions filters the deltas that tripped the threshold.
+func regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// printDeltas renders the comparison table.
+func printDeltas(w io.Writer, deltas []Delta) {
+	for _, d := range deltas {
+		mark := "  "
+		if d.Regressed {
+			mark = "!!"
+		}
+		fmt.Fprintf(w, "  %s %-40s %14.4f -> %14.4f  %+7.2f%%  (%s, %s is better)\n",
+			mark, d.Name, d.Old, d.New, 100*d.Change, d.Unit, d.Direction)
+	}
+}
+
+// applySlowdown degrades every metric by the given factor (>1): lower-
+// is-better values are multiplied, higher-is-better divided. It exists
+// to prove the regression gate fires (-inject-slowdown).
+func applySlowdown(metrics map[string]Metric, factor float64) {
+	if factor == 1 {
+		return
+	}
+	for name, m := range metrics {
+		if m.Direction == higherIsBetter {
+			m.Value /= factor
+		} else {
+			m.Value *= factor
+		}
+		metrics[name] = m
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import "testing"
+
+func report(metrics map[string]Metric) Report {
+	return Report{Schema: schemaID, Experiment: "test", Metrics: metrics}
+}
+
+func TestCompareDirections(t *testing.T) {
+	base := report(map[string]Metric{
+		"mops":    {100, "Mops/s", higherIsBetter},
+		"latency": {100, "cycles", lowerIsBetter},
+	})
+	for _, tc := range []struct {
+		name          string
+		mops, latency float64
+		wantRegressed []string
+	}{
+		{"improvement", 150, 50, nil},
+		{"within noise", 95, 105, nil},
+		{"throughput drop", 80, 100, []string{"mops"}},
+		{"latency rise", 100, 120, []string{"latency"}},
+		{"both", 80, 120, []string{"latency", "mops"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := report(map[string]Metric{
+				"mops":    {tc.mops, "Mops/s", higherIsBetter},
+				"latency": {tc.latency, "cycles", lowerIsBetter},
+			})
+			regs := regressions(compareReports(base, cur, 0.10))
+			var names []string
+			for _, d := range regs {
+				names = append(names, d.Name)
+			}
+			if len(names) != len(tc.wantRegressed) {
+				t.Fatalf("regressions %v, want %v", names, tc.wantRegressed)
+			}
+			for i := range names {
+				if names[i] != tc.wantRegressed[i] {
+					t.Fatalf("regressions %v, want %v", names, tc.wantRegressed)
+				}
+			}
+		})
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	base := report(map[string]Metric{
+		"inversions": {0, "fraction", lowerIsBetter},
+		"gone_quiet": {0, "Mops/s", higherIsBetter},
+	})
+	cur := report(map[string]Metric{
+		"inversions": {0.01, "fraction", lowerIsBetter},
+		"gone_quiet": {5, "Mops/s", higherIsBetter},
+	})
+	regs := regressions(compareReports(base, cur, 0.10))
+	if len(regs) != 1 || regs[0].Name != "inversions" {
+		t.Fatalf("want only the inversions metric regressed from zero, got %v", regs)
+	}
+	// Zero to zero is no change.
+	same := regressions(compareReports(base, base, 0.10))
+	if len(same) != 0 {
+		t.Fatalf("zero baseline vs itself regressed: %v", same)
+	}
+}
+
+func TestCompareIgnoresDisjointMetrics(t *testing.T) {
+	base := report(map[string]Metric{"old_only": {1, "x", lowerIsBetter}})
+	cur := report(map[string]Metric{"new_only": {99, "x", lowerIsBetter}})
+	if ds := compareReports(base, cur, 0.10); len(ds) != 0 {
+		t.Fatalf("disjoint metric sets produced deltas: %v", ds)
+	}
+}
+
+func TestApplySlowdownTripsGate(t *testing.T) {
+	base := report(map[string]Metric{
+		"mops":    {100, "Mops/s", higherIsBetter},
+		"latency": {100, "cycles", lowerIsBetter},
+	})
+	cur := report(map[string]Metric{
+		"mops":    {100, "Mops/s", higherIsBetter},
+		"latency": {100, "cycles", lowerIsBetter},
+	})
+	applySlowdown(cur.Metrics, 1.5)
+	regs := regressions(compareReports(base, cur, 0.10))
+	if len(regs) != 2 {
+		t.Fatalf("injected slowdown should regress both metrics, got %v", regs)
+	}
+}

@@ -1,0 +1,133 @@
+// Command bmwperf is the continuous perf-regression harness: it runs a
+// standardized suite (throughput, push-pop pair cycle efficiency,
+// sojourn latency quantiles, netsim FCT percentiles) across the queue
+// implementations, writes canonical BENCH_<exp>.json reports with run
+// metadata, and compares them against committed baselines with a noise
+// threshold, exiting non-zero on regression.
+//
+// Typical uses:
+//
+//	go run ./cmd/bmwperf -quick                      # measure + gate against repo baselines
+//	go run ./cmd/bmwperf -quick -update              # refresh the committed baselines
+//	go run ./cmd/bmwperf -quick -out-dir report -warn-only   # CI smoke
+//	go run ./cmd/bmwperf -quick -inject-slowdown 2   # self-test: must exit 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: throughput|latency|all")
+	quick := flag.Bool("quick", false, "CI-sized suites (fewer ops/flows)")
+	outDir := flag.String("out-dir", ".", "directory for the new BENCH_<exp>.json reports")
+	baselineDir := flag.String("baseline-dir", "", "directory holding baseline BENCH_<exp>.json (default: out-dir)")
+	update := flag.Bool("update", false, "write new baselines without comparing")
+	threshold := flag.Float64("threshold", 0.10, "relative noise band before a change counts as a regression")
+	warnOnly := flag.Bool("warn-only", false, "report regressions but exit zero (CI smoke mode)")
+	seed := flag.Int64("seed", 42, "workload seed")
+	slowdown := flag.Float64("inject-slowdown", 1, "degrade all measured metrics by this factor (self-test of the regression gate)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the suites to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile after the suites to this file")
+	flag.Parse()
+
+	var exps []string
+	switch *exp {
+	case "all":
+		exps = []string{"throughput", "latency"}
+	case "throughput", "latency":
+		exps = []string{*exp}
+	default:
+		fmt.Fprintf(os.Stderr, "bmwperf: unknown -exp %q\n", *exp)
+		os.Exit(2)
+	}
+	if *baselineDir == "" {
+		*baselineDir = *outDir
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	failed := false
+	for _, e := range exps {
+		metrics, err := runSuite(e, *quick, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		applySlowdown(metrics, *slowdown)
+		rep := newReport(e, *quick, metrics)
+
+		// Load the baseline before writing: with the default layout the
+		// new report overwrites it in place.
+		basePath := benchPath(*baselineDir, e)
+		base, baseErr := readReport(basePath)
+
+		outPath := benchPath(*outDir, e)
+		if err := writeReport(outPath, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bmwperf: %s -> %s (%d metrics, commit %.12s)\n",
+			e, outPath, len(metrics), rep.Commit)
+
+		switch {
+		case *update:
+			fmt.Printf("bmwperf: %s: baseline updated, comparison skipped\n", e)
+		case baseErr != nil:
+			fmt.Printf("bmwperf: %s: no usable baseline at %s (%v); nothing to compare\n", e, basePath, baseErr)
+		default:
+			deltas := compareReports(base, rep, *threshold)
+			printDeltas(os.Stdout, deltas)
+			if regs := regressions(deltas); len(regs) > 0 {
+				names := make([]string, len(regs))
+				for i, d := range regs {
+					names[i] = d.Name
+				}
+				fmt.Printf("bmwperf: %s: %d regression(s) beyond %.0f%%: %s\n",
+					e, len(regs), 100**threshold, strings.Join(names, ", "))
+				failed = true
+			} else {
+				fmt.Printf("bmwperf: %s: no regressions beyond %.0f%%\n", e, 100**threshold)
+			}
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
+	if failed && !*warnOnly {
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Println("bmwperf: regressions found but -warn-only set; exiting zero")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bmwperf:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+)
+
+// schemaID identifies the BENCH_<exp>.json layout this harness writes.
+// Distinct from bmwbench's claims report so the two can coexist.
+const schemaID = "bmwperf/v1"
+
+// Directions for Metric.Direction.
+const (
+	higherIsBetter = "higher"
+	lowerIsBetter  = "lower"
+)
+
+// Metric is one measured quantity.
+type Metric struct {
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	// Direction states which way is an improvement: "higher" or
+	// "lower". The comparator flags moves the wrong way past the
+	// noise threshold.
+	Direction string `json:"direction"`
+}
+
+// Report is the canonical BENCH_<exp>.json document.
+type Report struct {
+	Schema     string `json:"schema"`
+	Experiment string `json:"experiment"`
+	Quick      bool   `json:"quick"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	Commit     string `json:"commit"`
+
+	Metrics map[string]Metric `json:"metrics"`
+}
+
+// newReport fills the run metadata around a metric set.
+func newReport(exp string, quick bool, metrics map[string]Metric) Report {
+	return Report{
+		Schema:     schemaID,
+		Experiment: exp,
+		Quick:      quick,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Commit:     commitID(),
+		Metrics:    metrics,
+	}
+}
+
+// commitID resolves the source revision: build info when the binary
+// was built with VCS stamping, otherwise git itself ("go run" builds
+// carry no stamp), otherwise "unknown".
+func commitID() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		return strings.TrimSpace(string(out))
+	}
+	return "unknown"
+}
+
+// benchPath returns dir/BENCH_<exp>.json.
+func benchPath(dir, exp string) string {
+	return filepath.Join(dir, "BENCH_"+exp+".json")
+}
+
+// writeReport writes the report as indented JSON.
+func writeReport(path string, r Report) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// readReport loads and schema-checks a baseline.
+func readReport(path string) (Report, error) {
+	var r Report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != schemaID {
+		return r, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, schemaID)
+	}
+	return r, nil
+}
+
+// sortedNames returns the metric names in stable order for printing.
+func sortedNames(m map[string]Metric) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,280 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	bmw "repro"
+)
+
+// Suite sizes. Quick mode is CI-sized; full mode is the local
+// baseline-refresh setting.
+type sizes struct {
+	throughputOps int // ops per software-queue timing loop
+	simTicks      int // ticks per cycle-sim timing loop
+	pairOps       int // pairs for the deterministic cycles-per-pair probe
+	sojournOps    int // operations per sojourn workload
+	netFlows      int // flows per netsim run
+}
+
+func suiteSizes(quick bool) sizes {
+	if quick {
+		return sizes{throughputOps: 200_000, simTicks: 200_000, pairOps: 2000, sojournOps: 60_000, netFlows: 200}
+	}
+	return sizes{throughputOps: 2_000_000, simTicks: 1_000_000, pairOps: 2000, sojournOps: 400_000, netFlows: 600}
+}
+
+// wallReps is the repetition count for wall-clock measurements.
+// bestOf keeps the fastest of wallReps runs: the minimum-interference
+// sample is a far more stable estimator than one run or the mean when
+// the machine carries background load. Deterministic metrics (counted
+// cycles, sojourn quantiles) are exact and never repeated.
+const wallReps = 3
+
+func bestOf(reps int, f func() float64) float64 {
+	best := 0.0
+	for i := 0; i < reps; i++ {
+		if v := f(); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// pusher is the slice of the queue contract both timing loops need.
+type pusher interface {
+	Push(bmw.Element) error
+	Pop() (bmw.Element, error)
+	Len() int
+	Cap() int
+}
+
+// queueMops times a half-full alternating push/pop loop and returns
+// wall-clock millions of operations per second.
+func queueMops(q pusher, ops int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	for q.Len() < q.Cap()/2 {
+		q.Push(bmw.Element{Value: uint64(rng.Intn(1 << 16))})
+	}
+	start := time.Now()
+	for i := 0; i < ops; i += 2 {
+		q.Push(bmw.Element{Value: uint64(rng.Intn(1 << 16))})
+		q.Pop()
+	}
+	el := time.Since(start)
+	return float64(ops) / el.Seconds() / 1e6
+}
+
+// simTickRate times the cycle simulator itself (simulated cycles per
+// wall second, in millions) under a mixed legal schedule.
+func simTickRate(s bmw.CycleSim, ticks int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	start := time.Now()
+	for i := 0; i < ticks; i++ {
+		switch {
+		case s.PushAvailable() && !s.AlmostFull() && (s.Len() == 0 || rng.Intn(2) == 0):
+			s.Tick(bmw.PushOp(uint64(rng.Intn(1<<16)), 0))
+		case s.PopAvailable() && s.Len() > 0:
+			s.Tick(bmw.PopOp())
+		default:
+			s.Tick(bmw.NopOp())
+		}
+	}
+	el := time.Since(start)
+	return float64(ticks) / el.Seconds() / 1e6
+}
+
+// cyclesPerPair measures the densest legal push-pop schedule in
+// simulated cycles per pair — the deterministic counterpart of the
+// paper's 2-cycle R-BMW / 3-cycle RPU-BMW sustained rates.
+func cyclesPerPair(s bmw.CycleSim, pairs int) float64 {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 64 && !s.AlmostFull(); i++ {
+		s.Tick(bmw.PushOp(uint64(rng.Intn(1<<16)), 0))
+	}
+	start := s.Cycle()
+	if dual, ok := s.(interface {
+		TickPushPop(bmw.Op) (*bmw.Element, error)
+	}); ok {
+		for done := 0; done < pairs; done++ {
+			if _, err := dual.TickPushPop(bmw.PushOp(uint64(rng.Intn(1<<16)), 0)); err != nil {
+				panic(err)
+			}
+		}
+		return float64(s.Cycle()-start) / float64(pairs)
+	}
+	done, wantPush := 0, true
+	for done < pairs {
+		switch {
+		case wantPush && s.PushAvailable() && !s.AlmostFull():
+			s.Tick(bmw.PushOp(uint64(rng.Intn(1<<16)), 0))
+			wantPush = false
+		case !wantPush && s.PopAvailable() && s.Len() > 0:
+			s.Tick(bmw.PopOp())
+			done++
+			wantPush = true
+		default:
+			s.Tick(bmw.NopOp())
+		}
+	}
+	return float64(s.Cycle()-start) / float64(pairs)
+}
+
+// throughputSuite produces the BENCH_throughput metric set.
+func throughputSuite(quick bool, seed int64) map[string]Metric {
+	sz := suiteSizes(quick)
+	m := map[string]Metric{}
+	m["core_mops"] = Metric{bestOf(wallReps, func() float64 {
+		return queueMops(bmw.NewBMWTree(2, 11), sz.throughputOps, seed)
+	}), "Mops/s", higherIsBetter}
+	m["pifo_mops"] = Metric{bestOf(wallReps, func() float64 {
+		return queueMops(bmw.NewPIFO(4094), sz.throughputOps, seed)
+	}), "Mops/s", higherIsBetter}
+	m["rbmw_sim_mticks"] = Metric{bestOf(wallReps, func() float64 {
+		return simTickRate(bmw.NewRBMWSim(2, 11), sz.simTicks, seed)
+	}), "Mticks/s", higherIsBetter}
+	m["rpubmw_sim_mticks"] = Metric{bestOf(wallReps, func() float64 {
+		return simTickRate(bmw.NewRPUBMWSim(4, 8), sz.simTicks, seed)
+	}), "Mticks/s", higherIsBetter}
+	// Deterministic cycle efficiency: any drift here is a functional
+	// pipeline change, not measurement noise.
+	m["rbmw_cycles_per_pair"] = Metric{cyclesPerPair(bmw.NewRBMWSim(2, 11), sz.pairOps), "cycles", lowerIsBetter}
+	m["rpubmw_cycles_per_pair"] = Metric{cyclesPerPair(bmw.NewRPUBMWSim(4, 8), sz.pairOps), "cycles", lowerIsBetter}
+	m["pifo_cycles_per_pair"] = Metric{cyclesPerPair(bmw.NewPIFOSim(4094), sz.pairOps), "cycles", lowerIsBetter}
+	return m
+}
+
+// sojournQueue is any exact queue exposing a sojourn distribution.
+// Software queues additionally satisfy pusher; cycle simulators
+// satisfy bmw.CycleSim — sojournWorkload picks the matching drive.
+type sojournQueue interface {
+	Instrument(*bmw.MetricsRegistry, string)
+	SojournSnapshot() bmw.QuantileSnapshot
+	Len() int
+	Cap() int
+}
+
+// sojournWorkload drives a bursty push/pop pattern (fixed seed, so
+// the resulting distribution is reproducible) and returns the sojourn
+// snapshot. Cycle simulators go through their Tick interface to keep
+// availability rules honoured.
+func sojournWorkload(q sojournQueue, ops int, seed int64) bmw.QuantileSnapshot {
+	q.Instrument(bmw.NewMetricsRegistry(), "perf")
+	rng := rand.New(rand.NewSource(seed))
+	sim, isSim := q.(bmw.CycleSim)
+	var sw pusher
+	if !isSim {
+		sw = q.(pusher)
+	}
+	done := 0
+	for done < ops {
+		pushBurst := 1 + rng.Intn(64)
+		popBurst := 1 + rng.Intn(48)
+		for i := 0; i < pushBurst && done < ops; i++ {
+			if isSim {
+				if !sim.PushAvailable() || sim.AlmostFull() {
+					sim.Tick(bmw.NopOp())
+					continue
+				}
+				sim.Tick(bmw.PushOp(uint64(rng.Intn(1<<16)), 0))
+			} else {
+				if q.Len() >= q.Cap() {
+					break
+				}
+				sw.Push(bmw.Element{Value: uint64(rng.Intn(1 << 16))})
+			}
+			done++
+		}
+		for i := 0; i < popBurst && done < ops; i++ {
+			if isSim {
+				if !sim.PopAvailable() || sim.Len() == 0 {
+					sim.Tick(bmw.NopOp())
+					continue
+				}
+				sim.Tick(bmw.PopOp())
+			} else {
+				if q.Len() == 0 {
+					break
+				}
+				sw.Pop()
+			}
+			done++
+		}
+	}
+	return q.SojournSnapshot()
+}
+
+// sojournMetrics flattens a snapshot into the metric map.
+func sojournMetrics(m map[string]Metric, name, unit string, s bmw.QuantileSnapshot) {
+	m[name+"_sojourn_p50_"+unit] = Metric{float64(s.P50), unit, lowerIsBetter}
+	m[name+"_sojourn_p99_"+unit] = Metric{float64(s.P99), unit, lowerIsBetter}
+	m[name+"_sojourn_p999_"+unit] = Metric{float64(s.P999), unit, lowerIsBetter}
+}
+
+// scaledNetConfig is the test-sized Figure 10 topology the latency
+// suite runs: small enough for CI, deterministic in the seed.
+func scaledNetConfig(kind bmw.SchedulerKind, flows int, seed int64) bmw.NetConfig {
+	cfg := bmw.DefaultNetConfig()
+	cfg.NumHosts = 32
+	cfg.LinkBps = 1e9
+	cfg.Scheduler = kind
+	cfg.SchedCap = 254
+	cfg.BMWOrder = 2
+	cfg.BMWLevels = 7
+	cfg.StoreLimit = 0
+	cfg.TCP.MaxRTONs = 10e9
+	cfg.NumFlows = flows
+	cfg.Load = 0.9
+	cfg.Seed = seed
+	return cfg
+}
+
+// latencySuite produces the BENCH_latency metric set: sojourn
+// quantiles in cycles for the four exact queues, netsim FCT slowdown
+// percentiles, per-packet bottleneck sojourn in ns, and the
+// approximate queues' rank-inversion rates.
+func latencySuite(quick bool, seed int64) map[string]Metric {
+	sz := suiteSizes(quick)
+	m := map[string]Metric{}
+	sojournMetrics(m, "core", "cycles", sojournWorkload(bmw.NewBMWTree(2, 11), sz.sojournOps, seed))
+	sojournMetrics(m, "pifo", "cycles", sojournWorkload(bmw.NewPIFOSim(4094), sz.sojournOps, seed))
+	sojournMetrics(m, "rbmw", "cycles", sojournWorkload(bmw.NewRBMWSim(2, 11), sz.sojournOps, seed))
+	sojournMetrics(m, "rpubmw", "cycles", sojournWorkload(bmw.NewRPUBMWSim(4, 8), sz.sojournOps, seed))
+
+	res := bmw.RunFCTExperiment(scaledNetConfig(bmw.SchedBMW, sz.netFlows, seed))
+	qs := res.FCT.NormQuantiles(0.5, 0.99, 0.999)
+	m["fct_norm_p50"] = Metric{qs[0], "slowdown", lowerIsBetter}
+	m["fct_norm_p99"] = Metric{qs[1], "slowdown", lowerIsBetter}
+	m["fct_norm_p999"] = Metric{qs[2], "slowdown", lowerIsBetter}
+	sojournMetrics(m, "netsim_pkt", "ns", res.PktSojournNs)
+
+	// Scheduling fidelity of the approximate queues under the default
+	// STFQ ranks. The calendar-based queues invert at bucket
+	// granularity; SP-PIFO's adaptation tracks STFQ's near-monotone
+	// virtual time and sits at zero here — the comparator treats a
+	// move off zero as a regression.
+	for _, tc := range []struct {
+		name string
+		kind bmw.SchedulerKind
+	}{
+		{"sppifo", bmw.SchedSPPIFO},
+		{"gearbox", bmw.SchedGearbox},
+		{"calendarq", bmw.SchedCalendarQ},
+	} {
+		r := bmw.RunFCTExperiment(scaledNetConfig(tc.kind, sz.netFlows, seed))
+		m[tc.name+"_inversion_rate"] = Metric{r.RankInversionRate, "fraction", lowerIsBetter}
+	}
+	return m
+}
+
+// runSuite dispatches one experiment by name.
+func runSuite(exp string, quick bool, seed int64) (map[string]Metric, error) {
+	switch exp {
+	case "throughput":
+		return throughputSuite(quick, seed), nil
+	case "latency":
+		return latencySuite(quick, seed), nil
+	}
+	return nil, fmt.Errorf("unknown experiment %q", exp)
+}

@@ -198,3 +198,91 @@ func TestMetricsSnapshotInvariants(t *testing.T) {
 		})
 	}
 }
+
+// TestMetricsSnapshotInvariants_Sojourn extends the snapshot-invariant
+// contract to the sojourn probes of the four exact queues: every pop
+// contributes exactly one sojourn observation, and no element can have
+// waited longer than the clock that timestamps it has run — real
+// cycles for the cycle simulators, the logical push+pop tick count for
+// the untimed models (core, pifo).
+func TestMetricsSnapshotInvariants_Sojourn(t *testing.T) {
+	type sojournProbe interface {
+		Instrument(*bmw.MetricsRegistry, string)
+		SojournSnapshot() bmw.QuantileSnapshot
+	}
+	type sojournCase struct {
+		q sojournProbe
+		// run drives ~ops operations and returns the clock bound the
+		// max sojourn must respect.
+		run func(rng *rand.Rand, ops int) uint64
+	}
+
+	softRun := func(push func(bmw.Element) error, pop func() (bmw.Element, error)) func(*rand.Rand, int) uint64 {
+		return func(rng *rand.Rand, ops int) uint64 {
+			var pushes, pops uint64
+			for i := 0; i < ops; i++ {
+				if rng.Intn(3) != 0 {
+					if push(bmw.Element{Value: uint64(rng.Intn(512))}) == nil {
+						pushes++
+					}
+				} else if _, err := pop(); err == nil {
+					pops++
+				}
+			}
+			return pushes + pops
+		}
+	}
+	simRun := func(s bmw.CycleSim) func(*rand.Rand, int) uint64 {
+		return func(rng *rand.Rand, ops int) uint64 {
+			for i := 0; i < ops; i++ {
+				switch {
+				case s.PushAvailable() && !s.AlmostFull() && rng.Intn(3) != 0:
+					s.Tick(bmw.PushOp(uint64(rng.Intn(512)), 0))
+				case s.PopAvailable() && s.Len() > 0:
+					s.Tick(bmw.PopOp())
+				default:
+					s.Tick(bmw.NopOp())
+				}
+			}
+			return s.Cycle()
+		}
+	}
+
+	tree := bmw.NewBMWTree(2, 4)
+	pf := bmw.NewPIFO(30)
+	rb := bmw.NewRBMWSim(2, 4)
+	rp := bmw.NewRPUBMWSim(2, 4)
+	cases := map[string]sojournCase{
+		"bmwtree": {tree, softRun(tree.Push, tree.Pop)},
+		"pifo":    {pf, softRun(pf.Push, pf.Pop)},
+		"rbmw":    {rb, simRun(rb)},
+		"rpubmw":  {rp, simRun(rp)},
+	}
+
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			reg := bmw.NewMetricsRegistry()
+			tc.q.Instrument(reg, name)
+			clock := tc.run(rand.New(rand.NewSource(11)), 4000)
+
+			snap := reg.Snapshot()
+			pops := snap.Counter(name + "_pops_total")
+			if pops == 0 {
+				t.Fatal("workload performed no pops")
+			}
+			soj := snap.Quantile(name + "_sojourn_cycles")
+			if soj.Count != pops {
+				t.Fatalf("sojourn observations %d != pops %d", soj.Count, pops)
+			}
+			if direct := tc.q.SojournSnapshot(); direct.Count != soj.Count {
+				t.Fatalf("SojournSnapshot count %d != registry snapshot count %d", direct.Count, soj.Count)
+			}
+			if soj.Max > clock {
+				t.Fatalf("max sojourn %d exceeds elapsed clock %d", soj.Max, clock)
+			}
+			if soj.Min > soj.Max || soj.P50 > soj.P999 {
+				t.Fatalf("snapshot not ordered: min=%d max=%d p50=%d p999=%d", soj.Min, soj.Max, soj.P50, soj.P999)
+			}
+		})
+	}
+}

@@ -1,0 +1,19 @@
+package calendarq
+
+import "repro/internal/obs"
+
+// Instrument registers the queue's probes in reg under the given
+// metric-name prefix. All instruments are snapshot-time callbacks
+// reading queue state — snapshot only between operations. Overflows
+// count ranks past the calendar horizon squashed into the last bucket,
+// the unbounded-inversion case the BMW-Tree paper attributes to
+// calendar-queue schedulers. A nil registry is a no-op.
+func (q *Queue) Instrument(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc(prefix+"_overflowed_total", func() uint64 { return q.overflowed })
+	reg.GaugeFunc(prefix+"_occupancy", func() float64 { return float64(q.size) })
+	reg.GaugeFunc(prefix+"_capacity", func() float64 { return float64(q.cap) })
+	reg.GaugeFunc(prefix+"_head_rank", func() float64 { return float64(q.headRank) })
+}

@@ -20,6 +20,8 @@ package core
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // Element is one entry of the priority queue: a packet reference. Value
@@ -33,11 +35,15 @@ type Element struct {
 
 // slot is one of the M element positions inside a node. count is the
 // number of elements in the sub-tree rooted at this slot (including the
-// slot itself); count == 0 means the slot is empty.
+// slot itself); count == 0 means the slot is empty. born is the low 32
+// bits of the logical clock (pushes+pops) at insertion, used by the
+// sojourn probe; it rides in the padding after count, keeping the slot
+// at 24 bytes.
 type slot struct {
 	val   uint64
 	meta  uint64
 	count uint32
+	born  uint32
 }
 
 // Tree is an order-M, L-level BMW sorting tree.
@@ -54,7 +60,15 @@ type Tree struct {
 
 	pushes, pops uint64
 	maxSize      int
+
+	// sojourn, when instrumented, observes the enqueue-to-dequeue
+	// latency of every popped element in logical clock ticks (one tick
+	// per push or pop). Nil when uninstrumented; Observe is nil-safe.
+	sojourn *obs.QuantileHistogram
 }
+
+// clock returns the logical clock: one tick per completed operation.
+func (t *Tree) clock() uint32 { return uint32(t.pushes + t.pops) }
 
 // Common errors returned by priority-queue implementations in this module.
 var (
@@ -146,6 +160,7 @@ func (t *Tree) Push(e Element) error {
 		return ErrFull
 	}
 	val, meta := e.Value, e.Meta
+	born := t.clock()
 	n := 0
 	for {
 		base := n * t.m
@@ -153,7 +168,7 @@ func (t *Tree) Push(e Element) error {
 		placed := false
 		for i := 0; i < t.m; i++ {
 			if t.nodes[base+i].count == 0 {
-				t.nodes[base+i] = slot{val: val, meta: meta, count: 1}
+				t.nodes[base+i] = slot{val: val, meta: meta, count: 1, born: born}
 				placed = true
 				break
 			}
@@ -171,10 +186,12 @@ func (t *Tree) Push(e Element) error {
 		s := &t.nodes[base+min]
 		s.count++
 		// The smaller of (incoming, sub-tree root) keeps the slot; the
-		// larger continues down the chosen sub-tree.
+		// larger continues down the chosen sub-tree. The born tag
+		// travels with its element.
 		if val < s.val {
 			val, s.val = s.val, val
 			meta, s.meta = s.meta, meta
+			born, s.born = s.born, born
 		}
 		n = n*t.m + min + 1
 	}
@@ -209,6 +226,7 @@ func (t *Tree) Pop() (Element, error) {
 	n := 0
 	i := t.minSlot(0) - 0*t.m // absolute slot index within flat array
 	out := Element{Value: t.nodes[i].val, Meta: t.nodes[i].meta}
+	t.sojourn.Observe(uint64(t.clock() - t.nodes[i].born))
 	// i is the absolute flat index; convert to per-node slot index below.
 	si := i - n*t.m
 	for {
@@ -224,6 +242,7 @@ func (t *Tree) Pop() (Element, error) {
 		ci := t.minSlot(child)
 		cs := t.nodes[ci]
 		s.val, s.meta = cs.val, cs.meta
+		s.born = cs.born
 		n = child
 		si = ci - child*t.m
 	}

@@ -14,6 +14,9 @@ func (t *Tree) Instrument(reg *obs.Registry, prefix string) {
 	if reg == nil {
 		return
 	}
+	reg.Help(prefix+"_sojourn_cycles",
+		"enqueue-to-dequeue latency of popped elements in logical clock ticks (one tick per push or pop)")
+	t.sojourn = reg.QuantileHistogram(prefix + "_sojourn_cycles")
 	reg.CounterFunc(prefix+"_pushes_total", func() uint64 { return t.pushes })
 	reg.CounterFunc(prefix+"_pops_total", func() uint64 { return t.pops })
 	reg.GaugeFunc(prefix+"_occupancy", func() float64 { return float64(t.size) })
@@ -27,3 +30,7 @@ func (t *Tree) Instrument(reg *obs.Registry, prefix string) {
 			func() float64 { return float64(t.LevelOccupancy(lvl)) })
 	}
 }
+
+// SojournSnapshot returns the sojourn-latency distribution collected
+// since Instrument was called (the zero snapshot when uninstrumented).
+func (t *Tree) SojournSnapshot() obs.QuantileSnapshot { return t.sojourn.Snapshot() }

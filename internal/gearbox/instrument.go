@@ -1,0 +1,21 @@
+package gearbox
+
+import "repro/internal/obs"
+
+// Instrument registers the queue's probes in reg under the given
+// metric-name prefix. All instruments are snapshot-time callbacks
+// reading queue state — snapshot only between operations. Migrations
+// count elements re-filed from a coarse gear into a finer one as the
+// horizon advances; overflows count ranks squashed into the last
+// bucket (the coarse gear's unbounded-inversion region). A nil
+// registry is a no-op.
+func (q *Queue) Instrument(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc(prefix+"_migrations_total", func() uint64 { return q.migrations })
+	reg.CounterFunc(prefix+"_overflowed_total", func() uint64 { return q.overflowed })
+	reg.GaugeFunc(prefix+"_occupancy", func() float64 { return float64(q.size) })
+	reg.GaugeFunc(prefix+"_capacity", func() float64 { return float64(q.cap) })
+	reg.GaugeFunc(prefix+"_horizon_ranks", func() float64 { return float64(q.Horizon()) })
+}

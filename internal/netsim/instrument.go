@@ -7,11 +7,12 @@ import "repro/internal/obs"
 // unlike snapshot-time callbacks, which would race with the event
 // loop. nil (the default) disables them at one branch per hook.
 type probes struct {
-	enqueued  *obs.Counter
-	completed *obs.Counter
-	queueLen  *obs.Gauge
-	queuePeak *obs.Gauge
-	simNs     *obs.Gauge
+	enqueued   *obs.Counter
+	completed  *obs.Counter
+	queueLen   *obs.Gauge
+	queuePeak  *obs.Gauge
+	simNs      *obs.Gauge
+	inversions *obs.Counter
 }
 
 // Instrument registers live probes in reg under the given metric-name
@@ -23,10 +24,17 @@ func (s *Sim) Instrument(reg *obs.Registry, prefix string) {
 		return
 	}
 	s.probes = &probes{
-		enqueued:  reg.Counter(prefix + "_bottleneck_enqueued_total"),
-		completed: reg.Counter(prefix + "_flows_completed_total"),
-		queueLen:  reg.Gauge(prefix + "_bottleneck_queue_pkts"),
-		queuePeak: reg.Gauge(prefix + "_bottleneck_queue_peak_pkts"),
-		simNs:     reg.Gauge(prefix + "_sim_time_ns"),
+		enqueued:   reg.Counter(prefix + "_bottleneck_enqueued_total"),
+		completed:  reg.Counter(prefix + "_flows_completed_total"),
+		queueLen:   reg.Gauge(prefix + "_bottleneck_queue_pkts"),
+		queuePeak:  reg.Gauge(prefix + "_bottleneck_queue_peak_pkts"),
+		simNs:      reg.Gauge(prefix + "_sim_time_ns"),
+		inversions: reg.Counter(prefix + "_rank_inversions_total"),
 	}
+	// Swap the private sojourn histogram for a registry-owned one so
+	// scrapes see it; safe because Instrument precedes Run and the
+	// histogram's writers are all inside the event loop.
+	reg.Help(prefix+"_pkt_sojourn_ns",
+		"bottleneck sojourn of served packets: enqueue to start of service, nanoseconds")
+	s.sojournNs = reg.QuantileHistogram(prefix + "_pkt_sojourn_ns")
 }

@@ -24,11 +24,15 @@ package netsim
 import (
 	"fmt"
 
+	"repro/internal/calendarq"
 	"repro/internal/core"
 	"repro/internal/eventq"
+	"repro/internal/gearbox"
+	"repro/internal/obs"
 	"repro/internal/pifo"
 	"repro/internal/pifoblock"
 	"repro/internal/sched"
+	"repro/internal/sppifo"
 	"repro/internal/stats"
 	"repro/internal/tcp"
 	"repro/internal/trafficgen"
@@ -37,12 +41,18 @@ import (
 // SchedulerKind selects the flow scheduler on the bottleneck link.
 type SchedulerKind int
 
-// The two schedulers the paper compares in Figure 10, plus the ideal
-// (unlimited) scheduler for calibration runs.
+// The two schedulers the paper compares in Figure 10, the ideal
+// (unlimited) scheduler for calibration runs, and the approximate
+// queues of the paper's Section 7.2 survey. The approximate kinds
+// admit rank inversions — dequeues whose rank is below the maximum
+// already served — which the simulator's InversionMeter quantifies.
 const (
 	SchedBMW SchedulerKind = iota // BMW-Tree with RPU-BMW capacity
 	SchedPIFO
 	SchedUnlimited
+	SchedSPPIFO    // SP-PIFO: 8 strict-priority FIFOs, adaptive bounds
+	SchedGearbox   // hierarchical calendar queue (3 gears x 16 buckets)
+	SchedCalendarQ // single rotating calendar queue
 )
 
 // RankAlgo selects the rank function programmed into the PIFO block —
@@ -132,6 +142,20 @@ type Result struct {
 	Timeouts uint64
 	SimEndNs uint64
 	Events   uint64
+
+	// PktSojournNs is the distribution of per-packet bottleneck
+	// sojourn (enqueue to start-of-service, ns) over every served
+	// packet.
+	PktSojournNs obs.QuantileSnapshot
+	// RankObservations / RankInversions / RankInversionRate /
+	// RankInversionMeanMag summarise scheduling quality: an inversion
+	// is a dequeue whose rank is below the maximum rank already
+	// served. The exact queues (BMW, PIFO) stay at zero; the
+	// approximate kinds do not.
+	RankObservations     uint64
+	RankInversions       uint64
+	RankInversionRate    float64
+	RankInversionMeanMag float64
 }
 
 // flowState couples a flow's transport endpoints.
@@ -156,6 +180,13 @@ type Sim struct {
 	completed int
 	peakQueue int
 
+	// sojournNs and inv are the always-on scheduling-quality probes,
+	// fed from the ranker's dequeue hook: per-packet bottleneck
+	// sojourn and rank-inversion accounting. Instrument swaps
+	// sojournNs for a registry-owned histogram.
+	sojournNs *obs.QuantileHistogram
+	inv       stats.InversionMeter
+
 	// probes are the attached live instruments (see instrument.go);
 	// nil means uninstrumented.
 	probes *probes
@@ -167,6 +198,12 @@ func New(cfg Config) *Sim {
 		panic("netsim: invalid config")
 	}
 	var fs pifoblock.FlowScheduler
+	// Calendar-style queues need a rank-units-per-bucket width. STFQ
+	// virtual time advances by bytes/weight per packet (~one MSS at
+	// weight 1), so ~1.5 packets of virtual time per bucket keeps
+	// inversions to the structural minimum while leaving a finite
+	// horizon whose squashing the inversion meter can see.
+	const approxBucketWidth = 2048
 	switch cfg.Scheduler {
 	case SchedBMW:
 		fs = core.New(cfg.BMWOrder, cfg.BMWLevels)
@@ -178,6 +215,12 @@ func New(cfg Config) *Sim {
 		fs = pifo.New(cfg.SchedCap)
 	case SchedUnlimited:
 		fs = pifo.New(1 << 30)
+	case SchedSPPIFO:
+		fs = sppifo.New(8, cfg.SchedCap)
+	case SchedGearbox:
+		fs = gearbox.New(3, 16, approxBucketWidth, cfg.SchedCap)
+	case SchedCalendarQ:
+		fs = calendarq.New(128, approxBucketWidth, cfg.SchedCap)
 	default:
 		panic("netsim: unknown scheduler")
 	}
@@ -194,18 +237,42 @@ func New(cfg Config) *Sim {
 	default:
 		panic("netsim: unknown rank algorithm")
 	}
-	block := pifoblock.New(fs, ranker)
+	s := &Sim{
+		cfg:       cfg,
+		q:         eventq.New(),
+		stfq:      stfq,
+		srcBusy:   make([]uint64, cfg.NumHosts),
+		flows:     make(map[uint32]*flowState),
+		fct:       &stats.FCT{},
+		sojournNs: obs.NewQuantileHistogram(),
+	}
+	// The Observed wrapper taps every bottleneck dequeue for the
+	// sojourn and inversion probes; the delegate ranker still sees its
+	// OnDequeue first (STFQ's virtual-time advance).
+	block := pifoblock.New(fs, sched.Observed{Ranker: ranker, Dequeued: s.onDequeue})
 	block.StoreLimit = cfg.StoreLimit
-	return &Sim{
-		cfg:     cfg,
-		q:       eventq.New(),
-		block:   block,
-		stfq:    stfq,
-		srcBusy: make([]uint64, cfg.NumHosts),
-		flows:   make(map[uint32]*flowState),
-		fct:     &stats.FCT{},
+	s.block = block
+	return s
+}
+
+// onDequeue is the per-packet scheduling-quality hook, called from the
+// PIFO block as each packet enters service at the bottleneck.
+func (s *Sim) onDequeue(p sched.Packet, rank uint64) {
+	s.sojournNs.Observe(s.q.Now() - p.Arrival)
+	before := s.inv.Inversions()
+	s.inv.Observe(rank)
+	if s.probes != nil && s.inv.Inversions() != before {
+		s.probes.inversions.Inc()
 	}
 }
+
+// SojournSnapshot returns the per-packet bottleneck sojourn (ns)
+// distribution collected so far.
+func (s *Sim) SojournSnapshot() obs.QuantileSnapshot { return s.sojournNs.Snapshot() }
+
+// InversionStats exposes the rank-inversion meter (read between runs;
+// the event loop writes it).
+func (s *Sim) InversionStats() *stats.InversionMeter { return &s.inv }
 
 // wireBytes returns a segment's size on the wire.
 func (s *Sim) wireBytes(seg tcp.Segment) uint32 { return seg.Len + s.cfg.HeaderBytes }
@@ -255,16 +322,21 @@ func (s *Sim) Run() Result {
 		loss = float64(bs.DropsScheduler+bs.DropsStore) / float64(offered)
 	}
 	return Result{
-		FCT:           s.fct,
-		Completed:     s.completed,
-		Generated:     len(specs),
-		BlockStats:    bs,
-		LossRate:      loss,
-		PeakQueuePkts: s.peakQueue,
-		Retransmits:   retx,
-		Timeouts:      tmo,
-		SimEndNs:      s.q.Now(),
-		Events:        s.q.Processed(),
+		FCT:                  s.fct,
+		Completed:            s.completed,
+		Generated:            len(specs),
+		BlockStats:           bs,
+		LossRate:             loss,
+		PeakQueuePkts:        s.peakQueue,
+		Retransmits:          retx,
+		Timeouts:             tmo,
+		SimEndNs:             s.q.Now(),
+		Events:               s.q.Processed(),
+		PktSojournNs:         s.sojournNs.Snapshot(),
+		RankObservations:     s.inv.Total(),
+		RankInversions:       s.inv.Inversions(),
+		RankInversionRate:    s.inv.Rate(),
+		RankInversionMeanMag: s.inv.MeanMagnitude(),
 	}
 }
 

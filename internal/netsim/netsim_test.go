@@ -274,3 +274,71 @@ func TestIncast(t *testing.T) {
 func trafficgenIncast(servers int, bytes uint64) []trafficgen.Flow {
 	return trafficgen.GenerateIncast(servers, bytes, 0)
 }
+
+// TestSchedulingQualityProbes: every served packet contributes one
+// sojourn observation and one inversion-meter observation; the exact
+// BMW scheduler never inverts.
+func TestSchedulingQualityProbes(t *testing.T) {
+	res := New(scaled(SchedBMW, 254, 0.9)).Run()
+	if res.PktSojournNs.Count != res.BlockStats.Dequeued {
+		t.Fatalf("sojourn observations %d != dequeues %d",
+			res.PktSojournNs.Count, res.BlockStats.Dequeued)
+	}
+	if res.RankObservations != res.BlockStats.Dequeued {
+		t.Fatalf("rank observations %d != dequeues %d",
+			res.RankObservations, res.BlockStats.Dequeued)
+	}
+	if res.RankInversions != 0 || res.RankInversionRate != 0 {
+		t.Fatalf("exact scheduler reported inversions: %d (rate %.4f)",
+			res.RankInversions, res.RankInversionRate)
+	}
+	if res.PktSojournNs.P999 < res.PktSojournNs.P50 {
+		t.Fatalf("quantiles out of order: p50=%d p99.9=%d",
+			res.PktSojournNs.P50, res.PktSojournNs.P999)
+	}
+	if res.PktSojournNs.Max > res.SimEndNs {
+		t.Fatalf("max sojourn %d exceeds simulated time %d",
+			res.PktSojournNs.Max, res.SimEndNs)
+	}
+}
+
+// TestApproximateSchedulersInvert: the approximate queues run the
+// Figure 10 workload to completion with the inversion meter attached.
+// Under STFQ's near-monotone virtual time, the calendar-based queues
+// (Gearbox, calendar queue) invert at bucket granularity, while
+// SP-PIFO's bound adaptation keeps up at this load — its zero is a
+// meaningful fidelity baseline, not a dead probe (the probe's wiring
+// is covered by the observation count).
+func TestApproximateSchedulersInvert(t *testing.T) {
+	for _, tc := range []struct {
+		name           string
+		kind           SchedulerKind
+		wantInversions bool
+	}{
+		{"sppifo", SchedSPPIFO, false},
+		{"gearbox", SchedGearbox, true},
+		{"calendarq", SchedCalendarQ, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res := New(scaled(tc.kind, 254, 0.9)).Run()
+			if res.Completed != res.Generated {
+				t.Fatalf("completed %d of %d", res.Completed, res.Generated)
+			}
+			if res.RankObservations != res.BlockStats.Dequeued {
+				t.Fatalf("rank observations %d != dequeues %d",
+					res.RankObservations, res.BlockStats.Dequeued)
+			}
+			if tc.wantInversions {
+				if res.RankInversions == 0 {
+					t.Fatal("calendar-based scheduler reported zero inversions under load")
+				}
+				if res.RankInversionMeanMag <= 0 {
+					t.Fatalf("inversions without magnitude: %.3f", res.RankInversionMeanMag)
+				}
+			} else if res.RankInversionRate > 0.01 {
+				t.Fatalf("SP-PIFO inversion rate %.4f unexpectedly high under STFQ",
+					res.RankInversionRate)
+			}
+		})
+	}
+}

@@ -166,9 +166,11 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 // instrument is one named registry entry.
 type instrument struct {
 	name string
+	help string
 	c    *Counter
 	g    *Gauge
 	h    *Histogram
+	q    *QuantileHistogram
 	cf   func() uint64
 	gf   func() float64
 }
@@ -179,9 +181,10 @@ type instrument struct {
 // methods are in turn no-ops — so a whole probe tree can be disabled
 // by passing a nil registry.
 type Registry struct {
-	mu    sync.Mutex
-	order []*instrument
-	index map[string]*instrument
+	mu          sync.Mutex
+	order       []*instrument
+	index       map[string]*instrument
+	pendingHelp map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -222,6 +225,10 @@ func (r *Registry) register(name string, build func() *instrument) *instrument {
 	}
 	in := build()
 	in.name = name
+	if help, ok := r.pendingHelp[name]; ok {
+		in.help = help
+		delete(r.pendingHelp, name)
+	}
 	r.order = append(r.order, in)
 	r.index[name] = in
 	return in
@@ -264,6 +271,38 @@ func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
 	return in.h
 }
 
+// QuantileHistogram returns the named log-bucketed quantile histogram,
+// creating it on first use.
+func (r *Registry) QuantileHistogram(name string) *QuantileHistogram {
+	if r == nil {
+		return nil
+	}
+	in := r.register(name, func() *instrument { return &instrument{q: NewQuantileHistogram()} })
+	if in.q == nil {
+		panic(fmt.Sprintf("obs: metric %q already registered with a different kind", name))
+	}
+	return in.q
+}
+
+// Help attaches exposition help text to a named metric. It may be
+// called before or after the metric is registered; help for a name
+// that never registers is simply never emitted.
+func (r *Registry) Help(name, text string) {
+	if r == nil || !validName(name) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok := r.index[name]; ok {
+		in.help = text
+		return
+	}
+	if r.pendingHelp == nil {
+		r.pendingHelp = make(map[string]string)
+	}
+	r.pendingHelp[name] = text
+}
+
 // CounterFunc registers a callback sampled at Snapshot time as a
 // counter. See the package comment for the synchronisation contract.
 func (r *Registry) CounterFunc(name string, fn func() uint64) {
@@ -287,6 +326,7 @@ type Snapshot struct {
 	Counters   map[string]uint64            `json:"counters,omitempty"`
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Quantiles  map[string]QuantileSnapshot  `json:"quantiles,omitempty"`
 }
 
 // Counter returns a snapshotted counter by name (0 when absent).
@@ -295,6 +335,10 @@ func (s Snapshot) Counter(name string) uint64 { return s.Counters[name] }
 // Gauge returns a snapshotted gauge by name (0 when absent).
 func (s Snapshot) Gauge(name string) float64 { return s.Gauges[name] }
 
+// Quantile returns a snapshotted quantile histogram by name (the zero
+// QuantileSnapshot when absent).
+func (s Snapshot) Quantile(name string) QuantileSnapshot { return s.Quantiles[name] }
+
 // Snapshot captures every instrument, running callback instruments in
 // registration order. A nil registry yields an empty snapshot.
 func (r *Registry) Snapshot() Snapshot {
@@ -302,6 +346,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Counters:   map[string]uint64{},
 		Gauges:     map[string]float64{},
 		Histograms: map[string]HistogramSnapshot{},
+		Quantiles:  map[string]QuantileSnapshot{},
 	}
 	if r == nil {
 		return s
@@ -318,6 +363,8 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Gauges[in.name] = in.gf()
 		case in.h != nil:
 			s.Histograms[in.name] = in.h.snapshot()
+		case in.q != nil:
+			s.Quantiles[in.name] = in.q.Snapshot()
 		}
 	}
 	return s
@@ -331,25 +378,32 @@ func (r *Registry) instruments() []*instrument {
 }
 
 // WritePrometheus renders the registry in the Prometheus text
-// exposition format (counters with # TYPE counter, gauges with gauge,
-// histograms with cumulative _bucket/_sum/_count series).
+// exposition format: every metric gets a # HELP and # TYPE line
+// (counters, gauges, histograms with cumulative _bucket series ending
+// in le="+Inf" plus _sum/_count, quantile histograms as summaries with
+// quantile-labelled series).
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	for _, in := range r.instruments() {
+		if err := writePromHeader(w, in.name, in.help, promType(in)); err != nil {
+			return err
+		}
 		var err error
 		switch {
 		case in.c != nil:
-			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", in.name, in.name, in.c.Value())
+			_, err = fmt.Fprintf(w, "%s %d\n", in.name, in.c.Value())
 		case in.cf != nil:
-			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", in.name, in.name, in.cf())
+			_, err = fmt.Fprintf(w, "%s %d\n", in.name, in.cf())
 		case in.g != nil:
-			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", in.name, in.name, in.g.Value())
+			_, err = fmt.Fprintf(w, "%s %g\n", in.name, in.g.Value())
 		case in.gf != nil:
-			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", in.name, in.name, in.gf())
+			_, err = fmt.Fprintf(w, "%s %g\n", in.name, in.gf())
 		case in.h != nil:
 			err = writePromHistogram(w, in.name, in.h.snapshot())
+		case in.q != nil:
+			err = writePromSummary(w, in.name, in.q.Snapshot())
 		}
 		if err != nil {
 			return err
@@ -358,11 +412,51 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
+// promType maps an instrument to its exposition-format type keyword.
+func promType(in *instrument) string {
+	switch {
+	case in.c != nil || in.cf != nil:
+		return "counter"
+	case in.g != nil || in.gf != nil:
+		return "gauge"
+	case in.h != nil:
+		return "histogram"
+	case in.q != nil:
+		return "summary"
+	}
+	return "untyped"
+}
+
+// writePromHeader emits the # HELP and # TYPE comment lines. Help text
+// defaults to the metric name; backslashes and newlines are escaped per
+// the exposition format.
+func writePromHeader(w io.Writer, name, help, typ string) error {
+	if help == "" {
+		help = name
+	}
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+		name, escapeHelp(help), name, typ)
+	return err
+}
+
+// escapeHelp applies the exposition-format escaping for HELP text.
+func escapeHelp(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
 // writePromHistogram renders one histogram with cumulative buckets.
 func writePromHistogram(w io.Writer, name string, s HistogramSnapshot) error {
-	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
-		return err
-	}
 	cum := uint64(0)
 	for i, b := range s.Bounds {
 		cum += s.Counts[i]
@@ -373,5 +467,22 @@ func writePromHistogram(w io.Writer, name string, s HistogramSnapshot) error {
 	cum += s.Counts[len(s.Bounds)]
 	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
 		name, cum, name, s.Sum, name, s.Count)
+	return err
+}
+
+// writePromSummary renders a quantile histogram as a Prometheus
+// summary: quantile-labelled series plus _sum and _count.
+func writePromSummary(w io.Writer, name string, s QuantileSnapshot) error {
+	for _, qv := range []struct {
+		label string
+		v     uint64
+	}{
+		{"0.5", s.P50}, {"0.9", s.P90}, {"0.99", s.P99}, {"0.999", s.P999},
+	} {
+		if _, err := fmt.Fprintf(w, "%s{quantile=\"%s\"} %d\n", name, qv.label, qv.v); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, s.Sum, name, s.Count)
 	return err
 }

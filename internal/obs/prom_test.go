@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promFamily is one parsed metric family from the text exposition.
+type promFamily struct {
+	name    string
+	help    string
+	typ     string
+	samples []promSample
+}
+
+type promSample struct {
+	name   string // full series name, e.g. foo_bucket
+	labels map[string]string
+	value  float64
+}
+
+var (
+	promNameRe   = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)(?:\{([^}]*)\})? (\S+)$`)
+	promLabelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"$`)
+)
+
+// parsePromText parses Prometheus text exposition output strictly:
+// every sample must belong to a family announced by # HELP and # TYPE
+// lines, in that order, before its samples.
+func parsePromText(t *testing.T, text string) []promFamily {
+	t.Helper()
+	var fams []promFamily
+	var cur *promFamily
+	sawHelp := map[string]string{}
+	for lineNo, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || !promNameRe.MatchString(name) {
+				t.Fatalf("line %d: malformed HELP: %q", lineNo+1, line)
+			}
+			sawHelp[name] = help
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", lineNo+1, line)
+			}
+			name, typ := fields[0], fields[1]
+			if !promNameRe.MatchString(name) {
+				t.Fatalf("line %d: bad family name %q", lineNo+1, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown type %q", lineNo+1, typ)
+			}
+			help, ok := sawHelp[name]
+			if !ok {
+				t.Fatalf("line %d: TYPE for %q without preceding HELP", lineNo+1, name)
+			}
+			fams = append(fams, promFamily{name: name, help: help, typ: typ})
+			cur = &fams[len(fams)-1]
+		case strings.HasPrefix(line, "#"):
+			// comments are legal; ignore
+		default:
+			m := promSampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed sample: %q", lineNo+1, line)
+			}
+			s := promSample{name: m[1], labels: map[string]string{}}
+			if m[2] != "" {
+				for _, lp := range strings.Split(m[2], ",") {
+					lm := promLabelRe.FindStringSubmatch(lp)
+					if lm == nil {
+						t.Fatalf("line %d: malformed label pair %q", lineNo+1, lp)
+					}
+					s.labels[lm[1]] = lm[2]
+				}
+			}
+			v, err := strconv.ParseFloat(m[3], 64)
+			if err != nil && m[3] != "+Inf" && m[3] != "-Inf" && m[3] != "NaN" {
+				t.Fatalf("line %d: bad value %q", lineNo+1, m[3])
+			}
+			s.value = v
+			if cur == nil {
+				t.Fatalf("line %d: sample %q before any TYPE line", lineNo+1, s.name)
+			}
+			// A sample belongs to the current family if its series name
+			// is the family name or family name + a histogram/summary
+			// suffix.
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(
+				s.name, "_bucket"), "_sum"), "_count")
+			if s.name != cur.name && base != cur.name {
+				t.Fatalf("line %d: sample %q under family %q", lineNo+1, s.name, cur.name)
+			}
+			cur.samples = append(cur.samples, s)
+		}
+	}
+	return fams
+}
+
+// TestPrometheusExpositionConformance scrapes a representative registry
+// and verifies exposition-format conformance: HELP+TYPE for every
+// family, cumulative le-labelled histogram buckets ending in le="+Inf",
+// consistent _sum/_count series, and quantile-labelled summaries.
+func TestPrometheusExpositionConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Help("pushes_total", "total push operations accepted")
+	c := r.Counter("pushes_total")
+	c.Add(41)
+	g := r.Gauge("occupancy")
+	g.Set(17)
+	r.CounterFunc("sampled_total", func() uint64 { return 5 })
+	r.GaugeFunc("depth", func() float64 { return 2.5 })
+	h := r.Histogram("push_depth", []uint64{1, 2, 4, 8})
+	for v := uint64(0); v <= 10; v++ {
+		h.Observe(v)
+	}
+	r.Help("sojourn_cycles", "enqueue-to-dequeue latency with a\nnewline and back\\slash")
+	q := r.QuantileHistogram("sojourn_cycles")
+	for v := uint64(1); v <= 1000; v++ {
+		q.Observe(v)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	fams := parsePromText(t, text)
+	byName := map[string]promFamily{}
+	for _, f := range fams {
+		byName[f.name] = f
+	}
+	if len(byName) != 6 {
+		t.Fatalf("got %d families, want 6:\n%s", len(byName), text)
+	}
+
+	// Registered help text is emitted, escaped.
+	if f := byName["pushes_total"]; f.typ != "counter" || f.help != "total push operations accepted" {
+		t.Fatalf("pushes_total family: %+v", f)
+	}
+	if f := byName["sojourn_cycles"]; !strings.Contains(f.help, `\n`) || !strings.Contains(f.help, `\\`) {
+		t.Fatalf("help not escaped: %q", f.help)
+	}
+
+	// Histogram: cumulative buckets ending in le="+Inf", matching _count.
+	hf := byName["push_depth"]
+	if hf.typ != "histogram" {
+		t.Fatalf("push_depth type %q", hf.typ)
+	}
+	var lastCum float64 = -1
+	var sawInf bool
+	var count, bucketMax float64
+	for _, s := range hf.samples {
+		switch s.name {
+		case "push_depth_bucket":
+			le, ok := s.labels["le"]
+			if !ok {
+				t.Fatalf("bucket without le label: %+v", s)
+			}
+			if s.value < lastCum {
+				t.Fatalf("buckets not cumulative at le=%s: %v < %v", le, s.value, lastCum)
+			}
+			lastCum = s.value
+			bucketMax = s.value
+			if le == "+Inf" {
+				sawInf = true
+			} else if sawInf {
+				t.Fatal("le=\"+Inf\" bucket is not last")
+			}
+		case "push_depth_count":
+			count = s.value
+		}
+	}
+	if !sawInf {
+		t.Fatal("histogram missing le=\"+Inf\" bucket")
+	}
+	if count != 11 || bucketMax != count {
+		t.Fatalf("count %v, +Inf cum %v, want both 11", count, bucketMax)
+	}
+
+	// Summary: the four standard quantiles plus _sum/_count.
+	qf := byName["sojourn_cycles"]
+	if qf.typ != "summary" {
+		t.Fatalf("sojourn_cycles type %q", qf.typ)
+	}
+	quantiles := map[string]bool{}
+	var qcount float64
+	for _, s := range qf.samples {
+		if s.name == "sojourn_cycles" {
+			quantiles[s.labels["quantile"]] = true
+		}
+		if s.name == "sojourn_cycles_count" {
+			qcount = s.value
+		}
+	}
+	for _, want := range []string{"0.5", "0.9", "0.99", "0.999"} {
+		if !quantiles[want] {
+			t.Fatalf("summary missing quantile %q (have %v)", want, quantiles)
+		}
+	}
+	if qcount != 1000 {
+		t.Fatalf("summary count %v", qcount)
+	}
+}
+
+// TestHistogramSnapshotMeanEmpty pins the empty-snapshot guard: Mean on
+// a zero-observation histogram must be 0, not NaN, so JSON sinks never
+// see an unencodable value.
+func TestHistogramSnapshotMeanEmpty(t *testing.T) {
+	h := NewHistogram([]uint64{1, 2, 4})
+	s := h.snapshot()
+	if m := s.Mean(); m != 0 {
+		t.Fatalf("empty Mean = %v, want 0", m)
+	}
+	var zero HistogramSnapshot
+	if m := zero.Mean(); m != 0 {
+		t.Fatalf("zero-value Mean = %v, want 0", m)
+	}
+	h.Observe(4)
+	if m := h.snapshot().Mean(); m != 4 {
+		t.Fatalf("Mean after one observation = %v, want 4", m)
+	}
+}

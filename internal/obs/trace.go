@@ -104,6 +104,18 @@ func (t *TraceRecorder) Counter(pid, ts int64, name string, values map[string]an
 	t.add(TraceEvent{Name: name, Phase: "C", Ts: ts, Pid: pid, Args: values})
 }
 
+// QuantileCounter records the standard latency quantiles of a snapshot
+// as one counter sample, so sojourn percentiles render as stacked
+// series alongside the cycle waveform.
+func (t *TraceRecorder) QuantileCounter(pid, ts int64, name string, s QuantileSnapshot) {
+	if t == nil || s.Count == 0 {
+		return
+	}
+	t.Counter(pid, ts, name, map[string]any{
+		"p50": s.P50, "p90": s.P90, "p99": s.P99, "p999": s.P999,
+	})
+}
+
 // Len returns the number of recorded events.
 func (t *TraceRecorder) Len() int {
 	if t == nil {

@@ -11,6 +11,15 @@ func (p *PIFO) Instrument(reg *obs.Registry, prefix string) {
 	if reg == nil {
 		return
 	}
+	reg.Help(prefix+"_sojourn_cycles",
+		"enqueue-to-dequeue latency of popped elements in logical clock ticks (one tick per push or pop)")
+	p.sojourn = reg.QuantileHistogram(prefix + "_sojourn_cycles")
+	p.born = p.born[:0]
+	for range p.entries {
+		// Elements already resident when instrumentation attaches get
+		// the current tick; their sojourn measures from this point.
+		p.born = append(p.born, p.clock())
+	}
 	reg.CounterFunc(prefix+"_pushes_total", func() uint64 { return p.pushes })
 	reg.CounterFunc(prefix+"_pops_total", func() uint64 { return p.pops })
 	reg.CounterFunc(prefix+"_cycles_total", func() uint64 { return p.cycle })
@@ -18,3 +27,7 @@ func (p *PIFO) Instrument(reg *obs.Registry, prefix string) {
 	reg.GaugeFunc(prefix+"_capacity", func() float64 { return float64(p.cap) })
 	reg.GaugeFunc(prefix+"_occupancy_highwater", func() float64 { return float64(p.maxLen) })
 }
+
+// SojournSnapshot returns the sojourn-latency distribution collected
+// since Instrument was called (the zero snapshot when uninstrumented).
+func (p *PIFO) SojournSnapshot() obs.QuantileSnapshot { return p.sojourn.Snapshot() }

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hw"
+	"repro/internal/obs"
 )
 
 // PIFO is a sorted shift-register priority queue with fixed capacity.
@@ -39,7 +40,17 @@ type PIFO struct {
 
 	pushes, pops uint64
 	maxLen       int
+
+	// sojourn, when instrumented, observes enqueue-to-dequeue latency
+	// in logical clock ticks (one tick per push or pop); born shadows
+	// entries with each element's insertion tick. Both stay nil on an
+	// uninstrumented queue, so the bare path never touches them.
+	sojourn *obs.QuantileHistogram
+	born    []uint32
 }
+
+// clock returns the logical clock: one tick per completed operation.
+func (p *PIFO) clock() uint32 { return uint32(p.pushes + p.pops) }
 
 // New creates an empty PIFO with the given capacity (number of shift
 // register blocks).
@@ -90,6 +101,11 @@ func (p *PIFO) Push(e core.Element) error {
 	p.entries = append(p.entries, core.Element{})
 	copy(p.entries[lo+1:], p.entries[lo:])
 	p.entries[lo] = e
+	if p.sojourn != nil {
+		p.born = append(p.born, 0)
+		copy(p.born[lo+1:], p.born[lo:])
+		p.born[lo] = p.clock()
+	}
 	p.pushes++
 	if len(p.entries) > p.maxLen {
 		p.maxLen = len(p.entries)
@@ -108,6 +124,11 @@ func (p *PIFO) Pop() (core.Element, error) {
 	e := p.entries[0]
 	copy(p.entries, p.entries[1:])
 	p.entries = p.entries[:len(p.entries)-1]
+	if p.sojourn != nil {
+		p.sojourn.Observe(uint64(p.clock() - p.born[0]))
+		copy(p.born, p.born[1:])
+		p.born = p.born[:len(p.born)-1]
+	}
 	p.pops++
 	return e, nil
 }
@@ -167,4 +188,7 @@ func (p *PIFO) TickPushPop(op hw.Op) (*core.Element, error) {
 }
 
 // Reset empties the queue.
-func (p *PIFO) Reset() { p.entries = p.entries[:0] }
+func (p *PIFO) Reset() {
+	p.entries = p.entries[:0]
+	p.born = p.born[:0]
+}

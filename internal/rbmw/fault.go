@@ -316,7 +316,10 @@ func (s *Sim) Recover() (survivors []core.Element, dropped int) {
 // pushSync applies a full push — root to resting slot — in zero cycles,
 // chaining the wave the datapath would spread over one cycle per level.
 func (s *Sim) pushSync(val, meta uint64) {
-	w := wave{node: 0, push: true, val: val, meta: meta}
+	// Recovered elements restart their sojourn clock at the recovery
+	// cycle; the original born tag is not recoverable from the parity
+	// word (born is observability side-state, outside the ECC domain).
+	w := wave{node: 0, push: true, val: val, meta: meta, born: uint32(s.cycle)}
 	for {
 		s.next = s.next[:0]
 		s.stepPush(w)

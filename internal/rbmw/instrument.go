@@ -21,6 +21,10 @@ type instrumentation struct {
 	pushDepth *obs.Histogram // level where a push wave parked
 	popDepth  *obs.Histogram // level where a pop refill chain ended
 
+	// sojourn observes enqueue-to-dequeue latency in clock cycles for
+	// every popped element (the born tag on each slot).
+	sojourn *obs.QuantileHistogram
+
 	tr      *obs.TraceRecorder
 	pid     int64
 	lastOcc int // last occupancy emitted on the trace counter track
@@ -56,6 +60,9 @@ func (s *Sim) Instrument(reg *obs.Registry, prefix string) {
 	}
 	in.pushDepth = reg.Histogram(prefix+"_push_depth_levels", depthBounds)
 	in.popDepth = reg.Histogram(prefix+"_pop_depth_levels", depthBounds)
+	reg.Help(prefix+"_sojourn_cycles",
+		"enqueue-to-dequeue latency of popped elements in clock cycles")
+	in.sojourn = reg.QuantileHistogram(prefix + "_sojourn_cycles")
 
 	reg.CounterFunc(prefix+"_pushes_total", func() uint64 { return s.pushes })
 	reg.CounterFunc(prefix+"_pops_total", func() uint64 { return s.pops })
@@ -177,4 +184,20 @@ func (in *instrumentation) endCycle(s *Sim, kind hw.CycleKind) {
 		in.tr.Counter(in.pid, int64(s.cycle), "occupancy", map[string]any{"elements": s.size})
 		in.lastOcc = s.size
 	}
+	// Sojourn quantiles render as a periodic counter track; every 1024
+	// cycles keeps the event volume negligible next to the wave slices.
+	if in.tr != nil && s.cycle&1023 == 0 {
+		in.tr.QuantileCounter(in.pid, int64(s.cycle), "sojourn_cycles", in.sojourn.Snapshot())
+	}
+}
+
+// SojournSnapshot returns the sojourn-latency distribution collected
+// since Instrument was called (the zero snapshot when uninstrumented).
+func (s *Sim) SojournSnapshot() obs.QuantileSnapshot { return s.instrSojourn().Snapshot() }
+
+func (s *Sim) instrSojourn() *obs.QuantileHistogram {
+	if s.instr == nil {
+		return nil
+	}
+	return s.instr.sojourn
 }

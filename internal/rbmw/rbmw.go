@@ -40,22 +40,29 @@ import (
 )
 
 // slot mirrors the pifo_data storage of one element inside a building
-// block: value, metadata and the sub-tree counter.
+// block: value, metadata and the sub-tree counter. born is the low 32
+// bits of the clock cycle when the element entered the machine — the
+// sojourn-probe tag, carried in the padding after count so the slot
+// stays 24 bytes. It is observability side-state, not part of the
+// fault-addressable storage word (see fault.go).
 type slot struct {
 	val   uint64
 	meta  uint64
 	count uint32
+	born  uint32
 }
 
 // wave is an operation travelling down the pipeline: it is processed at
-// node during the current cycle. Push waves carry the displaced value;
-// pop waves recompute the node's minimum slot locally (autonomous
-// nodes — Section 3.3).
+// node during the current cycle. Push waves carry the displaced value
+// (and its born tag); pop waves recompute the node's minimum slot
+// locally (autonomous nodes — Section 3.3). Field order packs born into
+// what used to be padding so the struct stays 32 bytes.
 type wave struct {
 	node int
-	push bool
 	val  uint64
 	meta uint64
+	born uint32
+	push bool
 }
 
 // Sim is the cycle-accurate R-BMW simulator.
@@ -209,7 +216,7 @@ func (s *Sim) Tick(op hw.Op) (*core.Element, error) {
 	// this cycle's pop waves (sustained transfer reports post-push
 	// minima).
 	if op.Kind == hw.Push {
-		s.cur = append(s.cur, wave{node: 0, push: true, val: op.Value, meta: op.Meta})
+		s.cur = append(s.cur, wave{node: 0, push: true, val: op.Value, meta: op.Meta, born: uint32(s.cycle)})
 		s.size++
 		s.pushes++
 	}
@@ -231,6 +238,9 @@ func (s *Sim) Tick(op hw.Op) (*core.Element, error) {
 					result = &core.Element{Value: sl.val, Meta: sl.meta}
 					s.size--
 					s.pops++
+					if s.instr != nil {
+						s.instr.sojourn.Observe(uint64(uint32(s.cycle) - sl.born))
+					}
 				} else if n := len(s.stranded); n > 0 {
 					// The pop aborted mid-flight and no element left the
 					// machine: drop the stale-duplicate marker stepPop
@@ -297,7 +307,7 @@ func (s *Sim) stepPush(w wave) {
 	base := w.node * s.m
 	for i := 0; i < s.m; i++ {
 		if s.nodes[base+i].count == 0 {
-			s.nodes[base+i] = slot{val: w.val, meta: w.meta, count: 1}
+			s.nodes[base+i] = slot{val: w.val, meta: w.meta, count: 1, born: w.born}
 			s.touch(base + i)
 			if s.instr != nil {
 				s.instr.pushDepth.Observe(uint64(lvl))
@@ -313,10 +323,11 @@ func (s *Sim) stepPush(w wave) {
 	}
 	sl := &s.nodes[base+min]
 	sl.count++
-	val, meta := w.val, w.meta
+	val, meta, born := w.val, w.meta, w.born
 	if val < sl.val {
 		val, sl.val = sl.val, val
 		meta, sl.meta = sl.meta, meta
+		born, sl.born = sl.born, born
 	}
 	s.touch(base + min)
 	child := w.node*s.m + min + 1
@@ -331,12 +342,12 @@ func (s *Sim) stepPush(w wave) {
 				Unit: "rbmw-regs", Word: base + min, Chunk: -1, Cycle: s.cycle,
 				Detail: "push descended past the last level (corrupt sub-tree counter)",
 			})
-			s.stranded = append(s.stranded, wave{push: true, val: val, meta: meta})
+			s.stranded = append(s.stranded, wave{push: true, val: val, meta: meta, born: born})
 			return
 		}
 		panic("rbmw: push descended past the last level")
 	}
-	s.next = append(s.next, wave{node: child, push: true, val: val, meta: meta})
+	s.next = append(s.next, wave{node: child, push: true, val: val, meta: meta, born: born})
 }
 
 // stepPop performs one node's share of a pop with sustained transfer:
@@ -384,6 +395,7 @@ func (s *Sim) stepPop(w wave) {
 	}
 	cs := s.nodes[cj]
 	sl.val, sl.meta = cs.val, cs.meta
+	sl.born = cs.born
 	s.touch(j)
 	s.next = append(s.next, wave{node: child})
 }

@@ -29,7 +29,10 @@ import (
 const rootSlotBits = 64 + 64 + 32
 
 // nodeCodec serialises a node (the first m slots) into 64-bit chunks
-// for the ECC layer: three chunks per slot — value, metadata, counter.
+// for the ECC layer: three chunks per slot — value, metadata, and the
+// counter sharing its chunk with the sojourn born tag (counter in the
+// low half, born in the previously-unused high half, so the protected
+// word width is unchanged and the tag survives the SRAM round trip).
 type nodeCodec struct{ m int }
 
 // Chunks returns 3 chunks per live slot.
@@ -40,7 +43,7 @@ func (c nodeCodec) Encode(w node, dst []uint64) {
 	for i := 0; i < c.m; i++ {
 		dst[3*i] = w.slots[i].val
 		dst[3*i+1] = w.slots[i].meta
-		dst[3*i+2] = uint64(w.slots[i].count)
+		dst[3*i+2] = uint64(w.slots[i].count) | uint64(w.slots[i].born)<<32
 	}
 }
 
@@ -51,6 +54,7 @@ func (c nodeCodec) Decode(src []uint64) node {
 		w.slots[i].val = src[3*i]
 		w.slots[i].meta = src[3*i+1]
 		w.slots[i].count = uint32(src[3*i+2])
+		w.slots[i].born = uint32(src[3*i+2] >> 32)
 	}
 	return w
 }
@@ -516,9 +520,12 @@ func (s *Sim) Recover() (survivors []core.Element, dropped int) {
 // maintenance paths, mirroring the placement the pipelined datapath
 // (and the golden model) would perform.
 func (s *Sim) pushSync(val, meta uint64) {
+	// Recovered elements restart their sojourn clock at the recovery
+	// cycle; the original born tag may have been lost with the slot.
+	born := uint32(s.cycle)
 	for i := 0; i < s.m; i++ {
 		if s.root[i].count == 0 {
-			s.root[i] = slot{val: val, meta: meta, count: 1}
+			s.root[i] = slot{val: val, meta: meta, count: 1, born: born}
 			s.touchRoot(i)
 			s.size++
 			return
@@ -534,6 +541,7 @@ func (s *Sim) pushSync(val, meta uint64) {
 	if val < s.root[min].val {
 		val, s.root[min].val = s.root[min].val, val
 		meta, s.root[min].meta = s.root[min].meta, meta
+		born, s.root[min].born = s.root[min].born, born
 	}
 	s.touchRoot(min)
 	lvl, addr := 2, min
@@ -543,7 +551,7 @@ func (s *Sim) pushSync(val, meta uint64) {
 		placed, next := false, 0
 		for i := 0; i < s.m; i++ {
 			if nd.slots[i].count == 0 {
-				nd.slots[i] = slot{val: val, meta: meta, count: 1}
+				nd.slots[i] = slot{val: val, meta: meta, count: 1, born: born}
 				placed = true
 				break
 			}
@@ -559,6 +567,7 @@ func (s *Sim) pushSync(val, meta uint64) {
 			if val < nd.slots[mi].val {
 				val, nd.slots[mi].val = nd.slots[mi].val, val
 				meta, nd.slots[mi].meta = nd.slots[mi].meta, meta
+				born, nd.slots[mi].born = nd.slots[mi].born, born
 			}
 			next = addr*s.m + mi
 		}

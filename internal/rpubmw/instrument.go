@@ -35,6 +35,10 @@ type instrumentation struct {
 	pushDepth *obs.Histogram
 	popDepth  *obs.Histogram
 
+	// sojourn observes enqueue-to-dequeue latency in clock cycles for
+	// every popped element (the born tag on each slot).
+	sojourn *obs.QuantileHistogram
+
 	tr  *obs.TraceRecorder
 	pid int64
 	// prev* hold last cycle's per-level SRAM port totals so endCycle
@@ -85,6 +89,9 @@ func (s *Sim) Instrument(reg *obs.Registry, prefix string) {
 	}
 	in.pushDepth = reg.Histogram(prefix+"_push_depth_levels", depthBounds)
 	in.popDepth = reg.Histogram(prefix+"_pop_depth_levels", depthBounds)
+	reg.Help(prefix+"_sojourn_cycles",
+		"enqueue-to-dequeue latency of popped elements in clock cycles")
+	in.sojourn = reg.QuantileHistogram(prefix + "_sojourn_cycles")
 
 	reg.CounterFunc(prefix+"_pushes_total", func() uint64 { return s.pushes })
 	reg.CounterFunc(prefix+"_pops_total", func() uint64 { return s.pops })
@@ -232,6 +239,20 @@ func (in *instrumentation) endCycle(s *Sim, kind hw.CycleKind, op hw.Op, wasAvai
 		in.tr.Counter(in.pid, ts, "occupancy", map[string]any{"elements": s.size})
 		in.lastOcc = s.size
 	}
+	// Sojourn quantiles render as a periodic counter track; every 1024
+	// cycles keeps the event volume negligible next to the op slices.
+	if s.cycle&1023 == 0 {
+		in.tr.QuantileCounter(in.pid, ts, "sojourn_cycles", in.sojourn.Snapshot())
+	}
+}
+
+// SojournSnapshot returns the sojourn-latency distribution collected
+// since Instrument was called (the zero snapshot when uninstrumented).
+func (s *Sim) SojournSnapshot() obs.QuantileSnapshot {
+	if s.instr == nil {
+		return obs.QuantileSnapshot{}
+	}
+	return s.instr.sojourn.Snapshot()
 }
 
 // trackStrands turns liftQ/rootLift valid spans into trace slices:

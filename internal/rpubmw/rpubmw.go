@@ -46,11 +46,17 @@ import (
 const MaxOrder = 16
 
 // slot is one element position: value, metadata, sub-tree counter
-// (0 = empty).
+// (0 = empty). born is the low 32 bits of the clock cycle when the
+// element entered the machine — the sojourn-probe tag. It rides in the
+// padding after count (the slot stays 24 bytes) and is observability
+// side-state: not part of the fault-addressable root register word,
+// though the SRAM codec round-trips it through the counter chunk's
+// unused upper half (see fault.go).
 type slot struct {
 	val   uint64
 	meta  uint64
 	count uint32
+	born  uint32
 }
 
 // node is one SRAM word: up to MaxOrder element slots.
@@ -66,6 +72,7 @@ type fetch struct {
 	addr  int // node address within this level's SRAM
 	val   uint64
 	meta  uint64
+	born  uint32 // sojourn tag travelling with a displaced push payload
 }
 
 // liftWait is a pop resident in an RPU: the node has been loaded, its
@@ -429,7 +436,7 @@ func (s *Sim) rootOp(op hw.Op) (result *core.Element) {
 	case hw.Push:
 		s.checkRoot()
 		if s.faultErr != nil {
-			s.strand(2, fetch{valid: true, kind: hw.Push, val: op.Value, meta: op.Meta})
+			s.strand(2, fetch{valid: true, kind: hw.Push, val: op.Value, meta: op.Meta, born: uint32(s.cycle)})
 			return nil
 		}
 		s.rootPush(op.Value, op.Meta)
@@ -453,9 +460,10 @@ func (s *Sim) rootOp(op hw.Op) (result *core.Element) {
 // leftmost empty slot or displace down the least-loaded sub-tree,
 // issuing the SRAM_2 read for the displaced value.
 func (s *Sim) rootPush(val, meta uint64) {
+	born := uint32(s.cycle)
 	for i := 0; i < s.m; i++ {
 		if s.root[i].count == 0 {
-			s.root[i] = slot{val: val, meta: meta, count: 1}
+			s.root[i] = slot{val: val, meta: meta, count: 1, born: born}
 			s.touchRoot(i)
 			if s.instr != nil {
 				s.instr.pushDepth.Observe(1)
@@ -473,9 +481,10 @@ func (s *Sim) rootPush(val, meta uint64) {
 	if val < s.root[min].val {
 		val, s.root[min].val = s.root[min].val, val
 		meta, s.root[min].meta = s.root[min].meta, meta
+		born, s.root[min].born = s.root[min].born, born
 	}
 	s.touchRoot(min)
-	f := fetch{valid: true, kind: hw.Push, addr: min, val: val, meta: meta}
+	f := fetch{valid: true, kind: hw.Push, addr: min, val: val, meta: meta, born: born}
 	if !s.issueRead(2, min, f) {
 		s.strand(2, f) // preserve the displaced element for recovery
 	}
@@ -486,12 +495,14 @@ func (s *Sim) rootPush(val, meta uint64) {
 func (s *Sim) rootPop() *core.Element {
 	j := minSlotOf(s.root[:s.m])
 	out := &core.Element{Value: s.root[j].val, Meta: s.root[j].meta}
+	born := s.root[j].born
 	s.root[j].count--
 	if s.root[j].count == 0 {
 		s.root[j] = slot{}
 		s.touchRoot(j)
 		if s.instr != nil {
 			s.instr.popDepth.Observe(1)
+			s.instr.sojourn.Observe(uint64(uint32(s.cycle) - born))
 		}
 		return out
 	}
@@ -503,6 +514,9 @@ func (s *Sim) rootPop() *core.Element {
 		s.rootLift = liftWait{}
 		return nil
 	}
+	if s.instr != nil {
+		s.instr.sojourn.Observe(uint64(uint32(s.cycle) - born))
+	}
 	return out
 }
 
@@ -512,7 +526,7 @@ func (s *Sim) stepPush(lvl int, ar fetch, nd node) {
 	placed := false
 	for i := 0; i < s.m; i++ {
 		if nd.slots[i].count == 0 {
-			nd.slots[i] = slot{val: ar.val, meta: ar.meta, count: 1}
+			nd.slots[i] = slot{val: ar.val, meta: ar.meta, count: 1, born: ar.born}
 			placed = true
 			if s.instr != nil {
 				s.instr.pushDepth.Observe(uint64(lvl))
@@ -528,12 +542,13 @@ func (s *Sim) stepPush(lvl int, ar fetch, nd node) {
 			}
 		}
 		nd.slots[min].count++
-		val, meta := ar.val, ar.meta
+		val, meta, born := ar.val, ar.meta, ar.born
 		if val < nd.slots[min].val {
 			val, nd.slots[min].val = nd.slots[min].val, val
 			meta, nd.slots[min].meta = nd.slots[min].meta, meta
+			born, nd.slots[min].born = nd.slots[min].born, born
 		}
-		forward := fetch{valid: true, kind: hw.Push, addr: ar.addr*s.m + min, val: val, meta: meta}
+		forward := fetch{valid: true, kind: hw.Push, addr: ar.addr*s.m + min, val: val, meta: meta, born: born}
 		if lvl == s.l {
 			// Possible only when a corrupted counter routed the push into
 			// a full sub-tree; in tolerant mode latch and preserve the
@@ -567,6 +582,7 @@ func (s *Sim) stepPop(lvl int, ar fetch, nd node) {
 		}
 		s.root[s.rootLift.vac].val = lifted.val
 		s.root[s.rootLift.vac].meta = lifted.meta
+		s.root[s.rootLift.vac].born = lifted.born
 		s.touchRoot(s.rootLift.vac)
 		s.rootLift = liftWait{}
 	} else {
@@ -576,6 +592,7 @@ func (s *Sim) stepPop(lvl int, ar fetch, nd node) {
 		}
 		lw.node.slots[lw.vac].val = lifted.val
 		lw.node.slots[lw.vac].meta = lifted.meta
+		lw.node.slots[lw.vac].born = lifted.born
 		s.rams[lvl-3].Write(lw.addr, lw.node)
 		*lw = liftWait{}
 	}

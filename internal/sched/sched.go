@@ -38,6 +38,24 @@ type Ranker interface {
 	OnDequeue(p Packet, rank uint64)
 }
 
+// Observed decorates a Ranker with a dequeue callback so a host (e.g.
+// the netsim bottleneck) can attach latency and scheduling-quality
+// probes without the queue or ranker implementations knowing about
+// them. Dequeued, when non-nil, runs after the delegate's OnDequeue
+// with the same packet and rank.
+type Observed struct {
+	Ranker
+	Dequeued func(p Packet, rank uint64)
+}
+
+// OnDequeue forwards to the delegate, then invokes the callback.
+func (o Observed) OnDequeue(p Packet, rank uint64) {
+	o.Ranker.OnDequeue(p, rank)
+	if o.Dequeued != nil {
+		o.Dequeued(p, rank)
+	}
+}
+
 // FCFS ranks packets by arrival time (First Come First Serve).
 type FCFS struct{}
 

@@ -1,0 +1,21 @@
+package sppifo
+
+import "repro/internal/obs"
+
+// Instrument registers the queue's probes in reg under the given
+// metric-name prefix. All instruments are snapshot-time callbacks
+// reading queue state — snapshot only between operations. The push-up
+// and push-down counters are SP-PIFO's own adaptation events (Alcoz et
+// al.): each one marks a packet the bound adaptation had to misfile,
+// the structural source of its rank inversions. A nil registry is a
+// no-op.
+func (q *Queue) Instrument(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc(prefix+"_push_ups_total", func() uint64 { return q.pushUps })
+	reg.CounterFunc(prefix+"_push_downs_total", func() uint64 { return q.pushDowns })
+	reg.GaugeFunc(prefix+"_occupancy", func() float64 { return float64(q.size) })
+	reg.GaugeFunc(prefix+"_capacity", func() float64 { return float64(q.cap) })
+	reg.GaugeFunc(prefix+"_queues", func() float64 { return float64(len(q.queues)) })
+}

@@ -25,8 +25,21 @@ type TraceRecorder = obs.TraceRecorder
 // CycleTrace is a parsed Chrome Trace Event file.
 type CycleTrace = obs.Trace
 
+// QuantileHistogram is an HDR-style log-bucketed latency histogram
+// with p50/p90/p99/p99.9 estimation; the sojourn probes of the queue
+// simulators and netsim feed one each.
+type QuantileHistogram = obs.QuantileHistogram
+
+// QuantileSnapshot is a QuantileHistogram's state at one instant,
+// including the estimated quantiles.
+type QuantileSnapshot = obs.QuantileSnapshot
+
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewQuantileHistogram returns an unregistered quantile histogram (use
+// MetricsRegistry.QuantileHistogram to register one by name).
+func NewQuantileHistogram() *QuantileHistogram { return obs.NewQuantileHistogram() }
 
 // NewTraceRecorder returns an empty cycle-trace recorder.
 func NewTraceRecorder() *TraceRecorder { return obs.NewTraceRecorder() }
