@@ -22,12 +22,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
+	"time"
 
 	"math/rand"
 
@@ -35,6 +40,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/hw"
 	"repro/internal/obs"
+	"repro/internal/persist"
 	"repro/internal/rbmw"
 	"repro/internal/rpubmw"
 	"repro/internal/trafficgen"
@@ -52,6 +58,7 @@ type soakSim interface {
 	PushAvailable() bool
 	PopAvailable() bool
 	Quiescent() bool
+	Faulted() bool
 	Verify() error
 	Detected() uint64
 	Recoveries() uint64
@@ -97,6 +104,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "seed for the workload, the fault plan and fault placement")
 		httpAddr   = flag.String("http", "", "serve /metrics, /metrics.json and /debug/pprof on this address during the run")
 		metricsOut = flag.String("metrics-out", "", "write the final metrics snapshot JSON to this file")
+		persistDir = flag.String("persist", "", "stream the workload to a WAL and checkpoint in quiescent windows under this directory, then validate a crash recovery before the final drain")
 	)
 	flag.Parse()
 	if *cycles == 0 {
@@ -133,29 +141,28 @@ func main() {
 	fmt.Printf("bmwsoak -design %s -m %d -l %d -cycles %d -faults %d -rate %g -maxrandom %d -stuck %d -ecc %s -scrub %d -checkevery %d -workload %s -seed %d\n",
 		*design, *m, *l, *cycles, *faults, *rate, *maxRandom, *stuck, mode, *scrub, *checkEvery, dist, *seed)
 
-	var (
-		sim       soakSim
-		targets   []hw.FaultTarget
-		eccTotals func() faultinject.ECCStats
-	)
-	switch *design {
-	case "rbmw":
-		// The register design has no SRAM to code: off disables the
-		// per-slot parity column, any other mode enables it.
-		s := rbmw.New(*m, *l)
-		s.Protect(mode != faultinject.EccOff)
-		s.CheckEvery = *checkEvery
-		sim, targets = s, []hw.FaultTarget{s}
-		eccTotals = func() faultinject.ECCStats { return faultinject.ECCStats{} }
-	case "rpubmw":
-		s := rpubmw.New(*m, *l)
-		s.Protect(mode, *scrub)
-		s.CheckEvery = *checkEvery
-		sim, targets = s, s.FaultTargets()
-		eccTotals = s.ECCTotals
-	default:
+	// newSim builds a simulator with the configured shape and
+	// protection; the persist check uses it again to construct the
+	// fresh machine the checkpoint restores into.
+	newSim := func() (soakSim, []hw.FaultTarget, func() faultinject.ECCStats) {
+		switch *design {
+		case "rbmw":
+			// The register design has no SRAM to code: off disables the
+			// per-slot parity column, any other mode enables it.
+			s := rbmw.New(*m, *l)
+			s.Protect(mode != faultinject.EccOff)
+			s.CheckEvery = *checkEvery
+			return s, []hw.FaultTarget{s}, func() faultinject.ECCStats { return faultinject.ECCStats{} }
+		case "rpubmw":
+			s := rpubmw.New(*m, *l)
+			s.Protect(mode, *scrub)
+			s.CheckEvery = *checkEvery
+			return s, s.FaultTargets(), s.ECCTotals
+		}
 		fatalf("unknown -design %q (want rbmw or rpubmw)", *design)
+		return nil, nil, nil
 	}
+	sim, targets, eccTotals := newSim()
 
 	plan := faultinject.NewPlan(faultinject.Config{Seed: *seed, Rate: *rate, MaxRandom: *maxRandom})
 	for _, t := range targets {
@@ -180,14 +187,52 @@ func main() {
 		reg = obs.NewRegistry()
 	}
 	sm := newSoakMetrics(reg)
+	var srv *http.Server
 	if *httpAddr != "" {
 		fmt.Printf("metrics endpoint on http://%s/metrics\n", *httpAddr)
+		srv = obs.NewServer(*httpAddr, reg)
 		go func() {
-			if err := <-obs.Serve(*httpAddr, reg); err != nil {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "bmwsoak: metrics endpoint:", err)
 			}
 		}()
 	}
+
+	// Crash-safe persistence: attach a WAL and checkpoint stream so the
+	// soak doubles as a chaos test of concurrent checkpointing — a bit
+	// flip during a snapshot must be caught by ECC, parity or the
+	// snapshot checksum, never silently persisted.
+	var pmgr *persist.Manager
+	if *persistDir != "" {
+		q, ok := sim.(persist.Checkpointable)
+		if !ok {
+			fatalf("-persist: design %q does not implement checkpointing", *design)
+		}
+		var err error
+		pmgr, err = persist.Attach(*persistDir, q, persist.Options{
+			WAL:     persist.WALOptions{BatchOps: 16, Sync: persist.SyncBatch},
+			Metrics: reg,
+		})
+		if err != nil {
+			fatalf("-persist: %v", err)
+		}
+		fmt.Printf("persist: WAL and checkpoints under %s\n", *persistDir)
+	}
+	recordOp := func(op persist.Op) {
+		if pmgr == nil {
+			return
+		}
+		if err := pmgr.Record(op); err != nil {
+			fatalf("persist: record: %v", err)
+		}
+	}
+
+	// A graceful stop breaks the soak loop, runs the persist check and
+	// drain phases, flushes metrics and shuts the endpoint down; a
+	// second signal falls back to the default handler and aborts.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	interrupted := false
 
 	golden := core.New(*m, *l)
 	sampler := trafficgen.NewSampler(*seed, dist)
@@ -227,6 +272,13 @@ func main() {
 			if err := golden.Push(e); err != nil {
 				fatalf("golden rebuild overflow at cycle %d: %v", sim.Cycle(), err)
 			}
+		}
+		// A rebuild drops slots the WAL thinks are still queued, so the
+		// log no longer replays to the live state: supersede it with a
+		// fresh checkpoint. A refusal (e.g. pipeline busy) is fine —
+		// the pre-drain checkpoint supersedes everything regardless.
+		if pmgr != nil {
+			_ = pmgr.Checkpoint()
 		}
 	}
 
@@ -269,9 +321,27 @@ func main() {
 	gapLen := 2**l + 4
 	idle := 0
 	const samplePeriod = 1024 // gauge refresh cadence for live scraping
+	const ckptPeriod = 20000  // cycles between quiescent-window checkpoints
+	lastCkpt := uint64(0)
 	for sim.Cycle() < *cycles {
+		select {
+		case sig := <-sigc:
+			fmt.Printf("bmwsoak: received %v at cycle %d; stopping gracefully (second signal aborts)\n", sig, sim.Cycle())
+			signal.Stop(sigc)
+			interrupted = true
+		default:
+		}
+		if interrupted {
+			break
+		}
 		if reg != nil && sim.Cycle()%samplePeriod == 0 {
 			sm.sample(sim, plan, eccTotals)
+		}
+		if pmgr != nil && sim.Cycle()-lastCkpt >= ckptPeriod && sim.Quiescent() && !sim.Faulted() {
+			if err := pmgr.Checkpoint(); err != nil {
+				fatalf("persist: checkpoint at cycle %d: %v", sim.Cycle(), err)
+			}
+			lastCkpt = sim.Cycle()
 		}
 		if idle == 0 && wrng.Intn(97) == 0 {
 			idle = gapLen
@@ -307,16 +377,102 @@ func main() {
 		case hw.Push:
 			pushes++
 			sm.pushes.Inc()
+			recordOp(persist.Op{Kind: hw.Push, Cycle: sim.Cycle(), Value: op.Value, Meta: op.Meta})
 			if err := golden.Push(core.Element{Value: op.Value, Meta: op.Meta}); err != nil {
 				fatalf("golden push at cycle %d: %v", sim.Cycle(), err)
 			}
 		case hw.Pop:
 			pops++
 			sm.pops.Inc()
+			if got != nil {
+				recordOp(persist.Op{Kind: hw.Pop, Cycle: sim.Cycle(), Value: got.Value, Meta: got.Meta})
+			}
 			checkPop(got)
 		default:
 			nops++
 			sm.nops.Inc()
+		}
+	}
+
+	// Persist validation phase: checkpoint the live pipeline, recover
+	// the on-disk state into a fresh machine, and prove it drains
+	// bit-identically to the golden model before the main drain
+	// consumes the original.
+	if pmgr != nil {
+		for i := 0; !sim.Quiescent(); i++ {
+			if i > 100000 {
+				fatalf("persist: pipeline did not quiesce for the final checkpoint")
+			}
+			if _, err := sim.Tick(hw.NopOp()); err != nil {
+				if !errors.Is(err, hw.ErrCorrupt) {
+					fatalf("persist: fence nop: %v", err)
+				}
+				classify(err)
+				rebuild()
+			}
+		}
+		if err := pmgr.Checkpoint(); err != nil {
+			fatalf("persist: final checkpoint: %v", err)
+		}
+		if err := pmgr.Close(); err != nil {
+			fatalf("persist: close: %v", err)
+		}
+		fresh, _, _ := newSim()
+		m2, rep, err := persist.Open(*persistDir, fresh.(persist.Checkpointable), persist.Options{})
+		if err != nil {
+			fatalf("persist: recovery: %v", err)
+		}
+		if err := m2.Close(); err != nil {
+			fatalf("persist: recovery close: %v", err)
+		}
+		for i := 0; !fresh.Quiescent(); i++ {
+			if i > 100000 {
+				fatalf("persist: recovered pipeline did not quiesce")
+			}
+			if _, err := fresh.Tick(hw.NopOp()); err != nil {
+				fatalf("persist: recovered fence nop: %v", err)
+			}
+		}
+		if mode != faultinject.EccOff {
+			if err := fresh.Verify(); err != nil {
+				fatalf("persist: recovered pipeline failed verification: %v", err)
+			}
+		}
+		if mode == faultinject.EccOff && escaped > 0 {
+			// The unprotected ablation has already diverged from the
+			// golden model; a drain comparison proves nothing.
+			fmt.Printf("persist: recovered snapshot seq %d (%d replayed ops); drain check skipped after %d escaped fault(s)\n",
+				rep.SnapshotSeq, rep.ReplayedOps, escaped)
+		} else {
+			gc := golden.Clone()
+			recovered := 0
+			for drained := 0; gc.Len() > 0 || fresh.Len() > 0; drained++ {
+				if drained > sim.Cap()*8+1024 {
+					fatalf("persist: recovered drain did not converge (recovered %d, golden %d left)",
+						fresh.Len(), gc.Len())
+				}
+				if !fresh.PopAvailable() {
+					if _, err := fresh.Tick(hw.NopOp()); err != nil {
+						fatalf("persist: recovered drain nop: %v", err)
+					}
+					continue
+				}
+				got, err := fresh.Tick(hw.PopOp())
+				if err != nil {
+					fatalf("persist: recovered drain pop: %v", err)
+				}
+				if got == nil {
+					continue
+				}
+				want, gerr := gc.Pop()
+				if gerr != nil || *got != want {
+					fatalf("persist: recovered drain diverged at element %d: recovered %s, golden %s",
+						recovered, fmtElem(got), fmtElem(&want))
+				}
+				recovered++
+			}
+			fmt.Printf("persist: recovered snapshot seq %d (%d replayed ops) drains bit-identically (%d elements)\n",
+				rep.SnapshotSeq, rep.ReplayedOps, recovered)
 		}
 	}
 
@@ -403,6 +559,16 @@ func main() {
 			fatalf("metrics snapshot: %v", err)
 		}
 		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+	}
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "bmwsoak: metrics endpoint shutdown:", err)
+		}
+		cancel()
+	}
+	if interrupted {
+		fmt.Println("bmwsoak: interrupted run finished graceful shutdown")
 	}
 
 	if mode != faultinject.EccOff && escaped > 0 {

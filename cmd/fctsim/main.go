@@ -11,14 +11,29 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	bmw "repro"
 )
+
+// flushMetrics writes the registry snapshot to path; it serves both the
+// normal exit and the signal path, where it captures the mid-run state.
+func flushMetrics(reg *bmw.MetricsRegistry, path string) error {
+	b, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
 
 func main() {
 	schedName := flag.String("sched", "bmw", "bmw | pifo | unlimited")
@@ -97,17 +112,55 @@ func main() {
 		reg = bmw.NewMetricsRegistry()
 		sim.Instrument(reg, "fctsim")
 	}
+	var srv *http.Server
 	if *httpAddr != "" {
 		fmt.Printf("metrics endpoint on http://%s/metrics\n", *httpAddr)
+		srv = bmw.NewMetricsServer(*httpAddr, reg)
 		go func() {
-			if err := <-bmw.ServeMetrics(*httpAddr, reg); err != nil {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "metrics endpoint:", err)
 			}
 		}()
 	}
+	shutdownServer := func() {
+		if srv == nil {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics endpoint shutdown:", err)
+		}
+		cancel()
+	}
+
+	// The event loop has no preemption point, so an interrupt cannot
+	// stop it mid-run; instead the signal path flushes the mid-run
+	// metrics snapshot, drains the HTTP endpoint and exits cleanly.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 
 	t0 := time.Now()
-	res := sim.Run()
+	type runResult = bmw.NetResult
+	done := make(chan runResult, 1)
+	go func() { done <- sim.Run() }()
+
+	var res runResult
+	select {
+	case res = <-done:
+		signal.Stop(sigc)
+	case sig := <-sigc:
+		fmt.Printf("fctsim: received %v after %v; flushing and shutting down\n",
+			sig, time.Since(t0).Round(time.Millisecond))
+		if *metricsOut != "" && reg != nil {
+			if err := flushMetrics(reg, *metricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics snapshot:", err)
+			} else {
+				fmt.Printf("mid-run metrics snapshot written to %s\n", *metricsOut)
+			}
+		}
+		shutdownServer()
+		os.Exit(130)
+	}
 	fmt.Printf("simulated %.2f s in %v (%d events)\n\n",
 		float64(res.SimEndNs)/1e9, time.Since(t0).Round(time.Millisecond), res.Events)
 
@@ -120,15 +173,11 @@ func main() {
 	fmt.Printf("TCP retransmits: %d, timeouts: %d\n", res.Retransmits, res.Timeouts)
 
 	if *metricsOut != "" {
-		b, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "metrics snapshot:", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*metricsOut, append(b, '\n'), 0o644); err != nil {
+		if err := flushMetrics(reg, *metricsOut); err != nil {
 			fmt.Fprintln(os.Stderr, "metrics snapshot:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
 	}
+	shutdownServer()
 }

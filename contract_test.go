@@ -286,3 +286,181 @@ func TestMetricsSnapshotInvariants_Sojourn(t *testing.T) {
 		})
 	}
 }
+
+// TestRestoredQueueSojournContract extends the sojourn contract across a
+// checkpoint/restore cycle: after bmw.Restore into an instrumented
+// fresh queue, every pop still contributes exactly one sojourn
+// observation, and no recovered element reports a sojourn longer than
+// the restored clock — recovered elements carry their persisted born
+// tags (or are re-tagged at the recovery clock), never garbage.
+func TestRestoredQueueSojournContract(t *testing.T) {
+	const name = "restored"
+
+	// base reads the pops counter a restore has just re-established:
+	// the counter callbacks read the queue's restored totals, so the
+	// pre-crash pops reappear immediately, before any new observation.
+	base := func(reg *bmw.MetricsRegistry) uint64 {
+		return reg.Snapshot().Counter(name + "_pops_total")
+	}
+	// checkSojourn asserts the accounting identities: the counter grew
+	// by exactly the drained pops, the sojourn histogram (which only
+	// observes live pops) recorded exactly one sample per drained pop,
+	// and no recovered element claims to have waited longer than the
+	// restored clock has run.
+	checkSojourn := func(t *testing.T, reg *bmw.MetricsRegistry, restored, pops, clock uint64) {
+		t.Helper()
+		if pops == 0 {
+			t.Fatal("restored queue drained no elements; test is vacuous")
+		}
+		snap := reg.Snapshot()
+		if got := snap.Counter(name + "_pops_total"); got != restored+pops {
+			t.Fatalf("pops_total = %d, want restored %d + drained %d", got, restored, pops)
+		}
+		soj := snap.Quantile(name + "_sojourn_cycles")
+		if soj.Count != pops {
+			t.Fatalf("sojourn observations %d != successful pops %d", soj.Count, pops)
+		}
+		if soj.Max > clock {
+			t.Fatalf("max sojourn %d exceeds restored clock %d", soj.Max, clock)
+		}
+	}
+
+	t.Run("bmwtree", func(t *testing.T) {
+		dir := t.TempDir()
+		a := bmw.NewBMWTree(2, 4)
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 400; i++ {
+			if rng.Intn(3) != 0 {
+				a.Push(bmw.Element{Value: uint64(rng.Intn(512)), Meta: uint64(i)})
+			} else {
+				a.Pop()
+			}
+		}
+		if err := bmw.Checkpoint(dir, a); err != nil {
+			t.Fatal(err)
+		}
+
+		b := bmw.NewBMWTree(2, 4)
+		reg := bmw.NewMetricsRegistry()
+		b.Instrument(reg, name)
+		rep, err := bmw.Restore(dir, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.SnapshotSeq == 0 {
+			t.Fatal("restore fell back to genesis replay; no snapshot restored")
+		}
+		if b.Len() != a.Len() {
+			t.Fatalf("restored %d elements, want %d", b.Len(), a.Len())
+		}
+		restored := base(reg)
+		var pops uint64
+		for b.Len() > 0 {
+			if _, err := b.Pop(); err != nil {
+				t.Fatal(err)
+			}
+			pops++
+		}
+		p, q := b.OpStats()
+		checkSojourn(t, reg, restored, pops, p+q)
+	})
+
+	t.Run("pifo", func(t *testing.T) {
+		dir := t.TempDir()
+		a := bmw.NewPIFO(30)
+		rega := bmw.NewMetricsRegistry()
+		a.Instrument(rega, name) // instrumented source: born tags persist
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < 300; i++ {
+			if rng.Intn(3) != 0 {
+				a.Push(bmw.Element{Value: uint64(rng.Intn(512)), Meta: uint64(i)})
+			} else {
+				a.Pop()
+			}
+		}
+		if err := bmw.Checkpoint(dir, a); err != nil {
+			t.Fatal(err)
+		}
+
+		b := bmw.NewPIFO(30)
+		reg := bmw.NewMetricsRegistry()
+		b.Instrument(reg, name)
+		if _, err := bmw.Restore(dir, b); err != nil {
+			t.Fatal(err)
+		}
+		restored := base(reg)
+		var pops uint64
+		for b.Len() > 0 {
+			if _, err := b.Pop(); err != nil {
+				t.Fatal(err)
+			}
+			pops++
+		}
+		p, q := b.Stats()
+		checkSojourn(t, reg, restored, pops, p+q)
+	})
+
+	t.Run("rbmw", func(t *testing.T) {
+		dir := t.TempDir()
+		a := bmw.NewRBMWSim(2, 4)
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 600; i++ {
+			switch {
+			case a.PushAvailable() && !a.AlmostFull() && rng.Intn(3) != 0:
+				a.Tick(bmw.PushOp(uint64(rng.Intn(512)), uint64(i)))
+			case a.PopAvailable() && a.Len() > 0:
+				a.Tick(bmw.PopOp())
+			default:
+				a.Tick(bmw.NopOp())
+			}
+		}
+		for !a.Quiescent() {
+			a.Tick(bmw.NopOp())
+		}
+		if err := bmw.Checkpoint(dir, a); err != nil {
+			t.Fatal(err)
+		}
+
+		b := bmw.NewRBMWSim(2, 4)
+		reg := bmw.NewMetricsRegistry()
+		b.Instrument(reg, name)
+		if _, err := bmw.Restore(dir, b); err != nil {
+			t.Fatal(err)
+		}
+		restored := base(reg)
+		pops := uint64(len(b.Drain()))
+		checkSojourn(t, reg, restored, pops, b.Cycle())
+	})
+
+	t.Run("rpubmw", func(t *testing.T) {
+		dir := t.TempDir()
+		a := bmw.NewRPUBMWSim(2, 4)
+		rng := rand.New(rand.NewSource(6))
+		for i := 0; i < 600; i++ {
+			switch {
+			case a.PushAvailable() && !a.AlmostFull() && rng.Intn(3) != 0:
+				a.Tick(bmw.PushOp(uint64(rng.Intn(512)), uint64(i)))
+			case a.PopAvailable() && a.Len() > 0 && rng.Intn(4) == 0:
+				a.Tick(bmw.PopOp())
+			default:
+				a.Tick(bmw.NopOp())
+			}
+		}
+		for !a.Quiescent() {
+			a.Tick(bmw.NopOp())
+		}
+		if err := bmw.Checkpoint(dir, a); err != nil {
+			t.Fatal(err)
+		}
+
+		b := bmw.NewRPUBMWSim(2, 4)
+		reg := bmw.NewMetricsRegistry()
+		b.Instrument(reg, name)
+		if _, err := bmw.Restore(dir, b); err != nil {
+			t.Fatal(err)
+		}
+		restored := base(reg)
+		pops := uint64(len(b.Drain()))
+		checkSojourn(t, reg, restored, pops, b.Cycle())
+	})
+}

@@ -141,6 +141,26 @@ func (t *Tree) Cap() int { return t.capacity }
 // from the total element count, which is the sum of the root counters.
 func (t *Tree) AlmostFull() bool { return t.size >= t.capacity }
 
+// Clone returns an independent deep copy of the tree: same shape, same
+// slots, same counters and high-water mark. The clone shares no storage
+// with the original and is uninstrumented (attach a sojourn probe
+// separately if needed). The persistence harnesses use it to fork a
+// golden reference from a live queue before draining both.
+func (t *Tree) Clone() *Tree {
+	c := &Tree{
+		m:        t.m,
+		l:        t.l,
+		nodes:    append([]slot(nil), t.nodes...),
+		numNodes: t.numNodes,
+		size:     t.size,
+		capacity: t.capacity,
+		pushes:   t.pushes,
+		pops:     t.pops,
+		maxSize:  t.maxSize,
+	}
+	return c
+}
+
 // Reset empties the tree in place.
 func (t *Tree) Reset() {
 	for i := range t.nodes {

@@ -1,0 +1,109 @@
+// Snapshot/replay codec: the golden model as a persist.Checkpointable.
+//
+// The payload is the complete functional state — shape, occupancy,
+// operation counters (which define the logical clock and therefore the
+// sojourn born-tags), the high-water mark, and every slot including its
+// born tag — so a restored tree is behaviourally indistinguishable from
+// the one that was snapshotted.
+
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/persist"
+)
+
+// coreSnapVersion is the current snapshot codec version.
+const coreSnapVersion = 1
+
+var _ persist.Checkpointable = (*Tree)(nil)
+
+// SnapshotKind identifies the golden model's snapshots.
+func (t *Tree) SnapshotKind() string { return "core" }
+
+// SnapshotVersion returns the codec version EncodeSnapshot writes.
+func (t *Tree) SnapshotVersion() uint32 { return coreSnapVersion }
+
+// EncodeSnapshot serialises the complete tree state.
+func (t *Tree) EncodeSnapshot() ([]byte, error) {
+	var e persist.Enc
+	e.U32(uint32(t.m))
+	e.U32(uint32(t.l))
+	e.U64(uint64(t.size))
+	e.U64(t.pushes)
+	e.U64(t.pops)
+	e.U64(uint64(t.maxSize))
+	e.U32(uint32(len(t.nodes)))
+	for i := range t.nodes {
+		sl := &t.nodes[i]
+		e.U64(sl.val)
+		e.U64(sl.meta)
+		e.U32(sl.count)
+		e.U32(sl.born)
+	}
+	return e.B, nil
+}
+
+// RestoreSnapshot loads a payload into the receiver, which must have
+// the same shape as the tree that wrote it. The payload is fully
+// decoded and validated before any receiver state changes.
+func (t *Tree) RestoreSnapshot(version uint32, payload []byte) error {
+	if version != coreSnapVersion {
+		return fmt.Errorf("core: unsupported snapshot version %d (have %d)", version, coreSnapVersion)
+	}
+	d := persist.NewDec(payload)
+	m, l := int(d.U32()), int(d.U32())
+	size := int(d.U64())
+	pushes, pops := d.U64(), d.U64()
+	maxSize := int(d.U64())
+	n := d.Len(1 << 30)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if m != t.m || l != t.l || n != len(t.nodes) {
+		return fmt.Errorf("core: snapshot shape m=%d l=%d slots=%d does not match tree m=%d l=%d slots=%d",
+			m, l, n, t.m, t.l, len(t.nodes))
+	}
+	if size < 0 || size > t.capacity {
+		return fmt.Errorf("core: snapshot size %d out of range [0,%d]", size, t.capacity)
+	}
+	nodes := make([]slot, n)
+	for i := range nodes {
+		nodes[i] = slot{val: d.U64(), meta: d.U64(), count: d.U32(), born: d.U32()}
+	}
+	if err := d.Done(); err != nil {
+		return err
+	}
+	copy(t.nodes, nodes)
+	t.size = size
+	t.pushes, t.pops = pushes, pops
+	t.maxSize = maxSize
+	return nil
+}
+
+// Replay applies one logged operation. The golden model's clock is the
+// operation count itself, so no cycle alignment is needed; a pop is
+// audited against the element the log recorded.
+func (t *Tree) Replay(op persist.Op) error {
+	switch op.Kind {
+	case hw.Push:
+		return t.Push(Element{Value: op.Value, Meta: op.Meta})
+	case hw.Pop:
+		e, err := t.Pop()
+		if err != nil {
+			return err
+		}
+		if e.Value != op.Value || e.Meta != op.Meta {
+			return fmt.Errorf("core: replay divergence: popped (%d,%d), log recorded (%d,%d)",
+				e.Value, e.Meta, op.Value, op.Meta)
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: replay of invalid op kind %v", op.Kind)
+	}
+}
+
+// VerifyRecovered runs the structural invariant checker.
+func (t *Tree) VerifyRecovered() error { return t.CheckInvariants() }

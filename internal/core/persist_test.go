@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/persist"
+)
+
+func drive(t *testing.T, tr *Tree, seed int64, ops int) []persist.Op {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var log []persist.Op
+	for i := 0; i < ops; i++ {
+		if tr.Len() > 0 && (rng.Intn(3) == 0 || tr.AlmostFull()) {
+			e, err := tr.Pop()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, q := tr.OpStats()
+			log = append(log, persist.Op{Kind: hw.Pop, Cycle: p + q, Value: e.Value, Meta: e.Meta})
+			continue
+		}
+		e := Element{Value: uint64(rng.Intn(1000)), Meta: uint64(i)}
+		if err := tr.Push(e); err != nil {
+			t.Fatal(err)
+		}
+		p, q := tr.OpStats()
+		log = append(log, persist.Op{Kind: hw.Push, Cycle: p + q, Value: e.Value, Meta: e.Meta})
+	}
+	return log
+}
+
+func drain(t *testing.T, tr *Tree) []Element {
+	t.Helper()
+	out := make([]Element, 0, tr.Len())
+	for tr.Len() > 0 {
+		e, err := tr.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	a := New(4, 3)
+	drive(t, a, 1, 300)
+	payload, err := a.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := New(4, 3)
+	if err := b.RestoreSnapshot(a.SnapshotVersion(), payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.VerifyRecovered(); err != nil {
+		t.Fatal(err)
+	}
+	ap, aq := a.OpStats()
+	bp, bq := b.OpStats()
+	if ap != bp || aq != bq || a.Len() != b.Len() || a.HighWatermark() != b.HighWatermark() {
+		t.Fatalf("counters diverged: a=(%d,%d,%d,%d) b=(%d,%d,%d,%d)",
+			ap, aq, a.Len(), a.HighWatermark(), bp, bq, b.Len(), b.HighWatermark())
+	}
+	da, db := drain(t, a), drain(t, b)
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("pop %d diverged: %+v vs %+v", i, da[i], db[i])
+		}
+	}
+}
+
+func TestRestoreRejectsShapeMismatch(t *testing.T) {
+	a := New(4, 3)
+	payload, err := a.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(2, 3)
+	if err := b.RestoreSnapshot(1, payload); err == nil || !strings.Contains(err.Error(), "shape") {
+		t.Fatalf("shape mismatch accepted: %v", err)
+	}
+	if err := New(4, 3).RestoreSnapshot(99, payload); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+}
+
+func TestRestoreRejectsTruncatedPayload(t *testing.T) {
+	a := New(2, 3)
+	drive(t, a, 2, 50)
+	payload, err := a.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, len(payload) / 2, len(payload) - 1} {
+		b := New(2, 3)
+		if err := b.RestoreSnapshot(1, payload[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+		// A failed restore must leave the receiver untouched and usable.
+		if b.Len() != 0 {
+			t.Fatalf("failed restore mutated the receiver (len %d)", b.Len())
+		}
+	}
+}
+
+func TestReplayReproducesState(t *testing.T) {
+	a := New(3, 3)
+	log := drive(t, a, 3, 200)
+
+	b := New(3, 3)
+	for i, op := range log {
+		if err := b.Replay(op); err != nil {
+			t.Fatalf("replay op %d: %v", i, err)
+		}
+	}
+	if err := b.VerifyRecovered(); err != nil {
+		t.Fatal(err)
+	}
+	da, db := drain(t, a), drain(t, b)
+	if len(da) != len(db) {
+		t.Fatalf("drain lengths %d vs %d", len(da), len(db))
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("pop %d diverged", i)
+		}
+	}
+}
+
+func TestReplayAuditsPopDivergence(t *testing.T) {
+	b := New(2, 2)
+	if err := b.Replay(persist.Op{Kind: hw.Push, Cycle: 1, Value: 10, Meta: 1}); err != nil {
+		t.Fatal(err)
+	}
+	err := b.Replay(persist.Op{Kind: hw.Pop, Cycle: 2, Value: 999, Meta: 1})
+	if err == nil || !strings.Contains(err.Error(), "divergence") {
+		t.Fatalf("divergent pop not caught: %v", err)
+	}
+}

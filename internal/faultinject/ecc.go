@@ -432,6 +432,34 @@ func (r *ECCRAM[T]) Peek(addr int) T {
 // maintenance write used by recovery rebuilds.
 func (r *ECCRAM[T]) Poke(addr int, data T) { r.mem[addr] = r.encode(data) }
 
+// RawWord returns copies of a committed word's stored bits — payload
+// chunks and check bytes — exactly as they sit in the array, with no
+// decoding or correction. The snapshot codecs use it so a latent upset
+// is persisted as the mismatch it is rather than silently healed by a
+// decode/re-encode round trip.
+func (r *ECCRAM[T]) RawWord(addr int) (data []uint64, check []uint8) {
+	r.checkAddr("rawword", addr)
+	cw := r.mem[addr]
+	return append([]uint64(nil), cw.data...), append([]uint8(nil), cw.check...)
+}
+
+// SetRawWord overwrites a committed word's stored bits verbatim — the
+// snapshot-restore counterpart of RawWord. No re-encoding happens, so
+// check bits inconsistent with the payload stay inconsistent and remain
+// detectable. It panics if the lengths do not match the codec's chunk
+// count.
+func (r *ECCRAM[T]) SetRawWord(addr int, data []uint64, check []uint8) {
+	r.checkAddr("setrawword", addr)
+	if len(data) != r.chunks || len(check) != r.chunks {
+		panic(fmt.Sprintf("faultinject: SetRawWord got %d data / %d check chunks, want %d",
+			len(data), len(check), r.chunks))
+	}
+	r.mem[addr] = codeword{
+		data:  append([]uint64(nil), data...),
+		check: append([]uint8(nil), check...),
+	}
+}
+
 // Audit decodes a committed word and reports which chunks are
 // uncorrectably corrupt, for the drain-and-rebuild recovery path.
 func (r *ECCRAM[T]) Audit(addr int) (T, []int) {

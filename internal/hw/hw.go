@@ -134,6 +134,11 @@ func (k OpKind) String() string {
 	}
 }
 
+// Valid reports whether k is one of the defined external signals.
+// Decoders of persisted operation logs use it to reject kind bytes
+// that no scheduler could have consumed.
+func (k OpKind) Valid() bool { return k == Nop || k == Push || k == Pop }
+
 // Op is one cycle's external signal: a push carrying an element, a pop,
 // or a nop (null signal).
 type Op struct {

@@ -37,12 +37,20 @@ func Handler(r *Registry) http.Handler {
 	return mux
 }
 
+// NewServer builds the metrics server for addr without starting it,
+// so callers own its lifecycle — in particular http.Server.Shutdown
+// for a graceful drain on SIGINT/SIGTERM.
+func NewServer(addr string, r *Registry) *http.Server {
+	return &http.Server{Addr: addr, Handler: Handler(r)}
+}
+
 // Serve starts an HTTP server for the registry on addr in a new
 // goroutine and returns immediately. Errors (e.g. port in use) are
-// delivered on the returned channel.
+// delivered on the returned channel. Commands that need a graceful
+// shutdown use NewServer instead.
 func Serve(addr string, r *Registry) <-chan error {
 	errc := make(chan error, 1)
-	srv := &http.Server{Addr: addr, Handler: Handler(r)}
+	srv := NewServer(addr, r)
 	go func() { errc <- srv.ListenAndServe() }()
 	return errc
 }

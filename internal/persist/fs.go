@@ -1,0 +1,79 @@
+// Filesystem seam: the Manager writes through an FS so the crash
+// harness can interpose a byte-budget kill simulator (crashfile.go)
+// while production paths use the real os package.
+
+package persist
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the writable-file surface the WAL and snapshot writers need.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the handful of filesystem operations the Manager
+// performs. OSFS is the real implementation; CrashDisk wraps it with a
+// byte budget and torn-write semantics.
+type FS interface {
+	MkdirAll(dir string) error
+	// OpenAppend opens (creating if needed) a file for appending.
+	OpenAppend(name string) (File, error)
+	// Create truncates/creates a file for writing.
+	Create(name string) (File, error)
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	ReadFile(name string) ([]byte, error)
+	// ReadDirNames lists the file names (not paths) in dir, sorted.
+	ReadDirNames(dir string) ([]string, error)
+	Truncate(name string, size int64) error
+}
+
+// OSFS is the pass-through FS over the os package.
+type OSFS struct{}
+
+// MkdirAll creates dir and parents.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// OpenAppend opens name for appending, creating it if absent.
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// Create creates/truncates name for writing.
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+// Rename renames a file.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove deletes a file.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// ReadFile reads a whole file.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadDirNames lists dir's entries, sorted by name.
+func (OSFS) ReadDirNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Truncate truncates name to size bytes.
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// join is filepath.Join, aliased so manager.go reads cleanly.
+func join(dir, name string) string { return filepath.Join(dir, name) }

@@ -1,0 +1,65 @@
+package persist
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+// FuzzWALReplay feeds arbitrary bytes to the WAL reader. The contract
+// under fuzz:
+//
+//   - never panic;
+//   - either the image decodes cleanly or the error is a typed
+//     ErrTornRecord;
+//   - the reported valid prefix is exactly the decoded records —
+//     torn bytes are never returned as data;
+//   - re-reading the valid prefix reproduces the same ops with no
+//     error (truncation to the valid prefix is a fixpoint).
+func FuzzWALReplay(f *testing.F) {
+	two := encodeLog([]Op{
+		{Kind: hw.Push, Cycle: 1, Value: 42, Meta: 7},
+		{Kind: hw.Pop, Cycle: 2, Value: 42, Meta: 7},
+	})
+	// Seed corpus: truncations at every offset of a two-record log.
+	for cut := 0; cut <= len(two); cut++ {
+		f.Add(append([]byte(nil), two[:cut]...))
+	}
+	// Plus a few corrupted variants: kind, length field, checksum.
+	for _, i := range []int{0, 4, recHeaderLen, RecordLen - 1} {
+		mut := append([]byte(nil), two...)
+		mut[i] ^= 0xff
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, valid, err := ReadAll(data)
+		if err != nil && !errors.Is(err, ErrTornRecord) {
+			t.Fatalf("non-torn error from ReadAll: %v", err)
+		}
+		if valid != int64(len(ops))*RecordLen {
+			t.Fatalf("valid prefix %d bytes for %d fixed-size records", valid, len(ops))
+		}
+		if valid > int64(len(data)) {
+			t.Fatalf("valid prefix %d exceeds input length %d", valid, len(data))
+		}
+		if err == nil && valid != int64(len(data)) {
+			t.Fatalf("clean decode but %d of %d bytes consumed", valid, len(data))
+		}
+		for i, op := range ops {
+			if !op.Kind.Valid() || op.Kind == hw.Nop {
+				t.Fatalf("op %d decoded with invalid kind %v", i, op.Kind)
+			}
+		}
+		again, validAgain, errAgain := ReadAll(data[:valid])
+		if errAgain != nil || validAgain != valid || len(again) != len(ops) {
+			t.Fatalf("valid prefix is not a fixpoint: %v / %d / %d ops", errAgain, validAgain, len(again))
+		}
+		for i := range ops {
+			if again[i] != ops[i] {
+				t.Fatalf("re-decode diverged at op %d", i)
+			}
+		}
+	})
+}

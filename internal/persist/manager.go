@@ -1,0 +1,387 @@
+// Manager: one directory holding a queue's WAL ("wal.log") and its
+// snapshots ("snap-<seq>.snap"), with the recovery state machine
+//
+//	scan WAL -> truncate torn tail -> pick newest valid snapshot
+//	  -> restore -> replay WAL suffix -> verify invariants -> live
+//
+// and the checkpoint discipline
+//
+//	commit+sync WAL -> encode snapshot -> write (tmp+rename when
+//	  atomic) -> retire old snapshots.
+
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+const walName = "wal.log"
+
+// snapName formats a snapshot file name; seq is zero-padded so the
+// lexical directory order matches the numeric order.
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%016d.snap", seq) }
+
+// parseSnapName extracts the sequence number of a snapshot file name.
+func parseSnapName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap")
+	if len(digits) == 0 {
+		return 0, false
+	}
+	var seq uint64
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		seq = seq*10 + uint64(c-'0')
+	}
+	return seq, true
+}
+
+// Options configure a Manager.
+type Options struct {
+	// WAL tunes the log writer (group commit, fsync policy, retries).
+	WAL WALOptions
+	// NonAtomicSnapshots writes snapshots directly to their final name
+	// instead of tmp+rename. A crash mid-write then leaves a torn
+	// .snap file — which the checksum rejects at recovery. The mode
+	// exists so the crash harness can exercise exactly that path.
+	NonAtomicSnapshots bool
+	// Retain is how many snapshots to keep (older ones are removed
+	// after a successful checkpoint). 0 means the default of 2; a
+	// negative value keeps everything.
+	Retain int
+	// FS is the filesystem seam; nil uses the real os package.
+	FS FS
+	// Metrics, when non-nil, receives the persist counters under
+	// MetricsPrefix (default "persist") — including the counts accrued
+	// during recovery itself.
+	Metrics       *obs.Registry
+	MetricsPrefix string
+}
+
+// RecoveryReport describes what recovery found and did.
+type RecoveryReport struct {
+	// SnapshotSeq and SnapshotLSN identify the restored snapshot
+	// (Seq 0: no snapshot, the queue replayed from genesis).
+	SnapshotSeq uint64
+	SnapshotLSN uint64
+	// SnapshotsSkipped counts snapshot files rejected by checksum,
+	// version, kind, shape or LSN validation before one restored.
+	SnapshotsSkipped int
+	// WALRecords is the count of intact log records; ReplayedOps how
+	// many of them (the suffix past SnapshotLSN) were replayed.
+	WALRecords  int
+	ReplayedOps int
+	// TornTail reports a partial/corrupt final record was truncated,
+	// and TornBytes how many bytes were cut.
+	TornTail  bool
+	TornBytes int64
+	// Ops is the full durable operation log, for differential
+	// validation by the crash harness.
+	Ops []Op
+}
+
+// Manager couples one queue to one persistence directory.
+type Manager struct {
+	dir  string
+	q    Checkpointable
+	fsys FS
+	opts Options
+
+	wal     *WAL
+	walFile File
+
+	nextSeq uint64
+	snaps   []uint64 // live snapshot seqs, ascending
+
+	snapshots        *obs.Counter
+	snapshotBytes    *obs.Counter
+	snapshotsSkipped *obs.Counter
+	tornTails        *obs.Counter
+	tornBytes        *obs.Counter
+	recoveries       *obs.Counter
+	replayed         *obs.Counter
+}
+
+// Open recovers the queue from dir (creating it on first use) and
+// returns a Manager appending to its WAL. The queue must be a freshly
+// constructed instance with the same configuration (shape, protection
+// mode) as the one that wrote the directory; on a fresh directory it is
+// simply left empty and the report is all zeroes.
+func Open(dir string, q Checkpointable, opts Options) (*Manager, *RecoveryReport, error) {
+	m, err := newManager(dir, q, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := m.recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := m.attach(uint64(len(rep.Ops))); err != nil {
+		return nil, nil, err
+	}
+	return m, rep, nil
+}
+
+// Attach opens dir for writing without restoring anything into q: the
+// one-shot checkpoint path for a live queue. Any existing WAL is
+// scanned (and its torn tail truncated) only to position the LSN, so a
+// subsequent checkpoint supersedes the directory's history.
+func Attach(dir string, q Checkpointable, opts Options) (*Manager, error) {
+	m, err := newManager(dir, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	ops, _, err := m.scanWAL()
+	if err != nil {
+		return nil, err
+	}
+	m.scanSnaps()
+	if err := m.attach(uint64(len(ops))); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// newManager validates options and prepares the directory.
+func newManager(dir string, q Checkpointable, opts Options) (*Manager, error) {
+	if opts.FS == nil {
+		opts.FS = OSFS{}
+	}
+	if opts.Retain == 0 {
+		opts.Retain = 2
+	}
+	if opts.MetricsPrefix == "" {
+		opts.MetricsPrefix = "persist"
+	}
+	m := &Manager{dir: dir, q: q, fsys: opts.FS, opts: opts}
+	if reg := opts.Metrics; reg != nil {
+		p := opts.MetricsPrefix
+		m.snapshots = reg.Counter(p + "_snapshots_total")
+		m.snapshotBytes = reg.Counter(p + "_snapshot_bytes_total")
+		m.snapshotsSkipped = reg.Counter(p + "_snapshots_skipped_total")
+		m.tornTails = reg.Counter(p + "_torn_tails_total")
+		m.tornBytes = reg.Counter(p + "_torn_bytes_total")
+		m.recoveries = reg.Counter(p + "_recoveries_total")
+		m.replayed = reg.Counter(p + "_replayed_ops_total")
+	}
+	if err := m.fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("persist: create %s: %w", dir, err)
+	}
+	return m, nil
+}
+
+// scanWAL reads the log, truncating a torn tail in place.
+func (m *Manager) scanWAL() (ops []Op, torn int64, err error) {
+	path := join(m.dir, walName)
+	b, err := m.fsys.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("persist: read WAL: %w", err)
+	}
+	ops, valid, rerr := ReadAll(b)
+	if rerr != nil {
+		torn = int64(len(b)) - valid
+		if err := m.fsys.Truncate(path, valid); err != nil {
+			return nil, 0, fmt.Errorf("persist: truncate torn WAL tail: %w", err)
+		}
+		m.tornTails.Inc()
+		m.tornBytes.Add(uint64(torn))
+	}
+	return ops, torn, nil
+}
+
+// scanSnaps records the snapshot seqs present in the directory and
+// positions nextSeq past the largest (counting even invalid files, so
+// a reused directory never collides names).
+func (m *Manager) scanSnaps() {
+	m.snaps = nil
+	names, err := m.fsys.ReadDirNames(m.dir)
+	if err != nil {
+		m.nextSeq = 1
+		return
+	}
+	var max uint64
+	for _, name := range names {
+		if seq, ok := parseSnapName(name); ok {
+			m.snaps = append(m.snaps, seq)
+			if seq > max {
+				max = seq
+			}
+		}
+	}
+	sort.Slice(m.snaps, func(i, j int) bool { return m.snaps[i] < m.snaps[j] })
+	m.nextSeq = max + 1
+}
+
+// recover runs the recovery state machine against m.q.
+func (m *Manager) recover() (*RecoveryReport, error) {
+	rep := &RecoveryReport{}
+	ops, torn, err := m.scanWAL()
+	if err != nil {
+		return nil, err
+	}
+	rep.Ops = ops
+	rep.WALRecords = len(ops)
+	rep.TornTail = torn > 0
+	rep.TornBytes = torn
+
+	// Newest valid snapshot wins; anything that fails checksum, kind,
+	// version, LSN plausibility or the queue's own decoder is skipped.
+	m.scanSnaps()
+	for i := len(m.snaps) - 1; i >= 0 && rep.SnapshotSeq == 0; i-- {
+		seq := m.snaps[i]
+		b, err := m.fsys.ReadFile(join(m.dir, snapName(seq)))
+		if err != nil {
+			rep.SnapshotsSkipped++
+			continue
+		}
+		h, payload, err := DecodeSnapshotFile(b)
+		if err != nil || h.Kind != m.q.SnapshotKind() || h.LSN > uint64(len(ops)) {
+			rep.SnapshotsSkipped++
+			continue
+		}
+		if err := m.q.RestoreSnapshot(h.Version, payload); err != nil {
+			rep.SnapshotsSkipped++
+			continue
+		}
+		rep.SnapshotSeq = h.Seq
+		rep.SnapshotLSN = h.LSN
+	}
+	m.snapshotsSkipped.Add(uint64(rep.SnapshotsSkipped))
+
+	// Replay the suffix the snapshot does not cover.
+	for _, op := range ops[rep.SnapshotLSN:] {
+		if err := m.q.Replay(op); err != nil {
+			return nil, fmt.Errorf("persist: WAL replay failed at op %d: %w", rep.SnapshotLSN+uint64(rep.ReplayedOps), err)
+		}
+		rep.ReplayedOps++
+	}
+	m.replayed.Add(uint64(rep.ReplayedOps))
+
+	// The queue goes live only with its invariants intact.
+	if err := m.q.VerifyRecovered(); err != nil {
+		return nil, fmt.Errorf("persist: recovered queue failed verification: %w", err)
+	}
+	m.recoveries.Inc()
+	return rep, nil
+}
+
+// attach opens the WAL for appending at the given LSN.
+func (m *Manager) attach(lsn uint64) error {
+	f, err := m.fsys.OpenAppend(join(m.dir, walName))
+	if err != nil {
+		return fmt.Errorf("persist: open WAL: %w", err)
+	}
+	m.walFile = f
+	m.wal = NewWAL(f, lsn, m.opts.WAL)
+	m.wal.Instrument(m.opts.Metrics, m.opts.MetricsPrefix)
+	return nil
+}
+
+// WAL exposes the log writer (LSN/Durable introspection).
+func (m *Manager) WAL() *WAL { return m.wal }
+
+// Dir returns the persistence directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// Record appends one operation to the WAL under the group-commit and
+// sync policy.
+func (m *Manager) Record(op Op) error { return m.wal.Append(op) }
+
+// Checkpoint makes the log durable, snapshots the queue's current state
+// stamped with the covered LSN, and retires old snapshots. After a
+// successful checkpoint, recovery needs only the snapshot plus the WAL
+// suffix written after this call.
+func (m *Manager) Checkpoint() error {
+	if err := m.wal.Commit(); err != nil {
+		return err
+	}
+	if err := m.wal.Sync(); err != nil {
+		return err
+	}
+	payload, err := m.q.EncodeSnapshot()
+	if err != nil {
+		return fmt.Errorf("persist: encode snapshot: %w", err)
+	}
+	b, err := EncodeSnapshotFile(SnapshotHeader{
+		Kind:    m.q.SnapshotKind(),
+		Version: m.q.SnapshotVersion(),
+		Seq:     m.nextSeq,
+		LSN:     m.wal.LSN(),
+	}, payload)
+	if err != nil {
+		return err
+	}
+	final := join(m.dir, snapName(m.nextSeq))
+	name := final
+	if !m.opts.NonAtomicSnapshots {
+		name = final + ".tmp"
+	}
+	f, err := m.fsys.Create(name)
+	if err != nil {
+		return fmt.Errorf("persist: create snapshot: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("persist: close snapshot: %w", err)
+	}
+	if !m.opts.NonAtomicSnapshots {
+		if err := m.fsys.Rename(name, final); err != nil {
+			return fmt.Errorf("persist: publish snapshot: %w", err)
+		}
+	}
+	m.snaps = append(m.snaps, m.nextSeq)
+	m.nextSeq++
+	m.snapshots.Inc()
+	m.snapshotBytes.Add(uint64(len(b)))
+	return m.retire()
+}
+
+// retire removes the oldest snapshots beyond the retention count.
+func (m *Manager) retire() error {
+	if m.opts.Retain < 0 {
+		return nil
+	}
+	for len(m.snaps) > m.opts.Retain {
+		seq := m.snaps[0]
+		if err := m.fsys.Remove(join(m.dir, snapName(seq))); err != nil {
+			return fmt.Errorf("persist: retire snapshot %d: %w", seq, err)
+		}
+		m.snaps = m.snaps[1:]
+	}
+	return nil
+}
+
+// Close flushes and syncs the WAL and closes the file.
+func (m *Manager) Close() error {
+	var first error
+	if err := m.wal.Commit(); err != nil {
+		first = err
+	}
+	if err := m.wal.Sync(); err != nil && first == nil {
+		first = err
+	}
+	if err := m.walFile.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

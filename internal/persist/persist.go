@@ -1,0 +1,115 @@
+// Package persist makes the exact priority queues of this module
+// durable: a CRC32C-framed write-ahead log of push/pop operations
+// (wal.go), versioned self-checksummed snapshots (snapshot.go), and a
+// Manager that composes the two into checkpoint/recover (manager.go).
+//
+// The durability contract is the classic WAL discipline:
+//
+//   - every accepted operation is appended to the log before (or
+//     together with) the commit policy's sync point;
+//   - a checkpoint first makes the log durable, then writes a snapshot
+//     stamped with the log sequence number (LSN) it covers;
+//   - recovery loads the newest snapshot that validates (checksum,
+//     version, shape, LSN within the log), replays the log suffix, and
+//     runs the queue's own invariant checker before declaring it live.
+//
+// Torn tails — a partial final record left by a crash mid-write — are
+// expected, not exceptional: the reader stops at the last valid record,
+// the tail is truncated and counted, and recovery proceeds. A torn or
+// corrupt *snapshot* fails its checksum and recovery falls back to the
+// previous one.
+//
+// Replay determinism: the cycle simulators (rbmw, rpubmw) schedule
+// internal pipeline waves off the clock cycle an operation is issued
+// in, so each WAL record carries the commit cycle and the queues'
+// Replay implementations nop-align to it. Replaying the identical ops
+// at the identical cycles reproduces the identical registers — and
+// therefore a pop order bit-identical to the uninterrupted run,
+// metadata of tied ranks included.
+//
+// The package depends only on the standard library, internal/hw (the
+// operation vocabulary) and internal/obs (nil-safe counters); the queue
+// packages implement Checkpointable and import persist, never the
+// reverse.
+package persist
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// Op is one logged queue operation. Cycle is the clock value at which
+// the operation completed (the logical push+pop tick for the untimed
+// models): replay uses it to reproduce the exact issue schedule. For a
+// pop, Value and Meta record the element that left the queue, so replay
+// can audit that the recovered machine pops the identical element.
+type Op struct {
+	Kind  hw.OpKind
+	Cycle uint64
+	Value uint64
+	Meta  uint64
+}
+
+// ToHW converts the logged operation to the per-cycle external signal
+// the simulators consume. For a pop the logged Value/Meta are the audit
+// record, not an input, and are not carried.
+func (o Op) ToHW() hw.Op {
+	if o.Kind == hw.Push {
+		return hw.Op{Kind: hw.Push, Value: o.Value, Meta: o.Meta}
+	}
+	return hw.Op{Kind: o.Kind}
+}
+
+// Checkpointable is the surface a queue exposes to the persistence
+// layer. All four exact queues (core, pifo, rbmw, rpubmw) implement it.
+type Checkpointable interface {
+	// SnapshotKind names the implementation ("core", "pifo", "rbmw",
+	// "rpubmw"); a snapshot restores only into the kind that wrote it.
+	SnapshotKind() string
+	// SnapshotVersion is the codec version EncodeSnapshot writes;
+	// RestoreSnapshot rejects versions it does not understand.
+	SnapshotVersion() uint32
+	// EncodeSnapshot serialises the complete queue state — storage,
+	// counters, in-flight pipeline state, protection bits — such that
+	// RestoreSnapshot on a same-configured fresh instance reproduces
+	// behaviour bit-for-bit.
+	EncodeSnapshot() ([]byte, error)
+	// RestoreSnapshot loads a payload written by EncodeSnapshot at the
+	// given version into the receiver.
+	RestoreSnapshot(version uint32, payload []byte) error
+	// Replay applies one logged operation, reproducing the original
+	// schedule (nop-aligning to op.Cycle where the clock matters) and
+	// auditing pop results against the log.
+	Replay(op Op) error
+	// VerifyRecovered runs the queue's structural invariant checker
+	// (treecheck for the trees); recovery refuses to declare a queue
+	// live while it fails. Implementations may defer the check when
+	// transient in-flight state makes invariants unevaluable.
+	VerifyRecovered() error
+}
+
+// ErrTornRecord is the sentinel for a WAL tail that ends in a partial
+// or corrupt record. Concrete cases are *TornRecordError values
+// wrapping it. A torn tail is recoverable by construction: everything
+// before it is intact.
+var ErrTornRecord = errors.New("persist: torn or corrupt WAL record")
+
+// TornRecordError locates and describes one torn/corrupt record.
+type TornRecordError struct {
+	// Offset is the byte offset of the bad record — equivalently, the
+	// length of the valid prefix.
+	Offset int64
+	// Reason describes what failed (short header, bad length, short
+	// payload, checksum mismatch, invalid op kind).
+	Reason string
+}
+
+// Error formats the detection.
+func (e *TornRecordError) Error() string {
+	return fmt.Sprintf("persist: torn WAL record at offset %d: %s", e.Offset, e.Reason)
+}
+
+// Unwrap lets errors.Is(err, ErrTornRecord) match.
+func (e *TornRecordError) Unwrap() error { return ErrTornRecord }

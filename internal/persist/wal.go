@@ -1,0 +1,337 @@
+// The write-ahead log: fixed-size CRC32C-framed records, group-commit
+// batching, pluggable fsync policy, and retry-with-backoff on transient
+// write errors.
+//
+// Record framing (all little-endian):
+//
+//	offset  size  field
+//	0       4     payload length (always 25 for the v1 record)
+//	4       4     CRC32C (Castagnoli) over the payload bytes
+//	8       1     op kind (1 = push, 2 = pop)
+//	9       8     commit cycle
+//	17      8     value
+//	25      8     meta
+//
+// A record is valid only if the full frame is present, the length field
+// matches the v1 payload size, the checksum matches, and the kind byte
+// decodes to a push or pop. Anything else is a torn record: the reader
+// reports it (typed *TornRecordError) and the byte offset of the last
+// valid record, so recovery can truncate the tail.
+
+package persist
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/obs"
+)
+
+// castagnoli is the CRC32C table (the polynomial used by ext4, iSCSI
+// and most storage formats; hardware-accelerated by hash/crc32).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	recHeaderLen  = 8
+	recPayloadLen = 1 + 8 + 8 + 8
+	// RecordLen is the on-disk size of one WAL record.
+	RecordLen = recHeaderLen + recPayloadLen
+)
+
+// AppendRecord encodes one operation as a framed WAL record onto dst.
+func AppendRecord(dst []byte, op Op) []byte {
+	var payload [recPayloadLen]byte
+	payload[0] = byte(op.Kind)
+	putU64(payload[1:], op.Cycle)
+	putU64(payload[9:], op.Value)
+	putU64(payload[17:], op.Meta)
+	var hdr [recHeaderLen]byte
+	putU32(hdr[0:], recPayloadLen)
+	putU32(hdr[4:], crc32.Checksum(payload[:], castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload[:]...)
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func getU64(b []byte) uint64 {
+	return uint64(getU32(b)) | uint64(getU32(b[4:]))<<32
+}
+
+// Reader decodes a WAL image record by record. It never panics on
+// arbitrary input: a malformed record surfaces as a *TornRecordError
+// and Offset() reports the length of the valid prefix before it.
+type Reader struct {
+	b   []byte
+	off int
+}
+
+// NewReader wraps a WAL image (typically the whole log file).
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Offset returns the byte offset just past the last valid record — the
+// truncation point when the tail is torn.
+func (r *Reader) Offset() int64 { return int64(r.off) }
+
+// Next decodes the next record. It returns io.EOF at a clean end of the
+// log and a *TornRecordError (wrapping ErrTornRecord) for a partial or
+// corrupt record; the reader does not advance past a bad record.
+func (r *Reader) Next() (Op, error) {
+	rest := r.b[r.off:]
+	if len(rest) == 0 {
+		return Op{}, io.EOF
+	}
+	torn := func(reason string) (Op, error) {
+		return Op{}, &TornRecordError{Offset: int64(r.off), Reason: reason}
+	}
+	if len(rest) < recHeaderLen {
+		return torn(fmt.Sprintf("partial header: %d of %d bytes", len(rest), recHeaderLen))
+	}
+	length := getU32(rest)
+	if length != recPayloadLen {
+		return torn(fmt.Sprintf("payload length %d, want %d", length, recPayloadLen))
+	}
+	if len(rest) < RecordLen {
+		return torn(fmt.Sprintf("partial payload: %d of %d bytes", len(rest)-recHeaderLen, recPayloadLen))
+	}
+	payload := rest[recHeaderLen:RecordLen]
+	if sum := crc32.Checksum(payload, castagnoli); sum != getU32(rest[4:]) {
+		return torn("checksum mismatch")
+	}
+	op := Op{
+		Kind:  hw.OpKind(payload[0]),
+		Cycle: getU64(payload[1:]),
+		Value: getU64(payload[9:]),
+		Meta:  getU64(payload[17:]),
+	}
+	if !op.Kind.Valid() || op.Kind == hw.Nop {
+		return torn(fmt.Sprintf("invalid op kind %d", payload[0]))
+	}
+	r.off += RecordLen
+	return op, nil
+}
+
+// ReadAll decodes every valid record of a WAL image. valid is the byte
+// length of the intact prefix; err is nil for a cleanly terminated log
+// and the *TornRecordError for a torn tail. The decoded prefix is
+// returned in both cases — a torn tail never hides intact records, and
+// torn bytes are never returned as data.
+func ReadAll(b []byte) (ops []Op, valid int64, err error) {
+	r := NewReader(b)
+	for {
+		op, e := r.Next()
+		if e == io.EOF {
+			return ops, r.Offset(), nil
+		}
+		if e != nil {
+			return ops, r.Offset(), e
+		}
+		ops = append(ops, op)
+	}
+}
+
+// SyncPolicy selects when the WAL fsyncs.
+type SyncPolicy int
+
+const (
+	// SyncBatch fsyncs once per group commit (the default): an op is
+	// durable once its batch commits.
+	SyncBatch SyncPolicy = iota
+	// SyncAlways fsyncs after every appended record (BatchOps is
+	// effectively 1).
+	SyncAlways
+	// SyncNone never fsyncs from the append path; only Checkpoint and
+	// Close force durability. Crashes may lose every op since the last
+	// explicit sync, but never reorder or corrupt the prefix.
+	SyncNone
+)
+
+// String names the policy as the command-line flags spell it.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncBatch:
+		return "batch"
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// WALOptions tune the writer.
+type WALOptions struct {
+	// BatchOps is the group-commit threshold: Append buffers records
+	// and commits the batch once this many are pending. <=1 commits
+	// every record immediately.
+	BatchOps int
+	// Sync is the fsync policy.
+	Sync SyncPolicy
+	// MaxRetries bounds the retry attempts for one commit when a write
+	// fails and Transient classifies the error retryable.
+	MaxRetries int
+	// Backoff is the first retry's sleep; it doubles per attempt.
+	// Zero defaults to 1ms.
+	Backoff time.Duration
+	// Transient classifies write/sync errors as retryable. Nil retries
+	// nothing: every error is permanent.
+	Transient func(error) bool
+	// Sleep replaces time.Sleep in the backoff path (tests).
+	Sleep func(time.Duration)
+}
+
+// WAL is the write-ahead log writer. It is not safe for concurrent use;
+// the queues it logs are single-threaded state machines.
+type WAL struct {
+	f    File
+	opts WALOptions
+
+	buf    []byte
+	bufOps int
+
+	lsn     uint64 // records appended (including buffered)
+	durable uint64 // records written through the file (per the policy)
+	err     error  // sticky: a failed commit poisons the log
+
+	records *obs.Counter
+	bytes   *obs.Counter
+	commits *obs.Counter
+	fsyncs  *obs.Counter
+	retries *obs.Counter
+}
+
+// NewWAL wraps an append-positioned file. startLSN is the number of
+// records already in the file (recovery passes the replayed count).
+func NewWAL(f File, startLSN uint64, opts WALOptions) *WAL {
+	if opts.BatchOps < 1 {
+		opts.BatchOps = 1
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = time.Millisecond
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = time.Sleep
+	}
+	return &WAL{f: f, opts: opts, lsn: startLSN, durable: startLSN}
+}
+
+// Instrument registers the writer's counters in reg under prefix
+// (nil-safe: a nil registry leaves every probe disabled).
+func (w *WAL) Instrument(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	w.records = reg.Counter(prefix + "_wal_records_total")
+	w.bytes = reg.Counter(prefix + "_wal_bytes_total")
+	w.commits = reg.Counter(prefix + "_wal_commits_total")
+	w.fsyncs = reg.Counter(prefix + "_wal_fsyncs_total")
+	w.retries = reg.Counter(prefix + "_wal_retry_total")
+}
+
+// LSN returns the log sequence number: total records appended,
+// including any still buffered.
+func (w *WAL) LSN() uint64 { return w.lsn }
+
+// Durable returns the number of records pushed through the file —
+// written, and synced when the policy syncs on commit.
+func (w *WAL) Durable() uint64 { return w.durable }
+
+// Append buffers one record and commits the batch when the group-commit
+// threshold is reached (always, under SyncAlways).
+func (w *WAL) Append(op Op) error {
+	if w.err != nil {
+		return w.err
+	}
+	w.buf = AppendRecord(w.buf, op)
+	w.bufOps++
+	w.lsn++
+	w.records.Inc()
+	if w.bufOps >= w.opts.BatchOps || w.opts.Sync == SyncAlways {
+		return w.Commit()
+	}
+	return nil
+}
+
+// Commit writes the buffered batch to the file (retrying transient
+// errors with exponential backoff) and fsyncs per the policy. A
+// permanent failure is sticky: the log refuses further writes, because
+// a partially written batch may sit beyond the last known-good offset.
+func (w *WAL) Commit() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.bufOps == 0 {
+		return nil
+	}
+	if err := w.writeRetry(w.buf); err != nil {
+		w.err = fmt.Errorf("persist: WAL commit failed: %w", err)
+		return w.err
+	}
+	w.bytes.Add(uint64(len(w.buf)))
+	w.commits.Inc()
+	w.durable += uint64(w.bufOps)
+	w.buf = w.buf[:0]
+	w.bufOps = 0
+	if w.opts.Sync != SyncNone {
+		return w.Sync()
+	}
+	return nil
+}
+
+// Sync forces an fsync (with the same retry discipline as writes).
+func (w *WAL) Sync() error {
+	if w.err != nil {
+		return w.err
+	}
+	err := w.f.Sync()
+	for attempt := 0; err != nil && w.opts.Transient != nil && w.opts.Transient(err) && attempt < w.opts.MaxRetries; attempt++ {
+		w.retries.Inc()
+		w.opts.Sleep(w.opts.Backoff << uint(attempt))
+		err = w.f.Sync()
+	}
+	if err != nil {
+		w.err = fmt.Errorf("persist: WAL fsync failed: %w", err)
+		return w.err
+	}
+	w.fsyncs.Inc()
+	return nil
+}
+
+// writeRetry pushes p through the file, resuming after short writes and
+// retrying transient errors with doubling backoff.
+func (w *WAL) writeRetry(p []byte) error {
+	attempt := 0
+	for len(p) > 0 {
+		n, err := w.f.Write(p)
+		p = p[n:]
+		if err == nil {
+			if n == 0 && len(p) > 0 {
+				return io.ErrShortWrite
+			}
+			attempt = 0
+			continue
+		}
+		if w.opts.Transient == nil || !w.opts.Transient(err) || attempt >= w.opts.MaxRetries {
+			return err
+		}
+		w.retries.Inc()
+		w.opts.Sleep(w.opts.Backoff << uint(attempt))
+		attempt++
+	}
+	return nil
+}

@@ -1,0 +1,339 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/obs"
+)
+
+func sampleOps(n int) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		kind := hw.Push
+		if i%3 == 2 {
+			kind = hw.Pop
+		}
+		ops[i] = Op{Kind: kind, Cycle: uint64(i + 1), Value: uint64(i * 7), Meta: uint64(i)}
+	}
+	return ops
+}
+
+func encodeLog(ops []Op) []byte {
+	var b []byte
+	for _, op := range ops {
+		b = AppendRecord(b, op)
+	}
+	return b
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	want := sampleOps(10)
+	b := encodeLog(want)
+	if len(b) != len(want)*RecordLen {
+		t.Fatalf("encoded %d bytes, want %d", len(b), len(want)*RecordLen)
+	}
+	got, valid, err := ReadAll(b)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if valid != int64(len(b)) {
+		t.Fatalf("valid prefix %d, want %d", valid, len(b))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d ops, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTornTailEveryOffset truncates a two-record log at every byte
+// offset: the valid prefix must always decode, the tail must be
+// reported torn exactly when the cut is not on a record boundary, and
+// torn bytes must never come back as data.
+func TestTornTailEveryOffset(t *testing.T) {
+	want := sampleOps(2)
+	b := encodeLog(want)
+	for cut := 0; cut <= len(b); cut++ {
+		ops, valid, err := ReadAll(b[:cut])
+		wantOps := cut / RecordLen
+		wantValid := int64(wantOps * RecordLen)
+		if len(ops) != wantOps || valid != wantValid {
+			t.Fatalf("cut %d: got %d ops valid %d, want %d ops valid %d", cut, len(ops), valid, wantOps, wantValid)
+		}
+		for i := range ops {
+			if ops[i] != want[i] {
+				t.Fatalf("cut %d: op %d diverged", cut, i)
+			}
+		}
+		if cut%RecordLen == 0 {
+			if err != nil {
+				t.Fatalf("cut %d (record boundary): unexpected error %v", cut, err)
+			}
+		} else if !errors.Is(err, ErrTornRecord) {
+			t.Fatalf("cut %d: error %v, want ErrTornRecord", cut, err)
+		}
+	}
+}
+
+func TestChecksumMismatchIsTorn(t *testing.T) {
+	b := encodeLog(sampleOps(2))
+	b[RecordLen+recHeaderLen+3] ^= 0x40 // flip a payload bit of record 2
+	ops, valid, err := ReadAll(b)
+	if len(ops) != 1 || valid != RecordLen {
+		t.Fatalf("got %d ops valid %d, want 1 op valid %d", len(ops), valid, RecordLen)
+	}
+	var torn *TornRecordError
+	if !errors.As(err, &torn) {
+		t.Fatalf("error %v, want *TornRecordError", err)
+	}
+	if torn.Offset != RecordLen {
+		t.Fatalf("torn offset %d, want %d", torn.Offset, RecordLen)
+	}
+}
+
+func TestInvalidKindIsTorn(t *testing.T) {
+	// A record whose checksum is fine but whose kind byte no scheduler
+	// could have consumed.
+	var payload [recPayloadLen]byte
+	payload[0] = 9
+	var b []byte
+	var hdr [recHeaderLen]byte
+	putU32(hdr[0:], recPayloadLen)
+	putU32(hdr[4:], crc32.Checksum(payload[:], castagnoli))
+	b = append(append(b, hdr[:]...), payload[:]...)
+	_, valid, err := ReadAll(b)
+	if valid != 0 || !errors.Is(err, ErrTornRecord) {
+		t.Fatalf("valid %d err %v, want 0 and ErrTornRecord", valid, err)
+	}
+}
+
+// fakeFile is an in-memory File with scriptable write/sync failures.
+type fakeFile struct {
+	buf        bytes.Buffer
+	writes     int
+	syncs      int
+	failWrites int // fail the next N writes
+	failSyncs  int
+	err        error
+	shortAt    int // if >0, the next write lands only shortAt bytes, then errors
+}
+
+func (f *fakeFile) Write(p []byte) (int, error) {
+	f.writes++
+	if f.shortAt > 0 && f.failWrites > 0 {
+		n := f.shortAt
+		if n > len(p) {
+			n = len(p)
+		}
+		f.failWrites--
+		f.shortAt = 0
+		f.buf.Write(p[:n])
+		return n, f.err
+	}
+	if f.failWrites > 0 {
+		f.failWrites--
+		return 0, f.err
+	}
+	return f.buf.Write(p)
+}
+
+func (f *fakeFile) Sync() error {
+	f.syncs++
+	if f.failSyncs > 0 {
+		f.failSyncs--
+		return f.err
+	}
+	return nil
+}
+
+func (f *fakeFile) Close() error { return nil }
+
+func TestGroupCommitBatching(t *testing.T) {
+	f := &fakeFile{}
+	w := NewWAL(f, 0, WALOptions{BatchOps: 4})
+	ops := sampleOps(10)
+	for _, op := range ops {
+		if err := w.Append(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 10 ops at batch 4: two full batches committed, two ops buffered.
+	if f.writes != 2 || f.syncs != 2 {
+		t.Fatalf("writes=%d syncs=%d, want 2 and 2", f.writes, f.syncs)
+	}
+	if w.LSN() != 10 || w.Durable() != 8 {
+		t.Fatalf("lsn=%d durable=%d, want 10 and 8", w.LSN(), w.Durable())
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Durable() != 10 {
+		t.Fatalf("durable=%d after Commit, want 10", w.Durable())
+	}
+	got, _, err := ReadAll(f.buf.Bytes())
+	if err != nil || len(got) != 10 {
+		t.Fatalf("log holds %d ops (err %v), want 10", len(got), err)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	always := &fakeFile{}
+	w := NewWAL(always, 0, WALOptions{BatchOps: 8, Sync: SyncAlways})
+	for _, op := range sampleOps(3) {
+		if err := w.Append(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if always.syncs != 3 {
+		t.Fatalf("SyncAlways: %d fsyncs for 3 ops, want 3", always.syncs)
+	}
+
+	none := &fakeFile{}
+	w = NewWAL(none, 0, WALOptions{BatchOps: 1, Sync: SyncNone})
+	for _, op := range sampleOps(3) {
+		if err := w.Append(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if none.syncs != 0 {
+		t.Fatalf("SyncNone: %d fsyncs from the append path, want 0", none.syncs)
+	}
+	if err := w.Sync(); err != nil || none.syncs != 1 {
+		t.Fatalf("explicit Sync: err %v syncs %d", err, none.syncs)
+	}
+}
+
+func TestRetryBackoffOnTransientErrors(t *testing.T) {
+	transient := errors.New("EAGAIN")
+	f := &fakeFile{failWrites: 2, err: transient}
+	var slept []time.Duration
+	reg := obs.NewRegistry()
+	w := NewWAL(f, 0, WALOptions{
+		MaxRetries: 5,
+		Backoff:    time.Millisecond,
+		Transient:  func(err error) bool { return errors.Is(err, transient) },
+		Sleep:      func(d time.Duration) { slept = append(slept, d) },
+	})
+	w.Instrument(reg, "test")
+	if err := w.Append(sampleOps(1)[0]); err != nil {
+		t.Fatalf("append with transient failures: %v", err)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("%d backoff sleeps, want 2", len(slept))
+	}
+	if slept[0] != time.Millisecond || slept[1] != 2*time.Millisecond {
+		t.Fatalf("backoff %v, want doubling from 1ms", slept)
+	}
+	if got, _, err := ReadAll(f.buf.Bytes()); err != nil || len(got) != 1 {
+		t.Fatalf("log after retries holds %d ops (err %v)", len(got), err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["test_wal_retry_total"] != 2 {
+		t.Fatalf("retry counter %d, want 2", snap.Counters["test_wal_retry_total"])
+	}
+}
+
+func TestShortWriteResumes(t *testing.T) {
+	transient := errors.New("partial")
+	f := &fakeFile{failWrites: 1, shortAt: 5, err: transient}
+	w := NewWAL(f, 0, WALOptions{
+		MaxRetries: 3,
+		Transient:  func(err error) bool { return errors.Is(err, transient) },
+		Sleep:      func(time.Duration) {},
+	})
+	op := Op{Kind: hw.Push, Cycle: 1, Value: 42, Meta: 7}
+	if err := w.Append(op); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadAll(f.buf.Bytes())
+	if err != nil || len(got) != 1 || got[0] != op {
+		t.Fatalf("resumed record mismatch: %v ops=%v", err, got)
+	}
+}
+
+func TestPermanentFailureIsSticky(t *testing.T) {
+	perm := errors.New("EIO")
+	f := &fakeFile{failWrites: 1000, err: perm}
+	w := NewWAL(f, 0, WALOptions{})
+	err := w.Append(sampleOps(1)[0])
+	if !errors.Is(err, perm) {
+		t.Fatalf("append error %v, want EIO", err)
+	}
+	if err2 := w.Append(sampleOps(1)[0]); !errors.Is(err2, perm) {
+		t.Fatalf("sticky error not returned: %v", err2)
+	}
+	if w.Durable() != 0 {
+		t.Fatalf("durable=%d after failure, want 0", w.Durable())
+	}
+}
+
+func TestReaderOffsetTracksValidPrefix(t *testing.T) {
+	b := encodeLog(sampleOps(3))
+	b = append(b, 0xde, 0xad) // partial header
+	r := NewReader(b)
+	n := 0
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			t.Fatalf("clean EOF on a torn log")
+		}
+		if err != nil {
+			if !errors.Is(err, ErrTornRecord) {
+				t.Fatalf("error %v, want ErrTornRecord", err)
+			}
+			break
+		}
+		n++
+	}
+	if n != 3 || r.Offset() != int64(3*RecordLen) {
+		t.Fatalf("decoded %d ops, offset %d", n, r.Offset())
+	}
+	// The reader must not advance past the bad record.
+	if _, err := r.Next(); !errors.Is(err, ErrTornRecord) {
+		t.Fatalf("second Next after torn record: %v", err)
+	}
+}
+
+func TestWALInstrumentCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := &fakeFile{}
+	w := NewWAL(f, 0, WALOptions{BatchOps: 2})
+	w.Instrument(reg, "p")
+	for _, op := range sampleOps(4) {
+		if err := w.Append(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	for name, want := range map[string]uint64{
+		"p_wal_records_total": 4,
+		"p_wal_commits_total": 2,
+		"p_wal_fsyncs_total":  2,
+		"p_wal_bytes_total":   uint64(4 * RecordLen),
+	} {
+		if snap.Counters[name] != want {
+			t.Errorf("%s = %d, want %d", name, snap.Counters[name], want)
+		}
+	}
+}
+
+func TestSyncPolicyString(t *testing.T) {
+	for p, want := range map[SyncPolicy]string{SyncBatch: "batch", SyncAlways: "always", SyncNone: "none"} {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
+		}
+	}
+	if got := SyncPolicy(42).String(); got != fmt.Sprintf("SyncPolicy(42)") {
+		t.Errorf("unknown policy String() = %q", got)
+	}
+}

@@ -1,0 +1,149 @@
+// Snapshot/replay codec: the PIFO baseline as a persist.Checkpointable.
+//
+// The payload captures the sorted entry array, the operation counters
+// (the logical clock), the cycle count, the high-water mark, and — when
+// the queue was instrumented — the per-entry sojourn born-tags. A
+// snapshot from an uninstrumented queue restored into an instrumented
+// one synthesises born tags at the restore clock, so sojourn accounting
+// stays well-formed (observations == pops, sojourn <= clock).
+
+package pifo
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/persist"
+)
+
+// pifoSnapVersion is the current snapshot codec version.
+const pifoSnapVersion = 1
+
+var _ persist.Checkpointable = (*PIFO)(nil)
+
+// SnapshotKind identifies PIFO snapshots.
+func (p *PIFO) SnapshotKind() string { return "pifo" }
+
+// SnapshotVersion returns the codec version EncodeSnapshot writes.
+func (p *PIFO) SnapshotVersion() uint32 { return pifoSnapVersion }
+
+// EncodeSnapshot serialises the complete queue state.
+func (p *PIFO) EncodeSnapshot() ([]byte, error) {
+	var e persist.Enc
+	e.U32(uint32(p.cap))
+	e.U64(p.cycle)
+	e.U64(p.pushes)
+	e.U64(p.pops)
+	e.U64(uint64(p.maxLen))
+	e.U32(uint32(len(p.entries)))
+	for i := range p.entries {
+		e.U64(p.entries[i].Value)
+		e.U64(p.entries[i].Meta)
+	}
+	e.Bool(p.born != nil)
+	for _, b := range p.born {
+		e.U32(b)
+	}
+	return e.B, nil
+}
+
+// RestoreSnapshot loads a payload into the receiver, which must have
+// the same capacity. The payload is fully decoded before any receiver
+// state changes.
+func (p *PIFO) RestoreSnapshot(version uint32, payload []byte) error {
+	if version != pifoSnapVersion {
+		return fmt.Errorf("pifo: unsupported snapshot version %d (have %d)", version, pifoSnapVersion)
+	}
+	d := persist.NewDec(payload)
+	capacity := int(d.U32())
+	cycle := d.U64()
+	pushes, pops := d.U64(), d.U64()
+	maxLen := int(d.U64())
+	n := d.Len(1 << 30)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if capacity != p.cap {
+		return fmt.Errorf("pifo: snapshot capacity %d does not match queue capacity %d", capacity, p.cap)
+	}
+	if n > capacity {
+		return fmt.Errorf("pifo: snapshot holds %d entries, capacity is %d", n, capacity)
+	}
+	entries := make([]core.Element, n)
+	for i := range entries {
+		entries[i] = core.Element{Value: d.U64(), Meta: d.U64()}
+	}
+	var born []uint32
+	if d.Bool() {
+		born = make([]uint32, n)
+		for i := range born {
+			born[i] = d.U32()
+		}
+	}
+	if err := d.Done(); err != nil {
+		return err
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Value < entries[i-1].Value {
+			return fmt.Errorf("pifo: snapshot entries unsorted at %d (%d after %d)",
+				i, entries[i].Value, entries[i-1].Value)
+		}
+	}
+	p.entries = entries
+	p.cycle = cycle
+	p.pushes, p.pops = pushes, pops
+	p.maxLen = maxLen
+	switch {
+	case p.sojourn == nil:
+		// Uninstrumented receiver: born tags are dead weight.
+		p.born = nil
+	case born != nil:
+		p.born = born
+	default:
+		// Instrumented receiver, uninstrumented snapshot: re-tag every
+		// entry at the restore clock so sojourns stay bounded by it.
+		p.born = make([]uint32, n)
+		now := p.clock()
+		for i := range p.born {
+			p.born[i] = now
+		}
+	}
+	return nil
+}
+
+// Replay applies one logged operation; the PIFO clock is the operation
+// count, so no cycle alignment is needed.
+func (p *PIFO) Replay(op persist.Op) error {
+	switch op.Kind {
+	case hw.Push:
+		return p.Push(core.Element{Value: op.Value, Meta: op.Meta})
+	case hw.Pop:
+		e, err := p.Pop()
+		if err != nil {
+			return err
+		}
+		if e.Value != op.Value || e.Meta != op.Meta {
+			return fmt.Errorf("pifo: replay divergence: popped (%d,%d), log recorded (%d,%d)",
+				e.Value, e.Meta, op.Value, op.Meta)
+		}
+		return nil
+	default:
+		return fmt.Errorf("pifo: replay of invalid op kind %v", op.Kind)
+	}
+}
+
+// VerifyRecovered checks the shift register's defining invariant: the
+// entries are sorted by rank (FIFO among ties is positional and cannot
+// be violated by a sorted array restore).
+func (p *PIFO) VerifyRecovered() error {
+	for i := 1; i < len(p.entries); i++ {
+		if p.entries[i].Value < p.entries[i-1].Value {
+			return fmt.Errorf("pifo: recovered entries unsorted at %d", i)
+		}
+	}
+	if p.born != nil && len(p.born) != len(p.entries) {
+		return fmt.Errorf("pifo: born tags (%d) out of step with entries (%d)", len(p.born), len(p.entries))
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package pifo
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/obs"
+	"repro/internal/persist"
+)
+
+func drive(t *testing.T, p *PIFO, seed int64, ops int) []persist.Op {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var log []persist.Op
+	for i := 0; i < ops; i++ {
+		if p.Len() > 0 && (rng.Intn(3) == 0 || p.AlmostFull()) {
+			e, err := p.Pop()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, qs := p.Stats()
+			log = append(log, persist.Op{Kind: hw.Pop, Cycle: ps + qs, Value: e.Value, Meta: e.Meta})
+			continue
+		}
+		e := core.Element{Value: uint64(rng.Intn(100)), Meta: uint64(i)}
+		if err := p.Push(e); err != nil {
+			t.Fatal(err)
+		}
+		ps, qs := p.Stats()
+		log = append(log, persist.Op{Kind: hw.Push, Cycle: ps + qs, Value: e.Value, Meta: e.Meta})
+	}
+	return log
+}
+
+func drainAll(t *testing.T, p *PIFO) []core.Element {
+	t.Helper()
+	var out []core.Element
+	for p.Len() > 0 {
+		e, err := p.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	a := New(64)
+	drive(t, a, 1, 200)
+	payload, err := a.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(64)
+	if err := b.RestoreSnapshot(a.SnapshotVersion(), payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.VerifyRecovered(); err != nil {
+		t.Fatal(err)
+	}
+	da, db := drainAll(t, a), drainAll(t, b)
+	if len(da) != len(db) {
+		t.Fatalf("drain lengths %d vs %d", len(da), len(db))
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("pop %d diverged: %+v vs %+v (FIFO tie order must survive the round trip)", i, da[i], db[i])
+		}
+	}
+}
+
+func TestSnapshotCarriesBornTags(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := New(32)
+	a.Instrument(reg, "a")
+	drive(t, a, 2, 100)
+
+	payload, err := a.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2 := obs.NewRegistry()
+	b := New(32)
+	b.Instrument(reg2, "b")
+	if err := b.RestoreSnapshot(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.born) != len(b.entries) {
+		t.Fatalf("born tags %d for %d entries", len(b.born), len(b.entries))
+	}
+	for i := range b.born {
+		if b.born[i] != a.born[i] {
+			t.Fatalf("born tag %d diverged: %d vs %d", i, b.born[i], a.born[i])
+		}
+	}
+}
+
+func TestRestoreSynthesisesBornForUninstrumentedSnapshot(t *testing.T) {
+	a := New(32) // uninstrumented: snapshot has no born tags
+	drive(t, a, 3, 80)
+	payload, err := a.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	b := New(32)
+	b.Instrument(reg, "b")
+	if err := b.RestoreSnapshot(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	now := b.clock()
+	for i, tag := range b.born {
+		if tag != now {
+			t.Fatalf("synthesised born[%d] = %d, want restore clock %d", i, tag, now)
+		}
+	}
+	if err := b.VerifyRecovered(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreRejectsBadPayloads(t *testing.T) {
+	a := New(16)
+	drive(t, a, 4, 40)
+	payload, err := a.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := New(8).RestoreSnapshot(1, payload); err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("capacity mismatch accepted: %v", err)
+	}
+	if err := New(16).RestoreSnapshot(7, payload); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	if err := New(16).RestoreSnapshot(1, payload[:len(payload)-1]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+
+	// Unsorted entries must be rejected: hand-craft a payload.
+	var e persist.Enc
+	e.U32(16)     // cap
+	e.U64(0)      // cycle
+	e.U64(2)      // pushes
+	e.U64(0)      // pops
+	e.U64(2)      // maxLen
+	e.U32(2)      // entries
+	e.U64(5)      // val 0
+	e.U64(0)      // meta 0
+	e.U64(3)      // val 1 < val 0: unsorted
+	e.U64(0)      // meta 1
+	e.Bool(false) // no born tags
+	if err := New(16).RestoreSnapshot(1, e.B); err == nil || !strings.Contains(err.Error(), "unsorted") {
+		t.Fatalf("unsorted entries accepted: %v", err)
+	}
+}
+
+func TestReplayAuditsPops(t *testing.T) {
+	p := New(8)
+	if err := p.Replay(persist.Op{Kind: hw.Push, Cycle: 1, Value: 4, Meta: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Replay(persist.Op{Kind: hw.Pop, Cycle: 2, Value: 5, Meta: 9}); err == nil {
+		t.Fatal("divergent pop accepted")
+	}
+}

@@ -1,0 +1,220 @@
+// Snapshot/replay codec: the R-BMW pipeline as a persist.Checkpointable.
+//
+// Unlike the untimed models, R-BMW state is a function of the clock
+// schedule: waves descend one level per cycle, born tags are cycle
+// numbers, and the pop handshake depends on the preceding cycle. The
+// codec therefore captures the machine mid-flight — registers, the
+// parity column (raw, so a latent upset is persisted as the mismatch it
+// is rather than silently healed), in-flight waves, cooldowns and the
+// cycle counter — and Replay nop-aligns each logged operation to its
+// recorded cycle, reproducing the exact schedule and hence bit-identical
+// registers and pop order.
+//
+// A faulted machine (latched error or stranded waves) refuses to
+// snapshot: recovery from detected corruption is Recover's drain-and-
+// rebuild job, not the checkpointer's.
+
+package rbmw
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/persist"
+	"repro/internal/treecheck"
+)
+
+// rbmwSnapVersion is the current snapshot codec version.
+const rbmwSnapVersion = 1
+
+var _ persist.Checkpointable = (*Sim)(nil)
+
+// SnapshotKind identifies R-BMW snapshots.
+func (s *Sim) SnapshotKind() string { return "rbmw" }
+
+// SnapshotVersion returns the codec version EncodeSnapshot writes.
+func (s *Sim) SnapshotVersion() uint32 { return rbmwSnapVersion }
+
+// EncodeSnapshot serialises the complete machine state, including
+// in-flight waves — the pipeline does not need to be quiescent.
+func (s *Sim) EncodeSnapshot() ([]byte, error) {
+	if s.faultErr != nil {
+		return nil, fmt.Errorf("rbmw: cannot snapshot a faulted machine: %w", s.faultErr)
+	}
+	if len(s.stranded) > 0 {
+		return nil, fmt.Errorf("rbmw: cannot snapshot with %d stranded waves (recover first)", len(s.stranded))
+	}
+	var e persist.Enc
+	e.U32(uint32(s.m))
+	e.U32(uint32(s.l))
+	e.Bool(s.Sustained)
+	e.Bool(s.protected)
+	e.U64(uint64(s.size))
+	e.U64(s.cycle)
+	e.U64(s.pushes)
+	e.U64(s.pops)
+	e.U32(uint32(s.popCooldown))
+	e.U32(uint32(s.pushCooldown))
+	e.U64(s.detected)
+	e.U64(s.recoveries)
+	e.U64(s.lastCheck)
+	e.U64(s.checkRuns)
+	e.U32(uint32(len(s.nodes)))
+	for i := range s.nodes {
+		sl := &s.nodes[i]
+		e.U64(sl.val)
+		e.U64(sl.meta)
+		e.U32(sl.count)
+		e.U32(sl.born)
+	}
+	if s.protected {
+		// Raw parity column: a mismatch present now must still be a
+		// mismatch after restore, so detection survives the round trip.
+		e.Bytes(s.parity)
+	}
+	e.U32(uint32(len(s.next)))
+	for _, w := range s.next {
+		e.U64(uint64(w.node))
+		e.U64(w.val)
+		e.U64(w.meta)
+		e.U32(w.born)
+		e.Bool(w.push)
+	}
+	return e.B, nil
+}
+
+// RestoreSnapshot loads a payload into the receiver, which must have
+// the same shape and protection mode as the machine that wrote it. The
+// payload is fully decoded and cross-checked (including reconciling the
+// recorded size against slot occupancy and in-flight waves) before any
+// receiver state changes.
+func (s *Sim) RestoreSnapshot(version uint32, payload []byte) error {
+	if version != rbmwSnapVersion {
+		return fmt.Errorf("rbmw: unsupported snapshot version %d (have %d)", version, rbmwSnapVersion)
+	}
+	d := persist.NewDec(payload)
+	m, l := int(d.U32()), int(d.U32())
+	sustained := d.Bool()
+	protected := d.Bool()
+	size := int(d.U64())
+	cycle := d.U64()
+	pushes, pops := d.U64(), d.U64()
+	popCD, pushCD := int(d.U32()), int(d.U32())
+	detected, recoveries := d.U64(), d.U64()
+	lastCheck, checkRuns := d.U64(), d.U64()
+	n := d.Len(1 << 30)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if m != s.m || l != s.l || n != len(s.nodes) {
+		return fmt.Errorf("rbmw: snapshot shape m=%d l=%d slots=%d does not match machine m=%d l=%d slots=%d",
+			m, l, n, s.m, s.l, len(s.nodes))
+	}
+	if protected != s.protected {
+		return fmt.Errorf("rbmw: snapshot protection (%v) does not match machine (%v); construct with matching Protect",
+			protected, s.protected)
+	}
+	if size < 0 || size > s.capacity {
+		return fmt.Errorf("rbmw: snapshot size %d out of range [0,%d]", size, s.capacity)
+	}
+	nodes := make([]slot, n)
+	for i := range nodes {
+		nodes[i] = slot{val: d.U64(), meta: d.U64(), count: d.U32(), born: d.U32()}
+	}
+	var parity []uint8
+	if protected {
+		pb := d.Bytes()
+		if d.Err() == nil && len(pb) != n {
+			return fmt.Errorf("rbmw: snapshot parity column has %d bits, want %d", len(pb), n)
+		}
+		parity = append([]uint8(nil), pb...)
+	}
+	waves := make([]wave, d.Len(n+1))
+	for i := range waves {
+		waves[i] = wave{node: int(d.U64()), val: d.U64(), meta: d.U64(), born: d.U32(), push: d.Bool()}
+	}
+	if err := d.Done(); err != nil {
+		return err
+	}
+	pushWaves, popWaves := 0, 0
+	for _, w := range waves {
+		if w.node < 0 || w.node >= s.numNodes {
+			return fmt.Errorf("rbmw: snapshot wave targets node %d outside [0,%d)", w.node, s.numNodes)
+		}
+		if w.push {
+			pushWaves++
+		} else {
+			popWaves++
+		}
+	}
+
+	// Commit, then reconcile occupancy: every in-flight push is an
+	// element not yet parked in a slot, every in-flight pop refill has
+	// left a stale duplicate parked, so
+	// occupied slots == size - pushWaves + popWaves.
+	copy(s.nodes, nodes)
+	if protected {
+		copy(s.parity, parity)
+	}
+	s.next = append(s.next[:0], waves...)
+	s.cur = s.cur[:0]
+	s.stranded = nil
+	s.faultErr = nil
+	s.Sustained = sustained
+	s.size = size
+	s.cycle = cycle
+	s.pushes, s.pops = pushes, pops
+	s.popCooldown, s.pushCooldown = popCD, pushCD
+	s.detected, s.recoveries = detected, recoveries
+	s.lastCheck, s.checkRuns = lastCheck, checkRuns
+	if occ := treecheck.Occupancy(s); occ != size-pushWaves+popWaves {
+		return fmt.Errorf("rbmw: snapshot inconsistent: %d occupied slots, size %d with %d push / %d pop waves in flight",
+			occ, size, pushWaves, popWaves)
+	}
+	return nil
+}
+
+// Replay re-issues one logged operation at its recorded cycle, filling
+// the gap with the nop cycles the original schedule contained. The wave
+// pipeline is a deterministic function of (state, schedule), so the
+// replayed machine tracks the original bit for bit; the pop result is
+// audited against the log.
+func (s *Sim) Replay(op persist.Op) error {
+	if op.Cycle <= s.cycle {
+		return fmt.Errorf("rbmw: replay op at cycle %d but machine is already at %d", op.Cycle, s.cycle)
+	}
+	for s.cycle+1 < op.Cycle {
+		if _, err := s.Tick(hw.NopOp()); err != nil {
+			return fmt.Errorf("rbmw: replay nop at cycle %d: %w", s.cycle, err)
+		}
+	}
+	e, err := s.Tick(op.ToHW())
+	if err != nil {
+		return fmt.Errorf("rbmw: replay %v at cycle %d: %w", op.Kind, op.Cycle, err)
+	}
+	if op.Kind == hw.Pop {
+		if e == nil {
+			return fmt.Errorf("rbmw: replay pop at cycle %d returned nothing", op.Cycle)
+		}
+		if e.Value != op.Value || e.Meta != op.Meta {
+			return fmt.Errorf("rbmw: replay divergence at cycle %d: popped (%d,%d), log recorded (%d,%d)",
+				op.Cycle, e.Value, e.Meta, op.Value, op.Meta)
+		}
+	}
+	return nil
+}
+
+// VerifyRecovered runs the read-only health check (parity column and
+// the shared treecheck invariants). With waves still in flight the tree
+// invariants are transiently unevaluable and the check is deferred to
+// the caller's first quiescent point; the restore-time occupancy
+// reconciliation has already validated the mid-flight image.
+func (s *Sim) VerifyRecovered() error {
+	if s.faultErr != nil {
+		return s.faultErr
+	}
+	if !s.Quiescent() {
+		return nil
+	}
+	return s.Verify()
+}

@@ -1,0 +1,323 @@
+// Snapshot/replay codec: the RPU-BMW pipeline as a persist.Checkpointable.
+//
+// RPU-BMW keeps most of its state in SRAM macros whose port registers
+// (an issued read that has not captured, a held write) have no
+// serialisable hardware representation, so snapshots are taken at
+// quiescent points only — the checkpointing harnesses insert nop cycles
+// until Quiescent() holds, exactly as a real controller would fence the
+// pipeline before scanning state out.
+//
+// Protected SRAMs are persisted as their raw code words (payload chunks
+// plus check bytes, uncorrected, via ECCRAM.RawWord) and the root
+// parity column is stored verbatim: a latent upset sitting in the array
+// at checkpoint time is still sitting there after restore, where ECC,
+// parity, or the invariant checker detects it. A checkpoint never
+// launders corruption.
+//
+// Replay nop-aligns each logged operation to its recorded cycle; the
+// datapath is a deterministic function of (state, schedule), so the
+// replayed machine reproduces the original registers and pop order bit
+// for bit.
+
+package rpubmw
+
+import (
+	"fmt"
+
+	"repro/internal/faultinject"
+	"repro/internal/hw"
+	"repro/internal/persist"
+)
+
+// rpubmwSnapVersion is the current snapshot codec version.
+const rpubmwSnapVersion = 1
+
+// Level-image tags distinguishing how a level's SRAM was persisted.
+const (
+	levelPlain = 0 // unprotected SDPRAM: decoded nodes
+	levelECC   = 1 // ECCRAM: raw code words, check bytes included
+)
+
+var _ persist.Checkpointable = (*Sim)(nil)
+
+// SnapshotKind identifies RPU-BMW snapshots.
+func (s *Sim) SnapshotKind() string { return "rpubmw" }
+
+// SnapshotVersion returns the codec version EncodeSnapshot writes.
+func (s *Sim) SnapshotVersion() uint32 { return rpubmwSnapVersion }
+
+// EncodeSnapshot serialises the complete machine state. The pipeline
+// must be quiescent (no lift in flight, no pending SRAM port request):
+// the harness fences with nop ticks first.
+func (s *Sim) EncodeSnapshot() ([]byte, error) {
+	if s.faultErr != nil {
+		return nil, fmt.Errorf("rpubmw: cannot snapshot a faulted machine: %w", s.faultErr)
+	}
+	if len(s.stranded) > 0 {
+		return nil, fmt.Errorf("rpubmw: cannot snapshot with %d stranded operations (recover first)", len(s.stranded))
+	}
+	if !s.Quiescent() {
+		return nil, fmt.Errorf("rpubmw: cannot snapshot mid-pipeline: SRAM port state is not serialisable (fence with nop ticks)")
+	}
+	var e persist.Enc
+	e.U32(uint32(s.m))
+	e.U32(uint32(s.l))
+	e.Bool(s.Strict)
+	e.Bool(s.Plain)
+	e.Bool(s.protected)
+	e.Bool(s.rootParity)
+	e.U64(uint64(s.size))
+	e.U64(s.cycle)
+	e.Bool(s.available)
+	e.U32(uint32(s.cooldown))
+	e.U64(s.pushes)
+	e.U64(s.pops)
+	e.U64(s.detected)
+	e.U64(s.recoveries)
+	e.U64(s.lastCheck)
+	e.U64(s.checkRuns)
+	for i := 0; i < s.m; i++ {
+		sl := &s.root[i]
+		e.U64(sl.val)
+		e.U64(sl.meta)
+		e.U32(sl.count)
+		e.U32(sl.born)
+	}
+	if s.rootParity {
+		e.Bytes(s.parity[:s.m])
+	}
+	e.U32(uint32(len(s.rams)))
+	for _, r := range s.rams {
+		if er, ok := r.(*faultinject.ECCRAM[node]); ok {
+			e.U8(levelECC)
+			e.U8(uint8(er.Mode()))
+			e.U32(uint32(er.Words()))
+			chunks := 3 * s.m
+			e.U32(uint32(chunks))
+			for a := 0; a < er.Words(); a++ {
+				data, check := er.RawWord(a)
+				for _, d := range data {
+					e.U64(d)
+				}
+				e.Bytes(check)
+			}
+			continue
+		}
+		e.U8(levelPlain)
+		e.U32(uint32(r.Words()))
+		for a := 0; a < r.Words(); a++ {
+			nd := r.Peek(a)
+			for i := 0; i < s.m; i++ {
+				sl := &nd.slots[i]
+				e.U64(sl.val)
+				e.U64(sl.meta)
+				e.U32(sl.count)
+				e.U32(sl.born)
+			}
+		}
+	}
+	return e.B, nil
+}
+
+// levelImage is one level's decoded SRAM contents, held until the whole
+// payload has validated against the receiver.
+type levelImage struct {
+	ecc   bool
+	mode  faultinject.ECCMode
+	words int
+	plain []node     // levelPlain
+	data  [][]uint64 // levelECC: raw payload chunks per word
+	check [][]uint8  // levelECC: raw check bytes per word
+}
+
+// RestoreSnapshot loads a payload into the receiver, which must have
+// the same shape and the same protection configuration (same Protect
+// mode) as the machine that wrote it. The payload is fully decoded and
+// cross-checked before any receiver state changes.
+func (s *Sim) RestoreSnapshot(version uint32, payload []byte) error {
+	if version != rpubmwSnapVersion {
+		return fmt.Errorf("rpubmw: unsupported snapshot version %d (have %d)", version, rpubmwSnapVersion)
+	}
+	d := persist.NewDec(payload)
+	m, l := int(d.U32()), int(d.U32())
+	strict, plain := d.Bool(), d.Bool()
+	protected, rootParity := d.Bool(), d.Bool()
+	size := int(d.U64())
+	cycle := d.U64()
+	available := d.Bool()
+	cooldown := int(d.U32())
+	pushes, pops := d.U64(), d.U64()
+	detected, recoveries := d.U64(), d.U64()
+	lastCheck, checkRuns := d.U64(), d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if m != s.m || l != s.l {
+		return fmt.Errorf("rpubmw: snapshot shape m=%d l=%d does not match machine m=%d l=%d", m, l, s.m, s.l)
+	}
+	if protected != s.protected || rootParity != s.rootParity {
+		return fmt.Errorf("rpubmw: snapshot protection (protected=%v parity=%v) does not match machine (protected=%v parity=%v); construct with matching Protect",
+			protected, rootParity, s.protected, s.rootParity)
+	}
+	if size < 0 || size > s.capacity {
+		return fmt.Errorf("rpubmw: snapshot size %d out of range [0,%d]", size, s.capacity)
+	}
+	var root [MaxOrder]slot
+	for i := 0; i < m; i++ {
+		root[i] = slot{val: d.U64(), meta: d.U64(), count: d.U32(), born: d.U32()}
+	}
+	var parity [MaxOrder]uint8
+	if rootParity {
+		pb := d.Bytes()
+		if d.Err() == nil && len(pb) != m {
+			return fmt.Errorf("rpubmw: snapshot root parity has %d bits, want %d", len(pb), m)
+		}
+		copy(parity[:], pb)
+	}
+	nLevels := d.Len(len(s.rams))
+	if d.Err() == nil && nLevels != len(s.rams) {
+		return fmt.Errorf("rpubmw: snapshot has %d SRAM levels, machine has %d", nLevels, len(s.rams))
+	}
+	images := make([]levelImage, nLevels)
+	for li := range images {
+		img := &images[li]
+		switch tag := d.U8(); tag {
+		case levelECC:
+			img.ecc = true
+			img.mode = faultinject.ECCMode(d.U8())
+			img.words = int(d.U32())
+			chunks := int(d.U32())
+			if err := d.Err(); err != nil {
+				return err
+			}
+			if chunks != 3*m {
+				return fmt.Errorf("rpubmw: snapshot level %d has %d ECC chunks per word, want %d", li+2, chunks, 3*m)
+			}
+			er, ok := s.rams[li].(*faultinject.ECCRAM[node])
+			if !ok {
+				return fmt.Errorf("rpubmw: snapshot level %d is ECC-protected, machine level is not", li+2)
+			}
+			if er.Mode() != img.mode || er.Words() != img.words {
+				return fmt.Errorf("rpubmw: snapshot level %d is %v/%d words, machine is %v/%d",
+					li+2, img.mode, img.words, er.Mode(), er.Words())
+			}
+			img.data = make([][]uint64, img.words)
+			img.check = make([][]uint8, img.words)
+			for a := 0; a < img.words; a++ {
+				data := make([]uint64, chunks)
+				for c := range data {
+					data[c] = d.U64()
+				}
+				check := append([]uint8(nil), d.Bytes()...)
+				if d.Err() == nil && len(check) != chunks {
+					return fmt.Errorf("rpubmw: snapshot level %d word %d has %d check bytes, want %d", li+2, a, len(check), chunks)
+				}
+				img.data[a], img.check[a] = data, check
+			}
+		case levelPlain:
+			img.words = int(d.U32())
+			if err := d.Err(); err != nil {
+				return err
+			}
+			if _, isECC := s.rams[li].(*faultinject.ECCRAM[node]); isECC {
+				return fmt.Errorf("rpubmw: snapshot level %d is unprotected, machine level is ECC-protected", li+2)
+			}
+			if s.rams[li].Words() != img.words {
+				return fmt.Errorf("rpubmw: snapshot level %d has %d words, machine has %d", li+2, img.words, s.rams[li].Words())
+			}
+			img.plain = make([]node, img.words)
+			for a := 0; a < img.words; a++ {
+				var nd node
+				for i := 0; i < m; i++ {
+					nd.slots[i] = slot{val: d.U64(), meta: d.U64(), count: d.U32(), born: d.U32()}
+				}
+				img.plain[a] = nd
+			}
+		default:
+			return fmt.Errorf("rpubmw: snapshot level %d has unknown storage tag %d", li+2, tag)
+		}
+		if err := d.Err(); err != nil {
+			return err
+		}
+	}
+	if err := d.Done(); err != nil {
+		return err
+	}
+
+	// Commit.
+	s.root = root
+	s.parity = parity
+	for li := range images {
+		img := &images[li]
+		if img.ecc {
+			er := s.rams[li].(*faultinject.ECCRAM[node])
+			for a := 0; a < img.words; a++ {
+				er.SetRawWord(a, img.data[a], img.check[a])
+			}
+		} else {
+			for a := 0; a < img.words; a++ {
+				s.rams[li].Poke(a, img.plain[a])
+			}
+		}
+		s.fetchQ[li] = fetch{}
+		s.liftQ[li] = liftWait{}
+	}
+	s.rootLift = liftWait{}
+	s.stranded = nil
+	s.faultErr = nil
+	s.liftDelivered = false
+	s.Strict = strict
+	s.Plain = plain
+	s.size = size
+	s.cycle = cycle
+	s.available = available
+	s.cooldown = cooldown
+	s.pushes, s.pops = pushes, pops
+	s.detected, s.recoveries = detected, recoveries
+	s.lastCheck, s.checkRuns = lastCheck, checkRuns
+	return nil
+}
+
+// Replay re-issues one logged operation at its recorded cycle, filling
+// the gap with the nop cycles the original schedule contained (which
+// also reproduces the mandatory idle cycle after each pop). The pop
+// result is audited against the log.
+func (s *Sim) Replay(op persist.Op) error {
+	if op.Cycle <= s.cycle {
+		return fmt.Errorf("rpubmw: replay op at cycle %d but machine is already at %d", op.Cycle, s.cycle)
+	}
+	for s.cycle+1 < op.Cycle {
+		if _, err := s.Tick(hw.NopOp()); err != nil {
+			return fmt.Errorf("rpubmw: replay nop at cycle %d: %w", s.cycle, err)
+		}
+	}
+	e, err := s.Tick(op.ToHW())
+	if err != nil {
+		return fmt.Errorf("rpubmw: replay %v at cycle %d: %w", op.Kind, op.Cycle, err)
+	}
+	if op.Kind == hw.Pop {
+		if e == nil {
+			return fmt.Errorf("rpubmw: replay pop at cycle %d returned nothing", op.Cycle)
+		}
+		if e.Value != op.Value || e.Meta != op.Meta {
+			return fmt.Errorf("rpubmw: replay divergence at cycle %d: popped (%d,%d), log recorded (%d,%d)",
+				op.Cycle, e.Value, e.Meta, op.Value, op.Meta)
+		}
+	}
+	return nil
+}
+
+// VerifyRecovered runs the read-only health check (root parity, a full
+// ECC audit of every SRAM word, and the shared treecheck invariants).
+// Immediately after replay the final operation's lift may still be in
+// flight; the check is then deferred to the caller's first quiescent
+// point.
+func (s *Sim) VerifyRecovered() error {
+	if s.faultErr != nil {
+		return s.faultErr
+	}
+	if !s.Quiescent() {
+		return nil
+	}
+	return s.Verify()
+}

@@ -1,0 +1,269 @@
+package rpubmw
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/hw"
+	"repro/internal/persist"
+)
+
+func driveLogged(t *testing.T, s *Sim, seed int64, cycles int) []persist.Op {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var log []persist.Op
+	for i := 0; i < cycles; i++ {
+		switch {
+		case s.PopAvailable() && s.Len() > 0 && rng.Intn(3) == 0:
+			e, err := s.Tick(hw.PopOp())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e != nil {
+				log = append(log, persist.Op{Kind: hw.Pop, Cycle: s.Cycle(), Value: e.Value, Meta: e.Meta})
+			}
+		case s.PushAvailable() && !s.AlmostFull() && rng.Intn(2) == 0:
+			op := hw.PushOp(uint64(rng.Intn(400)), uint64(i))
+			if _, err := s.Tick(op); err != nil {
+				t.Fatal(err)
+			}
+			log = append(log, persist.Op{Kind: hw.Push, Cycle: s.Cycle(), Value: op.Value, Meta: op.Meta})
+		default:
+			if _, err := s.Tick(hw.NopOp()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return log
+}
+
+func fence(t *testing.T, s *Sim) {
+	t.Helper()
+	for i := 0; !s.Quiescent(); i++ {
+		if i > 10000 {
+			t.Fatal("simulator never quiesced")
+		}
+		if _, err := s.Tick(hw.NopOp()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSnapshotRequiresQuiescence(t *testing.T) {
+	s := New(2, 3)
+	rng := rand.New(rand.NewSource(1))
+	sawBusy := false
+	for i := 0; i < 50 && !sawBusy; i++ {
+		if s.PushAvailable() && !s.AlmostFull() {
+			if _, err := s.Tick(hw.PushOp(uint64(rng.Intn(50)), uint64(i))); err != nil {
+				t.Fatal(err)
+			}
+		} else if _, err := s.Tick(hw.NopOp()); err != nil {
+			t.Fatal(err)
+		}
+		if !s.Quiescent() {
+			sawBusy = true
+			if _, err := s.EncodeSnapshot(); err == nil || !strings.Contains(err.Error(), "mid-pipeline") {
+				t.Fatalf("mid-pipeline snapshot accepted: %v", err)
+			}
+		}
+	}
+	if !sawBusy {
+		t.Fatal("workload never left the quiescent state; test is vacuous")
+	}
+	fence(t, s)
+	if _, err := s.EncodeSnapshot(); err != nil {
+		t.Fatalf("quiescent snapshot refused: %v", err)
+	}
+}
+
+func TestSnapshotRoundTripPlain(t *testing.T) {
+	a := New(4, 3)
+	driveLogged(t, a, 2, 600)
+	fence(t, a)
+	payload, err := a.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(4, 3)
+	if err := b.RestoreSnapshot(a.SnapshotVersion(), payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.VerifyRecovered(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Cycle() != a.Cycle() || b.Len() != a.Len() {
+		t.Fatalf("cycle/len diverged: (%d,%d) vs (%d,%d)", b.Cycle(), b.Len(), a.Cycle(), a.Len())
+	}
+	compareDrains(t, a, b)
+}
+
+func TestSnapshotRoundTripSECDED(t *testing.T) {
+	a := New(2, 3)
+	a.Protect(faultinject.EccSECDED, 0)
+	driveLogged(t, a, 3, 500)
+	fence(t, a)
+	payload, err := a.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(2, 3)
+	b.Protect(faultinject.EccSECDED, 0)
+	if err := b.RestoreSnapshot(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.VerifyRecovered(); err != nil {
+		t.Fatal(err)
+	}
+	compareDrains(t, a, b)
+}
+
+func TestRestoreRejectsProtectionMismatch(t *testing.T) {
+	a := New(2, 3)
+	a.Protect(faultinject.EccSECDED, 0)
+	driveLogged(t, a, 4, 200)
+	fence(t, a)
+	payload, err := a.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := New(2, 3).RestoreSnapshot(1, payload); err == nil {
+		t.Fatal("ECC snapshot restored into an unprotected machine")
+	}
+	par := New(2, 3)
+	par.Protect(faultinject.EccParity, 0)
+	if err := par.RestoreSnapshot(1, payload); err == nil {
+		t.Fatal("SECDED snapshot restored into a parity-mode machine")
+	}
+	if err := New(4, 3).RestoreSnapshot(1, payload); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if err := New(2, 3).RestoreSnapshot(9, payload); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+}
+
+// TestSnapshotPreservesUncorrectableError flips two bits in the same
+// stored chunk — uncorrectable under SECDED. The snapshot must carry
+// the raw codeword so the restored machine still reports it; re-encoding
+// on restore would silently launder the corruption.
+func TestSnapshotPreservesUncorrectableError(t *testing.T) {
+	a := New(2, 3)
+	a.Protect(faultinject.EccSECDED, 0)
+	driveLogged(t, a, 5, 400)
+	fence(t, a)
+
+	er, ok := a.rams[0].(*faultinject.ECCRAM[node])
+	if !ok {
+		t.Fatal("level 2 RAM is not ECC-protected")
+	}
+	er.FlipBit(0, 0)
+	er.FlipBit(0, 1) // same chunk: double-bit, uncorrectable
+
+	payload, err := a.EncodeSnapshot()
+	if err != nil {
+		t.Fatalf("snapshot of latently-corrupt machine refused: %v", err)
+	}
+	b := New(2, 3)
+	b.Protect(faultinject.EccSECDED, 0)
+	if err := b.RestoreSnapshot(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Verify(); err == nil {
+		t.Fatal("uncorrectable error silently healed across the snapshot round trip")
+	}
+}
+
+// TestSnapshotCarriesCorrectableError: a single-bit flip survives the
+// round trip as raw bits, and SECDED still corrects it afterwards.
+func TestSnapshotCarriesCorrectableError(t *testing.T) {
+	a := New(2, 3)
+	a.Protect(faultinject.EccSECDED, 0)
+	driveLogged(t, a, 6, 400)
+	fence(t, a)
+
+	er := a.rams[0].(*faultinject.ECCRAM[node])
+	er.FlipBit(0, 5)
+
+	payload, err := a.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(2, 3)
+	b.Protect(faultinject.EccSECDED, 0)
+	if err := b.RestoreSnapshot(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Single-bit errors are correctable: audit passes, drains match.
+	if err := b.Verify(); err != nil {
+		t.Fatalf("correctable single-bit flip failed verification: %v", err)
+	}
+	compareDrains(t, a, b)
+}
+
+func TestFaultedMachineRefusesSnapshotRPU(t *testing.T) {
+	s := New(2, 2)
+	s.Protect(faultinject.EccParity, 0)
+	for i := 0; i < 2; i++ {
+		if _, err := s.Tick(hw.PushOp(uint64(i+1), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fence(t, s)
+	s.FlipBit(0, 0) // root latch flip: parity check latches the fault
+	for i := 0; i < 20 && !s.Faulted(); i++ {
+		s.Tick(hw.PopOp())
+	}
+	if !s.Faulted() {
+		t.Fatal("injected root fault never detected")
+	}
+	if _, err := s.EncodeSnapshot(); err == nil {
+		t.Fatal("faulted machine produced a snapshot")
+	}
+}
+
+func TestReplayFromGenesisRPU(t *testing.T) {
+	a := New(3, 3)
+	log := driveLogged(t, a, 7, 600)
+
+	b := New(3, 3)
+	for i, op := range log {
+		if err := b.Replay(op); err != nil {
+			t.Fatalf("replay op %d (%+v): %v", i, op, err)
+		}
+	}
+	fence(t, a)
+	fence(t, b)
+	if err := b.VerifyRecovered(); err != nil {
+		t.Fatal(err)
+	}
+	compareDrains(t, a, b)
+}
+
+func TestReplayRejectsCycleRewindRPU(t *testing.T) {
+	s := New(2, 2)
+	if err := s.Replay(persist.Op{Kind: hw.Push, Cycle: 2, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Replay(persist.Op{Kind: hw.Push, Cycle: 2, Value: 2}); err == nil {
+		t.Fatal("replay at a past cycle accepted")
+	}
+}
+
+func compareDrains(t *testing.T, a, b *Sim) {
+	t.Helper()
+	da, db := a.Drain(), b.Drain()
+	if len(da) != len(db) {
+		t.Fatalf("drain lengths %d vs %d", len(da), len(db))
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("pop %d diverged: %+v vs %+v", i, da[i], db[i])
+		}
+	}
+}
+
+var _ = core.Element{}

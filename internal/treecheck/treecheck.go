@@ -91,6 +91,26 @@ func Check(s State) error {
 	return nil
 }
 
+// Occupancy counts the occupied slots visible in s. When the structure
+// is quiescent it equals Len(); while pipeline waves are in flight the
+// two differ by a known amount (each in-flight push carries one element
+// not yet parked in a slot; each in-flight pop refill leaves one stale
+// duplicate parked), which the snapshot restore validators use to
+// reconcile a mid-pipeline image against its recorded size.
+func Occupancy(s State) int {
+	m := s.Order()
+	nn := numNodes(m, s.Levels())
+	occ := 0
+	for n := 0; n < nn; n++ {
+		for i := 0; i < m; i++ {
+			if _, _, ok := s.SlotState(n, i); ok {
+				occ++
+			}
+		}
+	}
+	return occ
+}
+
 // numNodes returns (m^l-1)/(m-1).
 func numNodes(m, l int) int {
 	n, p := 0, 1

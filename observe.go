@@ -53,6 +53,10 @@ func MetricsHandler(r *MetricsRegistry) http.Handler { return obs.Handler(r) }
 // server errors arrive on the returned channel.
 func ServeMetrics(addr string, r *MetricsRegistry) <-chan error { return obs.Serve(addr, r) }
 
+// NewMetricsServer builds the metrics endpoint without starting it, so
+// commands can drain it gracefully via http.Server.Shutdown.
+func NewMetricsServer(addr string, r *MetricsRegistry) *http.Server { return obs.NewServer(addr, r) }
+
 // ParseCycleTrace decodes Chrome Trace Event JSON (the WriteTo
 // output of a TraceRecorder).
 func ParseCycleTrace(b []byte) (CycleTrace, error) { return obs.ParseTrace(b) }
