@@ -1,0 +1,141 @@
+// bmwd serves a sharded BMW-Tree scheduling engine over the wire
+// protocol: a fleet of shard goroutines, each exclusively owning one
+// queue (core golden model, pifo shift register, or a cycle-accurate
+// rbmw/rpubmw simulator), fronted by a length-prefixed binary protocol
+// on TCP.
+//
+// Lifecycle: on SIGINT/SIGTERM the daemon stops accepting, drains
+// in-flight connections, closes the engine, and — when -persist is set
+// — checkpoints every shard through the persist subsystem so the next
+// start with the same -persist dir restores the full queue contents.
+//
+// Examples:
+//
+//	bmwd -listen :9970 -shards 4 -queue core -route rank
+//	bmwd -listen :9970 -shards 4 -queue rbmw -m 4 -l 6 -http :9971
+//	bmwd -listen :9970 -persist /var/lib/bmwd   # checkpoint on shutdown
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bmwd: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:9970", "wire protocol listen address")
+		shards   = flag.Int("shards", 4, "number of engine shards (each owns one queue)")
+		queue    = flag.String("queue", "core", "queue kind per shard: core, pifo, rbmw, rpubmw")
+		order    = flag.Int("m", 2, "tree order m (rbmw/rpubmw/core)")
+		levels   = flag.Int("l", 11, "tree levels (rbmw/rpubmw/core)")
+		capacity = flag.Int("cap", 0, "per-shard capacity override (0 = derive from m,l)")
+		ringSize = flag.Int("ring", 1024, "per-shard request ring size")
+		batch    = flag.Int("batch", 64, "per-shard max drain batch")
+		route    = flag.String("route", "hash", "push routing: hash (by Meta) or rank (by Value range)")
+		rankBits = flag.Int("rankbits", 30, "rank width in bits for -route rank partitioning")
+		httpAddr = flag.String("http", "", "observability HTTP address (/metrics, /metrics.json, pprof); empty = off")
+		persist  = flag.String("persist", "", "checkpoint directory: restore on start, checkpoint on shutdown")
+		drainFor = flag.Duration("drain", 10*time.Second, "graceful shutdown budget before connections are cut")
+	)
+	flag.Parse()
+
+	var routing engine.Routing
+	switch *route {
+	case "hash":
+		routing = engine.RouteHash
+	case "rank":
+		routing = engine.RouteRank
+	default:
+		fatalf("unknown -route %q (want hash or rank)", *route)
+	}
+	kind, err := engine.ParseKind(*queue)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	cfg := engine.Config{
+		Shards:     *shards,
+		Kind:       kind,
+		Order:      *order,
+		Levels:     *levels,
+		Cap:        *capacity,
+		RingSize:   *ringSize,
+		BatchSize:  *batch,
+		Routing:    routing,
+		RankBits:   *rankBits,
+		RestoreDir: *persist,
+	}
+	eng, err := engine.New(cfg)
+	if err != nil {
+		fatalf("engine: %v", err)
+	}
+
+	reg := obs.NewRegistry()
+	eng.Instrument(reg, "bmwd_engine")
+	var obsSrv *http.Server
+	if *httpAddr != "" {
+		obsSrv = obs.NewServer(*httpAddr, reg)
+		go func() {
+			if err := obsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "bmwd: obs server: %v\n", err)
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	srv := wire.NewServer(eng)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Printf("bmwd: serving %d %s shard(s) on %s (route=%s)\n",
+		eng.Shards(), kind, ln.Addr(), *route)
+
+	select {
+	case sig := <-sigc:
+		fmt.Printf("bmwd: %v: draining\n", sig)
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, net.ErrClosed) {
+			fatalf("serve: %v", err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "bmwd: shutdown: %v\n", err)
+	}
+	if obsSrv != nil {
+		_ = obsSrv.Shutdown(ctx)
+	}
+	eng.Close()
+	if *persist != "" {
+		if err := eng.Checkpoint(*persist); err != nil {
+			fatalf("checkpoint: %v", err)
+		}
+		fmt.Printf("bmwd: checkpointed %d element(s) to %s\n", eng.Len(), *persist)
+	}
+	fmt.Println("bmwd: bye")
+}

@@ -1,0 +1,314 @@
+// bmwload is the load generator for bmwd: it drives the wire protocol
+// with concurrent pipelined connections and reports throughput (Mops)
+// and batch latency quantiles in the bmwperf/v1 JSON schema, so engine
+// serving numbers land in the same regression machinery as the
+// in-process queue benchmarks.
+//
+// Two pacing modes:
+//
+//	closed  each in-flight pipeline slot issues its next batch the
+//	        moment the previous one completes — measures capacity.
+//	open    batches are issued on a fixed schedule at -rate ops/sec
+//	        regardless of completions — measures latency under a
+//	        target load, including coordinated-omission-free queueing
+//	        delay (latency is measured from the scheduled issue time).
+//
+// Examples:
+//
+//	bmwload -addr 127.0.0.1:9970 -conns 2 -pipeline 4 -duration 5s
+//	bmwload -inproc -shards 4 -duration 5s -out BENCH_load.json
+//	bmwload -addr 127.0.0.1:9970 -mode open -rate 500000 -duration 10s
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bmwload: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// metric mirrors the bmwperf/v1 metric shape.
+type metric struct {
+	Value     float64 `json:"value"`
+	Unit      string  `json:"unit"`
+	Direction string  `json:"direction"`
+}
+
+// report mirrors the bmwperf/v1 document so BENCH_load.json slots into
+// the same comparator as the other experiments.
+type report struct {
+	Schema     string            `json:"schema"`
+	Experiment string            `json:"experiment"`
+	Quick      bool              `json:"quick"`
+	GoVersion  string            `json:"go_version"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	Commit     string            `json:"commit"`
+	Metrics    map[string]metric `json:"metrics"`
+}
+
+func commitID() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		return strings.TrimSpace(string(out))
+	}
+	return "unknown"
+}
+
+// counters aggregates worker-side tallies with atomics.
+type counters struct {
+	ops          atomic.Uint64 // operations completed (any status)
+	pushOK       atomic.Uint64
+	popOK        atomic.Uint64
+	empty        atomic.Uint64
+	backpressure atomic.Uint64
+	full         atomic.Uint64
+	invalid      atomic.Uint64
+	protoErrs    atomic.Uint64
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9970", "bmwd address to load")
+		inproc   = flag.Bool("inproc", false, "start an in-process engine+server on a loopback port instead of dialing -addr")
+		shards   = flag.Int("shards", 4, "shard count for -inproc")
+		queue    = flag.String("queue", "core", "queue kind for -inproc: core, pifo, rbmw, rpubmw")
+		conns    = flag.Int("conns", 2, "client connections")
+		pipeline = flag.Int("pipeline", 4, "in-flight batches per connection")
+		batch    = flag.Int("batch", 64, "operations per batch")
+		mix      = flag.Float64("mix", 0.5, "push fraction of the op mix (rest are pops)")
+		duration = flag.Duration("duration", 5*time.Second, "measurement length")
+		mode     = flag.String("mode", "closed", "pacing: closed (capacity) or open (fixed -rate)")
+		rate     = flag.Float64("rate", 1e6, "target ops/sec for -mode open, across all workers")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		out      = flag.String("out", "", "write bmwperf/v1 JSON report here (default stdout summary only)")
+	)
+	flag.Parse()
+	if *mix < 0 || *mix > 1 {
+		fatalf("-mix %v out of [0,1]", *mix)
+	}
+	if *mode != "closed" && *mode != "open" {
+		fatalf("unknown -mode %q (want closed or open)", *mode)
+	}
+
+	target := *addr
+	var stopInproc func()
+	if *inproc {
+		target, stopInproc = startInproc(*shards, *queue)
+		defer stopInproc()
+	}
+
+	clients := make([]*wire.Client, *conns)
+	for i := range clients {
+		c, err := wire.Dial(target)
+		if err != nil {
+			fatalf("dial %s: %v", target, err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	fmt.Printf("bmwload: %d conn(s) x %d pipeline to %s (%d shards, cap %d), %s %s\n",
+		*conns, *pipeline, target, clients[0].Info().Shards, clients[0].Info().Capacity, *mode, *duration)
+
+	var (
+		cnt  counters
+		hist = obs.NewQuantileHistogram() // batch latency, microseconds
+		wg   sync.WaitGroup
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+
+	workers := *conns * *pipeline
+	perWorkerInterval := time.Duration(0)
+	if *mode == "open" {
+		if *rate <= 0 {
+			fatalf("-mode open needs -rate > 0")
+		}
+		// Each worker issues batches of -batch ops; the fleet together
+		// must hit -rate ops/sec, so each worker's period is
+		// workers*batch/rate seconds.
+		perWorkerInterval = time.Duration(float64(workers) * float64(*batch) / *rate * float64(time.Second))
+	}
+
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runWorker(ctx, clients[w%len(clients)], workerCfg{
+				batch:    *batch,
+				mix:      *mix,
+				rng:      rand.New(rand.NewSource(*seed + int64(w))),
+				interval: perWorkerInterval,
+				offset:   time.Duration(w) * perWorkerInterval / time.Duration(workers),
+			}, &cnt, hist)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if n := cnt.protoErrs.Load(); n > 0 {
+		fatalf("%d protocol error(s) during run", n)
+	}
+	if n := cnt.invalid.Load(); n > 0 {
+		fatalf("%d operation(s) rejected as invalid", n)
+	}
+
+	snap := hist.Snapshot()
+	mops := float64(cnt.ops.Load()) / elapsed.Seconds() / 1e6
+	fmt.Printf("bmwload: %.3f Mops (%d ops in %v)\n", mops, cnt.ops.Load(), elapsed.Round(time.Millisecond))
+	fmt.Printf("bmwload: batch latency us p50=%d p99=%d p999=%d max=%d\n",
+		snap.P50, snap.P99, snap.P999, snap.Max)
+	fmt.Printf("bmwload: push_ok=%d pop_ok=%d empty=%d backpressure=%d full=%d\n",
+		cnt.pushOK.Load(), cnt.popOK.Load(), cnt.empty.Load(), cnt.backpressure.Load(), cnt.full.Load())
+
+	if *out != "" {
+		r := report{
+			Schema:     "bmwperf/v1",
+			Experiment: "load",
+			GoVersion:  runtime.Version(),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			Commit:     commitID(),
+			Metrics: map[string]metric{
+				"load_mops":    {mops, "Mops", "higher"},
+				"load_p50_us":  {float64(snap.P50), "us", "lower"},
+				"load_p99_us":  {float64(snap.P99), "us", "lower"},
+				"load_p999_us": {float64(snap.P999), "us", "lower"},
+			},
+		}
+		b, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			fatalf("marshal report: %v", err)
+		}
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+		fmt.Printf("bmwload: wrote %s\n", *out)
+	}
+}
+
+// workerCfg parameterises one load goroutine.
+type workerCfg struct {
+	batch    int
+	mix      float64
+	rng      *rand.Rand
+	interval time.Duration // 0 = closed loop
+	offset   time.Duration // open-loop phase stagger
+}
+
+// runWorker issues batches until ctx expires. In open-loop mode the
+// latency clock starts at the *scheduled* issue time, so a slow server
+// accrues queueing delay instead of silently omitting it.
+func runWorker(ctx context.Context, c *wire.Client, cfg workerCfg, cnt *counters, hist *obs.QuantileHistogram) {
+	ops := make([]wire.Op, cfg.batch)
+	next := time.Now().Add(cfg.offset)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		for i := range ops {
+			if cfg.rng.Float64() < cfg.mix {
+				ops[i] = wire.Op{Kind: wire.OpPush, Value: cfg.rng.Uint64() >> 34, Meta: cfg.rng.Uint64()}
+			} else {
+				ops[i] = wire.Op{Kind: wire.OpPop}
+			}
+		}
+		issued := time.Now()
+		if cfg.interval > 0 {
+			if d := time.Until(next); d > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(d):
+				}
+			}
+			issued = next
+			next = next.Add(cfg.interval)
+		}
+		res, err := c.Do(ops)
+		if err != nil {
+			if ctx.Err() == nil {
+				cnt.protoErrs.Add(1)
+			}
+			return
+		}
+		hist.Observe(uint64(time.Since(issued).Microseconds()))
+		cnt.ops.Add(uint64(len(res)))
+		for i, r := range res {
+			switch r.Status {
+			case wire.StatusOK:
+				if ops[i].Kind == wire.OpPush {
+					cnt.pushOK.Add(1)
+				} else {
+					cnt.popOK.Add(1)
+				}
+			case wire.StatusEmpty:
+				cnt.empty.Add(1)
+			case wire.StatusBackpressure:
+				cnt.backpressure.Add(1)
+			case wire.StatusFull:
+				cnt.full.Add(1)
+			default:
+				cnt.invalid.Add(1)
+			}
+		}
+	}
+}
+
+// startInproc boots an engine + wire server on a loopback port and
+// returns its address plus a stop func, letting bmwload double as a
+// self-contained end-to-end smoke test.
+func startInproc(shards int, queue string) (string, func()) {
+	kind, err := engine.ParseKind(queue)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	eng, err := engine.New(engine.Config{Shards: shards, Kind: kind, Order: 2, Levels: 11})
+	if err != nil {
+		fatalf("inproc engine: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatalf("inproc listen: %v", err)
+	}
+	srv := wire.NewServer(eng)
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		eng.Close()
+	}
+}

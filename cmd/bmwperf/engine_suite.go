@@ -1,0 +1,113 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	bmw "repro"
+)
+
+// engineConfigs is the shards × batch-size sweep the engine suite
+// measures: batch=1 exposes the raw per-op ring cost (one lock+signal
+// and one shard wakeup per operation), batch=64 the amortized cost the
+// serving path actually pays. The shard axis shows how the MPSC fan-out
+// scales; on a single-CPU runner it measures coordination overhead, on
+// multi-core it measures parallel speedup.
+var engineConfigs = []struct {
+	shards, batch int
+}{
+	{1, 1},
+	{1, 64},
+	{4, 1},
+	{4, 64},
+	{4, 256},
+}
+
+// engineWorkers is the number of concurrent submitters: two, so the
+// MPSC ring always sees real producer contention even in quick mode.
+const engineWorkers = 2
+
+// engineMops measures aggregate push+pop throughput of a sharded
+// engine at 50% fill: engineWorkers goroutines split ops between them,
+// each submitting alternating push/pop batches of the given size.
+func engineMops(shards, batch, ops int, seed int64) float64 {
+	eng, err := bmw.NewEngine(bmw.EngineConfig{
+		Shards: shards,
+		Kind:   bmw.EngineCore,
+		Order:  2,
+		Levels: 11,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+
+	// Prefill to half capacity so pops never run dry and pushes never
+	// hit the almost-full reject.
+	rng := rand.New(rand.NewSource(seed))
+	fill := make([]bmw.EngineOp, 0, 256)
+	for filled := 0; filled < eng.Cap()/2; filled += len(fill) {
+		fill = fill[:0]
+		for i := 0; i < 256 && filled+i < eng.Cap()/2; i++ {
+			fill = append(fill, bmw.EnginePushOp(bmw.Element{
+				Value: uint64(rng.Intn(1 << 16)), Meta: rng.Uint64(),
+			}))
+		}
+		for _, r := range eng.Submit(fill) {
+			if r.Err != nil {
+				panic(r.Err)
+			}
+		}
+	}
+
+	perWorker := ops / engineWorkers
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < engineWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(seed + int64(w)))
+			b := make([]bmw.EngineOp, batch)
+			res := make([]bmw.EngineResult, batch)
+			for done := 0; done < perWorker; done += len(b) {
+				for i := range b {
+					// Alternate on the global op index, not the batch
+					// offset, so batch=1 still issues pushes and pops in
+					// equal measure instead of pushing until full.
+					if (done+i)%2 == 0 {
+						b[i] = bmw.EnginePushOp(bmw.Element{
+							Value: uint64(wrng.Intn(1 << 16)), Meta: wrng.Uint64(),
+						})
+					} else {
+						b[i] = bmw.EnginePopOp()
+					}
+				}
+				eng.SubmitInto(b, res)
+			}
+		}(w)
+	}
+	wg.Wait()
+	el := time.Since(start)
+	return float64(perWorker*engineWorkers) / el.Seconds() / 1e6
+}
+
+// engineSuite produces the BENCH_engine metric set: the shards ×
+// batch-size throughput sweep over the concurrent scheduling engine.
+func engineSuite(quick bool, seed int64) map[string]Metric {
+	ops := 1_000_000
+	if quick {
+		ops = 200_000
+	}
+	m := map[string]Metric{}
+	for _, c := range engineConfigs {
+		name := fmt.Sprintf("engine_s%d_b%d_mops", c.shards, c.batch)
+		cfg := c
+		m[name] = Metric{bestOf(wallReps, func() float64 {
+			return engineMops(cfg.shards, cfg.batch, ops, seed)
+		}), "Mops/s", higherIsBetter}
+	}
+	return m
+}

@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: throughput|latency|all")
+	exp := flag.String("exp", "all", "experiment: throughput|latency|engine|all")
 	quick := flag.Bool("quick", false, "CI-sized suites (fewer ops/flows)")
 	outDir := flag.String("out-dir", ".", "directory for the new BENCH_<exp>.json reports")
 	baselineDir := flag.String("baseline-dir", "", "directory holding baseline BENCH_<exp>.json (default: out-dir)")
@@ -39,8 +39,8 @@ func main() {
 	var exps []string
 	switch *exp {
 	case "all":
-		exps = []string{"throughput", "latency"}
-	case "throughput", "latency":
+		exps = []string{"throughput", "latency", "engine"}
+	case "throughput", "latency", "engine":
 		exps = []string{*exp}
 	default:
 		fmt.Fprintf(os.Stderr, "bmwperf: unknown -exp %q\n", *exp)

@@ -275,6 +275,8 @@ func runSuite(exp string, quick bool, seed int64) (map[string]Metric, error) {
 		return throughputSuite(quick, seed), nil
 	case "latency":
 		return latencySuite(quick, seed), nil
+	case "engine":
+		return engineSuite(quick, seed), nil
 	}
 	return nil, fmt.Errorf("unknown experiment %q", exp)
 }

@@ -51,6 +51,11 @@ type slot struct {
 // Nodes are stored in a flat array in breadth-first order: node 0 is the
 // root and node n's k-th child (0-based) is node n*M+k+1, which mirrors
 // the SRAM addressing rule of Section 5.1 of the paper.
+//
+// A Tree is intentionally confined to a single goroutine: as the golden
+// model for single-issue-port hardware it carries no locks on its hot
+// path. Concurrent callers go through internal/engine, which gives each
+// tree an exclusively owning shard goroutine.
 type Tree struct {
 	m, l     int
 	nodes    []slot // len = numNodes*m; node n occupies [n*m, n*m+m)

@@ -1,0 +1,35 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBareQueuesDocumentSingleGoroutineContract asserts that every
+// bare queue implementation the engine shards over documents its
+// intentional single-goroutine design. The queues model hardware with
+// one issue port per cycle and deliberately carry no synchronization;
+// the engine is the only concurrency boundary. If the contract
+// sentence disappears from a queue's documentation, this test fails so
+// the concurrency story stays written down next to the code it
+// governs.
+func TestBareQueuesDocumentSingleGoroutineContract(t *testing.T) {
+	const phrase = "single goroutine"
+	files := []string{
+		filepath.Join("..", "core", "core.go"),
+		filepath.Join("..", "pifo", "pifo.go"),
+		filepath.Join("..", "rbmw", "rbmw.go"),
+		filepath.Join("..", "rpubmw", "rpubmw.go"),
+	}
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("read %s: %v", f, err)
+		}
+		if !strings.Contains(strings.ToLower(string(b)), phrase) {
+			t.Errorf("%s does not document the %q contract", f, phrase)
+		}
+	}
+}

@@ -1,0 +1,488 @@
+// Package engine is the sharded, concurrent serving layer over the
+// exact priority queues of this module: N shards, each a goroutine that
+// exclusively owns one queue (software BMW-Tree, PIFO, or a
+// cycle-accurate simulator behind a synchronous adapter), fed by a
+// bounded MPSC request ring with batched submit and drain so the
+// synchronization cost per operation is a small fraction of a mutex
+// round-trip.
+//
+// The bare queues in this module are intentionally single-goroutine —
+// they model hardware with one issue port per cycle and carry zero
+// synchronization on their hot paths. The engine is the one concurrency
+// boundary: all cross-goroutine traffic goes through the rings, and each
+// queue is only ever touched by its owning shard goroutine.
+//
+// Ordering semantics: each shard is an exact PIFO — every pop returns a
+// true minimum of the elements currently on that shard. Across shards
+// the order is determined by routing. With RouteRank the rank space is
+// range-partitioned, so draining shards lowest-first yields a globally
+// sorted sequence and the strict merge (pop from the shard with the
+// smallest published head) is exact up to concurrently in-flight
+// requests. With RouteHash elements of any rank land on any shard and
+// the merge is best-effort: per-shard exactness still holds, global
+// order is approximate while producers are concurrent. See DESIGN.md
+// section 6.
+//
+// Backpressure is typed, never blocking: a push submitted to a shard
+// whose queue reported almost-full, or whose ring is full, fails with
+// ErrBackpressure and the caller decides whether to retry, shed, or
+// slow down.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Typed engine errors. Queue-level ErrFull/ErrEmpty pass through from
+// internal/core.
+var (
+	// ErrBackpressure reports that a push was refused before reaching
+	// the queue: the shard's ring was full or its queue almost-full.
+	ErrBackpressure = errors.New("engine: shard backpressured")
+	// ErrClosed reports a submit against a closed engine.
+	ErrClosed = errors.New("engine: closed")
+	// ErrInvalidOp reports an operation of unknown kind.
+	ErrInvalidOp = errors.New("engine: invalid operation")
+)
+
+// OpKind identifies a request kind.
+type OpKind uint8
+
+// Request kinds.
+const (
+	OpPush OpKind = iota
+	OpPop
+)
+
+// Op is one request: a push carrying an element, or a pop.
+type Op struct {
+	Kind OpKind
+	Elem core.Element
+}
+
+// PushOp builds a push request.
+func PushOp(e core.Element) Op { return Op{Kind: OpPush, Elem: e} }
+
+// PopOp builds a pop request.
+func PopOp() Op { return Op{Kind: OpPop} }
+
+// Result is one request's outcome. Elem is meaningful for a successful
+// pop.
+type Result struct {
+	Elem core.Element
+	Err  error
+}
+
+// Routing selects how pushes map to shards.
+type Routing int
+
+// Routing policies.
+const (
+	// RouteHash spreads pushes by a hash of the element metadata (the
+	// flow identifier), balancing load at the cost of cross-shard
+	// ordering exactness.
+	RouteHash Routing = iota
+	// RouteRank partitions the rank space into contiguous per-shard
+	// ranges, preserving a globally sorted drain order.
+	RouteRank
+)
+
+// Config parameterises New.
+type Config struct {
+	// Shards is the number of shard goroutines (default 1).
+	Shards int
+	// Kind selects each shard's queue implementation (default KindCore).
+	Kind Kind
+	// Order and Levels shape the tree-based kinds (defaults 2 and 11).
+	Order, Levels int
+	// Cap is the per-shard capacity for KindPIFO (default 4094).
+	Cap int
+	// RingSize bounds each shard's request ring (default 1024).
+	RingSize int
+	// BatchSize caps how many requests a shard drains and executes per
+	// ring acquisition (default 64).
+	BatchSize int
+	// Routing selects the push-routing policy (default RouteHash).
+	Routing Routing
+	// RankBits is the width of the rank space RouteRank partitions
+	// (default 16, matching the paper's 16-bit ranks). Ranks at or
+	// beyond 1<<RankBits route to the last shard.
+	RankBits int
+	// RestoreDir, when non-empty, restores every shard from the
+	// per-shard checkpoint fan-out a previous Checkpoint wrote there.
+	// A missing or empty directory is a fresh start, not an error.
+	RestoreDir string
+}
+
+// withDefaults fills the zero values.
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Order <= 0 {
+		c.Order = 2
+	}
+	if c.Levels <= 0 {
+		c.Levels = 11
+	}
+	if c.Cap <= 0 {
+		c.Cap = 4094
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = 1024
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.RankBits <= 0 || c.RankBits > 63 {
+		c.RankBits = 16
+	}
+	return c
+}
+
+// emptyHead is the published head value of an empty shard. A real rank
+// of MaxUint64 collides with it and merely deprioritizes that shard in
+// the merge; correctness is unaffected because pops are validated
+// against the queue itself.
+const emptyHead = math.MaxUint64
+
+// shard is one engine lane: a goroutine, its ring, and its queue.
+type shard struct {
+	id   int
+	q    shardQueue
+	ring *ring
+
+	// Published state, written by the shard after each drained batch
+	// and read by routers: queue length, smallest rank (emptyHead when
+	// empty), and the almost-full backpressure signal.
+	length     atomic.Int64
+	headV      atomic.Uint64
+	almostFull atomic.Bool
+
+	// Metrics (nil-safe when the engine is uninstrumented).
+	pushes, pops     *obs.Counter
+	fulls, empties   *obs.Counter
+	backpressured    *obs.Counter
+	ringOcc, drained *obs.Histogram
+
+	scratch []entry
+}
+
+// batch is one submit call's completion state: results land in place,
+// the last finished entry closes done.
+type batch struct {
+	results []Result
+	pending atomic.Int32
+	done    chan struct{}
+}
+
+// Engine is the sharded scheduling service.
+type Engine struct {
+	cfg    Config
+	shards []*shard
+	// backpressure counter for submit-side ring rejections across all
+	// shards (per-shard queue-side signals live on the shards).
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// New builds the engine, restoring shards from cfg.RestoreDir when set,
+// and starts one goroutine per shard.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Kind != KindPIFO && cfg.Order < core.MinOrder {
+		return nil, fmt.Errorf("engine: order %d below minimum %d", cfg.Order, core.MinOrder)
+	}
+	e := &Engine{cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		s := &shard{
+			id:      i,
+			q:       newShardQueue(cfg),
+			ring:    newRing(cfg.RingSize),
+			scratch: make([]entry, cfg.BatchSize),
+		}
+		e.shards = append(e.shards, s)
+	}
+	if cfg.RestoreDir != "" {
+		if err := e.restore(cfg.RestoreDir); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range e.shards {
+		s.publish()
+		e.wg.Add(1)
+		go func(s *shard) {
+			defer e.wg.Done()
+			s.run()
+		}(s)
+	}
+	return e, nil
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Len sums the published per-shard queue lengths.
+func (e *Engine) Len() int {
+	n := int64(0)
+	for _, s := range e.shards {
+		n += s.length.Load()
+	}
+	return int(n)
+}
+
+// Cap sums the per-shard capacities.
+func (e *Engine) Cap() int {
+	n := 0
+	for _, s := range e.shards {
+		n += s.q.Cap()
+	}
+	return n
+}
+
+// ShardLen returns the published length of shard i.
+func (e *Engine) ShardLen(i int) int { return int(e.shards[i].length.Load()) }
+
+// splitmix64 is the routing hash: cheap, well-mixed, allocation-free.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// routePush picks the shard a push belongs to.
+func (e *Engine) routePush(el core.Element) int {
+	n := uint64(len(e.shards))
+	if e.cfg.Routing == RouteRank {
+		width := (uint64(1) << e.cfg.RankBits) / n
+		if width == 0 {
+			width = 1
+		}
+		s := el.Value / width
+		if s >= n {
+			s = n - 1
+		}
+		return int(s)
+	}
+	return int(splitmix64(el.Meta) % n)
+}
+
+// routePop picks the shard with the smallest published head — the
+// strict merge across shard minimums. It returns -1 when every shard
+// publishes empty.
+func (e *Engine) routePop() int {
+	best, bestHead := -1, uint64(emptyHead)
+	for i, s := range e.shards {
+		if s.length.Load() == 0 {
+			continue
+		}
+		if h := s.headV.Load(); best == -1 || h < bestHead {
+			best, bestHead = i, h
+		}
+	}
+	return best
+}
+
+// Submit routes each operation to its shard, enqueues the per-shard
+// groups with one ring acquisition each, and waits for all accepted
+// operations to complete. Refused operations (backpressure, closed
+// engine, pop on an engine publishing empty) fail in place without
+// blocking the rest of the batch. The returned slice has one Result
+// per op, in order.
+func (e *Engine) Submit(ops []Op) []Result {
+	results := make([]Result, len(ops))
+	e.SubmitInto(ops, results)
+	return results
+}
+
+// SubmitInto is Submit writing into a caller-provided result slice
+// (len(results) must equal len(ops)), saving the allocation on hot
+// paths.
+func (e *Engine) SubmitInto(ops []Op, results []Result) {
+	if len(results) != len(ops) {
+		panic("engine: SubmitInto result slice length mismatch")
+	}
+	if e.closed.Load() {
+		for i := range results {
+			results[i] = Result{Err: ErrClosed}
+		}
+		return
+	}
+	b := &batch{results: results, done: make(chan struct{})}
+	perShard := make([][]entry, len(e.shards))
+	accepted := 0
+	for i, op := range ops {
+		var sh int
+		switch op.Kind {
+		case OpPush:
+			sh = e.routePush(op.Elem)
+			if e.shards[sh].almostFull.Load() {
+				e.shards[sh].backpressured.Inc()
+				results[i] = Result{Err: ErrBackpressure}
+				continue
+			}
+		case OpPop:
+			sh = e.routePop()
+			if sh < 0 {
+				results[i] = Result{Err: core.ErrEmpty}
+				continue
+			}
+		default:
+			results[i] = Result{Err: ErrInvalidOp}
+			continue
+		}
+		perShard[sh] = append(perShard[sh], entry{op: op, b: b, idx: i})
+		accepted++
+	}
+	if accepted == 0 {
+		return
+	}
+	b.pending.Store(int32(accepted))
+	refused := int32(0)
+	for sh, es := range perShard {
+		if len(es) == 0 {
+			continue
+		}
+		n := e.shards[sh].ring.enqueue(es)
+		err := ErrBackpressure
+		if n < 0 {
+			n, err = 0, ErrClosed
+		}
+		for _, rej := range es[n:] {
+			if err == ErrBackpressure {
+				e.shards[sh].backpressured.Inc()
+			}
+			results[rej.idx] = Result{Err: err}
+			refused++
+		}
+	}
+	if refused > 0 && b.pending.Add(-refused) == 0 {
+		return
+	}
+	<-b.done
+}
+
+// Push submits one push. It returns nil on success, ErrBackpressure
+// when the shard refuses admission, core.ErrFull when the queue itself
+// is full at execution, or ErrClosed.
+func (e *Engine) Push(el core.Element) error {
+	var results [1]Result
+	e.SubmitInto([]Op{PushOp(el)}, results[:])
+	return results[0].Err
+}
+
+// Pop submits one pop via the strict merge. When the merged shard
+// raced to empty it retries against the remaining shards before
+// reporting core.ErrEmpty.
+func (e *Engine) Pop() (core.Element, error) {
+	var results [1]Result
+	ops := [1]Op{PopOp()}
+	for attempt := 0; attempt <= len(e.shards); attempt++ {
+		e.SubmitInto(ops[:], results[:])
+		r := results[0]
+		if !errors.Is(r.Err, core.ErrEmpty) {
+			return r.Elem, r.Err
+		}
+		if e.Len() == 0 {
+			break
+		}
+	}
+	return core.Element{}, core.ErrEmpty
+}
+
+// Close stops the shard goroutines after the rings drain. Submits that
+// raced with Close complete; later submits fail with ErrClosed. Close
+// is idempotent.
+func (e *Engine) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	for _, s := range e.shards {
+		s.ring.close()
+	}
+	e.wg.Wait()
+}
+
+// ShardDrain empties shard i in pop order. It must only be called
+// after Close, when no shard goroutine is running.
+func (e *Engine) ShardDrain(i int) ([]core.Element, error) {
+	if !e.closed.Load() {
+		return nil, errors.New("engine: ShardDrain before Close")
+	}
+	s := e.shards[i]
+	out := make([]core.Element, 0, s.q.Len())
+	for s.q.Len() > 0 {
+		el, err := s.q.Pop()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, el)
+	}
+	return out, nil
+}
+
+// run is the shard goroutine: drain a batch, execute it against the
+// exclusively owned queue, publish the head/length/backpressure
+// signals, then complete the batch entries.
+func (s *shard) run() {
+	for {
+		n, occ := s.ring.drain(s.scratch)
+		if n == 0 {
+			return
+		}
+		s.ringOcc.Observe(uint64(occ))
+		s.drained.Observe(uint64(n))
+		for i := 0; i < n; i++ {
+			en := &s.scratch[i]
+			switch en.op.Kind {
+			case OpPush:
+				err := s.q.Push(en.op.Elem)
+				switch {
+				case err == nil:
+					s.pushes.Inc()
+				case errors.Is(err, core.ErrFull):
+					s.fulls.Inc()
+				}
+				en.b.results[en.idx] = Result{Err: err}
+			case OpPop:
+				el, err := s.q.Pop()
+				switch {
+				case err == nil:
+					s.pops.Inc()
+				case errors.Is(err, core.ErrEmpty):
+					s.empties.Inc()
+				}
+				en.b.results[en.idx] = Result{Elem: el, Err: err}
+			default:
+				en.b.results[en.idx] = Result{Err: ErrInvalidOp}
+			}
+		}
+		s.publish()
+		for i := 0; i < n; i++ {
+			b := s.scratch[i].b
+			s.scratch[i] = entry{}
+			if b.pending.Add(-1) == 0 {
+				close(b.done)
+			}
+		}
+	}
+}
+
+// publish refreshes the shard's router-visible state from its queue.
+func (s *shard) publish() {
+	s.length.Store(int64(s.q.Len()))
+	if el, err := s.q.Peek(); err == nil {
+		s.headV.Store(el.Value)
+	} else {
+		s.headV.Store(emptyHead)
+	}
+	s.almostFull.Store(s.q.AlmostFull())
+}

@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/persist"
+)
+
+// manifestName is the engine-level checkpoint manifest inside the
+// fan-out directory; the per-shard state lives in shard-<i>/ subtrees
+// owned by internal/persist.
+const manifestName = "ENGINE.json"
+
+// manifest pins the configuration a checkpoint fan-out was written
+// with; restore refuses a mismatched engine rather than loading shards
+// into the wrong shape or routing.
+type manifest struct {
+	Schema   string `json:"schema"`
+	Shards   int    `json:"shards"`
+	Kind     string `json:"kind"`
+	Order    int    `json:"order,omitempty"`
+	Levels   int    `json:"levels,omitempty"`
+	Cap      int    `json:"cap,omitempty"`
+	Routing  int    `json:"routing"`
+	RankBits int    `json:"rank_bits"`
+}
+
+const manifestSchema = "bmw-engine-checkpoint/v1"
+
+func (e *Engine) manifest() manifest {
+	return manifest{
+		Schema:   manifestSchema,
+		Shards:   len(e.shards),
+		Kind:     e.cfg.Kind.String(),
+		Order:    e.cfg.Order,
+		Levels:   e.cfg.Levels,
+		Cap:      e.cfg.Cap,
+		Routing:  int(e.cfg.Routing),
+		RankBits: e.cfg.RankBits,
+	}
+}
+
+// shardDir returns the fan-out subdirectory of shard i.
+func shardDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+}
+
+// checkpointTarget resolves the persist.Checkpointable behind a shard's
+// queue, settling simulator adapters into a persistable quiescent state
+// first.
+func (s *shard) checkpointTarget() (persist.Checkpointable, error) {
+	q := s.q
+	if a, ok := q.(*simAdapter); ok {
+		if err := a.flush(); err != nil {
+			return nil, fmt.Errorf("engine: shard %d flush: %w", s.id, err)
+		}
+		cq, ok := a.sim.(persist.Checkpointable)
+		if !ok {
+			return nil, fmt.Errorf("engine: shard %d simulator is not checkpointable", s.id)
+		}
+		return cq, nil
+	}
+	cq, ok := q.(persist.Checkpointable)
+	if !ok {
+		return nil, fmt.Errorf("engine: shard %d queue kind is not checkpointable", s.id)
+	}
+	return cq, nil
+}
+
+// Checkpoint writes a per-shard checkpoint fan-out under dir: an
+// engine manifest plus one persist snapshot directory per shard. The
+// engine must be Closed first — checkpointing requires exclusive
+// access to every shard queue. It is the graceful-drain path cmd/bmwd
+// takes on SIGTERM, reusing the same snapshot envelope and recovery
+// machinery as the single-queue persistence subsystem.
+func (e *Engine) Checkpoint(dir string) error {
+	if !e.closed.Load() {
+		return errors.New("engine: Checkpoint before Close")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, s := range e.shards {
+		cq, err := s.checkpointTarget()
+		if err != nil {
+			return err
+		}
+		m, err := persist.Attach(shardDir(dir, s.id), cq, persist.Options{})
+		if err != nil {
+			return fmt.Errorf("engine: shard %d attach: %w", s.id, err)
+		}
+		if err := m.Checkpoint(); err != nil {
+			m.Close()
+			return fmt.Errorf("engine: shard %d checkpoint: %w", s.id, err)
+		}
+		if err := m.Close(); err != nil {
+			return fmt.Errorf("engine: shard %d close: %w", s.id, err)
+		}
+		// Restore the adapter's head-buffer invariant so a drain after
+		// checkpointing still sees the full shard.
+		if a, ok := s.q.(*simAdapter); ok {
+			if err := a.refill(); err != nil {
+				return fmt.Errorf("engine: shard %d refill: %w", s.id, err)
+			}
+		}
+	}
+	b, err := json.MarshalIndent(e.manifest(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, manifestName), append(b, '\n'), 0o644)
+}
+
+// restore loads every shard from a checkpoint fan-out written by
+// Checkpoint. A directory without a manifest is a fresh start. Called
+// from New before the shard goroutines exist, so it owns the queues.
+func (e *Engine) restore(dir string) error {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var m manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return fmt.Errorf("engine: bad manifest: %w", err)
+	}
+	if m.Schema != manifestSchema {
+		return fmt.Errorf("engine: manifest schema %q, want %q", m.Schema, manifestSchema)
+	}
+	want := e.manifest()
+	if m != want {
+		return fmt.Errorf("engine: checkpoint config %+v does not match engine config %+v", m, want)
+	}
+	for _, s := range e.shards {
+		cq, err := s.checkpointTarget()
+		if err != nil {
+			return err
+		}
+		mgr, _, err := persist.Open(shardDir(dir, s.id), cq, persist.Options{})
+		if err != nil {
+			return fmt.Errorf("engine: shard %d restore: %w", s.id, err)
+		}
+		if err := mgr.Close(); err != nil {
+			return fmt.Errorf("engine: shard %d close: %w", s.id, err)
+		}
+		if a, ok := s.q.(*simAdapter); ok {
+			if err := a.refill(); err != nil {
+				return fmt.Errorf("engine: shard %d refill: %w", s.id, err)
+			}
+		}
+	}
+	return nil
+}

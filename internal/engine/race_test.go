@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestConcurrentPushPopContract is the concurrency-safety contract of
+// the serving layer, meaningful under -race (the CI race job runs this
+// package): many goroutines race batched pushes and pops against a
+// shard group, and afterwards the engine must account for every
+// element exactly — nothing lost, nothing invented, every shard drain
+// sorted. The bare queues carry no locks by design (see docs_test.go);
+// the engine is the layer that must be clean under the race detector.
+func TestConcurrentPushPopContract(t *testing.T) {
+	cfg := Config{
+		Shards: 4, Kind: KindCore,
+		Order: 2, Levels: 8, // 510 per shard
+		RingSize: 512, BatchSize: 32,
+		Routing: RouteHash,
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		workers    = 8
+		opsPerGoro = 3000
+	)
+	var (
+		mu     sync.Mutex
+		ledger = map[core.Element]int{} // +pushed, -popped
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			pushedHere := map[core.Element]int{}
+			poppedHere := map[core.Element]int{}
+			ops := make([]Op, 0, 16)
+			for done := 0; done < opsPerGoro; {
+				ops = ops[:0]
+				n := 1 + rng.Intn(16)
+				for i := 0; i < n; i++ {
+					if rng.Intn(2) == 0 {
+						el := core.Element{
+							Value: uint64(rng.Intn(1 << 16)),
+							Meta:  uint64(w)<<32 | uint64(done+i),
+						}
+						ops = append(ops, PushOp(el))
+					} else {
+						ops = append(ops, PopOp())
+					}
+				}
+				for i, r := range e.Submit(ops) {
+					switch ops[i].Kind {
+					case OpPush:
+						if r.Err == nil {
+							pushedHere[ops[i].Elem]++
+						} else if !errors.Is(r.Err, ErrBackpressure) && !errors.Is(r.Err, core.ErrFull) {
+							t.Errorf("push: unexpected error %v", r.Err)
+						}
+					case OpPop:
+						if r.Err == nil {
+							poppedHere[r.Elem]++
+						} else if !errors.Is(r.Err, core.ErrEmpty) {
+							t.Errorf("pop: unexpected error %v", r.Err)
+						}
+					}
+				}
+				done += n
+			}
+			mu.Lock()
+			for el, n := range pushedHere {
+				ledger[el] += n
+			}
+			for el, n := range poppedHere {
+				ledger[el] -= n
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	e.Close()
+
+	remaining := 0
+	for s := 0; s < e.Shards(); s++ {
+		got, err := e.ShardDrain(s)
+		if err != nil {
+			t.Fatalf("drain shard %d: %v", s, err)
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Value < got[j].Value }) {
+			t.Fatalf("shard %d drain not sorted after concurrent load", s)
+		}
+		for _, el := range got {
+			ledger[el]--
+		}
+		remaining += len(got)
+	}
+	for el, n := range ledger {
+		if n != 0 {
+			t.Fatalf("element %+v unbalanced by %d after concurrent load", el, n)
+		}
+	}
+	t.Logf("concurrent contract: %d elements remained at close across %d shards", remaining, e.Shards())
+}
+
+// TestConcurrentRankRouting repeats the race with rank-range routing
+// and the strict merge path (engine.Pop) in the mix, so the head
+// publication and merge scan also run under the race detector.
+func TestConcurrentRankRouting(t *testing.T) {
+	cfg := Config{
+		Shards: 4, Kind: KindCore,
+		Order: 2, Levels: 8,
+		RingSize: 512, BatchSize: 32,
+		Routing: RouteRank, RankBits: 16,
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pushes, pops, drained int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			myPush, myPop := int64(0), int64(0)
+			for i := 0; i < 2000; i++ {
+				if rng.Intn(3) > 0 {
+					el := core.Element{Value: uint64(rng.Intn(1 << 16)), Meta: uint64(w)<<32 | uint64(i)}
+					if err := e.Push(el); err == nil {
+						myPush++
+					}
+				} else {
+					if _, err := e.Pop(); err == nil {
+						myPop++
+					}
+				}
+			}
+			mu.Lock()
+			pushes += myPush
+			pops += myPop
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	e.Close()
+	for s := 0; s < e.Shards(); s++ {
+		got, err := e.ShardDrain(s)
+		if err != nil {
+			t.Fatalf("drain shard %d: %v", s, err)
+		}
+		drained += int64(len(got))
+	}
+	if pushes != pops+drained {
+		t.Fatalf("accounting: %d pushes != %d pops + %d drained", pushes, pops, drained)
+	}
+}

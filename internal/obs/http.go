@@ -5,6 +5,7 @@ import (
 	"expvar"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // Handler serves the registry over HTTP for long-running commands:
@@ -40,8 +41,21 @@ func Handler(r *Registry) http.Handler {
 // NewServer builds the metrics server for addr without starting it,
 // so callers own its lifecycle — in particular http.Server.Shutdown
 // for a graceful drain on SIGINT/SIGTERM.
+//
+// The server carries header/read/idle timeouts so a stalled or
+// malicious scraper cannot pin a connection (and its goroutine)
+// forever: metrics responses are small, so seconds-scale budgets are
+// generous. WriteTimeout stays 0 because /debug/pprof/profile and
+// /debug/pprof/trace legitimately stream for their full -seconds
+// argument.
 func NewServer(addr string, r *Registry) *http.Server {
-	return &http.Server{Addr: addr, Handler: Handler(r)}
+	return &http.Server{
+		Addr:              addr,
+		Handler:           Handler(r),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 }
 
 // Serve starts an HTTP server for the registry on addr in a new

@@ -64,3 +64,21 @@ func TestHandlerEndpoints(t *testing.T) {
 		t.Fatal("/debug/pprof/ index missing goroutine profile")
 	}
 }
+
+// TestNewServerTimeouts pins the slow-client hardening: a registry
+// server must never accept connections without header/read/idle
+// budgets, or one stalled scraper pins a goroutine for the process
+// lifetime. WriteTimeout is intentionally zero (pprof profile/trace
+// stream for their full duration).
+func TestNewServerTimeouts(t *testing.T) {
+	srv := NewServer("127.0.0.1:0", NewRegistry())
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout not set")
+	}
+	if srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout not set")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout not set")
+	}
+}

@@ -22,6 +22,11 @@
 // Ties are FIFO: a new element is inserted after existing entries of
 // equal rank, matching the shift-register insert-before-first-larger
 // hardware rule.
+//
+// A PIFO is intentionally confined to a single goroutine: it models
+// hardware with one issue port per cycle and carries no locks on its
+// hot path. Concurrent callers go through internal/engine, which gives
+// each queue an exclusively owning shard goroutine.
 package pifo
 
 import (

@@ -65,7 +65,11 @@ type wave struct {
 	push bool
 }
 
-// Sim is the cycle-accurate R-BMW simulator.
+// Sim is the cycle-accurate R-BMW simulator. It is intentionally
+// confined to a single goroutine — it models clocked hardware with one
+// issue port per cycle and carries no synchronization; concurrent
+// callers go through internal/engine, which gives each simulator an
+// exclusively owning shard goroutine.
 type Sim struct {
 	m, l     int
 	nodes    []slot

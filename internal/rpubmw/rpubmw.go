@@ -85,7 +85,11 @@ type liftWait struct {
 	vac   int // slot index awaiting the lifted element
 }
 
-// Sim is the cycle-accurate RPU-BMW simulator.
+// Sim is the cycle-accurate RPU-BMW simulator. It is intentionally
+// confined to a single goroutine — it models clocked hardware with one
+// issue port per cycle and carries no synchronization; concurrent
+// callers go through internal/engine, which gives each simulator an
+// exclusively owning shard goroutine.
 type Sim struct {
 	m, l     int
 	capacity int

@@ -1,0 +1,220 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MaxBatchOps bounds the operations in one TBatch frame; it keeps the
+// frame far under MaxPayload and bounds per-request server work.
+const MaxBatchOps = 4096
+
+// OpKind is a wire operation kind.
+type OpKind uint8
+
+// Wire operation kinds.
+const (
+	OpPush OpKind = 1
+	OpPop  OpKind = 2
+)
+
+// Op is one queue operation in a TBatch payload.
+type Op struct {
+	Kind  OpKind
+	Value uint64
+	Meta  uint64
+}
+
+// Status is one operation's outcome in a TBatchOK payload.
+type Status uint8
+
+// Operation statuses.
+const (
+	// StatusOK: the operation succeeded; a pop carries its element.
+	StatusOK Status = 0
+	// StatusEmpty: pop against an empty engine.
+	StatusEmpty Status = 1
+	// StatusFull: push against a full shard queue.
+	StatusFull Status = 2
+	// StatusBackpressure: push refused at admission (ring full or
+	// shard almost-full); the client should back off and retry.
+	StatusBackpressure Status = 3
+	// StatusClosed: the engine is shutting down.
+	StatusClosed Status = 4
+	// StatusInvalid: the operation was malformed or unsupported.
+	StatusInvalid Status = 5
+)
+
+// String names the status for logs.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusEmpty:
+		return "empty"
+	case StatusFull:
+		return "full"
+	case StatusBackpressure:
+		return "backpressure"
+	case StatusClosed:
+		return "closed"
+	case StatusInvalid:
+		return "invalid"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Result is one operation's outcome. Value/Meta are meaningful for a
+// StatusOK pop.
+type Result struct {
+	Status Status
+	Value  uint64
+	Meta   uint64
+}
+
+// Payload sizes: an op is 1 byte of kind plus 16 bytes of element for
+// pushes; a result is a fixed 17 bytes so decoding needs no knowledge
+// of the originating ops.
+const (
+	opPopSize  = 1
+	opPushSize = 1 + 16
+	resultSize = 1 + 16
+)
+
+// AppendOps appends the TBatch payload encoding of ops to dst.
+func AppendOps(dst []byte, ops []Op) []byte {
+	if len(ops) > MaxBatchOps {
+		panic(fmt.Sprintf("wire: batch of %d exceeds MaxBatchOps %d", len(ops), MaxBatchOps))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ops)))
+	for _, op := range ops {
+		dst = append(dst, byte(op.Kind))
+		if op.Kind == OpPush {
+			dst = binary.LittleEndian.AppendUint64(dst, op.Value)
+			dst = binary.LittleEndian.AppendUint64(dst, op.Meta)
+		}
+	}
+	return dst
+}
+
+// ParseOps decodes a TBatch payload. Arbitrary input never panics;
+// malformed payloads return ErrBadFrame-wrapped errors.
+func ParseOps(p []byte) ([]Op, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("%w: batch payload %d bytes", ErrBadFrame, len(p))
+	}
+	count := binary.LittleEndian.Uint32(p[:4])
+	if count > MaxBatchOps {
+		return nil, fmt.Errorf("%w: batch count %d", ErrBadFrame, count)
+	}
+	p = p[4:]
+	ops := make([]Op, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(p) < 1 {
+			return nil, fmt.Errorf("%w: batch truncated at op %d", ErrBadFrame, i)
+		}
+		kind := OpKind(p[0])
+		switch kind {
+		case OpPop:
+			ops = append(ops, Op{Kind: OpPop})
+			p = p[opPopSize:]
+		case OpPush:
+			if len(p) < opPushSize {
+				return nil, fmt.Errorf("%w: push op truncated at %d", ErrBadFrame, i)
+			}
+			ops = append(ops, Op{
+				Kind:  OpPush,
+				Value: binary.LittleEndian.Uint64(p[1:9]),
+				Meta:  binary.LittleEndian.Uint64(p[9:17]),
+			})
+			p = p[opPushSize:]
+		default:
+			return nil, fmt.Errorf("%w: op kind %d", ErrBadFrame, kind)
+		}
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrBadFrame, len(p))
+	}
+	return ops, nil
+}
+
+// AppendResults appends the TBatchOK payload encoding of results.
+func AppendResults(dst []byte, results []Result) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(results)))
+	for _, r := range results {
+		dst = append(dst, byte(r.Status))
+		dst = binary.LittleEndian.AppendUint64(dst, r.Value)
+		dst = binary.LittleEndian.AppendUint64(dst, r.Meta)
+	}
+	return dst
+}
+
+// ParseResults decodes a TBatchOK payload.
+func ParseResults(p []byte) ([]Result, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("%w: results payload %d bytes", ErrBadFrame, len(p))
+	}
+	count := binary.LittleEndian.Uint32(p[:4])
+	if count > MaxBatchOps {
+		return nil, fmt.Errorf("%w: results count %d", ErrBadFrame, count)
+	}
+	p = p[4:]
+	if len(p) != int(count)*resultSize {
+		return nil, fmt.Errorf("%w: results payload %d bytes for count %d", ErrBadFrame, len(p), count)
+	}
+	results := make([]Result, count)
+	for i := range results {
+		e := p[i*resultSize : (i+1)*resultSize]
+		s := Status(e[0])
+		if s > StatusInvalid {
+			return nil, fmt.Errorf("%w: status %d", ErrBadFrame, e[0])
+		}
+		results[i] = Result{
+			Status: s,
+			Value:  binary.LittleEndian.Uint64(e[1:9]),
+			Meta:   binary.LittleEndian.Uint64(e[9:17]),
+		}
+	}
+	return results, nil
+}
+
+// Hello payload helpers.
+
+// AppendHello appends the THello payload (client protocol version).
+func AppendHello(dst []byte) []byte {
+	return binary.LittleEndian.AppendUint32(dst, Version)
+}
+
+// ParseHello decodes a THello payload.
+func ParseHello(p []byte) (version uint32, err error) {
+	if len(p) != 4 {
+		return 0, fmt.Errorf("%w: hello payload %d bytes", ErrBadFrame, len(p))
+	}
+	return binary.LittleEndian.Uint32(p), nil
+}
+
+// HelloInfo is the server's THelloOK body.
+type HelloInfo struct {
+	Version  uint32
+	Shards   uint32
+	Capacity uint64
+}
+
+// AppendHelloOK appends the THelloOK payload.
+func AppendHelloOK(dst []byte, info HelloInfo) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, info.Version)
+	dst = binary.LittleEndian.AppendUint32(dst, info.Shards)
+	return binary.LittleEndian.AppendUint64(dst, info.Capacity)
+}
+
+// ParseHelloOK decodes a THelloOK payload.
+func ParseHelloOK(p []byte) (HelloInfo, error) {
+	if len(p) != 16 {
+		return HelloInfo{}, fmt.Errorf("%w: hello-ok payload %d bytes", ErrBadFrame, len(p))
+	}
+	return HelloInfo{
+		Version:  binary.LittleEndian.Uint32(p[0:4]),
+		Shards:   binary.LittleEndian.Uint32(p[4:8]),
+		Capacity: binary.LittleEndian.Uint64(p[8:16]),
+	}, nil
+}

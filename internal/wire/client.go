@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Client is a pipelined wire-protocol client: any number of goroutines
+// may call Do concurrently; each call gets a fresh request id, the
+// frames interleave on the connection, and responses are matched back
+// by id. The write path batches at two levels — many queue operations
+// per frame, and the kernel's socket buffering across frames — so the
+// per-operation syscall cost shrinks with both the batch size and the
+// number of concurrent callers.
+type Client struct {
+	conn net.Conn
+	info HelloInfo
+
+	wmu sync.Mutex // serialises frame writes
+
+	nextID  atomic.Uint64
+	pmu     sync.Mutex
+	pending map[uint64]chan []Result
+	readErr error
+	done    chan struct{}
+}
+
+// Dial connects, performs the Hello handshake, and starts the response
+// reader.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn)
+}
+
+// NewClient performs the handshake over an established connection
+// (net.Pipe in tests, TCP in production) and starts the reader.
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{
+		conn:    conn,
+		pending: map[uint64]chan []Result{},
+		done:    make(chan struct{}),
+	}
+	if err := WriteFrame(conn, THello, 0, AppendHello(nil)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	f, err := ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if f.Type != THelloOK {
+		conn.Close()
+		return nil, fmt.Errorf("wire: handshake got frame type %d", f.Type)
+	}
+	if c.info, err = ParseHelloOK(f.Payload); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Info returns the server's handshake summary (shards, capacity).
+func (c *Client) Info() HelloInfo { return c.info }
+
+// Close tears the connection down; in-flight Do calls fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do submits one batch of operations and blocks for its results (one
+// per op, in order). Concurrent Do calls pipeline on the connection.
+func (c *Client) Do(ops []Op) ([]Result, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	if len(ops) > MaxBatchOps {
+		return nil, fmt.Errorf("wire: batch of %d exceeds MaxBatchOps %d", len(ops), MaxBatchOps)
+	}
+	id := c.nextID.Add(1)
+	ch := make(chan []Result, 1)
+
+	c.pmu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.pmu.Unlock()
+		return nil, err
+	}
+	c.pending[id] = ch
+	c.pmu.Unlock()
+
+	payload := AppendOps(make([]byte, 0, 4+len(ops)*opPushSize), ops)
+	buf := AppendFrame(make([]byte, 0, HeaderSize+len(payload)), TBatch, id, payload)
+	c.wmu.Lock()
+	_, err := c.conn.Write(buf)
+	c.wmu.Unlock()
+	if err != nil {
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		return nil, err
+	}
+
+	select {
+	case results := <-ch:
+		if len(results) != len(ops) {
+			return results, fmt.Errorf("wire: %d results for %d ops", len(results), len(ops))
+		}
+		return results, nil
+	case <-c.done:
+		c.pmu.Lock()
+		err := c.readErr
+		c.pmu.Unlock()
+		if err == nil {
+			err = errors.New("wire: connection closed")
+		}
+		return nil, err
+	}
+}
+
+// readLoop dispatches responses to their waiting Do calls.
+func (c *Client) readLoop() {
+	var fatal error
+	for {
+		f, err := ReadFrame(c.conn)
+		if err != nil {
+			fatal = err
+			break
+		}
+		switch f.Type {
+		case TBatchOK:
+			results, err := ParseResults(f.Payload)
+			if err != nil {
+				fatal = err
+				break
+			}
+			c.pmu.Lock()
+			ch := c.pending[f.ID]
+			delete(c.pending, f.ID)
+			c.pmu.Unlock()
+			if ch != nil {
+				ch <- results
+			}
+		case TError:
+			msg := "server error"
+			if len(f.Payload) > 1 {
+				msg = string(f.Payload[1:])
+			}
+			fatal = fmt.Errorf("wire: server: %s", msg)
+		default:
+			fatal = fmt.Errorf("wire: unexpected frame type %d", f.Type)
+		}
+		if fatal != nil {
+			break
+		}
+	}
+	c.pmu.Lock()
+	c.readErr = fatal
+	c.pmu.Unlock()
+	close(c.done)
+	c.conn.Close()
+}

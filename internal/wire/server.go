@@ -1,0 +1,243 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Server serves an engine over the wire protocol. Each accepted
+// connection gets a reader goroutine (decode, execute against the
+// engine, hand the response to the writer) and a writer goroutine that
+// coalesces responses: it collects every response already queued before
+// flushing, so a pipelined client costs one syscall per pipeline
+// window, not one per response.
+type Server struct {
+	eng *engine.Engine
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps an engine; call Serve to accept connections.
+func NewServer(e *engine.Engine) *Server {
+	return &Server{eng: e, conns: map[net.Conn]struct{}{}}
+}
+
+// Serve accepts connections on ln until Shutdown (which returns
+// net.ErrClosed here) or a fatal accept error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Shutdown stops accepting, then waits for every connection to drain
+// (clients closing after their final response) until ctx expires, at
+// which point remaining connections are closed forcibly. The engine is
+// not touched — the caller owns its Close/Checkpoint sequence.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// response is one encoded frame headed for a connection's writer.
+type response struct {
+	typ     Type
+	id      uint64
+	payload []byte
+}
+
+// serveConn runs one connection's read-execute loop plus its coalescing
+// writer.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	out := make(chan response, 128)
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		writeLoop(conn, out)
+	}()
+	defer func() {
+		close(out)
+		wwg.Wait()
+	}()
+
+	var (
+		ops     []engine.Op
+		results []engine.Result
+	)
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				sendErr(out, 0, StatusInvalid, err)
+			}
+			return
+		}
+		switch f.Type {
+		case THello:
+			v, err := ParseHello(f.Payload)
+			if err != nil || v != Version {
+				sendErr(out, f.ID, StatusInvalid, fmt.Errorf("unsupported version %d", v))
+				return
+			}
+			out <- response{THelloOK, f.ID, AppendHelloOK(nil, HelloInfo{
+				Version:  Version,
+				Shards:   uint32(s.eng.Shards()),
+				Capacity: uint64(s.eng.Cap()),
+			})}
+		case TBatch:
+			wireOps, err := ParseOps(f.Payload)
+			if err != nil {
+				sendErr(out, f.ID, StatusInvalid, err)
+				return
+			}
+			ops = ops[:0]
+			for _, op := range wireOps {
+				switch op.Kind {
+				case OpPush:
+					ops = append(ops, engine.PushOp(core.Element{Value: op.Value, Meta: op.Meta}))
+				default:
+					ops = append(ops, engine.PopOp())
+				}
+			}
+			if cap(results) < len(ops) {
+				results = make([]engine.Result, len(ops))
+			}
+			results = results[:len(ops)]
+			s.eng.SubmitInto(ops, results)
+			payload := make([]byte, 0, 4+len(results)*resultSize)
+			payload = appendEngineResults(payload, results)
+			out <- response{TBatchOK, f.ID, payload}
+		default:
+			sendErr(out, f.ID, StatusInvalid, fmt.Errorf("unexpected frame type %d", f.Type))
+			return
+		}
+	}
+}
+
+// appendEngineResults encodes engine results as a TBatchOK payload.
+func appendEngineResults(dst []byte, results []engine.Result) []byte {
+	wr := make([]Result, len(results))
+	for i, r := range results {
+		wr[i] = Result{Status: statusOf(r.Err), Value: r.Elem.Value, Meta: r.Elem.Meta}
+	}
+	return AppendResults(dst, wr)
+}
+
+// statusOf maps an engine error to its wire status.
+func statusOf(err error) Status {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, core.ErrEmpty):
+		return StatusEmpty
+	case errors.Is(err, core.ErrFull):
+		return StatusFull
+	case errors.Is(err, engine.ErrBackpressure):
+		return StatusBackpressure
+	case errors.Is(err, engine.ErrClosed):
+		return StatusClosed
+	default:
+		return StatusInvalid
+	}
+}
+
+// sendErr queues a TError frame; best-effort if the writer is gone.
+func sendErr(out chan<- response, id uint64, code Status, err error) {
+	payload := append([]byte{byte(code)}, err.Error()...)
+	select {
+	case out <- response{TError, id, payload}:
+	default:
+	}
+}
+
+// writeLoop is the per-connection coalescing writer: take one
+// response, then opportunistically drain everything else already
+// queued into the same buffer, write once.
+func writeLoop(conn net.Conn, out <-chan response) {
+	buf := make([]byte, 0, 64<<10)
+	for r := range out {
+		buf = AppendFrame(buf[:0], r.typ, r.id, r.payload)
+	coalesce:
+		for {
+			select {
+			case more, ok := <-out:
+				if !ok {
+					break coalesce
+				}
+				buf = AppendFrame(buf, more.typ, more.id, more.payload)
+			default:
+				break coalesce
+			}
+		}
+		if _, err := conn.Write(buf); err != nil {
+			// Reader will notice the dead conn; just stop writing.
+			for range out {
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"context"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// startServer spins up an engine + wire server on a loopback listener
+// and returns the dial address plus a shutdown func.
+func startServer(t *testing.T, cfg engine.Config) (string, func()) {
+	t.Helper()
+	e, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(e)
+	done := make(chan struct{})
+	go func() {
+		srv.Serve(ln)
+		close(done)
+	}()
+	return ln.Addr().String(), func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		<-done
+		e.Close()
+	}
+}
+
+// TestClientServerRoundTrip pushes and pops over a real TCP loopback
+// connection and checks ranks come back in merged sorted order.
+func TestClientServerRoundTrip(t *testing.T) {
+	addr, stop := startServer(t, engine.Config{
+		Shards: 4, Order: 2, Levels: 6, Routing: engine.RouteRank,
+	})
+	defer stop()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Info().Shards != 4 {
+		t.Fatalf("handshake shards = %d", c.Info().Shards)
+	}
+
+	ops := make([]Op, 0, 64)
+	for i := 0; i < 64; i++ {
+		ops = append(ops, Op{Kind: OpPush, Value: uint64(64 - i), Meta: uint64(i)})
+	}
+	res, err := c.Do(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Status != StatusOK {
+			t.Fatalf("push %d: status %v", i, r.Status)
+		}
+	}
+
+	pops := make([]Op, 64)
+	for i := range pops {
+		pops[i] = Op{Kind: OpPop}
+	}
+	res, err = c.Do(pops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := []uint64{}
+	for i, r := range res {
+		if r.Status != StatusOK {
+			t.Fatalf("pop %d: status %v", i, r.Status)
+		}
+		values = append(values, r.Value)
+	}
+	if !sort.SliceIsSorted(values, func(i, j int) bool { return values[i] < values[j] }) {
+		t.Fatalf("pops not sorted: %v", values)
+	}
+
+	// Pop on empty: typed status, not an error.
+	res, err = c.Do([]Op{{Kind: OpPop}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Status != StatusEmpty {
+		t.Fatalf("pop on empty: status %v", res[0].Status)
+	}
+}
+
+// TestPipelinedClients runs concurrent goroutines over one connection
+// plus a second connection, exercising id-matched pipelining and the
+// server's coalescing writer.
+func TestPipelinedClients(t *testing.T) {
+	addr, stop := startServer(t, engine.Config{
+		Shards: 2, Order: 2, Levels: 8, Routing: engine.RouteHash,
+	})
+	defer stop()
+
+	clients := make([]*Client, 2)
+	for i := range clients {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	var wg sync.WaitGroup
+	var pushed, popped sync.Map
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := clients[w%len(clients)]
+			for i := 0; i < 30; i++ {
+				ops := []Op{
+					{Kind: OpPush, Value: uint64(w*1000 + i), Meta: uint64(w)<<32 | uint64(i)},
+					{Kind: OpPop},
+				}
+				res, err := c.Do(ops)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if res[0].Status == StatusOK {
+					pushed.Store(ops[0].Meta, ops[0].Value)
+				}
+				if res[1].Status == StatusOK {
+					popped.Store(res[1].Meta, res[1].Value)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Every popped element must have been pushed with the same rank.
+	popped.Range(func(k, v any) bool {
+		want, ok := pushed.Load(k)
+		if !ok {
+			t.Errorf("popped element meta %v never pushed", k)
+			return false
+		}
+		if want != v {
+			t.Errorf("meta %v: popped rank %v, pushed %v", k, v, want)
+		}
+		return true
+	})
+}

@@ -1,0 +1,102 @@
+// Serving facade: the sharded concurrent scheduling engine of
+// internal/engine and the wire protocol of internal/wire re-exported at
+// the package-bmw surface.
+//
+// The bare queues (NewBMWTree, NewPIFO, NewRBMWSim, NewRPUBMWSim) are
+// intentionally single-goroutine; Engine is the concurrency story: each
+// shard goroutine exclusively owns one queue and callers submit batches
+// through per-shard MPSC rings. WireServer/WireClient carry Engine
+// batches over a length-prefixed, CRC-checked binary protocol — see
+// cmd/bmwd (daemon) and cmd/bmwload (load generator), and DESIGN.md
+// section 6 for the shard model, frame layout, and backpressure
+// semantics.
+package bmw
+
+import (
+	"repro/internal/engine"
+	"repro/internal/wire"
+)
+
+// Engine is the sharded concurrent scheduler: N shard goroutines, each
+// owning one queue, fed by bounded MPSC request rings with batched
+// submit/drain. Push routing is by Meta hash or rank range; Pop is a
+// strict merge across the shard minima.
+type Engine = engine.Engine
+
+// EngineConfig sizes an Engine: shard count, per-shard queue kind and
+// geometry, ring and batch sizes, routing policy, and an optional
+// restore directory.
+type EngineConfig = engine.Config
+
+// EngineOp and EngineResult are one batched request and its outcome.
+type (
+	EngineOp     = engine.Op
+	EngineResult = engine.Result
+)
+
+// Queue kinds selectable per shard.
+type EngineKind = engine.Kind
+
+const (
+	EngineCore   = engine.KindCore
+	EnginePIFO   = engine.KindPIFO
+	EngineRBMW   = engine.KindRBMW
+	EngineRPUBMW = engine.KindRPUBMW
+)
+
+// Routing policies for pushes.
+type EngineRouting = engine.Routing
+
+const (
+	EngineRouteHash = engine.RouteHash
+	EngineRouteRank = engine.RouteRank
+)
+
+// Engine errors. ErrBackpressure is the typed non-blocking reject: the
+// target shard's ring or queue is near full and the caller should back
+// off and retry, never block.
+var (
+	ErrBackpressure = engine.ErrBackpressure
+	ErrEngineClosed = engine.ErrClosed
+)
+
+// NewEngine starts the shard goroutines and returns the engine;
+// Close stops them, after which ShardDrain and Checkpoint apply.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+
+// EnginePushOp and EnginePopOp build batch entries for Engine.Submit.
+func EnginePushOp(e Element) EngineOp { return engine.PushOp(e) }
+func EnginePopOp() EngineOp           { return engine.PopOp() }
+
+// WireServer serves an Engine over the binary wire protocol;
+// WireClient is the matching pipelined client.
+type (
+	WireServer = wire.Server
+	WireClient = wire.Client
+)
+
+// WireOp and WireResult are the protocol-level batch entry and its
+// status-coded outcome, for driving a WireClient directly.
+type (
+	WireOp     = wire.Op
+	WireResult = wire.Result
+)
+
+// Wire op kinds and result statuses.
+const (
+	WireOpPush = wire.OpPush
+	WireOpPop  = wire.OpPop
+
+	WireStatusOK           = wire.StatusOK
+	WireStatusEmpty        = wire.StatusEmpty
+	WireStatusFull         = wire.StatusFull
+	WireStatusBackpressure = wire.StatusBackpressure
+	WireStatusClosed       = wire.StatusClosed
+	WireStatusInvalid      = wire.StatusInvalid
+)
+
+// NewWireServer wraps an engine for serving; use Serve/Shutdown.
+func NewWireServer(e *Engine) *WireServer { return wire.NewServer(e) }
+
+// DialWire connects to a bmwd-style server and performs the handshake.
+func DialWire(addr string) (*WireClient, error) { return wire.Dial(addr) }
