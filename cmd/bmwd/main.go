@@ -4,6 +4,15 @@
 // rbmw/rpubmw simulator), fronted by a length-prefixed binary protocol
 // on TCP.
 //
+// Replication: with -follow the daemon starts as a hot standby — it
+// refuses queue traffic (clients get StatusNotPrimary and fail over),
+// streams the primary's replication log, and applies it to its own
+// engine. SIGUSR1 (or a wire TAdmin promote frame) promotes it: it
+// stops streaming at its contiguously-applied frontier and starts
+// serving. A primary run with -repl-sync holds each dedup-enrolled
+// response until the follower acknowledges the batch, which is what
+// makes a kill lose zero acknowledged ops.
+//
 // Lifecycle: on SIGINT/SIGTERM the daemon stops accepting, drains
 // in-flight connections, closes the engine, and — when -persist is set
 // — checkpoints every shard through the persist subsystem so the next
@@ -14,6 +23,8 @@
 //	bmwd -listen :9970 -shards 4 -queue core -route rank
 //	bmwd -listen :9970 -shards 4 -queue rbmw -m 4 -l 6 -http :9971
 //	bmwd -listen :9970 -persist /var/lib/bmwd   # checkpoint on shutdown
+//	bmwd -listen :9970 -repl-sync               # primary, sync replication
+//	bmwd -listen :9980 -follow 127.0.0.1:9970   # hot standby of :9970
 package main
 
 import (
@@ -30,6 +41,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/replic"
 	"repro/internal/wire"
 )
 
@@ -50,9 +62,20 @@ func main() {
 		batch    = flag.Int("batch", 64, "per-shard max drain batch")
 		route    = flag.String("route", "hash", "push routing: hash (by Meta) or rank (by Value range)")
 		rankBits = flag.Int("rankbits", 30, "rank width in bits for -route rank partitioning")
-		httpAddr = flag.String("http", "", "observability HTTP address (/metrics, /metrics.json, pprof); empty = off")
+		httpAddr = flag.String("http", "", "observability HTTP address (/metrics, /healthz, /readyz, pprof); empty = off")
 		persist  = flag.String("persist", "", "checkpoint directory: restore on start, checkpoint on shutdown")
 		drainFor = flag.Duration("drain", 10*time.Second, "graceful shutdown budget before connections are cut")
+
+		follow   = flag.String("follow", "", "start as a hot standby streaming from this primary address")
+		replSync = flag.Bool("repl-sync", false, "primary: hold dedup-enrolled responses until the follower acks (zero acked-op loss)")
+		syncWait = flag.Duration("repl-sync-timeout", 2*time.Second, "sync-replication ack budget before degrading")
+
+		idleTO    = flag.Duration("conn-idle-timeout", 5*time.Minute, "reap client connections idle this long (0 = never)")
+		writeTO   = flag.Duration("conn-write-timeout", 30*time.Second, "per-response write budget (0 = none)")
+		inflight  = flag.Int("conn-max-inflight", 1024, "per-connection queued-response cap before shedding with StatusOverloaded (0 = off)")
+		ovHigh    = flag.Float64("overload-high", 0.85, "ring-occupancy fraction that trips shard overload shedding (0 = off)")
+		ovLow     = flag.Float64("overload-low", 0, "occupancy fraction that clears overload (0 = half of -overload-high)")
+		ovLatency = flag.Duration("overload-drain-latency", 20*time.Millisecond, "drain-batch latency that trips shard overload (0 = occupancy only)")
 	)
 	flag.Parse()
 
@@ -81,17 +104,39 @@ func main() {
 		Routing:    routing,
 		RankBits:   *rankBits,
 		RestoreDir: *persist,
+		Overload: engine.Overload{
+			HighFrac:         *ovHigh,
+			LowFrac:          *ovLow,
+			DrainLatencyHigh: *ovLatency,
+		},
 	}
 	eng, err := engine.New(cfg)
 	if err != nil {
 		fatalf("engine: %v", err)
 	}
 
+	srv := wire.NewServerConfig(eng, wire.ServerConfig{
+		IdleTimeout:  *idleTO,
+		WriteTimeout: *writeTO,
+		MaxInflight:  *inflight,
+	})
+	node := replic.Attach(eng, srv, replic.Config{
+		Engine:      cfg,
+		PrimaryAddr: *follow,
+		Sync:        *replSync,
+		SyncTimeout: *syncWait,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "bmwd: "+format+"\n", args...)
+		},
+	})
+
 	reg := obs.NewRegistry()
 	eng.Instrument(reg, "bmwd_engine")
 	var obsSrv *http.Server
 	if *httpAddr != "" {
-		obsSrv = obs.NewServer(*httpAddr, reg)
+		obsSrv = obs.NewServerHealth(*httpAddr, reg,
+			func() bool { return true },
+			node.Ready)
 		go func() {
 			if err := obsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintf(os.Stderr, "bmwd: obs server: %v\n", err)
@@ -103,15 +148,25 @@ func main() {
 	if err != nil {
 		fatalf("listen: %v", err)
 	}
-	srv := wire.NewServer(eng)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	promc := make(chan os.Signal, 1)
+	signal.Notify(promc, syscall.SIGUSR1)
+	go func() {
+		for range promc {
+			fmt.Fprintln(os.Stderr, "bmwd: SIGUSR1: promoting")
+			node.Promote()
+		}
+	}()
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	fmt.Printf("bmwd: serving %d %s shard(s) on %s (route=%s)\n",
-		eng.Shards(), kind, ln.Addr(), *route)
+	fmt.Printf("bmwd: %s with %d %s shard(s) on %s (route=%s)\n",
+		node.Role(), eng.Shards(), kind, ln.Addr(), *route)
+	if *follow != "" {
+		fmt.Printf("bmwd: following %s; promote with SIGUSR1 or an admin frame\n", *follow)
+	}
 
 	select {
 	case sig := <-sigc:
@@ -127,6 +182,7 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "bmwd: shutdown: %v\n", err)
 	}
+	node.Close()
 	if obsSrv != nil {
 		_ = obsSrv.Shutdown(ctx)
 	}

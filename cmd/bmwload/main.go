@@ -13,11 +13,20 @@
 //	        target load, including coordinated-omission-free queueing
 //	        delay (latency is measured from the scheduled issue time).
 //
+// Connections are resilient: each one retries idempotently-keyed
+// batches across reconnects with capped backoff, honours -req-timeout
+// per attempt, and fails over to -standby addresses when the primary
+// dies or answers StatusNotPrimary. Retry/timeout/reconnect/failover
+// tallies land in the summary and the JSON report, and the run exits
+// non-zero if any acknowledged op's fate is indeterminate (a retry
+// missed the server's dedup replay window).
+//
 // Examples:
 //
 //	bmwload -addr 127.0.0.1:9970 -conns 2 -pipeline 4 -duration 5s
 //	bmwload -inproc -shards 4 -duration 5s -out BENCH_load.json
 //	bmwload -addr 127.0.0.1:9970 -mode open -rate 500000 -duration 10s
+//	bmwload -addr 127.0.0.1:9970 -standby 127.0.0.1:9980 -duration 30s
 package main
 
 import (
@@ -89,6 +98,7 @@ type counters struct {
 	popOK        atomic.Uint64
 	empty        atomic.Uint64
 	backpressure atomic.Uint64
+	overloaded   atomic.Uint64
 	full         atomic.Uint64
 	invalid      atomic.Uint64
 	protoErrs    atomic.Uint64
@@ -109,6 +119,9 @@ func main() {
 		rate     = flag.Float64("rate", 1e6, "target ops/sec for -mode open, across all workers")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		out      = flag.String("out", "", "write bmwperf/v1 JSON report here (default stdout summary only)")
+		standby  = flag.String("standby", "", "comma-separated standby addresses to fail over to")
+		reqTO    = flag.Duration("req-timeout", 5*time.Second, "per-attempt request deadline")
+		retryMax = flag.Int("retry-max", 8, "attempts per request before giving up (0 = unlimited)")
 	)
 	flag.Parse()
 	if *mix < 0 || *mix > 1 {
@@ -125,17 +138,33 @@ func main() {
 		defer stopInproc()
 	}
 
-	clients := make([]*wire.Client, *conns)
+	addrs := []string{target}
+	if *standby != "" {
+		addrs = append(addrs, strings.Split(*standby, ",")...)
+	}
+	clients := make([]*wire.ResilientClient, *conns)
 	for i := range clients {
-		c, err := wire.Dial(target)
+		c, err := wire.NewResilientClient(wire.ResilientOptions{
+			Addrs:          addrs,
+			RequestTimeout: *reqTO,
+			MaxAttempts:    *retryMax,
+			Conn: wire.ClientOptions{
+				ReadTimeout:  *reqTO,
+				WriteTimeout: *reqTO,
+			},
+		})
 		if err != nil {
-			fatalf("dial %s: %v", target, err)
+			fatalf("client: %v", err)
 		}
 		defer c.Close()
 		clients[i] = c
 	}
-	fmt.Printf("bmwload: %d conn(s) x %d pipeline to %s (%d shards, cap %d), %s %s\n",
-		*conns, *pipeline, target, clients[0].Info().Shards, clients[0].Info().Capacity, *mode, *duration)
+	// Probe the primary once so a bad address fails fast and loudly.
+	if _, err := clients[0].Do([]wire.Op{{Kind: wire.OpPop}}); err != nil {
+		fatalf("probe %s: %v", strings.Join(addrs, ","), err)
+	}
+	fmt.Printf("bmwload: %d resilient conn(s) x %d pipeline to %s, %s %s\n",
+		*conns, *pipeline, strings.Join(addrs, ","), *mode, *duration)
 
 	var (
 		cnt  counters
@@ -186,8 +215,21 @@ func main() {
 	fmt.Printf("bmwload: %.3f Mops (%d ops in %v)\n", mops, cnt.ops.Load(), elapsed.Round(time.Millisecond))
 	fmt.Printf("bmwload: batch latency us p50=%d p99=%d p999=%d max=%d\n",
 		snap.P50, snap.P99, snap.P999, snap.Max)
-	fmt.Printf("bmwload: push_ok=%d pop_ok=%d empty=%d backpressure=%d full=%d\n",
-		cnt.pushOK.Load(), cnt.popOK.Load(), cnt.empty.Load(), cnt.backpressure.Load(), cnt.full.Load())
+	fmt.Printf("bmwload: push_ok=%d pop_ok=%d empty=%d backpressure=%d overloaded=%d full=%d\n",
+		cnt.pushOK.Load(), cnt.popOK.Load(), cnt.empty.Load(), cnt.backpressure.Load(),
+		cnt.overloaded.Load(), cnt.full.Load())
+
+	var rs wire.ResilientStats
+	for _, c := range clients {
+		s := c.Stats()
+		rs.Retries += s.Retries
+		rs.Timeouts += s.Timeouts
+		rs.Reconnects += s.Reconnects
+		rs.Failovers += s.Failovers
+		rs.DedupMisses += s.DedupMisses
+	}
+	fmt.Printf("bmwload: retries=%d timeouts=%d reconnects=%d failovers=%d dedup_miss=%d\n",
+		rs.Retries, rs.Timeouts, rs.Reconnects, rs.Failovers, rs.DedupMisses)
 
 	if *out != "" {
 		r := report{
@@ -200,10 +242,15 @@ func main() {
 			GOARCH:     runtime.GOARCH,
 			Commit:     commitID(),
 			Metrics: map[string]metric{
-				"load_mops":    {mops, "Mops", "higher"},
-				"load_p50_us":  {float64(snap.P50), "us", "lower"},
-				"load_p99_us":  {float64(snap.P99), "us", "lower"},
-				"load_p999_us": {float64(snap.P999), "us", "lower"},
+				"load_mops":       {mops, "Mops", "higher"},
+				"load_p50_us":     {float64(snap.P50), "us", "lower"},
+				"load_p99_us":     {float64(snap.P99), "us", "lower"},
+				"load_p999_us":    {float64(snap.P999), "us", "lower"},
+				"load_retries":    {float64(rs.Retries), "count", "lower"},
+				"load_timeouts":   {float64(rs.Timeouts), "count", "lower"},
+				"load_reconnects": {float64(rs.Reconnects), "count", "lower"},
+				"load_failovers":  {float64(rs.Failovers), "count", "lower"},
+				"load_dedup_miss": {float64(rs.DedupMisses), "count", "lower"},
 			},
 		}
 		b, err := json.MarshalIndent(r, "", "  ")
@@ -214,6 +261,15 @@ func main() {
 			fatalf("write %s: %v", *out, err)
 		}
 		fmt.Printf("bmwload: wrote %s\n", *out)
+	}
+
+	// A dedup miss means a retried request fell out of the server's
+	// replay window: the op may have been applied without its ack ever
+	// reaching us, so an acknowledged-op fate is indeterminate. Report
+	// it as loss and fail the run (the JSON above still lands so the
+	// evidence survives).
+	if rs.DedupMisses > 0 {
+		fatalf("%d request(s) with indeterminate outcome (dedup window miss) — possible acked-op loss", rs.DedupMisses)
 	}
 }
 
@@ -229,7 +285,7 @@ type workerCfg struct {
 // runWorker issues batches until ctx expires. In open-loop mode the
 // latency clock starts at the *scheduled* issue time, so a slow server
 // accrues queueing delay instead of silently omitting it.
-func runWorker(ctx context.Context, c *wire.Client, cfg workerCfg, cnt *counters, hist *obs.QuantileHistogram) {
+func runWorker(ctx context.Context, c *wire.ResilientClient, cfg workerCfg, cnt *counters, hist *obs.QuantileHistogram) {
 	ops := make([]wire.Op, cfg.batch)
 	next := time.Now().Add(cfg.offset)
 	for {
@@ -278,6 +334,8 @@ func runWorker(ctx context.Context, c *wire.Client, cfg workerCfg, cnt *counters
 				cnt.empty.Add(1)
 			case wire.StatusBackpressure:
 				cnt.backpressure.Add(1)
+			case wire.StatusOverloaded:
+				cnt.overloaded.Add(1)
 			case wire.StatusFull:
 				cnt.full.Add(1)
 			default:

@@ -33,8 +33,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -45,7 +47,14 @@ import (
 var (
 	// ErrBackpressure reports that a push was refused before reaching
 	// the queue: the shard's ring was full or its queue almost-full.
+	// Transient — back off briefly and retry.
 	ErrBackpressure = errors.New("engine: shard backpressured")
+	// ErrOverloaded reports that a push was shed by admission control:
+	// the shard has been running above its overload watermarks (ring
+	// occupancy or drain latency, see Overload) and is protecting
+	// itself. Distinct from ErrBackpressure so callers can back off
+	// harder — the shard is saturated, not momentarily full.
+	ErrOverloaded = errors.New("engine: shard overloaded")
 	// ErrClosed reports a submit against a closed engine.
 	ErrClosed = errors.New("engine: closed")
 	// ErrInvalidOp reports an operation of unknown kind.
@@ -74,10 +83,16 @@ func PushOp(e core.Element) Op { return Op{Kind: OpPush, Elem: e} }
 func PopOp() Op { return Op{Kind: OpPop} }
 
 // Result is one request's outcome. Elem is meaningful for a successful
-// pop.
+// pop. Shard and LSN identify where and in what order a successful
+// (Err == nil) operation mutated its queue: LSN is the shard's count of
+// applied mutations, dense and strictly increasing per shard. They are
+// what WAL-shipping replication streams; refused or failed operations
+// mutate nothing and carry LSN 0.
 type Result struct {
-	Elem core.Element
-	Err  error
+	Elem  core.Element
+	Err   error
+	Shard int32
+	LSN   uint64
 }
 
 // Routing selects how pushes map to shards.
@@ -119,7 +134,36 @@ type Config struct {
 	// per-shard checkpoint fan-out a previous Checkpoint wrote there.
 	// A missing or empty directory is a fresh start, not an error.
 	RestoreDir string
+	// Overload sets the admission-control watermarks; the zero value
+	// disables overload shedding.
+	Overload Overload
 }
+
+// Overload parameterises per-shard admission control. A shard trips
+// into overload when its ring occupancy at drain reaches HighFrac of
+// the ring size, or a drained batch takes DrainLatencyHigh or longer to
+// execute; while tripped, pushes routed to it are shed with
+// ErrOverloaded. It clears once occupancy falls back to LowFrac with
+// drain latency below the high mark — hysteresis, so the signal does
+// not flap at the boundary.
+type Overload struct {
+	// HighFrac is the ring-occupancy fraction (0,1] that trips
+	// overload. Zero disables overload control entirely.
+	HighFrac float64
+	// LowFrac is the occupancy fraction at or below which overload
+	// clears (default HighFrac/2).
+	LowFrac float64
+	// DrainLatencyHigh, when nonzero, also trips overload when one
+	// drained batch takes this long or longer to execute.
+	DrainLatencyHigh time.Duration
+}
+
+// enabled reports whether overload control is on.
+func (o Overload) enabled() bool { return o.HighFrac > 0 }
+
+// Normalized returns the config with all defaults applied — the form
+// New actually runs, and the form replication manifests compare.
+func (c Config) Normalized() Config { return c.withDefaults() }
 
 // withDefaults fills the zero values.
 func (c Config) withDefaults() Config {
@@ -144,6 +188,9 @@ func (c Config) withDefaults() Config {
 	if c.RankBits <= 0 || c.RankBits > 63 {
 		c.RankBits = 16
 	}
+	if c.Overload.HighFrac > 0 && c.Overload.LowFrac <= 0 {
+		c.Overload.LowFrac = c.Overload.HighFrac / 2
+	}
 	return c
 }
 
@@ -155,21 +202,31 @@ const emptyHead = math.MaxUint64
 
 // shard is one engine lane: a goroutine, its ring, and its queue.
 type shard struct {
-	id   int
-	q    shardQueue
-	ring *ring
+	id      int
+	q       shardQueue
+	ring    *ring
+	ringCap int
+	ov      Overload
+
+	// lsn counts this shard's applied mutations; owned by the shard
+	// goroutine, mirrored into lsnPub after each batch for readers.
+	lsn    uint64
+	lsnPub atomic.Uint64
 
 	// Published state, written by the shard after each drained batch
 	// and read by routers: queue length, smallest rank (emptyHead when
-	// empty), and the almost-full backpressure signal.
+	// empty), the almost-full backpressure signal, and the overload
+	// admission gate.
 	length     atomic.Int64
 	headV      atomic.Uint64
 	almostFull atomic.Bool
+	overloaded atomic.Bool
 
 	// Metrics (nil-safe when the engine is uninstrumented).
 	pushes, pops     *obs.Counter
 	fulls, empties   *obs.Counter
 	backpressured    *obs.Counter
+	shed             *obs.Counter
 	ringOcc, drained *obs.Histogram
 
 	scratch []entry
@@ -206,6 +263,8 @@ func New(cfg Config) (*Engine, error) {
 			id:      i,
 			q:       newShardQueue(cfg),
 			ring:    newRing(cfg.RingSize),
+			ringCap: cfg.RingSize,
+			ov:      cfg.Overload,
 			scratch: make([]entry, cfg.BatchSize),
 		}
 		e.shards = append(e.shards, s)
@@ -324,6 +383,11 @@ func (e *Engine) SubmitInto(ops []Op, results []Result) {
 		switch op.Kind {
 		case OpPush:
 			sh = e.routePush(op.Elem)
+			if e.shards[sh].overloaded.Load() {
+				e.shards[sh].shed.Inc()
+				results[i] = Result{Err: ErrOverloaded}
+				continue
+			}
 			if e.shards[sh].almostFull.Load() {
 				e.shards[sh].backpressured.Inc()
 				results[i] = Result{Err: ErrBackpressure}
@@ -440,6 +504,10 @@ func (s *shard) run() {
 		}
 		s.ringOcc.Observe(uint64(occ))
 		s.drained.Observe(uint64(n))
+		var start time.Time
+		if s.ov.DrainLatencyHigh > 0 {
+			start = time.Now()
+		}
 		for i := 0; i < n; i++ {
 			en := &s.scratch[i]
 			switch en.op.Kind {
@@ -448,6 +516,9 @@ func (s *shard) run() {
 				switch {
 				case err == nil:
 					s.pushes.Inc()
+					s.lsn++
+					en.b.results[en.idx] = Result{Err: nil, Shard: int32(s.id), LSN: s.lsn}
+					continue
 				case errors.Is(err, core.ErrFull):
 					s.fulls.Inc()
 				}
@@ -457,6 +528,9 @@ func (s *shard) run() {
 				switch {
 				case err == nil:
 					s.pops.Inc()
+					s.lsn++
+					en.b.results[en.idx] = Result{Elem: el, Shard: int32(s.id), LSN: s.lsn}
+					continue
 				case errors.Is(err, core.ErrEmpty):
 					s.empties.Inc()
 				}
@@ -466,6 +540,9 @@ func (s *shard) run() {
 			}
 		}
 		s.publish()
+		if s.ov.enabled() {
+			s.updateOverload(occ, start)
+		}
 		for i := 0; i < n; i++ {
 			b := s.scratch[i].b
 			s.scratch[i] = entry{}
@@ -473,6 +550,23 @@ func (s *shard) run() {
 				close(b.done)
 			}
 		}
+	}
+}
+
+// updateOverload applies the admission-control hysteresis after one
+// drained batch: trip at the high watermarks, clear only once both
+// signals sit below them again.
+func (s *shard) updateOverload(occ int, start time.Time) {
+	frac := float64(occ) / float64(s.ringCap)
+	slow := false
+	if s.ov.DrainLatencyHigh > 0 {
+		slow = time.Since(start) >= s.ov.DrainLatencyHigh
+	}
+	switch {
+	case frac >= s.ov.HighFrac || slow:
+		s.overloaded.Store(true)
+	case s.overloaded.Load() && frac <= s.ov.LowFrac:
+		s.overloaded.Store(false)
 	}
 }
 
@@ -485,4 +579,62 @@ func (s *shard) publish() {
 		s.headV.Store(emptyHead)
 	}
 	s.almostFull.Store(s.q.AlmostFull())
+	s.lsnPub.Store(s.lsn)
+}
+
+// ShardLSN returns shard i's published applied-mutation count — the
+// replication high-water mark readers compare against streamed record
+// LSNs.
+func (e *Engine) ShardLSN(i int) uint64 { return e.shards[i].lsnPub.Load() }
+
+// ApplyReplica executes ops against shard sh directly — the replication
+// apply path. It bypasses push routing, the strict-merge pop routing,
+// and every admission gate (backpressure and overload): a follower must
+// apply the primary's history verbatim, in the primary's per-shard LSN
+// order, and the history is known to fit because the primary executed
+// it against identical geometry. When the target ring is momentarily
+// full it waits rather than refusing. Results land one per op, in
+// order, with Shard/LSN stamped exactly as on the primary; it returns
+// ErrClosed if the engine closes mid-apply.
+func (e *Engine) ApplyReplica(sh int, ops []Op, results []Result) error {
+	if len(results) != len(ops) {
+		panic("engine: ApplyReplica result slice length mismatch")
+	}
+	if sh < 0 || sh >= len(e.shards) {
+		return fmt.Errorf("engine: ApplyReplica shard %d of %d", sh, len(e.shards))
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	b := &batch{results: results, done: make(chan struct{})}
+	es := make([]entry, len(ops))
+	for i, op := range ops {
+		es[i] = entry{op: op, b: b, idx: i}
+	}
+	b.pending.Store(int32(len(es)))
+	refused := int32(0)
+	for len(es) > 0 {
+		n := e.shards[sh].ring.enqueue(es)
+		if n < 0 {
+			for _, en := range es {
+				results[en.idx] = Result{Err: ErrClosed}
+			}
+			refused = int32(len(es))
+			break
+		}
+		es = es[n:]
+		if len(es) > 0 {
+			// Ring full: the shard goroutine is draining it; yield and
+			// retry rather than surface backpressure on the apply path.
+			runtime.Gosched()
+		}
+	}
+	if refused > 0 {
+		if b.pending.Add(-refused) > 0 {
+			<-b.done
+		}
+		return ErrClosed
+	}
+	<-b.done
+	return nil
 }

@@ -38,6 +38,13 @@ func (e *Engine) Instrument(reg *obs.Registry, prefix string) {
 		s.fulls = reg.Counter(p + "_full_total")
 		s.empties = reg.Counter(p + "_empty_total")
 		s.backpressured = reg.Counter(p + "_backpressure_total")
+		s.shed = reg.Counter(p + "_overload_shed_total")
+		reg.GaugeFunc(p+"_overloaded", func() float64 {
+			if s.overloaded.Load() {
+				return 1
+			}
+			return 0
+		})
 		reg.Help(p+"_ring_occupancy", "request-ring depth observed at each drain")
 		s.ringOcc = reg.Histogram(p+"_ring_occupancy", ringBounds)
 		reg.Help(p+"_drain_batch", "requests executed per ring drain")

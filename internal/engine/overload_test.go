@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestUpdateOverloadHysteresis exercises the watermark state machine
+// directly: trip at HighFrac, hold between the watermarks, clear only
+// at or below LowFrac, and trip on drain latency alone.
+func TestUpdateOverloadHysteresis(t *testing.T) {
+	s := &shard{ringCap: 100, ov: Overload{HighFrac: 0.8, LowFrac: 0.4}}
+	now := time.Now()
+	s.updateOverload(85, now)
+	if !s.overloaded.Load() {
+		t.Fatal("85% occupancy did not trip HighFrac 0.8")
+	}
+	s.updateOverload(50, now)
+	if !s.overloaded.Load() {
+		t.Fatal("overload cleared between the watermarks")
+	}
+	s.updateOverload(40, now)
+	if s.overloaded.Load() {
+		t.Fatal("overload held at LowFrac")
+	}
+	s.updateOverload(50, now)
+	if s.overloaded.Load() {
+		t.Fatal("mid-band occupancy re-tripped a cleared shard")
+	}
+
+	lat := &shard{ringCap: 100, ov: Overload{HighFrac: 0.99, LowFrac: 0.01, DrainLatencyHigh: time.Millisecond}}
+	lat.updateOverload(1, time.Now().Add(-10*time.Millisecond))
+	if !lat.overloaded.Load() {
+		t.Fatal("slow drain did not trip overload")
+	}
+}
+
+// TestOverloadShedsPushes trips overload via an always-slow drain
+// watermark and checks pushes shed with the typed ErrOverloaded while
+// pops keep working.
+func TestOverloadShedsPushes(t *testing.T) {
+	e, err := New(Config{
+		Shards: 1, Order: 2, Levels: 8,
+		Overload: Overload{HighFrac: 0.99, DrainLatencyHigh: time.Nanosecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// First batch executes (overload is computed after the drain) and
+	// trips the watermark; pushes after that must shed.
+	if res := e.Submit([]Op{PushOp(core.Element{Value: 1, Meta: 1})}); res[0].Err != nil {
+		t.Fatalf("priming push: %v", res[0].Err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var shedErr error
+	for time.Now().Before(deadline) {
+		res := e.Submit([]Op{PushOp(core.Element{Value: 2, Meta: 2})})
+		if res[0].Err != nil {
+			shedErr = res[0].Err
+			break
+		}
+	}
+	if !errors.Is(shedErr, ErrOverloaded) {
+		t.Fatalf("shed error = %v, want ErrOverloaded", shedErr)
+	}
+	if errors.Is(shedErr, ErrBackpressure) {
+		t.Fatal("ErrOverloaded must stay distinct from ErrBackpressure")
+	}
+	// Pops are never shed — overload protects the queue from growth.
+	res := e.Submit([]Op{PopOp()})
+	if res[0].Err != nil {
+		t.Fatalf("pop under overload: %v", res[0].Err)
+	}
+}
+
+// TestApplyReplica drives one shard's ring directly — the follower
+// apply path — and checks dense LSN stamping, shard isolation, and
+// element fidelity.
+func TestApplyReplica(t *testing.T) {
+	e, err := New(Config{Shards: 2, Order: 2, Levels: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const n = 10
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = PushOp(core.Element{Value: uint64(100 - i), Meta: uint64(i)})
+	}
+	results := make([]Result, n)
+	if err := e.ApplyReplica(1, ops, results); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("apply[%d]: %v", i, r.Err)
+		}
+		if r.Shard != 1 || r.LSN != uint64(i+1) {
+			t.Fatalf("apply[%d]: shard %d lsn %d, want shard 1 lsn %d", i, r.Shard, r.LSN, i+1)
+		}
+	}
+	if got := e.ShardLSN(1); got != n {
+		t.Fatalf("ShardLSN(1) = %d, want %d", got, n)
+	}
+	if got := e.ShardLSN(0); got != 0 {
+		t.Fatalf("ShardLSN(0) = %d — replica apply leaked across shards", got)
+	}
+
+	// Pops through the same path come back rank-ordered with their LSNs
+	// continuing the chain.
+	pops := make([]Op, n)
+	for i := range pops {
+		pops[i] = PopOp()
+	}
+	popRes := make([]Result, n)
+	if err := e.ApplyReplica(1, pops, popRes); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range popRes {
+		if r.Err != nil {
+			t.Fatalf("pop[%d]: %v", i, r.Err)
+		}
+		if want := uint64(100 - (n - 1) + i); r.Elem.Value != want {
+			t.Fatalf("pop[%d] value %d, want %d", i, r.Elem.Value, want)
+		}
+		if r.LSN != uint64(n+i+1) {
+			t.Fatalf("pop[%d] lsn %d, want %d", i, r.LSN, n+i+1)
+		}
+	}
+
+	if err := e.ApplyReplica(5, ops, results); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	e.Close()
+	if err := e.ApplyReplica(1, ops, results); !errors.Is(err, ErrClosed) {
+		t.Fatalf("apply after close: %v, want ErrClosed", err)
+	}
+}

@@ -20,7 +20,38 @@ import (
 // producer. Long-running commands sample mutable sim state into
 // gauges from their own loop instead.
 func Handler(r *Registry) http.Handler {
+	return HandlerHealth(r, nil, nil)
+}
+
+// HandlerHealth is Handler plus the probe endpoints:
+//
+//	/healthz  liveness — 200 once the process serves HTTP at all
+//	/readyz   readiness — 200 only when ready() returns true
+//
+// healthy/ready may be nil: a nil healthy means always live; a nil
+// ready falls back to healthy (a plain daemon is ready when live).
+// bmwd wires ready to its restore/replication-catchup state, so a
+// follower mid-catchup, or a primary still restoring a checkpoint,
+// reports 503 and stays out of load-balancer rotation without being
+// restarted.
+func HandlerHealth(r *Registry, healthy, ready func() bool) http.Handler {
 	mux := http.NewServeMux()
+	probe := func(check func() bool, name string) http.HandlerFunc {
+		return func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain")
+			if check != nil && !check() {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				w.Write([]byte("not " + name + "\n"))
+				return
+			}
+			w.Write([]byte("ok\n"))
+		}
+	}
+	if ready == nil {
+		ready = healthy
+	}
+	mux.HandleFunc("/healthz", probe(healthy, "healthy"))
+	mux.HandleFunc("/readyz", probe(ready, "ready"))
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = r.WritePrometheus(w)
@@ -49,9 +80,15 @@ func Handler(r *Registry) http.Handler {
 // /debug/pprof/trace legitimately stream for their full -seconds
 // argument.
 func NewServer(addr string, r *Registry) *http.Server {
+	return NewServerHealth(addr, r, nil, nil)
+}
+
+// NewServerHealth is NewServer with liveness/readiness probes (see
+// HandlerHealth).
+func NewServerHealth(addr string, r *Registry, healthy, ready func() bool) *http.Server {
 	return &http.Server{
 		Addr:              addr,
-		Handler:           Handler(r),
+		Handler:           HandlerHealth(r, healthy, ready),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
 		IdleTimeout:       120 * time.Second,

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -80,5 +81,53 @@ func TestNewServerTimeouts(t *testing.T) {
 	}
 	if srv.IdleTimeout <= 0 {
 		t.Error("IdleTimeout not set")
+	}
+}
+
+// TestHealthEndpoints covers /healthz and /readyz: nil probes default
+// to 200, a false ready() flips /readyz to 503 without touching
+// /healthz, and a nil ready falls back to healthy.
+func TestHealthEndpoints(t *testing.T) {
+	status := func(t *testing.T, h *httptest.Server, path string) int {
+		t.Helper()
+		resp, err := h.Client().Get(h.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	r := NewRegistry()
+	plain := httptest.NewServer(Handler(r))
+	defer plain.Close()
+	if s := status(t, plain, "/healthz"); s != 200 {
+		t.Fatalf("nil-probe /healthz = %d", s)
+	}
+	if s := status(t, plain, "/readyz"); s != 200 {
+		t.Fatalf("nil-probe /readyz = %d", s)
+	}
+
+	var ready atomic.Bool
+	gated := httptest.NewServer(HandlerHealth(r, func() bool { return true }, ready.Load))
+	defer gated.Close()
+	if s := status(t, gated, "/healthz"); s != 200 {
+		t.Fatalf("live /healthz = %d", s)
+	}
+	if s := status(t, gated, "/readyz"); s != 503 {
+		t.Fatalf("not-ready /readyz = %d, want 503", s)
+	}
+	ready.Store(true)
+	if s := status(t, gated, "/readyz"); s != 200 {
+		t.Fatalf("ready /readyz = %d", s)
+	}
+
+	fallback := httptest.NewServer(HandlerHealth(r, func() bool { return false }, nil))
+	defer fallback.Close()
+	if s := status(t, fallback, "/healthz"); s != 503 {
+		t.Fatalf("unhealthy /healthz = %d, want 503", s)
+	}
+	if s := status(t, fallback, "/readyz"); s != 503 {
+		t.Fatalf("nil ready must fall back to healthy: /readyz = %d, want 503", s)
 	}
 }

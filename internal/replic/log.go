@@ -1,0 +1,69 @@
+package replic
+
+import "sync"
+
+// Log is the primary's in-memory replication log: records numbered
+// from sequence 1, appended in atomic groups (one executed batch's op
+// records plus its dedup record land under one lock acquisition, so a
+// reader can never observe a group's dedup entry without its ops).
+// Senders block in ReadFrom until records arrive; Wake unblocks them
+// so a dying stream can exit.
+//
+// The log is retained from genesis: a fresh follower attaches at
+// sequence 0 and replays everything. That bounds this design to
+// histories that fit in memory — snapshot-shipping for late joiners is
+// future work (see DESIGN.md §6).
+type Log struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	recs []Record // recs[i] has sequence i+1
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log {
+	l := &Log{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// AppendGroup appends recs as one atomic group and returns the new tip
+// sequence (that of the last record).
+func (l *Log) AppendGroup(recs []Record) uint64 {
+	l.mu.Lock()
+	l.recs = append(l.recs, recs...)
+	tip := uint64(len(l.recs))
+	l.mu.Unlock()
+	l.cond.Broadcast()
+	return tip
+}
+
+// Seq returns the tip sequence (0 when empty).
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return uint64(len(l.recs))
+}
+
+// ReadFrom blocks until records after seq exist (or Wake is called),
+// then returns up to max of them. The returned slice aliases log
+// memory; records are never mutated after append. An empty return
+// means a wakeup with nothing new — callers check their stop condition
+// and loop.
+func (l *Log) ReadFrom(seq uint64, max int) []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if uint64(len(l.recs)) <= seq {
+		l.cond.Wait()
+	}
+	if uint64(len(l.recs)) <= seq {
+		return nil
+	}
+	end := uint64(len(l.recs))
+	if end > seq+uint64(max) {
+		end = seq + uint64(max)
+	}
+	return l.recs[seq:end]
+}
+
+// Wake unblocks every ReadFrom waiter.
+func (l *Log) Wake() { l.cond.Broadcast() }

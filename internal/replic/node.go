@@ -1,0 +1,726 @@
+package replic
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/wire"
+)
+
+// Roles.
+const (
+	rolePrimary int32 = iota
+	roleFollower
+)
+
+// Config parameterises a replication node.
+type Config struct {
+	// Engine is the geometry the engine was built with; it becomes the
+	// replication manifest both sides compare.
+	Engine engine.Config
+	// PrimaryAddr, when nonempty, starts the node as a follower
+	// streaming from that address; empty starts it as primary.
+	PrimaryAddr string
+	// Sync gates each dedup-enrolled response on the follower having
+	// acknowledged the batch's log group — the zero-acked-op-loss mode.
+	// Without it replication is asynchronous: faster, but ops acked
+	// inside the replication lag are lost if the primary dies.
+	Sync bool
+	// SyncTimeout bounds the Sync ack wait; past it the node marks
+	// itself Degraded and releases the response anyway (default 2s).
+	SyncTimeout time.Duration
+	// DialRetry is the follower's reconnect backoff floor (default
+	// 50ms; doubles to 1s).
+	DialRetry time.Duration
+	// StreamTimeout bounds replication stream reads and writes on both
+	// sides; heartbeats keep a healthy idle stream under it (default
+	// 15s).
+	StreamTimeout time.Duration
+	// Logf, when set, receives diagnostic lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.SyncTimeout <= 0 {
+		c.SyncTimeout = 2 * time.Second
+	}
+	if c.DialRetry <= 0 {
+		c.DialRetry = 50 * time.Millisecond
+	}
+	if c.StreamTimeout <= 0 {
+		c.StreamTimeout = 15 * time.Second
+	}
+	return c
+}
+
+// heartbeatEvery is how often an idle primary sends an empty
+// TReplRecords frame so the follower's stream deadline measures
+// liveness, not traffic.
+const heartbeatEvery = 3 * time.Second
+
+// ackWaiter is one synchronous response blocked on the follower
+// reaching seq.
+type ackWaiter struct {
+	seq uint64
+	ch  chan struct{}
+}
+
+// seqRec is a record paired with its stream sequence.
+type seqRec struct {
+	seq uint64
+	rec Record
+}
+
+// Node binds an engine and its wire server into a replication role. A
+// primary taps executed batches into its log and serves follower
+// streams; a follower holds the serving gate closed, applies the
+// stream, and opens the gate on Promote. Attach installs the node's
+// hooks on the server — call it before Serve.
+type Node struct {
+	cfg Config
+	man Manifest
+	eng *engine.Engine
+	srv *wire.Server
+	log *Log
+
+	role      atomic.Int32
+	degraded  atomic.Bool
+	followers atomic.Int32
+
+	// Primary-side ack state.
+	amu     sync.Mutex
+	ackSeq  uint64
+	waiters []ackWaiter
+
+	// Follower-side stream state.
+	streamPos   atomic.Uint64 // frontier: contiguous applied stream prefix
+	tipAtAttach atomic.Uint64
+	attached    atomic.Bool
+	caughtUp    atomic.Bool
+	fconn       atomic.Pointer[net.Conn]
+
+	promote     chan struct{}
+	promoteOnce sync.Once
+	closed      chan struct{}
+	closeOnce   sync.Once
+	wg          sync.WaitGroup
+}
+
+// Attach builds the node, installs its hooks on srv, and (for a
+// follower) starts the streaming loop.
+func Attach(eng *engine.Engine, srv *wire.Server, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:     cfg,
+		man:     ManifestOf(cfg.Engine),
+		eng:     eng,
+		srv:     srv,
+		log:     NewLog(),
+		promote: make(chan struct{}),
+		closed:  make(chan struct{}),
+	}
+	srv.SetBatchHook(n.onBatch)
+	srv.SetAdminHandler(n.admin)
+	srv.SetReplHandler(n.handleRepl)
+	if cfg.PrimaryAddr != "" {
+		n.role.Store(roleFollower)
+		srv.SetServing(false)
+		n.wg.Add(1)
+		go n.runFollower()
+	}
+	return n
+}
+
+// Close stops the node's goroutines. It does not touch the engine or
+// the server.
+func (n *Node) Close() {
+	n.closeOnce.Do(func() {
+		close(n.closed)
+		n.interruptStream()
+		n.log.Wake()
+	})
+	n.wg.Wait()
+}
+
+// Promote opens the serving gate: a follower stops streaming, keeps
+// everything it has contiguously applied (its frontier — which, in
+// synchronous mode, covers every acknowledged op), and starts serving;
+// on a primary it is a no-op. It returns once the node is serving.
+func (n *Node) Promote() {
+	n.promoteOnce.Do(func() {
+		close(n.promote)
+		n.interruptStream()
+	})
+	for !n.srv.Serving() {
+		select {
+		case <-n.closed:
+			return
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// Role returns "primary" or "follower".
+func (n *Node) Role() string {
+	if n.role.Load() == rolePrimary {
+		return "primary"
+	}
+	return "follower"
+}
+
+// Ready reports serving readiness: a primary is ready when serving; a
+// follower is ready once attached to its primary and caught up to the
+// log tip observed at attach.
+func (n *Node) Ready() bool {
+	if n.role.Load() == rolePrimary {
+		return n.srv.Serving()
+	}
+	return n.attached.Load() && n.caughtUp.Load()
+}
+
+// Status snapshots the node for the admin frame and /readyz.
+func (n *Node) Status() wire.AdminInfo {
+	info := wire.AdminInfo{
+		Serving:   n.srv.Serving(),
+		Degraded:  n.degraded.Load(),
+		Followers: uint32(n.followers.Load()),
+		LogSeq:    n.log.Seq(),
+	}
+	if n.role.Load() == rolePrimary {
+		info.Role = wire.RolePrimary
+		n.amu.Lock()
+		info.AckSeq = n.ackSeq
+		n.amu.Unlock()
+	} else {
+		info.Role = wire.RoleFollower
+		info.AckSeq = n.streamPos.Load()
+	}
+	for i := 0; i < n.eng.Shards(); i++ {
+		info.ShardLSNs = append(info.ShardLSNs, n.eng.ShardLSN(i))
+	}
+	return info
+}
+
+// admin answers TAdmin frames.
+func (n *Node) admin(cmd wire.AdminCmd) (wire.AdminInfo, error) {
+	if cmd == wire.AdminPromote {
+		n.Promote()
+	}
+	return n.Status(), nil
+}
+
+// logf emits a diagnostic line when configured.
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Primary side: batch tap, sync gating, follower streams.
+
+// onBatch is the wire server's batch tap: turn one executed request
+// into an atomic log group — its successful ops' records, then (for
+// enrolled sessions) the dedup record — and, in synchronous mode,
+// return the ack gate for the response.
+func (n *Node) onBatch(session, reqID uint64, ops []engine.Op, results []engine.Result, resp []byte) func() {
+	if n.role.Load() != rolePrimary {
+		return nil
+	}
+	group := make([]Record, 0, len(ops)+1)
+	for i, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		rec := Record{Kind: RecOp, Shard: uint32(r.Shard), LSN: r.LSN}
+		if ops[i].Kind == engine.OpPush {
+			rec.Op = OpPush
+			rec.Value = ops[i].Elem.Value
+			rec.Meta = ops[i].Elem.Meta
+		} else {
+			// A pop record carries the popped element so the follower
+			// can check its own pop against it — divergence detection.
+			rec.Op = OpPop
+			rec.Value = r.Elem.Value
+			rec.Meta = r.Elem.Meta
+		}
+		group = append(group, rec)
+	}
+	if session != 0 {
+		group = append(group, Record{
+			Kind:    RecDedup,
+			Session: session,
+			ReqID:   reqID,
+			Resp:    append([]byte(nil), resp...),
+		})
+	}
+	if len(group) == 0 {
+		return nil
+	}
+	seq := n.log.AppendGroup(group)
+	if !n.cfg.Sync || n.followers.Load() == 0 {
+		return nil
+	}
+	return func() { n.waitAck(seq) }
+}
+
+// waitAck blocks until a follower acknowledges seq or SyncTimeout
+// passes (which marks the node Degraded: the response is released
+// without proof of replication).
+func (n *Node) waitAck(seq uint64) {
+	n.amu.Lock()
+	if n.ackSeq >= seq {
+		n.amu.Unlock()
+		return
+	}
+	if n.followers.Load() == 0 {
+		n.amu.Unlock()
+		n.degraded.Store(true)
+		return
+	}
+	w := ackWaiter{seq: seq, ch: make(chan struct{})}
+	n.waiters = append(n.waiters, w)
+	n.amu.Unlock()
+	t := time.NewTimer(n.cfg.SyncTimeout)
+	defer t.Stop()
+	select {
+	case <-w.ch:
+	case <-t.C:
+		n.degraded.Store(true)
+	}
+}
+
+// updateAck records a follower ack and releases waiters it covers.
+func (n *Node) updateAck(seq uint64) {
+	n.amu.Lock()
+	if seq > n.ackSeq {
+		n.ackSeq = seq
+	}
+	kept := n.waiters[:0]
+	for _, w := range n.waiters {
+		if w.seq <= n.ackSeq {
+			close(w.ch)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	n.waiters = kept
+	n.amu.Unlock()
+}
+
+// releaseWaiters frees every sync waiter (the follower detached; their
+// acks will never come) and marks the node Degraded if any were
+// blocked.
+func (n *Node) releaseWaiters() {
+	n.amu.Lock()
+	if len(n.waiters) > 0 {
+		n.degraded.Store(true)
+	}
+	for _, w := range n.waiters {
+		close(w.ch)
+	}
+	n.waiters = nil
+	n.amu.Unlock()
+}
+
+// AckSeq returns the highest follower-acknowledged log sequence.
+func (n *Node) AckSeq() uint64 {
+	n.amu.Lock()
+	defer n.amu.Unlock()
+	return n.ackSeq
+}
+
+// LogSeq returns the log tip sequence.
+func (n *Node) LogSeq() uint64 { return n.log.Seq() }
+
+// handleRepl owns one follower stream: manifest check, then records
+// out / acks in until either side dies.
+func (n *Node) handleRepl(conn net.Conn, hello wire.Frame) {
+	fail := func(msg string) {
+		payload := append([]byte{byte(wire.StatusInvalid)}, msg...)
+		conn.SetWriteDeadline(time.Now().Add(n.cfg.StreamTimeout))
+		wire.WriteFrame(conn, wire.TError, hello.ID, payload)
+	}
+	m, resume, err := ParseReplHello(hello.Payload)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	if m != n.man {
+		n.logf("replic: refusing follower: manifest %+v != %+v", m, n.man)
+		fail(fmt.Sprintf("manifest mismatch: follower %+v, primary %+v", m, n.man))
+		return
+	}
+	if tip := n.log.Seq(); resume > tip {
+		fail(fmt.Sprintf("resume %d beyond log tip %d", resume, tip))
+		return
+	}
+	conn.SetWriteDeadline(time.Now().Add(n.cfg.StreamTimeout))
+	if err := wire.WriteFrame(conn, wire.TReplOK, hello.ID, AppendSeq(nil, n.log.Seq())); err != nil {
+		return
+	}
+	n.logf("replic: follower attached at seq %d", resume)
+	n.followers.Add(1)
+	defer func() {
+		if n.followers.Add(-1) == 0 {
+			n.releaseWaiters()
+		}
+		n.logf("replic: follower detached")
+	}()
+
+	var stop atomic.Bool
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() { // ack reader: the follower's only frames are TReplAck
+		defer rwg.Done()
+		for {
+			f, err := wire.ReadFrame(conn)
+			if err != nil {
+				stop.Store(true)
+				n.log.Wake()
+				return
+			}
+			if f.Type == wire.TReplAck {
+				if seq, err := ParseSeq(f.Payload); err == nil {
+					n.updateAck(seq)
+				}
+			}
+		}
+	}()
+	rwg.Add(1)
+	hbStop := make(chan struct{})
+	go func() { // heartbeat ticker: wake the sender so idle streams stay live
+		defer rwg.Done()
+		t := time.NewTicker(heartbeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				n.log.Wake()
+			case <-hbStop:
+				return
+			}
+		}
+	}()
+
+	next := resume
+	lastSent := time.Now()
+	for !stop.Load() {
+		select {
+		case <-n.closed:
+			stop.Store(true)
+		default:
+		}
+		if stop.Load() {
+			break
+		}
+		recs := n.log.ReadFrom(next, MaxRecordsPerFrame)
+		if len(recs) == 0 {
+			// Woken with nothing new: heartbeat if it has been a while.
+			if time.Since(lastSent) < heartbeatEvery {
+				continue
+			}
+		}
+		ok := true
+		for _, chunk := range chunkRecords(recs) {
+			payload := AppendReplRecords(nil, next+1, chunk)
+			conn.SetWriteDeadline(time.Now().Add(n.cfg.StreamTimeout))
+			if err := wire.WriteFrame(conn, wire.TReplRecords, 0, payload); err != nil {
+				ok = false
+				break
+			}
+			next += uint64(len(chunk))
+			lastSent = time.Now()
+		}
+		if !ok {
+			break
+		}
+	}
+	close(hbStop)
+	conn.Close()
+	rwg.Wait()
+}
+
+// chunkRecords splits records into frame-sized chunks: bounded count
+// and bounded encoded size (dedup responses can be large). An empty
+// input yields one empty chunk — the heartbeat frame.
+func chunkRecords(recs []Record) [][]Record {
+	if len(recs) == 0 {
+		return [][]Record{nil}
+	}
+	const sizeBudget = 512 << 10
+	var chunks [][]Record
+	start, size := 0, 0
+	for i, r := range recs {
+		sz := recOpSize
+		if r.Kind == RecDedup {
+			sz = recDedupMin + len(r.Resp)
+		}
+		if i > start && (size+sz > sizeBudget || i-start >= MaxRecordsPerFrame) {
+			chunks = append(chunks, recs[start:i])
+			start, size = i, 0
+		}
+		size += sz
+	}
+	return append(chunks, recs[start:])
+}
+
+// ---------------------------------------------------------------------
+// Follower side: dial, apply, ack, promote.
+
+// interruptStream closes the follower's current stream connection so a
+// blocked read returns.
+func (n *Node) interruptStream() {
+	if c := n.fconn.Load(); c != nil {
+		(*c).Close()
+	}
+}
+
+// runFollower keeps a stream to the primary until promotion or close,
+// reconnecting with capped backoff.
+func (n *Node) runFollower() {
+	defer n.wg.Done()
+	delay := n.cfg.DialRetry
+	for {
+		select {
+		case <-n.promote:
+			n.finishPromotion()
+			return
+		case <-n.closed:
+			return
+		default:
+		}
+		err := n.streamOnce()
+		select {
+		case <-n.promote:
+			n.finishPromotion()
+			return
+		case <-n.closed:
+			return
+		default:
+		}
+		if err != nil {
+			n.logf("replic: stream ended: %v", err)
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-n.promote:
+			case <-n.closed:
+			}
+			t.Stop()
+			if delay *= 2; delay > time.Second {
+				delay = time.Second
+			}
+		} else {
+			delay = n.cfg.DialRetry
+		}
+	}
+}
+
+// finishPromotion turns the follower into the serving primary at its
+// frontier. Records beyond the frontier were never contiguously
+// received, hence never acknowledged to any client in synchronous
+// mode; discarding them is safe — the clients retry and re-execute.
+func (n *Node) finishPromotion() {
+	n.role.Store(rolePrimary)
+	n.attached.Store(false)
+	n.srv.SetServing(true)
+	n.logf("replic: promoted to primary at stream seq %d, own log seq %d", n.streamPos.Load(), n.log.Seq())
+}
+
+// streamOnce runs one attach-stream-apply session against the primary.
+func (n *Node) streamOnce() error {
+	d := net.Dialer{Timeout: n.cfg.StreamTimeout}
+	conn, err := d.Dial("tcp", n.cfg.PrimaryAddr)
+	if err != nil {
+		return err
+	}
+	n.fconn.Store(&conn)
+	defer func() {
+		n.fconn.Store(nil)
+		conn.Close()
+		n.attached.Store(false)
+	}()
+
+	resume := n.streamPos.Load()
+	conn.SetDeadline(time.Now().Add(n.cfg.StreamTimeout))
+	if err := wire.WriteFrame(conn, wire.TReplHello, 1, AppendReplHello(nil, n.man, resume)); err != nil {
+		return err
+	}
+	f, err := wire.ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	switch f.Type {
+	case wire.TReplOK:
+	case wire.TError:
+		return fmt.Errorf("replic: primary refused stream: %s", errString(f.Payload))
+	default:
+		return fmt.Errorf("replic: attach got frame type %d", f.Type)
+	}
+	tip, err := ParseSeq(f.Payload)
+	if err != nil {
+		return err
+	}
+	conn.SetWriteDeadline(time.Time{})
+	n.tipAtAttach.Store(tip)
+	if resume >= tip {
+		n.caughtUp.Store(true)
+	}
+	n.attached.Store(true)
+	n.logf("replic: attached to %s at seq %d, tip %d", n.cfg.PrimaryAddr, resume, tip)
+
+	// Per-attach reorder state. Stream frames deliver records in log
+	// order, but per-shard LSNs can be sequence-inverted across groups
+	// (concurrent batches append in completion order), so ops wait in
+	// pendingOps until their shard's LSN chain reaches them, dedup
+	// records wait in pendingDedup until the frontier covers their
+	// group, and doneSeqs holds applied sequences above the frontier.
+	appliedLSN := make(map[uint32]uint64, n.eng.Shards())
+	for i := 0; i < n.eng.Shards(); i++ {
+		appliedLSN[uint32(i)] = n.eng.ShardLSN(i)
+	}
+	pendingOps := map[uint32]map[uint64]seqRec{}
+	var pendingDedup []seqRec
+	doneSeqs := map[uint64]bool{}
+	recvSeq := resume
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(n.cfg.StreamTimeout))
+		f, err := wire.ReadFrame(conn)
+		if err != nil {
+			return err
+		}
+		if f.Type != wire.TReplRecords {
+			return fmt.Errorf("replic: stream got frame type %d", f.Type)
+		}
+		first, recs, err := ParseReplRecords(f.Payload)
+		if err != nil {
+			return err
+		}
+		if len(recs) == 0 {
+			continue // heartbeat
+		}
+		if first != recvSeq+1 {
+			return fmt.Errorf("replic: stream gap: got seq %d, want %d", first, recvSeq+1)
+		}
+		for i := range recs {
+			seq := first + uint64(i)
+			rec := recs[i]
+			switch rec.Kind {
+			case RecOp:
+				if rec.LSN == appliedLSN[rec.Shard]+1 {
+					if err := n.applyOne(rec); err != nil {
+						return err
+					}
+					appliedLSN[rec.Shard] = rec.LSN
+					doneSeqs[seq] = true
+					// Drain the LSN chain this unblocked.
+					for {
+						nxt, ok := pendingOps[rec.Shard][appliedLSN[rec.Shard]+1]
+						if !ok {
+							break
+						}
+						if err := n.applyOne(nxt.rec); err != nil {
+							return err
+						}
+						delete(pendingOps[rec.Shard], nxt.rec.LSN)
+						appliedLSN[rec.Shard] = nxt.rec.LSN
+						doneSeqs[nxt.seq] = true
+					}
+				} else if rec.LSN > appliedLSN[rec.Shard] {
+					if pendingOps[rec.Shard] == nil {
+						pendingOps[rec.Shard] = map[uint64]seqRec{}
+					}
+					pendingOps[rec.Shard][rec.LSN] = seqRec{seq: seq, rec: rec}
+				} else {
+					// Replay of an op applied during a previous attach: ops
+					// can land ahead of the acked frontier (LSN-inversion
+					// buffering), and a stream that dies then resumes at the
+					// frontier re-sends them. The log is append-only, so a
+					// sequence always carries the same record — count it
+					// done without re-applying.
+					doneSeqs[seq] = true
+				}
+			case RecDedup:
+				pendingDedup = append(pendingDedup, seqRec{seq: seq, rec: rec})
+			}
+		}
+		recvSeq = first + uint64(len(recs)) - 1
+
+		// Advance the frontier over applied ops and now-covered dedup
+		// records, then acknowledge it.
+		fr := n.streamPos.Load()
+		for {
+			if len(pendingDedup) > 0 && pendingDedup[0].seq == fr+1 {
+				d := pendingDedup[0].rec
+				pendingDedup = pendingDedup[1:]
+				n.srv.InstallDedup(d.Session, d.ReqID, d.Resp)
+				n.log.AppendGroup([]Record{d})
+				fr++
+				continue
+			}
+			if doneSeqs[fr+1] {
+				delete(doneSeqs, fr+1)
+				fr++
+				continue
+			}
+			break
+		}
+		if fr != n.streamPos.Load() {
+			n.streamPos.Store(fr)
+			conn.SetWriteDeadline(time.Now().Add(n.cfg.StreamTimeout))
+			if err := wire.WriteFrame(conn, wire.TReplAck, 0, AppendSeq(nil, fr)); err != nil {
+				return err
+			}
+		}
+		if fr >= n.tipAtAttach.Load() {
+			n.caughtUp.Store(true)
+		}
+	}
+}
+
+// applyOne applies one op record to the follower's engine and checks
+// the result against the primary's: same LSN, and for pops the same
+// element. Any mismatch is divergence — fatal for the stream.
+func (n *Node) applyOne(rec Record) error {
+	var ops [1]engine.Op
+	if rec.Op == OpPush {
+		ops[0] = engine.PushOp(core.Element{Value: rec.Value, Meta: rec.Meta})
+	} else {
+		ops[0] = engine.PopOp()
+	}
+	var res [1]engine.Result
+	if err := n.eng.ApplyReplica(int(rec.Shard), ops[:], res[:]); err != nil {
+		return err
+	}
+	r := res[0]
+	if r.Err != nil {
+		return fmt.Errorf("replic: apply shard %d lsn %d: %w", rec.Shard, rec.LSN, r.Err)
+	}
+	if r.LSN != rec.LSN {
+		return fmt.Errorf("replic: shard %d applied lsn %d, primary says %d", rec.Shard, r.LSN, rec.LSN)
+	}
+	if rec.Op == OpPop && (r.Elem.Value != rec.Value || r.Elem.Meta != rec.Meta) {
+		return fmt.Errorf("replic: divergence: shard %d lsn %d popped (%d,%d), primary popped (%d,%d)",
+			rec.Shard, rec.LSN, r.Elem.Value, r.Elem.Meta, rec.Value, rec.Meta)
+	}
+	// Rebuild our own log in apply order so this node can feed fresh
+	// followers after promotion.
+	n.log.AppendGroup([]Record{rec})
+	return nil
+}
+
+// errString decodes a TError payload's message.
+func errString(p []byte) string {
+	if len(p) <= 1 {
+		return "unknown error"
+	}
+	return string(p[1:])
+}

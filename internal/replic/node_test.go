@@ -1,0 +1,361 @@
+package replic
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/wire"
+)
+
+// tnode is one engine+server+replication-node trio on a loopback port.
+type tnode struct {
+	eng  *engine.Engine
+	srv  *wire.Server
+	node *Node
+	addr string
+	stop func(grace time.Duration)
+}
+
+func startNode(t *testing.T, ecfg engine.Config, cfg Config) *tnode {
+	t.Helper()
+	eng, err := engine.New(ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := wire.NewServer(eng)
+	cfg.Engine = ecfg
+	if cfg.DialRetry == 0 {
+		cfg.DialRetry = 5 * time.Millisecond
+	}
+	node := Attach(eng, srv, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		srv.Serve(ln)
+		close(done)
+	}()
+	stopped := false
+	return &tnode{
+		eng: eng, srv: srv, node: node, addr: ln.Addr().String(),
+		stop: func(grace time.Duration) {
+			if stopped {
+				return
+			}
+			stopped = true
+			ctx, cancel := context.WithTimeout(context.Background(), grace)
+			defer cancel()
+			srv.Shutdown(ctx)
+			<-done
+			node.Close()
+			eng.Close()
+		},
+	}
+}
+
+// waitUntil polls cond for up to 5s.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+var testGeom = engine.Config{Shards: 2, Order: 2, Levels: 10, Routing: engine.RouteRank}
+
+// TestReplicationCatchUpAndPromote replays a primary's history —
+// pushes and pops — onto a follower, promotes it, and drains it: the
+// follower must hold exactly the primary's surviving elements.
+func TestReplicationCatchUpAndPromote(t *testing.T) {
+	prim := startNode(t, testGeom, Config{Sync: true, SyncTimeout: 5 * time.Second})
+	defer prim.stop(2 * time.Second)
+	fol := startNode(t, testGeom, Config{PrimaryAddr: prim.addr})
+	defer fol.stop(2 * time.Second)
+
+	if prim.node.Role() != "primary" || fol.node.Role() != "follower" {
+		t.Fatalf("roles: %s / %s", prim.node.Role(), fol.node.Role())
+	}
+
+	c, err := wire.NewResilientClient(wire.ResilientOptions{Addrs: []string{prim.addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 200
+	want := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		v := uint64(i*7 + 1)
+		res, err := c.Do([]wire.Op{{Kind: wire.OpPush, Value: v, Meta: v}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0].Status != wire.StatusOK {
+			t.Fatalf("push %d: %v", i, res[0].Status)
+		}
+		want = append(want, v)
+	}
+	// Pop a prefix on the primary; the follower must pop the same.
+	for i := 0; i < 50; i++ {
+		res, err := c.Do([]wire.Op{{Kind: wire.OpPop}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0].Status != wire.StatusOK || res[0].Value != want[0] {
+			t.Fatalf("pop %d: %+v, want value %d", i, res[0], want[0])
+		}
+		want = want[1:]
+	}
+
+	waitUntil(t, "follower ack at tip", func() bool {
+		return prim.node.AckSeq() == prim.node.LogSeq() && fol.node.Ready()
+	})
+	if prim.node.Status().Degraded {
+		t.Fatal("sync primary degraded with a live follower")
+	}
+	if got := fol.eng.Len(); got != len(want) {
+		t.Fatalf("follower holds %d elements, want %d", got, len(want))
+	}
+	for i := 0; i < testGeom.Shards; i++ {
+		if p, f := prim.eng.ShardLSN(i), fol.eng.ShardLSN(i); p != f {
+			t.Fatalf("shard %d LSN: primary %d, follower %d", i, p, f)
+		}
+	}
+
+	// The standby refuses queue traffic until promoted.
+	fc, err := wire.Dial(fol.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	if _, err := fc.Do([]wire.Op{{Kind: wire.OpPop}}); err == nil {
+		t.Fatal("follower served before promotion")
+	} else {
+		var se *wire.ServerError
+		if !errors.As(err, &se) || se.Code != wire.StatusNotPrimary {
+			t.Fatalf("pre-promotion error: %v", err)
+		}
+	}
+
+	fol.node.Promote()
+	if fol.node.Role() != "primary" || !fol.node.Ready() {
+		t.Fatalf("post-promotion: role %s ready %v", fol.node.Role(), fol.node.Ready())
+	}
+	fc2, err := wire.Dial(fol.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc2.Close()
+	got := make([]uint64, 0, len(want))
+	for {
+		res, err := fc2.Do([]wire.Op{{Kind: wire.OpPop}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0].Status == wire.StatusEmpty {
+			break
+		}
+		got = append(got, res[0].Value)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("promoted follower drained %d elements, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("drain[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRetryDedup re-sends an already-executed request id on a fresh
+// connection with the same session: the server must replay the cached
+// response without re-applying the ops.
+func TestRetryDedup(t *testing.T) {
+	prim := startNode(t, testGeom, Config{})
+	defer prim.stop(2 * time.Second)
+
+	const session = 0xBEEF
+	ops := []wire.Op{
+		{Kind: wire.OpPush, Value: 10, Meta: 1},
+		{Kind: wire.OpPush, Value: 20, Meta: 2},
+		{Kind: wire.OpPop},
+	}
+	c1, err := wire.DialOptions(prim.addr, wire.ClientOptions{Session: session})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := c1.DoID(7, ops, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	lenAfter := prim.eng.Len()
+
+	c2, err := wire.DialOptions(prim.addr, wire.ClientOptions{Session: session})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	res2, err := c2.DoID(7, ops, 0)
+	if err != nil {
+		t.Fatalf("retried request: %v", err)
+	}
+	if len(res1) != len(res2) {
+		t.Fatalf("replay length %d, want %d", len(res2), len(res1))
+	}
+	for i := range res1 {
+		if res1[i] != res2[i] {
+			t.Fatalf("replay[%d] = %+v, want %+v", i, res2[i], res1[i])
+		}
+	}
+	if got := prim.eng.Len(); got != lenAfter {
+		t.Fatalf("retry re-applied: engine len %d, want %d", got, lenAfter)
+	}
+	// A different id from the same session still executes.
+	if _, err := c2.DoID(8, []wire.Op{{Kind: wire.OpPush, Value: 30, Meta: 3}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := prim.eng.Len(); got != lenAfter+1 {
+		t.Fatalf("fresh id did not apply: engine len %d, want %d", got, lenAfter+1)
+	}
+}
+
+// TestManifestMismatchRefused sends a TReplHello with the wrong
+// geometry and expects a TError, not a stream.
+func TestManifestMismatchRefused(t *testing.T) {
+	prim := startNode(t, testGeom, Config{})
+	defer prim.stop(2 * time.Second)
+
+	conn, err := net.Dial("tcp", prim.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bad := ManifestOf(engine.Config{Shards: 7, Order: 2, Levels: 6})
+	if err := wire.WriteFrame(conn, wire.TReplHello, 1, AppendReplHello(nil, bad, 0)); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != wire.TError {
+		t.Fatalf("mismatched manifest got frame type %d, want TError", f.Type)
+	}
+}
+
+// TestFailoverNoAckedOpLoss runs a client against a primary/standby
+// pair, kills the primary mid-traffic, promotes the standby, and
+// checks every acknowledged push survives exactly once.
+func TestFailoverNoAckedOpLoss(t *testing.T) {
+	prim := startNode(t, testGeom, Config{Sync: true, SyncTimeout: 5 * time.Second})
+	fol := startNode(t, testGeom, Config{PrimaryAddr: prim.addr})
+	defer fol.stop(2 * time.Second)
+	defer prim.stop(50 * time.Millisecond)
+
+	waitUntil(t, "follower attach", func() bool { return fol.node.Ready() })
+
+	rc, err := wire.NewResilientClient(wire.ResilientOptions{
+		Addrs:          []string{prim.addr, fol.addr},
+		RequestTimeout: time.Second,
+		BaseDelay:      time.Millisecond,
+		MaxDelay:       20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	acked := make(map[uint64]bool)
+	push := func(v uint64) {
+		res, err := rc.Do([]wire.Op{{Kind: wire.OpPush, Value: v, Meta: v}})
+		if err != nil {
+			t.Fatalf("push %d: %v", v, err)
+		}
+		if res[0].Status != wire.StatusOK {
+			t.Fatalf("push %d: status %v", v, res[0].Status)
+		}
+		acked[v] = true
+	}
+
+	v := uint64(1)
+	for ; v <= 100; v++ {
+		push(v)
+	}
+	// Kill the primary abruptly (50ms grace force-closes its
+	// connections), promote the standby, keep pushing through the
+	// client's retry/failover path.
+	prim.stop(50 * time.Millisecond)
+	done := make(chan struct{})
+	go func() { fol.node.Promote(); close(done) }()
+	for ; v <= 200; v++ {
+		push(v)
+	}
+	<-done
+
+	got := make(map[uint64]int)
+	for {
+		res, err := rc.Do([]wire.Op{{Kind: wire.OpPop}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0].Status == wire.StatusEmpty {
+			break
+		}
+		got[res[0].Value]++
+	}
+	for val := range acked {
+		if got[val] != 1 {
+			t.Fatalf("acked push %d present %d times after failover", val, got[val])
+		}
+	}
+	for val, n := range got {
+		if n != 1 {
+			t.Fatalf("value %d applied %d times", val, n)
+		}
+		if !acked[val] {
+			t.Fatalf("unacked value %d survived failover", val)
+		}
+	}
+	s := rc.Stats()
+	if s.Retries == 0 {
+		t.Error("failover run recorded no retries")
+	}
+	if s.DedupMisses != 0 {
+		t.Errorf("%d dedup misses — indeterminate op outcomes", s.DedupMisses)
+	}
+}
+
+// TestPromoteMidStreamUnblocksFollower promotes a follower while its
+// stream is idle-blocked reading from a live primary: Promote must
+// interrupt the read and open the serving gate promptly.
+func TestPromoteMidStreamUnblocksFollower(t *testing.T) {
+	prim := startNode(t, testGeom, Config{})
+	defer prim.stop(2 * time.Second)
+	fol := startNode(t, testGeom, Config{PrimaryAddr: prim.addr})
+	defer fol.stop(2 * time.Second)
+
+	waitUntil(t, "follower attach", func() bool { return fol.node.Ready() })
+	start := time.Now()
+	fol.node.Promote()
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("promotion took %v", d)
+	}
+	if !fol.srv.Serving() {
+		t.Fatal("promoted follower not serving")
+	}
+}

@@ -1,0 +1,239 @@
+// Package replic is WAL-shipping hot-standby replication for the
+// sharded engine: the primary taps every executed batch into an
+// in-memory, sequence-numbered log of per-shard operation records plus
+// retry-dedup records, streams it to followers over the wire protocol's
+// replication frames, and a follower applies the stream to its own
+// engine — per shard, in LSN order — until promoted.
+//
+// The unit of shipping is the atomic batch group: one executed request
+// becomes its successful ops' records followed by (for dedup-enrolled
+// sessions) one dedup record carrying the encoded response, appended to
+// the log as a unit. A follower acknowledges only the contiguous,
+// fully-applied prefix of the stream, and installs a dedup record only
+// once that prefix covers it — so a client ack gated on the follower's
+// ack (synchronous mode) implies the follower can reproduce both the
+// state and the response, and a primary kill loses no acknowledged op.
+package replic
+
+import (
+	"fmt"
+
+	"encoding/binary"
+
+	"repro/internal/engine"
+	"repro/internal/wire"
+)
+
+// RecKind discriminates log records.
+type RecKind uint8
+
+// Record kinds.
+const (
+	// RecOp is one applied queue mutation on one shard.
+	RecOp RecKind = 1
+	// RecDedup is one dedup-cache entry: a session's request id and its
+	// encoded TBatchOK response, appended after its group's op records.
+	RecDedup RecKind = 2
+)
+
+// Op codes inside a RecOp record.
+const (
+	OpPush uint8 = 1
+	OpPop  uint8 = 2
+)
+
+// Record is one replication log entry. For RecOp, Shard/LSN place the
+// mutation, Op selects push or pop, and Value/Meta carry the pushed
+// element — or, for a pop, the element the primary popped, which the
+// follower checks its own pop against. For RecDedup, Session/ReqID/Resp
+// carry the cached response.
+type Record struct {
+	Kind RecKind
+
+	Shard uint32
+	LSN   uint64
+	Op    uint8
+	Value uint64
+	Meta  uint64
+
+	Session uint64
+	ReqID   uint64
+	Resp    []byte
+}
+
+// Manifest is the engine geometry a follower must match before a
+// stream is granted: replaying a history against a different shard
+// count, queue kind, or capacity diverges silently, so mismatches are
+// refused at the handshake.
+type Manifest struct {
+	Shards   uint32
+	Kind     uint8
+	Routing  uint8
+	Order    uint32
+	Levels   uint32
+	Cap      uint64
+	RankBits uint32
+}
+
+// ManifestOf derives the manifest from an engine config (after its
+// defaults are applied).
+func ManifestOf(cfg engine.Config) Manifest {
+	cfg = cfg.Normalized()
+	return Manifest{
+		Shards:   uint32(cfg.Shards),
+		Kind:     uint8(cfg.Kind),
+		Routing:  uint8(cfg.Routing),
+		Order:    uint32(cfg.Order),
+		Levels:   uint32(cfg.Levels),
+		Cap:      uint64(cfg.Cap),
+		RankBits: uint32(cfg.RankBits),
+	}
+}
+
+// Payload sizes.
+const (
+	helloSize   = 4 + 1 + 1 + 4 + 4 + 8 + 4 + 8 // manifest + resume seq
+	recOpSize   = 1 + 4 + 8 + 1 + 8 + 8
+	recDedupMin = 1 + 8 + 8 + 4
+	// MaxRecordsPerFrame bounds one TReplRecords frame; together with
+	// the response-size bound it keeps frames under wire.MaxPayload.
+	MaxRecordsPerFrame = 512
+)
+
+// AppendReplHello encodes a TReplHello payload: the follower's
+// manifest plus the stream sequence after which it wants records.
+func AppendReplHello(dst []byte, m Manifest, resume uint64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, m.Shards)
+	dst = append(dst, m.Kind, m.Routing)
+	dst = binary.LittleEndian.AppendUint32(dst, m.Order)
+	dst = binary.LittleEndian.AppendUint32(dst, m.Levels)
+	dst = binary.LittleEndian.AppendUint64(dst, m.Cap)
+	dst = binary.LittleEndian.AppendUint32(dst, m.RankBits)
+	return binary.LittleEndian.AppendUint64(dst, resume)
+}
+
+// ParseReplHello decodes a TReplHello payload.
+func ParseReplHello(p []byte) (Manifest, uint64, error) {
+	if len(p) != helloSize {
+		return Manifest{}, 0, fmt.Errorf("%w: repl hello payload %d bytes", wire.ErrBadFrame, len(p))
+	}
+	m := Manifest{
+		Shards:   binary.LittleEndian.Uint32(p[0:4]),
+		Kind:     p[4],
+		Routing:  p[5],
+		Order:    binary.LittleEndian.Uint32(p[6:10]),
+		Levels:   binary.LittleEndian.Uint32(p[10:14]),
+		Cap:      binary.LittleEndian.Uint64(p[14:22]),
+		RankBits: binary.LittleEndian.Uint32(p[22:26]),
+	}
+	return m, binary.LittleEndian.Uint64(p[26:34]), nil
+}
+
+// AppendSeq encodes the u64 payload shared by TReplOK and TReplAck.
+func AppendSeq(dst []byte, seq uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, seq)
+}
+
+// ParseSeq decodes a TReplOK/TReplAck payload.
+func ParseSeq(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("%w: seq payload %d bytes", wire.ErrBadFrame, len(p))
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}
+
+// AppendReplRecords encodes a TReplRecords payload: the stream
+// sequence of the first record, then the records. It panics on more
+// than MaxRecordsPerFrame records or an oversized dedup response —
+// caller bugs, not input conditions.
+func AppendReplRecords(dst []byte, first uint64, recs []Record) []byte {
+	if len(recs) > MaxRecordsPerFrame {
+		panic(fmt.Sprintf("replic: %d records exceed MaxRecordsPerFrame %d", len(recs), MaxRecordsPerFrame))
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, first)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(recs)))
+	for _, r := range recs {
+		switch r.Kind {
+		case RecOp:
+			dst = append(dst, byte(RecOp))
+			dst = binary.LittleEndian.AppendUint32(dst, r.Shard)
+			dst = binary.LittleEndian.AppendUint64(dst, r.LSN)
+			dst = append(dst, r.Op)
+			dst = binary.LittleEndian.AppendUint64(dst, r.Value)
+			dst = binary.LittleEndian.AppendUint64(dst, r.Meta)
+		case RecDedup:
+			if len(r.Resp) > wire.MaxPayload {
+				panic(fmt.Sprintf("replic: dedup response %d bytes", len(r.Resp)))
+			}
+			dst = append(dst, byte(RecDedup))
+			dst = binary.LittleEndian.AppendUint64(dst, r.Session)
+			dst = binary.LittleEndian.AppendUint64(dst, r.ReqID)
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Resp)))
+			dst = append(dst, r.Resp...)
+		default:
+			panic(fmt.Sprintf("replic: record kind %d", r.Kind))
+		}
+	}
+	return dst
+}
+
+// ParseReplRecords decodes a TReplRecords payload. Arbitrary input
+// never panics; malformed payloads return wire.ErrBadFrame-wrapped
+// errors.
+func ParseReplRecords(p []byte) (first uint64, recs []Record, err error) {
+	if len(p) < 12 {
+		return 0, nil, fmt.Errorf("%w: repl records payload %d bytes", wire.ErrBadFrame, len(p))
+	}
+	first = binary.LittleEndian.Uint64(p[0:8])
+	count := binary.LittleEndian.Uint32(p[8:12])
+	if count > MaxRecordsPerFrame {
+		return 0, nil, fmt.Errorf("%w: repl record count %d", wire.ErrBadFrame, count)
+	}
+	p = p[12:]
+	recs = make([]Record, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(p) < 1 {
+			return 0, nil, fmt.Errorf("%w: repl records truncated at %d", wire.ErrBadFrame, i)
+		}
+		switch RecKind(p[0]) {
+		case RecOp:
+			if len(p) < recOpSize {
+				return 0, nil, fmt.Errorf("%w: op record truncated at %d", wire.ErrBadFrame, i)
+			}
+			r := Record{
+				Kind:  RecOp,
+				Shard: binary.LittleEndian.Uint32(p[1:5]),
+				LSN:   binary.LittleEndian.Uint64(p[5:13]),
+				Op:    p[13],
+				Value: binary.LittleEndian.Uint64(p[14:22]),
+				Meta:  binary.LittleEndian.Uint64(p[22:30]),
+			}
+			if r.Op != OpPush && r.Op != OpPop {
+				return 0, nil, fmt.Errorf("%w: op code %d at %d", wire.ErrBadFrame, r.Op, i)
+			}
+			recs = append(recs, r)
+			p = p[recOpSize:]
+		case RecDedup:
+			if len(p) < recDedupMin {
+				return 0, nil, fmt.Errorf("%w: dedup record truncated at %d", wire.ErrBadFrame, i)
+			}
+			n := binary.LittleEndian.Uint32(p[17:21])
+			if n > wire.MaxPayload || len(p) < recDedupMin+int(n) {
+				return 0, nil, fmt.Errorf("%w: dedup response %d bytes at %d", wire.ErrBadFrame, n, i)
+			}
+			recs = append(recs, Record{
+				Kind:    RecDedup,
+				Session: binary.LittleEndian.Uint64(p[1:9]),
+				ReqID:   binary.LittleEndian.Uint64(p[9:17]),
+				Resp:    append([]byte(nil), p[recDedupMin:recDedupMin+int(n)]...),
+			})
+			p = p[recDedupMin+int(n):]
+		default:
+			return 0, nil, fmt.Errorf("%w: record kind %d at %d", wire.ErrBadFrame, p[0], i)
+		}
+	}
+	if len(p) != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes after records", wire.ErrBadFrame, len(p))
+	}
+	return first, recs, nil
+}

@@ -1,0 +1,174 @@
+package replic
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/wire"
+)
+
+func TestReplHelloRoundTrip(t *testing.T) {
+	m := Manifest{Shards: 4, Kind: 2, Routing: 1, Order: 4, Levels: 6, Cap: 1 << 12, RankBits: 30}
+	p := AppendReplHello(nil, m, 77)
+	got, resume, err := ParseReplHello(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m || resume != 77 {
+		t.Fatalf("round trip: got %+v resume %d", got, resume)
+	}
+	if _, _, err := ParseReplHello(p[:len(p)-1]); !errors.Is(err, wire.ErrBadFrame) {
+		t.Fatalf("short hello: %v", err)
+	}
+}
+
+func TestManifestOfNormalizes(t *testing.T) {
+	// Two configs differing only in unset-vs-explicit defaults must
+	// yield the same manifest, or a follower started with default flags
+	// could never attach to a primary started the same way.
+	a := ManifestOf(engine.Config{Shards: 4})
+	b := ManifestOf(engine.Config{Shards: 4}.Normalized())
+	if a != b {
+		t.Fatalf("manifest differs across normalization: %+v vs %+v", a, b)
+	}
+	if a == ManifestOf(engine.Config{Shards: 8}) {
+		t.Fatal("different shard counts produced equal manifests")
+	}
+}
+
+func TestReplRecordsRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Kind: RecOp, Shard: 3, LSN: 9, Op: OpPush, Value: 42, Meta: 7},
+		{Kind: RecOp, Shard: 0, LSN: 1, Op: OpPop, Value: 5, Meta: 1},
+		{Kind: RecDedup, Session: 0xFEED, ReqID: 12, Resp: []byte{1, 2, 3}},
+		{Kind: RecDedup, Session: 1, ReqID: 13}, // empty response
+	}
+	p := AppendReplRecords(nil, 100, recs)
+	first, got, err := ParseReplRecords(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 100 {
+		t.Fatalf("first = %d", first)
+	}
+	// An empty Resp decodes as empty-but-allocated; normalize.
+	for i := range got {
+		if len(got[i].Resp) == 0 {
+			got[i].Resp = nil
+		}
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("records round trip:\n got %+v\nwant %+v", got, recs)
+	}
+
+	// Heartbeat: zero records.
+	first, got, err = ParseReplRecords(AppendReplRecords(nil, 5, nil))
+	if err != nil || first != 5 || len(got) != 0 {
+		t.Fatalf("heartbeat: first=%d recs=%v err=%v", first, got, err)
+	}
+}
+
+func TestReplRecordsRejectsMalformed(t *testing.T) {
+	good := AppendReplRecords(nil, 1, []Record{
+		{Kind: RecOp, Shard: 1, LSN: 1, Op: OpPush, Value: 2, Meta: 3},
+		{Kind: RecDedup, Session: 9, ReqID: 9, Resp: []byte("ok")},
+	})
+	cases := map[string][]byte{
+		"empty":      {},
+		"short":      good[:11],
+		"truncated":  good[:len(good)-1],
+		"trailing":   append(append([]byte(nil), good...), 0),
+		"bad-kind":   func() []byte { b := append([]byte(nil), good...); b[12] = 99; return b }(),
+		"bad-opcode": func() []byte { b := append([]byte(nil), good...); b[25] = 99; return b }(),
+	}
+	for name, p := range cases {
+		if _, _, err := ParseReplRecords(p); !errors.Is(err, wire.ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", name, err)
+		}
+	}
+}
+
+func TestLogGroupsAndReadFrom(t *testing.T) {
+	l := NewLog()
+	if l.Seq() != 0 {
+		t.Fatalf("fresh log seq = %d", l.Seq())
+	}
+	tip := l.AppendGroup([]Record{
+		{Kind: RecOp, Shard: 0, LSN: 1, Op: OpPush},
+		{Kind: RecDedup, Session: 1, ReqID: 1},
+	})
+	if tip != 2 || l.Seq() != 2 {
+		t.Fatalf("tip = %d seq = %d", tip, l.Seq())
+	}
+	recs := l.ReadFrom(0, 10)
+	if len(recs) != 2 || recs[1].Kind != RecDedup {
+		t.Fatalf("ReadFrom(0) = %+v", recs)
+	}
+	if recs := l.ReadFrom(1, 1); len(recs) != 1 || recs[0].Kind != RecDedup {
+		t.Fatalf("ReadFrom(1,1) = %+v", recs)
+	}
+
+	// A reader blocked at the tip is released by an append…
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if recs := l.ReadFrom(2, 10); len(recs) != 1 {
+			t.Errorf("blocked ReadFrom woke with %+v", recs)
+		}
+	}()
+	l.AppendGroup([]Record{{Kind: RecOp, Shard: 0, LSN: 2, Op: OpPop}})
+	wg.Wait()
+
+	// …and by Wake, returning empty. Wake is broadcast-only (no memory),
+	// so keep waking until the reader has observed one.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if recs := l.ReadFrom(3, 10); len(recs) != 0 {
+			t.Errorf("woken ReadFrom returned %+v", recs)
+		}
+	}()
+	for {
+		l.Wake()
+		select {
+		case <-done:
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestChunkRecords(t *testing.T) {
+	if got := chunkRecords(nil); len(got) != 1 || got[0] != nil {
+		t.Fatalf("empty input: %+v", got)
+	}
+	recs := make([]Record, MaxRecordsPerFrame+3)
+	for i := range recs {
+		recs[i] = Record{Kind: RecOp, Op: OpPush, LSN: uint64(i + 1)}
+	}
+	chunks := chunkRecords(recs)
+	if len(chunks) != 2 || len(chunks[0]) != MaxRecordsPerFrame || len(chunks[1]) != 3 {
+		t.Fatalf("count split: %d chunks, sizes %d/%d", len(chunks), len(chunks[0]), len(chunks[len(chunks)-1]))
+	}
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	if total != len(recs) {
+		t.Fatalf("chunks cover %d of %d records", total, len(recs))
+	}
+
+	// Size budget: a few large dedup responses split early.
+	big := []Record{
+		{Kind: RecDedup, Resp: make([]byte, 400<<10)},
+		{Kind: RecDedup, Resp: make([]byte, 400<<10)},
+	}
+	if chunks := chunkRecords(big); len(chunks) != 2 {
+		t.Fatalf("size split: %d chunks", len(chunks))
+	}
+}

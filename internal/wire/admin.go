@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"time"
+)
+
+// AdminCmd is the command byte of a TAdmin frame.
+type AdminCmd uint8
+
+// Admin commands.
+const (
+	// AdminStatus asks for the node's replication/serving state.
+	AdminStatus AdminCmd = 1
+	// AdminPromote promotes a replication follower to primary after it
+	// has applied everything received — the wire-side twin of SIGUSR1
+	// on bmwd. A no-op on a node that is already primary.
+	AdminPromote AdminCmd = 2
+)
+
+// Node roles reported in AdminInfo.
+const (
+	RolePrimary  uint8 = 0
+	RoleFollower uint8 = 1
+)
+
+// AdminInfo is a node's replication and serving state, carried in a
+// TAdminOK payload.
+type AdminInfo struct {
+	// Role is RolePrimary or RoleFollower.
+	Role uint8
+	// Serving reports whether TBatch traffic is accepted (followers
+	// refuse it until promoted).
+	Serving bool
+	// Degraded reports that a synchronous-replication ack wait timed
+	// out at least once, so some acknowledged ops may not have reached
+	// the follower.
+	Degraded bool
+	// LogSeq is the replication log tip (records appended); AckSeq is
+	// the attached follower's contiguous applied position (0 when no
+	// follower is attached). On a follower, LogSeq is its own rebuilt
+	// log tip and AckSeq its applied position in the primary's stream.
+	LogSeq uint64
+	AckSeq uint64
+	// Followers is the number of attached replication followers.
+	Followers uint32
+	// ShardLSNs are the per-shard applied-operation counts.
+	ShardLSNs []uint64
+}
+
+// AppendAdmin appends a TAdmin payload.
+func AppendAdmin(dst []byte, cmd AdminCmd) []byte {
+	return append(dst, byte(cmd))
+}
+
+// ParseAdmin decodes a TAdmin payload.
+func ParseAdmin(p []byte) (AdminCmd, error) {
+	if len(p) != 1 {
+		return 0, fmt.Errorf("%w: admin payload %d bytes", ErrBadFrame, len(p))
+	}
+	cmd := AdminCmd(p[0])
+	if cmd != AdminStatus && cmd != AdminPromote {
+		return 0, fmt.Errorf("%w: admin command %d", ErrBadFrame, p[0])
+	}
+	return cmd, nil
+}
+
+// adminInfoFixed is the fixed prefix of an encoded AdminInfo: role,
+// serving, degraded, follower count, log/ack seqs, shard count.
+const adminInfoFixed = 1 + 1 + 1 + 4 + 8 + 8 + 4
+
+// AppendAdminInfo appends a TAdminOK payload.
+func AppendAdminInfo(dst []byte, info AdminInfo) []byte {
+	dst = append(dst, info.Role, b2u8(info.Serving), b2u8(info.Degraded))
+	dst = binary.LittleEndian.AppendUint32(dst, info.Followers)
+	dst = binary.LittleEndian.AppendUint64(dst, info.LogSeq)
+	dst = binary.LittleEndian.AppendUint64(dst, info.AckSeq)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(info.ShardLSNs)))
+	for _, l := range info.ShardLSNs {
+		dst = binary.LittleEndian.AppendUint64(dst, l)
+	}
+	return dst
+}
+
+// ParseAdminInfo decodes a TAdminOK payload.
+func ParseAdminInfo(p []byte) (AdminInfo, error) {
+	if len(p) < adminInfoFixed {
+		return AdminInfo{}, fmt.Errorf("%w: admin info payload %d bytes", ErrBadFrame, len(p))
+	}
+	if p[0] != RolePrimary && p[0] != RoleFollower {
+		return AdminInfo{}, fmt.Errorf("%w: admin role %d", ErrBadFrame, p[0])
+	}
+	if p[1] > 1 || p[2] > 1 {
+		return AdminInfo{}, fmt.Errorf("%w: admin bool out of range", ErrBadFrame)
+	}
+	info := AdminInfo{
+		Role:      p[0],
+		Serving:   p[1] == 1,
+		Degraded:  p[2] == 1,
+		Followers: binary.LittleEndian.Uint32(p[3:7]),
+		LogSeq:    binary.LittleEndian.Uint64(p[7:15]),
+		AckSeq:    binary.LittleEndian.Uint64(p[15:23]),
+	}
+	n := binary.LittleEndian.Uint32(p[23:27])
+	if len(p) != adminInfoFixed+int(n)*8 {
+		return AdminInfo{}, fmt.Errorf("%w: admin info %d bytes for %d shards", ErrBadFrame, len(p), n)
+	}
+	if n > 0 {
+		info.ShardLSNs = make([]uint64, n)
+		for i := range info.ShardLSNs {
+			info.ShardLSNs[i] = binary.LittleEndian.Uint64(p[adminInfoFixed+i*8:])
+		}
+	}
+	return info, nil
+}
+
+// AdminRequest dials addr, issues one TAdmin command on a fresh
+// connection, and returns the node's answer. Admin traffic is rare
+// enough that a throwaway connection is simpler than threading admin
+// responses through the pipelined client.
+func AdminRequest(addr string, cmd AdminCmd, timeout time.Duration) (AdminInfo, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return AdminInfo{}, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := WriteFrame(conn, TAdmin, 1, AppendAdmin(nil, cmd)); err != nil {
+		return AdminInfo{}, err
+	}
+	f, err := ReadFrame(conn)
+	if err != nil {
+		return AdminInfo{}, err
+	}
+	switch f.Type {
+	case TAdminOK:
+		return ParseAdminInfo(f.Payload)
+	case TError:
+		return AdminInfo{}, parseServerError(f.Payload)
+	default:
+		return AdminInfo{}, fmt.Errorf("wire: admin got frame type %d", f.Type)
+	}
+}
+
+func b2u8(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

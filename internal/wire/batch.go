@@ -43,7 +43,25 @@ const (
 	StatusClosed Status = 4
 	// StatusInvalid: the operation was malformed or unsupported.
 	StatusInvalid Status = 5
+	// StatusOverloaded: the server shed the operation at admission —
+	// sustained queue-depth or drain-latency overload, or the per-
+	// connection in-flight cap. Back off harder than for
+	// StatusBackpressure; the server is protecting itself.
+	StatusOverloaded Status = 6
+	// StatusNotPrimary: this server is a replication follower and does
+	// not accept queue operations; fail over to the primary (or the
+	// promoted standby). Sent in TError frames, never per-op.
+	StatusNotPrimary Status = 7
+	// StatusDedupMiss: a retried request id fell outside the server's
+	// dedup window, so the server cannot tell whether the original
+	// executed. Sent in TError frames; the client must treat the
+	// operation's fate as indeterminate. With a sane window this only
+	// fires on protocol misuse.
+	StatusDedupMiss Status = 8
 )
+
+// maxStatus is the largest defined status, for decode validation.
+const maxStatus = StatusDedupMiss
 
 // String names the status for logs.
 func (s Status) String() string {
@@ -60,6 +78,12 @@ func (s Status) String() string {
 		return "closed"
 	case StatusInvalid:
 		return "invalid"
+	case StatusOverloaded:
+		return "overloaded"
+	case StatusNotPrimary:
+		return "not-primary"
+	case StatusDedupMiss:
+		return "dedup-miss"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }
@@ -166,7 +190,7 @@ func ParseResults(p []byte) ([]Result, error) {
 	for i := range results {
 		e := p[i*resultSize : (i+1)*resultSize]
 		s := Status(e[0])
-		if s > StatusInvalid {
+		if s > maxStatus {
 			return nil, fmt.Errorf("%w: status %d", ErrBadFrame, e[0])
 		}
 		results[i] = Result{
@@ -180,17 +204,22 @@ func ParseResults(p []byte) ([]Result, error) {
 
 // Hello payload helpers.
 
-// AppendHello appends the THello payload (client protocol version).
-func AppendHello(dst []byte) []byte {
-	return binary.LittleEndian.AppendUint32(dst, Version)
+// AppendHello appends the THello payload: the client's protocol
+// version plus its session id. A nonzero session id enrolls the
+// connection in the server's retry-dedup cache, so a request id
+// retried after a reconnect (same session) is answered from cache
+// instead of re-executed. Session 0 opts out.
+func AppendHello(dst []byte, session uint64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, Version)
+	return binary.LittleEndian.AppendUint64(dst, session)
 }
 
 // ParseHello decodes a THello payload.
-func ParseHello(p []byte) (version uint32, err error) {
-	if len(p) != 4 {
-		return 0, fmt.Errorf("%w: hello payload %d bytes", ErrBadFrame, len(p))
+func ParseHello(p []byte) (version uint32, session uint64, err error) {
+	if len(p) != 12 {
+		return 0, 0, fmt.Errorf("%w: hello payload %d bytes", ErrBadFrame, len(p))
 	}
-	return binary.LittleEndian.Uint32(p), nil
+	return binary.LittleEndian.Uint32(p), binary.LittleEndian.Uint64(p[4:]), nil
 }
 
 // HelloInfo is the server's THelloOK body.

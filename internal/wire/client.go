@@ -6,7 +6,62 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// Client errors beyond the frame-level ones.
+var (
+	// ErrRequestTimeout reports that a DoID deadline expired before the
+	// response arrived. The connection is closed (poisoned): the server
+	// may still execute the request, so the op's fate is unknown until a
+	// retry with the same id is answered — from the server's dedup cache
+	// if the original did execute.
+	ErrRequestTimeout = errors.New("wire: request timed out")
+	// ErrConnClosed reports a Do against a client whose connection has
+	// been torn down.
+	ErrConnClosed = errors.New("wire: connection closed")
+)
+
+// ServerError is a TError frame surfaced as a typed error, so callers
+// can branch on the status code (StatusNotPrimary → fail over,
+// StatusDedupMiss → the op's fate is indeterminate). A TError is always
+// connection-fatal: the server closes after sending it.
+type ServerError struct {
+	Code Status
+	Msg  string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("wire: server error %s: %s", e.Code, e.Msg)
+}
+
+// ClientOptions tunes a Client's liveness and retry-dedup behavior. The
+// zero value matches the pre-deadline behavior: no timeouts, no
+// session.
+type ClientOptions struct {
+	// Session, when nonzero, enrolls the connection in the server's
+	// retry-dedup cache: a request id retried under the same session —
+	// typically on a new connection after a failure — is answered from
+	// the cached response instead of re-executed. Ids must be assigned
+	// once per logical request and never reused for different payloads.
+	Session uint64
+	// ReadTimeout bounds how long the client waits for bytes from the
+	// server while requests are in flight. It is a progress deadline,
+	// re-armed on every write and every received frame, so a slow but
+	// live server does not trip it; a dead peer does. Zero disables.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each frame write. Zero disables.
+	WriteTimeout time.Duration
+	// IdleTimeout, when nonzero, closes the connection after this long
+	// with no requests in flight and no server traffic.
+	IdleTimeout time.Duration
+}
+
+// respMsg is one request's terminal outcome inside the client.
+type respMsg struct {
+	results []Result
+	err     error
+}
 
 // Client is a pipelined wire-protocol client: any number of goroutines
 // may call Do concurrently; each call gets a fresh request id, the
@@ -18,12 +73,13 @@ import (
 type Client struct {
 	conn net.Conn
 	info HelloInfo
+	opts ClientOptions
 
 	wmu sync.Mutex // serialises frame writes
 
 	nextID  atomic.Uint64
 	pmu     sync.Mutex
-	pending map[uint64]chan []Result
+	pending map[uint64]chan respMsg
 	readErr error
 	done    chan struct{}
 }
@@ -31,22 +87,41 @@ type Client struct {
 // Dial connects, performs the Hello handshake, and starts the response
 // reader.
 func Dial(addr string) (*Client, error) {
+	return DialOptions(addr, ClientOptions{})
+}
+
+// DialOptions is Dial with explicit options.
+func DialOptions(addr string, opts ClientOptions) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn)
+	return NewClientOptions(conn, opts)
 }
 
 // NewClient performs the handshake over an established connection
 // (net.Pipe in tests, TCP in production) and starts the reader.
 func NewClient(conn net.Conn) (*Client, error) {
+	return NewClientOptions(conn, ClientOptions{})
+}
+
+// NewClientOptions is NewClient with explicit options.
+func NewClientOptions(conn net.Conn, opts ClientOptions) (*Client, error) {
 	c := &Client{
 		conn:    conn,
-		pending: map[uint64]chan []Result{},
+		opts:    opts,
+		pending: map[uint64]chan respMsg{},
 		done:    make(chan struct{}),
 	}
-	if err := WriteFrame(conn, THello, 0, AppendHello(nil)); err != nil {
+	// The handshake runs under the read/write deadlines too: a dead or
+	// wedged server fails the dial instead of hanging it.
+	if opts.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
+	}
+	if opts.ReadTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(opts.ReadTimeout))
+	}
+	if err := WriteFrame(conn, THello, 0, AppendHello(nil, opts.Session)); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -55,7 +130,12 @@ func NewClient(conn net.Conn) (*Client, error) {
 		conn.Close()
 		return nil, err
 	}
-	if f.Type != THelloOK {
+	switch f.Type {
+	case THelloOK:
+	case TError:
+		conn.Close()
+		return nil, parseServerError(f.Payload)
+	default:
 		conn.Close()
 		return nil, fmt.Errorf("wire: handshake got frame type %d", f.Type)
 	}
@@ -63,6 +143,8 @@ func NewClient(conn net.Conn) (*Client, error) {
 		conn.Close()
 		return nil, err
 	}
+	conn.SetWriteDeadline(time.Time{})
+	c.armIdleDeadline()
 	go c.readLoop()
 	return c, nil
 }
@@ -76,14 +158,25 @@ func (c *Client) Close() error { return c.conn.Close() }
 // Do submits one batch of operations and blocks for its results (one
 // per op, in order). Concurrent Do calls pipeline on the connection.
 func (c *Client) Do(ops []Op) ([]Result, error) {
+	return c.DoID(c.nextID.Add(1), ops, 0)
+}
+
+// DoID is Do with a caller-assigned request id and an optional
+// per-request timeout. Explicit ids are the retry handle: a request
+// that failed with an ambiguous outcome (timeout, dead connection) can
+// be reissued on a new connection under the same session and id, and
+// the server's dedup cache guarantees at-most-once execution. Ids must
+// be unique per logical request within a session. On timeout the
+// connection is closed — a late response can no longer be matched
+// safely, so the conn is poisoned rather than left live.
+func (c *Client) DoID(id uint64, ops []Op, timeout time.Duration) ([]Result, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
 	if len(ops) > MaxBatchOps {
 		return nil, fmt.Errorf("wire: batch of %d exceeds MaxBatchOps %d", len(ops), MaxBatchOps)
 	}
-	id := c.nextID.Add(1)
-	ch := make(chan []Result, 1)
+	ch := make(chan respMsg, 1)
 
 	c.pmu.Lock()
 	if c.readErr != nil {
@@ -91,13 +184,26 @@ func (c *Client) Do(ops []Op) ([]Result, error) {
 		c.pmu.Unlock()
 		return nil, err
 	}
+	if _, dup := c.pending[id]; dup {
+		c.pmu.Unlock()
+		return nil, fmt.Errorf("wire: request id %d already in flight", id)
+	}
 	c.pending[id] = ch
 	c.pmu.Unlock()
 
 	payload := AppendOps(make([]byte, 0, 4+len(ops)*opPushSize), ops)
-	buf := AppendFrame(make([]byte, 0, HeaderSize+len(payload)), TBatch, id, payload)
+	buf := AppendFrame(make([]byte, 0, HeaderSize+len(payload)+TrailerSize), TBatch, id, payload)
 	c.wmu.Lock()
+	if c.opts.WriteTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
+	}
 	_, err := c.conn.Write(buf)
+	if err == nil && c.opts.ReadTimeout > 0 {
+		// Arm the progress deadline: a response (any response — the
+		// reader re-arms on each frame) must arrive within ReadTimeout.
+		// SetReadDeadline is safe against a concurrently blocked read.
+		c.conn.SetReadDeadline(time.Now().Add(c.opts.ReadTimeout))
+	}
 	c.wmu.Unlock()
 	if err != nil {
 		c.pmu.Lock()
@@ -106,20 +212,46 @@ func (c *Client) Do(ops []Op) ([]Result, error) {
 		return nil, err
 	}
 
+	var timer *time.Timer
+	var expired <-chan time.Time
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		expired = timer.C
+		defer timer.Stop()
+	}
 	select {
-	case results := <-ch:
-		if len(results) != len(ops) {
-			return results, fmt.Errorf("wire: %d results for %d ops", len(results), len(ops))
+	case m := <-ch:
+		if m.err != nil {
+			return nil, m.err
 		}
-		return results, nil
+		if len(m.results) != len(ops) {
+			return m.results, fmt.Errorf("wire: %d results for %d ops", len(m.results), len(ops))
+		}
+		return m.results, nil
+	case <-expired:
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		c.conn.Close()
+		return nil, ErrRequestTimeout
 	case <-c.done:
 		c.pmu.Lock()
 		err := c.readErr
 		c.pmu.Unlock()
 		if err == nil {
-			err = errors.New("wire: connection closed")
+			err = ErrConnClosed
 		}
 		return nil, err
+	}
+}
+
+// armIdleDeadline sets the read deadline for a connection with nothing
+// in flight.
+func (c *Client) armIdleDeadline() {
+	if c.opts.IdleTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.opts.IdleTimeout))
+	} else {
+		c.conn.SetReadDeadline(time.Time{})
 	}
 }
 
@@ -142,16 +274,41 @@ func (c *Client) readLoop() {
 			c.pmu.Lock()
 			ch := c.pending[f.ID]
 			delete(c.pending, f.ID)
+			inflight := len(c.pending)
 			c.pmu.Unlock()
 			if ch != nil {
-				ch <- results
+				ch <- respMsg{results: results}
+			}
+			// Re-arm the progress deadline: each delivered response is
+			// proof of life, so a pipelined burst answered slowly but
+			// steadily never trips ReadTimeout.
+			if inflight > 0 {
+				if c.opts.ReadTimeout > 0 {
+					c.conn.SetReadDeadline(time.Now().Add(c.opts.ReadTimeout))
+				}
+			} else {
+				c.armIdleDeadline()
 			}
 		case TError:
-			msg := "server error"
-			if len(f.Payload) > 1 {
-				msg = string(f.Payload[1:])
+			serr := parseServerError(f.Payload)
+			c.pmu.Lock()
+			ch := c.pending[f.ID]
+			delete(c.pending, f.ID)
+			c.pmu.Unlock()
+			// TError is connection-fatal by contract; any other pending
+			// requests fail with the same error via done.
+			if ch != nil {
+				ch <- respMsg{err: serr}
+				fatal = serr
+			} else {
+				// No addressee: the server could not attribute the fault
+				// to a request (e.g. a frame that failed its CRC arrives
+				// with an untrustworthy id). That is transport corruption,
+				// not a semantic rejection — surface it as a plain
+				// connection error so retry layers reconnect and retry
+				// instead of giving up.
+				fatal = fmt.Errorf("wire: connection failed: %v", serr)
 			}
-			fatal = fmt.Errorf("wire: server: %s", msg)
 		default:
 			fatal = fmt.Errorf("wire: unexpected frame type %d", f.Type)
 		}
@@ -164,4 +321,12 @@ func (c *Client) readLoop() {
 	c.pmu.Unlock()
 	close(c.done)
 	c.conn.Close()
+}
+
+// parseServerError decodes a TError payload (u8 status + message).
+func parseServerError(p []byte) error {
+	if len(p) == 0 {
+		return &ServerError{Code: StatusInvalid, Msg: "server error"}
+	}
+	return &ServerError{Code: Status(p[0]), Msg: string(p[1:])}
 }

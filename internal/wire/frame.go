@@ -8,20 +8,25 @@
 //
 //	offset size
 //	0      4    magic "BMW1"
-//	4      1    protocol version (1)
+//	4      1    protocol version (2)
 //	5      1    frame type
-//	6      2    flags (must be zero in version 1)
+//	6      2    flags (must be zero in version 2)
 //	8      8    request id (echoed verbatim in the response)
 //	16     4    payload length (0 .. MaxPayload)
 //	20     4    CRC-32C over bytes [0,20)
 //	24     n    payload
+//	24+n   4    CRC-32C over the payload bytes
 //
 // The header CRC makes framing self-validating: a reader that lands
 // mid-stream, or receives a torn prefix, detects it instead of
-// misparsing garbage lengths. The decoder's contract — enforced by
-// FuzzFrameDecode — is that arbitrary input never panics, a torn frame
-// is reported as ErrTruncated (needs more bytes) and never surfaced as
-// data, and structurally invalid bytes are ErrBadFrame.
+// misparsing garbage lengths. The payload CRC (version 2) extends that
+// to the body: a bit flipped anywhere in a frame — header or payload —
+// fails a checksum instead of being delivered as data, which is what
+// lets the chaos harness inject byte corruption and demand detection.
+// The decoder's contract — enforced by FuzzFrameDecode — is that
+// arbitrary input never panics, a torn frame is reported as
+// ErrTruncated (needs more bytes) and never surfaced as data, and
+// structurally invalid bytes are ErrBadFrame.
 //
 // Request ids are assigned by the client and echoed by the server, so
 // many requests can be in flight on one connection (pipelining);
@@ -40,10 +45,14 @@ import (
 const (
 	// Magic starts every frame: "BMW1" in stream order.
 	Magic = uint32('B') | uint32('M')<<8 | uint32('W')<<16 | uint32('1')<<24
-	// Version is the protocol version this package speaks.
-	Version = 1
+	// Version is the protocol version this package speaks. Version 2
+	// appended the payload CRC trailer and the replication/admin frame
+	// types; version-1 peers are refused at the handshake.
+	Version = 2
 	// HeaderSize is the fixed frame-header length in bytes.
 	HeaderSize = 24
+	// TrailerSize is the payload-CRC trailer length in bytes.
+	TrailerSize = 4
 	// MaxPayload bounds a frame's payload so a corrupt or hostile
 	// length field cannot trigger an unbounded allocation.
 	MaxPayload = 1 << 20
@@ -65,10 +74,28 @@ const (
 	// TError reports a connection-fatal protocol error: payload is a
 	// u8 status code followed by a UTF-8 message.
 	TError Type = 5
+	// TReplHello opens a replication stream: a follower's manifest
+	// (engine geometry) plus the stream sequence to resume from. The
+	// payload codec lives in internal/replic.
+	TReplHello Type = 6
+	// TReplOK accepts a replication stream: payload is the primary's
+	// current log tip sequence.
+	TReplOK Type = 7
+	// TReplRecords carries a batch of replication log records
+	// (per-shard WAL ops and dedup entries), LSN-ordered per shard.
+	TReplRecords Type = 8
+	// TReplAck reports the follower's contiguous applied stream
+	// position back to the primary (u64 sequence).
+	TReplAck Type = 9
+	// TAdmin carries an administrative command: payload is a u8 command
+	// (status, promote).
+	TAdmin Type = 10
+	// TAdminOK answers TAdmin: payload is an encoded AdminInfo.
+	TAdminOK Type = 11
 )
 
 // valid reports whether t is a defined frame type.
-func (t Type) valid() bool { return t >= THello && t <= TError }
+func (t Type) valid() bool { return t >= THello && t <= TAdminOK }
 
 // Decoder errors.
 var (
@@ -110,7 +137,8 @@ func AppendFrame(dst []byte, typ Type, id uint64, payload []byte) []byte {
 	binary.LittleEndian.PutUint64(h[8:16], id)
 	binary.LittleEndian.PutUint32(h[16:20], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(h[20:24], crc32.Checksum(h[0:20], castagnoli))
-	return append(dst, payload...)
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
 }
 
 // DecodeFrame decodes the first frame in b. It returns the frame, the
@@ -142,14 +170,18 @@ func DecodeFrame(b []byte) (Frame, int, error) {
 	if n > MaxPayload {
 		return Frame{}, 0, fmt.Errorf("%w: payload length %d", ErrBadFrame, n)
 	}
-	total := HeaderSize + int(n)
+	total := HeaderSize + int(n) + TrailerSize
 	if len(b) < total {
 		return Frame{}, 0, ErrTruncated
+	}
+	payload := b[HeaderSize : HeaderSize+int(n)]
+	if crc := binary.LittleEndian.Uint32(b[total-TrailerSize : total]); crc != crc32.Checksum(payload, castagnoli) {
+		return Frame{}, 0, fmt.Errorf("%w: payload CRC mismatch", ErrBadFrame)
 	}
 	return Frame{
 		Type:    typ,
 		ID:      binary.LittleEndian.Uint64(h[8:16]),
-		Payload: b[HeaderSize:total],
+		Payload: payload,
 	}, total, nil
 }
 
@@ -162,24 +194,22 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		return Frame{}, err
 	}
 	// Validate the header before reading the payload so a corrupt
-	// length cannot force a huge blocking read.
-	f, _, err := DecodeFrame(hdr[:])
-	if err == nil {
-		return f, nil // zero-payload frame
-	}
-	if !errors.Is(err, ErrTruncated) {
+	// length cannot force a huge blocking read. A bare header always
+	// decodes ErrTruncated (the trailer is still missing); anything
+	// else is a structural error.
+	if _, _, err := DecodeFrame(hdr[:]); !errors.Is(err, ErrTruncated) {
 		return Frame{}, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[16:20])
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	rest := make([]byte, int(n)+TrailerSize)
+	if _, err := io.ReadFull(r, rest); err != nil {
 		if errors.Is(err, io.EOF) {
 			err = io.ErrUnexpectedEOF
 		}
 		return Frame{}, err
 	}
-	buf := append(hdr[:], payload...)
-	f, _, err = DecodeFrame(buf)
+	buf := append(hdr[:], rest...)
+	f, _, err := DecodeFrame(buf)
 	return f, err
 }
 

@@ -15,25 +15,36 @@ import (
 // the consumed bytes, and its payload codecs must not panic either.
 func FuzzFrameDecode(f *testing.F) {
 	f.Add([]byte{})
-	f.Add(AppendFrame(nil, THello, 1, AppendHello(nil)))
+	f.Add(AppendFrame(nil, THello, 1, AppendHello(nil, 0xFEED)))
 	f.Add(AppendFrame(nil, TBatch, 2, AppendOps(nil, []Op{
 		{Kind: OpPush, Value: 7, Meta: 9}, {Kind: OpPop},
 	})))
 	f.Add(AppendFrame(nil, TBatchOK, 3, AppendResults(nil, []Result{{Status: StatusOK, Value: 1, Meta: 2}})))
+	f.Add(AppendFrame(nil, TAdmin, 6, AppendAdmin(nil, AdminPromote)))
+	f.Add(AppendFrame(nil, TAdminOK, 7, AppendAdminInfo(nil, AdminInfo{
+		Role: RoleFollower, Serving: false, LogSeq: 12, AckSeq: 11, ShardLSNs: []uint64{5, 6},
+	})))
+	f.Add(AppendFrame(nil, TReplHello, 8, []byte{1, 2, 3, 4}))
+	f.Add(AppendFrame(nil, TReplOK, 9, make([]byte, 8)))
+	f.Add(AppendFrame(nil, TReplRecords, 10, make([]byte, 20)))
+	f.Add(AppendFrame(nil, TReplAck, 11, make([]byte, 8)))
 	full := AppendFrame(nil, TBatch, 4, AppendOps(nil, []Op{{Kind: OpPop}}))
 	f.Add(full[:len(full)-3]) // torn tail
 	mangled := append([]byte(nil), full...)
-	mangled[21] ^= 0x40 // CRC corruption
+	mangled[21] ^= 0x40 // header CRC corruption
 	f.Add(mangled)
+	flipped := append([]byte(nil), full...)
+	flipped[HeaderSize] ^= 0x01 // payload corruption, caught by the trailer CRC
+	f.Add(flipped)
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		fr, n, err := DecodeFrame(b)
 		switch {
 		case err == nil:
-			if n < HeaderSize || n > len(b) {
+			if n < HeaderSize+TrailerSize || n > len(b) {
 				t.Fatalf("consumed %d of %d", n, len(b))
 			}
-			if len(fr.Payload) != n-HeaderSize {
+			if len(fr.Payload) != n-HeaderSize-TrailerSize {
 				t.Fatalf("payload %d bytes, frame %d", len(fr.Payload), n)
 			}
 			// Re-encoding must reproduce the consumed bytes exactly:
@@ -49,9 +60,13 @@ func FuzzFrameDecode(f *testing.F) {
 			case TBatchOK:
 				_, _ = ParseResults(fr.Payload)
 			case THello:
-				_, _ = ParseHello(fr.Payload)
+				_, _, _ = ParseHello(fr.Payload)
 			case THelloOK:
 				_, _ = ParseHelloOK(fr.Payload)
+			case TAdmin:
+				_, _ = ParseAdmin(fr.Payload)
+			case TAdminOK:
+				_, _ = ParseAdminInfo(fr.Payload)
 			}
 		case errors.Is(err, ErrTruncated):
 			// A truncated verdict promises completability: appending

@@ -7,9 +7,67 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+)
+
+// ServerConfig tunes a Server's liveness, overload, and retry-dedup
+// behavior. The zero value disables all of it (no deadlines, no
+// shedding, dedup with default window for enrolled sessions).
+type ServerConfig struct {
+	// IdleTimeout bounds how long a connection may sit between frames;
+	// a dead peer is reaped instead of holding a reader goroutine
+	// forever. Zero disables. Replication streams are exempt once
+	// handed off.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write. Zero disables.
+	WriteTimeout time.Duration
+	// MaxInflight caps the responses queued (unwritten) per connection;
+	// past it, batches are shed with StatusOverloaded instead of
+	// executed — a slow-reading client cannot pin server memory. Zero
+	// disables.
+	MaxInflight int
+	// DedupWindow is how many responses the server caches per enrolled
+	// session for retry dedup (default 4096). A retried id older than
+	// the window gets StatusDedupMiss.
+	DedupWindow int
+	// DedupTTL is how long an idle session's cache is kept (default
+	// 5m).
+	DedupTTL time.Duration
+}
+
+// withDefaults fills the zero values that have defaults.
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.DedupWindow <= 0 {
+		c.DedupWindow = 4096
+	}
+	if c.DedupTTL <= 0 {
+		c.DedupTTL = 5 * time.Minute
+	}
+	return c
+}
+
+// BatchHook observes every executed batch before its response is sent:
+// the decoded engine ops, their results (carrying Shard/LSN for
+// successful mutations), the dedup identity (session is 0 for
+// unenrolled connections), and the already-encoded TBatchOK payload.
+// It is the replication tap — the node layer turns each call into an
+// atomic log group. The ops/results slices are reused across requests;
+// implementations must copy what they keep. A non-nil returned func is
+// awaited before the response is released to the client (synchronous
+// replication gating).
+type BatchHook func(session, reqID uint64, ops []engine.Op, results []engine.Result, resp []byte) func()
+
+// AdminHandler answers TAdmin frames. ReplHandler takes ownership of a
+// connection that opened a replication stream (TReplHello): the server
+// has stopped its reader and writer for that conn; the handler runs the
+// replication protocol and returns when the stream ends.
+type (
+	AdminHandler func(cmd AdminCmd) (AdminInfo, error)
+	ReplHandler  func(conn net.Conn, hello Frame)
 )
 
 // Server serves an engine over the wire protocol. Each accepted
@@ -20,6 +78,18 @@ import (
 // window, not one per response.
 type Server struct {
 	eng *engine.Engine
+	cfg ServerConfig
+
+	// serving gates TBatch traffic: a replication follower keeps it
+	// false until promoted, answering queue traffic with
+	// StatusNotPrimary so clients fail over.
+	serving atomic.Bool
+
+	onBatch BatchHook
+	onAdmin AdminHandler
+	onRepl  ReplHandler
+
+	dedup dedupTable
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -28,9 +98,49 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// NewServer wraps an engine; call Serve to accept connections.
+// NewServer wraps an engine with a zero config; call Serve to accept
+// connections.
 func NewServer(e *engine.Engine) *Server {
-	return &Server{eng: e, conns: map[net.Conn]struct{}{}}
+	return NewServerConfig(e, ServerConfig{})
+}
+
+// NewServerConfig is NewServer with explicit config.
+func NewServerConfig(e *engine.Engine, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{eng: e, cfg: cfg, conns: map[net.Conn]struct{}{}}
+	s.serving.Store(true)
+	s.dedup.init(cfg.DedupWindow, cfg.DedupTTL)
+	return s
+}
+
+// SetServing flips the TBatch gate: false answers queue traffic with
+// StatusNotPrimary (follower mode), true serves it (primary mode).
+func (s *Server) SetServing(v bool) { s.serving.Store(v) }
+
+// Serving reports the current gate state.
+func (s *Server) Serving() bool { return s.serving.Load() }
+
+// SetBatchHook installs the batch tap. Call before Serve.
+func (s *Server) SetBatchHook(h BatchHook) { s.onBatch = h }
+
+// SetAdminHandler installs the TAdmin responder. Call before Serve.
+func (s *Server) SetAdminHandler(h AdminHandler) { s.onAdmin = h }
+
+// SetReplHandler installs the replication-stream acceptor. Call before
+// Serve.
+func (s *Server) SetReplHandler(h ReplHandler) { s.onRepl = h }
+
+// InstallDedup inserts a cached response into a session's dedup cache —
+// the follower's side of replicated dedup state, so a client retrying
+// against a freshly promoted primary still gets the original answer.
+func (s *Server) InstallDedup(session, reqID uint64, resp []byte) {
+	if session == 0 {
+		return
+	}
+	sess := s.dedup.get(session)
+	sess.mu.Lock()
+	sess.put(reqID, resp, s.cfg.DedupWindow)
+	sess.mu.Unlock()
 }
 
 // Serve accepts connections on ln until Shutdown (which returns
@@ -112,23 +222,37 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 
-	out := make(chan response, 128)
+	outCap := 128
+	if s.cfg.MaxInflight >= outCap {
+		outCap = s.cfg.MaxInflight + 8
+	}
+	out := make(chan response, outCap)
 	var wwg sync.WaitGroup
 	wwg.Add(1)
 	go func() {
 		defer wwg.Done()
-		writeLoop(conn, out)
+		writeLoop(conn, out, s.cfg.WriteTimeout)
 	}()
-	defer func() {
-		close(out)
-		wwg.Wait()
-	}()
+	writerStopped := false
+	stopWriter := func() {
+		if !writerStopped {
+			writerStopped = true
+			close(out)
+			wwg.Wait()
+		}
+	}
+	defer stopWriter()
 
 	var (
 		ops     []engine.Op
 		results []engine.Result
+		session uint64
+		sess    *sessionState
 	)
 	for {
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
 		f, err := ReadFrame(conn)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
@@ -138,10 +262,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		switch f.Type {
 		case THello:
-			v, err := ParseHello(f.Payload)
+			v, sid, err := ParseHello(f.Payload)
 			if err != nil || v != Version {
 				sendErr(out, f.ID, StatusInvalid, fmt.Errorf("unsupported version %d", v))
 				return
+			}
+			session = sid
+			if session != 0 {
+				sess = s.dedup.get(session)
 			}
 			out <- response{THelloOK, f.ID, AppendHelloOK(nil, HelloInfo{
 				Version:  Version,
@@ -149,10 +277,38 @@ func (s *Server) serveConn(conn net.Conn) {
 				Capacity: uint64(s.eng.Cap()),
 			})}
 		case TBatch:
+			if !s.serving.Load() {
+				sendErr(out, f.ID, StatusNotPrimary, errors.New("replication follower: not serving queue traffic"))
+				return
+			}
 			wireOps, err := ParseOps(f.Payload)
 			if err != nil {
 				sendErr(out, f.ID, StatusInvalid, err)
 				return
+			}
+			// Per-connection overload shed: queued-but-unwritten
+			// responses past the cap mean the client is not keeping up
+			// with its own pipeline; refuse cheaply instead of
+			// executing into a backlog. Shed batches are never cached —
+			// a retry may execute.
+			if s.cfg.MaxInflight > 0 && len(out) >= s.cfg.MaxInflight {
+				out <- response{TBatchOK, f.ID, appendShedResults(nil, len(wireOps))}
+				continue
+			}
+			if sess != nil {
+				sess.mu.Lock()
+				if resp, ok := sess.cache[f.ID]; ok {
+					// Retried request: answer verbatim from cache,
+					// execute nothing.
+					sess.mu.Unlock()
+					out <- response{TBatchOK, f.ID, resp}
+					continue
+				}
+				if f.ID <= sess.evictedMax {
+					sess.mu.Unlock()
+					sendErr(out, f.ID, StatusDedupMiss, fmt.Errorf("request id %d outside dedup window", f.ID))
+					return
+				}
 			}
 			ops = ops[:0]
 			for _, op := range wireOps {
@@ -170,12 +326,75 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.eng.SubmitInto(ops, results)
 			payload := make([]byte, 0, 4+len(results)*resultSize)
 			payload = appendEngineResults(payload, results)
+			var wait func()
+			if s.onBatch != nil {
+				wait = s.onBatch(session, f.ID, ops, results, payload)
+			}
+			if sess != nil {
+				sess.put(f.ID, payload, s.cfg.DedupWindow)
+				sess.mu.Unlock()
+			}
+			if wait != nil {
+				wait()
+			}
 			out <- response{TBatchOK, f.ID, payload}
+		case TAdmin:
+			cmd, err := ParseAdmin(f.Payload)
+			if err != nil {
+				sendErr(out, f.ID, StatusInvalid, err)
+				return
+			}
+			info, err := s.adminInfo(cmd)
+			if err != nil {
+				sendErr(out, f.ID, StatusInvalid, err)
+				return
+			}
+			out <- response{TAdminOK, f.ID, AppendAdminInfo(nil, info)}
+		case TReplHello:
+			if s.onRepl == nil {
+				sendErr(out, f.ID, StatusInvalid, errors.New("replication not enabled"))
+				return
+			}
+			// Hand the raw connection to the replication layer: stop
+			// our writer first so frames cannot interleave, clear the
+			// idle deadline (the stream manages its own liveness), and
+			// run the stream to completion in this goroutine so
+			// Shutdown still accounts for it.
+			stopWriter()
+			conn.SetReadDeadline(time.Time{})
+			s.onRepl(conn, f)
+			return
 		default:
 			sendErr(out, f.ID, StatusInvalid, fmt.Errorf("unexpected frame type %d", f.Type))
 			return
 		}
 	}
+}
+
+// adminInfo answers a TAdmin command, via the installed handler or with
+// the bare serving state when standalone.
+func (s *Server) adminInfo(cmd AdminCmd) (AdminInfo, error) {
+	if s.onAdmin != nil {
+		return s.onAdmin(cmd)
+	}
+	if cmd == AdminPromote {
+		return AdminInfo{}, errors.New("not a replication node")
+	}
+	info := AdminInfo{Role: RolePrimary, Serving: s.serving.Load()}
+	for i := 0; i < s.eng.Shards(); i++ {
+		info.ShardLSNs = append(info.ShardLSNs, s.eng.ShardLSN(i))
+	}
+	return info, nil
+}
+
+// appendShedResults encodes a TBatchOK payload of n StatusOverloaded
+// results.
+func appendShedResults(dst []byte, n int) []byte {
+	shed := make([]Result, n)
+	for i := range shed {
+		shed[i] = Result{Status: StatusOverloaded}
+	}
+	return AppendResults(dst, shed)
 }
 
 // appendEngineResults encodes engine results as a TBatchOK payload.
@@ -196,6 +415,8 @@ func statusOf(err error) Status {
 		return StatusEmpty
 	case errors.Is(err, core.ErrFull):
 		return StatusFull
+	case errors.Is(err, engine.ErrOverloaded):
+		return StatusOverloaded
 	case errors.Is(err, engine.ErrBackpressure):
 		return StatusBackpressure
 	case errors.Is(err, engine.ErrClosed):
@@ -217,7 +438,7 @@ func sendErr(out chan<- response, id uint64, code Status, err error) {
 // writeLoop is the per-connection coalescing writer: take one
 // response, then opportunistically drain everything else already
 // queued into the same buffer, write once.
-func writeLoop(conn net.Conn, out <-chan response) {
+func writeLoop(conn net.Conn, out <-chan response, writeTimeout time.Duration) {
 	buf := make([]byte, 0, 64<<10)
 	for r := range out {
 		buf = AppendFrame(buf[:0], r.typ, r.id, r.payload)
@@ -233,6 +454,9 @@ func writeLoop(conn net.Conn, out <-chan response) {
 				break coalesce
 			}
 		}
+		if writeTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+		}
 		if _, err := conn.Write(buf); err != nil {
 			// Reader will notice the dead conn; just stop writing.
 			for range out {
@@ -240,4 +464,71 @@ func writeLoop(conn net.Conn, out <-chan response) {
 			return
 		}
 	}
+}
+
+// sessionState is one session's retry-dedup cache: responses by request
+// id, insertion-ordered for eviction, plus the high-water mark of
+// evicted ids — a retried id at or below it is a dedup miss (the server
+// cannot prove the original did not execute). The mutex also serializes
+// the session's check-execute-store sequence, which is what makes a
+// retry racing its original safe.
+type sessionState struct {
+	mu         sync.Mutex
+	cache      map[uint64][]byte
+	order      []uint64
+	evictedMax uint64
+	lastSeen   atomic.Int64 // unix nanos
+}
+
+// put caches a response, evicting the oldest entries past the window.
+// Callers hold mu.
+func (ss *sessionState) put(id uint64, resp []byte, window int) {
+	if _, ok := ss.cache[id]; ok {
+		return
+	}
+	ss.cache[id] = resp
+	ss.order = append(ss.order, id)
+	for len(ss.cache) > window {
+		old := ss.order[0]
+		ss.order = ss.order[1:]
+		delete(ss.cache, old)
+		if old > ss.evictedMax {
+			ss.evictedMax = old
+		}
+	}
+}
+
+// dedupTable maps sessions to their caches, with TTL-based reaping of
+// idle sessions.
+type dedupTable struct {
+	mu       sync.Mutex
+	sessions map[uint64]*sessionState
+	window   int
+	ttl      time.Duration
+}
+
+func (t *dedupTable) init(window int, ttl time.Duration) {
+	t.sessions = map[uint64]*sessionState{}
+	t.window = window
+	t.ttl = ttl
+}
+
+// get returns (creating if needed) the session's state and refreshes
+// its TTL, sweeping expired sessions on creation.
+func (t *dedupTable) get(session uint64) *sessionState {
+	now := time.Now().UnixNano()
+	t.mu.Lock()
+	ss := t.sessions[session]
+	if ss == nil {
+		for id, other := range t.sessions {
+			if now-other.lastSeen.Load() > int64(t.ttl) {
+				delete(t.sessions, id)
+			}
+		}
+		ss = &sessionState{cache: map[uint64][]byte{}}
+		t.sessions[session] = ss
+	}
+	t.mu.Unlock()
+	ss.lastSeen.Store(now)
+	return ss
 }

@@ -11,7 +11,8 @@ import (
 // and representative payloads.
 func TestFrameRoundTrip(t *testing.T) {
 	payloads := [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xAB}, 1000)}
-	for _, typ := range []Type{THello, THelloOK, TBatch, TBatchOK, TError} {
+	for _, typ := range []Type{THello, THelloOK, TBatch, TBatchOK, TError,
+		TReplHello, TReplOK, TReplRecords, TReplAck, TAdmin, TAdminOK} {
 		for _, p := range payloads {
 			buf := AppendFrame(nil, typ, 42, p)
 			f, n, err := DecodeFrame(buf)
@@ -59,12 +60,14 @@ func TestBadFrames(t *testing.T) {
 		return b
 	}
 	cases := map[string][]byte{
-		"magic":   corrupt(func(b []byte) { b[0] ^= 0xFF }),
-		"version": corrupt(func(b []byte) { b[4] = 99 }),
-		"type":    corrupt(func(b []byte) { b[5] = 200 }),
-		"flags":   corrupt(func(b []byte) { b[6] = 1 }),
-		"crc":     corrupt(func(b []byte) { b[20] ^= 0xFF }),
-		"length":  corrupt(func(b []byte) { b[16] = 0xFF; b[17] = 0xFF; b[18] = 0xFF }),
+		"magic":       corrupt(func(b []byte) { b[0] ^= 0xFF }),
+		"version":     corrupt(func(b []byte) { b[4] = 99 }),
+		"type":        corrupt(func(b []byte) { b[5] = 200 }),
+		"flags":       corrupt(func(b []byte) { b[6] = 1 }),
+		"crc":         corrupt(func(b []byte) { b[20] ^= 0xFF }),
+		"length":      corrupt(func(b []byte) { b[16] = 0xFF; b[17] = 0xFF; b[18] = 0xFF }),
+		"payload":     corrupt(func(b []byte) { b[HeaderSize] ^= 0x01 }),
+		"payload-crc": corrupt(func(b []byte) { b[len(b)-1] ^= 0x01 }),
 	}
 	for name, b := range cases {
 		if _, _, err := DecodeFrame(b); !errors.Is(err, ErrBadFrame) {
@@ -115,13 +118,49 @@ func TestOpsRoundTrip(t *testing.T) {
 
 // TestHelloRoundTrip pins the handshake codecs.
 func TestHelloRoundTrip(t *testing.T) {
-	v, err := ParseHello(AppendHello(nil))
-	if err != nil || v != Version {
-		t.Fatalf("hello: v=%d err=%v", v, err)
+	v, session, err := ParseHello(AppendHello(nil, 0xDEAD))
+	if err != nil || v != Version || session != 0xDEAD {
+		t.Fatalf("hello: v=%d session=%#x err=%v", v, session, err)
 	}
 	info := HelloInfo{Version: Version, Shards: 8, Capacity: 1 << 20}
 	got, err := ParseHelloOK(AppendHelloOK(nil, info))
 	if err != nil || got != info {
 		t.Fatalf("hello-ok: %+v err=%v", got, err)
+	}
+}
+
+// TestAdminRoundTrip pins the admin codecs.
+func TestAdminRoundTrip(t *testing.T) {
+	for _, cmd := range []AdminCmd{AdminStatus, AdminPromote} {
+		got, err := ParseAdmin(AppendAdmin(nil, cmd))
+		if err != nil || got != cmd {
+			t.Fatalf("admin cmd %d: got %d err=%v", cmd, got, err)
+		}
+	}
+	if _, err := ParseAdmin([]byte{9}); err == nil {
+		t.Fatal("unknown admin command accepted")
+	}
+	infos := []AdminInfo{
+		{Role: RolePrimary, Serving: true, Followers: 1, LogSeq: 99, AckSeq: 98, ShardLSNs: []uint64{3, 0, 7, 1}},
+		{Role: RoleFollower, Degraded: true},
+	}
+	for i, info := range infos {
+		got, err := ParseAdminInfo(AppendAdminInfo(nil, info))
+		if err != nil {
+			t.Fatalf("info %d: %v", i, err)
+		}
+		if got.Role != info.Role || got.Serving != info.Serving || got.Degraded != info.Degraded ||
+			got.Followers != info.Followers || got.LogSeq != info.LogSeq || got.AckSeq != info.AckSeq ||
+			len(got.ShardLSNs) != len(info.ShardLSNs) {
+			t.Fatalf("info %d: %+v != %+v", i, got, info)
+		}
+		for j := range info.ShardLSNs {
+			if got.ShardLSNs[j] != info.ShardLSNs[j] {
+				t.Fatalf("info %d shard %d: %d != %d", i, j, got.ShardLSNs[j], info.ShardLSNs[j])
+			}
+		}
+	}
+	if _, err := ParseAdminInfo([]byte{0, 0}); err == nil {
+		t.Fatal("short admin info accepted")
 	}
 }

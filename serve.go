@@ -54,10 +54,13 @@ const (
 
 // Engine errors. ErrBackpressure is the typed non-blocking reject: the
 // target shard's ring or queue is near full and the caller should back
-// off and retry, never block.
+// off and retry, never block. ErrOverloaded is the overload-control
+// shed: the shard tripped its occupancy or drain-latency watermark and
+// is refusing new pushes until it drains below the low watermark.
 var (
 	ErrBackpressure = engine.ErrBackpressure
 	ErrEngineClosed = engine.ErrClosed
+	ErrOverloaded   = engine.ErrOverloaded
 )
 
 // NewEngine starts the shard goroutines and returns the engine;
@@ -93,6 +96,9 @@ const (
 	WireStatusBackpressure = wire.StatusBackpressure
 	WireStatusClosed       = wire.StatusClosed
 	WireStatusInvalid      = wire.StatusInvalid
+	WireStatusOverloaded   = wire.StatusOverloaded
+	WireStatusNotPrimary   = wire.StatusNotPrimary
+	WireStatusDedupMiss    = wire.StatusDedupMiss
 )
 
 // NewWireServer wraps an engine for serving; use Serve/Shutdown.
@@ -100,3 +106,22 @@ func NewWireServer(e *Engine) *WireServer { return wire.NewServer(e) }
 
 // DialWire connects to a bmwd-style server and performs the handshake.
 func DialWire(addr string) (*WireClient, error) { return wire.Dial(addr) }
+
+// ResilientWireClient is the fault-tolerant client: per-request
+// deadlines, reconnect with capped backoff, idempotent retry keyed on
+// stable request ids (deduplicated server-side, so a retried push is
+// never double-applied), and failover across a primary/standby address
+// list. ResilientWireOptions configures it; ResilientWireStats counts
+// retries, timeouts, reconnects, and failovers.
+type (
+	ResilientWireClient  = wire.ResilientClient
+	ResilientWireOptions = wire.ResilientOptions
+	ResilientWireStats   = wire.ResilientStats
+)
+
+// DialWireResilient builds a ResilientWireClient over addrs (primary
+// first, standbys after). The connection is established lazily on the
+// first request.
+func DialWireResilient(addrs ...string) (*ResilientWireClient, error) {
+	return wire.NewResilientClient(wire.ResilientOptions{Addrs: addrs})
+}
