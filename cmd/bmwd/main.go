@@ -76,6 +76,7 @@ func main() {
 		ovHigh    = flag.Float64("overload-high", 0.85, "ring-occupancy fraction that trips shard overload shedding (0 = off)")
 		ovLow     = flag.Float64("overload-low", 0, "occupancy fraction that clears overload (0 = half of -overload-high)")
 		ovLatency = flag.Duration("overload-drain-latency", 20*time.Millisecond, "drain-batch latency that trips shard overload (0 = occupancy only)")
+		ovCooloff = flag.Duration("overload-cooloff", 0, "how long a tripped shard sheds without a drain before the latch expires (0 = default 250ms)")
 	)
 	flag.Parse()
 
@@ -108,6 +109,7 @@ func main() {
 			HighFrac:         *ovHigh,
 			LowFrac:          *ovLow,
 			DrainLatencyHigh: *ovLatency,
+			Cooloff:          *ovCooloff,
 		},
 	}
 	eng, err := engine.New(cfg)

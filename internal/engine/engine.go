@@ -145,7 +145,10 @@ type Config struct {
 // execute; while tripped, pushes routed to it are shed with
 // ErrOverloaded. It clears once occupancy falls back to LowFrac with
 // drain latency below the high mark — hysteresis, so the signal does
-// not flap at the boundary.
+// not flap at the boundary — or once Cooloff passes with no drain at
+// all: shed pushes never reach the ring, so under push-only traffic an
+// emptied ring would otherwise never drain again and the latch would
+// hold forever.
 type Overload struct {
 	// HighFrac is the ring-occupancy fraction (0,1] that trips
 	// overload. Zero disables overload control entirely.
@@ -156,6 +159,10 @@ type Overload struct {
 	// DrainLatencyHigh, when nonzero, also trips overload when one
 	// drained batch takes this long or longer to execute.
 	DrainLatencyHigh time.Duration
+	// Cooloff bounds how long a tripped shard sheds without any drain
+	// re-evaluating the signal; past it the next push is admitted and
+	// the watermarks judge afresh (default 250ms).
+	Cooloff time.Duration
 }
 
 // enabled reports whether overload control is on.
@@ -191,6 +198,9 @@ func (c Config) withDefaults() Config {
 	if c.Overload.HighFrac > 0 && c.Overload.LowFrac <= 0 {
 		c.Overload.LowFrac = c.Overload.HighFrac / 2
 	}
+	if c.Overload.HighFrac > 0 && c.Overload.Cooloff <= 0 {
+		c.Overload.Cooloff = 250 * time.Millisecond
+	}
 	return c
 }
 
@@ -221,6 +231,11 @@ type shard struct {
 	headV      atomic.Uint64
 	almostFull atomic.Bool
 	overloaded atomic.Bool
+	// overUntil is the UnixNano deadline of the overload latch,
+	// refreshed at every drain while tripped. Past it with no drain
+	// having cleared the latch, the push path clears it itself — the
+	// drain loop cannot, because shed pushes never reach the ring.
+	overUntil atomic.Int64
 
 	// Metrics (nil-safe when the engine is uninstrumented).
 	pushes, pops     *obs.Counter
@@ -383,10 +398,17 @@ func (e *Engine) SubmitInto(ops []Op, results []Result) {
 		switch op.Kind {
 		case OpPush:
 			sh = e.routePush(op.Elem)
-			if e.shards[sh].overloaded.Load() {
-				e.shards[sh].shed.Inc()
-				results[i] = Result{Err: ErrOverloaded}
-				continue
+			if s := e.shards[sh]; s.overloaded.Load() {
+				// An expired latch means no drain has re-judged the
+				// signal for a full cooloff — admit this push so the
+				// next drain can.
+				if time.Now().UnixNano() >= s.overUntil.Load() {
+					s.overloaded.Store(false)
+				} else {
+					s.shed.Inc()
+					results[i] = Result{Err: ErrOverloaded}
+					continue
+				}
 			}
 			if e.shards[sh].almostFull.Load() {
 				e.shards[sh].backpressured.Inc()
@@ -567,6 +589,9 @@ func (s *shard) updateOverload(occ int, start time.Time) {
 		s.overloaded.Store(true)
 	case s.overloaded.Load() && frac <= s.ov.LowFrac:
 		s.overloaded.Store(false)
+	}
+	if s.overloaded.Load() {
+		s.overUntil.Store(time.Now().Add(s.ov.Cooloff).UnixNano())
 	}
 }
 

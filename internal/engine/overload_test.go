@@ -78,6 +78,44 @@ func TestOverloadShedsPushes(t *testing.T) {
 	}
 }
 
+// TestOverloadLatchExpiry covers the push-only wedge: once overload
+// trips, pushes are shed before reaching the ring, so no drain ever
+// re-evaluates the signal. The latch must expire after Cooloff and
+// admit the next push instead of shedding forever.
+func TestOverloadLatchExpiry(t *testing.T) {
+	e, err := New(Config{
+		Shards: 1, Order: 2, Levels: 8,
+		Overload: Overload{HighFrac: 0.99, DrainLatencyHigh: time.Nanosecond, Cooloff: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Trip the latch: the priming push drains slowly (1ns watermark),
+	// then pushes shed.
+	if res := e.Submit([]Op{PushOp(core.Element{Value: 1, Meta: 1})}); res[0].Err != nil {
+		t.Fatalf("priming push: %v", res[0].Err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	tripped := false
+	for time.Now().Before(deadline) {
+		if res := e.Submit([]Op{PushOp(core.Element{Value: 2, Meta: 2})}); errors.Is(res[0].Err, ErrOverloaded) {
+			tripped = true
+			break
+		}
+	}
+	if !tripped {
+		t.Fatal("overload never tripped")
+	}
+	// No pops arrive, no ring traffic: only latch expiry can admit the
+	// next push.
+	time.Sleep(60 * time.Millisecond)
+	if res := e.Submit([]Op{PushOp(core.Element{Value: 3, Meta: 3})}); res[0].Err != nil {
+		t.Fatalf("push after cooloff shed: %v — latch wedged", res[0].Err)
+	}
+}
+
 // TestApplyReplica drives one shard's ring directly — the follower
 // apply path — and checks dense LSN stamping, shard isolation, and
 // element fidelity.

@@ -21,12 +21,12 @@ type entry struct {
 // ErrBackpressure) to the engine. The consumer blocks on a condition
 // variable only when the ring is empty.
 type ring struct {
-	mu     sync.Mutex
+	mu       sync.Mutex
 	nonEmpty *sync.Cond
-	buf    []entry
-	head   int // index of the oldest entry
-	count  int
-	closed bool
+	buf      []entry
+	head     int // index of the oldest entry
+	count    int
+	closed   bool
 }
 
 func newRing(size int) *ring {

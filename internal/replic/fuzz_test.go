@@ -13,10 +13,10 @@ func FuzzRecordsDecode(f *testing.F) {
 	f.Add(AppendReplRecords(nil, 1, nil)) // heartbeat
 	f.Add(AppendReplRecords(nil, 7, []Record{
 		{Kind: RecOp, Shard: 2, LSN: 5, Op: OpPush, Value: 99, Meta: 3},
-		{Kind: RecOp, Shard: 0, LSN: 1, Op: OpPop, Value: 4, Meta: 0},
+		{Kind: RecOp, Shard: 0, LSN: 1, Op: OpPop, Value: 4, Meta: 0, End: true},
 	}))
 	f.Add(AppendReplRecords(nil, 1000, []Record{
-		{Kind: RecDedup, Session: 0xFEED, ReqID: 42, Resp: []byte("cached response")},
+		{Kind: RecDedup, Session: 0xFEED, ReqID: 42, Resp: []byte("cached response"), End: true},
 	}))
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3})

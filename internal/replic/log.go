@@ -27,8 +27,13 @@ func NewLog() *Log {
 }
 
 // AppendGroup appends recs as one atomic group and returns the new tip
-// sequence (that of the last record).
+// sequence (that of the last record). It stamps the group-end flag:
+// only the final record carries End, so stream readers can reassemble
+// group boundaries no matter how frames chunk the records.
 func (l *Log) AppendGroup(recs []Record) uint64 {
+	for i := range recs {
+		recs[i].End = i == len(recs)-1
+	}
 	l.mu.Lock()
 	l.recs = append(l.recs, recs...)
 	tip := uint64(len(l.recs))

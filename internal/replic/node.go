@@ -2,7 +2,9 @@ package replic
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,10 +72,22 @@ type ackWaiter struct {
 	ch  chan struct{}
 }
 
-// seqRec is a record paired with its stream sequence.
-type seqRec struct {
-	seq uint64
-	rec Record
+// grp is one wholly-received, not-yet-applied log group: the records
+// at stream sequences start..end, ending with the End-flagged record.
+type grp struct {
+	start, end uint64
+	recs       []Record
+}
+
+// newLogID mints a random nonzero log identity. Each node stamps its
+// own log with one at birth; a resume position is only honoured
+// against the log identity it was minted on.
+func newLogID() uint64 {
+	for {
+		if id := rand.Uint64(); id != 0 {
+			return id
+		}
+	}
 }
 
 // Node binds an engine and its wire server into a replication role. A
@@ -82,11 +96,12 @@ type seqRec struct {
 // stream, and opens the gate on Promote. Attach installs the node's
 // hooks on the server — call it before Serve.
 type Node struct {
-	cfg Config
-	man Manifest
-	eng *engine.Engine
-	srv *wire.Server
-	log *Log
+	cfg   Config
+	man   Manifest
+	eng   *engine.Engine
+	srv   *wire.Server
+	log   *Log
+	logID uint64 // identity of this node's own log
 
 	role      atomic.Int32
 	degraded  atomic.Bool
@@ -102,7 +117,15 @@ type Node struct {
 	tipAtAttach atomic.Uint64
 	attached    atomic.Bool
 	caughtUp    atomic.Bool
+	streamFatal atomic.Bool   // primary refused us or changed identity: stop dialing
+	primLogID   atomic.Uint64 // identity of the log streamPos was minted on (0 = none yet)
 	fconn       atomic.Pointer[net.Conn]
+
+	// appliedGroups maps start → end stream sequence of every group
+	// applied ahead of the frontier; the frontier advances over it and
+	// deletes entries as they become contiguous. Owned by the follower
+	// goroutine — no lock.
+	appliedGroups map[uint64]uint64
 
 	promote     chan struct{}
 	promoteOnce sync.Once
@@ -116,13 +139,15 @@ type Node struct {
 func Attach(eng *engine.Engine, srv *wire.Server, cfg Config) *Node {
 	cfg = cfg.withDefaults()
 	n := &Node{
-		cfg:     cfg,
-		man:     ManifestOf(cfg.Engine),
-		eng:     eng,
-		srv:     srv,
-		log:     NewLog(),
-		promote: make(chan struct{}),
-		closed:  make(chan struct{}),
+		cfg:           cfg,
+		man:           ManifestOf(cfg.Engine),
+		eng:           eng,
+		srv:           srv,
+		log:           NewLog(),
+		logID:         newLogID(),
+		appliedGroups: map[uint64]uint64{},
+		promote:       make(chan struct{}),
+		closed:        make(chan struct{}),
 	}
 	srv.SetBatchHook(n.onBatch)
 	srv.SetAdminHandler(n.admin)
@@ -148,9 +173,10 @@ func (n *Node) Close() {
 }
 
 // Promote opens the serving gate: a follower stops streaming, keeps
-// everything it has contiguously applied (its frontier — which, in
-// synchronous mode, covers every acknowledged op), and starts serving;
-// on a primary it is a no-op. It returns once the node is serving.
+// every group it has applied (each with its dedup entry — group apply
+// is all-or-nothing, and in synchronous mode the applied set covers
+// every acknowledged op), and starts serving; on a primary it is a
+// no-op. It returns once the node is serving.
 func (n *Node) Promote() {
 	n.promoteOnce.Do(func() {
 		close(n.promote)
@@ -347,7 +373,7 @@ func (n *Node) handleRepl(conn net.Conn, hello wire.Frame) {
 		conn.SetWriteDeadline(time.Now().Add(n.cfg.StreamTimeout))
 		wire.WriteFrame(conn, wire.TError, hello.ID, payload)
 	}
-	m, resume, err := ParseReplHello(hello.Payload)
+	m, resume, helloLogID, err := ParseReplHello(hello.Payload)
 	if err != nil {
 		fail(err.Error())
 		return
@@ -357,12 +383,22 @@ func (n *Node) handleRepl(conn net.Conn, hello wire.Frame) {
 		fail(fmt.Sprintf("manifest mismatch: follower %+v, primary %+v", m, n.man))
 		return
 	}
+	// A resume position numbers a prefix of one specific log. A promoted
+	// follower rebuilds its log in apply order, so its numbering differs
+	// from the dead primary's; honouring a foreign resume would stream
+	// records whose sequences mean different things and corrupt the
+	// follower's frontier and dedup bookkeeping.
+	if resume > 0 && helloLogID != n.logID {
+		n.logf("replic: refusing follower: resume %d minted against log %x, ours is %x", resume, helloLogID, n.logID)
+		fail(fmt.Sprintf("resume %d minted against log %x, this log is %x", resume, helloLogID, n.logID))
+		return
+	}
 	if tip := n.log.Seq(); resume > tip {
 		fail(fmt.Sprintf("resume %d beyond log tip %d", resume, tip))
 		return
 	}
 	conn.SetWriteDeadline(time.Now().Add(n.cfg.StreamTimeout))
-	if err := wire.WriteFrame(conn, wire.TReplOK, hello.ID, AppendSeq(nil, n.log.Seq())); err != nil {
+	if err := wire.WriteFrame(conn, wire.TReplOK, hello.ID, AppendReplOK(nil, n.log.Seq(), n.logID)); err != nil {
 		return
 	}
 	n.logf("replic: follower attached at seq %d", resume)
@@ -505,6 +541,19 @@ func (n *Node) runFollower() {
 			return
 		default:
 		}
+		if n.streamFatal.Load() {
+			// The primary refused us or is a different log than the one
+			// our state was built from. Redialing cannot help; hold the
+			// applied state and wait for an operator decision.
+			n.logf("replic: stream unrecoverable: %v", err)
+			n.degraded.Store(true)
+			select {
+			case <-n.promote:
+				n.finishPromotion()
+			case <-n.closed:
+			}
+			return
+		}
 		if err != nil {
 			n.logf("replic: stream ended: %v", err)
 			t := time.NewTimer(delay)
@@ -523,10 +572,13 @@ func (n *Node) runFollower() {
 	}
 }
 
-// finishPromotion turns the follower into the serving primary at its
-// frontier. Records beyond the frontier were never contiguously
-// received, hence never acknowledged to any client in synchronous
-// mode; discarding them is safe — the clients retry and re-execute.
+// finishPromotion turns the follower into the serving primary. The
+// engine holds exactly the applied groups: each landed all-or-nothing
+// with its dedup entry installed, so a client whose ack never arrived
+// retries and is answered from the dedup cache — not re-executed.
+// Groups received but not yet applied left zero engine trace, so their
+// clients' retries re-execute freshly. Either way, no acknowledged op
+// is lost and none is applied twice.
 func (n *Node) finishPromotion() {
 	n.role.Store(rolePrimary)
 	n.attached.Store(false)
@@ -550,7 +602,7 @@ func (n *Node) streamOnce() error {
 
 	resume := n.streamPos.Load()
 	conn.SetDeadline(time.Now().Add(n.cfg.StreamTimeout))
-	if err := wire.WriteFrame(conn, wire.TReplHello, 1, AppendReplHello(nil, n.man, resume)); err != nil {
+	if err := wire.WriteFrame(conn, wire.TReplHello, 1, AppendReplHello(nil, n.man, resume, n.primLogID.Load())); err != nil {
 		return err
 	}
 	f, err := wire.ReadFrame(conn)
@@ -560,14 +612,25 @@ func (n *Node) streamOnce() error {
 	switch f.Type {
 	case wire.TReplOK:
 	case wire.TError:
+		// An explicit refusal is permanent: the primary compared our
+		// manifest and log identity and said no. Redialing would loop.
+		n.streamFatal.Store(true)
 		return fmt.Errorf("replic: primary refused stream: %s", errString(f.Payload))
 	default:
 		return fmt.Errorf("replic: attach got frame type %d", f.Type)
 	}
-	tip, err := ParseSeq(f.Payload)
+	tip, logID, err := ParseReplOK(f.Payload)
 	if err != nil {
 		return err
 	}
+	if want := n.primLogID.Load(); want != 0 && want != logID {
+		// Same address, different log (a promoted or restarted node).
+		// Our engine state was built from the old log; applying this one
+		// on top would silently diverge.
+		n.streamFatal.Store(true)
+		return fmt.Errorf("replic: primary log identity changed %x -> %x", want, logID)
+	}
+	n.primLogID.Store(logID)
 	conn.SetWriteDeadline(time.Time{})
 	n.tipAtAttach.Store(tip)
 	if resume >= tip {
@@ -576,19 +639,15 @@ func (n *Node) streamOnce() error {
 	n.attached.Store(true)
 	n.logf("replic: attached to %s at seq %d, tip %d", n.cfg.PrimaryAddr, resume, tip)
 
-	// Per-attach reorder state. Stream frames deliver records in log
-	// order, but per-shard LSNs can be sequence-inverted across groups
-	// (concurrent batches append in completion order), so ops wait in
-	// pendingOps until their shard's LSN chain reaches them, dedup
-	// records wait in pendingDedup until the frontier covers their
-	// group, and doneSeqs holds applied sequences above the frontier.
-	appliedLSN := make(map[uint32]uint64, n.eng.Shards())
-	for i := 0; i < n.eng.Shards(); i++ {
-		appliedLSN[uint32(i)] = n.eng.ShardLSN(i)
-	}
-	pendingOps := map[uint32]map[uint64]seqRec{}
-	var pendingDedup []seqRec
-	doneSeqs := map[uint64]bool{}
+	// Per-attach reassembly state. Frames deliver records in log order
+	// but can split a group; pending accumulates the tail group until
+	// its End record arrives, and buffered holds wholly-received groups
+	// until applyReady finds them LSN-reachable.
+	var (
+		pending      []Record
+		pendingStart uint64
+		buffered     []grp
+	)
 	recvSeq := resume
 
 	for {
@@ -612,66 +671,40 @@ func (n *Node) streamOnce() error {
 		}
 		for i := range recs {
 			seq := first + uint64(i)
-			rec := recs[i]
-			switch rec.Kind {
-			case RecOp:
-				if rec.LSN == appliedLSN[rec.Shard]+1 {
-					if err := n.applyOne(rec); err != nil {
-						return err
-					}
-					appliedLSN[rec.Shard] = rec.LSN
-					doneSeqs[seq] = true
-					// Drain the LSN chain this unblocked.
-					for {
-						nxt, ok := pendingOps[rec.Shard][appliedLSN[rec.Shard]+1]
-						if !ok {
-							break
-						}
-						if err := n.applyOne(nxt.rec); err != nil {
-							return err
-						}
-						delete(pendingOps[rec.Shard], nxt.rec.LSN)
-						appliedLSN[rec.Shard] = nxt.rec.LSN
-						doneSeqs[nxt.seq] = true
-					}
-				} else if rec.LSN > appliedLSN[rec.Shard] {
-					if pendingOps[rec.Shard] == nil {
-						pendingOps[rec.Shard] = map[uint64]seqRec{}
-					}
-					pendingOps[rec.Shard][rec.LSN] = seqRec{seq: seq, rec: rec}
-				} else {
-					// Replay of an op applied during a previous attach: ops
-					// can land ahead of the acked frontier (LSN-inversion
-					// buffering), and a stream that dies then resumes at the
-					// frontier re-sends them. The log is append-only, so a
-					// sequence always carries the same record — count it
-					// done without re-applying.
-					doneSeqs[seq] = true
-				}
-			case RecDedup:
-				pendingDedup = append(pendingDedup, seqRec{seq: seq, rec: rec})
+			if len(pending) == 0 {
+				pendingStart = seq
 			}
+			pending = append(pending, recs[i])
+			if !recs[i].End {
+				continue
+			}
+			g := grp{start: pendingStart, end: seq, recs: pending}
+			pending = nil
+			// A stream that died and resumed at the frontier re-sends
+			// groups already applied ahead of it — skip those; their
+			// frontier bookkeeping is still in appliedGroups.
+			if _, done := n.appliedGroups[g.start]; done || g.end <= n.streamPos.Load() {
+				continue
+			}
+			buffered = append(buffered, g)
 		}
 		recvSeq = first + uint64(len(recs)) - 1
 
-		// Advance the frontier over applied ops and now-covered dedup
-		// records, then acknowledge it.
+		if buffered, err = n.applyReady(buffered); err != nil {
+			return err
+		}
+
+		// Advance the frontier over contiguously applied groups, then
+		// acknowledge it: an ack covers only groups whose ops and dedup
+		// entries have fully landed.
 		fr := n.streamPos.Load()
 		for {
-			if len(pendingDedup) > 0 && pendingDedup[0].seq == fr+1 {
-				d := pendingDedup[0].rec
-				pendingDedup = pendingDedup[1:]
-				n.srv.InstallDedup(d.Session, d.ReqID, d.Resp)
-				n.log.AppendGroup([]Record{d})
-				fr++
-				continue
+			end, ok := n.appliedGroups[fr+1]
+			if !ok {
+				break
 			}
-			if doneSeqs[fr+1] {
-				delete(doneSeqs, fr+1)
-				fr++
-				continue
-			}
-			break
+			delete(n.appliedGroups, fr+1)
+			fr = end
 		}
 		if fr != n.streamPos.Load() {
 			n.streamPos.Store(fr)
@@ -684,6 +717,124 @@ func (n *Node) streamOnce() error {
 			n.caughtUp.Store(true)
 		}
 	}
+}
+
+// applyReady applies every buffered group that is LSN-reachable and
+// returns the rest. Stream order can invert per-shard LSN order across
+// groups (concurrent batches append in completion order) — even
+// mutually, as in group A carrying shard-1 LSN 5 with shard-2 LSN 1
+// while group B carries shard-1 LSN 4 with shard-2 LSN 2 — so judging
+// one group at a time would deadlock. Instead start from the whole
+// buffer and iteratively drop any group with an op not reachable from
+// the engine's applied LSNs through the ops of the groups that remain;
+// the fixpoint is the largest set applyable together.
+//
+// Each surviving group lands whole: its ops (per shard, in LSN order),
+// then its log append and dedup install as one unit. Engine state, own
+// log, and dedup cache therefore always agree at group granularity —
+// the invariant promotion relies on.
+func (n *Node) applyReady(buffered []grp) ([]grp, error) {
+	if len(buffered) == 0 {
+		return buffered, nil
+	}
+	applied := make(map[uint32]uint64)
+	lsnOf := func(shard uint32) uint64 {
+		l, ok := applied[shard]
+		if !ok {
+			l = n.eng.ShardLSN(int(shard))
+			applied[shard] = l
+		}
+		return l
+	}
+	ready := make([]bool, len(buffered))
+	for i := range ready {
+		ready[i] = true
+	}
+	for {
+		// LSNs the current candidate set offers, per shard.
+		offer := map[uint32]map[uint64]bool{}
+		for i, g := range buffered {
+			if !ready[i] {
+				continue
+			}
+			for _, r := range g.recs {
+				if r.Kind != RecOp {
+					continue
+				}
+				if offer[r.Shard] == nil {
+					offer[r.Shard] = map[uint64]bool{}
+				}
+				offer[r.Shard][r.LSN] = true
+			}
+		}
+		// Extend each shard's applied chain as far as the offers reach.
+		reach := map[uint32]uint64{}
+		for shard, set := range offer {
+			l := lsnOf(shard)
+			for set[l+1] {
+				l++
+			}
+			reach[shard] = l
+		}
+		changed := false
+		for i, g := range buffered {
+			if !ready[i] {
+				continue
+			}
+			for _, r := range g.recs {
+				if r.Kind == RecOp && r.LSN > reach[r.Shard] {
+					ready[i] = false
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Apply the ready set's ops per shard in LSN order. An op at or
+	// below the applied frontier is a replay of a group whose apply a
+	// stream death cut short — skip it; the group still completes now.
+	var toApply []Record
+	for i, g := range buffered {
+		if !ready[i] {
+			continue
+		}
+		for _, r := range g.recs {
+			if r.Kind == RecOp && r.LSN > lsnOf(r.Shard) {
+				toApply = append(toApply, r)
+			}
+		}
+	}
+	sort.Slice(toApply, func(a, b int) bool {
+		if toApply[a].Shard != toApply[b].Shard {
+			return toApply[a].Shard < toApply[b].Shard
+		}
+		return toApply[a].LSN < toApply[b].LSN
+	})
+	for _, r := range toApply {
+		if err := n.applyOne(r); err != nil {
+			return nil, err
+		}
+	}
+	// Every ready group is now fully in the engine: log it, install its
+	// dedup entry, and record it for frontier advance.
+	rest := buffered[:0]
+	for i, g := range buffered {
+		if !ready[i] {
+			rest = append(rest, g)
+			continue
+		}
+		n.log.AppendGroup(g.recs)
+		for _, r := range g.recs {
+			if r.Kind == RecDedup {
+				n.srv.InstallDedup(r.Session, r.ReqID, r.Resp)
+			}
+		}
+		n.appliedGroups[g.start] = g.end
+	}
+	return rest, nil
 }
 
 // applyOne applies one op record to the follower's engine and checks
@@ -711,9 +862,6 @@ func (n *Node) applyOne(rec Record) error {
 		return fmt.Errorf("replic: divergence: shard %d lsn %d popped (%d,%d), primary popped (%d,%d)",
 			rec.Shard, rec.LSN, r.Elem.Value, r.Elem.Meta, rec.Value, rec.Meta)
 	}
-	// Rebuild our own log in apply order so this node can feed fresh
-	// followers after promotion.
-	n.log.AppendGroup([]Record{rec})
 	return nil
 }
 

@@ -3,8 +3,10 @@ package replic
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -245,7 +247,7 @@ func TestManifestMismatchRefused(t *testing.T) {
 	}
 	defer conn.Close()
 	bad := ManifestOf(engine.Config{Shards: 7, Order: 2, Levels: 6})
-	if err := wire.WriteFrame(conn, wire.TReplHello, 1, AppendReplHello(nil, bad, 0)); err != nil {
+	if err := wire.WriteFrame(conn, wire.TReplHello, 1, AppendReplHello(nil, bad, 0, 0)); err != nil {
 		t.Fatal(err)
 	}
 	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
@@ -255,6 +257,69 @@ func TestManifestMismatchRefused(t *testing.T) {
 	}
 	if f.Type != wire.TError {
 		t.Fatalf("mismatched manifest got frame type %d, want TError", f.Type)
+	}
+}
+
+// TestLogIdentityMismatchRefused resumes a stream with a nonzero
+// position minted against a different log identity: the primary must
+// refuse it — sequence numbers from a foreign log are meaningless here.
+// A fresh attach (resume 0, no identity) must still be granted.
+func TestLogIdentityMismatchRefused(t *testing.T) {
+	prim := startNode(t, testGeom, Config{})
+	defer prim.stop(2 * time.Second)
+
+	// Give the log some history so resume 3 is within the tip.
+	c, err := wire.Dial(prim.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Do([]wire.Op{{Kind: wire.OpPush, Value: uint64(i + 1), Meta: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	waitUntil(t, "log growth", func() bool { return prim.node.LogSeq() >= 3 })
+
+	attach := func(resume, logID uint64) wire.Frame {
+		t.Helper()
+		conn, err := net.Dial("tcp", prim.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		m := ManifestOf(testGeom)
+		if err := wire.WriteFrame(conn, wire.TReplHello, 1, AppendReplHello(nil, m, resume, logID)); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		f, err := wire.ReadFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+
+	if f := attach(3, 0xDEADBEEF); f.Type != wire.TError {
+		t.Fatalf("foreign-log resume got frame type %d, want TError", f.Type)
+	}
+	f := attach(0, 0)
+	if f.Type != wire.TReplOK {
+		t.Fatalf("fresh attach got frame type %d, want TReplOK", f.Type)
+	}
+	tip, logID, err := ParseReplOK(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logID == 0 {
+		t.Fatal("primary advertised zero log identity")
+	}
+	if tip != prim.node.LogSeq() {
+		t.Fatalf("TReplOK tip %d, want %d", tip, prim.node.LogSeq())
+	}
+	// Resuming against the real identity is accepted.
+	if f := attach(3, logID); f.Type != wire.TReplOK {
+		t.Fatalf("matching-log resume got frame type %d, want TReplOK", f.Type)
 	}
 }
 
@@ -337,6 +402,112 @@ func TestFailoverNoAckedOpLoss(t *testing.T) {
 	}
 	if s.DedupMisses != 0 {
 		t.Errorf("%d dedup misses — indeterminate op outcomes", s.DedupMisses)
+	}
+}
+
+// TestConcurrentFailoverNoDuplicates drives several clients in
+// parallel through a primary kill and standby promotion. Concurrent
+// batches are what interleave per-shard LSNs across log groups, so this
+// exercises the follower's group-atomic reorder apply: a group the
+// standby applied ahead of the acked frontier carries its dedup entry
+// with it, so the unacked client's retry is answered from cache, and a
+// group not applied leaves no engine trace, so its retry re-executes
+// freshly. After failover every pushed value must be present exactly
+// once.
+func TestConcurrentFailoverNoDuplicates(t *testing.T) {
+	prim := startNode(t, testGeom, Config{Sync: true, SyncTimeout: 5 * time.Second})
+	fol := startNode(t, testGeom, Config{PrimaryAddr: prim.addr})
+	defer fol.stop(2 * time.Second)
+	defer prim.stop(50 * time.Millisecond)
+
+	waitUntil(t, "follower attach", func() bool { return fol.node.Ready() })
+
+	const (
+		clients   = 4
+		perClient = 150
+		killAfter = 40
+	)
+	var (
+		wg      sync.WaitGroup
+		killOne sync.Once
+		errs    = make(chan error, clients)
+	)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			rc, err := wire.NewResilientClient(wire.ResilientOptions{
+				Addrs:          []string{prim.addr, fol.addr},
+				RequestTimeout: time.Second,
+				BaseDelay:      time.Millisecond,
+				MaxDelay:       20 * time.Millisecond,
+			})
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %w", ci, err)
+				return
+			}
+			defer rc.Close()
+			for i := 0; i < perClient; i++ {
+				if ci == 0 && i == killAfter {
+					killOne.Do(func() {
+						prim.stop(50 * time.Millisecond)
+						go fol.node.Promote()
+					})
+				}
+				v := uint64(ci*perClient + i + 1)
+				res, err := rc.Do([]wire.Op{{Kind: wire.OpPush, Value: v, Meta: v}})
+				if err != nil {
+					errs <- fmt.Errorf("client %d push %d: %w", ci, v, err)
+					return
+				}
+				if res[0].Status != wire.StatusOK {
+					errs <- fmt.Errorf("client %d push %d: status %v", ci, v, res[0].Status)
+					return
+				}
+				if s := rc.Stats(); s.DedupMisses != 0 {
+					errs <- fmt.Errorf("client %d: dedup miss — indeterminate op outcome", ci)
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	fol.node.Promote() // idempotent; waits for the serving gate
+	rc, err := wire.NewResilientClient(wire.ResilientOptions{Addrs: []string{fol.addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	got := make(map[uint64]int)
+	for {
+		res, err := rc.Do([]wire.Op{{Kind: wire.OpPop}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0].Status == wire.StatusEmpty {
+			break
+		}
+		got[res[0].Value]++
+	}
+	// Every push eventually succeeded (the loops above fail otherwise),
+	// so every value 1..clients*perClient was acked to some client and
+	// must survive failover exactly once.
+	for v := uint64(1); v <= clients*perClient; v++ {
+		switch got[v] {
+		case 1:
+		case 0:
+			t.Fatalf("acked push %d lost in failover", v)
+		default:
+			t.Fatalf("push %d applied %d times — duplicate apply", v, got[v])
+		}
+	}
+	if len(got) != clients*perClient {
+		t.Fatalf("drained %d distinct values, want %d", len(got), clients*perClient)
 	}
 }
 

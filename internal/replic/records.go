@@ -8,11 +8,13 @@
 // The unit of shipping is the atomic batch group: one executed request
 // becomes its successful ops' records followed by (for dedup-enrolled
 // sessions) one dedup record carrying the encoded response, appended to
-// the log as a unit. A follower acknowledges only the contiguous,
-// fully-applied prefix of the stream, and installs a dedup record only
-// once that prefix covers it — so a client ack gated on the follower's
-// ack (synchronous mode) implies the follower can reproduce both the
-// state and the response, and a primary kill loses no acknowledged op.
+// the log as a unit with the last record flagged as the group end. A
+// follower applies groups all-or-nothing — a group's ops and its dedup
+// record land together or not at all — and acknowledges only the
+// contiguous, fully-applied prefix of the stream. So a client ack gated
+// on the follower's ack (synchronous mode) implies the follower can
+// reproduce both the state and the response, and a primary kill loses
+// no acknowledged op and duplicates none.
 package replic
 
 import (
@@ -46,9 +48,12 @@ const (
 // mutation, Op selects push or pop, and Value/Meta carry the pushed
 // element — or, for a pop, the element the primary popped, which the
 // follower checks its own pop against. For RecDedup, Session/ReqID/Resp
-// carry the cached response.
+// carry the cached response. End marks the last record of an atomic log
+// group; it is what lets a follower reassemble group boundaries from a
+// flat record stream and apply groups all-or-nothing.
 type Record struct {
 	Kind RecKind
+	End  bool
 
 	Shard uint32
 	LSN   uint64
@@ -92,30 +97,37 @@ func ManifestOf(cfg engine.Config) Manifest {
 
 // Payload sizes.
 const (
-	helloSize   = 4 + 1 + 1 + 4 + 4 + 8 + 4 + 8 // manifest + resume seq
+	helloSize   = 4 + 1 + 1 + 4 + 4 + 8 + 4 + 8 + 8 // manifest + resume seq + log id
+	replOKSize  = 8 + 8                             // tip seq + log id
 	recOpSize   = 1 + 4 + 8 + 1 + 8 + 8
 	recDedupMin = 1 + 8 + 8 + 4
+	// recEndFlag is OR-ed into the record kind byte on the last record
+	// of an atomic log group.
+	recEndFlag = 0x80
 	// MaxRecordsPerFrame bounds one TReplRecords frame; together with
 	// the response-size bound it keeps frames under wire.MaxPayload.
 	MaxRecordsPerFrame = 512
 )
 
 // AppendReplHello encodes a TReplHello payload: the follower's
-// manifest plus the stream sequence after which it wants records.
-func AppendReplHello(dst []byte, m Manifest, resume uint64) []byte {
+// manifest, the stream sequence after which it wants records, and the
+// identity of the log that sequence was minted against (0 when the
+// follower has no history yet).
+func AppendReplHello(dst []byte, m Manifest, resume, logID uint64) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, m.Shards)
 	dst = append(dst, m.Kind, m.Routing)
 	dst = binary.LittleEndian.AppendUint32(dst, m.Order)
 	dst = binary.LittleEndian.AppendUint32(dst, m.Levels)
 	dst = binary.LittleEndian.AppendUint64(dst, m.Cap)
 	dst = binary.LittleEndian.AppendUint32(dst, m.RankBits)
-	return binary.LittleEndian.AppendUint64(dst, resume)
+	dst = binary.LittleEndian.AppendUint64(dst, resume)
+	return binary.LittleEndian.AppendUint64(dst, logID)
 }
 
 // ParseReplHello decodes a TReplHello payload.
-func ParseReplHello(p []byte) (Manifest, uint64, error) {
+func ParseReplHello(p []byte) (Manifest, uint64, uint64, error) {
 	if len(p) != helloSize {
-		return Manifest{}, 0, fmt.Errorf("%w: repl hello payload %d bytes", wire.ErrBadFrame, len(p))
+		return Manifest{}, 0, 0, fmt.Errorf("%w: repl hello payload %d bytes", wire.ErrBadFrame, len(p))
 	}
 	m := Manifest{
 		Shards:   binary.LittleEndian.Uint32(p[0:4]),
@@ -126,7 +138,24 @@ func ParseReplHello(p []byte) (Manifest, uint64, error) {
 		Cap:      binary.LittleEndian.Uint64(p[14:22]),
 		RankBits: binary.LittleEndian.Uint32(p[22:26]),
 	}
-	return m, binary.LittleEndian.Uint64(p[26:34]), nil
+	return m, binary.LittleEndian.Uint64(p[26:34]), binary.LittleEndian.Uint64(p[34:42]), nil
+}
+
+// AppendReplOK encodes a TReplOK payload: the primary's log tip plus
+// its log identity, which a reattaching follower must see unchanged —
+// a resume position is only meaningful against the log it was minted
+// on.
+func AppendReplOK(dst []byte, tip, logID uint64) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, tip)
+	return binary.LittleEndian.AppendUint64(dst, logID)
+}
+
+// ParseReplOK decodes a TReplOK payload.
+func ParseReplOK(p []byte) (tip, logID uint64, err error) {
+	if len(p) != replOKSize {
+		return 0, 0, fmt.Errorf("%w: repl ok payload %d bytes", wire.ErrBadFrame, len(p))
+	}
+	return binary.LittleEndian.Uint64(p[0:8]), binary.LittleEndian.Uint64(p[8:16]), nil
 }
 
 // AppendSeq encodes the u64 payload shared by TReplOK and TReplAck.
@@ -153,9 +182,13 @@ func AppendReplRecords(dst []byte, first uint64, recs []Record) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, first)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(recs)))
 	for _, r := range recs {
+		k := byte(r.Kind)
+		if r.End {
+			k |= recEndFlag
+		}
 		switch r.Kind {
 		case RecOp:
-			dst = append(dst, byte(RecOp))
+			dst = append(dst, k)
 			dst = binary.LittleEndian.AppendUint32(dst, r.Shard)
 			dst = binary.LittleEndian.AppendUint64(dst, r.LSN)
 			dst = append(dst, r.Op)
@@ -165,7 +198,7 @@ func AppendReplRecords(dst []byte, first uint64, recs []Record) []byte {
 			if len(r.Resp) > wire.MaxPayload {
 				panic(fmt.Sprintf("replic: dedup response %d bytes", len(r.Resp)))
 			}
-			dst = append(dst, byte(RecDedup))
+			dst = append(dst, k)
 			dst = binary.LittleEndian.AppendUint64(dst, r.Session)
 			dst = binary.LittleEndian.AppendUint64(dst, r.ReqID)
 			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Resp)))
@@ -195,13 +228,15 @@ func ParseReplRecords(p []byte) (first uint64, recs []Record, err error) {
 		if len(p) < 1 {
 			return 0, nil, fmt.Errorf("%w: repl records truncated at %d", wire.ErrBadFrame, i)
 		}
-		switch RecKind(p[0]) {
+		end := p[0]&recEndFlag != 0
+		switch RecKind(p[0] &^ recEndFlag) {
 		case RecOp:
 			if len(p) < recOpSize {
 				return 0, nil, fmt.Errorf("%w: op record truncated at %d", wire.ErrBadFrame, i)
 			}
 			r := Record{
 				Kind:  RecOp,
+				End:   end,
 				Shard: binary.LittleEndian.Uint32(p[1:5]),
 				LSN:   binary.LittleEndian.Uint64(p[5:13]),
 				Op:    p[13],
@@ -223,6 +258,7 @@ func ParseReplRecords(p []byte) (first uint64, recs []Record, err error) {
 			}
 			recs = append(recs, Record{
 				Kind:    RecDedup,
+				End:     end,
 				Session: binary.LittleEndian.Uint64(p[1:9]),
 				ReqID:   binary.LittleEndian.Uint64(p[9:17]),
 				Resp:    append([]byte(nil), p[recDedupMin:recDedupMin+int(n)]...),

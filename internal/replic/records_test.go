@@ -13,16 +13,30 @@ import (
 
 func TestReplHelloRoundTrip(t *testing.T) {
 	m := Manifest{Shards: 4, Kind: 2, Routing: 1, Order: 4, Levels: 6, Cap: 1 << 12, RankBits: 30}
-	p := AppendReplHello(nil, m, 77)
-	got, resume, err := ParseReplHello(p)
+	p := AppendReplHello(nil, m, 77, 0xABCDEF)
+	got, resume, logID, err := ParseReplHello(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != m || resume != 77 {
-		t.Fatalf("round trip: got %+v resume %d", got, resume)
+	if got != m || resume != 77 || logID != 0xABCDEF {
+		t.Fatalf("round trip: got %+v resume %d logID %x", got, resume, logID)
 	}
-	if _, _, err := ParseReplHello(p[:len(p)-1]); !errors.Is(err, wire.ErrBadFrame) {
+	if _, _, _, err := ParseReplHello(p[:len(p)-1]); !errors.Is(err, wire.ErrBadFrame) {
 		t.Fatalf("short hello: %v", err)
+	}
+}
+
+func TestReplOKRoundTrip(t *testing.T) {
+	p := AppendReplOK(nil, 123, 0xFACE)
+	tip, logID, err := ParseReplOK(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tip != 123 || logID != 0xFACE {
+		t.Fatalf("round trip: tip %d logID %x", tip, logID)
+	}
+	if _, _, err := ParseReplOK(p[:8]); !errors.Is(err, wire.ErrBadFrame) {
+		t.Fatalf("short repl ok: %v", err)
 	}
 }
 
@@ -43,9 +57,9 @@ func TestManifestOfNormalizes(t *testing.T) {
 func TestReplRecordsRoundTrip(t *testing.T) {
 	recs := []Record{
 		{Kind: RecOp, Shard: 3, LSN: 9, Op: OpPush, Value: 42, Meta: 7},
-		{Kind: RecOp, Shard: 0, LSN: 1, Op: OpPop, Value: 5, Meta: 1},
+		{Kind: RecOp, Shard: 0, LSN: 1, Op: OpPop, Value: 5, Meta: 1, End: true},
 		{Kind: RecDedup, Session: 0xFEED, ReqID: 12, Resp: []byte{1, 2, 3}},
-		{Kind: RecDedup, Session: 1, ReqID: 13}, // empty response
+		{Kind: RecDedup, Session: 1, ReqID: 13, End: true}, // empty response
 	}
 	p := AppendReplRecords(nil, 100, recs)
 	first, got, err := ParseReplRecords(p)
@@ -107,6 +121,10 @@ func TestLogGroupsAndReadFrom(t *testing.T) {
 	recs := l.ReadFrom(0, 10)
 	if len(recs) != 2 || recs[1].Kind != RecDedup {
 		t.Fatalf("ReadFrom(0) = %+v", recs)
+	}
+	// AppendGroup stamps the group boundary: End on the last record only.
+	if recs[0].End || !recs[1].End {
+		t.Fatalf("group-end flags: %v/%v, want false/true", recs[0].End, recs[1].End)
 	}
 	if recs := l.ReadFrom(1, 1); len(recs) != 1 || recs[0].Kind != RecDedup {
 		t.Fatalf("ReadFrom(1,1) = %+v", recs)

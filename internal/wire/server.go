@@ -286,20 +286,14 @@ func (s *Server) serveConn(conn net.Conn) {
 				sendErr(out, f.ID, StatusInvalid, err)
 				return
 			}
-			// Per-connection overload shed: queued-but-unwritten
-			// responses past the cap mean the client is not keeping up
-			// with its own pipeline; refuse cheaply instead of
-			// executing into a backlog. Shed batches are never cached —
-			// a retry may execute.
-			if s.cfg.MaxInflight > 0 && len(out) >= s.cfg.MaxInflight {
-				out <- response{TBatchOK, f.ID, appendShedResults(nil, len(wireOps))}
-				continue
-			}
+			// At-most-once comes before load shedding: a retried id
+			// whose original already executed must get its cached
+			// response verbatim — a fabricated overload refusal would
+			// send the client back to re-issue ops that already
+			// applied. Serving the cache is cheap and executes nothing.
 			if sess != nil {
 				sess.mu.Lock()
 				if resp, ok := sess.cache[f.ID]; ok {
-					// Retried request: answer verbatim from cache,
-					// execute nothing.
 					sess.mu.Unlock()
 					out <- response{TBatchOK, f.ID, resp}
 					continue
@@ -309,6 +303,18 @@ func (s *Server) serveConn(conn net.Conn) {
 					sendErr(out, f.ID, StatusDedupMiss, fmt.Errorf("request id %d outside dedup window", f.ID))
 					return
 				}
+			}
+			// Per-connection overload shed: queued-but-unwritten
+			// responses past the cap mean the client is not keeping up
+			// with its own pipeline; refuse cheaply instead of
+			// executing into a backlog. Shed batches are never cached —
+			// a retry may execute.
+			if s.cfg.MaxInflight > 0 && len(out) >= s.cfg.MaxInflight {
+				if sess != nil {
+					sess.mu.Unlock()
+				}
+				out <- response{TBatchOK, f.ID, appendShedResults(nil, len(wireOps))}
+				continue
 			}
 			ops = ops[:0]
 			for _, op := range wireOps {
