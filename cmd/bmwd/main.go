@@ -32,6 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -62,7 +63,9 @@ func main() {
 		batch    = flag.Int("batch", 64, "per-shard max drain batch")
 		route    = flag.String("route", "hash", "push routing: hash (by Meta) or rank (by Value range)")
 		rankBits = flag.Int("rankbits", 30, "rank width in bits for -route rank partitioning")
-		httpAddr = flag.String("http", "", "observability HTTP address (/metrics, /healthz, /readyz, pprof); empty = off")
+		httpAddr = flag.String("http", "", "observability HTTP address (/metrics, /healthz, /readyz, /trace.json, pprof); empty = off")
+		sample   = flag.Int("trace-sample", 0, "export 1 of every N request spans to the Chrome trace at /trace.json (0 = aggregate-only tracing)")
+		logLevel = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 		persist  = flag.String("persist", "", "checkpoint directory: restore on start, checkpoint on shutdown")
 		drainFor = flag.Duration("drain", 10*time.Second, "graceful shutdown budget before connections are cut")
 
@@ -79,6 +82,12 @@ func main() {
 		ovCooloff = flag.Duration("overload-cooloff", 0, "how long a tripped shard sheds without a drain before the latch expires (0 = default 250ms)")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fatalf("bad -log-level %q: %v", *logLevel, err)
+	}
+	logger := obs.NewEventLogger(os.Stderr, level, 5*time.Second)
 
 	var routing engine.Routing
 	switch *route {
@@ -117,31 +126,61 @@ func main() {
 		fatalf("engine: %v", err)
 	}
 
+	reg := obs.NewRegistry()
+	eng.Instrument(reg, "bmwd_engine")
+
+	// Request tracing: stage quantiles aggregate whenever the obs
+	// endpoint is up; sampled Chrome-trace export needs -trace-sample.
+	var rec *obs.TraceRecorder
+	if *sample > 0 {
+		rec = obs.NewTraceRecorder()
+	}
+	var tracer *obs.Tracer
+	if *httpAddr != "" || rec != nil {
+		tracer = obs.NewTracer(obs.TracerOptions{
+			Registry:    reg,
+			Prefix:      "bmwd_trace",
+			Recorder:    rec,
+			SampleEvery: *sample,
+		})
+	}
+
 	srv := wire.NewServerConfig(eng, wire.ServerConfig{
 		IdleTimeout:  *idleTO,
 		WriteTimeout: *writeTO,
 		MaxInflight:  *inflight,
+		Tracer:       tracer,
 	})
 	node := replic.Attach(eng, srv, replic.Config{
 		Engine:      cfg,
 		PrimaryAddr: *follow,
 		Sync:        *replSync,
 		SyncTimeout: *syncWait,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "bmwd: "+format+"\n", args...)
-		},
+		Logger:      logger,
 	})
+	node.Instrument(reg, "bmwd_repl")
 
-	reg := obs.NewRegistry()
-	eng.Instrument(reg, "bmwd_engine")
 	var obsSrv *http.Server
 	if *httpAddr != "" {
-		obsSrv = obs.NewServerHealth(*httpAddr, reg,
-			func() bool { return true },
-			node.Ready)
+		obsSrv = obs.NewServerOpts(*httpAddr, reg, obs.HandlerOptions{
+			Healthy: func() bool { return true },
+			Ready:   node.Ready,
+			Detail: func() map[string]any {
+				st := node.Status()
+				return map[string]any{
+					"role":              node.Role(),
+					"serving":           st.Serving,
+					"degraded":          st.Degraded,
+					"caught_up":         node.Ready(),
+					"repl_lag":          node.Lag(),
+					"overloaded_shards": eng.OverloadedShards(),
+				}
+			},
+			Trace: rec,
+		})
 		go func() {
 			if err := obsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				fmt.Fprintf(os.Stderr, "bmwd: obs server: %v\n", err)
+				logger.Error("obs server failed", "err", err)
 			}
 		}()
 	}
@@ -157,22 +196,24 @@ func main() {
 	signal.Notify(promc, syscall.SIGUSR1)
 	go func() {
 		for range promc {
-			fmt.Fprintln(os.Stderr, "bmwd: SIGUSR1: promoting")
+			logger.Info("SIGUSR1: promoting")
 			node.Promote()
 		}
 	}()
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	fmt.Printf("bmwd: %s with %d %s shard(s) on %s (route=%s)\n",
-		node.Role(), eng.Shards(), kind, ln.Addr(), *route)
+	logger.Info("serving",
+		"role", node.Role(), "shards", eng.Shards(), "queue", kind.String(),
+		"addr", ln.Addr().String(), "route", *route, "trace_sample", *sample)
 	if *follow != "" {
-		fmt.Printf("bmwd: following %s; promote with SIGUSR1 or an admin frame\n", *follow)
+		logger.Info("following primary; promote with SIGUSR1 or an admin frame",
+			"primary", *follow)
 	}
 
 	select {
 	case sig := <-sigc:
-		fmt.Printf("bmwd: %v: draining\n", sig)
+		logger.Info("draining", "signal", sig.String())
 	case err := <-serveErr:
 		if err != nil && !errors.Is(err, net.ErrClosed) {
 			fatalf("serve: %v", err)
@@ -182,7 +223,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "bmwd: shutdown: %v\n", err)
+		logger.Error("shutdown", "err", err)
 	}
 	node.Close()
 	if obsSrv != nil {
@@ -193,7 +234,7 @@ func main() {
 		if err := eng.Checkpoint(*persist); err != nil {
 			fatalf("checkpoint: %v", err)
 		}
-		fmt.Printf("bmwd: checkpointed %d element(s) to %s\n", eng.Len(), *persist)
+		logger.Info("checkpointed", "elements", eng.Len(), "dir", *persist)
 	}
-	fmt.Println("bmwd: bye")
+	logger.Info("bye")
 }

@@ -30,12 +30,15 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"runtime"
@@ -119,6 +122,9 @@ func main() {
 		rate     = flag.Float64("rate", 1e6, "target ops/sec for -mode open, across all workers")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		out      = flag.String("out", "", "write bmwperf/v1 JSON report here (default stdout summary only)")
+		metrics  = flag.String("metrics-addr", "", "bmwd obs HTTP address (host:port) to scrape for per-stage latency quantiles and the server trace")
+		traceOut = flag.String("trace-out", "", "write the server's Chrome trace JSON here after the run (needs -metrics-addr with bmwd -trace-sample, or -inproc)")
+		sample   = flag.Int("trace-sample", 64, "inproc server: export 1 of every N request spans to the trace")
 		standby  = flag.String("standby", "", "comma-separated standby addresses to fail over to")
 		reqTO    = flag.Duration("req-timeout", 5*time.Second, "per-attempt request deadline")
 		retryMax = flag.Int("retry-max", 8, "attempts per request before giving up (0 = unlimited)")
@@ -132,10 +138,19 @@ func main() {
 	}
 
 	target := *addr
-	var stopInproc func()
+	var (
+		stopInproc func()
+		src        *stageSource
+	)
 	if *inproc {
-		target, stopInproc = startInproc(*shards, *queue)
+		target, src, stopInproc = startInproc(*shards, *queue, *sample)
 		defer stopInproc()
+	}
+	if *metrics != "" {
+		src = remoteSource(*metrics)
+	}
+	if *traceOut != "" && src == nil {
+		fatalf("-trace-out needs -metrics-addr (a bmwd run with -http and -trace-sample) or -inproc")
 	}
 
 	addrs := []string{target}
@@ -186,6 +201,14 @@ func main() {
 		perWorkerInterval = time.Duration(float64(workers) * float64(*batch) / *rate * float64(time.Second))
 	}
 
+	var startSnap obs.Snapshot
+	if src != nil {
+		var err error
+		if startSnap, err = src.snap(); err != nil {
+			fatalf("scrape %s: %v", src.name, err)
+		}
+	}
+
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -231,6 +254,47 @@ func main() {
 	fmt.Printf("bmwload: retries=%d timeouts=%d reconnects=%d failovers=%d dedup_miss=%d\n",
 		rs.Retries, rs.Timeouts, rs.Reconnects, rs.Failovers, rs.DedupMisses)
 
+	// Per-stage server-side latency decomposition: the run window's
+	// delta between the start and end scrapes of the tracer's stage
+	// quantile histograms.
+	stageMetrics := map[string]metric{}
+	if src != nil {
+		endSnap, err := src.snap()
+		if err != nil {
+			fatalf("scrape %s: %v", src.name, err)
+		}
+		fmt.Printf("bmwload: server stage latency us (p50/p99):")
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			name := obs.StageMetricName(tracePrefix, st)
+			w := endSnap.Quantile(name).Sub(startSnap.Quantile(name))
+			label := st.String()
+			if st == obs.StageIssue {
+				label = "total"
+			}
+			fmt.Printf(" %s=%.1f/%.1f", label, float64(w.P50)/1e3, float64(w.P99)/1e3)
+			stageMetrics["load_stage_"+label+"_p50_us"] = metric{float64(w.P50) / 1e3, "us", "lower"}
+			stageMetrics["load_stage_"+label+"_p99_us"] = metric{float64(w.P99) / 1e3, "us", "lower"}
+		}
+		fmt.Println()
+	}
+	if *traceOut != "" {
+		b, err := src.trace()
+		if err != nil {
+			fatalf("fetch trace: %v", err)
+		}
+		tr, err := obs.ParseTrace(b)
+		if err != nil {
+			fatalf("parse trace: %v", err)
+		}
+		if err := obs.ValidateTrace(tr); err != nil {
+			fatalf("server trace failed validation: %v", err)
+		}
+		if err := os.WriteFile(*traceOut, b, 0o644); err != nil {
+			fatalf("write %s: %v", *traceOut, err)
+		}
+		fmt.Printf("bmwload: wrote %s (%d trace events)\n", *traceOut, len(tr.TraceEvents))
+	}
+
 	if *out != "" {
 		r := report{
 			Schema:     "bmwperf/v1",
@@ -252,6 +316,9 @@ func main() {
 				"load_failovers":  {float64(rs.Failovers), "count", "lower"},
 				"load_dedup_miss": {float64(rs.DedupMisses), "count", "lower"},
 			},
+		}
+		for k, m := range stageMetrics {
+			r.Metrics[k] = m
 		}
 		b, err := json.MarshalIndent(r, "", "  ")
 		if err != nil {
@@ -345,10 +412,51 @@ func runWorker(ctx context.Context, c *wire.ResilientClient, cfg workerCfg, cnt 
 	}
 }
 
-// startInproc boots an engine + wire server on a loopback port and
-// returns its address plus a stop func, letting bmwload double as a
-// self-contained end-to-end smoke test.
-func startInproc(shards int, queue string) (string, func()) {
+// tracePrefix is the metric-name prefix bmwd (and the inproc server)
+// register the request tracer under.
+const tracePrefix = "bmwd_trace"
+
+// stageSource is where the run's server-side observability comes from:
+// a scrape of a live bmwd's obs endpoint, or the inproc server's own
+// registry and recorder.
+type stageSource struct {
+	name  string
+	snap  func() (obs.Snapshot, error)
+	trace func() ([]byte, error)
+}
+
+// remoteSource scrapes a bmwd -http endpoint.
+func remoteSource(addr string) *stageSource {
+	client := &http.Client{Timeout: 10 * time.Second}
+	get := func(path string) ([]byte, error) {
+		resp, err := client.Get("http://" + addr + path)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: %s", path, resp.Status)
+		}
+		return io.ReadAll(resp.Body)
+	}
+	return &stageSource{
+		name: addr,
+		snap: func() (obs.Snapshot, error) {
+			var s obs.Snapshot
+			b, err := get("/metrics.json")
+			if err != nil {
+				return s, err
+			}
+			return s, json.Unmarshal(b, &s)
+		},
+		trace: func() ([]byte, error) { return get("/trace.json") },
+	}
+}
+
+// startInproc boots a traced engine + wire server on a loopback port
+// and returns its address, its observability source, and a stop func,
+// letting bmwload double as a self-contained end-to-end smoke test.
+func startInproc(shards int, queue string, sample int) (string, *stageSource, func()) {
 	kind, err := engine.ParseKind(queue)
 	if err != nil {
 		fatalf("%v", err)
@@ -361,9 +469,26 @@ func startInproc(shards int, queue string) (string, func()) {
 	if err != nil {
 		fatalf("inproc listen: %v", err)
 	}
-	srv := wire.NewServer(eng)
+	reg := obs.NewRegistry()
+	rec := obs.NewTraceRecorder()
+	tracer := obs.NewTracer(obs.TracerOptions{
+		Registry:    reg,
+		Prefix:      tracePrefix,
+		Recorder:    rec,
+		SampleEvery: sample,
+	})
+	srv := wire.NewServerConfig(eng, wire.ServerConfig{Tracer: tracer})
 	go srv.Serve(ln)
-	return ln.Addr().String(), func() {
+	src := &stageSource{
+		name: "inproc",
+		snap: func() (obs.Snapshot, error) { return reg.Snapshot(), nil },
+		trace: func() ([]byte, error) {
+			var buf bytes.Buffer
+			_, err := rec.WriteTo(&buf)
+			return buf.Bytes(), err
+		},
+	}
+	return ln.Addr().String(), src, func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(ctx)

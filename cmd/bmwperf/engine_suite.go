@@ -29,6 +29,17 @@ var engineConfigs = []struct {
 // MPSC ring always sees real producer contention even in quick mode.
 const engineWorkers = 2
 
+// engineTraceSample, when positive (-trace-sample), runs the engine
+// suite with request-lifecycle tracing installed: one in N batches is
+// carried through the full span lifecycle (Begin, the engine's
+// enqueue/dequeue/apply stamps, Finish into the stage histograms),
+// mirroring the cost profile of bmwd's sampling knob. The measured
+// Mops then carry the tracer's amortized overhead and the baseline
+// comparison becomes the tracing-cost regression gate. The untraced
+// batches still pay the nil-span branch at every stamp site — the
+// always-on cost of the instrumentation points themselves.
+var engineTraceSample int
+
 // engineMops measures aggregate push+pop throughput of a sharded
 // engine at 50% fill: engineWorkers goroutines split ops between them,
 // each submitting alternating push/pop batches of the given size.
@@ -62,6 +73,15 @@ func engineMops(shards, batch, ops int, seed int64) float64 {
 		}
 	}
 
+	var tracer *bmw.RequestTracer
+	if engineTraceSample > 0 {
+		tracer = bmw.NewRequestTracer(bmw.RequestTracerOptions{
+			Registry:    bmw.NewMetricsRegistry(),
+			Prefix:      "perf_trace",
+			SampleEvery: engineTraceSample,
+		})
+	}
+
 	perWorker := ops / engineWorkers
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -72,7 +92,9 @@ func engineMops(shards, batch, ops int, seed int64) float64 {
 			wrng := rand.New(rand.NewSource(seed + int64(w)))
 			b := make([]bmw.EngineOp, batch)
 			res := make([]bmw.EngineResult, batch)
+			nbatch := 0
 			for done := 0; done < perWorker; done += len(b) {
+				nbatch++
 				for i := range b {
 					// Alternate on the global op index, not the batch
 					// offset, so batch=1 still issues pushes and pops in
@@ -85,7 +107,23 @@ func engineMops(shards, batch, ops int, seed int64) float64 {
 						b[i] = bmw.EnginePopOp()
 					}
 				}
-				eng.SubmitInto(b, res)
+				if tracer != nil && nbatch%engineTraceSample == 0 {
+					// Mirror the server's span lifecycle: the wire stages
+					// the bench has no server for are stamped zero-width
+					// around the engine stages SubmitTraced fills in,
+					// sharing one clock read per side like the server does.
+					now := bmw.RequestSpanNow()
+					sp := tracer.Begin(int64(w), now)
+					sp.StampAt(bmw.StageDecode, now)
+					eng.SubmitTraced(b, res, sp)
+					now = bmw.RequestSpanNow()
+					sp.StampAt(bmw.StageCommit, now)
+					sp.StampAt(bmw.StageAck, now)
+					sp.StampAt(bmw.StageWrite, now)
+					tracer.Finish(sp)
+				} else {
+					eng.SubmitInto(b, res)
+				}
 			}
 		}(w)
 	}

@@ -32,6 +32,7 @@ func main() {
 	warnOnly := flag.Bool("warn-only", false, "report regressions but exit zero (CI smoke mode)")
 	seed := flag.Int64("seed", 42, "workload seed")
 	slowdown := flag.Float64("inject-slowdown", 1, "degrade all measured metrics by this factor (self-test of the regression gate)")
+	traceSample := flag.Int("trace-sample", 0, "engine suite: trace one in N batches through the request-span lifecycle, gating the tracer's overhead against the untraced baseline (0 = untraced)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the suites to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile after the suites to this file")
 	flag.Parse()
@@ -49,6 +50,7 @@ func main() {
 	if *baselineDir == "" {
 		*baselineDir = *outDir
 	}
+	engineTraceSample = *traceSample
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,102 @@
+// bmwtop is a live terminal dashboard for a running bmwd: it polls the
+// daemon's observability endpoint (/metrics.json and /readyz) and
+// renders windowed request-stage latencies, per-shard throughput, and
+// replication lag — top(1) for the serving stack.
+//
+// All rates and quantiles are computed over the poll window by
+// differencing consecutive registry snapshots, so the display shows
+// what happened in the last -interval, not lifetime averages.
+//
+// Examples:
+//
+//	bmwtop -addr 127.0.0.1:9971              # refresh every second
+//	bmwtop -addr 127.0.0.1:9971 -interval 5s
+//	bmwtop -addr 127.0.0.1:9971 -once        # one frame, no ANSI, pipeable
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bmwtop: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// fetchSnapshot pulls the daemon's full registry snapshot.
+func fetchSnapshot(c *http.Client, base string) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	resp, err := c.Get(base + "/metrics.json")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("GET /metrics.json: %s", resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	return snap, err
+}
+
+// fetchProbe pulls the /readyz JSON body. Both 200 and 503 carry the
+// detail map (an unready follower is exactly when the detail matters),
+// so only transport and decode failures return nil.
+func fetchProbe(c *http.Client, base string) map[string]any {
+	resp, err := c.Get(base + "/readyz")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil
+	}
+	return body
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9971", "bmwd observability HTTP address (its -http flag)")
+		interval = flag.Duration("interval", time.Second, "poll and refresh interval")
+		once     = flag.Bool("once", false, "render a single frame (one interval window) and exit")
+	)
+	flag.Parse()
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	prev, err := fetchSnapshot(client, base)
+	if err != nil {
+		fatalf("cannot reach %s: %v", *addr, err)
+	}
+	prevAt := time.Now()
+
+	for {
+		time.Sleep(*interval)
+		cur, err := fetchSnapshot(client, base)
+		now := time.Now()
+		if err != nil {
+			if *once {
+				fatalf("scrape: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "bmwtop: scrape: %v\n", err)
+			continue
+		}
+		m := buildModel(*addr, prev, cur, now.Sub(prevAt), fetchProbe(client, base))
+		if !*once {
+			fmt.Print("\x1b[H\x1b[2J") // home + clear: repaint in place
+		}
+		render(os.Stdout, m)
+		if *once {
+			return
+		}
+		prev, prevAt = cur, now
+	}
+}

@@ -248,11 +248,14 @@ type shard struct {
 }
 
 // batch is one submit call's completion state: results land in place,
-// the last finished entry closes done.
+// the last finished entry closes done. sp, when non-nil, is the
+// request-lifecycle span the shards stamp (StageDequeue on first drain,
+// StageApply when the batch completes).
 type batch struct {
 	results []Result
 	pending atomic.Int32
 	done    chan struct{}
+	sp      *obs.Span
 }
 
 // Engine is the sharded scheduling service.
@@ -324,6 +327,18 @@ func (e *Engine) Cap() int {
 // ShardLen returns the published length of shard i.
 func (e *Engine) ShardLen(i int) int { return int(e.shards[i].length.Load()) }
 
+// OverloadedShards counts shards currently shedding pushes under
+// admission control — the health-endpoint view of overload state.
+func (e *Engine) OverloadedShards() int {
+	n := 0
+	for _, s := range e.shards {
+		if s.overloaded.Load() {
+			n++
+		}
+	}
+	return n
+}
+
 // splitmix64 is the routing hash: cheap, well-mixed, allocation-free.
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
@@ -381,6 +396,16 @@ func (e *Engine) Submit(ops []Op) []Result {
 // (len(results) must equal len(ops)), saving the allocation on hot
 // paths.
 func (e *Engine) SubmitInto(ops []Op, results []Result) {
+	e.SubmitTraced(ops, results, nil)
+}
+
+// SubmitTraced is SubmitInto carrying a request-lifecycle span: the
+// engine stamps StageEnqueue immediately before the first ring insert
+// (so it always precedes the shard's StageDequeue), StageDequeue when a
+// shard drains one of the request's operations, and StageApply when the
+// last accepted operation has executed. A nil span costs one branch per
+// stamp site — the untraced path.
+func (e *Engine) SubmitTraced(ops []Op, results []Result, sp *obs.Span) {
 	if len(results) != len(ops) {
 		panic("engine: SubmitInto result slice length mismatch")
 	}
@@ -390,7 +415,7 @@ func (e *Engine) SubmitInto(ops []Op, results []Result) {
 		}
 		return
 	}
-	b := &batch{results: results, done: make(chan struct{})}
+	b := &batch{results: results, done: make(chan struct{}), sp: sp}
 	perShard := make([][]entry, len(e.shards))
 	accepted := 0
 	for i, op := range ops {
@@ -432,6 +457,10 @@ func (e *Engine) SubmitInto(ops []Op, results []Result) {
 		return
 	}
 	b.pending.Store(int32(accepted))
+	// Stamp before the first ring insert: a fast shard may drain (and
+	// stamp StageDequeue) the instant an entry lands, so stamping after
+	// the loop could record enqueue > dequeue.
+	sp.Stamp(obs.StageEnqueue)
 	refused := int32(0)
 	for sh, es := range perShard {
 		if len(es) == 0 {
@@ -451,6 +480,11 @@ func (e *Engine) SubmitInto(ops []Op, results []Result) {
 		}
 	}
 	if refused > 0 && b.pending.Add(-refused) == 0 {
+		// Every accepted entry already executed (their decrements came
+		// first); the shard that ran the last one never saw pending hit
+		// zero, so the apply stamp falls to us. First-wins: no-op when a
+		// shard already stamped.
+		sp.Stamp(obs.StageApply)
 		return
 	}
 	<-b.done
@@ -530,8 +564,19 @@ func (s *shard) run() {
 		if s.ov.DrainLatencyHigh > 0 {
 			start = time.Now()
 		}
+		// One span clock read covers every traced batch in this drain:
+		// the entries all left the ring at drain time, so the drain
+		// moment IS their dequeue timestamp, and sharing it keeps the
+		// per-entry cost at a nil check when tracing is off.
+		var drainNs int64
 		for i := 0; i < n; i++ {
 			en := &s.scratch[i]
+			if en.b.sp != nil {
+				if drainNs == 0 {
+					drainNs = obs.SpanNow()
+				}
+				en.b.sp.StampAt(obs.StageDequeue, drainNs)
+			}
 			switch en.op.Kind {
 			case OpPush:
 				err := s.q.Push(en.op.Elem)
@@ -565,10 +610,17 @@ func (s *shard) run() {
 		if s.ov.enabled() {
 			s.updateOverload(occ, start)
 		}
+		var applyNs int64
 		for i := 0; i < n; i++ {
 			b := s.scratch[i].b
 			s.scratch[i] = entry{}
 			if b.pending.Add(-1) == 0 {
+				if b.sp != nil {
+					if applyNs == 0 {
+						applyNs = obs.SpanNow()
+					}
+					b.sp.StampAt(obs.StageApply, applyNs)
+				}
 				close(b.done)
 			}
 		}

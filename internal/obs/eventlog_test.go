@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// logLines decodes one JSON record per line.
+func logLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad log line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestDedupHandlerSuppresses(t *testing.T) {
+	var buf bytes.Buffer
+	h := NewDedupHandler(slog.NewJSONHandler(&buf, nil), time.Minute, slog.LevelError)
+	now := time.Unix(0, 0)
+	h.now = func() time.Time { return now }
+	lg := slog.New(h)
+
+	for i := 0; i < 10; i++ {
+		lg.Info("follower reconnect", "attempt", i)
+	}
+	lines := logLines(t, &buf)
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1 (repeats suppressed)", len(lines))
+	}
+
+	// Past the window the next record flushes with the suppressed count.
+	now = now.Add(2 * time.Minute)
+	lg.Info("follower reconnect", "attempt", 10)
+	lines = logLines(t, &buf)
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	if got, ok := lines[1]["suppressed"].(float64); !ok || got != 9 {
+		t.Fatalf("suppressed attr = %v, want 9", lines[1]["suppressed"])
+	}
+}
+
+func TestDedupHandlerDistinctMessagesPass(t *testing.T) {
+	var buf bytes.Buffer
+	lg := slog.New(NewDedupHandler(slog.NewJSONHandler(&buf, nil), time.Minute, slog.LevelError))
+	lg.Info("msg one")
+	lg.Info("msg two")
+	lg.Warn("msg one") // different level: distinct key
+	if lines := logLines(t, &buf); len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+}
+
+func TestDedupHandlerErrorsBypass(t *testing.T) {
+	var buf bytes.Buffer
+	lg := slog.New(NewDedupHandler(slog.NewJSONHandler(&buf, nil), time.Minute, slog.LevelError))
+	for i := 0; i < 5; i++ {
+		lg.Error("disk on fire", "i", i)
+	}
+	if lines := logLines(t, &buf); len(lines) != 5 {
+		t.Fatalf("got %d error lines, want 5 (errors never suppressed)", len(lines))
+	}
+}
+
+func TestDedupHandlerEviction(t *testing.T) {
+	var buf bytes.Buffer
+	h := NewDedupHandler(slog.NewJSONHandler(&buf, nil), time.Minute, slog.LevelError)
+	lg := slog.New(h)
+	for i := 0; i < maxDedupKeys+100; i++ {
+		lg.Info("unique message " + string(rune('a'+i%26)) + "-" + time.Duration(i).String())
+	}
+	h.mu.Lock()
+	n := len(h.seen)
+	h.mu.Unlock()
+	if n > maxDedupKeys {
+		t.Fatalf("dedup table grew to %d keys, cap %d", n, maxDedupKeys)
+	}
+}
+
+func TestEventLoggerConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	lg := NewEventLogger(w, slog.LevelInfo, time.Minute)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				lg.Info("hot event", "g", g, "i", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if lines := logLines(t, &buf); len(lines) != 1 {
+		t.Fatalf("got %d lines from 800 identical events, want 1", len(lines))
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

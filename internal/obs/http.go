@@ -35,23 +35,58 @@ func Handler(r *Registry) http.Handler {
 // reports 503 and stays out of load-balancer rotation without being
 // restarted.
 func HandlerHealth(r *Registry, healthy, ready func() bool) http.Handler {
+	return HandlerOpts(r, HandlerOptions{Healthy: healthy, Ready: ready})
+}
+
+// HandlerOptions parameterise HandlerOpts beyond the bare probes.
+type HandlerOptions struct {
+	// Healthy gates /healthz; nil means always live.
+	Healthy func() bool
+	// Ready gates /readyz; nil falls back to Healthy.
+	Ready func() bool
+	// Detail, when set, is sampled per probe request and merged into
+	// the probe's JSON body (role, replication lag, overload state…) so
+	// operators and dashboards can tell *why* a node is unready.
+	Detail func() map[string]any
+	// Trace, when set, serves the recorder's accumulated Chrome trace
+	// at /trace.json.
+	Trace *TraceRecorder
+}
+
+// HandlerOpts is HandlerHealth with probe detail and trace export. The
+// probes answer with a JSON body — {"ok":bool, ...detail} — under the
+// same 200/503 status contract, so existing status-code checks keep
+// working while curl and bmwtop get the reason.
+func HandlerOpts(r *Registry, opts HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
-	probe := func(check func() bool, name string) http.HandlerFunc {
+	probe := func(check func() bool) http.HandlerFunc {
 		return func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "text/plain")
-			if check != nil && !check() {
-				w.WriteHeader(http.StatusServiceUnavailable)
-				w.Write([]byte("not " + name + "\n"))
-				return
+			ok := check == nil || check()
+			body := map[string]any{"ok": ok}
+			if opts.Detail != nil {
+				for k, v := range opts.Detail() {
+					body[k] = v
+				}
 			}
-			w.Write([]byte("ok\n"))
+			w.Header().Set("Content-Type", "application/json")
+			if !ok {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			_ = json.NewEncoder(w).Encode(body)
 		}
 	}
+	ready := opts.Ready
 	if ready == nil {
-		ready = healthy
+		ready = opts.Healthy
 	}
-	mux.HandleFunc("/healthz", probe(healthy, "healthy"))
-	mux.HandleFunc("/readyz", probe(ready, "ready"))
+	mux.HandleFunc("/healthz", probe(opts.Healthy))
+	mux.HandleFunc("/readyz", probe(ready))
+	if opts.Trace != nil {
+		mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = opts.Trace.WriteTo(w)
+		})
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = r.WritePrometheus(w)
@@ -86,9 +121,15 @@ func NewServer(addr string, r *Registry) *http.Server {
 // NewServerHealth is NewServer with liveness/readiness probes (see
 // HandlerHealth).
 func NewServerHealth(addr string, r *Registry, healthy, ready func() bool) *http.Server {
+	return NewServerOpts(addr, r, HandlerOptions{Healthy: healthy, Ready: ready})
+}
+
+// NewServerOpts is NewServer with full handler options (probe detail,
+// trace export).
+func NewServerOpts(addr string, r *Registry, opts HandlerOptions) *http.Server {
 	return &http.Server{
 		Addr:              addr,
-		Handler:           HandlerHealth(r, healthy, ready),
+		Handler:           HandlerOpts(r, opts),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
 		IdleTimeout:       120 * time.Second,

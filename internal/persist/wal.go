@@ -213,6 +213,13 @@ type WAL struct {
 	commits *obs.Counter
 	fsyncs  *obs.Counter
 	retries *obs.Counter
+	// Latency quantiles: how long one group-commit write (and one
+	// fsync) takes — the WAL's contribution to the request commit
+	// stage — plus the ops-per-commit batch-size distribution the
+	// group-commit threshold actually achieves.
+	commitNs  *obs.QuantileHistogram
+	fsyncNs   *obs.QuantileHistogram
+	batchSize *obs.Histogram
 }
 
 // NewWAL wraps an append-positioned file. startLSN is the number of
@@ -241,6 +248,13 @@ func (w *WAL) Instrument(reg *obs.Registry, prefix string) {
 	w.commits = reg.Counter(prefix + "_wal_commits_total")
 	w.fsyncs = reg.Counter(prefix + "_wal_fsyncs_total")
 	w.retries = reg.Counter(prefix + "_wal_retry_total")
+	reg.Help(prefix+"_wal_commit_ns", "group-commit write latency (write through the file, excluding fsync)")
+	w.commitNs = reg.QuantileHistogram(prefix + "_wal_commit_ns")
+	reg.Help(prefix+"_wal_fsync_ns", "fsync latency per policy-triggered sync")
+	w.fsyncNs = reg.QuantileHistogram(prefix + "_wal_fsync_ns")
+	reg.Help(prefix+"_wal_commit_ops", "records per group commit")
+	w.batchSize = reg.Histogram(prefix+"_wal_commit_ops",
+		[]uint64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
 }
 
 // LSN returns the log sequence number: total records appended,
@@ -278,10 +292,18 @@ func (w *WAL) Commit() error {
 	if w.bufOps == 0 {
 		return nil
 	}
+	var start time.Time
+	if w.commitNs != nil {
+		start = time.Now()
+	}
 	if err := w.writeRetry(w.buf); err != nil {
 		w.err = fmt.Errorf("persist: WAL commit failed: %w", err)
 		return w.err
 	}
+	if w.commitNs != nil {
+		w.commitNs.Observe(uint64(time.Since(start)))
+	}
+	w.batchSize.Observe(uint64(w.bufOps))
 	w.bytes.Add(uint64(len(w.buf)))
 	w.commits.Inc()
 	w.durable += uint64(w.bufOps)
@@ -298,6 +320,10 @@ func (w *WAL) Sync() error {
 	if w.err != nil {
 		return w.err
 	}
+	var start time.Time
+	if w.fsyncNs != nil {
+		start = time.Now()
+	}
 	err := w.f.Sync()
 	for attempt := 0; err != nil && w.opts.Transient != nil && w.opts.Transient(err) && attempt < w.opts.MaxRetries; attempt++ {
 		w.retries.Inc()
@@ -307,6 +333,9 @@ func (w *WAL) Sync() error {
 	if err != nil {
 		w.err = fmt.Errorf("persist: WAL fsync failed: %w", err)
 		return w.err
+	}
+	if w.fsyncNs != nil {
+		w.fsyncNs.Observe(uint64(time.Since(start)))
 	}
 	w.fsyncs.Inc()
 	return nil

@@ -325,6 +325,17 @@ func TestWALInstrumentCounters(t *testing.T) {
 			t.Errorf("%s = %d, want %d", name, snap.Counters[name], want)
 		}
 	}
+	// Latency and batch-size distributions: one observation per commit.
+	if got := snap.Quantile("p_wal_commit_ns").Count; got != 2 {
+		t.Errorf("p_wal_commit_ns count = %d, want 2", got)
+	}
+	if got := snap.Quantile("p_wal_fsync_ns").Count; got != 2 {
+		t.Errorf("p_wal_fsync_ns count = %d, want 2", got)
+	}
+	bs := snap.Histograms["p_wal_commit_ops"]
+	if bs.Count != 2 || bs.Sum != 4 {
+		t.Errorf("p_wal_commit_ops count=%d sum=%d, want count=2 sum=4 (two 2-op commits)", bs.Count, bs.Sum)
+	}
 }
 
 func TestSyncPolicyString(t *testing.T) {

@@ -1,16 +1,20 @@
 package replic
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -45,6 +49,10 @@ type Config struct {
 	StreamTimeout time.Duration
 	// Logf, when set, receives diagnostic lines.
 	Logf func(format string, args ...any)
+	// Logger, when set, receives structured replication events (attach,
+	// detach, refusal, promotion, stream errors) and takes precedence
+	// over Logf.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +134,20 @@ type Node struct {
 	// deletes entries as they become contiguous. Owned by the follower
 	// goroutine — no lock.
 	appliedGroups map[uint64]uint64
+
+	// Telemetry state (follower side): when the last stream frame
+	// arrived (UnixNano) and the highest stream sequence received —
+	// received-but-unapplied is the follower's replication lag.
+	lastRecvNs atomic.Int64
+	remoteSeq  atomic.Uint64
+
+	// Instruments (nil-safe until Instrument is called).
+	ackLatency    *obs.QuantileHistogram
+	reorderDepth  *obs.Histogram
+	recordsInc    *obs.Counter
+	acksInc       *obs.Counter
+	reconnectsInc *obs.Counter
+	heartbeatsInc *obs.Counter
 
 	promote     chan struct{}
 	promoteOnce sync.Once
@@ -248,6 +270,109 @@ func (n *Node) logf(format string, args ...any) {
 	}
 }
 
+// event emits one structured replication event through the slog
+// handler, falling back to the printf logger with key=value rendering.
+func (n *Node) event(level slog.Level, msg string, attrs ...any) {
+	if n.cfg.Logger != nil {
+		n.cfg.Logger.Log(context.Background(), level, msg, attrs...)
+		return
+	}
+	if n.cfg.Logf == nil {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(msg)
+	for i := 0; i+1 < len(attrs); i += 2 {
+		fmt.Fprintf(&b, " %v=%v", attrs[i], attrs[i+1])
+	}
+	n.cfg.Logf("%s", b.String())
+}
+
+// Lag returns the node's replication lag in log sequences. A primary
+// with no attached follower reports 0 (there is nothing to lag behind);
+// with followers it is the log tip minus the highest follower ack. A
+// follower reports the stream sequences it knows exist (received, or
+// the tip observed at attach) but has not yet applied.
+func (n *Node) Lag() uint64 {
+	if n.role.Load() == rolePrimary {
+		if n.followers.Load() == 0 {
+			return 0
+		}
+		tip, ack := n.log.Seq(), n.AckSeq()
+		if tip <= ack {
+			return 0
+		}
+		return tip - ack
+	}
+	tip := n.remoteSeq.Load()
+	if t := n.tipAtAttach.Load(); t > tip {
+		tip = t
+	}
+	pos := n.streamPos.Load()
+	if tip <= pos {
+		return 0
+	}
+	return tip - pos
+}
+
+// HeartbeatAge returns how long ago the follower last heard from its
+// primary (any stream frame counts); zero on a primary or before the
+// first frame.
+func (n *Node) HeartbeatAge() time.Duration {
+	last := n.lastRecvNs.Load()
+	if last == 0 || n.role.Load() == rolePrimary {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - last)
+}
+
+// Instrument registers the node's replication telemetry in reg under
+// prefix: role/serving/degraded/sync-mode state gauges, log and ack
+// sequence gauges, the LSN lag gauge, heartbeat age, sync-ack latency
+// and reorder-buffer-depth histograms, and apply/ack/reconnect
+// counters. Nil registry disables everything.
+func (n *Node) Instrument(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Help(prefix+"_role", "replication role: 0 primary, 1 follower")
+	reg.GaugeFunc(prefix+"_role", func() float64 { return float64(n.role.Load()) })
+	reg.GaugeFunc(prefix+"_serving", func() float64 { return b2f(n.srv.Serving()) })
+	reg.Help(prefix+"_degraded", "1 once a sync ack timed out or the follower detached with waiters blocked")
+	reg.GaugeFunc(prefix+"_degraded", func() float64 { return b2f(n.degraded.Load()) })
+	reg.GaugeFunc(prefix+"_sync_mode", func() float64 { return b2f(n.cfg.Sync) })
+	reg.GaugeFunc(prefix+"_followers", func() float64 { return float64(n.followers.Load()) })
+	reg.GaugeFunc(prefix+"_log_seq", func() float64 { return float64(n.log.Seq()) })
+	reg.Help(prefix+"_ack_seq", "primary: highest follower-acked sequence; follower: applied frontier")
+	reg.GaugeFunc(prefix+"_ack_seq", func() float64 {
+		if n.role.Load() == rolePrimary {
+			return float64(n.AckSeq())
+		}
+		return float64(n.streamPos.Load())
+	})
+	reg.Help(prefix+"_lag", "replication lag in log sequences (0 when nothing to catch up)")
+	reg.GaugeFunc(prefix+"_lag", func() float64 { return float64(n.Lag()) })
+	reg.Help(prefix+"_heartbeat_age_seconds", "follower: seconds since the last stream frame from the primary")
+	reg.GaugeFunc(prefix+"_heartbeat_age_seconds", func() float64 { return n.HeartbeatAge().Seconds() })
+	reg.Help(prefix+"_ack_latency_ns", "sync-mode response gating: how long a response waited for its follower ack")
+	n.ackLatency = reg.QuantileHistogram(prefix + "_ack_latency_ns")
+	reg.Help(prefix+"_reorder_depth", "groups buffered out of LSN order after each apply pass")
+	n.reorderDepth = reg.Histogram(prefix+"_reorder_depth",
+		[]uint64{0, 1, 2, 4, 8, 16, 32, 64, 128})
+	n.recordsInc = reg.Counter(prefix + "_records_applied_total")
+	n.acksInc = reg.Counter(prefix + "_acks_total")
+	n.reconnectsInc = reg.Counter(prefix + "_reconnects_total")
+	n.heartbeatsInc = reg.Counter(prefix + "_heartbeats_total")
+}
+
+// b2f renders a bool as a 0/1 gauge value.
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
 // ---------------------------------------------------------------------
 // Primary side: batch tap, sync gating, follower streams.
 
@@ -300,6 +425,10 @@ func (n *Node) onBatch(session, reqID uint64, ops []engine.Op, results []engine.
 // passes (which marks the node Degraded: the response is released
 // without proof of replication).
 func (n *Node) waitAck(seq uint64) {
+	if n.ackLatency != nil {
+		start := time.Now()
+		defer func() { n.ackLatency.Observe(uint64(time.Since(start))) }()
+	}
 	n.amu.Lock()
 	if n.ackSeq >= seq {
 		n.amu.Unlock()
@@ -324,6 +453,7 @@ func (n *Node) waitAck(seq uint64) {
 
 // updateAck records a follower ack and releases waiters it covers.
 func (n *Node) updateAck(seq uint64) {
+	n.acksInc.Inc()
 	n.amu.Lock()
 	if seq > n.ackSeq {
 		n.ackSeq = seq
@@ -379,7 +509,9 @@ func (n *Node) handleRepl(conn net.Conn, hello wire.Frame) {
 		return
 	}
 	if m != n.man {
-		n.logf("replic: refusing follower: manifest %+v != %+v", m, n.man)
+		n.event(slog.LevelWarn, "replic: refusing follower",
+			"reason", "manifest mismatch",
+			"follower", fmt.Sprintf("%+v", m), "primary", fmt.Sprintf("%+v", n.man))
 		fail(fmt.Sprintf("manifest mismatch: follower %+v, primary %+v", m, n.man))
 		return
 	}
@@ -389,7 +521,10 @@ func (n *Node) handleRepl(conn net.Conn, hello wire.Frame) {
 	// records whose sequences mean different things and corrupt the
 	// follower's frontier and dedup bookkeeping.
 	if resume > 0 && helloLogID != n.logID {
-		n.logf("replic: refusing follower: resume %d minted against log %x, ours is %x", resume, helloLogID, n.logID)
+		n.event(slog.LevelWarn, "replic: refusing follower",
+			"reason", "log identity mismatch",
+			"resume", resume, "follower_log", fmt.Sprintf("%x", helloLogID),
+			"primary_log", fmt.Sprintf("%x", n.logID))
 		fail(fmt.Sprintf("resume %d minted against log %x, this log is %x", resume, helloLogID, n.logID))
 		return
 	}
@@ -401,13 +536,13 @@ func (n *Node) handleRepl(conn net.Conn, hello wire.Frame) {
 	if err := wire.WriteFrame(conn, wire.TReplOK, hello.ID, AppendReplOK(nil, n.log.Seq(), n.logID)); err != nil {
 		return
 	}
-	n.logf("replic: follower attached at seq %d", resume)
+	n.event(slog.LevelInfo, "replic: follower attached", "seq", resume)
 	n.followers.Add(1)
 	defer func() {
 		if n.followers.Add(-1) == 0 {
 			n.releaseWaiters()
 		}
-		n.logf("replic: follower detached")
+		n.event(slog.LevelInfo, "replic: follower detached")
 	}()
 
 	var stop atomic.Bool
@@ -545,7 +680,7 @@ func (n *Node) runFollower() {
 			// The primary refused us or is a different log than the one
 			// our state was built from. Redialing cannot help; hold the
 			// applied state and wait for an operator decision.
-			n.logf("replic: stream unrecoverable: %v", err)
+			n.event(slog.LevelError, "replic: stream unrecoverable", "err", err)
 			n.degraded.Store(true)
 			select {
 			case <-n.promote:
@@ -555,7 +690,8 @@ func (n *Node) runFollower() {
 			return
 		}
 		if err != nil {
-			n.logf("replic: stream ended: %v", err)
+			n.event(slog.LevelWarn, "replic: stream ended", "err", err)
+			n.reconnectsInc.Inc()
 			t := time.NewTimer(delay)
 			select {
 			case <-t.C:
@@ -583,7 +719,8 @@ func (n *Node) finishPromotion() {
 	n.role.Store(rolePrimary)
 	n.attached.Store(false)
 	n.srv.SetServing(true)
-	n.logf("replic: promoted to primary at stream seq %d, own log seq %d", n.streamPos.Load(), n.log.Seq())
+	n.event(slog.LevelInfo, "replic: promoted to primary",
+		"stream_seq", n.streamPos.Load(), "log_seq", n.log.Seq())
 }
 
 // streamOnce runs one attach-stream-apply session against the primary.
@@ -637,7 +774,8 @@ func (n *Node) streamOnce() error {
 		n.caughtUp.Store(true)
 	}
 	n.attached.Store(true)
-	n.logf("replic: attached to %s at seq %d, tip %d", n.cfg.PrimaryAddr, resume, tip)
+	n.event(slog.LevelInfo, "replic: attached to primary",
+		"addr", n.cfg.PrimaryAddr, "seq", resume, "tip", tip)
 
 	// Per-attach reassembly state. Frames deliver records in log order
 	// but can split a group; pending accumulates the tail group until
@@ -656,6 +794,7 @@ func (n *Node) streamOnce() error {
 		if err != nil {
 			return err
 		}
+		n.lastRecvNs.Store(time.Now().UnixNano())
 		if f.Type != wire.TReplRecords {
 			return fmt.Errorf("replic: stream got frame type %d", f.Type)
 		}
@@ -664,6 +803,7 @@ func (n *Node) streamOnce() error {
 			return err
 		}
 		if len(recs) == 0 {
+			n.heartbeatsInc.Inc()
 			continue // heartbeat
 		}
 		if first != recvSeq+1 {
@@ -689,6 +829,7 @@ func (n *Node) streamOnce() error {
 			buffered = append(buffered, g)
 		}
 		recvSeq = first + uint64(len(recs)) - 1
+		n.remoteSeq.Store(recvSeq)
 
 		if buffered, err = n.applyReady(buffered); err != nil {
 			return err
@@ -818,6 +959,7 @@ func (n *Node) applyReady(buffered []grp) ([]grp, error) {
 			return nil, err
 		}
 	}
+	n.recordsInc.Add(uint64(len(toApply)))
 	// Every ready group is now fully in the engine: log it, install its
 	// dedup entry, and record it for frontier advance.
 	rest := buffered[:0]
@@ -834,6 +976,7 @@ func (n *Node) applyReady(buffered []grp) ([]grp, error) {
 		}
 		n.appliedGroups[g.start] = g.end
 	}
+	n.reorderDepth.Observe(uint64(len(rest)))
 	return rest, nil
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // ServerConfig tunes a Server's liveness, overload, and retry-dedup
@@ -37,6 +38,13 @@ type ServerConfig struct {
 	// DedupTTL is how long an idle session's cache is kept (default
 	// 5m).
 	DedupTTL time.Duration
+	// Tracer, when non-nil, traces every TBatch request's lifecycle:
+	// the server stamps issue/decode/commit/ack/write, the engine
+	// stamps enqueue/dequeue/apply, and the writer finishes the span
+	// (histogram aggregation plus sampled Chrome-trace export, one
+	// track per connection). Nil disables tracing at one branch per
+	// frame.
+	Tracer *obs.Tracer
 }
 
 // withDefaults fills the zero values that have defaults.
@@ -90,6 +98,11 @@ type Server struct {
 	onRepl  ReplHandler
 
 	dedup dedupTable
+
+	// connSeq numbers accepted connections; the id doubles as the
+	// request-trace track so sampled spans from one connection share a
+	// lane in the viewer.
+	connSeq atomic.Int64
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -205,11 +218,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// response is one encoded frame headed for a connection's writer.
+// response is one encoded frame headed for a connection's writer. sp,
+// when non-nil, is the request's trace span: the writer stamps
+// StageWrite once the bytes hit the socket and finishes the span.
 type response struct {
 	typ     Type
 	id      uint64
 	payload []byte
+	sp      *obs.Span
 }
 
 // serveConn runs one connection's read-execute loop plus its coalescing
@@ -226,12 +242,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	if s.cfg.MaxInflight >= outCap {
 		outCap = s.cfg.MaxInflight + 8
 	}
+	tracer := s.cfg.Tracer
+	connID := s.connSeq.Add(1)
+	tracer.NameTrack(connID, "conn "+conn.RemoteAddr().String())
+
 	out := make(chan response, outCap)
 	var wwg sync.WaitGroup
 	wwg.Add(1)
 	go func() {
 		defer wwg.Done()
-		writeLoop(conn, out, s.cfg.WriteTimeout)
+		writeLoop(conn, out, s.cfg.WriteTimeout, tracer)
 	}()
 	writerStopped := false
 	stopWriter := func() {
@@ -250,6 +270,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		sess    *sessionState
 	)
 	for {
+		// The span origin: when the server turned to this request. Under
+		// a loaded pipeline this is the moment the previous frame's
+		// execution finished, so the decode segment covers socket wait +
+		// read + parse.
+		var issueNs int64
+		if tracer != nil {
+			issueNs = obs.SpanNow()
+		}
 		if s.cfg.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		}
@@ -275,7 +303,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				Version:  Version,
 				Shards:   uint32(s.eng.Shards()),
 				Capacity: uint64(s.eng.Cap()),
-			})}
+			}), nil}
 		case TBatch:
 			if !s.serving.Load() {
 				sendErr(out, f.ID, StatusNotPrimary, errors.New("replication follower: not serving queue traffic"))
@@ -286,6 +314,8 @@ func (s *Server) serveConn(conn net.Conn) {
 				sendErr(out, f.ID, StatusInvalid, err)
 				return
 			}
+			sp := tracer.Begin(connID, issueNs)
+			sp.Stamp(obs.StageDecode)
 			// At-most-once comes before load shedding: a retried id
 			// whose original already executed must get its cached
 			// response verbatim — a fabricated overload refusal would
@@ -295,7 +325,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				sess.mu.Lock()
 				if resp, ok := sess.cache[f.ID]; ok {
 					sess.mu.Unlock()
-					out <- response{TBatchOK, f.ID, resp}
+					out <- response{TBatchOK, f.ID, resp, sp}
 					continue
 				}
 				if f.ID <= sess.evictedMax {
@@ -313,7 +343,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				if sess != nil {
 					sess.mu.Unlock()
 				}
-				out <- response{TBatchOK, f.ID, appendShedResults(nil, len(wireOps))}
+				out <- response{TBatchOK, f.ID, appendShedResults(nil, len(wireOps)), sp}
 				continue
 			}
 			ops = ops[:0]
@@ -329,13 +359,18 @@ func (s *Server) serveConn(conn net.Conn) {
 				results = make([]engine.Result, len(ops))
 			}
 			results = results[:len(ops)]
-			s.eng.SubmitInto(ops, results)
+			s.eng.SubmitTraced(ops, results, sp)
 			payload := make([]byte, 0, 4+len(results)*resultSize)
 			payload = appendEngineResults(payload, results)
 			var wait func()
 			if s.onBatch != nil {
 				wait = s.onBatch(session, f.ID, ops, results, payload)
 			}
+			// Commit and ack are stamped unconditionally: without a
+			// replication/WAL hook (or without sync mode) they are
+			// zero-width segments, keeping all eight stage histograms
+			// populated so dashboards need no per-mode special cases.
+			sp.Stamp(obs.StageCommit)
 			if sess != nil {
 				sess.put(f.ID, payload, s.cfg.DedupWindow)
 				sess.mu.Unlock()
@@ -343,7 +378,8 @@ func (s *Server) serveConn(conn net.Conn) {
 			if wait != nil {
 				wait()
 			}
-			out <- response{TBatchOK, f.ID, payload}
+			sp.Stamp(obs.StageAck)
+			out <- response{TBatchOK, f.ID, payload, sp}
 		case TAdmin:
 			cmd, err := ParseAdmin(f.Payload)
 			if err != nil {
@@ -355,7 +391,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				sendErr(out, f.ID, StatusInvalid, err)
 				return
 			}
-			out <- response{TAdminOK, f.ID, AppendAdminInfo(nil, info)}
+			out <- response{TAdminOK, f.ID, AppendAdminInfo(nil, info), nil}
 		case TReplHello:
 			if s.onRepl == nil {
 				sendErr(out, f.ID, StatusInvalid, errors.New("replication not enabled"))
@@ -436,18 +472,25 @@ func statusOf(err error) Status {
 func sendErr(out chan<- response, id uint64, code Status, err error) {
 	payload := append([]byte{byte(code)}, err.Error()...)
 	select {
-	case out <- response{TError, id, payload}:
+	case out <- response{TError, id, payload, nil}:
 	default:
 	}
 }
 
 // writeLoop is the per-connection coalescing writer: take one
 // response, then opportunistically drain everything else already
-// queued into the same buffer, write once.
-func writeLoop(conn net.Conn, out <-chan response, writeTimeout time.Duration) {
+// queued into the same buffer, write once. Each flushed response's
+// span gets its StageWrite stamp after the socket write and is
+// finished (aggregated, sampled, pooled) here.
+func writeLoop(conn net.Conn, out <-chan response, writeTimeout time.Duration, tracer *obs.Tracer) {
 	buf := make([]byte, 0, 64<<10)
+	var spans []*obs.Span
 	for r := range out {
 		buf = AppendFrame(buf[:0], r.typ, r.id, r.payload)
+		spans = spans[:0]
+		if r.sp != nil {
+			spans = append(spans, r.sp)
+		}
 	coalesce:
 		for {
 			select {
@@ -456,6 +499,9 @@ func writeLoop(conn net.Conn, out <-chan response, writeTimeout time.Duration) {
 					break coalesce
 				}
 				buf = AppendFrame(buf, more.typ, more.id, more.payload)
+				if more.sp != nil {
+					spans = append(spans, more.sp)
+				}
 			default:
 				break coalesce
 			}
@@ -465,9 +511,19 @@ func writeLoop(conn net.Conn, out <-chan response, writeTimeout time.Duration) {
 		}
 		if _, err := conn.Write(buf); err != nil {
 			// Reader will notice the dead conn; just stop writing.
-			for range out {
+			// Finish pending spans unstamped — their last stage stays
+			// wherever execution got to.
+			for _, sp := range spans {
+				tracer.Finish(sp)
+			}
+			for r := range out {
+				tracer.Finish(r.sp)
 			}
 			return
+		}
+		for _, sp := range spans {
+			sp.Stamp(obs.StageWrite)
+			tracer.Finish(sp)
 		}
 	}
 }

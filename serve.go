@@ -101,8 +101,20 @@ const (
 	WireStatusDedupMiss    = wire.StatusDedupMiss
 )
 
+// WireServerConfig tunes a WireServer: connection idle/write budgets,
+// the per-connection in-flight cap, retry-dedup sizing, and an
+// optional RequestTracer for end-to-end request-lifecycle tracing.
+type WireServerConfig = wire.ServerConfig
+
 // NewWireServer wraps an engine for serving; use Serve/Shutdown.
 func NewWireServer(e *Engine) *WireServer { return wire.NewServer(e) }
+
+// NewWireServerConfig is NewWireServer with explicit configuration —
+// in particular WireServerConfig.Tracer, which makes the server stamp
+// every request's lifecycle span.
+func NewWireServerConfig(e *Engine, cfg WireServerConfig) *WireServer {
+	return wire.NewServerConfig(e, cfg)
+}
 
 // DialWire connects to a bmwd-style server and performs the handshake.
 func DialWire(addr string) (*WireClient, error) { return wire.Dial(addr) }
