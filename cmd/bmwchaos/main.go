@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/refpq"
 	"repro/internal/replic"
 	"repro/internal/wire"
@@ -144,31 +145,69 @@ func (p *chaosProxy) arm(f int32, corruptUpstream bool) {
 }
 
 // node is one in-process bmwd equivalent: engine + wire server +
-// replication node on a loopback port.
+// replication node on a loopback port, with the full incident
+// infrastructure attached — every kill and overload episode must leave
+// a valid bundle behind, exactly as a production bmwd would.
 type node struct {
 	eng  *engine.Engine
 	srv  *wire.Server
 	rn   *replic.Node
+	fr   *obs.FlightRecorder
+	inc  *obs.IncidentCapturer
 	addr string
 	dead bool
 }
 
-func startChaosNode(geom engine.Config, primaryAddr string, logf func(string, ...any)) (*node, error) {
+// nodeSeq numbers chaos nodes so each gets its own incident directory.
+var nodeSeq atomic.Uint64
+
+func startChaosNode(geom engine.Config, primaryAddr, incRoot string, logf func(string, ...any)) (*node, error) {
 	eng, err := engine.New(geom)
 	if err != nil {
 		return nil, err
 	}
+	fr := obs.NewFlightRecorder(4096)
+	reg := obs.NewRegistry()
+	eng.Instrument(reg, "chaos_engine")
 	srv := wire.NewServerConfig(eng, wire.ServerConfig{
 		WriteTimeout: 10 * time.Second,
 		MaxInflight:  1024,
 	})
-	rn := replic.Attach(eng, srv, replic.Config{
+	n := &node{eng: eng, srv: srv, fr: fr}
+	// Rate limiting is effectively off (1ms): the harness injects
+	// episodes back to back and asserts a bundle per episode.
+	inc, err := obs.NewIncidentCapturer(obs.IncidentOptions{
+		Dir:         filepath.Join(incRoot, fmt.Sprintf("node-%d", nodeSeq.Add(1))),
+		MaxBundles:  64,
+		MinInterval: time.Millisecond,
+		Flight:      fr,
+		Registry:    reg,
+	})
+	if err != nil {
+		eng.Close()
+		return nil, err
+	}
+	n.inc = inc
+	eng.SetHooks(engine.Hooks{
+		Flight: fr,
+		OnOverloadTrip: func(shard, occ int) {
+			inc.CaptureAsync("overload", fmt.Sprintf("shard %d tripped at occupancy %d", shard, occ))
+		},
+		OnPanic: func(shard int, r any) {
+			_, _ = inc.Capture("panic", fmt.Sprintf("shard %d: %v", shard, r))
+		},
+	})
+	n.rn = replic.Attach(eng, srv, replic.Config{
 		Engine:      geom,
 		PrimaryAddr: primaryAddr,
 		Sync:        true,
 		SyncTimeout: 10 * time.Second,
 		DialRetry:   5 * time.Millisecond,
 		Logf:        logf,
+		Flight:      fr,
+		OnIncident: func(trigger, reason string) {
+			inc.CaptureAsync(trigger, reason)
+		},
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -176,7 +215,8 @@ func startChaosNode(geom engine.Config, primaryAddr string, logf func(string, ..
 		return nil, err
 	}
 	go srv.Serve(ln)
-	return &node{eng: eng, srv: srv, rn: rn, addr: ln.Addr().String()}, nil
+	n.addr = ln.Addr().String()
+	return n, nil
 }
 
 // kill tears the node down abruptly: a 50ms grace, then connections
@@ -195,19 +235,22 @@ func (n *node) kill() {
 
 // evidence is the bmwchaos/v1 result document.
 type evidence struct {
-	Schema        string           `json:"schema"`
-	Result        string           `json:"result"`
-	Errors        []string         `json:"errors,omitempty"`
-	Faults        map[string]int   `json:"faults"`
-	KillCycles    int              `json:"kill_cycles"`
-	FailoverMs    []float64        `json:"failover_ms"`
-	AckedPushes   uint64           `json:"acked_pushes"`
-	AckedPops     uint64           `json:"acked_pops"`
-	FinalDrain    int              `json:"final_drain"`
-	ClientStats   map[string]int64 `json:"client_stats"`
-	ProxyConns    uint64           `json:"proxy_conns"`
-	DurationMs    float64          `json:"duration_ms"`
-	PromotedAtTip []uint64         `json:"promoted_at_tip"`
+	Schema           string           `json:"schema"`
+	Result           string           `json:"result"`
+	Errors           []string         `json:"errors,omitempty"`
+	Faults           map[string]int   `json:"faults"`
+	KillCycles       int              `json:"kill_cycles"`
+	OverloadEpisodes int              `json:"overload_episodes"`
+	FailoverMs       []float64        `json:"failover_ms"`
+	AckedPushes      uint64           `json:"acked_pushes"`
+	AckedPops        uint64           `json:"acked_pops"`
+	FinalDrain       int              `json:"final_drain"`
+	ClientStats      map[string]int64 `json:"client_stats"`
+	ProxyConns       uint64           `json:"proxy_conns"`
+	DurationMs       float64          `json:"duration_ms"`
+	PromotedAtTip    []uint64         `json:"promoted_at_tip"`
+	IncidentBundles  int              `json:"incident_bundles"`
+	BundlesByTrigger map[string]int   `json:"incident_bundles_by_trigger,omitempty"`
 }
 
 // harness owns the run's moving parts and the golden lockstep state.
@@ -220,6 +263,7 @@ type harness struct {
 	prim    *node
 	standby *node
 	ev      *evidence
+	incRoot string
 	verbose bool
 	pushes  uint64
 	pops    uint64
@@ -303,6 +347,57 @@ func (h *harness) faultPhase(nFaults int) error {
 	return nil
 }
 
+// bundleCount returns how many incident bundles exist under the
+// harness's incident root.
+func (h *harness) bundleCount() int {
+	n := 0
+	nodes, _ := os.ReadDir(h.incRoot)
+	for _, d := range nodes {
+		if !d.IsDir() {
+			continue
+		}
+		bs, _ := obs.ListIncidentBundles(filepath.Join(h.incRoot, d.Name()))
+		n += len(bs)
+	}
+	return n
+}
+
+// overloadEpisode induces one deterministic overload trip on the live
+// primary: tighten the watermarks so the next drain trips (1ns drain
+// budget), drive verified traffic until the trip's incident bundle
+// lands, then restore benign admission control and prove the shed
+// clears. Ack-checked ops flow throughout — StatusOverloaded is an
+// acked not-applied outcome, so the golden lockstep holds.
+func (h *harness) overloadEpisode(ep int) error {
+	before := h.bundleCount()
+	h.prim.eng.SetOverload(engine.Overload{
+		HighFrac:         0.99,
+		DrainLatencyHigh: time.Nanosecond,
+		Cooloff:          50 * time.Millisecond,
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for h.bundleCount() == before {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("overload episode %d: no incident bundle within 30s", ep)
+		}
+		if err := h.oneOp(); err != nil {
+			return fmt.Errorf("overload episode %d: %w", ep, err)
+		}
+	}
+	// Restore benign config; the tripped latch clears via the 50ms
+	// push-path cooloff and traffic must flow cleanly again.
+	h.prim.eng.SetOverload(engine.Overload{})
+	time.Sleep(60 * time.Millisecond)
+	for j := 0; j < 10; j++ {
+		if err := h.oneOp(); err != nil {
+			return fmt.Errorf("overload episode %d recovery: %w", ep, err)
+		}
+	}
+	h.ev.OverloadEpisodes++
+	h.logf("overload episode %d: bundle captured, latch cleared", ep)
+	return nil
+}
+
 // waitReplicated blocks until the standby has acknowledged the
 // primary's full log.
 func (h *harness) waitReplicated() error {
@@ -333,6 +428,12 @@ func (h *harness) killCycle(cycle int, budget time.Duration) error {
 	tip := h.prim.rn.LogSeq()
 
 	h.logf("cycle %d: killing primary %s at log tip %d", cycle, h.prim.addr, tip)
+	// The kill bundle: captured synchronously on the victim before
+	// teardown, the way a production bmwd's SIGQUIT/shutdown hook
+	// would freeze its state.
+	if _, err := h.prim.inc.Capture("kill", fmt.Sprintf("cycle %d: primary killed at log tip %d", cycle, tip)); err != nil {
+		return fmt.Errorf("cycle %d: kill bundle: %w", cycle, err)
+	}
 	h.prim.kill()
 	t0 := time.Now()
 	h.standby.rn.Promote()
@@ -355,7 +456,7 @@ func (h *harness) killCycle(cycle int, budget time.Duration) error {
 	}
 	h.logf("cycle %d: failover in %v", cycle, failover)
 
-	fresh, err := startChaosNode(h.geom, h.prim.addr, nil)
+	fresh, err := startChaosNode(h.geom, h.prim.addr, h.incRoot, nil)
 	if err != nil {
 		return fmt.Errorf("cycle %d: fresh standby: %w", cycle, err)
 	}
@@ -399,18 +500,29 @@ func (h *harness) finalDrain() error {
 
 func main() {
 	var (
-		faults  = flag.Int("faults", 25, "connection faults to inject")
-		kills   = flag.Int("kills", 5, "primary kill-and-promote cycles")
-		shards  = flag.Int("shards", 2, "engine shards per node")
-		queue   = flag.String("queue", "core", "queue kind: core, pifo, rbmw, rpubmw")
-		levels  = flag.Int("l", 10, "tree levels (capacity)")
-		stall   = flag.Duration("stall", 250*time.Millisecond, "stall fault hold time")
-		budget  = flag.Duration("failover-budget", 5*time.Second, "max allowed kill-to-first-success time")
-		seed    = flag.Int64("seed", 1, "workload and fault seed")
-		evDir   = flag.String("evidence", "chaos-evidence", "directory for the bmwchaos/v1 JSON evidence file")
-		verbose = flag.Bool("v", false, "log each fault and cycle")
+		faults    = flag.Int("faults", 25, "connection faults to inject")
+		overloads = flag.Int("overloads", 3, "induced overload episodes (each must yield an incident bundle)")
+		kills     = flag.Int("kills", 5, "primary kill-and-promote cycles")
+		shards    = flag.Int("shards", 2, "engine shards per node")
+		queue     = flag.String("queue", "core", "queue kind: core, pifo, rbmw, rpubmw")
+		levels    = flag.Int("l", 10, "tree levels (capacity)")
+		stall     = flag.Duration("stall", 250*time.Millisecond, "stall fault hold time")
+		budget    = flag.Duration("failover-budget", 5*time.Second, "max allowed kill-to-first-success time")
+		seed      = flag.Int64("seed", 1, "workload and fault seed")
+		evDir     = flag.String("evidence", "chaos-evidence", "directory for the bmwchaos/v1 JSON evidence file")
+		verbose   = flag.Bool("v", false, "log each fault and cycle")
+		validate  = flag.String("validate-bundles", "", "validate every incident bundle under this directory and exit (no chaos run)")
 	)
 	flag.Parse()
+
+	if *validate != "" {
+		n, err := validateBundleDir(*validate)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("bmwchaos: %d incident bundle(s) under %s valid\n", n, *validate)
+		return
+	}
 
 	kind, err := engine.ParseKind(*queue)
 	if err != nil {
@@ -419,9 +531,18 @@ func main() {
 	geom := engine.Config{Shards: *shards, Kind: kind, Order: 2, Levels: *levels, Routing: engine.RouteRank}
 
 	ev := &evidence{Schema: "bmwchaos/v1", Faults: map[string]int{}}
+	incRoot := filepath.Join(*evDir, "incidents")
+	if err := os.MkdirAll(incRoot, 0o755); err != nil {
+		fatalf("incident dir: %v", err)
+	}
 	start := time.Now()
-	runErr := run(geom, *faults, *kills, *stall, *budget, *seed, *verbose, ev)
+	runErr := run(geom, *faults, *overloads, *kills, *stall, *budget, *seed, *verbose, incRoot, ev)
 	ev.DurationMs = float64(time.Since(start).Microseconds()) / 1000
+	if err := auditBundles(incRoot, *kills, *overloads, ev); err != nil && runErr == nil {
+		runErr = err
+	} else if err != nil {
+		ev.Errors = append(ev.Errors, err.Error())
+	}
 	if runErr != nil {
 		ev.Result = "fail"
 		ev.Errors = append(ev.Errors, runErr.Error())
@@ -437,11 +558,75 @@ func main() {
 	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
 		fatalf("write evidence: %v", err)
 	}
-	fmt.Printf("bmwchaos: %s — %d fault(s), %d kill cycle(s), %d acked pushes, %d acked pops, evidence in %s\n",
-		ev.Result, len(ev.FailoverMs)+sumFaults(ev), ev.KillCycles, ev.AckedPushes, ev.AckedPops, path)
+	fmt.Printf("bmwchaos: %s — %d fault(s), %d kill cycle(s), %d overload episode(s), %d acked pushes, %d acked pops, %d incident bundle(s), evidence in %s\n",
+		ev.Result, sumFaults(ev), ev.KillCycles, ev.OverloadEpisodes,
+		ev.AckedPushes, ev.AckedPops, ev.IncidentBundles, path)
 	if runErr != nil {
 		fatalf("%v", runErr)
 	}
+}
+
+// validateBundleDir checks every incident bundle directly under dir
+// (the standalone `-validate-bundles` mode CI points at a daemon's
+// -incident-dir), requiring at least one valid bundle.
+func validateBundleDir(dir string) (int, error) {
+	bundles, err := obs.ListIncidentBundles(dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(bundles) == 0 {
+		return 0, fmt.Errorf("no incident bundles under %s", dir)
+	}
+	for _, b := range bundles {
+		if err := obs.ValidateIncidentBundle(b); err != nil {
+			return 0, err
+		}
+	}
+	return len(bundles), nil
+}
+
+// auditBundles is the post-run incident acceptance check: every bundle
+// under incRoot must validate (manifest checksums, required artifacts,
+// parseable non-empty flight record), and the trigger tally must show
+// at least one bundle per kill and per overload episode.
+func auditBundles(incRoot string, kills, overloads int, ev *evidence) error {
+	ev.BundlesByTrigger = map[string]int{}
+	nodes, err := os.ReadDir(incRoot)
+	if err != nil {
+		return fmt.Errorf("incident audit: %w", err)
+	}
+	for _, d := range nodes {
+		if !d.IsDir() {
+			continue
+		}
+		nodeDir := filepath.Join(incRoot, d.Name())
+		bundles, err := obs.ListIncidentBundles(nodeDir)
+		if err != nil {
+			return fmt.Errorf("incident audit: list %s: %w", nodeDir, err)
+		}
+		for _, dir := range bundles { // ListIncidentBundles returns full paths
+			if err := obs.ValidateIncidentBundle(dir); err != nil {
+				return fmt.Errorf("incident audit: invalid bundle %s: %w", dir, err)
+			}
+			raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+			if err != nil {
+				return fmt.Errorf("incident audit: %w", err)
+			}
+			man, err := obs.ParseIncidentManifest(raw)
+			if err != nil {
+				return fmt.Errorf("incident audit: manifest %s: %w", dir, err)
+			}
+			ev.IncidentBundles++
+			ev.BundlesByTrigger[man.Trigger]++
+		}
+	}
+	if got := ev.BundlesByTrigger["kill"]; got < kills {
+		return fmt.Errorf("incident audit: %d kill bundle(s) for %d kill cycle(s)", got, kills)
+	}
+	if got := ev.BundlesByTrigger["overload"]; got < overloads {
+		return fmt.Errorf("incident audit: %d overload bundle(s) for %d overload episode(s)", got, overloads)
+	}
+	return nil
 }
 
 func sumFaults(ev *evidence) int {
@@ -457,12 +642,13 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
-func run(geom engine.Config, faults, kills int, stall, budget time.Duration, seed int64, verbose bool, ev *evidence) error {
+func run(geom engine.Config, faults, overloads, kills int, stall, budget time.Duration, seed int64, verbose bool, incRoot string, ev *evidence) error {
 	h := &harness{
 		geom:    geom,
 		rng:     rand.New(rand.NewSource(seed)),
 		golden:  refpq.New(),
 		ev:      ev,
+		incRoot: incRoot,
 		verbose: verbose,
 	}
 	logf := func(format string, args ...any) {
@@ -471,13 +657,13 @@ func run(geom engine.Config, faults, kills int, stall, budget time.Duration, see
 		}
 	}
 
-	prim, err := startChaosNode(geom, "", logf)
+	prim, err := startChaosNode(geom, "", incRoot, logf)
 	if err != nil {
 		return err
 	}
 	h.prim = prim
 	defer func() { h.prim.kill() }()
-	standby, err := startChaosNode(geom, prim.addr, logf)
+	standby, err := startChaosNode(geom, prim.addr, incRoot, logf)
 	if err != nil {
 		return err
 	}
@@ -530,6 +716,11 @@ func run(geom engine.Config, faults, kills int, stall, budget time.Duration, see
 
 	if err := h.faultPhase(faults); err != nil {
 		return err
+	}
+	for ep := 1; ep <= overloads; ep++ {
+		if err := h.overloadEpisode(ep); err != nil {
+			return err
+		}
 	}
 	for c := 1; c <= kills; c++ {
 		if err := h.killCycle(c, budget); err != nil {

@@ -40,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/replic"
@@ -80,14 +81,31 @@ func main() {
 		ovLow     = flag.Float64("overload-low", 0, "occupancy fraction that clears overload (0 = half of -overload-high)")
 		ovLatency = flag.Duration("overload-drain-latency", 20*time.Millisecond, "drain-batch latency that trips shard overload (0 = occupancy only)")
 		ovCooloff = flag.Duration("overload-cooloff", 0, "how long a tripped shard sheds without a drain before the latch expires (0 = default 250ms)")
+
+		flightSize  = flag.Int("flight", 8192, "flight-recorder ring size in events (0 = off)")
+		incidentDir = flag.String("incident-dir", "", "write incident bundles here on panic/SIGQUIT/overload/repl-degrade/SLO-page (empty = off)")
+		incidentCap = flag.Int("incident-keep", 16, "retained incident bundles before the oldest is pruned")
+		incidentGap = flag.Duration("incident-min-interval", 30*time.Second, "rate limit between non-forced incident captures")
+		sloSpec     = flag.String("slo", "", "comma-separated SLOs, e.g. p99<10ms,availability>0.999,lag<5000 (empty = off)")
+		sloShort    = flag.Duration("slo-short-window", 10*time.Second, "SLO burn-rate short window (violating raises warn)")
+		sloLong     = flag.Duration("slo-long-window", time.Minute, "SLO burn-rate long window (short+long violating raises page)")
+		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version("bmwd"))
+		return
+	}
 
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
 		fatalf("bad -log-level %q: %v", *logLevel, err)
 	}
-	logger := obs.NewEventLogger(os.Stderr, level, 5*time.Second)
+	// The flight recorder is the black box: every error log line,
+	// overload/backpressure edge, replication transition, WAL stall, SLO
+	// transition and sampled/slow/errored span lands in its ring.
+	flight := obs.NewFlightRecorder(*flightSize)
+	logger := obs.NewEventLoggerFlight(os.Stderr, level, 5*time.Second, flight)
 
 	var routing engine.Routing
 	switch *route {
@@ -128,22 +146,30 @@ func main() {
 
 	reg := obs.NewRegistry()
 	eng.Instrument(reg, "bmwd_engine")
+	flight.Instrument(reg, "bmwd_flight")
 
 	// Request tracing: stage quantiles aggregate whenever the obs
-	// endpoint is up; sampled Chrome-trace export needs -trace-sample.
+	// endpoint is up or an SLO judges them; sampled Chrome-trace export
+	// needs -trace-sample.
 	var rec *obs.TraceRecorder
 	if *sample > 0 {
 		rec = obs.NewTraceRecorder()
 	}
 	var tracer *obs.Tracer
-	if *httpAddr != "" || rec != nil {
+	if *httpAddr != "" || rec != nil || *sloSpec != "" || flight != nil {
 		tracer = obs.NewTracer(obs.TracerOptions{
 			Registry:    reg,
 			Prefix:      "bmwd_trace",
 			Recorder:    rec,
 			SampleEvery: *sample,
+			Flight:      flight,
 		})
 	}
+
+	// inc is declared before the SLO engine and replication node so
+	// their trigger closures can capture it; it is built once both
+	// exist.
+	var inc *obs.IncidentCapturer
 
 	srv := wire.NewServerConfig(eng, wire.ServerConfig{
 		IdleTimeout:  *idleTO,
@@ -157,26 +183,105 @@ func main() {
 		Sync:        *replSync,
 		SyncTimeout: *syncWait,
 		Logger:      logger,
+		Flight:      flight,
+		OnIncident: func(trigger, reason string) {
+			inc.CaptureAsync(trigger, reason)
+		},
 	})
 	node.Instrument(reg, "bmwd_repl")
+
+	detail := func() map[string]any {
+		st := node.Status()
+		return map[string]any{
+			"role":              node.Role(),
+			"serving":           st.Serving,
+			"degraded":          st.Degraded,
+			"caught_up":         node.Ready(),
+			"repl_lag":          node.Lag(),
+			"overloaded_shards": eng.OverloadedShards(),
+		}
+	}
+
+	var sloEng *obs.SLOEngine
+	if *sloSpec != "" {
+		names := obs.SLONames{LagGauge: "bmwd_repl_lag"}
+		if tracer != nil {
+			names.LatencyMetric = obs.StageMetricName("bmwd_trace", obs.StageIssue)
+		}
+		for i := 0; i < eng.Shards(); i++ {
+			p := fmt.Sprintf("bmwd_engine_shard%d", i)
+			names.BadCounters = append(names.BadCounters,
+				p+"_overload_shed_total", p+"_backpressure_total")
+			names.TotalCounters = append(names.TotalCounters,
+				p+"_pushes_total", p+"_pops_total",
+				p+"_overload_shed_total", p+"_backpressure_total")
+		}
+		objectives, err := obs.ParseSLOSpec(*sloSpec, names)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sloEng = obs.NewSLOEngine(obs.SLOOptions{
+			Source:      reg,
+			Registry:    reg,
+			Prefix:      "bmwd_slo",
+			ShortWindow: *sloShort,
+			LongWindow:  *sloLong,
+			Objectives:  objectives,
+			Flight:      flight,
+			OnChange: func(o obs.Objective, from, to obs.SLOState, value float64) {
+				logger.Warn("SLO state change", "objective", o.Name,
+					"from", from.String(), "to", to.String(), "value", value)
+				if to == obs.SLOPage {
+					inc.CaptureAsync("slo_page",
+						fmt.Sprintf("%s=%.0f bound %.0f", o.Name, value, o.Bound))
+				}
+			},
+		})
+	}
+
+	inc, err = obs.NewIncidentCapturer(obs.IncidentOptions{
+		Dir:         *incidentDir,
+		MaxBundles:  *incidentCap,
+		MinInterval: *incidentGap,
+		Flight:      flight,
+		Registry:    reg,
+		Trace:       rec,
+		SLO:         sloEng,
+		Detail:      detail,
+		Logger:      logger,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	inc.Instrument(reg, "bmwd_incident")
+	defer inc.PanicCapture()
+
+	eng.SetHooks(engine.Hooks{
+		Flight: flight,
+		OnOverloadTrip: func(shard, occ int) {
+			inc.CaptureAsync("overload", fmt.Sprintf("shard %d tripped at occupancy %d", shard, occ))
+		},
+		OnPanic: func(shard int, r any) {
+			// Synchronous: the shard goroutine is about to re-panic and
+			// kill the process — this bundle is the last chance.
+			_, _ = inc.Capture("panic", fmt.Sprintf("shard %d: %v", shard, r))
+		},
+	})
+
+	runtimeC := obs.NewRuntimeCollector(reg, "bmwd_runtime")
+	runtimeC.SetFlight(flight, 10*time.Millisecond)
+	stopRuntime := runtimeC.Start(5 * time.Second)
+	sloEng.Start(time.Second)
 
 	var obsSrv *http.Server
 	if *httpAddr != "" {
 		obsSrv = obs.NewServerOpts(*httpAddr, reg, obs.HandlerOptions{
 			Healthy: func() bool { return true },
 			Ready:   node.Ready,
-			Detail: func() map[string]any {
-				st := node.Status()
-				return map[string]any{
-					"role":              node.Role(),
-					"serving":           st.Serving,
-					"degraded":          st.Degraded,
-					"caught_up":         node.Ready(),
-					"repl_lag":          node.Lag(),
-					"overloaded_shards": eng.OverloadedShards(),
-				}
-			},
-			Trace: rec,
+			Detail:  detail,
+			Trace:   rec,
+			SLO:     sloEng,
+			Flight:  flight,
 		})
 		go func() {
 			if err := obsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -200,6 +305,51 @@ func main() {
 			node.Promote()
 		}
 	}()
+	// SIGQUIT is the operator's "freeze the black box now" trigger: a
+	// forced incident capture (bypasses rate limiting), then keep
+	// serving.
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	go func() {
+		for range quitc {
+			if inc == nil {
+				logger.Warn("SIGQUIT received but -incident-dir is not set")
+				continue
+			}
+			_, _ = inc.Capture("sigquit", "operator-requested capture")
+		}
+	}()
+
+	// Readiness-flip watcher: record every edge in the flight ring and
+	// capture a bundle when a node that was serving traffic stops being
+	// ready — the moment an operator will want the black box for.
+	watchDone := make(chan struct{})
+	go func() {
+		t := time.NewTicker(250 * time.Millisecond)
+		defer t.Stop()
+		ready := node.Ready()
+		for {
+			select {
+			case <-watchDone:
+				return
+			case <-t.C:
+				now := node.Ready()
+				if now == ready {
+					continue
+				}
+				was := ready
+				ready = now
+				b := uint64(0)
+				if now {
+					b = 1
+				}
+				flight.Record(obs.FlightReady, 0, b, 0, 0)
+				if was && !now {
+					inc.CaptureAsync("readyz_flip", "node stopped reporting ready")
+				}
+			}
+		}
+	}()
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
@@ -219,6 +369,10 @@ func main() {
 			fatalf("serve: %v", err)
 		}
 	}
+
+	close(watchDone)
+	sloEng.Stop()
+	stopRuntime()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
 	defer cancel()

@@ -40,14 +40,13 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"os/exec"
 	"runtime"
-	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/wire"
@@ -78,20 +77,6 @@ type report struct {
 	GOARCH     string            `json:"goarch"`
 	Commit     string            `json:"commit"`
 	Metrics    map[string]metric `json:"metrics"`
-}
-
-func commitID() string {
-	if bi, ok := debug.ReadBuildInfo(); ok {
-		for _, s := range bi.Settings {
-			if s.Key == "vcs.revision" && s.Value != "" {
-				return s.Value
-			}
-		}
-	}
-	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
-		return strings.TrimSpace(string(out))
-	}
-	return "unknown"
 }
 
 // counters aggregates worker-side tallies with atomics.
@@ -128,8 +113,13 @@ func main() {
 		standby  = flag.String("standby", "", "comma-separated standby addresses to fail over to")
 		reqTO    = flag.Duration("req-timeout", 5*time.Second, "per-attempt request deadline")
 		retryMax = flag.Int("retry-max", 8, "attempts per request before giving up (0 = unlimited)")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version("bmwload"))
+		return
+	}
 	if *mix < 0 || *mix > 1 {
 		fatalf("-mix %v out of [0,1]", *mix)
 	}
@@ -304,7 +294,7 @@ func main() {
 			NumCPU:     runtime.NumCPU(),
 			GOOS:       runtime.GOOS,
 			GOARCH:     runtime.GOARCH,
-			Commit:     commitID(),
+			Commit:     buildinfo.Commit(),
 			Metrics: map[string]metric{
 				"load_mops":       {mops, "Mops", "higher"},
 				"load_p50_us":     {float64(snap.P50), "us", "lower"},

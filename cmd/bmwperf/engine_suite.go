@@ -40,6 +40,15 @@ const engineWorkers = 2
 // always-on cost of the instrumentation points themselves.
 var engineTraceSample int
 
+// engineFlightRec, when true (-flightrec), runs the engine suite with
+// the black-box flight recorder attached: engine hooks record
+// overload/backpressure edges, and one in 64 batches (or the
+// -trace-sample period when set) is carried through the span lifecycle
+// whose Finish performs flight admission. Comparing the measured Mops
+// against the untraced committed baseline gates the black box's
+// overhead — the acceptance bound is 3%.
+var engineFlightRec bool
+
 // engineMops measures aggregate push+pop throughput of a sharded
 // engine at 50% fill: engineWorkers goroutines split ops between them,
 // each submitting alternating push/pop batches of the given size.
@@ -73,12 +82,22 @@ func engineMops(shards, batch, ops int, seed int64) float64 {
 		}
 	}
 
+	var fr *bmw.FlightRecorder
+	if engineFlightRec {
+		fr = bmw.NewFlightRecorder(8192)
+		eng.SetHooks(bmw.EngineHooks{Flight: fr})
+	}
+	sampleN := engineTraceSample
+	if sampleN <= 0 && fr != nil {
+		sampleN = 64
+	}
 	var tracer *bmw.RequestTracer
-	if engineTraceSample > 0 {
+	if sampleN > 0 {
 		tracer = bmw.NewRequestTracer(bmw.RequestTracerOptions{
 			Registry:    bmw.NewMetricsRegistry(),
 			Prefix:      "perf_trace",
-			SampleEvery: engineTraceSample,
+			SampleEvery: sampleN,
+			Flight:      fr,
 		})
 	}
 
@@ -107,7 +126,7 @@ func engineMops(shards, batch, ops int, seed int64) float64 {
 						b[i] = bmw.EnginePopOp()
 					}
 				}
-				if tracer != nil && nbatch%engineTraceSample == 0 {
+				if tracer != nil && nbatch%sampleN == 0 {
 					// Mirror the server's span lifecycle: the wire stages
 					// the bench has no server for are stamped zero-width
 					// around the engine stages SubmitTraced fills in,

@@ -20,10 +20,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+
+	"repro/internal/buildinfo"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: throughput|latency|engine|all")
+	exp := flag.String("exp", "all", "experiment: throughput|latency|engine|allocs|all")
 	quick := flag.Bool("quick", false, "CI-sized suites (fewer ops/flows)")
 	outDir := flag.String("out-dir", ".", "directory for the new BENCH_<exp>.json reports")
 	baselineDir := flag.String("baseline-dir", "", "directory holding baseline BENCH_<exp>.json (default: out-dir)")
@@ -33,15 +35,21 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload seed")
 	slowdown := flag.Float64("inject-slowdown", 1, "degrade all measured metrics by this factor (self-test of the regression gate)")
 	traceSample := flag.Int("trace-sample", 0, "engine suite: trace one in N batches through the request-span lifecycle, gating the tracer's overhead against the untraced baseline (0 = untraced)")
+	flightRec := flag.Bool("flightrec", false, "engine suite: attach a flight recorder (engine hooks + span admission on 1-in-64 batches), gating the black box's overhead against the baseline")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the suites to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile after the suites to this file")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version("bmwperf"))
+		return
+	}
 
 	var exps []string
 	switch *exp {
 	case "all":
-		exps = []string{"throughput", "latency", "engine"}
-	case "throughput", "latency", "engine":
+		exps = []string{"throughput", "latency", "engine", "allocs"}
+	case "throughput", "latency", "engine", "allocs":
 		exps = []string{*exp}
 	default:
 		fmt.Fprintf(os.Stderr, "bmwperf: unknown -exp %q\n", *exp)
@@ -51,6 +59,7 @@ func main() {
 		*baselineDir = *outDir
 	}
 	engineTraceSample = *traceSample
+	engineFlightRec = *flightRec
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}

@@ -4,12 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"os/exec"
 	"path/filepath"
 	"runtime"
-	"runtime/debug"
 	"sort"
-	"strings"
+
+	"repro/internal/buildinfo"
 )
 
 // schemaID identifies the BENCH_<exp>.json layout this harness writes.
@@ -58,26 +57,9 @@ func newReport(exp string, quick bool, metrics map[string]Metric) Report {
 		NumCPU:     runtime.NumCPU(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
-		Commit:     commitID(),
+		Commit:     buildinfo.Commit(),
 		Metrics:    metrics,
 	}
-}
-
-// commitID resolves the source revision: build info when the binary
-// was built with VCS stamping, otherwise git itself ("go run" builds
-// carry no stamp), otherwise "unknown".
-func commitID() string {
-	if bi, ok := debug.ReadBuildInfo(); ok {
-		for _, s := range bi.Settings {
-			if s.Key == "vcs.revision" && s.Value != "" {
-				return s.Value
-			}
-		}
-	}
-	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
-		return strings.TrimSpace(string(out))
-	}
-	return "unknown"
 }
 
 // benchPath returns dir/BENCH_<exp>.json.

@@ -277,6 +277,8 @@ func runSuite(exp string, quick bool, seed int64) (map[string]Metric, error) {
 		return latencySuite(quick, seed), nil
 	case "engine":
 		return engineSuite(quick, seed), nil
+	case "allocs":
+		return allocsSuite(seed), nil
 	}
 	return nil, fmt.Errorf("unknown experiment %q", exp)
 }

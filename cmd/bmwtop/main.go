@@ -22,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/obs"
 )
 
@@ -45,6 +46,28 @@ func fetchSnapshot(c *http.Client, base string) (obs.Snapshot, error) {
 	return snap, err
 }
 
+// fetchSLO pulls /slo.json. A daemon without -slo (or an older one
+// without the endpoint) yields nil — the dashboard simply omits the
+// SLO line.
+func fetchSLO(c *http.Client, base string) *obs.SLOStatus {
+	resp, err := c.Get(base + "/slo.json")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var st obs.SLOStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil
+	}
+	if len(st.Objectives) == 0 {
+		return nil
+	}
+	return &st
+}
+
 // fetchProbe pulls the /readyz JSON body. Both 200 and 503 carry the
 // detail map (an unready follower is exactly when the detail matters),
 // so only transport and decode failures return nil.
@@ -66,8 +89,13 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:9971", "bmwd observability HTTP address (its -http flag)")
 		interval = flag.Duration("interval", time.Second, "poll and refresh interval")
 		once     = flag.Bool("once", false, "render a single frame (one interval window) and exit")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version("bmwtop"))
+		return
+	}
 
 	base := "http://" + *addr
 	client := &http.Client{Timeout: 10 * time.Second}
@@ -90,6 +118,7 @@ func main() {
 			continue
 		}
 		m := buildModel(*addr, prev, cur, now.Sub(prevAt), fetchProbe(client, base))
+		m.SLO = fetchSLO(client, base)
 		if !*once {
 			fmt.Print("\x1b[H\x1b[2J") // home + clear: repaint in place
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -13,9 +14,10 @@ import (
 // a thin view over that contract; pointing it at a daemon with custom
 // prefixes just yields empty tables, never an error.
 const (
-	enginePrefix = "bmwd_engine"
-	replPrefix   = "bmwd_repl"
-	tracePrefix  = "bmwd_trace"
+	enginePrefix  = "bmwd_engine"
+	replPrefix    = "bmwd_repl"
+	tracePrefix   = "bmwd_trace"
+	runtimePrefix = "bmwd_runtime"
 )
 
 // stageRow is one request-lifecycle stage's windowed latency line.
@@ -51,16 +53,28 @@ type replRow struct {
 	AcksRate     float64 // acks/s (primary)
 }
 
+// runtimeRow is the Go runtime telemetry line (from bmwd's
+// runtime/metrics poller; absent on older daemons).
+type runtimeRow struct {
+	Present    bool
+	Goroutines float64
+	HeapLive   float64 // bytes
+	GCPauseP99 float64 // µs, windowed
+	SchedP99   float64 // µs, windowed
+}
+
 // model is one frame of derived dashboard state: everything render
 // needs, precomputed so rendering is pure formatting.
 type model struct {
-	Addr   string
-	Window time.Duration
-	Probe  map[string]any // /readyz body; nil when the probe fetch failed
-	Len    float64
-	Stages []stageRow
-	Shards []shardRow
-	Repl   replRow
+	Addr    string
+	Window  time.Duration
+	Probe   map[string]any // /readyz body; nil when the probe fetch failed
+	SLO     *obs.SLOStatus // /slo.json; nil when the daemon runs without -slo
+	Len     float64
+	Stages  []stageRow
+	Shards  []shardRow
+	Repl    replRow
+	Runtime runtimeRow
 }
 
 // rate converts a counter delta over the window into a per-second rate.
@@ -124,6 +138,18 @@ func buildModel(addr string, prev, cur obs.Snapshot, dt time.Duration, probe map
 		})
 	}
 
+	if _, ok := cur.Gauges[runtimePrefix+"_goroutines"]; ok {
+		gc := cur.Quantile(runtimePrefix + "_gc_pause_ns").Sub(prev.Quantile(runtimePrefix + "_gc_pause_ns"))
+		sched := cur.Quantile(runtimePrefix + "_sched_latency_ns").Sub(prev.Quantile(runtimePrefix + "_sched_latency_ns"))
+		m.Runtime = runtimeRow{
+			Present:    true,
+			Goroutines: cur.Gauge(runtimePrefix + "_goroutines"),
+			HeapLive:   cur.Gauge(runtimePrefix + "_heap_live_bytes"),
+			GCPauseP99: float64(gc.P99) / 1e3,
+			SchedP99:   float64(sched.P99) / 1e3,
+		}
+	}
+
 	if _, ok := cur.Gauges[replPrefix+"_role"]; ok {
 		ack := cur.Quantile(replPrefix + "_ack_latency_ns").Sub(prev.Quantile(replPrefix + "_ack_latency_ns"))
 		m.Repl = replRow{
@@ -162,6 +188,17 @@ var probeKeys = []string{"ok", "role", "serving", "degraded", "caught_up", "repl
 func render(w io.Writer, m model) {
 	fmt.Fprintf(w, "bmwtop — %s    window %.1fs    queue len %.0f\n",
 		m.Addr, m.Window.Seconds(), m.Len)
+
+	if m.SLO != nil && m.SLO.Worst != "ok" {
+		// Alert banner: the burn-rate state an operator must not miss.
+		fmt.Fprintf(w, "!! SLO %s:", strings.ToUpper(m.SLO.Worst))
+		for _, o := range m.SLO.Objectives {
+			if o.State != "ok" {
+				fmt.Fprintf(w, " %s=%s(%.3g>%.3g)", o.Name, o.State, o.Value, o.Bound)
+			}
+		}
+		fmt.Fprintln(w)
+	}
 
 	if m.Probe == nil {
 		fmt.Fprintf(w, "probe: unreachable\n")
@@ -218,5 +255,34 @@ func render(w io.Writer, m model) {
 			m.Repl.Lag, m.Repl.LogSeq, m.Repl.AckSeq, m.Repl.HeartbeatAge,
 			m.Repl.AckP50, m.Repl.AckP99,
 			fmtRate(m.Repl.RecordsRate), fmtRate(m.Repl.AcksRate))
+	}
+
+	if m.SLO != nil {
+		fmt.Fprintf(w, "\nslo:")
+		for _, o := range m.SLO.Objectives {
+			fmt.Fprintf(w, " %s=%s", o.Name, o.State)
+		}
+		fmt.Fprintf(w, " (windows %ds/%ds)\n",
+			m.SLO.ShortWindowMS/1000, m.SLO.LongWindowMS/1000)
+	}
+
+	if m.Runtime.Present {
+		fmt.Fprintf(w, "runtime: goroutines=%.0f heap_live=%s gc_pause_p99=%.1fµs sched_p99=%.1fµs\n",
+			m.Runtime.Goroutines, fmtBytes(m.Runtime.HeapLive),
+			m.Runtime.GCPauseP99, m.Runtime.SchedP99)
+	}
+}
+
+// fmtBytes renders a byte count compactly: 512B, 3.2MiB, 1.5GiB.
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", v)
 	}
 }

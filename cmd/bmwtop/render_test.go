@@ -145,3 +145,99 @@ func TestFmtRate(t *testing.T) {
 		}
 	}
 }
+
+func TestBuildModelRuntimeRow(t *testing.T) {
+	prev, cur := snapPair(t, func(reg *obs.Registry) func() {
+		reg.GaugeFunc(runtimePrefix+"_goroutines", func() float64 { return 12 })
+		reg.GaugeFunc(runtimePrefix+"_heap_live_bytes", func() float64 { return 3 << 20 })
+		gc := reg.QuantileHistogram(runtimePrefix + "_gc_pause_ns")
+		gc.Observe(1_000_000) // pre-window pause, must not leak in
+		return func() {
+			gc.Observe(50_000) // 50µs in-window
+		}
+	})
+	m := buildModel("x:1", prev, cur, time.Second, nil)
+	if !m.Runtime.Present {
+		t.Fatal("runtime row missing despite runtime gauges")
+	}
+	if m.Runtime.Goroutines != 12 {
+		t.Errorf("goroutines = %v", m.Runtime.Goroutines)
+	}
+	if m.Runtime.HeapLive != 3<<20 {
+		t.Errorf("heap live = %v", m.Runtime.HeapLive)
+	}
+	if m.Runtime.GCPauseP99 < 25 || m.Runtime.GCPauseP99 > 100 {
+		t.Errorf("gc pause p99 = %vµs, want ~50µs window-only", m.Runtime.GCPauseP99)
+	}
+
+	// A daemon without the runtime collector yields no row.
+	prev2, cur2 := snapPair(t, func(reg *obs.Registry) func() { return func() {} })
+	if buildModel("x:1", prev2, cur2, time.Second, nil).Runtime.Present {
+		t.Error("runtime row present without runtime gauges")
+	}
+}
+
+func TestRenderSLOBannerAndLines(t *testing.T) {
+	m := model{
+		Addr:   "a:1",
+		Window: time.Second,
+		SLO: &obs.SLOStatus{
+			ShortWindowMS: 10_000,
+			LongWindowMS:  60_000,
+			Worst:         "page",
+			Objectives: []obs.ObjectiveStatus{
+				{Name: "p99", State: "page", Value: 25e6, Bound: 10e6},
+				{Name: "availability", State: "ok", Value: 0, Bound: 0.001},
+			},
+		},
+		Runtime: runtimeRow{Present: true, Goroutines: 9, HeapLive: 2 << 30, GCPauseP99: 120.5, SchedP99: 3.2},
+	}
+	var sb strings.Builder
+	render(&sb, m)
+	out := sb.String()
+	for _, want := range []string{
+		"!! SLO PAGE:", "p99=page",
+		"slo: p99=page availability=ok (windows 10s/60s)",
+		"runtime: goroutines=9 heap_live=2.00GiB gc_pause_p99=120.5µs sched_p99=3.2µs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	// The banner names only violating objectives.
+	if strings.Contains(out, "availability=ok(") {
+		t.Errorf("banner lists healthy objectives:\n%s", out)
+	}
+
+	// All-ok status: the slo line renders, the banner does not.
+	m.SLO.Worst = "ok"
+	m.SLO.Objectives[0].State = "ok"
+	sb.Reset()
+	render(&sb, m)
+	out = sb.String()
+	if strings.Contains(out, "!! SLO") {
+		t.Errorf("banner shown while worst=ok:\n%s", out)
+	}
+	if !strings.Contains(out, "slo: p99=ok") {
+		t.Errorf("slo line missing when healthy:\n%s", out)
+	}
+
+	// No SLO engine at all: neither banner nor line.
+	m.SLO = nil
+	sb.Reset()
+	render(&sb, m)
+	if strings.Contains(sb.String(), "slo:") {
+		t.Errorf("slo line shown without /slo.json:\n%s", sb.String())
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{{512, "512B"}, {4 << 10, "4.0KiB"}, {3 << 20, "3.0MiB"}, {5 << 30, "5.00GiB"}} {
+		if got := fmtBytes(tc.v); got != tc.want {
+			t.Errorf("fmtBytes(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}

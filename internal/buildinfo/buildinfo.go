@@ -1,0 +1,57 @@
+// Package buildinfo centralises the build-identity plumbing the
+// report writers and incident bundles stamp their output with: the
+// VCS revision from the binary's embedded build info (with a git
+// fallback for `go run` builds, whose stamping is disabled), the
+// toolchain version, and a one-line human form for -version flags.
+package buildinfo
+
+import (
+	"fmt"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Commit returns the VCS revision the binary was built from: the
+// vcs.revision build setting when present (suffixed "-dirty" when the
+// tree was modified), otherwise `git rev-parse HEAD`, otherwise
+// "unknown".
+func Commit() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		rev, dirty := "", false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if dirty {
+				rev += "-dirty"
+			}
+			return rev
+		}
+	}
+	// `go run` and `go test` binaries carry no VCS stamp; ask git.
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			return rev
+		}
+	}
+	return "unknown"
+}
+
+// GoVersion returns the toolchain that built the binary.
+func GoVersion() string { return runtime.Version() }
+
+// Version renders the one-line form the binaries print for -version:
+//
+//	<name> <commit> <go version> <GOOS>/<GOARCH>
+func Version(name string) string {
+	return fmt.Sprintf("%s %.12s %s %s/%s",
+		name, Commit(), GoVersion(), runtime.GOOS, runtime.GOARCH)
+}

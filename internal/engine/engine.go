@@ -210,13 +210,29 @@ func (c Config) withDefaults() Config {
 // against the queue itself.
 const emptyHead = math.MaxUint64
 
+// Hooks are the engine's incident-wiring points, set once via
+// SetHooks before traffic: the flight recorder receives overload and
+// backpressure edges, OnOverloadTrip fires (from the shard goroutine —
+// keep it non-blocking, e.g. IncidentCapturer.CaptureAsync) when a
+// shard trips into overload, and OnPanic observes a shard goroutine's
+// panic value before the engine re-panics.
+type Hooks struct {
+	Flight         *obs.FlightRecorder
+	OnOverloadTrip func(shard, occ int)
+	OnPanic        func(shard int, r any)
+}
+
 // shard is one engine lane: a goroutine, its ring, and its queue.
 type shard struct {
 	id      int
 	q       shardQueue
 	ring    *ring
 	ringCap int
-	ov      Overload
+	// ov is the admission-control config, swappable at runtime
+	// (SetOverload) so operators and the chaos harness can tighten or
+	// relax the watermarks on a live engine.
+	ov    atomic.Pointer[Overload]
+	hooks *atomic.Pointer[Hooks]
 
 	// lsn counts this shard's applied mutations; owned by the shard
 	// goroutine, mirrored into lsnPub after each batch for readers.
@@ -262,10 +278,31 @@ type batch struct {
 type Engine struct {
 	cfg    Config
 	shards []*shard
+	hooks  atomic.Pointer[Hooks]
 	// backpressure counter for submit-side ring rejections across all
 	// shards (per-shard queue-side signals live on the shards).
 	closed atomic.Bool
 	wg     sync.WaitGroup
+}
+
+// SetHooks installs the incident-wiring points. Call once, before the
+// engine serves traffic.
+func (e *Engine) SetHooks(h Hooks) { e.hooks.Store(&h) }
+
+// SetOverload replaces the admission-control watermarks on every shard
+// of a live engine (defaults applied as in Config). The zero value
+// disables shedding; a currently tripped latch clears at the next
+// drain or push-path cooloff under the new config.
+func (e *Engine) SetOverload(o Overload) {
+	if o.HighFrac > 0 && o.LowFrac <= 0 {
+		o.LowFrac = o.HighFrac / 2
+	}
+	if o.HighFrac > 0 && o.Cooloff <= 0 {
+		o.Cooloff = 250 * time.Millisecond
+	}
+	for _, s := range e.shards {
+		s.ov.Store(&o)
+	}
 }
 
 // New builds the engine, restoring shards from cfg.RestoreDir when set,
@@ -282,9 +319,11 @@ func New(cfg Config) (*Engine, error) {
 			q:       newShardQueue(cfg),
 			ring:    newRing(cfg.RingSize),
 			ringCap: cfg.RingSize,
-			ov:      cfg.Overload,
+			hooks:   &e.hooks,
 			scratch: make([]entry, cfg.BatchSize),
 		}
+		ov := cfg.Overload
+		s.ov.Store(&ov)
 		e.shards = append(e.shards, s)
 	}
 	if cfg.RestoreDir != "" {
@@ -297,6 +336,14 @@ func New(cfg Config) (*Engine, error) {
 		e.wg.Add(1)
 		go func(s *shard) {
 			defer e.wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if h := e.hooks.Load(); h != nil && h.OnPanic != nil {
+						h.OnPanic(s.id, r)
+					}
+					panic(r)
+				}
+			}()
 			s.run()
 		}(s)
 	}
@@ -428,7 +475,9 @@ func (e *Engine) SubmitTraced(ops []Op, results []Result, sp *obs.Span) {
 				// signal for a full cooloff — admit this push so the
 				// next drain can.
 				if time.Now().UnixNano() >= s.overUntil.Load() {
-					s.overloaded.Store(false)
+					if s.overloaded.Swap(false) {
+						s.overloadEdge(false, -1)
+					}
 				} else {
 					s.shed.Inc()
 					results[i] = Result{Err: ErrOverloaded}
@@ -560,8 +609,9 @@ func (s *shard) run() {
 		}
 		s.ringOcc.Observe(uint64(occ))
 		s.drained.Observe(uint64(n))
+		ov := *s.ov.Load()
 		var start time.Time
-		if s.ov.DrainLatencyHigh > 0 {
+		if ov.DrainLatencyHigh > 0 {
 			start = time.Now()
 		}
 		// One span clock read covers every traced batch in this drain:
@@ -607,8 +657,8 @@ func (s *shard) run() {
 			}
 		}
 		s.publish()
-		if s.ov.enabled() {
-			s.updateOverload(occ, start)
+		if ov.enabled() {
+			s.updateOverload(ov, occ, start)
 		}
 		var applyNs int64
 		for i := 0; i < n; i++ {
@@ -629,25 +679,48 @@ func (s *shard) run() {
 
 // updateOverload applies the admission-control hysteresis after one
 // drained batch: trip at the high watermarks, clear only once both
-// signals sit below them again.
-func (s *shard) updateOverload(occ int, start time.Time) {
+// signals sit below them again. Edges (not levels) feed the hooks.
+func (s *shard) updateOverload(ov Overload, occ int, start time.Time) {
 	frac := float64(occ) / float64(s.ringCap)
 	slow := false
-	if s.ov.DrainLatencyHigh > 0 {
-		slow = time.Since(start) >= s.ov.DrainLatencyHigh
+	if ov.DrainLatencyHigh > 0 {
+		slow = time.Since(start) >= ov.DrainLatencyHigh
 	}
 	switch {
-	case frac >= s.ov.HighFrac || slow:
-		s.overloaded.Store(true)
-	case s.overloaded.Load() && frac <= s.ov.LowFrac:
-		s.overloaded.Store(false)
+	case frac >= ov.HighFrac || slow:
+		if !s.overloaded.Swap(true) {
+			s.overloadEdge(true, occ)
+		}
+	case s.overloaded.Load() && frac <= ov.LowFrac:
+		if s.overloaded.Swap(false) {
+			s.overloadEdge(false, occ)
+		}
 	}
 	if s.overloaded.Load() {
-		s.overUntil.Store(time.Now().Add(s.ov.Cooloff).UnixNano())
+		s.overUntil.Store(time.Now().Add(ov.Cooloff).UnixNano())
 	}
 }
 
-// publish refreshes the shard's router-visible state from its queue.
+// overloadEdge reports one overload latch transition to the hooks.
+// occ is the ring occupancy at the deciding drain (-1 when the edge
+// came from the push path's cooloff expiry).
+func (s *shard) overloadEdge(tripped bool, occ int) {
+	h := s.hooks.Load()
+	if h == nil {
+		return
+	}
+	b := uint64(0)
+	if tripped {
+		b = 1
+	}
+	h.Flight.Record(obs.FlightOverload, 0, uint64(s.id), b, uint64(max(occ, 0)))
+	if tripped && h.OnOverloadTrip != nil {
+		h.OnOverloadTrip(s.id, occ)
+	}
+}
+
+// publish refreshes the shard's router-visible state from its queue,
+// recording almost-full (backpressure) edges into the flight recorder.
 func (s *shard) publish() {
 	s.length.Store(int64(s.q.Len()))
 	if el, err := s.q.Peek(); err == nil {
@@ -655,7 +728,16 @@ func (s *shard) publish() {
 	} else {
 		s.headV.Store(emptyHead)
 	}
-	s.almostFull.Store(s.q.AlmostFull())
+	af := s.q.AlmostFull()
+	if s.almostFull.Swap(af) != af {
+		if h := s.hooks.Load(); h != nil {
+			b := uint64(0)
+			if af {
+				b = 1
+			}
+			h.Flight.Record(obs.FlightBackpressure, 0, uint64(s.id), b, uint64(s.q.Len()))
+		}
+	}
 	s.lsnPub.Store(s.lsn)
 }
 

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"errors"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -11,28 +12,36 @@ import (
 // TestUpdateOverloadHysteresis exercises the watermark state machine
 // directly: trip at HighFrac, hold between the watermarks, clear only
 // at or below LowFrac, and trip on drain latency alone.
+// testShard builds a bare shard for driving updateOverload directly.
+func testShard(ov Overload) *shard {
+	s := &shard{ringCap: 100, hooks: new(atomic.Pointer[Hooks])}
+	s.ov.Store(&ov)
+	return s
+}
+
 func TestUpdateOverloadHysteresis(t *testing.T) {
-	s := &shard{ringCap: 100, ov: Overload{HighFrac: 0.8, LowFrac: 0.4}}
+	s := testShard(Overload{HighFrac: 0.8, LowFrac: 0.4})
+	ov := *s.ov.Load()
 	now := time.Now()
-	s.updateOverload(85, now)
+	s.updateOverload(ov, 85, now)
 	if !s.overloaded.Load() {
 		t.Fatal("85% occupancy did not trip HighFrac 0.8")
 	}
-	s.updateOverload(50, now)
+	s.updateOverload(ov, 50, now)
 	if !s.overloaded.Load() {
 		t.Fatal("overload cleared between the watermarks")
 	}
-	s.updateOverload(40, now)
+	s.updateOverload(ov, 40, now)
 	if s.overloaded.Load() {
 		t.Fatal("overload held at LowFrac")
 	}
-	s.updateOverload(50, now)
+	s.updateOverload(ov, 50, now)
 	if s.overloaded.Load() {
 		t.Fatal("mid-band occupancy re-tripped a cleared shard")
 	}
 
-	lat := &shard{ringCap: 100, ov: Overload{HighFrac: 0.99, LowFrac: 0.01, DrainLatencyHigh: time.Millisecond}}
-	lat.updateOverload(1, time.Now().Add(-10*time.Millisecond))
+	lat := testShard(Overload{HighFrac: 0.99, LowFrac: 0.01, DrainLatencyHigh: time.Millisecond})
+	lat.updateOverload(*lat.ov.Load(), 1, time.Now().Add(-10*time.Millisecond))
 	if !lat.overloaded.Load() {
 		t.Fatal("slow drain did not trip overload")
 	}

@@ -89,7 +89,11 @@ func (e *Engine) Checkpoint(dir string) error {
 		if err != nil {
 			return err
 		}
-		m, err := persist.Attach(shardDir(dir, s.id), cq, persist.Options{})
+		popts := persist.Options{}
+		if h := e.hooks.Load(); h != nil {
+			popts.Flight = h.Flight
+		}
+		m, err := persist.Attach(shardDir(dir, s.id), cq, popts)
 		if err != nil {
 			return fmt.Errorf("engine: shard %d attach: %w", s.id, err)
 		}

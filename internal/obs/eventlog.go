@@ -141,10 +141,56 @@ func (h *DedupHandler) WithGroup(name string) slog.Handler {
 	}
 }
 
+// flightLogHandler mirrors error-level records into a flight recorder
+// on their way to the wrapped handler, so the black box holds the
+// daemon's recent error lines next to the spans and state edges they
+// correlate with.
+type flightLogHandler struct {
+	inner slog.Handler
+	fr    *FlightRecorder
+}
+
+func (h *flightLogHandler) Enabled(ctx context.Context, l slog.Level) bool {
+	return h.inner.Enabled(ctx, l)
+}
+
+func (h *flightLogHandler) Handle(ctx context.Context, r slog.Record) error {
+	if r.Level >= slog.LevelError {
+		h.fr.RecordMsg(FlightLogError, int32(r.Level), r.Message, 0, 0, 0)
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func (h *flightLogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &flightLogHandler{inner: h.inner.WithAttrs(attrs), fr: h.fr}
+}
+
+func (h *flightLogHandler) WithGroup(name string) slog.Handler {
+	return &flightLogHandler{inner: h.inner.WithGroup(name), fr: h.fr}
+}
+
+// WithFlightRecorder wraps a handler so error-level records are also
+// recorded as FlightLogError events. A nil recorder returns inner
+// unchanged.
+func WithFlightRecorder(inner slog.Handler, fr *FlightRecorder) slog.Handler {
+	if fr == nil {
+		return inner
+	}
+	return &flightLogHandler{inner: inner, fr: fr}
+}
+
 // NewEventLogger builds the daemons' standard structured logger: JSON
 // records to w at the given level, identical lines suppressed within
 // window (default 5s), errors never suppressed.
 func NewEventLogger(w io.Writer, level slog.Leveler, window time.Duration) *slog.Logger {
 	inner := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})
 	return slog.New(NewDedupHandler(inner, window, slog.LevelError))
+}
+
+// NewEventLoggerFlight is NewEventLogger with error-level records
+// mirrored into the flight recorder (errors bypass dedup, so the
+// black box sees every error line the logger emits).
+func NewEventLoggerFlight(w io.Writer, level slog.Leveler, window time.Duration, fr *FlightRecorder) *slog.Logger {
+	inner := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})
+	return slog.New(NewDedupHandler(WithFlightRecorder(inner, fr), window, slog.LevelError))
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"log/slog"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -121,3 +122,67 @@ func TestEventLoggerConcurrent(t *testing.T) {
 type writerFunc func(p []byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestDedupHandlerEvictionBoundary pins the 1024-key table boundary:
+// filling the table to exactly maxDedupKeys evicts nothing, the next
+// distinct key triggers eviction, keys seen within the window survive
+// it, and suppression state for surviving keys is preserved across the
+// eviction.
+func TestDedupHandlerEvictionBoundary(t *testing.T) {
+	var buf bytes.Buffer
+	h := NewDedupHandler(slog.NewJSONHandler(&buf, nil), time.Minute, slog.LevelError)
+	now := time.Unix(0, 0)
+	h.now = func() time.Time { return now }
+	lg := slog.New(h)
+
+	// A hot key with accumulated suppression state.
+	lg.Info("hot key")
+	for i := 0; i < 7; i++ {
+		lg.Info("hot key")
+	}
+
+	// Stale vocabulary: filled early, never seen again.
+	for i := 0; i < maxDedupKeys-1; i++ {
+		lg.Info("stale-" + strconv.Itoa(i))
+	}
+	h.mu.Lock()
+	n := len(h.seen)
+	h.mu.Unlock()
+	if n != maxDedupKeys {
+		t.Fatalf("table holds %d keys after exactly %d distinct messages", n, maxDedupKeys)
+	}
+
+	// Advance past the window, refresh the hot key (suppressed=7
+	// flushes; its state survives as the recently-seen entry), then one
+	// more distinct key forces the eviction pass: every stale key is
+	// outside the window and is dropped, the hot key is not.
+	now = now.Add(2 * time.Minute)
+	lg.Info("hot key")
+	lg.Info("fresh key")
+	h.mu.Lock()
+	n = len(h.seen)
+	_, hotSurvived := h.seen["INFO\x00hot key"]
+	h.mu.Unlock()
+	if n > maxDedupKeys {
+		t.Fatalf("table grew past the cap: %d", n)
+	}
+	if n >= maxDedupKeys {
+		t.Fatalf("eviction pass dropped nothing: %d keys", n)
+	}
+	if !hotSurvived {
+		t.Fatal("recently-seen key evicted while stale keys were available")
+	}
+
+	lines := logLines(t, &buf)
+	// 1 hot + 1023 stale + 1 hot flush + 1 fresh.
+	if len(lines) != maxDedupKeys+2 {
+		t.Fatalf("got %d lines, want %d", len(lines), maxDedupKeys+2)
+	}
+	flush := lines[maxDedupKeys]
+	if flush["msg"] != "hot key" {
+		t.Fatalf("line after the stale fill is %v, want the hot-key flush", flush["msg"])
+	}
+	if got, ok := flush["suppressed"].(float64); !ok || got != 7 {
+		t.Fatalf("hot-key flush suppressed = %v, want 7 (state preserved across the full table)", flush["suppressed"])
+	}
+}

@@ -51,6 +51,11 @@ type HandlerOptions struct {
 	// Trace, when set, serves the recorder's accumulated Chrome trace
 	// at /trace.json.
 	Trace *TraceRecorder
+	// SLO, when set, serves the objective states at /slo.json.
+	SLO *SLOEngine
+	// Flight, when set, serves a live dump of the black-box ring at
+	// /flight.json.
+	Flight *FlightRecorder
 }
 
 // HandlerOpts is HandlerHealth with probe detail and trace export. The
@@ -85,6 +90,18 @@ func HandlerOpts(r *Registry, opts HandlerOptions) http.Handler {
 		mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			_, _ = opts.Trace.WriteTo(w)
+		})
+	}
+	if opts.SLO != nil {
+		mux.HandleFunc("/slo.json", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(opts.SLO.Status())
+		})
+	}
+	if opts.Flight != nil {
+		mux.HandleFunc("/flight.json", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = opts.Flight.Dump().WriteJSON(w)
 		})
 	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {

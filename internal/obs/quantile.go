@@ -95,6 +95,30 @@ func (q *QuantileHistogram) Observe(v uint64) {
 	}
 }
 
+// ObserveN records a value n times with one update per field — the
+// bulk form the runtime-telemetry collector uses to replay histogram
+// deltas without a per-count loop.
+func (q *QuantileHistogram) ObserveN(v, n uint64) {
+	if q == nil || n == 0 {
+		return
+	}
+	q.buckets[qhBucketIndex(v)].Add(n)
+	q.count.Add(n)
+	q.sum.Add(v * n)
+	for {
+		old := q.min.Load()
+		if old <= v || q.min.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	for {
+		old := q.max.Load()
+		if old >= v || q.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
 // Count returns the number of observations (0 on nil).
 func (q *QuantileHistogram) Count() uint64 {
 	if q == nil {

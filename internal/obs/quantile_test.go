@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 )
 
@@ -216,5 +217,66 @@ func TestQuantileHistogramConcurrent(t *testing.T) {
 	<-done
 	if got := q.Snapshot().Count; got != 10000 {
 		t.Fatalf("count = %d", got)
+	}
+}
+
+// TestQuantileHistogramConcurrentWindowedSub takes windowed Sub deltas
+// while writers observe concurrently: every window must be internally
+// consistent (non-negative deltas, bucket counts summing to Count, a
+// quantile inside the window's value range) even though the snapshots
+// race with the atomic update path.
+func TestQuantileHistogramConcurrentWindowedSub(t *testing.T) {
+	q := NewQuantileHistogram()
+	const writers, perWriter = 4, 50_000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				q.Observe(100 + uint64(rng.Intn(900))) // values in [100, 1000)
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(stop) }()
+
+	prev := q.Snapshot()
+	windows := 0
+	for done := false; !done; {
+		select {
+		case <-stop:
+			done = true
+		default:
+		}
+		cur := q.Snapshot()
+		w := cur.Sub(prev)
+		if w.Count == 0 {
+			continue
+		}
+		windows++
+		var bucketSum uint64
+		for _, b := range w.Buckets {
+			bucketSum += b.Count
+		}
+		// Count and the bucket array are separate atomics, so a racing
+		// snapshot can catch one ahead of the other by at most the
+		// in-flight observations; it must never invert the window.
+		if bucketSum > w.Count+writers || w.Count > bucketSum+writers {
+			t.Fatalf("window buckets sum %d vs count %d", bucketSum, w.Count)
+		}
+		if p := w.Quantile(0.5); p != 0 && (p < 90 || p > 1100) {
+			t.Fatalf("window p50 = %d outside the observed value range", p)
+		}
+		prev = cur
+	}
+	if windows == 0 {
+		t.Fatal("no non-empty windows observed")
+	}
+	// The final full-history window equals the total written.
+	total := q.Snapshot()
+	if total.Count != writers*perWriter {
+		t.Fatalf("final count = %d, want %d", total.Count, writers*perWriter)
 	}
 }

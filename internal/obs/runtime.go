@@ -1,0 +1,210 @@
+// Runtime telemetry: a runtime/metrics-based poller that surfaces the
+// Go runtime's own health signals — GC pause quantiles, heap live
+// bytes, goroutine count, scheduler latency, stop-the-world time —
+// through the registry's ordinary gauge and quantile instruments, so
+// the Prometheus/JSON sinks, bmwtop, and incident bundles can show GC
+// interference next to the serving-path latencies it causes.
+//
+// The cumulative runtime histograms (/gc/pauses, /sched/latencies) are
+// diffed between polls and the deltas fed into QuantileHistograms via
+// bucket midpoints, which keeps them windowable with Sub() exactly
+// like the serving-path histograms (at the cost of bucket-resolution
+// error, which runtime/metrics imposes anyway).
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"time"
+)
+
+// Runtime metric names polled, in the units the registry instruments
+// carry (ns for durations, bytes for memory).
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmHeapLive   = "/gc/heap/live:bytes"
+	rmHeapObj    = "/memory/classes/heap/objects:bytes"
+	rmGCCycles   = "/gc/cycles/total:gc-cycles"
+	rmGCPause    = "/sched/pauses/total/gc:seconds"
+	rmGCPauseOld = "/gc/pauses:seconds" // pre-1.22 name, kept as fallback
+	rmSchedLat   = "/sched/latencies:seconds"
+)
+
+// RuntimeCollector polls runtime/metrics into a registry. Nil-disabled.
+type RuntimeCollector struct {
+	samples []metrics.Sample
+
+	goroutines *Gauge
+	heapLive   *Gauge
+	heapObj    *Gauge
+	gcCycles   *Gauge
+	gcPauseQ   *QuantileHistogram
+	schedLatQ  *QuantileHistogram
+
+	// prev holds the previous poll's cumulative histogram state per
+	// sampled histogram metric, for windowed deltas.
+	prev map[string]*metrics.Float64Histogram
+
+	flight  *FlightRecorder
+	stallNs uint64
+}
+
+// NewRuntimeCollector registers the runtime gauges and quantile
+// histograms under prefix (e.g. "bmwd_runtime") and returns a
+// collector ready to Poll. A nil registry returns nil — the disabled
+// collector, whose methods are no-ops.
+func NewRuntimeCollector(reg *Registry, prefix string) *RuntimeCollector {
+	if reg == nil {
+		return nil
+	}
+	if prefix == "" {
+		prefix = "runtime"
+	}
+	c := &RuntimeCollector{prev: make(map[string]*metrics.Float64Histogram)}
+
+	known := make(map[string]bool)
+	for _, d := range metrics.All() {
+		known[d.Name] = true
+	}
+	want := []string{rmGoroutines, rmHeapLive, rmHeapObj, rmGCCycles, rmSchedLat}
+	if known[rmGCPause] {
+		want = append(want, rmGCPause)
+	} else if known[rmGCPauseOld] {
+		want = append(want, rmGCPauseOld)
+	}
+	for _, name := range want {
+		if known[name] {
+			c.samples = append(c.samples, metrics.Sample{Name: name})
+		}
+	}
+
+	reg.Help(prefix+"_goroutines", "live goroutine count")
+	c.goroutines = reg.Gauge(prefix + "_goroutines")
+	reg.Help(prefix+"_heap_live_bytes", "heap bytes live after the last GC mark")
+	c.heapLive = reg.Gauge(prefix + "_heap_live_bytes")
+	reg.Help(prefix+"_heap_objects_bytes", "heap bytes occupied by live and dead objects")
+	c.heapObj = reg.Gauge(prefix + "_heap_objects_bytes")
+	reg.Help(prefix+"_gc_cycles_total", "completed GC cycles")
+	c.gcCycles = reg.Gauge(prefix + "_gc_cycles_total")
+	reg.Help(prefix+"_gc_pause_ns", "GC stop-the-world pause latency (windowed via runtime/metrics deltas)")
+	c.gcPauseQ = reg.QuantileHistogram(prefix + "_gc_pause_ns")
+	reg.Help(prefix+"_sched_latency_ns", "goroutine scheduling latency (windowed via runtime/metrics deltas)")
+	c.schedLatQ = reg.QuantileHistogram(prefix + "_sched_latency_ns")
+	return c
+}
+
+// SetFlight records a FlightGCPause event whenever a poll observes a
+// GC pause at or above stall.
+func (c *RuntimeCollector) SetFlight(fr *FlightRecorder, stall time.Duration) {
+	if c == nil {
+		return
+	}
+	c.flight = fr
+	c.stallNs = uint64(stall)
+}
+
+// Poll samples runtime/metrics once, updating the gauges and feeding
+// histogram deltas into the quantile instruments. Exported so tests
+// and collection loops drive it deterministically; no-op on nil.
+func (c *RuntimeCollector) Poll() {
+	if c == nil || len(c.samples) == 0 {
+		return
+	}
+	metrics.Read(c.samples)
+	for _, s := range c.samples {
+		switch s.Name {
+		case rmGoroutines:
+			c.goroutines.Set(float64(s.Value.Uint64()))
+		case rmHeapLive:
+			c.heapLive.Set(float64(s.Value.Uint64()))
+		case rmHeapObj:
+			c.heapObj.Set(float64(s.Value.Uint64()))
+		case rmGCCycles:
+			c.gcCycles.Set(float64(s.Value.Uint64()))
+		case rmGCPause, rmGCPauseOld:
+			c.diffHistogram(s.Name, s.Value.Float64Histogram(), c.gcPauseQ, true)
+		case rmSchedLat:
+			c.diffHistogram(s.Name, s.Value.Float64Histogram(), c.schedLatQ, false)
+		}
+	}
+}
+
+// diffHistogram feeds the per-bucket count deltas between the previous
+// and current cumulative runtime histogram into q, valuing each bucket
+// at its midpoint in nanoseconds.
+func (c *RuntimeCollector) diffHistogram(name string, h *metrics.Float64Histogram, q *QuantileHistogram, stallCheck bool) {
+	if h == nil {
+		return
+	}
+	prev := c.prev[name]
+	for i, n := range h.Counts {
+		d := n
+		if prev != nil && i < len(prev.Counts) {
+			d = n - prev.Counts[i]
+		}
+		if d == 0 {
+			continue
+		}
+		ns := bucketMidNs(h.Buckets, i)
+		q.ObserveN(ns, d)
+		if stallCheck && c.stallNs > 0 && ns >= c.stallNs {
+			c.flight.Record(FlightGCPause, 0, ns, c.stallNs, d)
+		}
+	}
+	// Keep a private copy: runtime/metrics may reuse the sample's
+	// histogram storage across Read calls.
+	cp := &metrics.Float64Histogram{
+		Counts:  append([]uint64(nil), h.Counts...),
+		Buckets: append([]float64(nil), h.Buckets...),
+	}
+	c.prev[name] = cp
+}
+
+// bucketMidNs converts runtime histogram bucket i (seconds boundaries,
+// possibly ±Inf at the edges) to a midpoint in nanoseconds.
+func bucketMidNs(bounds []float64, i int) uint64 {
+	lo, hi := bounds[i], bounds[i+1]
+	if math.IsInf(lo, -1) {
+		lo = 0
+	}
+	if math.IsInf(hi, 1) {
+		hi = lo
+	}
+	mid := (lo + hi) / 2
+	if mid < 0 {
+		mid = 0
+	}
+	return uint64(mid * 1e9)
+}
+
+// Start polls at the given interval (default 1s) until the returned
+// stop function is called. A nil collector returns a no-op stop.
+func (c *RuntimeCollector) Start(interval time.Duration) (stop func()) {
+	if c == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	c.Poll()
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				c.Poll()
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if !once {
+			once = true
+			close(done)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestRuntimeCollectorNilDisabled(t *testing.T) {
+	var c *RuntimeCollector
+	c.Poll()
+	c.SetFlight(NewFlightRecorder(64), time.Millisecond)
+	stop := c.Start(time.Millisecond)
+	stop()
+	if NewRuntimeCollector(nil, "x") != nil {
+		t.Fatal("nil registry must yield the disabled collector")
+	}
+}
+
+func TestRuntimeCollectorPoll(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg, "rt")
+	if c == nil {
+		t.Fatal("collector nil despite registry")
+	}
+
+	// Force scheduler and GC activity so the histograms have deltas.
+	sink := make([][]byte, 0, 256)
+	for i := 0; i < 256; i++ {
+		sink = append(sink, make([]byte, 4096))
+	}
+	_ = sink
+	runtime.GC()
+	runtime.GC()
+	c.Poll()
+
+	s := reg.Snapshot()
+	if got := s.Gauge("rt_goroutines"); got < 1 {
+		t.Errorf("goroutines gauge = %v", got)
+	}
+	if got := s.Gauge("rt_heap_live_bytes"); got <= 0 {
+		t.Errorf("heap_live_bytes gauge = %v", got)
+	}
+	if got := s.Gauge("rt_heap_objects_bytes"); got <= 0 {
+		t.Errorf("heap_objects_bytes gauge = %v", got)
+	}
+	if got := s.Gauge("rt_gc_cycles_total"); got < 2 {
+		t.Errorf("gc_cycles_total gauge = %v, want >= 2 after two forced GCs", got)
+	}
+	if got := s.Quantile("rt_gc_pause_ns").Count; got == 0 {
+		t.Error("gc_pause_ns histogram empty after forced GCs")
+	}
+	if got := s.Quantile("rt_sched_latency_ns").Count; got == 0 {
+		t.Error("sched_latency_ns histogram empty")
+	}
+
+	// Second poll feeds only the delta: the cumulative count must not
+	// double-count the first poll's observations.
+	first := s.Quantile("rt_gc_pause_ns").Count
+	c.Poll()
+	second := reg.Snapshot().Quantile("rt_gc_pause_ns").Count
+	if second < first {
+		t.Errorf("gc pause count went backwards: %d -> %d", first, second)
+	}
+	runtime.GC()
+	c.Poll()
+	third := reg.Snapshot().Quantile("rt_gc_pause_ns").Count
+	if third <= second {
+		t.Errorf("gc pause count did not grow after a GC: %d -> %d", second, third)
+	}
+}
+
+func TestRuntimeCollectorFlightStall(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg, "rt")
+	fr := NewFlightRecorder(256)
+	c.SetFlight(fr, time.Nanosecond) // every observed pause "stalls"
+	runtime.GC()
+	c.Poll()
+	found := false
+	for _, ev := range fr.Dump().Events {
+		if ev.Kind == "gc_pause" {
+			found = true
+			if ev.B != 1 {
+				t.Errorf("gc_pause threshold field = %d, want 1ns", ev.B)
+			}
+		}
+	}
+	if !found {
+		t.Error("no FlightGCPause event despite 1ns stall threshold")
+	}
+}
+
+func TestBucketMidNs(t *testing.T) {
+	bounds := []float64{0, 1e-6, 1e-3}
+	if got := bucketMidNs(bounds, 0); got != 500 {
+		t.Errorf("mid of [0,1µs) = %dns, want 500", got)
+	}
+	// ±Inf edges clamp rather than overflow.
+	inf := []float64{math.Inf(-1), 1e-6, math.Inf(1)}
+	if got := bucketMidNs(inf, 0); got != 500 {
+		t.Errorf("mid of [-Inf,1µs) = %dns, want 500", got)
+	}
+	if got := bucketMidNs(inf, 1); got != 1000 {
+		t.Errorf("mid of [1µs,+Inf) = %dns, want 1000 (clamped to lo)", got)
+	}
+}

@@ -1,0 +1,482 @@
+// SLO engine: declarative service-level objectives ("p99 push-to-ack
+// below 10ms", "availability above 99.9%", "replication lag below
+// 1000 records") evaluated continuously over windowed deltas of the
+// registry's own instruments, with multi-window burn-rate states.
+//
+// Each objective is judged over two windows. The short window answers
+// "are we burning error budget right now"; the long window answers
+// "has this been going on". A short-window violation alone raises
+// `warn` (early signal, self-clearing when the blip passes); short and
+// long violating together raise `page` (sustained burn — the state
+// that triggers incident capture). Latency objectives derive windowed
+// quantiles via QuantileSnapshot.Sub, availability objectives from
+// counter deltas, gauge objectives from the sampled history (latest
+// for the short window, minimum over the long window, so a page means
+// the gauge never once dipped below its bound).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SLOState is one objective's burn-rate state.
+type SLOState int32
+
+// Burn-rate states, in increasing severity.
+const (
+	SLOOK SLOState = iota
+	SLOWarn
+	SLOPage
+)
+
+// String names the state.
+func (s SLOState) String() string {
+	switch s {
+	case SLOOK:
+		return "ok"
+	case SLOWarn:
+		return "warn"
+	case SLOPage:
+		return "page"
+	}
+	return "invalid"
+}
+
+// ObjectiveKind selects how an objective is evaluated.
+type ObjectiveKind int
+
+// Objective kinds.
+const (
+	// ObjectiveLatency bounds a windowed quantile of a registry
+	// QuantileHistogram: violated when quantile(Metric) > Bound ns.
+	ObjectiveLatency ObjectiveKind = iota
+	// ObjectiveErrorRatio bounds the windowed ratio of Bad counter
+	// deltas to Total counter deltas: violated when bad/total > Bound.
+	ObjectiveErrorRatio
+	// ObjectiveGaugeMax bounds a gauge: violated when Metric > Bound.
+	ObjectiveGaugeMax
+)
+
+// String names the kind.
+func (k ObjectiveKind) String() string {
+	switch k {
+	case ObjectiveLatency:
+		return "latency"
+	case ObjectiveErrorRatio:
+		return "error_ratio"
+	case ObjectiveGaugeMax:
+		return "gauge_max"
+	}
+	return "invalid"
+}
+
+// Objective is one declarative SLO.
+type Objective struct {
+	// Name labels the objective in metrics and /slo.json (must be a
+	// valid metric-name fragment).
+	Name string
+	Kind ObjectiveKind
+	// Metric is the quantile-histogram name (ObjectiveLatency) or
+	// gauge name (ObjectiveGaugeMax) in the source registry.
+	Metric string
+	// Quantile is the latency quantile judged, e.g. 0.99.
+	Quantile float64
+	// Bound is the violation threshold: nanoseconds for latency, max
+	// bad/total ratio for error-ratio, max value for gauges.
+	Bound float64
+	// Bad and Total are the counter names an error-ratio objective
+	// sums windowed deltas of.
+	Bad, Total []string
+}
+
+// SLOOptions parameterise NewSLOEngine.
+type SLOOptions struct {
+	// Source is the registry whose instruments the objectives judge.
+	Source *Registry
+	// Registry receives the bmwd_slo_* exposition metrics (may equal
+	// Source; nil disables exposition).
+	Registry *Registry
+	// Prefix is the exposition metric prefix (default "slo").
+	Prefix string
+	// ShortWindow and LongWindow are the burn-rate windows (defaults
+	// 10s and 60s; Short must not exceed Long).
+	ShortWindow, LongWindow time.Duration
+	// Objectives are the SLOs judged each tick.
+	Objectives []Objective
+	// OnChange observes every state transition, synchronously from
+	// Tick — the incident-capture hook.
+	OnChange func(o Objective, from, to SLOState, value float64)
+	// Flight receives a FlightSLO event per state transition.
+	Flight *FlightRecorder
+}
+
+// sloSample is one tick's source-registry view.
+type sloSample struct {
+	at   time.Time
+	snap Snapshot
+}
+
+// objectiveState is one objective's evaluated state.
+type objectiveState struct {
+	o     Objective
+	state atomic.Int32
+	// short-window measured value, float64 bits, for the gauge.
+	value atomic.Uint64
+	warns *Counter
+	pages *Counter
+}
+
+// SLOEngine evaluates objectives over a sliding snapshot history.
+// Nil-disabled.
+type SLOEngine struct {
+	src      *Registry
+	short    time.Duration
+	long     time.Duration
+	objs     []*objectiveState
+	onChange func(o Objective, from, to SLOState, value float64)
+	flight   *FlightRecorder
+
+	mu   sync.Mutex
+	hist []sloSample
+
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// NewSLOEngine builds the engine (without starting its tick loop; see
+// Start). Returns nil when there is no source or no objectives — the
+// disabled engine.
+func NewSLOEngine(opts SLOOptions) *SLOEngine {
+	if opts.Source == nil || len(opts.Objectives) == 0 {
+		return nil
+	}
+	if opts.ShortWindow <= 0 {
+		opts.ShortWindow = 10 * time.Second
+	}
+	if opts.LongWindow <= 0 {
+		opts.LongWindow = 60 * time.Second
+	}
+	if opts.ShortWindow > opts.LongWindow {
+		opts.ShortWindow = opts.LongWindow
+	}
+	prefix := opts.Prefix
+	if prefix == "" {
+		prefix = "slo"
+	}
+	e := &SLOEngine{
+		src:      opts.Source,
+		short:    opts.ShortWindow,
+		long:     opts.LongWindow,
+		onChange: opts.OnChange,
+		flight:   opts.Flight,
+		done:     make(chan struct{}),
+	}
+	for _, o := range opts.Objectives {
+		os := &objectiveState{o: o}
+		if reg := opts.Registry; reg != nil {
+			base := prefix + "_" + o.Name
+			reg.Help(base+"_state", "SLO burn-rate state: 0 ok, 1 warn, 2 page")
+			reg.GaugeFunc(base+"_state", func() float64 { return float64(os.state.Load()) })
+			reg.Help(base+"_value", "short-window measured value the objective judged last tick")
+			reg.GaugeFunc(base+"_value", func() float64 {
+				return math.Float64frombits(os.value.Load())
+			})
+			reg.Help(base+"_bound", "objective violation threshold")
+			reg.Gauge(base + "_bound").Set(o.Bound)
+			reg.Help(base+"_warn_total", "transitions into the warn state")
+			os.warns = reg.Counter(base + "_warn_total")
+			reg.Help(base+"_page_total", "transitions into the page state")
+			os.pages = reg.Counter(base + "_page_total")
+		}
+		e.objs = append(e.objs, os)
+	}
+	return e
+}
+
+// Tick evaluates every objective against the source registry at the
+// given instant. Exported so tests (and the Start loop) drive it
+// deterministically; no-op on nil.
+func (e *SLOEngine) Tick(now time.Time) {
+	if e == nil {
+		return
+	}
+	cur := sloSample{at: now, snap: e.src.Snapshot()}
+
+	e.mu.Lock()
+	e.hist = append(e.hist, cur)
+	// Keep one sample older than the long window as the delta base.
+	for len(e.hist) > 1 && now.Sub(e.hist[1].at) >= e.long {
+		e.hist = e.hist[1:]
+	}
+	hist := append([]sloSample(nil), e.hist...)
+	e.mu.Unlock()
+
+	shortBase := baseSample(hist, now, e.short)
+	longBase := baseSample(hist, now, e.long)
+
+	for _, os := range e.objs {
+		shortV, shortViol, ok := evalObjective(os.o, cur, shortBase, hist, now, e.short, true)
+		_, longViol, lok := evalObjective(os.o, cur, longBase, hist, now, e.long, false)
+		if ok {
+			os.value.Store(math.Float64bits(shortV))
+		}
+		next := SLOOK
+		switch {
+		case shortViol && longViol && lok:
+			next = SLOPage
+		case shortViol:
+			next = SLOWarn
+		}
+		prev := SLOState(os.state.Swap(int32(next)))
+		if prev == next {
+			continue
+		}
+		switch next {
+		case SLOWarn:
+			os.warns.Inc()
+		case SLOPage:
+			os.pages.Inc()
+		}
+		e.flight.RecordMsg(FlightSLO, int32(next), os.o.Name,
+			math.Float64bits(shortV), math.Float64bits(os.o.Bound), uint64(prev))
+		if e.onChange != nil {
+			e.onChange(os.o, prev, next, shortV)
+		}
+	}
+}
+
+// baseSample picks the newest history sample at least `window` older
+// than now (falling back to the oldest available).
+func baseSample(hist []sloSample, now time.Time, window time.Duration) sloSample {
+	base := hist[0]
+	for _, s := range hist {
+		if now.Sub(s.at) >= window {
+			base = s
+		} else {
+			break
+		}
+	}
+	return base
+}
+
+// evalObjective returns (measured value, violated, measurable) for one
+// objective over one window. An unmeasurable window (no traffic, no
+// delta) never violates: no requests means no budget burned.
+func evalObjective(o Objective, cur, base sloSample, hist []sloSample, now time.Time, window time.Duration, latest bool) (float64, bool, bool) {
+	switch o.Kind {
+	case ObjectiveLatency:
+		w := cur.snap.Quantile(o.Metric).Sub(base.snap.Quantile(o.Metric))
+		if w.Count == 0 {
+			return 0, false, false
+		}
+		v := float64(w.Quantile(o.Quantile))
+		return v, v > o.Bound, true
+	case ObjectiveErrorRatio:
+		var bad, total float64
+		for _, n := range o.Bad {
+			bad += float64(cur.snap.Counter(n)) - float64(base.snap.Counter(n))
+		}
+		for _, n := range o.Total {
+			total += float64(cur.snap.Counter(n)) - float64(base.snap.Counter(n))
+		}
+		if total <= 0 {
+			return 0, false, false
+		}
+		v := bad / total
+		return v, v > o.Bound, true
+	case ObjectiveGaugeMax:
+		if latest {
+			v := cur.snap.Gauge(o.Metric)
+			return v, v > o.Bound, true
+		}
+		// Long window: the minimum over the window's samples — a page
+		// requires the gauge to have stayed above the bound throughout.
+		v := math.Inf(1)
+		seen := false
+		for _, s := range hist {
+			if now.Sub(s.at) > window {
+				continue
+			}
+			g := s.snap.Gauge(o.Metric)
+			if !seen || g < v {
+				v, seen = g, true
+			}
+		}
+		if !seen {
+			return 0, false, false
+		}
+		return v, v > o.Bound, true
+	}
+	return 0, false, false
+}
+
+// Start ticks the engine every interval (default 1s) until Stop. A
+// nil engine is a no-op.
+func (e *SLOEngine) Start(interval time.Duration) {
+	if e == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	e.Tick(time.Now())
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-e.done:
+				return
+			case <-t.C:
+				e.Tick(time.Now())
+			}
+		}
+	}()
+}
+
+// Stop ends the tick loop; idempotent, nil-safe.
+func (e *SLOEngine) Stop() {
+	if e == nil {
+		return
+	}
+	e.stopOnce.Do(func() { close(e.done) })
+}
+
+// ObjectiveStatus is one objective's state in the /slo.json document.
+type ObjectiveStatus struct {
+	Name     string  `json:"name"`
+	Kind     string  `json:"kind"`
+	Metric   string  `json:"metric,omitempty"`
+	Quantile float64 `json:"quantile,omitempty"`
+	Bound    float64 `json:"bound"`
+	Value    float64 `json:"value"`
+	State    string  `json:"state"`
+}
+
+// SLOStatus is the /slo.json document.
+type SLOStatus struct {
+	ShortWindowMS int64             `json:"short_window_ms"`
+	LongWindowMS  int64             `json:"long_window_ms"`
+	Worst         string            `json:"worst"`
+	Objectives    []ObjectiveStatus `json:"objectives"`
+}
+
+// Status reports every objective's current state (worst first inside
+// Worst; objectives keep declaration order). Nil-safe: a nil engine
+// reports an empty document.
+func (e *SLOEngine) Status() SLOStatus {
+	st := SLOStatus{Worst: SLOOK.String()}
+	if e == nil {
+		return st
+	}
+	st.ShortWindowMS = e.short.Milliseconds()
+	st.LongWindowMS = e.long.Milliseconds()
+	worst := SLOOK
+	for _, os := range e.objs {
+		s := SLOState(os.state.Load())
+		if s > worst {
+			worst = s
+		}
+		st.Objectives = append(st.Objectives, ObjectiveStatus{
+			Name:     os.o.Name,
+			Kind:     os.o.Kind.String(),
+			Metric:   os.o.Metric,
+			Quantile: os.o.Quantile,
+			Bound:    os.o.Bound,
+			Value:    math.Float64frombits(os.value.Load()),
+			State:    s.String(),
+		})
+	}
+	st.Worst = worst.String()
+	return st
+}
+
+// SLONames maps a daemon's metric vocabulary into ParseSLOSpec: which
+// quantile histogram carries request latency, which counters count
+// failed and total operations, which gauge carries replication lag.
+type SLONames struct {
+	LatencyMetric string
+	BadCounters   []string
+	TotalCounters []string
+	LagGauge      string
+}
+
+// ParseSLOSpec parses a comma-separated objective spec into
+// Objectives:
+//
+//	p99<10ms            latency: the p99 of names.LatencyMetric under 10ms
+//	p50<500us           any pNN quantile works
+//	availability>0.999  error ratio: 1-0.999 budget over Bad/Total counters
+//	lag<5000            gauge bound on names.LagGauge
+//
+// Objective names are derived from the left-hand token.
+func ParseSLOSpec(spec string, names SLONames) ([]Objective, error) {
+	var out []Objective
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(part, "p") && strings.Contains(part, "<"):
+			lhs, rhs, _ := strings.Cut(part, "<")
+			pct, err := strconv.ParseFloat(lhs[1:], 64)
+			if err != nil || pct <= 0 || pct >= 100 {
+				return nil, fmt.Errorf("obs: bad SLO quantile %q", lhs)
+			}
+			d, err := time.ParseDuration(rhs)
+			if err != nil {
+				return nil, fmt.Errorf("obs: bad SLO latency bound %q: %v", rhs, err)
+			}
+			if names.LatencyMetric == "" {
+				return nil, fmt.Errorf("obs: SLO %q needs a latency metric (is tracing enabled?)", part)
+			}
+			out = append(out, Objective{
+				Name:     "p" + strings.ReplaceAll(lhs[1:], ".", "_"),
+				Kind:     ObjectiveLatency,
+				Metric:   names.LatencyMetric,
+				Quantile: pct / 100,
+				Bound:    float64(d.Nanoseconds()),
+			})
+		case strings.HasPrefix(part, "availability>"):
+			rhs := strings.TrimPrefix(part, "availability>")
+			target, err := strconv.ParseFloat(rhs, 64)
+			if err != nil || target <= 0 || target >= 1 {
+				return nil, fmt.Errorf("obs: bad SLO availability target %q", rhs)
+			}
+			out = append(out, Objective{
+				Name:  "availability",
+				Kind:  ObjectiveErrorRatio,
+				Bound: 1 - target,
+				Bad:   append([]string(nil), names.BadCounters...),
+				Total: append([]string(nil), names.TotalCounters...),
+			})
+		case strings.HasPrefix(part, "lag<"):
+			rhs := strings.TrimPrefix(part, "lag<")
+			bound, err := strconv.ParseFloat(rhs, 64)
+			if err != nil || bound < 0 {
+				return nil, fmt.Errorf("obs: bad SLO lag bound %q", rhs)
+			}
+			if names.LagGauge == "" {
+				return nil, fmt.Errorf("obs: SLO %q needs a lag gauge (is replication enabled?)", part)
+			}
+			out = append(out, Objective{
+				Name:   "repl_lag",
+				Kind:   ObjectiveGaugeMax,
+				Metric: names.LagGauge,
+				Bound:  bound,
+			})
+		default:
+			return nil, fmt.Errorf("obs: unparseable SLO objective %q (want pNN<dur, availability>frac, lag<n)", part)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

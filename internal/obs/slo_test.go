@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// sloHarness drives an SLOEngine with a fake clock and a scripted
+// source registry, recording every OnChange transition.
+type sloHarness struct {
+	src   *Registry
+	exp   *Registry
+	eng   *SLOEngine
+	now   time.Time
+	trans []string // "name:from->to"
+}
+
+func newSLOHarness(t *testing.T, objs []Objective, fl *FlightRecorder) *sloHarness {
+	t.Helper()
+	h := &sloHarness{src: NewRegistry(), exp: NewRegistry(), now: time.Unix(1000, 0)}
+	h.eng = NewSLOEngine(SLOOptions{
+		Source:      h.src,
+		Registry:    h.exp,
+		Prefix:      "slo",
+		ShortWindow: 10 * time.Second,
+		LongWindow:  60 * time.Second,
+		Objectives:  objs,
+		Flight:      fl,
+		OnChange: func(o Objective, from, to SLOState, _ float64) {
+			h.trans = append(h.trans, o.Name+":"+from.String()+"->"+to.String())
+		},
+	})
+	if h.eng == nil {
+		t.Fatal("engine nil despite objectives")
+	}
+	return h
+}
+
+// tick advances the fake clock and evaluates.
+func (h *sloHarness) tick(d time.Duration) {
+	h.now = h.now.Add(d)
+	h.eng.Tick(h.now)
+}
+
+func (h *sloHarness) state(t *testing.T, name string) string {
+	t.Helper()
+	for _, o := range h.eng.Status().Objectives {
+		if o.Name == name {
+			return o.State
+		}
+	}
+	t.Fatalf("objective %q missing from status", name)
+	return ""
+}
+
+func TestSLOLatencyBurnRateTransitions(t *testing.T) {
+	fl := NewFlightRecorder(64)
+	h := newSLOHarness(t, []Objective{{
+		Name: "p99", Kind: ObjectiveLatency, Metric: "lat",
+		Quantile: 0.99, Bound: 1000,
+	}}, fl)
+	q := h.src.QuantileHistogram("lat")
+
+	h.tick(0) // baseline sample
+	if got := h.state(t, "p99"); got != "ok" {
+		t.Fatalf("initial state %q", got)
+	}
+
+	// Healthy traffic: fast observations, short window measurable, ok.
+	for i := 0; i < 10000; i++ {
+		q.Observe(100)
+	}
+	h.tick(10 * time.Second)
+	if got := h.state(t, "p99"); got != "ok" {
+		t.Fatalf("healthy state %q", got)
+	}
+
+	// A short burst of slow requests: the short window violates but the
+	// long window (dominated by the 10k fast obs) does not — warn.
+	for i := 0; i < 50; i++ {
+		q.Observe(50_000)
+	}
+	h.tick(10 * time.Second)
+	if got := h.state(t, "p99"); got != "warn" {
+		t.Fatalf("burst state %q, want warn", got)
+	}
+
+	// Sustained slowness: both windows violate — page.
+	for i := 0; i < 20000; i++ {
+		q.Observe(50_000)
+	}
+	h.tick(10 * time.Second)
+	if got := h.state(t, "p99"); got != "page" {
+		t.Fatalf("sustained state %q, want page", got)
+	}
+
+	// Recovery: the short window sees only fast traffic again — ok,
+	// even while the long window still remembers the incident.
+	for i := 0; i < 1000; i++ {
+		q.Observe(100)
+	}
+	h.tick(10 * time.Second)
+	if got := h.state(t, "p99"); got != "ok" {
+		t.Fatalf("recovered state %q, want ok", got)
+	}
+
+	want := []string{"p99:ok->warn", "p99:warn->page", "p99:page->ok"}
+	if len(h.trans) != len(want) {
+		t.Fatalf("transitions %v, want %v", h.trans, want)
+	}
+	for i := range want {
+		if h.trans[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q", i, h.trans[i], want[i])
+		}
+	}
+
+	// Exposition: counters count entries into each state, the flight
+	// recorder holds one FlightSLO event per transition.
+	s := h.exp.Snapshot()
+	if got := s.Counter("slo_p99_warn_total"); got != 1 {
+		t.Errorf("warn_total = %d", got)
+	}
+	if got := s.Counter("slo_p99_page_total"); got != 1 {
+		t.Errorf("page_total = %d", got)
+	}
+	if got := s.Gauge("slo_p99_bound"); got != 1000 {
+		t.Errorf("bound gauge = %v", got)
+	}
+	slo := 0
+	for _, ev := range fl.Dump().Events {
+		if ev.Kind == "slo" {
+			slo++
+		}
+	}
+	if slo != len(want) {
+		t.Errorf("flight recorded %d slo events, want %d", slo, len(want))
+	}
+}
+
+func TestSLOUnmeasurableWindowNeverViolates(t *testing.T) {
+	h := newSLOHarness(t, []Objective{{
+		Name: "p99", Kind: ObjectiveLatency, Metric: "lat",
+		Quantile: 0.99, Bound: 1,
+	}}, nil)
+	h.src.QuantileHistogram("lat") // registered, never observed
+	h.tick(0)
+	for i := 0; i < 10; i++ {
+		h.tick(10 * time.Second)
+	}
+	if got := h.state(t, "p99"); got != "ok" {
+		t.Fatalf("idle state %q, want ok (no traffic burns no budget)", got)
+	}
+	if len(h.trans) != 0 {
+		t.Fatalf("idle transitions: %v", h.trans)
+	}
+}
+
+func TestSLOErrorRatio(t *testing.T) {
+	h := newSLOHarness(t, []Objective{{
+		Name: "availability", Kind: ObjectiveErrorRatio, Bound: 0.01,
+		Bad: []string{"shed"}, Total: []string{"shed", "ok"},
+	}}, nil)
+	bad, good := h.src.Counter("shed"), h.src.Counter("ok")
+
+	h.tick(0)
+	good.Add(1000)
+	h.tick(10 * time.Second)
+	if got := h.state(t, "availability"); got != "ok" {
+		t.Fatalf("clean state %q", got)
+	}
+
+	// 10% shed in the short window: warn (the long window is still
+	// diluted by the clean first interval... with 100/2100 ≈ 4.8% it
+	// violates too once sheds dominate, so drive only a single bad
+	// interval first).
+	bad.Add(100)
+	good.Add(900)
+	h.tick(10 * time.Second)
+	if got := h.state(t, "availability"); got == "ok" {
+		t.Fatalf("10%% shed state %q, want warn or page", got)
+	}
+
+	// Fully clean again: ok.
+	good.Add(10_000)
+	h.tick(10 * time.Second)
+	if got := h.state(t, "availability"); got != "ok" {
+		t.Fatalf("recovered state %q", got)
+	}
+}
+
+func TestSLOGaugeLongWindowUsesMinimum(t *testing.T) {
+	h := newSLOHarness(t, []Objective{{
+		Name: "repl_lag", Kind: ObjectiveGaugeMax, Metric: "lag", Bound: 1000,
+	}}, nil)
+	lag := h.src.Gauge("lag")
+
+	h.tick(0)
+	lag.Set(50)
+	h.tick(10 * time.Second)
+	if got := h.state(t, "repl_lag"); got != "ok" {
+		t.Fatalf("low lag state %q", got)
+	}
+
+	// Lag spikes: the latest sample violates (warn) but the long-window
+	// minimum still includes the low samples, so no page yet.
+	lag.Set(5000)
+	h.tick(10 * time.Second)
+	if got := h.state(t, "repl_lag"); got != "warn" {
+		t.Fatalf("spike state %q, want warn", got)
+	}
+
+	// Keep it high until every sample inside the long window is above
+	// the bound: page. 7 more ticks pushes the low samples out of the
+	// 60s window.
+	for i := 0; i < 7; i++ {
+		h.tick(10 * time.Second)
+	}
+	if got := h.state(t, "repl_lag"); got != "page" {
+		t.Fatalf("sustained lag state %q, want page", got)
+	}
+
+	lag.Set(10)
+	h.tick(10 * time.Second)
+	if got := h.state(t, "repl_lag"); got != "ok" {
+		t.Fatalf("drained lag state %q", got)
+	}
+}
+
+func TestSLOEngineNilAndDisabled(t *testing.T) {
+	var e *SLOEngine
+	e.Tick(time.Now())
+	e.Start(time.Millisecond)
+	e.Stop()
+	st := e.Status()
+	if st.Worst != "ok" || len(st.Objectives) != 0 {
+		t.Fatalf("nil status: %+v", st)
+	}
+	if NewSLOEngine(SLOOptions{}) != nil {
+		t.Fatal("engine without source must be nil")
+	}
+	if NewSLOEngine(SLOOptions{Source: NewRegistry()}) != nil {
+		t.Fatal("engine without objectives must be nil")
+	}
+}
+
+func TestSLOStatusWorst(t *testing.T) {
+	h := newSLOHarness(t, []Objective{
+		{Name: "a", Kind: ObjectiveGaugeMax, Metric: "g1", Bound: 10},
+		{Name: "b", Kind: ObjectiveGaugeMax, Metric: "g2", Bound: 10},
+	}, nil)
+	h.src.Gauge("g1").Set(1)
+	h.src.Gauge("g2").Set(1)
+	h.tick(0) // baseline: both healthy, so the long-window minimum stays low
+	h.src.Gauge("g2").Set(100)
+	h.tick(10 * time.Second)
+	st := h.eng.Status()
+	if st.Worst != "warn" {
+		t.Fatalf("worst = %q, want warn (b violating short only)", st.Worst)
+	}
+	if st.ShortWindowMS != 10_000 || st.LongWindowMS != 60_000 {
+		t.Fatalf("windows: %+v", st)
+	}
+}
+
+func TestParseSLOSpec(t *testing.T) {
+	names := SLONames{
+		LatencyMetric: "lat",
+		BadCounters:   []string{"bad"},
+		TotalCounters: []string{"bad", "good"},
+		LagGauge:      "lag",
+	}
+	objs, err := ParseSLOSpec("p99<10ms, availability>0.999, lag<5000, p50<500us", names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 4 {
+		t.Fatalf("got %d objectives: %+v", len(objs), objs)
+	}
+	byName := map[string]Objective{}
+	for _, o := range objs {
+		byName[o.Name] = o
+	}
+	if o := byName["p99"]; o.Kind != ObjectiveLatency || o.Quantile != 0.99 || o.Bound != 10e6 || o.Metric != "lat" {
+		t.Fatalf("p99: %+v", o)
+	}
+	if o := byName["p50"]; o.Bound != 500e3 {
+		t.Fatalf("p50: %+v", o)
+	}
+	if o := byName["availability"]; o.Kind != ObjectiveErrorRatio || o.Bound < 0.000999 || o.Bound > 0.001001 {
+		t.Fatalf("availability: %+v", o)
+	}
+	if o := byName["repl_lag"]; o.Kind != ObjectiveGaugeMax || o.Bound != 5000 || o.Metric != "lag" {
+		t.Fatalf("lag: %+v", o)
+	}
+
+	if objs, err := ParseSLOSpec("  ,, ", names); err != nil || len(objs) != 0 {
+		t.Fatalf("blank spec: %v %v", objs, err)
+	}
+	for _, bad := range []string{
+		"p999<10ms",       // quantile >= 100
+		"p99<fast",        // unparseable duration
+		"availability>2",  // target out of range
+		"lag<-3",          // negative bound
+		"throughput>1000", // unknown objective form
+	} {
+		if _, err := ParseSLOSpec(bad, names); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+	// Latency and lag objectives require the daemon to supply metrics.
+	if _, err := ParseSLOSpec("p99<10ms", SLONames{}); err == nil {
+		t.Error("latency objective without a latency metric accepted")
+	}
+	if _, err := ParseSLOSpec("lag<10", SLONames{}); err == nil {
+		t.Error("lag objective without a lag gauge accepted")
+	}
+}

@@ -95,6 +95,20 @@ type Span struct {
 	ts      [NumStages]atomic.Int64
 	track   int64
 	sampled bool
+	erred   atomic.Bool
+}
+
+// MarkError flags the span as carrying a failed operation; the flight
+// recorder admits errored spans unconditionally. Nil-safe.
+func (sp *Span) MarkError() {
+	if sp != nil {
+		sp.erred.Store(true)
+	}
+}
+
+// Erred reports whether MarkError was called (false on nil).
+func (sp *Span) Erred() bool {
+	return sp != nil && sp.erred.Load()
 }
 
 // Stamp records SpanNow for the stage if it is not already stamped.
@@ -147,6 +161,7 @@ func (sp *Span) reset() {
 	}
 	sp.track = 0
 	sp.sampled = false
+	sp.erred.Store(false)
 }
 
 // TracerOptions parameterise NewTracer.
@@ -166,6 +181,16 @@ type TracerOptions struct {
 	// TracePID is the Chrome-trace process id sampled spans land
 	// under (default 1).
 	TracePID int64
+	// Flight, when set, receives finished spans as FlightSpan events:
+	// every errored or slow span, plus one in FlightSampleEvery of the
+	// rest — the black-box admission policy.
+	Flight *FlightRecorder
+	// FlightSlowNs is the whole-span latency at or above which a span
+	// counts as slow (default 25ms).
+	FlightSlowNs int64
+	// FlightSampleEvery admits one in N unremarkable spans to the
+	// flight recorder (default 64; 0 keeps the default).
+	FlightSampleEvery int
 }
 
 // Tracer mints, aggregates and recycles request spans. Nil-disabled
@@ -181,6 +206,11 @@ type Tracer struct {
 	pool    sync.Pool
 	started *Counter
 	sampled *Counter
+
+	flight      *FlightRecorder
+	flightSlow  int64
+	flightEvery uint64
+	flightNth   atomic.Uint64
 
 	// OnFinish, when set, observes every finished span's track and
 	// stamped timestamps before the span returns to the pool — a test
@@ -208,14 +238,25 @@ func StageMetricNames(prefix string) []string {
 }
 
 // NewTracer builds a tracer. It returns nil — the disabled tracer —
-// when opts carries neither a registry nor a recorder.
+// when opts carries no registry, recorder, or flight recorder.
 func NewTracer(opts TracerOptions) *Tracer {
-	if opts.Registry == nil && opts.Recorder == nil {
+	if opts.Registry == nil && opts.Recorder == nil && opts.Flight == nil {
 		return nil
 	}
 	t := &Tracer{
-		rec: opts.Recorder,
-		pid: opts.TracePID,
+		rec:        opts.Recorder,
+		pid:        opts.TracePID,
+		flight:     opts.Flight,
+		flightSlow: opts.FlightSlowNs,
+	}
+	if opts.Flight != nil {
+		if t.flightSlow <= 0 {
+			t.flightSlow = 25 * 1e6
+		}
+		t.flightEvery = 64
+		if opts.FlightSampleEvery > 0 {
+			t.flightEvery = uint64(opts.FlightSampleEvery)
+		}
 	}
 	if t.pid == 0 {
 		t.pid = 1
@@ -301,6 +342,22 @@ func (t *Tracer) Finish(sp *Span) {
 	}
 	if issue != 0 && last >= issue {
 		t.stageQ[StageIssue].Observe(uint64(last - issue))
+	}
+	if t.flight != nil {
+		total := int64(0)
+		if issue != 0 && last >= issue {
+			total = last - issue
+		}
+		// Admission: every errored span, every slow span, one in N of
+		// the rest — the black box always holds the interesting tail.
+		switch {
+		case sp.erred.Load():
+			t.flight.Record(FlightSpan, 0, uint64(sp.track), uint64(total), 1)
+		case total >= t.flightSlow:
+			t.flight.Record(FlightSpan, 0, uint64(sp.track), uint64(total), 2)
+		case t.flightNth.Add(1)%t.flightEvery == 0:
+			t.flight.Record(FlightSpan, 0, uint64(sp.track), uint64(total), 0)
+		}
 	}
 	if sp.sampled && t.rec != nil {
 		t.export(sp.track, ts)

@@ -17,6 +17,7 @@ import (
 	"io/fs"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -66,6 +67,10 @@ type Options struct {
 	// during recovery itself.
 	Metrics       *obs.Registry
 	MetricsPrefix string
+	// Flight, when non-nil, receives a FlightWALStall event for every
+	// fsync that takes FlightStall or longer (default 50ms).
+	Flight      *obs.FlightRecorder
+	FlightStall time.Duration
 }
 
 // RecoveryReport describes what recovery found and did.
@@ -287,6 +292,13 @@ func (m *Manager) attach(lsn uint64) error {
 	m.walFile = f
 	m.wal = NewWAL(f, lsn, m.opts.WAL)
 	m.wal.Instrument(m.opts.Metrics, m.opts.MetricsPrefix)
+	if m.opts.Flight != nil {
+		stall := m.opts.FlightStall
+		if stall <= 0 {
+			stall = 50 * time.Millisecond
+		}
+		m.wal.SetFlight(m.opts.Flight, stall)
+	}
 	return nil
 }
 

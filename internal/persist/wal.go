@@ -220,6 +220,20 @@ type WAL struct {
 	commitNs  *obs.QuantileHistogram
 	fsyncNs   *obs.QuantileHistogram
 	batchSize *obs.Histogram
+
+	// Flight-recorder stall reporting (SetFlight).
+	flight  *obs.FlightRecorder
+	stallNs uint64
+}
+
+// SetFlight records a FlightWALStall event whenever an fsync takes at
+// least stall — the black-box view of storage hiccups that group
+// commit latency quantiles only show in aggregate.
+func (w *WAL) SetFlight(fr *obs.FlightRecorder, stall time.Duration) {
+	w.flight = fr
+	if stall > 0 {
+		w.stallNs = uint64(stall)
+	}
 }
 
 // NewWAL wraps an append-positioned file. startLSN is the number of
@@ -321,7 +335,7 @@ func (w *WAL) Sync() error {
 		return w.err
 	}
 	var start time.Time
-	if w.fsyncNs != nil {
+	if w.fsyncNs != nil || w.flight != nil {
 		start = time.Now()
 	}
 	err := w.f.Sync()
@@ -334,8 +348,12 @@ func (w *WAL) Sync() error {
 		w.err = fmt.Errorf("persist: WAL fsync failed: %w", err)
 		return w.err
 	}
-	if w.fsyncNs != nil {
-		w.fsyncNs.Observe(uint64(time.Since(start)))
+	if w.fsyncNs != nil || w.flight != nil {
+		el := uint64(time.Since(start))
+		w.fsyncNs.Observe(el)
+		if w.flight != nil && w.stallNs > 0 && el >= w.stallNs {
+			w.flight.Record(obs.FlightWALStall, 0, el, w.stallNs, w.durable)
+		}
 	}
 	w.fsyncs.Inc()
 	return nil

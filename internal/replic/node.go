@@ -53,6 +53,15 @@ type Config struct {
 	// detach, refusal, promotion, stream errors) and takes precedence
 	// over Logf.
 	Logger *slog.Logger
+	// Flight, when set, receives every replication state transition
+	// (attach, detach, caught-up, promotion, degrade, refusal, fatal
+	// stream death) as FlightReplState events.
+	Flight *obs.FlightRecorder
+	// OnIncident, when set, fires on the transitions worth a bundle:
+	// a follower's unrecoverable stream death and the first degrade.
+	// Called from replication goroutines — keep it non-blocking (e.g.
+	// IncidentCapturer.CaptureAsync).
+	OnIncident func(trigger, reason string)
 }
 
 func (c Config) withDefaults() Config {
@@ -288,6 +297,24 @@ func (n *Node) event(level slog.Level, msg string, attrs ...any) {
 	n.cfg.Logf("%s", b.String())
 }
 
+// transition records one replication state change into the flight
+// recorder.
+func (n *Node) transition(name string, a, b uint64) {
+	n.cfg.Flight.RecordMsg(obs.FlightReplState, 0, name, a, b, 0)
+}
+
+// setDegraded latches the degraded flag, recording the edge (and
+// firing the incident hook) only on the first transition.
+func (n *Node) setDegraded(reason string) {
+	if n.degraded.Swap(true) {
+		return
+	}
+	n.transition("degraded", 0, 0)
+	if n.cfg.OnIncident != nil {
+		n.cfg.OnIncident("repl_degraded", reason)
+	}
+}
+
 // Lag returns the node's replication lag in log sequences. A primary
 // with no attached follower reports 0 (there is nothing to lag behind);
 // with followers it is the log tip minus the highest follower ack. A
@@ -447,7 +474,7 @@ func (n *Node) waitAck(seq uint64) {
 	select {
 	case <-w.ch:
 	case <-t.C:
-		n.degraded.Store(true)
+		n.setDegraded("sync ack timeout")
 	}
 }
 
@@ -475,14 +502,15 @@ func (n *Node) updateAck(seq uint64) {
 // blocked.
 func (n *Node) releaseWaiters() {
 	n.amu.Lock()
-	if len(n.waiters) > 0 {
-		n.degraded.Store(true)
-	}
+	blocked := len(n.waiters) > 0
 	for _, w := range n.waiters {
 		close(w.ch)
 	}
 	n.waiters = nil
 	n.amu.Unlock()
+	if blocked {
+		n.setDegraded("follower detached with sync waiters blocked")
+	}
 }
 
 // AckSeq returns the highest follower-acknowledged log sequence.
@@ -509,6 +537,7 @@ func (n *Node) handleRepl(conn net.Conn, hello wire.Frame) {
 		return
 	}
 	if m != n.man {
+		n.transition("refused", 0, 0)
 		n.event(slog.LevelWarn, "replic: refusing follower",
 			"reason", "manifest mismatch",
 			"follower", fmt.Sprintf("%+v", m), "primary", fmt.Sprintf("%+v", n.man))
@@ -521,6 +550,7 @@ func (n *Node) handleRepl(conn net.Conn, hello wire.Frame) {
 	// records whose sequences mean different things and corrupt the
 	// follower's frontier and dedup bookkeeping.
 	if resume > 0 && helloLogID != n.logID {
+		n.transition("refused", resume, 0)
 		n.event(slog.LevelWarn, "replic: refusing follower",
 			"reason", "log identity mismatch",
 			"resume", resume, "follower_log", fmt.Sprintf("%x", helloLogID),
@@ -536,12 +566,14 @@ func (n *Node) handleRepl(conn net.Conn, hello wire.Frame) {
 	if err := wire.WriteFrame(conn, wire.TReplOK, hello.ID, AppendReplOK(nil, n.log.Seq(), n.logID)); err != nil {
 		return
 	}
+	n.transition("follower_attached", resume, n.log.Seq())
 	n.event(slog.LevelInfo, "replic: follower attached", "seq", resume)
 	n.followers.Add(1)
 	defer func() {
 		if n.followers.Add(-1) == 0 {
 			n.releaseWaiters()
 		}
+		n.transition("follower_detached", 0, 0)
 		n.event(slog.LevelInfo, "replic: follower detached")
 	}()
 
@@ -680,8 +712,12 @@ func (n *Node) runFollower() {
 			// The primary refused us or is a different log than the one
 			// our state was built from. Redialing cannot help; hold the
 			// applied state and wait for an operator decision.
+			n.transition("stream_fatal", n.streamPos.Load(), 0)
 			n.event(slog.LevelError, "replic: stream unrecoverable", "err", err)
-			n.degraded.Store(true)
+			if n.cfg.OnIncident != nil {
+				n.cfg.OnIncident("repl_fatal", fmt.Sprint(err))
+			}
+			n.setDegraded("unrecoverable replication stream")
 			select {
 			case <-n.promote:
 				n.finishPromotion()
@@ -719,6 +755,7 @@ func (n *Node) finishPromotion() {
 	n.role.Store(rolePrimary)
 	n.attached.Store(false)
 	n.srv.SetServing(true)
+	n.transition("promoted", n.streamPos.Load(), n.log.Seq())
 	n.event(slog.LevelInfo, "replic: promoted to primary",
 		"stream_seq", n.streamPos.Load(), "log_seq", n.log.Seq())
 }
@@ -770,10 +807,11 @@ func (n *Node) streamOnce() error {
 	n.primLogID.Store(logID)
 	conn.SetWriteDeadline(time.Time{})
 	n.tipAtAttach.Store(tip)
-	if resume >= tip {
-		n.caughtUp.Store(true)
+	if resume >= tip && !n.caughtUp.Swap(true) {
+		n.transition("caught_up", resume, tip)
 	}
 	n.attached.Store(true)
+	n.transition("attached", resume, tip)
 	n.event(slog.LevelInfo, "replic: attached to primary",
 		"addr", n.cfg.PrimaryAddr, "seq", resume, "tip", tip)
 
@@ -854,8 +892,8 @@ func (n *Node) streamOnce() error {
 				return err
 			}
 		}
-		if fr >= n.tipAtAttach.Load() {
-			n.caughtUp.Store(true)
+		if fr >= n.tipAtAttach.Load() && !n.caughtUp.Swap(true) {
+			n.transition("caught_up", fr, n.tipAtAttach.Load())
 		}
 	}
 }

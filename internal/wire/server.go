@@ -360,6 +360,16 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			results = results[:len(ops)]
 			s.eng.SubmitTraced(ops, results, sp)
+			if sp != nil {
+				for i := range results {
+					if results[i].Err != nil {
+						// Errored spans are admitted to the flight
+						// recorder unconditionally.
+						sp.MarkError()
+						break
+					}
+				}
+			}
 			payload := make([]byte, 0, 4+len(results)*resultSize)
 			payload = appendEngineResults(payload, results)
 			var wait func()

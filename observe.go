@@ -126,6 +126,92 @@ func NewEventLogger(w io.Writer, level slog.Level, window time.Duration) *slog.L
 	return obs.NewEventLogger(w, level, window)
 }
 
+// Incident infrastructure: the black-box flight recorder, runtime
+// telemetry poller, SLO burn-rate engine and incident-bundle capturer.
+// See DESIGN.md section 5f.
+
+// FlightRecorder is a fixed-size lock-free ring of structured events —
+// the always-on black box a crash or incident capture freezes. A nil
+// recorder disables every probe that feeds it.
+type FlightRecorder = obs.FlightRecorder
+
+// FlightDump is a consistent snapshot of a FlightRecorder's window.
+type FlightDump = obs.FlightDump
+
+// FlightEvent is one recorded flight event.
+type FlightEvent = obs.FlightEvent
+
+// NewFlightRecorder builds a flight recorder holding (about) size
+// events; size <= 0 returns nil, the disabled recorder.
+func NewFlightRecorder(size int) *FlightRecorder { return obs.NewFlightRecorder(size) }
+
+// ParseFlightDump decodes and schema-checks a FlightDump JSON document.
+func ParseFlightDump(b []byte) (FlightDump, error) { return obs.ParseFlightDump(b) }
+
+// RuntimeCollector polls runtime/metrics (GC pauses, heap, goroutines,
+// scheduling latency) into a registry. Nil-disabled.
+type RuntimeCollector = obs.RuntimeCollector
+
+// NewRuntimeCollector builds a runtime collector registering its
+// gauges and quantile histograms under prefix; nil registry → nil.
+func NewRuntimeCollector(reg *MetricsRegistry, prefix string) *RuntimeCollector {
+	return obs.NewRuntimeCollector(reg, prefix)
+}
+
+// SLOEngine evaluates declarative objectives with multi-window
+// burn-rate states (ok/warn/page). Nil-disabled.
+type SLOEngine = obs.SLOEngine
+
+// SLOObjective is one declarative service-level objective.
+type SLOObjective = obs.Objective
+
+// SLOOptions parameterise NewSLOEngine.
+type SLOOptions = obs.SLOOptions
+
+// SLONames maps a daemon's metric vocabulary into ParseSLOSpec.
+type SLONames = obs.SLONames
+
+// NewSLOEngine builds an SLO engine (nil without a source registry or
+// objectives).
+func NewSLOEngine(opts SLOOptions) *SLOEngine { return obs.NewSLOEngine(opts) }
+
+// ParseSLOSpec parses a comma-separated objective spec such as
+// "p99<10ms,availability>0.999,lag<5000".
+func ParseSLOSpec(spec string, names SLONames) ([]SLOObjective, error) {
+	return obs.ParseSLOSpec(spec, names)
+}
+
+// IncidentCapturer writes versioned, self-checksummed incident
+// bundles. Nil-disabled.
+type IncidentCapturer = obs.IncidentCapturer
+
+// IncidentOptions parameterise NewIncidentCapturer.
+type IncidentOptions = obs.IncidentOptions
+
+// IncidentManifest is a bundle's manifest.json document.
+type IncidentManifest = obs.IncidentManifest
+
+// NewIncidentCapturer builds a capturer writing bundles under
+// opts.Dir (empty Dir → nil, the disabled capturer).
+func NewIncidentCapturer(opts IncidentOptions) (*IncidentCapturer, error) {
+	return obs.NewIncidentCapturer(opts)
+}
+
+// ListIncidentBundles returns the bundle directories under dir,
+// oldest first.
+func ListIncidentBundles(dir string) ([]string, error) { return obs.ListIncidentBundles(dir) }
+
+// ParseIncidentManifest decodes and structurally validates a bundle
+// manifest, including its self-checksum.
+func ParseIncidentManifest(b []byte) (IncidentManifest, error) {
+	return obs.ParseIncidentManifest(b)
+}
+
+// ValidateIncidentBundle checks one bundle directory end to end:
+// manifest schema and checksums, required captures present, flight
+// record parseable.
+func ValidateIncidentBundle(dir string) error { return obs.ValidateIncidentBundle(dir) }
+
 // InstrumentedQueue wraps any PriorityQueue with operation counters
 // and an occupancy probe, for implementations that lack native
 // instrumentation. The wrapper observes only at the interface: counts

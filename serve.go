@@ -63,6 +63,17 @@ var (
 	ErrOverloaded   = engine.ErrOverloaded
 )
 
+// EngineHooks are the engine's incident-infrastructure taps: a flight
+// recorder for overload/backpressure edges plus overload-trip and
+// shard-panic callbacks. Installed after construction with
+// Engine.SetHooks so EngineConfig stays comparable.
+type EngineHooks = engine.Hooks
+
+// EngineOverload is the per-shard overload-control watermark set;
+// Engine.SetOverload swaps it at runtime (the chaos harness uses this
+// to induce deterministic overload episodes).
+type EngineOverload = engine.Overload
+
 // NewEngine starts the shard goroutines and returns the engine;
 // Close stops them, after which ShardDrain and Checkpoint apply.
 func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
