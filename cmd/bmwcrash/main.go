@@ -127,6 +127,15 @@ func main() {
 			kind, *kills, totalBytes, failed, pm.recoveries, pm.replayed, pm.tornTails, pm.skipped)
 	}
 
+	// Kill-points inside the engine checkpoint-manifest write: torn or
+	// rotted ENGINE.json must be refused typed, never decode-panicked.
+	mfails, err := manifestTrials(filepath.Join(root, "manifest"), *kills, *seed)
+	if err != nil {
+		fatalf("manifest trials: %v", err)
+	}
+	divergences += mfails
+	fmt.Printf("manifest %4d kill-point trials: %d refusal failure(s)\n", *kills, mfails)
+
 	if divergences > 0 {
 		fatalf("%d divergence(s) across %d kill trials per kind", divergences, *kills)
 	}

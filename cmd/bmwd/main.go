@@ -37,12 +37,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/buildinfo"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/persist"
 	"repro/internal/replic"
 	"repro/internal/wire"
 )
@@ -54,21 +57,25 @@ func fatalf(format string, args ...any) {
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:9970", "wire protocol listen address")
-		shards   = flag.Int("shards", 4, "number of engine shards (each owns one queue)")
-		queue    = flag.String("queue", "core", "queue kind per shard: core, pifo, rbmw, rpubmw")
-		order    = flag.Int("m", 2, "tree order m (rbmw/rpubmw/core)")
-		levels   = flag.Int("l", 11, "tree levels (rbmw/rpubmw/core)")
-		capacity = flag.Int("cap", 0, "per-shard capacity override (0 = derive from m,l)")
-		ringSize = flag.Int("ring", 1024, "per-shard request ring size")
-		batch    = flag.Int("batch", 64, "per-shard max drain batch")
-		route    = flag.String("route", "hash", "push routing: hash (by Meta) or rank (by Value range)")
-		rankBits = flag.Int("rankbits", 30, "rank width in bits for -route rank partitioning")
-		httpAddr = flag.String("http", "", "observability HTTP address (/metrics, /healthz, /readyz, /trace.json, pprof); empty = off")
-		sample   = flag.Int("trace-sample", 0, "export 1 of every N request spans to the Chrome trace at /trace.json (0 = aggregate-only tracing)")
-		logLevel = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
-		persist  = flag.String("persist", "", "checkpoint directory: restore on start, checkpoint on shutdown")
-		drainFor = flag.Duration("drain", 10*time.Second, "graceful shutdown budget before connections are cut")
+		listen     = flag.String("listen", "127.0.0.1:9970", "wire protocol listen address")
+		shards     = flag.Int("shards", 4, "number of engine shards (each owns one queue)")
+		queue      = flag.String("queue", "core", "queue kind per shard: core, pifo, rbmw, rpubmw")
+		order      = flag.Int("m", 2, "tree order m (rbmw/rpubmw/core)")
+		levels     = flag.Int("l", 11, "tree levels (rbmw/rpubmw/core)")
+		capacity   = flag.Int("cap", 0, "per-shard capacity override (0 = derive from m,l)")
+		ringSize   = flag.Int("ring", 1024, "per-shard request ring size")
+		batch      = flag.Int("batch", 64, "per-shard max drain batch")
+		route      = flag.String("route", "hash", "push routing: hash (by Meta) or rank (by Value range)")
+		rankBits   = flag.Int("rankbits", 30, "rank width in bits for -route rank partitioning")
+		httpAddr   = flag.String("http", "", "observability HTTP address (/metrics, /healthz, /readyz, /trace.json, pprof); empty = off")
+		sample     = flag.Int("trace-sample", 0, "export 1 of every N request spans to the Chrome trace at /trace.json (0 = aggregate-only tracing)")
+		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		persistDir = flag.String("persist", "", "checkpoint directory: restore on start, checkpoint on shutdown")
+		drainFor   = flag.Duration("drain", 10*time.Second, "graceful shutdown budget before connections are cut")
+
+		scrubEvery = flag.Duration("scrub-interval", time.Minute, "background integrity-scrub pass interval over the -persist checkpoint (0 = off)")
+		scrubRate  = flag.Int64("scrub-rate", 8<<20, "scrub io throttle in bytes/second (0 = unthrottled)")
+		repairFrom = flag.String("repair-from", "", "peer wire address to anti-entropy repair the -persist checkpoint from when the scrubber finds rot (empty = detect only)")
 
 		follow   = flag.String("follow", "", "start as a hot standby streaming from this primary address")
 		replSync = flag.Bool("repl-sync", false, "primary: hold dedup-enrolled responses until the follower acks (zero acked-op loss)")
@@ -131,7 +138,7 @@ func main() {
 		BatchSize:  *batch,
 		Routing:    routing,
 		RankBits:   *rankBits,
-		RestoreDir: *persist,
+		RestoreDir: *persistDir,
 		Overload: engine.Overload{
 			HighFrac:         *ovHigh,
 			LowFrac:          *ovLow,
@@ -177,6 +184,13 @@ func main() {
 		MaxInflight:  *inflight,
 		Tracer:       tracer,
 	})
+	// A persisting daemon answers anti-entropy fetch frames over its
+	// own checkpoint directory, so a rotted peer pointed here with
+	// -repair-from can heal itself from this node's sealed state.
+	if *persistDir != "" {
+		fetch := &replic.FetchServer{Dir: *persistDir}
+		srv.SetFetchHandler(fetch.Handle)
+	}
 	node := replic.Attach(eng, srv, replic.Config{
 		Engine:      cfg,
 		PrimaryAddr: *follow,
@@ -190,6 +204,25 @@ func main() {
 	})
 	node.Instrument(reg, "bmwd_repl")
 
+	// persistBad latches when the background scrubber (or an attempted
+	// repair that could not converge) finds the durable state corrupt; a
+	// sticky-poisoned WAL shows up on the <prefix>_wal_poisoned gauges
+	// the checkpoint-time persist managers register. Either takes
+	// /readyz to 503: a node whose durable state cannot be trusted must
+	// not be the one traffic fails over to.
+	var persistBad atomic.Bool
+	walPoisoned := func() bool {
+		for name, v := range reg.Snapshot().Gauges {
+			if v != 0 && strings.HasSuffix(name, "_wal_poisoned") {
+				return true
+			}
+		}
+		return false
+	}
+	ready := func() bool {
+		return node.Ready() && !persistBad.Load() && !walPoisoned()
+	}
+
 	detail := func() map[string]any {
 		st := node.Status()
 		return map[string]any{
@@ -199,6 +232,7 @@ func main() {
 			"caught_up":         node.Ready(),
 			"repl_lag":          node.Lag(),
 			"overloaded_shards": eng.OverloadedShards(),
+			"persist_ok":        !persistBad.Load() && !walPoisoned(),
 		}
 	}
 
@@ -257,7 +291,9 @@ func main() {
 	defer inc.PanicCapture()
 
 	eng.SetHooks(engine.Hooks{
-		Flight: flight,
+		Flight:        flight,
+		Metrics:       reg,
+		MetricsPrefix: "bmwd_persist",
 		OnOverloadTrip: func(shard, occ int) {
 			inc.CaptureAsync("overload", fmt.Sprintf("shard %d tripped at occupancy %d", shard, occ))
 		},
@@ -273,11 +309,92 @@ func main() {
 	stopRuntime := runtimeC.Start(5 * time.Second)
 	sloEng.Start(time.Second)
 
+	// Background integrity scrub over the checkpoint fan-out: one
+	// io-throttled pass per -scrub-interval, verifying every shard's
+	// manifest, WAL hash chain and snapshot Merkle root plus the
+	// engine-manifest binding. First detection latches persistBad
+	// (readyz → 503) and captures an incident; with -repair-from set,
+	// each dirty pass also attempts anti-entropy repair from the peer
+	// and clears the latch once the fan-out re-verifies clean.
+	scrubDone := make(chan struct{})
+	if *persistDir != "" && *scrubEvery > 0 {
+		dirs := make([]string, eng.Shards())
+		for i := range dirs {
+			dirs[i] = engine.ShardDir(*persistDir, i)
+		}
+		scr := persist.NewScrubber(persist.ScrubConfig{
+			Dirs:      dirs,
+			RateBytes: *scrubRate,
+			Metrics:   reg,
+			Prefix:    "bmwd_persist",
+			Flight:    flight,
+			OnCorruption: func(dir string, findings []persist.Finding) {
+				logger.Error("scrub: durable state corrupt",
+					"dir", dir, "findings", len(findings), "first", findings[0].String())
+				inc.CaptureAsync("integrity", dir+": "+findings[0].String())
+			},
+		})
+		go func() {
+			t := time.NewTicker(*scrubEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-scrubDone:
+					return
+				case <-t.C:
+				}
+				dirty := false
+				for range dirs {
+					select {
+					case <-scrubDone:
+						return
+					default:
+					}
+					if r := scr.Step(); r != nil && !r.Clean() {
+						dirty = true
+					}
+				}
+				if err := verifyEngineBinding(*persistDir); err != nil {
+					dirty = true
+					if !persistBad.Swap(true) {
+						logger.Error("scrub: engine manifest binding broken", "err", err)
+						inc.CaptureAsync("integrity", err.Error())
+					}
+				}
+				if !dirty {
+					continue
+				}
+				persistBad.Store(true)
+				if *repairFrom == "" {
+					continue
+				}
+				f, err := replic.DialFetcher(*repairFrom, 5*time.Second)
+				if err != nil {
+					logger.Error("scrub: repair peer unreachable", "peer", *repairFrom, "err", err)
+					continue
+				}
+				rep, err := replic.RepairCheckpoint(*persistDir, f, replic.RepairConfig{
+					Metrics: reg, Prefix: "bmwd_repl", Flight: flight,
+				})
+				f.Close()
+				if err != nil || !rep.Clean {
+					logger.Error("scrub: anti-entropy repair did not converge",
+						"peer", *repairFrom, "err", err)
+					continue
+				}
+				persistBad.Store(false)
+				logger.Warn("scrub: anti-entropy repair converged, durable state restored",
+					"peer", *repairFrom, "ops_fetched", rep.OpsFetched,
+					"chunks_fetched", rep.ChunksFetched, "manifests_fetched", rep.ManifestsFetched)
+			}
+		}()
+	}
+
 	var obsSrv *http.Server
 	if *httpAddr != "" {
 		obsSrv = obs.NewServerOpts(*httpAddr, reg, obs.HandlerOptions{
 			Healthy: func() bool { return true },
-			Ready:   node.Ready,
+			Ready:   ready,
 			Detail:  detail,
 			Trace:   rec,
 			SLO:     sloEng,
@@ -327,18 +444,18 @@ func main() {
 	go func() {
 		t := time.NewTicker(250 * time.Millisecond)
 		defer t.Stop()
-		ready := node.Ready()
+		last := ready()
 		for {
 			select {
 			case <-watchDone:
 				return
 			case <-t.C:
-				now := node.Ready()
-				if now == ready {
+				now := ready()
+				if now == last {
 					continue
 				}
-				was := ready
-				ready = now
+				was := last
+				last = now
 				b := uint64(0)
 				if now {
 					b = 1
@@ -371,6 +488,7 @@ func main() {
 	}
 
 	close(watchDone)
+	close(scrubDone)
 	sloEng.Stop()
 	stopRuntime()
 
@@ -384,11 +502,39 @@ func main() {
 		_ = obsSrv.Shutdown(ctx)
 	}
 	eng.Close()
-	if *persist != "" {
-		if err := eng.Checkpoint(*persist); err != nil {
+	if *persistDir != "" {
+		if err := eng.Checkpoint(*persistDir); err != nil {
 			fatalf("checkpoint: %v", err)
 		}
-		logger.Info("checkpointed", "elements", eng.Len(), "dir", *persist)
+		logger.Info("checkpointed", "elements", eng.Len(), "dir", *persistDir)
 	}
 	logger.Info("bye")
+}
+
+// verifyEngineBinding checks the checkpoint's ENGINE.json and, when it
+// carries the integrity seal, that every shard's MANIFEST.json still
+// matches the sealed checksum. A directory without a checkpoint (or a
+// legacy unsealed one) is fine.
+func verifyEngineBinding(dir string) error {
+	m, err := engine.LoadEngineManifest(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if len(m.ShardChecksums) != m.Shards {
+		return nil
+	}
+	for i := 0; i < m.Shards; i++ {
+		sm, err := persist.LoadManifest(nil, engine.ShardDir(dir, i))
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if sm.Checksum != m.ShardChecksums[i] {
+			return fmt.Errorf("shard %d manifest checksum %.12s not sealed by %s",
+				i, sm.Checksum, engine.EngineManifestName)
+		}
+	}
+	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
@@ -49,6 +50,16 @@ var engineTraceSample int
 // overhead — the acceptance bound is 3%.
 var engineFlightRec bool
 
+// engineIntegrity, when true (-integrity), runs the engine suite with
+// the deployment-shaped durable-integrity load alongside the measured
+// workload: a background lane records a hash-chained WAL through a
+// persist manager with periodic Merkle-sealed checkpoints, while an
+// io-throttled scrubber (bmwd's default 8 MiB/s) continuously
+// re-verifies the directory. Comparing the measured Mops against the
+// committed baseline gates scrub+chain overhead — the acceptance bound
+// is 3%.
+var engineIntegrity bool
+
 // engineMops measures aggregate push+pop throughput of a sharded
 // engine at 50% fill: engineWorkers goroutines split ops between them,
 // each submitting alternating push/pop batches of the given size.
@@ -80,6 +91,14 @@ func engineMops(shards, batch, ops int, seed int64) float64 {
 				panic(r.Err)
 			}
 		}
+	}
+
+	if engineIntegrity {
+		stop, err := startIntegrityLoad(seed)
+		if err != nil {
+			panic(err)
+		}
+		defer stop()
 	}
 
 	var fr *bmw.FlightRecorder
@@ -149,6 +168,87 @@ func engineMops(shards, batch, ops int, seed int64) float64 {
 	wg.Wait()
 	el := time.Since(start)
 	return float64(perWorker*engineWorkers) / el.Seconds() / 1e6
+}
+
+// startIntegrityLoad spins up the background integrity lane the
+// -integrity gate measures against: one goroutine alternating between
+// chained-WAL record bursts (group commit, periodic checkpoints — the
+// write-side hash-chain and Merkle cost) and throttled scrub steps
+// (the read-side verification cost), against its own scratch
+// directory. The returned stop function halts the lane and removes the
+// scratch state.
+func startIntegrityLoad(seed int64) (func(), error) {
+	dir, err := os.MkdirTemp("", "bmwperf-integrity-")
+	if err != nil {
+		return nil, err
+	}
+	tree := bmw.NewBMWTree(2, 11)
+	m, _, err := bmw.OpenPersist(dir, tree, bmw.PersistOptions{
+		WAL: bmw.PersistWALOptions{BatchOps: 64, Sync: bmw.SyncBatch},
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	scr := bmw.NewPersistScrubber(bmw.PersistScrubConfig{
+		Dirs:      []string{dir},
+		RateBytes: 8 << 20, // bmwd's default -scrub-rate
+	})
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer os.RemoveAll(dir)
+		defer m.Close()
+		rng := rand.New(rand.NewSource(seed ^ 0x5bd1e995))
+		// Pace the lane like a daemon's persistence load, not a
+		// saturating producer: one 32-op group commit per 50ms tick
+		// (~640 chained records/s), a full scrub pass every 8th tick
+		// (the Step's own sleep enforces the 8 MiB/s io cap), and a
+		// Merkle-sealed checkpoint every 128 ticks.
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		bursts := 0
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+			for i := 0; i < 32; i++ {
+				var op bmw.PersistOp
+				if tree.Len() > 0 && (rng.Intn(3) == 0 || tree.AlmostFull()) {
+					e, err := tree.Pop()
+					if err != nil {
+						return
+					}
+					p, q := tree.OpStats()
+					op = bmw.PersistOp{Kind: bmw.OpPop, Cycle: p + q, Value: e.Value, Meta: e.Meta}
+				} else {
+					e := bmw.Element{Value: uint64(rng.Intn(1 << 16)), Meta: rng.Uint64()}
+					if err := tree.Push(e); err != nil {
+						return
+					}
+					p, q := tree.OpStats()
+					op = bmw.PersistOp{Kind: bmw.OpPush, Cycle: p + q, Value: e.Value, Meta: e.Meta}
+				}
+				if err := m.Record(op); err != nil {
+					return
+				}
+			}
+			if bursts++; bursts%128 == 0 {
+				if err := m.Checkpoint(); err != nil {
+					return
+				}
+			}
+			if bursts%8 == 0 {
+				scr.Step() // sleeps dir-bytes/8MiB inside: the io throttle
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }, nil
 }
 
 // engineSuite produces the BENCH_engine metric set: the shards ×

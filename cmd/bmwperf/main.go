@@ -36,6 +36,7 @@ func main() {
 	slowdown := flag.Float64("inject-slowdown", 1, "degrade all measured metrics by this factor (self-test of the regression gate)")
 	traceSample := flag.Int("trace-sample", 0, "engine suite: trace one in N batches through the request-span lifecycle, gating the tracer's overhead against the untraced baseline (0 = untraced)")
 	flightRec := flag.Bool("flightrec", false, "engine suite: attach a flight recorder (engine hooks + span admission on 1-in-64 batches), gating the black box's overhead against the baseline")
+	integrity := flag.Bool("integrity", false, "engine suite: run the deployment-shaped integrity load alongside the workload (chained-WAL recording with checkpoints plus an io-throttled scrubber), gating scrub+chain overhead against the baseline")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the suites to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile after the suites to this file")
 	version := flag.Bool("version", false, "print version and exit")
@@ -60,6 +61,7 @@ func main() {
 	}
 	engineTraceSample = *traceSample
 	engineFlightRec = *flightRec
+	engineIntegrity = *integrity
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}

@@ -18,6 +18,7 @@ const (
 	replPrefix    = "bmwd_repl"
 	tracePrefix   = "bmwd_trace"
 	runtimePrefix = "bmwd_runtime"
+	persistPrefix = "bmwd_persist"
 )
 
 // stageRow is one request-lifecycle stage's windowed latency line.
@@ -63,18 +64,33 @@ type runtimeRow struct {
 	SchedP99   float64 // µs, windowed
 }
 
+// integrityRow summarises the background scrubber and anti-entropy
+// repair instruments (absent on daemons running without -persist or
+// with -scrub-interval 0).
+type integrityRow struct {
+	Present      bool
+	Progress     float64 // fraction of the current scrub pass
+	Passes       uint64  // completed full passes
+	ChainRate    float64 // WAL chain-points verified/s
+	BytesRate    float64 // bytes scrubbed/s
+	Corruptions  uint64  // findings detected, lifetime
+	RepairedDirs uint64  // directories repaired via anti-entropy, lifetime
+	Poisoned     bool    // any shard WAL sticky-poisoned
+}
+
 // model is one frame of derived dashboard state: everything render
 // needs, precomputed so rendering is pure formatting.
 type model struct {
-	Addr    string
-	Window  time.Duration
-	Probe   map[string]any // /readyz body; nil when the probe fetch failed
-	SLO     *obs.SLOStatus // /slo.json; nil when the daemon runs without -slo
-	Len     float64
-	Stages  []stageRow
-	Shards  []shardRow
-	Repl    replRow
-	Runtime runtimeRow
+	Addr      string
+	Window    time.Duration
+	Probe     map[string]any // /readyz body; nil when the probe fetch failed
+	SLO       *obs.SLOStatus // /slo.json; nil when the daemon runs without -slo
+	Len       float64
+	Stages    []stageRow
+	Shards    []shardRow
+	Repl      replRow
+	Runtime   runtimeRow
+	Integrity integrityRow
 }
 
 // rate converts a counter delta over the window into a per-second rate.
@@ -147,6 +163,25 @@ func buildModel(addr string, prev, cur obs.Snapshot, dt time.Duration, probe map
 			HeapLive:   cur.Gauge(runtimePrefix + "_heap_live_bytes"),
 			GCPauseP99: float64(gc.P99) / 1e3,
 			SchedP99:   float64(sched.P99) / 1e3,
+		}
+	}
+
+	if _, ok := cur.Gauges[persistPrefix+"_scrub_progress"]; ok {
+		poisoned := false
+		for name, v := range cur.Gauges {
+			if v != 0 && strings.HasPrefix(name, persistPrefix) && strings.HasSuffix(name, "_wal_poisoned") {
+				poisoned = true
+			}
+		}
+		m.Integrity = integrityRow{
+			Present:      true,
+			Progress:     cur.Gauge(persistPrefix + "_scrub_progress"),
+			Passes:       cur.Counter(persistPrefix + "_scrub_passes_total"),
+			ChainRate:    rate(cur.Counter(persistPrefix+"_scrub_chain_points_total"), prev.Counter(persistPrefix+"_scrub_chain_points_total"), dt),
+			BytesRate:    rate(cur.Counter(persistPrefix+"_scrub_bytes_total"), prev.Counter(persistPrefix+"_scrub_bytes_total"), dt),
+			Corruptions:  cur.Counter(persistPrefix + "_scrub_corruptions_total"),
+			RepairedDirs: cur.Counter(replPrefix + "_repair_dirs_total"),
+			Poisoned:     poisoned,
 		}
 	}
 
@@ -255,6 +290,18 @@ func render(w io.Writer, m model) {
 			m.Repl.Lag, m.Repl.LogSeq, m.Repl.AckSeq, m.Repl.HeartbeatAge,
 			m.Repl.AckP50, m.Repl.AckP99,
 			fmtRate(m.Repl.RecordsRate), fmtRate(m.Repl.AcksRate))
+	}
+
+	if m.Integrity.Present {
+		poisoned := "-"
+		if m.Integrity.Poisoned {
+			poisoned = "POISONED"
+		}
+		fmt.Fprintf(w, "\nintegrity: scrub=%.0f%% passes=%d chain_verify/s=%s scrubbed/s=%s"+
+			" corruptions=%d repaired_dirs=%d wal=%s\n",
+			m.Integrity.Progress*100, m.Integrity.Passes,
+			fmtRate(m.Integrity.ChainRate), fmtBytes(m.Integrity.BytesRate),
+			m.Integrity.Corruptions, m.Integrity.RepairedDirs, poisoned)
 	}
 
 	if m.SLO != nil {

@@ -231,6 +231,76 @@ func TestRenderSLOBannerAndLines(t *testing.T) {
 	}
 }
 
+func TestBuildModelIntegrityRow(t *testing.T) {
+	prev, cur := snapPair(t, func(reg *obs.Registry) func() {
+		reg.GaugeFunc(persistPrefix+"_scrub_progress", func() float64 { return 0.5 })
+		reg.GaugeFunc(persistPrefix+"_shard0_wal_poisoned", func() float64 { return 1 })
+		chains := reg.Counter(persistPrefix + "_scrub_chain_points_total")
+		bytes := reg.Counter(persistPrefix + "_scrub_bytes_total")
+		reg.Counter(persistPrefix + "_scrub_corruptions_total").Add(3)
+		reg.Counter(replPrefix + "_repair_dirs_total").Add(2)
+		chains.Add(100) // pre-window, must not count toward the rate
+		return func() {
+			chains.Add(40)
+			bytes.Add(2 << 20)
+		}
+	})
+	m := buildModel("x:1", prev, cur, 2*time.Second, nil)
+	if !m.Integrity.Present {
+		t.Fatal("integrity row missing despite scrub gauges")
+	}
+	if m.Integrity.Progress != 0.5 {
+		t.Errorf("progress = %v, want 0.5", m.Integrity.Progress)
+	}
+	if m.Integrity.ChainRate != 20 {
+		t.Errorf("chain verifies/s = %v, want 20 (40 / 2s)", m.Integrity.ChainRate)
+	}
+	if m.Integrity.Corruptions != 3 {
+		t.Errorf("corruptions = %v, want 3", m.Integrity.Corruptions)
+	}
+	if m.Integrity.RepairedDirs != 2 {
+		t.Errorf("repaired dirs = %v, want 2", m.Integrity.RepairedDirs)
+	}
+	if !m.Integrity.Poisoned {
+		t.Error("poisoned WAL gauge not reflected")
+	}
+
+	// A daemon without the scrubber yields no row.
+	prev2, cur2 := snapPair(t, func(reg *obs.Registry) func() { return func() {} })
+	if buildModel("x:1", prev2, cur2, time.Second, nil).Integrity.Present {
+		t.Error("integrity row present without scrub gauges")
+	}
+}
+
+func TestRenderIntegrityRow(t *testing.T) {
+	m := model{
+		Addr: "a:1", Window: time.Second,
+		Integrity: integrityRow{
+			Present: true, Progress: 0.25, Passes: 7,
+			ChainRate: 1500, BytesRate: 3 << 20,
+			Corruptions: 2, RepairedDirs: 1, Poisoned: true,
+		},
+	}
+	var sb strings.Builder
+	render(&sb, m)
+	out := sb.String()
+	for _, want := range []string{
+		"integrity: scrub=25% passes=7 chain_verify/s=1.5k scrubbed/s=3.0MiB",
+		"corruptions=2 repaired_dirs=1 wal=POISONED",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+
+	m.Integrity.Present = false
+	sb.Reset()
+	render(&sb, m)
+	if strings.Contains(sb.String(), "integrity:") {
+		t.Errorf("integrity row shown without scrub instruments:\n%s", sb.String())
+	}
+}
+
 func TestFmtBytes(t *testing.T) {
 	for _, tc := range []struct {
 		v    float64

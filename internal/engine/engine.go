@@ -220,6 +220,12 @@ type Hooks struct {
 	Flight         *obs.FlightRecorder
 	OnOverloadTrip func(shard, occ int)
 	OnPanic        func(shard int, r any)
+	// Metrics, when non-nil, is handed to the per-shard persist
+	// managers Checkpoint attaches (prefixed <MetricsPrefix>_shard<i>),
+	// so WAL sticky-poisoning and fsync-retry state surface as gauges
+	// on the daemon registry.
+	Metrics       *obs.Registry
+	MetricsPrefix string
 }
 
 // shard is one engine lane: a goroutine, its ring, and its queue.

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,10 +17,19 @@ import (
 // owned by internal/persist.
 const manifestName = "ENGINE.json"
 
-// manifest pins the configuration a checkpoint fan-out was written
-// with; restore refuses a mismatched engine rather than loading shards
-// into the wrong shape or routing.
-type manifest struct {
+// EngineManifestName exposes the manifest file name to the integrity
+// tooling (anti-entropy repair, the bit-rot harness).
+const EngineManifestName = manifestName
+
+// CheckpointManifest pins the configuration a checkpoint fan-out was
+// written with — restore refuses a mismatched engine rather than
+// loading shards into the wrong shape or routing — and, since the
+// integrity extension, binds every shard's own MANIFEST.json
+// self-checksum under one engine root and a self-checksum, so a single
+// trusted value authenticates the entire fan-out transitively: engine
+// root → shard manifest checksums → WAL chain heads + snapshot Merkle
+// roots → every byte on disk.
+type CheckpointManifest struct {
 	Schema   string `json:"schema"`
 	Shards   int    `json:"shards"`
 	Kind     string `json:"kind"`
@@ -27,12 +38,46 @@ type manifest struct {
 	Cap      int    `json:"cap,omitempty"`
 	Routing  int    `json:"routing"`
 	RankBits int    `json:"rank_bits"`
+	// ShardChecksums[i] is shard i's persist MANIFEST.json
+	// self-checksum; Root is the sha256 over all of them. Empty on
+	// legacy (pre-integrity) checkpoints.
+	ShardChecksums []string `json:"shard_checksums,omitempty"`
+	Root           string   `json:"root,omitempty"`
+	// Checksum is the self-checksum: hex sha256 over the canonical
+	// JSON with Checksum cleared.
+	Checksum string `json:"checksum,omitempty"`
 }
 
 const manifestSchema = "bmw-engine-checkpoint/v1"
 
-func (e *Engine) manifest() manifest {
-	return manifest{
+// EngineManifestSchema is the schema string exported for tooling that
+// assembles checkpoint fan-outs outside an Engine (the bit-rot
+// harness).
+const EngineManifestSchema = manifestSchema
+
+// manifestConfig is the comparable projection of the configuration
+// fields (everything the integrity extension does not cover).
+type manifestConfig struct {
+	Schema   string
+	Shards   int
+	Kind     string
+	Order    int
+	Levels   int
+	Cap      int
+	Routing  int
+	RankBits int
+}
+
+func (m CheckpointManifest) config() manifestConfig {
+	return manifestConfig{
+		Schema: m.Schema, Shards: m.Shards, Kind: m.Kind,
+		Order: m.Order, Levels: m.Levels, Cap: m.Cap,
+		Routing: m.Routing, RankBits: m.RankBits,
+	}
+}
+
+func (e *Engine) manifest() CheckpointManifest {
+	return CheckpointManifest{
 		Schema:   manifestSchema,
 		Shards:   len(e.shards),
 		Kind:     e.cfg.Kind.String(),
@@ -44,10 +89,93 @@ func (e *Engine) manifest() manifest {
 	}
 }
 
-// shardDir returns the fan-out subdirectory of shard i.
-func shardDir(dir string, i int) string {
+// EngineManifestChecksum computes the manifest self-checksum.
+func EngineManifestChecksum(m CheckpointManifest) (string, error) {
+	m.Checksum = ""
+	b, err := json.Marshal(m)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// EngineRoot folds the per-shard manifest checksums into the one value
+// that authenticates the whole checkpoint.
+func EngineRoot(shardSums []string) string {
+	h := sha256.New()
+	h.Write([]byte("bmw-engine-root/v1"))
+	for _, s := range shardSums {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DecodeEngineManifest parses and validates ENGINE.json bytes. Any
+// refusal — torn JSON from a crash mid-write, a rotted field, a
+// checksum or root mismatch — is a typed *persist.ManifestError naming
+// the offending field, never a decode panic. Legacy manifests (no
+// integrity fields) validate their configuration only.
+func DecodeEngineManifest(path string, b []byte) (*CheckpointManifest, error) {
+	var m CheckpointManifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, &persist.ManifestError{Path: path, Field: "(json)", Reason: err.Error()}
+	}
+	if m.Schema != manifestSchema {
+		return nil, &persist.ManifestError{Path: path, Field: "schema",
+			Reason: fmt.Sprintf("%q, want %q", m.Schema, manifestSchema)}
+	}
+	if m.Shards <= 0 {
+		return nil, &persist.ManifestError{Path: path, Field: "shards",
+			Reason: fmt.Sprintf("%d, must be positive", m.Shards)}
+	}
+	if m.Kind == "" {
+		return nil, &persist.ManifestError{Path: path, Field: "kind", Reason: "empty"}
+	}
+	if m.Checksum == "" && len(m.ShardChecksums) == 0 && m.Root == "" {
+		return &m, nil // legacy checkpoint: nothing sealing it
+	}
+	if len(m.ShardChecksums) != m.Shards {
+		return nil, &persist.ManifestError{Path: path, Field: "shard_checksums",
+			Reason: fmt.Sprintf("%d entries for %d shards", len(m.ShardChecksums), m.Shards)}
+	}
+	if m.Root != EngineRoot(m.ShardChecksums) {
+		return nil, &persist.ManifestError{Path: path, Field: "root",
+			Reason: "does not match shard_checksums"}
+	}
+	want, err := EngineManifestChecksum(m)
+	if err != nil {
+		return nil, &persist.ManifestError{Path: path, Field: "checksum", Reason: err.Error()}
+	}
+	if m.Checksum != want {
+		return nil, &persist.ManifestError{Path: path, Field: "checksum",
+			Reason: fmt.Sprintf("%.12s, want %.12s", m.Checksum, want)}
+	}
+	return &m, nil
+}
+
+// LoadEngineManifest reads and validates dir's ENGINE.json. A missing
+// file returns os.ErrNotExist unwrapped.
+func LoadEngineManifest(dir string) (*CheckpointManifest, error) {
+	path := filepath.Join(dir, manifestName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+		return nil, &persist.ManifestError{Path: path, Field: "(file)", Reason: err.Error()}
+	}
+	return DecodeEngineManifest(path, b)
+}
+
+// ShardDir returns the fan-out subdirectory of shard i.
+func ShardDir(dir string, i int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
 }
+
+// shardDir is the internal alias predating the exported form.
+func shardDir(dir string, i int) string { return ShardDir(dir, i) }
 
 // checkpointTarget resolves the persist.Checkpointable behind a shard's
 // queue, settling simulator adapters into a persistable quiescent state
@@ -77,6 +205,10 @@ func (s *shard) checkpointTarget() (persist.Checkpointable, error) {
 // access to every shard queue. It is the graceful-drain path cmd/bmwd
 // takes on SIGTERM, reusing the same snapshot envelope and recovery
 // machinery as the single-queue persistence subsystem.
+//
+// The engine manifest is written last and by tmp+rename: every shard's
+// own manifest (chain head, Merkle root) is durable before the engine
+// root that binds them is published.
 func (e *Engine) Checkpoint(dir string) error {
 	if !e.closed.Load() {
 		return errors.New("engine: Checkpoint before Close")
@@ -84,6 +216,7 @@ func (e *Engine) Checkpoint(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	man := e.manifest()
 	for _, s := range e.shards {
 		cq, err := s.checkpointTarget()
 		if err != nil {
@@ -92,6 +225,14 @@ func (e *Engine) Checkpoint(dir string) error {
 		popts := persist.Options{}
 		if h := e.hooks.Load(); h != nil {
 			popts.Flight = h.Flight
+			if h.Metrics != nil {
+				popts.Metrics = h.Metrics
+				prefix := h.MetricsPrefix
+				if prefix == "" {
+					prefix = "persist"
+				}
+				popts.MetricsPrefix = fmt.Sprintf("%s_shard%d", prefix, s.id)
+			}
 		}
 		m, err := persist.Attach(shardDir(dir, s.id), cq, popts)
 		if err != nil {
@@ -100,6 +241,9 @@ func (e *Engine) Checkpoint(dir string) error {
 		if err := m.Checkpoint(); err != nil {
 			m.Close()
 			return fmt.Errorf("engine: shard %d checkpoint: %w", s.id, err)
+		}
+		if sm := m.Manifest(); sm != nil {
+			man.ShardChecksums = append(man.ShardChecksums, sm.Checksum)
 		}
 		if err := m.Close(); err != nil {
 			return fmt.Errorf("engine: shard %d close: %w", s.id, err)
@@ -112,41 +256,82 @@ func (e *Engine) Checkpoint(dir string) error {
 			}
 		}
 	}
-	b, err := json.MarshalIndent(e.manifest(), "", "  ")
+	man.Root = EngineRoot(man.ShardChecksums)
+	sum, err := EngineManifestChecksum(man)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, manifestName), append(b, '\n'), 0o644)
+	man.Checksum = sum
+	return WriteEngineManifest(dir, man)
+}
+
+// WriteEngineManifest publishes an engine manifest atomically
+// (tmp+rename with an fsync in between).
+func WriteEngineManifest(dir string, m CheckpointManifest) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	final := filepath.Join(dir, manifestName)
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
 }
 
 // restore loads every shard from a checkpoint fan-out written by
 // Checkpoint. A directory without a manifest is a fresh start. Called
 // from New before the shard goroutines exist, so it owns the queues.
 func (e *Engine) restore(dir string) error {
-	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	m, err := LoadEngineManifest(dir)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
 	if err != nil {
 		return err
 	}
-	var m manifest
-	if err := json.Unmarshal(b, &m); err != nil {
-		return fmt.Errorf("engine: bad manifest: %w", err)
-	}
-	if m.Schema != manifestSchema {
-		return fmt.Errorf("engine: manifest schema %q, want %q", m.Schema, manifestSchema)
-	}
 	want := e.manifest()
-	if m != want {
-		return fmt.Errorf("engine: checkpoint config %+v does not match engine config %+v", m, want)
+	if m.config() != want.config() {
+		return fmt.Errorf("engine: checkpoint config %+v does not match engine config %+v", m.config(), want.config())
 	}
+	sealed := len(m.ShardChecksums) == m.Shards
 	for _, s := range e.shards {
+		sdir := shardDir(dir, s.id)
+		// Bind the shard's durable state to the engine root before
+		// restoring from it: its MANIFEST.json must carry exactly the
+		// self-checksum ENGINE.json sealed.
+		if sealed {
+			sm, err := persist.LoadManifest(nil, sdir)
+			if err != nil {
+				return fmt.Errorf("engine: shard %d manifest: %w", s.id, err)
+			}
+			if sm.Checksum != m.ShardChecksums[s.id] {
+				return &persist.ManifestError{
+					Path: filepath.Join(dir, manifestName), Field: "shard_checksums",
+					Reason: fmt.Sprintf("shard %d manifest checksum %.12s, sealed %.12s",
+						s.id, sm.Checksum, m.ShardChecksums[s.id]),
+				}
+			}
+		}
 		cq, err := s.checkpointTarget()
 		if err != nil {
 			return err
 		}
-		mgr, _, err := persist.Open(shardDir(dir, s.id), cq, persist.Options{})
+		mgr, _, err := persist.Open(sdir, cq, persist.Options{})
 		if err != nil {
 			return fmt.Errorf("engine: shard %d restore: %w", s.id, err)
 		}

@@ -63,6 +63,10 @@ const (
 	FlightGCPause
 	// FlightIncident marks an incident capture; Msg is the trigger.
 	FlightIncident
+	// FlightIntegrity is a durable-state corruption detection (scrub or
+	// recovery): Msg classifies it, A/B carry the LSN range or
+	// seq/chunk-count the detector localised.
+	FlightIntegrity
 )
 
 // flightKindNames spell the kinds in dumps.
@@ -77,6 +81,7 @@ var flightKindNames = map[FlightKind]string{
 	FlightSLO:          "slo",
 	FlightGCPause:      "gc_pause",
 	FlightIncident:     "incident",
+	FlightIntegrity:    "integrity",
 }
 
 // String names the kind ("kind_<n>" for unknown values).

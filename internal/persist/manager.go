@@ -1,13 +1,23 @@
-// Manager: one directory holding a queue's WAL ("wal.log") and its
-// snapshots ("snap-<seq>.snap"), with the recovery state machine
+// Manager: one directory holding a queue's WAL ("wal.log"), its
+// snapshots ("snap-<seq>.snap") and a checkpoint manifest
+// ("MANIFEST.json"), with the recovery state machine
 //
-//	scan WAL -> truncate torn tail -> pick newest valid snapshot
-//	  -> restore -> replay WAL suffix -> verify invariants -> live
+//	verify WAL (chain + framing) -> truncate torn tail -> verify
+//	  manifest -> pick newest valid snapshot (Merkle-root checked when
+//	  the manifest covers it) -> restore -> replay WAL suffix ->
+//	  verify invariants -> live
 //
 // and the checkpoint discipline
 //
 //	commit+sync WAL -> encode snapshot -> write (tmp+rename when
-//	  atomic) -> retire old snapshots.
+//	  atomic) -> write manifest -> retire old snapshots.
+//
+// Recovery distinguishes a *torn tail* (unparseable bytes at EOF —
+// what a crash leaves; truncated and counted) from *mid-log
+// corruption* (damage before later valid data, or state contradicting
+// the manifest's sealed heads — what bit rot leaves; refused with a
+// typed *IntegrityError that localises the damage to LSN ranges or
+// snapshot chunks so anti-entropy repair can fetch exactly that).
 
 package persist
 
@@ -24,9 +34,16 @@ import (
 
 const walName = "wal.log"
 
+// WALName is the log file name inside a persistence directory, exported
+// for the integrity tooling (anti-entropy repair, the bit-rot harness).
+const WALName = walName
+
 // snapName formats a snapshot file name; seq is zero-padded so the
 // lexical directory order matches the numeric order.
 func snapName(seq uint64) string { return fmt.Sprintf("snap-%016d.snap", seq) }
+
+// SnapFileName is snapName exported for the integrity tooling.
+func SnapFileName(seq uint64) string { return snapName(seq) }
 
 // parseSnapName extracts the sequence number of a snapshot file name.
 func parseSnapName(name string) (uint64, bool) {
@@ -68,9 +85,19 @@ type Options struct {
 	Metrics       *obs.Registry
 	MetricsPrefix string
 	// Flight, when non-nil, receives a FlightWALStall event for every
-	// fsync that takes FlightStall or longer (default 50ms).
+	// fsync that takes FlightStall or longer (default 50ms), and a
+	// FlightIntegrity event for every corruption recovery detects.
 	Flight      *obs.FlightRecorder
 	FlightStall time.Duration
+	// StrictIntegrity refuses recovery when the manifest is invalid or
+	// the manifest-covered snapshot fails its Merkle root, instead of
+	// counting the fault and falling back. The repair path and the
+	// bit-rot harness run strict; a bare daemon stays lenient so legacy
+	// directories (no manifest) still restore.
+	StrictIntegrity bool
+	// ChunkSize overrides the snapshot Merkle chunk size (testing; 0
+	// uses DefaultChunkSize).
+	ChunkSize int
 }
 
 // RecoveryReport describes what recovery found and did.
@@ -90,6 +117,17 @@ type RecoveryReport struct {
 	// and TornBytes how many bytes were cut.
 	TornTail  bool
 	TornBytes int64
+	// ChainPoints counts WAL chain seals that verified against the
+	// recomputed hash chain.
+	ChainPoints int
+	// ManifestVerified reports a checkpoint manifest was present and
+	// fully valid; ManifestError carries the refusal reason when one
+	// was present but rejected (lenient mode records it and proceeds).
+	ManifestVerified bool
+	ManifestError    string
+	// SnapshotRootVerified reports the restored snapshot matched the
+	// manifest's Merkle root.
+	SnapshotRootVerified bool
 	// Ops is the full durable operation log, for differential
 	// validation by the crash harness.
 	Ops []Op
@@ -105,8 +143,10 @@ type Manager struct {
 	wal     *WAL
 	walFile File
 
-	nextSeq uint64
-	snaps   []uint64 // live snapshot seqs, ascending
+	nextSeq   uint64
+	snaps     []uint64   // live snapshot seqs, ascending
+	scanChain ChainState // chain at end of the recovery scan
+	manifest  *Manifest  // last manifest this manager wrote
 
 	snapshots        *obs.Counter
 	snapshotBytes    *obs.Counter
@@ -115,6 +155,10 @@ type Manager struct {
 	tornBytes        *obs.Counter
 	recoveries       *obs.Counter
 	replayed         *obs.Counter
+	corruptions      *obs.Counter
+	manifestErrors   *obs.Counter
+	chainVerified    *obs.Counter
+	retireBlocked    *obs.Counter
 }
 
 // Open recovers the queue from dir (creating it on first use) and
@@ -131,7 +175,7 @@ func Open(dir string, q Checkpointable, opts Options) (*Manager, *RecoveryReport
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := m.attach(uint64(len(rep.Ops))); err != nil {
+	if err := m.attach(m.scanChain); err != nil {
 		return nil, nil, err
 	}
 	return m, rep, nil
@@ -139,19 +183,19 @@ func Open(dir string, q Checkpointable, opts Options) (*Manager, *RecoveryReport
 
 // Attach opens dir for writing without restoring anything into q: the
 // one-shot checkpoint path for a live queue. Any existing WAL is
-// scanned (and its torn tail truncated) only to position the LSN, so a
-// subsequent checkpoint supersedes the directory's history.
+// verified (and its torn tail truncated) only to position the LSN and
+// chain, so a subsequent checkpoint supersedes the directory's history.
 func Attach(dir string, q Checkpointable, opts Options) (*Manager, error) {
 	m, err := newManager(dir, q, opts)
 	if err != nil {
 		return nil, err
 	}
-	ops, _, err := m.scanWAL()
+	report, err := m.scanWAL(nil)
 	if err != nil {
 		return nil, err
 	}
 	m.scanSnaps()
-	if err := m.attach(uint64(len(ops))); err != nil {
+	if err := m.attach(report.Chain); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -178,6 +222,10 @@ func newManager(dir string, q Checkpointable, opts Options) (*Manager, error) {
 		m.tornBytes = reg.Counter(p + "_torn_bytes_total")
 		m.recoveries = reg.Counter(p + "_recoveries_total")
 		m.replayed = reg.Counter(p + "_replayed_ops_total")
+		m.corruptions = reg.Counter(p + "_integrity_corruptions_total")
+		m.manifestErrors = reg.Counter(p + "_integrity_manifest_errors_total")
+		m.chainVerified = reg.Counter(p + "_integrity_chain_points_total")
+		m.retireBlocked = reg.Counter(p + "_integrity_retire_blocked_total")
 	}
 	if err := m.fsys.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("persist: create %s: %w", dir, err)
@@ -185,26 +233,47 @@ func newManager(dir string, q Checkpointable, opts Options) (*Manager, error) {
 	return m, nil
 }
 
-// scanWAL reads the log, truncating a torn tail in place.
-func (m *Manager) scanWAL() (ops []Op, torn int64, err error) {
+// scanWAL verifies the log image (framing + hash chain, against the
+// manifest's sealed head when given), truncating a torn tail in place.
+// Mid-log corruption — damage a crash cannot produce — is refused with
+// a localising *IntegrityError rather than silently truncated, because
+// truncating there would drop committed records that are still intact
+// on disk (and recoverable from a peer).
+func (m *Manager) scanWAL(expect *ChainState) (*WALVerifyReport, error) {
 	path := join(m.dir, walName)
 	b, err := m.fsys.ReadFile(path)
-	if err != nil {
-		if errors.Is(err, fs.ErrNotExist) {
-			return nil, 0, nil
-		}
-		return nil, 0, fmt.Errorf("persist: read WAL: %w", err)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("persist: read WAL: %w", err)
 	}
-	ops, valid, rerr := ReadAll(b)
-	if rerr != nil {
-		torn = int64(len(b)) - valid
-		if err := m.fsys.Truncate(path, valid); err != nil {
-			return nil, 0, fmt.Errorf("persist: truncate torn WAL tail: %w", err)
+	if errors.Is(err, fs.ErrNotExist) && (expect == nil || expect.LSN == 0) {
+		return &WALVerifyReport{Chain: NewChain()}, nil
+	}
+	report := VerifyWALImage(b, expect)
+	m.chainVerified.Add(uint64(report.ChainPoints))
+	if ierr := report.Err(path); ierr != nil {
+		m.corruptions.Add(uint64(len(report.Bad)))
+		m.flightIntegrity(report.Bad)
+		return nil, ierr
+	}
+	if report.TornTail {
+		if err := m.fsys.Truncate(path, report.ValidBytes); err != nil {
+			return nil, fmt.Errorf("persist: truncate torn WAL tail: %w", err)
 		}
 		m.tornTails.Inc()
-		m.tornBytes.Add(uint64(torn))
+		m.tornBytes.Add(uint64(report.TornBytes))
 	}
-	return ops, torn, nil
+	return report, nil
+}
+
+// flightIntegrity records one flight-recorder event per detected
+// corruption range (A/B = LSN range, C unused).
+func (m *Manager) flightIntegrity(bad []BadRange) {
+	if m.opts.Flight == nil {
+		return
+	}
+	for _, r := range bad {
+		m.opts.Flight.RecordMsg(obs.FlightIntegrity, 0, r.Class+": "+r.Detail, r.FromLSN, r.ToLSN, 0)
+	}
 }
 
 // scanSnaps records the snapshot seqs present in the directory and
@@ -233,24 +302,78 @@ func (m *Manager) scanSnaps() {
 // recover runs the recovery state machine against m.q.
 func (m *Manager) recover() (*RecoveryReport, error) {
 	rep := &RecoveryReport{}
-	ops, torn, err := m.scanWAL()
+
+	// The manifest, when present and valid, supplies the sealed chain
+	// head and snapshot root everything else is authenticated against.
+	// A missing manifest is a legacy directory (nothing to authenticate
+	// beyond per-record CRCs); an invalid one is counted and ignored in
+	// lenient mode, refused in strict mode — a crash can only leave a
+	// *stale* manifest, never a torn one, because it is published by
+	// tmp+rename after the state it describes is durable.
+	var expect *ChainState
+	man, manErr := LoadManifest(m.fsys, m.dir)
+	switch {
+	case manErr == nil:
+		rep.ManifestVerified = true
+		if h, err := man.Head(); err == nil {
+			expect = &h
+		}
+	case errors.Is(manErr, fs.ErrNotExist):
+		man = nil
+	default:
+		man = nil
+		m.manifestErrors.Inc()
+		rep.ManifestError = manErr.Error()
+		if m.opts.Flight != nil {
+			m.opts.Flight.RecordMsg(obs.FlightIntegrity, 0, manErr.Error(), 0, 0, 0)
+		}
+		if m.opts.StrictIntegrity {
+			return nil, manErr
+		}
+	}
+
+	report, err := m.scanWAL(expect)
 	if err != nil {
 		return nil, err
 	}
+	ops := make([]Op, len(report.Ops))
+	for i, v := range report.Ops {
+		ops[i] = v.Op
+	}
 	rep.Ops = ops
 	rep.WALRecords = len(ops)
-	rep.TornTail = torn > 0
-	rep.TornBytes = torn
+	rep.TornTail = report.TornTail
+	rep.TornBytes = report.TornBytes
+	rep.ChainPoints = report.ChainPoints
 
 	// Newest valid snapshot wins; anything that fails checksum, kind,
 	// version, LSN plausibility or the queue's own decoder is skipped.
+	// The manifest-covered snapshot is additionally held to its Merkle
+	// root, with chunk-level localisation on mismatch.
 	m.scanSnaps()
 	for i := len(m.snaps) - 1; i >= 0 && rep.SnapshotSeq == 0; i-- {
 		seq := m.snaps[i]
-		b, err := m.fsys.ReadFile(join(m.dir, snapName(seq)))
+		path := join(m.dir, snapName(seq))
+		b, err := m.fsys.ReadFile(path)
 		if err != nil {
 			rep.SnapshotsSkipped++
 			continue
+		}
+		if man != nil && seq == man.SnapshotSeq {
+			if bad := snapshotBadChunks(man, b); len(bad) > 0 {
+				m.corruptions.Inc()
+				if m.opts.Flight != nil {
+					m.opts.Flight.RecordMsg(obs.FlightIntegrity, 0, ClassSnapshotChunk, uint64(seq), uint64(len(bad)), 0)
+				}
+				ierr := &IntegrityError{Path: path, Chunks: bad,
+					Reason: fmt.Sprintf("snapshot %d fails manifest Merkle root (%d bad chunks)", seq, len(bad))}
+				if m.opts.StrictIntegrity {
+					return nil, ierr
+				}
+				rep.SnapshotsSkipped++
+				continue
+			}
+			rep.SnapshotRootVerified = true
 		}
 		h, payload, err := DecodeSnapshotFile(b)
 		if err != nil || h.Kind != m.q.SnapshotKind() || h.LSN > uint64(len(ops)) {
@@ -280,17 +403,18 @@ func (m *Manager) recover() (*RecoveryReport, error) {
 		return nil, fmt.Errorf("persist: recovered queue failed verification: %w", err)
 	}
 	m.recoveries.Inc()
+	m.scanChain = report.Chain
 	return rep, nil
 }
 
-// attach opens the WAL for appending at the given LSN.
-func (m *Manager) attach(lsn uint64) error {
+// attach opens the WAL for appending with the recovered chain state.
+func (m *Manager) attach(chain ChainState) error {
 	f, err := m.fsys.OpenAppend(join(m.dir, walName))
 	if err != nil {
 		return fmt.Errorf("persist: open WAL: %w", err)
 	}
 	m.walFile = f
-	m.wal = NewWAL(f, lsn, m.opts.WAL)
+	m.wal = NewWALChained(f, chain, m.opts.WAL)
 	m.wal.Instrument(m.opts.Metrics, m.opts.MetricsPrefix)
 	if m.opts.Flight != nil {
 		stall := m.opts.FlightStall
@@ -304,6 +428,11 @@ func (m *Manager) attach(lsn uint64) error {
 
 // WAL exposes the log writer (LSN/Durable introspection).
 func (m *Manager) WAL() *WAL { return m.wal }
+
+// Poisoned reports whether the underlying WAL has latched a permanent
+// write/sync failure — the shard is no longer durable and readiness
+// probes should fail it.
+func (m *Manager) Poisoned() bool { return m.wal != nil && m.wal.Poisoned() }
 
 // Dir returns the persistence directory.
 func (m *Manager) Dir() string { return m.dir }
@@ -361,17 +490,67 @@ func (m *Manager) Checkpoint() error {
 			return fmt.Errorf("persist: publish snapshot: %w", err)
 		}
 	}
-	m.snaps = append(m.snaps, m.nextSeq)
+	seq := m.nextSeq
+	m.snaps = append(m.snaps, seq)
 	m.nextSeq++
 	m.snapshots.Inc()
 	m.snapshotBytes.Add(uint64(len(b)))
+
+	// The manifest seals what is now durable: the WAL chain head and
+	// the snapshot's Merkle root. Written last, so it can only ever be
+	// stale, never ahead of the state it authenticates.
+	man, err := NewManifest(m.wal.Chain(), m.chainEvery(), SnapshotHeader{
+		Kind:    m.q.SnapshotKind(),
+		Version: m.q.SnapshotVersion(),
+		Seq:     seq,
+		LSN:     m.wal.LSN(),
+	}, b, m.opts.ChunkSize)
+	if err != nil {
+		return err
+	}
+	if err := WriteManifest(m.fsys, m.dir, man, m.opts.NonAtomicSnapshots); err != nil {
+		return err
+	}
+	m.manifest = &man
 	return m.retire()
 }
 
-// retire removes the oldest snapshots beyond the retention count.
+// chainEvery is the effective chain-point interval the WAL writer uses.
+func (m *Manager) chainEvery() int {
+	if ce := m.opts.WAL.ChainEvery; ce != 0 {
+		return ce
+	}
+	return DefaultChainEvery
+}
+
+// Manifest returns the manifest written by the most recent Checkpoint
+// (nil before the first).
+func (m *Manager) Manifest() *Manifest { return m.manifest }
+
+// retire removes the oldest snapshots beyond the retention count — but
+// only while every snapshot it would keep verifies. An unverifiable
+// retained snapshot blocks retirement of everything older than it:
+// deleting an older, still-good snapshot while a newer one is rotten
+// could destroy the last restorable copy. The scrubber (and the next
+// recovery) flag the rot; once repaired, retirement resumes.
 func (m *Manager) retire() error {
 	if m.opts.Retain < 0 {
 		return nil
+	}
+	keepFrom := len(m.snaps) - m.opts.Retain
+	if keepFrom <= 0 {
+		return nil
+	}
+	for _, seq := range m.snaps[keepFrom:] {
+		if err := m.verifySnap(seq); err != nil {
+			m.retireBlocked.Inc()
+			m.corruptions.Inc()
+			if m.opts.Flight != nil {
+				m.opts.Flight.RecordMsg(obs.FlightIntegrity, 0,
+					"retire blocked: "+err.Error(), seq, 0, 0)
+			}
+			return nil
+		}
 	}
 	for len(m.snaps) > m.opts.Retain {
 		seq := m.snaps[0]
@@ -379,6 +558,31 @@ func (m *Manager) retire() error {
 			return fmt.Errorf("persist: retire snapshot %d: %w", seq, err)
 		}
 		m.snaps = m.snaps[1:]
+	}
+	return nil
+}
+
+// verifySnap re-reads one snapshot from disk and validates it: envelope
+// checksum, kind, and the manifest Merkle root when this seq is the
+// manifest-covered one.
+func (m *Manager) verifySnap(seq uint64) error {
+	path := join(m.dir, snapName(seq))
+	b, err := m.fsys.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read snapshot %d: %w", seq, err)
+	}
+	if m.manifest != nil && seq == m.manifest.SnapshotSeq {
+		if bad := snapshotBadChunks(m.manifest, b); len(bad) > 0 {
+			return &IntegrityError{Path: path, Chunks: bad,
+				Reason: fmt.Sprintf("snapshot %d fails manifest Merkle root", seq)}
+		}
+	}
+	h, _, err := DecodeSnapshotFile(b)
+	if err != nil {
+		return fmt.Errorf("snapshot %d: %w", seq, err)
+	}
+	if h.Kind != m.q.SnapshotKind() {
+		return fmt.Errorf("snapshot %d kind %q, want %q", seq, h.Kind, m.q.SnapshotKind())
 	}
 	return nil
 }

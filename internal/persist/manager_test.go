@@ -346,6 +346,19 @@ func TestManagerLSNAheadOfWALRejected(t *testing.T) {
 	if err := os.Truncate(filepath.Join(dir, walName), 0); err != nil {
 		t.Fatal(err)
 	}
+
+	// With the checkpoint manifest still present, the missing records
+	// contradict its sealed chain head: recovery must refuse with a
+	// localising integrity error, not silently restart from genesis.
+	if _, _, err := Open(dir, &toyQueue{}, Options{}); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("recovery error %v, want ErrIntegrity (manifest seals 3 records)", err)
+	}
+
+	// A legacy directory (no manifest) has nothing sealing the log
+	// length; the over-claiming snapshot is simply skipped.
+	if err := os.Remove(filepath.Join(dir, ManifestName)); err != nil {
+		t.Fatal(err)
+	}
 	q2 := &toyQueue{}
 	m2, rep, err := Open(dir, q2, Options{})
 	if err != nil {

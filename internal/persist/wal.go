@@ -17,6 +17,12 @@
 // decodes to a push or pop. Anything else is a torn record: the reader
 // reports it (typed *TornRecordError) and the byte offset of the last
 // valid record, so recovery can truncate the tail.
+//
+// Interleaved with op records the writer emits chain-point records
+// (chain.go): sealed sha256 chain heads every ChainEvery ops. The
+// reader verifies and skips them — they carry no queue state — and the
+// checkpoint manifest publishes the head so recovery can authenticate
+// the whole log, not just each record individually.
 
 package persist
 
@@ -26,7 +32,6 @@ import (
 	"io"
 	"time"
 
-	"repro/internal/hw"
 	"repro/internal/obs"
 )
 
@@ -75,54 +80,50 @@ func getU64(b []byte) uint64 {
 // Reader decodes a WAL image record by record. It never panics on
 // arbitrary input: a malformed record surfaces as a *TornRecordError
 // and Offset() reports the length of the valid prefix before it.
+// Chain-point records are verified against the running chain and
+// skipped; a mismatched seal reads as a torn record (the localising
+// verifier, VerifyWALImage, is the tool for diagnosing those).
 type Reader struct {
-	b   []byte
-	off int
+	b     []byte
+	off   int
+	chain ChainState
 }
 
 // NewReader wraps a WAL image (typically the whole log file).
-func NewReader(b []byte) *Reader { return &Reader{b: b} }
+func NewReader(b []byte) *Reader { return &Reader{b: b, chain: NewChain()} }
 
 // Offset returns the byte offset just past the last valid record — the
 // truncation point when the tail is torn.
 func (r *Reader) Offset() int64 { return int64(r.off) }
 
+// Chain returns the running hash chain over the records read so far.
+func (r *Reader) Chain() ChainState { return r.chain }
+
 // Next decodes the next record. It returns io.EOF at a clean end of the
 // log and a *TornRecordError (wrapping ErrTornRecord) for a partial or
 // corrupt record; the reader does not advance past a bad record.
 func (r *Reader) Next() (Op, error) {
-	rest := r.b[r.off:]
-	if len(rest) == 0 {
-		return Op{}, io.EOF
+	for {
+		rest := r.b[r.off:]
+		if len(rest) == 0 {
+			return Op{}, io.EOF
+		}
+		op, cp, isCP, frameLen, reason := parseFrameAt(r.b, r.off)
+		if reason != "" {
+			return Op{}, &TornRecordError{Offset: int64(r.off), Reason: reason}
+		}
+		if isCP {
+			if cp.LSN != r.chain.LSN || cp.Head != r.chain.Head {
+				return Op{}, &TornRecordError{Offset: int64(r.off), Reason: "chain-point disagrees with recomputed chain"}
+			}
+			r.off += frameLen
+			continue
+		}
+		payload := r.b[r.off+recHeaderLen : r.off+RecordLen]
+		r.chain = r.chain.Extend(crc32.Checksum(payload, castagnoli), payload)
+		r.off += frameLen
+		return op, nil
 	}
-	torn := func(reason string) (Op, error) {
-		return Op{}, &TornRecordError{Offset: int64(r.off), Reason: reason}
-	}
-	if len(rest) < recHeaderLen {
-		return torn(fmt.Sprintf("partial header: %d of %d bytes", len(rest), recHeaderLen))
-	}
-	length := getU32(rest)
-	if length != recPayloadLen {
-		return torn(fmt.Sprintf("payload length %d, want %d", length, recPayloadLen))
-	}
-	if len(rest) < RecordLen {
-		return torn(fmt.Sprintf("partial payload: %d of %d bytes", len(rest)-recHeaderLen, recPayloadLen))
-	}
-	payload := rest[recHeaderLen:RecordLen]
-	if sum := crc32.Checksum(payload, castagnoli); sum != getU32(rest[4:]) {
-		return torn("checksum mismatch")
-	}
-	op := Op{
-		Kind:  hw.OpKind(payload[0]),
-		Cycle: getU64(payload[1:]),
-		Value: getU64(payload[9:]),
-		Meta:  getU64(payload[17:]),
-	}
-	if !op.Kind.Valid() || op.Kind == hw.Nop {
-		return torn(fmt.Sprintf("invalid op kind %d", payload[0]))
-	}
-	r.off += RecordLen
-	return op, nil
 }
 
 // ReadAll decodes every valid record of a WAL image. valid is the byte
@@ -193,6 +194,10 @@ type WALOptions struct {
 	Transient func(error) bool
 	// Sleep replaces time.Sleep in the backoff path (tests).
 	Sleep func(time.Duration)
+	// ChainEvery is the chain-point interval: a sealed hash-chain head
+	// is embedded after every ChainEvery-th record. 0 uses
+	// DefaultChainEvery; negative disables seals (legacy layout).
+	ChainEvery int
 }
 
 // WAL is the write-ahead log writer. It is not safe for concurrent use;
@@ -208,11 +213,16 @@ type WAL struct {
 	durable uint64 // records written through the file (per the policy)
 	err     error  // sticky: a failed commit poisons the log
 
-	records *obs.Counter
-	bytes   *obs.Counter
-	commits *obs.Counter
-	fsyncs  *obs.Counter
-	retries *obs.Counter
+	chain ChainState // running hash chain over appended records
+
+	records     *obs.Counter
+	bytes       *obs.Counter
+	commits     *obs.Counter
+	fsyncs      *obs.Counter
+	retries     *obs.Counter
+	chainPoints *obs.Counter
+	poisoned    *obs.Gauge
+	lastRetries *obs.Gauge
 	// Latency quantiles: how long one group-commit write (and one
 	// fsync) takes — the WAL's contribution to the request commit
 	// stage — plus the ops-per-commit batch-size distribution the
@@ -224,6 +234,8 @@ type WAL struct {
 	// Flight-recorder stall reporting (SetFlight).
 	flight  *obs.FlightRecorder
 	stallNs uint64
+
+	commitRetries int // transient retries consumed by the current commit
 }
 
 // SetFlight records a FlightWALStall event whenever an fsync takes at
@@ -237,8 +249,24 @@ func (w *WAL) SetFlight(fr *obs.FlightRecorder, stall time.Duration) {
 }
 
 // NewWAL wraps an append-positioned file. startLSN is the number of
-// records already in the file (recovery passes the replayed count).
+// records already in the file (recovery passes the replayed count). A
+// writer opened at LSN 0 starts the hash chain at genesis; resuming a
+// non-empty log without the chain state (legacy callers) disables seal
+// emission — use NewWALChained to resume with the recovered chain.
 func NewWAL(f File, startLSN uint64, opts WALOptions) *WAL {
+	chain := NewChain()
+	if startLSN != 0 {
+		// Unknown chain position: appending seals would be wrong, so
+		// the writer stays seal-silent for this incarnation.
+		chain.LSN = startLSN
+		opts.ChainEvery = -1
+	}
+	return NewWALChained(f, chain, opts)
+}
+
+// NewWALChained wraps an append-positioned file whose recovered chain
+// state is known, so seal emission continues deterministically.
+func NewWALChained(f File, chain ChainState, opts WALOptions) *WAL {
 	if opts.BatchOps < 1 {
 		opts.BatchOps = 1
 	}
@@ -248,7 +276,10 @@ func NewWAL(f File, startLSN uint64, opts WALOptions) *WAL {
 	if opts.Sleep == nil {
 		opts.Sleep = time.Sleep
 	}
-	return &WAL{f: f, opts: opts, lsn: startLSN, durable: startLSN}
+	if opts.ChainEvery == 0 {
+		opts.ChainEvery = DefaultChainEvery
+	}
+	return &WAL{f: f, opts: opts, lsn: chain.LSN, durable: chain.LSN, chain: chain}
 }
 
 // Instrument registers the writer's counters in reg under prefix
@@ -262,6 +293,11 @@ func (w *WAL) Instrument(reg *obs.Registry, prefix string) {
 	w.commits = reg.Counter(prefix + "_wal_commits_total")
 	w.fsyncs = reg.Counter(prefix + "_wal_fsyncs_total")
 	w.retries = reg.Counter(prefix + "_wal_retry_total")
+	w.chainPoints = reg.Counter(prefix + "_wal_chain_points_total")
+	reg.Help(prefix+"_wal_poisoned", "1 while the log is sticky-poisoned by a permanent write/sync failure")
+	w.poisoned = reg.Gauge(prefix + "_wal_poisoned")
+	reg.Help(prefix+"_wal_last_sync_retries", "transient-error retries consumed by the most recent commit+sync")
+	w.lastRetries = reg.Gauge(prefix + "_wal_last_sync_retries")
 	reg.Help(prefix+"_wal_commit_ns", "group-commit write latency (write through the file, excluding fsync)")
 	w.commitNs = reg.QuantileHistogram(prefix + "_wal_commit_ns")
 	reg.Help(prefix+"_wal_fsync_ns", "fsync latency per policy-triggered sync")
@@ -275,6 +311,24 @@ func (w *WAL) Instrument(reg *obs.Registry, prefix string) {
 // including any still buffered.
 func (w *WAL) LSN() uint64 { return w.lsn }
 
+// Chain returns the running hash chain over every appended record
+// (including buffered ones) — the head a checkpoint manifest seals.
+func (w *WAL) Chain() ChainState { return w.chain }
+
+// Poisoned reports whether a permanent write/sync failure has latched:
+// the log refuses further writes and the owning shard is not durable.
+func (w *WAL) Poisoned() bool { return w.err != nil }
+
+// Err returns the sticky error poisoning the log, or nil.
+func (w *WAL) Err() error { return w.err }
+
+// poison latches a permanent failure and flips the poisoned gauge.
+func (w *WAL) poison(err error) error {
+	w.err = err
+	w.poisoned.Set(1)
+	return err
+}
+
 // Durable returns the number of records pushed through the file —
 // written, and synced when the policy syncs on commit.
 func (w *WAL) Durable() uint64 { return w.durable }
@@ -286,9 +340,15 @@ func (w *WAL) Append(op Op) error {
 		return w.err
 	}
 	w.buf = AppendRecord(w.buf, op)
+	payload := w.buf[len(w.buf)-recPayloadLen:]
+	w.chain = w.chain.Extend(crc32.Checksum(payload, castagnoli), payload)
 	w.bufOps++
 	w.lsn++
 	w.records.Inc()
+	if w.opts.ChainEvery > 0 && w.lsn%uint64(w.opts.ChainEvery) == 0 {
+		w.buf = AppendChainPoint(w.buf, w.chain)
+		w.chainPoints.Inc()
+	}
 	if w.bufOps >= w.opts.BatchOps || w.opts.Sync == SyncAlways {
 		return w.Commit()
 	}
@@ -310,9 +370,9 @@ func (w *WAL) Commit() error {
 	if w.commitNs != nil {
 		start = time.Now()
 	}
+	w.commitRetries = 0
 	if err := w.writeRetry(w.buf); err != nil {
-		w.err = fmt.Errorf("persist: WAL commit failed: %w", err)
-		return w.err
+		return w.poison(fmt.Errorf("persist: WAL commit failed: %w", err))
 	}
 	if w.commitNs != nil {
 		w.commitNs.Observe(uint64(time.Since(start)))
@@ -341,12 +401,13 @@ func (w *WAL) Sync() error {
 	err := w.f.Sync()
 	for attempt := 0; err != nil && w.opts.Transient != nil && w.opts.Transient(err) && attempt < w.opts.MaxRetries; attempt++ {
 		w.retries.Inc()
+		w.commitRetries++
 		w.opts.Sleep(w.opts.Backoff << uint(attempt))
 		err = w.f.Sync()
 	}
+	w.lastRetries.Set(float64(w.commitRetries))
 	if err != nil {
-		w.err = fmt.Errorf("persist: WAL fsync failed: %w", err)
-		return w.err
+		return w.poison(fmt.Errorf("persist: WAL fsync failed: %w", err))
 	}
 	if w.fsyncNs != nil || w.flight != nil {
 		el := uint64(time.Since(start))
@@ -377,6 +438,7 @@ func (w *WAL) writeRetry(p []byte) error {
 			return err
 		}
 		w.retries.Inc()
+		w.commitRetries++
 		w.opts.Sleep(w.opts.Backoff << uint(attempt))
 		attempt++
 	}

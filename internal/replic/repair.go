@@ -1,0 +1,832 @@
+// Anti-entropy repair: when the scrubber (or recovery) localises bit
+// rot in a checkpoint fan-out, the repairer fetches exactly the damaged
+// pieces from a peer — a missing WAL LSN range, Merkle-proof-carrying
+// snapshot chunks, a manifest — over the wire protocol's TReplFetch /
+// TReplChunk frames, re-verifies everything against the trusted
+// manifest roots, and splices the directory back to a state that passes
+// persist.VerifyDir clean.
+//
+// Trust model: fetched bytes are never installed on the peer's word.
+// A fetched WAL range is spliced into a rebuilt image whose hash chain
+// must reproduce the manifest's sealed head; a fetched snapshot chunk
+// must carry a Merkle proof to the manifest's sealed root; a fetched
+// shard manifest must carry the self-checksum the engine manifest
+// sealed. Only a fetched engine manifest bottoms out on its own
+// self-checksum — it authenticates the peer's checkpoint, and the
+// caller decides whether that peer is trusted (see DESIGN.md §5g).
+
+package replic
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/hw"
+	"repro/internal/obs"
+	"repro/internal/persist"
+	"repro/internal/wire"
+)
+
+// Fetch request kinds.
+const (
+	// FetchEngineManifest asks for the peer's raw ENGINE.json bytes.
+	FetchEngineManifest uint8 = 1
+	// FetchShardManifest asks for one shard's raw MANIFEST.json bytes.
+	FetchShardManifest uint8 = 2
+	// FetchWALOps asks for a shard's verified WAL records in an
+	// inclusive LSN range.
+	FetchWALOps uint8 = 3
+	// FetchSnapChunks asks for snapshot chunks by index, each with its
+	// Merkle proof against the shard manifest's sealed root.
+	FetchSnapChunks uint8 = 4
+)
+
+// Fetch batching bounds, chosen so every response stays well inside
+// wire.MaxPayload (ops are 33 encoded bytes; a chunk is ChunkSize plus
+// a ~1 KiB proof).
+const (
+	MaxFetchOps    = 4096
+	MaxFetchChunks = 64
+)
+
+// FetchReq is one anti-entropy read. Kind selects which fields matter.
+type FetchReq struct {
+	Kind   uint8
+	Shard  uint32
+	From   uint64 // FetchWALOps: first LSN (inclusive)
+	To     uint64 // FetchWALOps: last LSN (inclusive)
+	Seq    uint64 // FetchSnapChunks: snapshot sequence
+	Chunks []uint32
+}
+
+// AppendFetchReq encodes a TReplFetch payload.
+func AppendFetchReq(dst []byte, r FetchReq) []byte {
+	var e persist.Enc
+	e.B = dst
+	e.U8(r.Kind)
+	e.U32(r.Shard)
+	e.U64(r.From)
+	e.U64(r.To)
+	e.U64(r.Seq)
+	e.U32(uint32(len(r.Chunks)))
+	for _, c := range r.Chunks {
+		e.U32(c)
+	}
+	return e.B
+}
+
+// ParseFetchReq decodes a TReplFetch payload.
+func ParseFetchReq(p []byte) (FetchReq, error) {
+	d := persist.NewDec(p)
+	r := FetchReq{
+		Kind:  d.U8(),
+		Shard: d.U32(),
+		From:  d.U64(),
+		To:    d.U64(),
+		Seq:   d.U64(),
+	}
+	n := d.Len(MaxFetchChunks)
+	for i := 0; i < n; i++ {
+		r.Chunks = append(r.Chunks, d.U32())
+	}
+	if err := d.Done(); err != nil {
+		return FetchReq{}, fmt.Errorf("%w: fetch request: %v", wire.ErrBadFrame, err)
+	}
+	if r.Kind < FetchEngineManifest || r.Kind > FetchSnapChunks {
+		return FetchReq{}, fmt.Errorf("%w: fetch kind %d", wire.ErrBadFrame, r.Kind)
+	}
+	return r, nil
+}
+
+// FetchedOp is one WAL record shipped for splice repair.
+type FetchedOp struct {
+	LSN uint64
+	Op  persist.Op
+}
+
+// FetchedChunk is one snapshot chunk with its Merkle proof.
+type FetchedChunk struct {
+	Index uint32
+	Data  []byte
+	Proof [][sha256.Size]byte
+}
+
+// AppendOpsResp encodes a FetchWALOps TReplChunk payload.
+func AppendOpsResp(dst []byte, ops []FetchedOp) []byte {
+	if len(ops) > MaxFetchOps {
+		panic(fmt.Sprintf("replic: %d ops exceed MaxFetchOps", len(ops)))
+	}
+	var e persist.Enc
+	e.B = dst
+	e.U8(FetchWALOps)
+	e.U32(uint32(len(ops)))
+	for _, o := range ops {
+		e.U64(o.LSN)
+		e.U8(uint8(o.Op.Kind))
+		e.U64(o.Op.Cycle)
+		e.U64(o.Op.Value)
+		e.U64(o.Op.Meta)
+	}
+	return e.B
+}
+
+// ParseOpsResp decodes a FetchWALOps TReplChunk payload.
+func ParseOpsResp(p []byte) ([]FetchedOp, error) {
+	d := persist.NewDec(p)
+	if k := d.U8(); k != FetchWALOps {
+		return nil, fmt.Errorf("%w: ops response kind %d", wire.ErrBadFrame, k)
+	}
+	n := d.Len(MaxFetchOps)
+	ops := make([]FetchedOp, 0, n)
+	for i := 0; i < n; i++ {
+		o := FetchedOp{LSN: d.U64()}
+		o.Op.Kind = hw.OpKind(d.U8())
+		o.Op.Cycle = d.U64()
+		o.Op.Value = d.U64()
+		o.Op.Meta = d.U64()
+		if !o.Op.Kind.Valid() || o.Op.Kind == hw.Nop {
+			return nil, fmt.Errorf("%w: op kind %d at %d", wire.ErrBadFrame, o.Op.Kind, i)
+		}
+		ops = append(ops, o)
+	}
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("%w: ops response: %v", wire.ErrBadFrame, err)
+	}
+	return ops, nil
+}
+
+// AppendChunksResp encodes a FetchSnapChunks TReplChunk payload.
+func AppendChunksResp(dst []byte, chunks []FetchedChunk) []byte {
+	if len(chunks) > MaxFetchChunks {
+		panic(fmt.Sprintf("replic: %d chunks exceed MaxFetchChunks", len(chunks)))
+	}
+	var e persist.Enc
+	e.B = dst
+	e.U8(FetchSnapChunks)
+	e.U32(uint32(len(chunks)))
+	for _, c := range chunks {
+		e.U32(c.Index)
+		e.Bytes(c.Data)
+		e.U32(uint32(len(c.Proof)))
+		for _, h := range c.Proof {
+			e.Bytes(h[:])
+		}
+	}
+	return e.B
+}
+
+// ParseChunksResp decodes a FetchSnapChunks TReplChunk payload.
+func ParseChunksResp(p []byte) ([]FetchedChunk, error) {
+	d := persist.NewDec(p)
+	if k := d.U8(); k != FetchSnapChunks {
+		return nil, fmt.Errorf("%w: chunks response kind %d", wire.ErrBadFrame, k)
+	}
+	n := d.Len(MaxFetchChunks)
+	chunks := make([]FetchedChunk, 0, n)
+	for i := 0; i < n; i++ {
+		c := FetchedChunk{Index: d.U32(), Data: append([]byte(nil), d.Bytes()...)}
+		pn := d.Len(64)
+		for j := 0; j < pn; j++ {
+			var h [sha256.Size]byte
+			pb := d.Bytes()
+			if len(pb) != sha256.Size {
+				return nil, fmt.Errorf("%w: proof hash %d bytes", wire.ErrBadFrame, len(pb))
+			}
+			copy(h[:], pb)
+			c.Proof = append(c.Proof, h)
+		}
+		chunks = append(chunks, c)
+	}
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("%w: chunks response: %v", wire.ErrBadFrame, err)
+	}
+	return chunks, nil
+}
+
+// AppendRawResp encodes a manifest-bytes TReplChunk payload.
+func AppendRawResp(dst []byte, kind uint8, raw []byte) []byte {
+	var e persist.Enc
+	e.B = dst
+	e.U8(kind)
+	e.Bytes(raw)
+	return e.B
+}
+
+// ParseRawResp decodes a manifest-bytes TReplChunk payload.
+func ParseRawResp(p []byte, wantKind uint8) ([]byte, error) {
+	d := persist.NewDec(p)
+	if k := d.U8(); k != wantKind {
+		return nil, fmt.Errorf("%w: raw response kind %d, want %d", wire.ErrBadFrame, k, wantKind)
+	}
+	raw := append([]byte(nil), d.Bytes()...)
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("%w: raw response: %v", wire.ErrBadFrame, err)
+	}
+	return raw, nil
+}
+
+// FetchServer answers anti-entropy fetches from a checkpoint fan-out
+// directory (ENGINE.json plus shard-NNN subtrees). It serves only data
+// it can itself verify: WAL records come from the verified portion of
+// its own log, snapshot chunks are cut from the manifest-covered
+// snapshot with proofs derived from the manifest leaves. Handle is
+// wire.FetchHandler-shaped.
+type FetchServer struct {
+	Dir string
+}
+
+// Handle answers one fetch request.
+func (s *FetchServer) Handle(payload []byte) ([]byte, error) {
+	req, err := ParseFetchReq(payload)
+	if err != nil {
+		return nil, err
+	}
+	switch req.Kind {
+	case FetchEngineManifest:
+		raw, err := os.ReadFile(filepath.Join(s.Dir, engine.EngineManifestName))
+		if err != nil {
+			return nil, fmt.Errorf("replic: engine manifest: %w", err)
+		}
+		return AppendRawResp(nil, FetchEngineManifest, raw), nil
+	case FetchShardManifest:
+		raw, err := os.ReadFile(filepath.Join(engine.ShardDir(s.Dir, int(req.Shard)), persist.ManifestName))
+		if err != nil {
+			return nil, fmt.Errorf("replic: shard %d manifest: %w", req.Shard, err)
+		}
+		return AppendRawResp(nil, FetchShardManifest, raw), nil
+	case FetchWALOps:
+		if req.To < req.From || req.To-req.From+1 > MaxFetchOps {
+			return nil, fmt.Errorf("replic: wal range %d-%d", req.From, req.To)
+		}
+		b, err := os.ReadFile(filepath.Join(engine.ShardDir(s.Dir, int(req.Shard)), persist.WALName))
+		if err != nil {
+			return nil, fmt.Errorf("replic: shard %d wal: %w", req.Shard, err)
+		}
+		rep := persist.VerifyWALImage(b, nil)
+		var ops []FetchedOp
+		for _, v := range rep.Ops {
+			if v.LSN >= req.From && v.LSN <= req.To {
+				ops = append(ops, FetchedOp{LSN: v.LSN, Op: v.Op})
+			}
+		}
+		return AppendOpsResp(nil, ops), nil
+	case FetchSnapChunks:
+		sdir := engine.ShardDir(s.Dir, int(req.Shard))
+		man, err := persist.LoadManifest(nil, sdir)
+		if err != nil {
+			return nil, fmt.Errorf("replic: shard %d manifest: %w", req.Shard, err)
+		}
+		if man.SnapshotSeq != req.Seq {
+			return nil, fmt.Errorf("replic: shard %d snapshot seq %d not covered (manifest seals %d)", req.Shard, req.Seq, man.SnapshotSeq)
+		}
+		b, err := os.ReadFile(filepath.Join(sdir, persist.SnapFileName(req.Seq)))
+		if err != nil {
+			return nil, fmt.Errorf("replic: shard %d snapshot: %w", req.Shard, err)
+		}
+		leaves := persist.MerkleLeaves(b, man.ChunkSize)
+		var chunks []FetchedChunk
+		for _, i := range req.Chunks {
+			if int(i) >= len(leaves) {
+				return nil, fmt.Errorf("replic: chunk %d of %d", i, len(leaves))
+			}
+			lo := int(i) * man.ChunkSize
+			hi := lo + man.ChunkSize
+			if hi > len(b) {
+				hi = len(b)
+			}
+			chunks = append(chunks, FetchedChunk{
+				Index: i,
+				Data:  append([]byte(nil), b[lo:hi]...),
+				Proof: persist.MerkleProof(leaves, int(i)),
+			})
+		}
+		return AppendChunksResp(nil, chunks), nil
+	}
+	return nil, fmt.Errorf("replic: fetch kind %d", req.Kind)
+}
+
+// FetchPeer is the transport seam the repairer pulls from: Fetcher over
+// a live connection in production, a FetchServer directly in tests.
+type FetchPeer interface {
+	Fetch(req FetchReq) ([]byte, error)
+}
+
+// LocalPeer adapts a FetchServer into an in-process FetchPeer.
+type LocalPeer struct{ S *FetchServer }
+
+// Fetch serves the request without a wire round trip.
+func (l LocalPeer) Fetch(req FetchReq) ([]byte, error) {
+	return l.S.Handle(AppendFetchReq(nil, req))
+}
+
+// Fetcher is a synchronous TReplFetch client: one outstanding request
+// per connection, responses matched by id.
+type Fetcher struct {
+	conn net.Conn
+	id   uint64
+}
+
+// DialFetcher connects to a peer's wire listener for anti-entropy
+// reads.
+func DialFetcher(addr string, timeout time.Duration) (*Fetcher, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Fetcher{conn: conn}, nil
+}
+
+// Fetch performs one round trip.
+func (f *Fetcher) Fetch(req FetchReq) ([]byte, error) {
+	f.id++
+	if err := wire.WriteFrame(f.conn, wire.TReplFetch, f.id, AppendFetchReq(nil, req)); err != nil {
+		return nil, err
+	}
+	for {
+		fr, err := wire.ReadFrame(f.conn)
+		if err != nil {
+			return nil, err
+		}
+		if fr.ID != f.id {
+			continue // stale response from an abandoned request
+		}
+		switch fr.Type {
+		case wire.TReplChunk:
+			return append([]byte(nil), fr.Payload...), nil
+		case wire.TError:
+			msg := ""
+			if len(fr.Payload) > 1 {
+				msg = string(fr.Payload[1:])
+			}
+			return nil, fmt.Errorf("replic: peer refused fetch: %s", msg)
+		default:
+			return nil, fmt.Errorf("replic: unexpected %d frame answering fetch", fr.Type)
+		}
+	}
+}
+
+// Close releases the connection.
+func (f *Fetcher) Close() error { return f.conn.Close() }
+
+// RepairConfig tunes a repair run.
+type RepairConfig struct {
+	// Metrics receives the repl_repair_* counters under Prefix (default
+	// "repl").
+	Metrics *obs.Registry
+	Prefix  string
+	// Flight receives one FlightIntegrity event per repaired finding.
+	Flight *obs.FlightRecorder
+}
+
+// RepairReport summarises one RepairCheckpoint run.
+type RepairReport struct {
+	// Findings are every fault VerifyDir localised before repair, in
+	// shard order (engine-manifest faults carry shard -1).
+	Findings []ShardFinding `json:"findings"`
+	// OpsFetched / ChunksFetched / ManifestsFetched count what came
+	// over the wire.
+	OpsFetched       int `json:"ops_fetched"`
+	ChunksFetched    int `json:"chunks_fetched"`
+	ManifestsFetched int `json:"manifests_fetched"`
+	// Resealed counts WAL images rebuilt purely from local verified
+	// records (a rotted seal with intact ops needs no peer data).
+	Resealed int `json:"resealed"`
+	// Clean reports the post-repair VerifyDir outcome for every shard.
+	Clean bool `json:"clean"`
+}
+
+// ShardFinding labels a persist finding with its shard.
+type ShardFinding struct {
+	Shard   int             `json:"shard"`
+	Finding persist.Finding `json:"finding"`
+}
+
+// repairer carries the run's counters.
+type repairer struct {
+	cfg       RepairConfig
+	peer      FetchPeer
+	rep       *RepairReport
+	dirs      *obs.Counter
+	ops       *obs.Counter
+	chunks    *obs.Counter
+	manifests *obs.Counter
+	failed    *obs.Counter
+}
+
+// RepairCheckpoint audits the checkpoint fan-out at dir and repairs
+// every localised fault by fetching the minimal missing pieces from
+// peer, verifying each against the manifest chain of trust before
+// installing it. It returns the report and an error when any fault
+// could not be repaired; the directory is only modified with verified
+// data, so a failed repair never makes things worse.
+func RepairCheckpoint(dir string, peer FetchPeer, cfg RepairConfig) (*RepairReport, error) {
+	if cfg.Prefix == "" {
+		cfg.Prefix = "repl"
+	}
+	r := &repairer{cfg: cfg, peer: peer, rep: &RepairReport{}}
+	if reg := cfg.Metrics; reg != nil {
+		p := cfg.Prefix
+		r.dirs = reg.Counter(p + "_repair_dirs_total")
+		r.ops = reg.Counter(p + "_repair_ops_fetched_total")
+		r.chunks = reg.Counter(p + "_repair_chunks_fetched_total")
+		r.manifests = reg.Counter(p + "_repair_manifests_fetched_total")
+		r.failed = reg.Counter(p + "_repair_failed_total")
+	}
+	err := r.run(dir)
+	if err != nil {
+		r.failed.Inc()
+	}
+	return r.rep, err
+}
+
+func (r *repairer) flight(shard int, f persist.Finding) {
+	r.rep.Findings = append(r.rep.Findings, ShardFinding{Shard: shard, Finding: f})
+	if r.cfg.Flight != nil {
+		r.cfg.Flight.RecordMsg(obs.FlightIntegrity, 0, "repair "+f.String(), f.FromLSN, f.ToLSN, uint64(shard))
+	}
+}
+
+func (r *repairer) run(dir string) error {
+	em, err := r.trustedEngineManifest(dir)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < em.Shards; i++ {
+		sealed := ""
+		if len(em.ShardChecksums) == em.Shards {
+			sealed = em.ShardChecksums[i]
+		}
+		if err := r.repairShard(dir, i, sealed); err != nil {
+			return fmt.Errorf("replic: shard %d: %w", i, err)
+		}
+	}
+	// Post-repair audit: the whole fan-out must verify clean.
+	r.rep.Clean = true
+	for i := 0; i < em.Shards; i++ {
+		if v := persist.VerifyDir(nil, engine.ShardDir(dir, i)); !v.Clean() {
+			r.rep.Clean = false
+			return fmt.Errorf("replic: shard %d still dirty after repair: %v", i, v.Findings[0])
+		}
+	}
+	return nil
+}
+
+// trustedEngineManifest returns a validated ENGINE.json, fetching a
+// replacement from the peer when the local one is torn, rotted or
+// missing.
+func (r *repairer) trustedEngineManifest(dir string) (*engine.CheckpointManifest, error) {
+	m, err := engine.LoadEngineManifest(dir)
+	if err == nil {
+		return m, nil
+	}
+	r.flight(-1, persist.Finding{
+		Path: filepath.Join(dir, engine.EngineManifestName), Class: persist.ClassManifest, Detail: err.Error(),
+	})
+	raw, ferr := r.peer.Fetch(FetchReq{Kind: FetchEngineManifest})
+	if ferr != nil {
+		return nil, fmt.Errorf("replic: engine manifest unrepairable: %v (fetch: %w)", err, ferr)
+	}
+	rawBytes, ferr := ParseRawResp(raw, FetchEngineManifest)
+	if ferr != nil {
+		return nil, ferr
+	}
+	m, ferr = engine.DecodeEngineManifest("(fetched)", rawBytes)
+	if ferr != nil {
+		return nil, fmt.Errorf("replic: peer engine manifest invalid: %w", ferr)
+	}
+	if werr := os.WriteFile(filepath.Join(dir, engine.EngineManifestName), rawBytes, 0o644); werr != nil {
+		return nil, werr
+	}
+	r.manifests.Inc()
+	r.rep.ManifestsFetched++
+	return m, nil
+}
+
+// trustedShardManifest returns shard i's validated MANIFEST.json,
+// fetching a replacement when the local one fails its self-checksum or
+// disagrees with the engine seal.
+func (r *repairer) trustedShardManifest(sdir string, shard int, sealed string) (*persist.Manifest, error) {
+	man, err := persist.LoadManifest(nil, sdir)
+	if err == nil && (sealed == "" || man.Checksum == sealed) {
+		return man, nil
+	}
+	detail := "disagrees with engine seal"
+	if err != nil {
+		detail = err.Error()
+	}
+	r.flight(shard, persist.Finding{
+		Path: filepath.Join(sdir, persist.ManifestName), Class: persist.ClassManifest, Detail: detail,
+	})
+	raw, ferr := r.peer.Fetch(FetchReq{Kind: FetchShardManifest, Shard: uint32(shard)})
+	if ferr != nil {
+		return nil, fmt.Errorf("shard manifest unrepairable: %v (fetch: %w)", detail, ferr)
+	}
+	rawBytes, ferr := ParseRawResp(raw, FetchShardManifest)
+	if ferr != nil {
+		return nil, ferr
+	}
+	man, ferr = persist.DecodeManifest("(fetched)", rawBytes)
+	if ferr != nil {
+		return nil, fmt.Errorf("peer shard manifest invalid: %w", ferr)
+	}
+	if sealed != "" && man.Checksum != sealed {
+		return nil, fmt.Errorf("peer shard manifest checksum %.12s not sealed by engine root (%.12s)", man.Checksum, sealed)
+	}
+	if werr := os.WriteFile(filepath.Join(sdir, persist.ManifestName), rawBytes, 0o644); werr != nil {
+		return nil, werr
+	}
+	r.manifests.Inc()
+	r.rep.ManifestsFetched++
+	return man, nil
+}
+
+// repairShard brings one shard directory back to a clean VerifyDir.
+func (r *repairer) repairShard(dir string, shard int, sealed string) error {
+	sdir := engine.ShardDir(dir, shard)
+	r.dirs.Inc()
+	man, err := r.trustedShardManifest(sdir, shard, sealed)
+	if err != nil {
+		return err
+	}
+	if err := r.repairWAL(sdir, shard, man); err != nil {
+		return err
+	}
+	if err := r.repairSnapshot(sdir, shard, man); err != nil {
+		return err
+	}
+	return r.dropRottedStaleSnapshots(sdir, shard, man)
+}
+
+// repairWAL verifies the shard's log against the manifest's sealed
+// chain head and, on damage, rebuilds the image: locally verified
+// records are kept, missing LSN ranges are fetched from the peer, and
+// the splice is only installed if its recomputed chain reproduces the
+// sealed head exactly.
+func (r *repairer) repairWAL(sdir string, shard int, man *persist.Manifest) error {
+	expect, err := man.Head()
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(sdir, persist.WALName)
+	b, rerr := os.ReadFile(path)
+	if rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+		return rerr
+	}
+	rep := persist.VerifyWALImage(b, &expect)
+	if len(rep.Bad) == 0 && !rep.HeadMismatch {
+		// A torn tail past the seal is crash damage, recovery's concern;
+		// nothing here is rot.
+		return nil
+	}
+	for _, bad := range rep.Bad {
+		r.flight(shard, persist.Finding{
+			Path: path, Class: bad.Class, Detail: bad.Detail, FromLSN: bad.FromLSN, ToLSN: bad.ToLSN,
+		})
+	}
+	if rep.HeadMismatch || len(rep.Bad) == 0 {
+		r.flight(shard, persist.Finding{
+			Path: path, Class: persist.ClassWALChainPoint, Detail: "sealed head unreachable from local records",
+		})
+	}
+
+	// Collect what survives locally, then fetch the gaps.
+	have := map[uint64]persist.Op{}
+	for _, v := range rep.Ops {
+		if v.LSN <= man.WALRecords {
+			have[v.LSN] = v.Op
+		}
+	}
+	var missing []uint64
+	for lsn := uint64(1); lsn <= man.WALRecords; lsn++ {
+		if _, ok := have[lsn]; !ok {
+			missing = append(missing, lsn)
+		}
+	}
+	fetched := 0
+	for len(missing) > 0 {
+		from := missing[0]
+		to := from
+		for len(missing) > 0 && missing[0] == to {
+			missing = missing[1:]
+			to++
+		}
+		to--
+		for lo := from; lo <= to; lo += MaxFetchOps {
+			hi := lo + MaxFetchOps - 1
+			if hi > to {
+				hi = to
+			}
+			raw, err := r.peer.Fetch(FetchReq{Kind: FetchWALOps, Shard: uint32(shard), From: lo, To: hi})
+			if err != nil {
+				return fmt.Errorf("wal range %d-%d unrepairable: %w", lo, hi, err)
+			}
+			ops, err := ParseOpsResp(raw)
+			if err != nil {
+				return err
+			}
+			for _, o := range ops {
+				if o.LSN >= lo && o.LSN <= hi {
+					have[o.LSN] = o.Op
+					fetched++
+				}
+			}
+		}
+	}
+
+	ordered := make([]persist.Op, 0, man.WALRecords)
+	for lsn := uint64(1); lsn <= man.WALRecords; lsn++ {
+		op, ok := have[lsn]
+		if !ok {
+			return fmt.Errorf("wal LSN %d unavailable locally and from peer", lsn)
+		}
+		ordered = append(ordered, op)
+	}
+	// Keep the contiguous locally-verified tail past the seal — records
+	// the manifest does not cover cannot be authenticated, but they
+	// chain onto the sealed prefix, so a rebuilt image revalidates them.
+	tail := 0
+	for lsn := man.WALRecords + 1; ; lsn++ {
+		op, ok := tailOp(rep.Ops, lsn)
+		if !ok {
+			break
+		}
+		ordered = append(ordered, op)
+		tail++
+	}
+	// No local tail survived (whole-file truncation or deletion):
+	// converge on the peer's unsealed suffix instead. Like the local
+	// tail, it is trusted only transitively — it must chain onto the
+	// sealed head when the rebuilt image is verified below.
+	for tail == 0 {
+		lo := uint64(len(ordered)) + 1
+		hi := lo + MaxFetchOps - 1
+		raw, err := r.peer.Fetch(FetchReq{Kind: FetchWALOps, Shard: uint32(shard), From: lo, To: hi})
+		if err != nil {
+			break // a peer without the range just ends the tail
+		}
+		ops, err := ParseOpsResp(raw)
+		if err != nil {
+			return err
+		}
+		got := 0
+		for _, o := range ops {
+			if o.LSN == uint64(len(ordered))+1 {
+				ordered = append(ordered, o.Op)
+				fetched++
+				got++
+			}
+		}
+		if got == 0 || uint64(got) < hi-lo+1 {
+			break
+		}
+	}
+
+	img, _ := persist.BuildWALImage(ordered, man.ChainEvery)
+	check := persist.VerifyWALImage(img, &expect)
+	if len(check.Bad) != 0 || check.HeadMismatch || check.TornTail {
+		return fmt.Errorf("rebuilt wal image does not reproduce sealed chain head %.12s", man.ChainHead)
+	}
+	if err := writeFileAtomic(path, img); err != nil {
+		return err
+	}
+	if fetched == 0 {
+		r.rep.Resealed++
+	}
+	r.ops.Add(uint64(fetched))
+	r.rep.OpsFetched += fetched
+	return nil
+}
+
+// tailOp finds the op verified at lsn beyond the sealed prefix.
+func tailOp(ops []persist.VerifiedOp, lsn uint64) (persist.Op, bool) {
+	i := sort.Search(len(ops), func(i int) bool { return ops[i].LSN >= lsn })
+	if i < len(ops) && ops[i].LSN == lsn {
+		return ops[i].Op, true
+	}
+	return persist.Op{}, false
+}
+
+// repairSnapshot re-fetches exactly the chunks of the manifest-covered
+// snapshot that fail their leaves, verifying each fetched chunk's
+// Merkle proof against the sealed root before splicing it in.
+func (r *repairer) repairSnapshot(sdir string, shard int, man *persist.Manifest) error {
+	if man.SnapshotSeq == 0 {
+		return nil
+	}
+	root, err := man.Root()
+	if err != nil {
+		return err
+	}
+	leaves, err := man.Leaves()
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(sdir, persist.SnapFileName(man.SnapshotSeq))
+	b, rerr := os.ReadFile(path)
+	if rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+		return rerr
+	}
+	if int64(len(b)) != man.SnapshotBytes {
+		nb := make([]byte, man.SnapshotBytes)
+		copy(nb, b)
+		b = nb
+	}
+	bad := persist.SnapshotBadChunks(man, b)
+	if len(bad) == 0 {
+		return nil
+	}
+	r.flight(shard, persist.Finding{
+		Path: path, Class: persist.ClassSnapshotChunk, Seq: man.SnapshotSeq, Chunks: bad,
+		Detail: fmt.Sprintf("%d of %d chunks fail the manifest leaves", len(bad), len(leaves)),
+	})
+	for lo := 0; lo < len(bad); lo += MaxFetchChunks {
+		hi := lo + MaxFetchChunks
+		if hi > len(bad) {
+			hi = len(bad)
+		}
+		idx := make([]uint32, 0, hi-lo)
+		for _, c := range bad[lo:hi] {
+			idx = append(idx, uint32(c))
+		}
+		raw, err := r.peer.Fetch(FetchReq{Kind: FetchSnapChunks, Shard: uint32(shard), Seq: man.SnapshotSeq, Chunks: idx})
+		if err != nil {
+			return fmt.Errorf("snapshot chunks %v unrepairable: %w", idx, err)
+		}
+		chunks, err := ParseChunksResp(raw)
+		if err != nil {
+			return err
+		}
+		got := map[uint32]bool{}
+		for _, c := range chunks {
+			leaf := sha256.Sum256(append([]byte{0x00}, c.Data...))
+			if !persist.VerifyMerkleProof(leaf, int(c.Index), len(leaves), c.Proof, root) {
+				return fmt.Errorf("fetched chunk %d fails its Merkle proof against the sealed root", c.Index)
+			}
+			off := int(c.Index) * man.ChunkSize
+			if off+len(c.Data) > len(b) {
+				return fmt.Errorf("fetched chunk %d overruns snapshot length %d", c.Index, len(b))
+			}
+			copy(b[off:], c.Data)
+			got[c.Index] = true
+			r.chunks.Inc()
+			r.rep.ChunksFetched++
+		}
+		for _, i := range idx {
+			if !got[i] {
+				return fmt.Errorf("peer did not return chunk %d", i)
+			}
+		}
+	}
+	if still := persist.SnapshotBadChunks(man, b); len(still) != 0 {
+		return fmt.Errorf("snapshot chunks %v still fail after repair", still)
+	}
+	return writeFileAtomic(path, b)
+}
+
+// dropRottedStaleSnapshots removes fallback snapshots (sequences the
+// manifest does not cover) whose envelopes fail — they cannot be
+// authenticated or repaired chunk-wise, and recovery never needs them
+// once the covered snapshot verifies.
+func (r *repairer) dropRottedStaleSnapshots(sdir string, shard int, man *persist.Manifest) error {
+	v := persist.VerifyDir(nil, sdir)
+	for _, f := range v.Findings {
+		if f.Class == persist.ClassSnapshotChunk && f.Seq != 0 && f.Seq != man.SnapshotSeq {
+			r.flight(shard, f)
+			if err := os.Remove(filepath.Join(sdir, persist.SnapFileName(f.Seq))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeFileAtomic publishes b at path via tmp+rename.
+func writeFileAtomic(path string, b []byte) error {
+	tmp := path + ".repair"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// equalFiles reports whether two files hold identical bytes (test and
+// harness helper for bit-identical repair assertions).
+func equalFiles(a, b string) (bool, error) {
+	ab, err := os.ReadFile(a)
+	if err != nil {
+		return false, err
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		return false, err
+	}
+	return bytes.Equal(ab, bb), nil
+}

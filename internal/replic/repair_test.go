@@ -1,0 +1,494 @@
+package replic
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/hw"
+	"repro/internal/obs"
+	"repro/internal/persist"
+	"repro/internal/wire"
+)
+
+const (
+	repairShards     = 2
+	repairOps        = 400
+	repairChainEvery = 16
+	repairChunkSize  = 256
+)
+
+// buildCheckpointNode writes a WAL-bearing checkpoint fan-out under dir:
+// per shard, a seeded core-tree workload recorded through a
+// persist.Manager, a mid-stream checkpoint (so the manifest seals a
+// nonzero WAL prefix), then more records (so an unsealed tail follows
+// the seal), then ENGINE.json binding the shard manifests. The same
+// seed produces bit-identical directories — the repair tests' stand-in
+// for a primary/follower pair that applied the same replicated history.
+func buildCheckpointNode(t *testing.T, dir string) {
+	t.Helper()
+	man := engine.CheckpointManifest{
+		Schema: engine.EngineManifestSchema,
+		Shards: repairShards,
+		Kind:   "core",
+	}
+	for s := 0; s < repairShards; s++ {
+		tr := core.New(2, 6)
+		m, err := persist.Attach(engine.ShardDir(dir, s), tr, persist.Options{
+			ChunkSize: repairChunkSize,
+			WAL:       persist.WALOptions{ChainEvery: repairChainEvery},
+		})
+		if err != nil {
+			t.Fatalf("shard %d attach: %v", s, err)
+		}
+		rng := rand.New(rand.NewSource(int64(41 + s)))
+		for i := 0; i < repairOps; i++ {
+			var op persist.Op
+			if tr.Len() > 0 && (rng.Intn(3) == 0 || tr.AlmostFull()) {
+				e, err := tr.Pop()
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, q := tr.OpStats()
+				op = persist.Op{Kind: hw.Pop, Cycle: p + q, Value: e.Value, Meta: e.Meta}
+			} else {
+				e := core.Element{Value: uint64(rng.Intn(1000)), Meta: uint64(i)}
+				if err := tr.Push(e); err != nil {
+					t.Fatal(err)
+				}
+				p, q := tr.OpStats()
+				op = persist.Op{Kind: hw.Push, Cycle: p + q, Value: e.Value, Meta: e.Meta}
+			}
+			if err := m.Record(op); err != nil {
+				t.Fatalf("shard %d record %d: %v", s, i, err)
+			}
+			if i == repairOps*2/3 {
+				if err := m.Checkpoint(); err != nil {
+					t.Fatalf("shard %d checkpoint: %v", s, err)
+				}
+			}
+		}
+		sm := m.Manifest()
+		if sm == nil {
+			t.Fatalf("shard %d has no manifest after checkpoint", s)
+		}
+		man.ShardChecksums = append(man.ShardChecksums, sm.Checksum)
+		if err := m.Close(); err != nil {
+			t.Fatalf("shard %d close: %v", s, err)
+		}
+	}
+	man.Root = engine.EngineRoot(man.ShardChecksums)
+	sum, err := engine.EngineManifestChecksum(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.Checksum = sum
+	if err := engine.WriteEngineManifest(dir, man); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// corrupt flips one byte of the file at off (negative: from the end).
+func corrupt(t *testing.T, path string, off int) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < 0 {
+		off += len(b)
+	}
+	b[off] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustEqualFiles(t *testing.T, a, b string) {
+	t.Helper()
+	eq, err := equalFiles(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("%s differs from %s after repair", a, b)
+	}
+}
+
+// assertRepaired runs the repair against an in-process peer and checks
+// the fan-out verifies clean and bit-identical to the peer afterwards.
+func assertRepaired(t *testing.T, local, peer string) *RepairReport {
+	t.Helper()
+	rep, err := RepairCheckpoint(local, LocalPeer{&FetchServer{Dir: peer}}, RepairConfig{})
+	if err != nil {
+		t.Fatalf("repair: %v (findings %v)", err, rep.Findings)
+	}
+	if !rep.Clean {
+		t.Fatal("repair reported not clean")
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("repair found nothing — the injected corruption escaped")
+	}
+	for s := 0; s < repairShards; s++ {
+		ls, ps := engine.ShardDir(local, s), engine.ShardDir(peer, s)
+		for _, name := range []string{persist.WALName, persist.ManifestName} {
+			mustEqualFiles(t, filepath.Join(ls, name), filepath.Join(ps, name))
+		}
+		man, err := persist.LoadManifest(nil, ls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := persist.SnapFileName(man.SnapshotSeq)
+		mustEqualFiles(t, filepath.Join(ls, snap), filepath.Join(ps, snap))
+	}
+	return rep
+}
+
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(src, path)
+		out := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(out, 0o755)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(out, b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newPair builds the peer node once per test and clones it into the
+// local node.
+func newPair(t *testing.T) (local, peer string) {
+	base := t.TempDir()
+	peer = filepath.Join(base, "peer")
+	local = filepath.Join(base, "local")
+	buildCheckpointNode(t, peer)
+	copyTree(t, peer, local)
+	return local, peer
+}
+
+func TestFetchCodecsRoundTrip(t *testing.T) {
+	req := FetchReq{Kind: FetchSnapChunks, Shard: 3, From: 10, To: 20, Seq: 2, Chunks: []uint32{0, 5, 9}}
+	got, err := ParseFetchReq(AppendFetchReq(nil, req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != req.Kind || got.Shard != req.Shard || got.Seq != req.Seq || len(got.Chunks) != 3 {
+		t.Fatalf("request round trip: %+v", got)
+	}
+
+	ops := []FetchedOp{
+		{LSN: 7, Op: persist.Op{Kind: hw.Push, Cycle: 1, Value: 9, Meta: 2}},
+		{LSN: 8, Op: persist.Op{Kind: hw.Pop, Cycle: 2, Value: 9, Meta: 2}},
+	}
+	back, err := ParseOpsResp(AppendOpsResp(nil, ops))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != ops[0] || back[1] != ops[1] {
+		t.Fatalf("ops round trip: %+v", back)
+	}
+
+	chunks := []FetchedChunk{{
+		Index: 4,
+		Data:  bytes.Repeat([]byte{0xAB}, 256),
+		Proof: [][sha256.Size]byte{sha256.Sum256([]byte("a")), sha256.Sum256([]byte("b"))},
+	}}
+	cback, err := ParseChunksResp(AppendChunksResp(nil, chunks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cback) != 1 || cback[0].Index != 4 || !bytes.Equal(cback[0].Data, chunks[0].Data) || len(cback[0].Proof) != 2 {
+		t.Fatalf("chunks round trip: %+v", cback)
+	}
+
+	raw, err := ParseRawResp(AppendRawResp(nil, FetchEngineManifest, []byte(`{"x":1}`)), FetchEngineManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != `{"x":1}` {
+		t.Fatalf("raw round trip: %q", raw)
+	}
+
+	// Arbitrary garbage never panics and errors typed.
+	if _, err := ParseFetchReq([]byte{0xFF, 1, 2}); err == nil {
+		t.Fatal("garbage fetch request accepted")
+	}
+	if _, err := ParseOpsResp([]byte{FetchWALOps, 0xFF}); err == nil {
+		t.Fatal("garbage ops response accepted")
+	}
+}
+
+// TestRepairWALRecordRot rots a record body inside the sealed prefix:
+// the repairer must fetch exactly the lost LSN range and splice the log
+// back bit-identically.
+func TestRepairWALRecordRot(t *testing.T) {
+	local, peer := newPair(t)
+	corrupt(t, filepath.Join(engine.ShardDir(local, 0), persist.WALName), 5*int(persist.RecordLen)+10)
+	rep := assertRepaired(t, local, peer)
+	if rep.OpsFetched == 0 {
+		t.Fatal("record rot repaired without fetching any ops")
+	}
+}
+
+// TestRepairWALChainPointRot rots a seal: the records around it are
+// intact but unverifiable, so the repairer refetches the gap and the
+// rebuilt image must reproduce the sealed head.
+func TestRepairWALChainPointRot(t *testing.T) {
+	local, peer := newPair(t)
+	// The first chain-point sits after repairChainEvery records.
+	off := repairChainEvery*int(persist.RecordLen) + 3
+	corrupt(t, filepath.Join(engine.ShardDir(local, 0), persist.WALName), off)
+	assertRepaired(t, local, peer)
+}
+
+// TestRepairWALTruncation cuts the log below the sealed record count.
+func TestRepairWALTruncation(t *testing.T) {
+	local, peer := newPair(t)
+	path := filepath.Join(engine.ShardDir(local, 1), persist.WALName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := assertRepaired(t, local, peer)
+	if rep.OpsFetched == 0 {
+		t.Fatal("truncation repaired without fetching ops")
+	}
+}
+
+// TestRepairWALMissing deletes the log outright.
+func TestRepairWALMissing(t *testing.T) {
+	local, peer := newPair(t)
+	if err := os.Remove(filepath.Join(engine.ShardDir(local, 0), persist.WALName)); err != nil {
+		t.Fatal(err)
+	}
+	assertRepaired(t, local, peer)
+}
+
+// TestRepairSnapshotChunkRot rots bytes inside the manifest-covered
+// snapshot: only the failing chunks may be fetched, each verified by
+// Merkle proof against the sealed root.
+func TestRepairSnapshotChunkRot(t *testing.T) {
+	local, peer := newPair(t)
+	sdir := engine.ShardDir(local, 1)
+	man, err := persist.LoadManifest(nil, sdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(sdir, persist.SnapFileName(man.SnapshotSeq))
+	corrupt(t, snap, int(man.SnapshotBytes)/2)
+	rep := assertRepaired(t, local, peer)
+	if rep.ChunksFetched == 0 {
+		t.Fatal("chunk rot repaired without fetching chunks")
+	}
+	if rep.ChunksFetched > 2 {
+		t.Fatalf("single-byte rot fetched %d chunks, want minimal", rep.ChunksFetched)
+	}
+}
+
+// TestRepairShardManifestTamper rots the shard manifest; the
+// replacement must carry the checksum the engine root sealed.
+func TestRepairShardManifestTamper(t *testing.T) {
+	local, peer := newPair(t)
+	corrupt(t, filepath.Join(engine.ShardDir(local, 0), persist.ManifestName), 40)
+	rep := assertRepaired(t, local, peer)
+	if rep.ManifestsFetched == 0 {
+		t.Fatal("manifest tamper repaired without fetching a manifest")
+	}
+}
+
+// TestRepairSwappedShardManifests swaps two individually-valid shard
+// manifests — only the engine-root binding can catch this.
+func TestRepairSwappedShardManifests(t *testing.T) {
+	local, peer := newPair(t)
+	a := filepath.Join(engine.ShardDir(local, 0), persist.ManifestName)
+	b := filepath.Join(engine.ShardDir(local, 1), persist.ManifestName)
+	ab, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(a, bb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, ab, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := assertRepaired(t, local, peer)
+	if rep.ManifestsFetched != 2 {
+		t.Fatalf("swap repaired with %d manifests fetched, want 2", rep.ManifestsFetched)
+	}
+}
+
+// TestRepairEngineManifestTorn truncates ENGINE.json; the fetched
+// replacement must self-verify before anything trusts it.
+func TestRepairEngineManifestTorn(t *testing.T) {
+	local, peer := newPair(t)
+	path := filepath.Join(local, engine.EngineManifestName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	assertRepaired(t, local, peer)
+	mustEqualFiles(t, path, filepath.Join(peer, engine.EngineManifestName))
+}
+
+// TestRepairRefusesUnprovablePeerData pins the trust model: a peer
+// serving tampered chunks (valid framing, wrong bytes) must be caught
+// by the Merkle proof check and the repair must fail without
+// installing anything.
+func TestRepairRefusesUnprovablePeerData(t *testing.T) {
+	local, peer := newPair(t)
+	sdir := engine.ShardDir(local, 0)
+	man, err := persist.LoadManifest(nil, sdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(sdir, persist.SnapFileName(man.SnapshotSeq))
+	corrupt(t, snap, 10)
+	before, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evil := evilPeer{inner: LocalPeer{&FetchServer{Dir: peer}}}
+	_, err = RepairCheckpoint(local, evil, RepairConfig{})
+	if err == nil {
+		t.Fatal("repair accepted tampered peer chunks")
+	}
+	after, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed repair modified the snapshot")
+	}
+}
+
+// evilPeer flips a byte in every chunk payload it relays.
+type evilPeer struct{ inner FetchPeer }
+
+func (e evilPeer) Fetch(req FetchReq) ([]byte, error) {
+	resp, err := e.inner.Fetch(req)
+	if err != nil {
+		return nil, err
+	}
+	if req.Kind == FetchSnapChunks {
+		chunks, err := ParseChunksResp(resp)
+		if err != nil {
+			return nil, err
+		}
+		for i := range chunks {
+			if len(chunks[i].Data) > 0 {
+				chunks[i].Data[0] ^= 0x01
+			}
+		}
+		return AppendChunksResp(nil, chunks), nil
+	}
+	return resp, nil
+}
+
+// TestRepairOverWire runs a full repair through real TReplFetch /
+// TReplChunk frames against a wire.Server, and then proves the
+// repaired state is behaviourally identical: both nodes' shards
+// recover and drain the same element sequence.
+func TestRepairOverWire(t *testing.T) {
+	local, peer := newPair(t)
+	eng, err := engine.New(engine.Config{Shards: 1, Order: 2, Levels: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	srv := wire.NewServer(eng)
+	fs := &FetchServer{Dir: peer}
+	srv.SetFetchHandler(fs.Handle)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	corrupt(t, filepath.Join(engine.ShardDir(local, 0), persist.WALName), 7*int(persist.RecordLen)+4)
+	corrupt(t, filepath.Join(engine.ShardDir(local, 1), persist.ManifestName), 30)
+
+	f, err := DialFetcher(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	reg := obs.NewRegistry()
+	rep, err := RepairCheckpoint(local, f, RepairConfig{Metrics: reg, Prefix: "repl"})
+	if err != nil {
+		t.Fatalf("repair over wire: %v", err)
+	}
+	if !rep.Clean {
+		t.Fatal("repair over wire not clean")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["repl_repair_dirs_total"] == 0 {
+		t.Fatal("repair counters not exported")
+	}
+
+	drain := func(dir string) [][2]uint64 {
+		var out [][2]uint64
+		for s := 0; s < repairShards; s++ {
+			tr := core.New(2, 6)
+			m, _, err := persist.Open(engine.ShardDir(dir, s), tr, persist.Options{})
+			if err != nil {
+				t.Fatalf("%s shard %d open: %v", dir, s, err)
+			}
+			if err := m.Close(); err != nil {
+				t.Fatal(err)
+			}
+			for tr.Len() > 0 {
+				e, err := tr.Pop()
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, [2]uint64{e.Value, e.Meta})
+			}
+		}
+		return out
+	}
+	got, want := drain(local), drain(peer)
+	if len(got) != len(want) {
+		t.Fatalf("repaired drain %d elements, peer %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("repaired drain diverges at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

@@ -92,10 +92,18 @@ const (
 	TAdmin Type = 10
 	// TAdminOK answers TAdmin: payload is an encoded AdminInfo.
 	TAdminOK Type = 11
+	// TReplFetch asks a peer for a piece of its durable state during
+	// anti-entropy repair: an engine or shard manifest, a WAL LSN range,
+	// or Merkle-proof-carrying snapshot chunks. The payload codec lives
+	// in internal/replic.
+	TReplFetch Type = 12
+	// TReplChunk answers TReplFetch with the requested bytes (plus
+	// proofs, for snapshot chunks).
+	TReplChunk Type = 13
 )
 
 // valid reports whether t is a defined frame type.
-func (t Type) valid() bool { return t >= THello && t <= TAdminOK }
+func (t Type) valid() bool { return t >= THello && t <= TReplChunk }
 
 // Decoder errors.
 var (

@@ -76,6 +76,13 @@ type BatchHook func(session, reqID uint64, ops []engine.Op, results []engine.Res
 type (
 	AdminHandler func(cmd AdminCmd) (AdminInfo, error)
 	ReplHandler  func(conn net.Conn, hello Frame)
+	// FetchHandler answers TReplFetch frames (anti-entropy repair
+	// reads): it receives the request payload and returns the TReplChunk
+	// payload. The codec is internal/replic's; wire treats both as
+	// opaque. An error answers the request with TError without killing
+	// the connection — one unservable range must not abort a repair
+	// session fetching many.
+	FetchHandler func(payload []byte) ([]byte, error)
 )
 
 // Server serves an engine over the wire protocol. Each accepted
@@ -96,6 +103,7 @@ type Server struct {
 	onBatch BatchHook
 	onAdmin AdminHandler
 	onRepl  ReplHandler
+	onFetch FetchHandler
 
 	dedup dedupTable
 
@@ -142,6 +150,10 @@ func (s *Server) SetAdminHandler(h AdminHandler) { s.onAdmin = h }
 // SetReplHandler installs the replication-stream acceptor. Call before
 // Serve.
 func (s *Server) SetReplHandler(h ReplHandler) { s.onRepl = h }
+
+// SetFetchHandler installs the anti-entropy fetch responder. Call
+// before Serve.
+func (s *Server) SetFetchHandler(h FetchHandler) { s.onFetch = h }
 
 // InstallDedup inserts a cached response into a session's dedup cache —
 // the follower's side of replicated dedup state, so a client retrying
@@ -402,6 +414,17 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 			out <- response{TAdminOK, f.ID, AppendAdminInfo(nil, info), nil}
+		case TReplFetch:
+			if s.onFetch == nil {
+				sendErr(out, f.ID, StatusInvalid, errors.New("anti-entropy fetch not enabled"))
+				return
+			}
+			resp, err := s.onFetch(f.Payload)
+			if err != nil {
+				sendErr(out, f.ID, StatusInvalid, err)
+				continue
+			}
+			out <- response{TReplChunk, f.ID, resp, nil}
 		case TReplHello:
 			if s.onRepl == nil {
 				sendErr(out, f.ID, StatusInvalid, errors.New("replication not enabled"))

@@ -83,6 +83,36 @@ func Checkpoint(dir string, q Checkpointable) error {
 	return m.Close()
 }
 
+// PersistFinding is one localised integrity fault: file, corruption
+// class, and — for WAL damage — the affected LSN range, or — for
+// snapshot rot — the failing chunk indices.
+type PersistFinding = persist.Finding
+
+// PersistDirReport is the outcome of one VerifyPersistDir audit.
+type PersistDirReport = persist.DirReport
+
+// PersistScrubConfig tunes a background integrity scrubber: the
+// directories to walk, an io throttle, and the obs instruments.
+type PersistScrubConfig = persist.ScrubConfig
+
+// PersistScrubber is a resumable, io-throttled integrity walker over
+// persistence directories: manifests, WAL hash chains, snapshot Merkle
+// roots. Step verifies one directory and advances the cursor.
+type PersistScrubber = persist.Scrubber
+
+// NewPersistScrubber builds a scrubber over cfg.Dirs.
+func NewPersistScrubber(cfg PersistScrubConfig) *PersistScrubber {
+	return persist.NewScrubber(cfg)
+}
+
+// VerifyPersistDir audits one persistence directory read-only:
+// manifest self-checksum, WAL framing plus hash chain against the
+// sealed head, and snapshot Merkle verification with per-chunk
+// localisation. Nothing is modified.
+func VerifyPersistDir(dir string) *PersistDirReport {
+	return persist.VerifyDir(nil, dir)
+}
+
 // Restore loads the newest valid checkpoint in dir into q (a freshly
 // constructed queue of the same configuration), replays any WAL suffix,
 // and verifies the queue's structural invariants before returning.
