@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/persist"
@@ -76,6 +77,10 @@ func main() {
 		scrubEvery = flag.Duration("scrub-interval", time.Minute, "background integrity-scrub pass interval over the -persist checkpoint (0 = off)")
 		scrubRate  = flag.Int64("scrub-rate", 8<<20, "scrub io throttle in bytes/second (0 = unthrottled)")
 		repairFrom = flag.String("repair-from", "", "peer wire address to anti-entropy repair the -persist checkpoint from when the scrubber finds rot (empty = detect only)")
+
+		clusterMap  = flag.String("cluster-map", "", "cluster map JSON file; joins this node to a multi-node cluster")
+		clusterNode = flag.Uint("cluster-node", 0, "this node's id in the -cluster-map")
+		gossipEvery = flag.Duration("gossip-every", 2*time.Second, "cluster map gossip sweep interval")
 
 		follow   = flag.String("follow", "", "start as a hot standby streaming from this primary address")
 		replSync = flag.Bool("repl-sync", false, "primary: hold dedup-enrolled responses until the follower acks (zero acked-op loss)")
@@ -191,6 +196,24 @@ func main() {
 		fetch := &replic.FetchServer{Dir: *persistDir}
 		srv.SetFetchHandler(fetch.Handle)
 	}
+	// Cluster membership: the node enforces push ownership under the
+	// live map, serves the map to clients and peers, and gossips
+	// changes. Promotion (below) mints the successor map so routing
+	// follows the failover.
+	var (
+		clState *cluster.State
+		gsp     *cluster.Gossiper
+	)
+	if *clusterMap != "" {
+		m, err := cluster.LoadFile(*clusterMap)
+		if err != nil {
+			fatalf("cluster: %v", err)
+		}
+		clState, err = cluster.NewState(m, uint32(*clusterNode))
+		if err != nil {
+			fatalf("cluster: %v", err)
+		}
+	}
 	node := replic.Attach(eng, srv, replic.Config{
 		Engine:      cfg,
 		PrimaryAddr: *follow,
@@ -201,8 +224,58 @@ func main() {
 		OnIncident: func(trigger, reason string) {
 			inc.CaptureAsync(trigger, reason)
 		},
+		OnPromote: func() {
+			if clState == nil {
+				return
+			}
+			m := clState.PromoteSelf()
+			logger.Info("cluster: promotion minted map",
+				"version", m.Version, "node", clState.Self())
+			if gsp != nil {
+				gsp.Kick()
+			}
+		},
 	})
 	node.Instrument(reg, "bmwd_repl")
+
+	if clState != nil {
+		notOwner := reg.Counter("bmwd_cluster_not_owner_total")
+		reg.Help("bmwd_cluster_not_owner_total", "pushes refused with StatusNotOwner under the live cluster map")
+		srv.SetOwnerGate(func(op wire.Op) (bool, uint64) {
+			owned, ver := clState.Owns(op.Value, op.Meta)
+			if !owned {
+				notOwner.Add(1)
+			}
+			return owned, ver
+		})
+		srv.SetClusterHandlers(clState.EncodedIfNewer, clState.OfferEncoded)
+		reg.GaugeFunc("bmwd_cluster_node_id", func() float64 { return float64(clState.Self()) })
+		reg.GaugeFunc("bmwd_cluster_map_version", func() float64 { return float64(clState.Version()) })
+		reg.GaugeFunc("bmwd_cluster_adopts", func() float64 { return float64(clState.Adopts()) })
+		reg.GaugeFunc("bmwd_cluster_epoch", func() float64 {
+			if n := clState.Current().ByID(clState.Self()); n != nil {
+				return float64(n.Epoch)
+			}
+			return 0
+		})
+		reg.GaugeFunc("bmwd_cluster_band_start", func() float64 {
+			s, _, _ := clState.Current().Band(clState.Self())
+			return float64(s)
+		})
+		reg.GaugeFunc("bmwd_cluster_band_end", func() float64 {
+			_, e, _ := clState.Current().Band(clState.Self())
+			return float64(e)
+		})
+		gsp = cluster.NewGossiper(cluster.GossiperConfig{
+			State:     clState,
+			SelfAddrs: []string{*listen},
+			Interval:  *gossipEvery,
+			Logf: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...))
+			},
+		})
+		go gsp.Run()
+	}
 
 	// persistBad latches when the background scrubber (or an attempted
 	// repair that could not converge) finds the durable state corrupt; a
@@ -225,7 +298,7 @@ func main() {
 
 	detail := func() map[string]any {
 		st := node.Status()
-		return map[string]any{
+		d := map[string]any{
 			"role":              node.Role(),
 			"serving":           st.Serving,
 			"degraded":          st.Degraded,
@@ -234,6 +307,13 @@ func main() {
 			"overloaded_shards": eng.OverloadedShards(),
 			"persist_ok":        !persistBad.Load() && !walPoisoned(),
 		}
+		if clState != nil {
+			s, e, _ := clState.Current().Band(clState.Self())
+			d["cluster_node"] = clState.Self()
+			d["cluster_map_version"] = clState.Version()
+			d["cluster_band"] = []uint64{s, e}
+		}
+		return d
 	}
 
 	var sloEng *obs.SLOEngine
@@ -489,6 +569,9 @@ func main() {
 
 	close(watchDone)
 	close(scrubDone)
+	if gsp != nil {
+		gsp.Stop()
+	}
 	sloEng.Stop()
 	stopRuntime()
 

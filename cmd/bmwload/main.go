@@ -27,6 +27,14 @@
 //	bmwload -inproc -shards 4 -duration 5s -out BENCH_load.json
 //	bmwload -addr 127.0.0.1:9970 -mode open -rate 500000 -duration 10s
 //	bmwload -addr 127.0.0.1:9970 -standby 127.0.0.1:9980 -duration 30s
+//	bmwload -cluster 127.0.0.1:9970,127.0.0.1:9972 -duration 10s
+//
+// With -cluster, bmwload fetches the cluster map from the seed
+// addresses and drives every node through the routing client: pushes
+// go to their owner under the map (StatusNotOwner redirects refresh
+// it), pops run the cross-node strict merge, and the summary and JSON
+// report gain per-node op counts plus redirect and map-refresh
+// tallies.
 package main
 
 import (
@@ -47,6 +55,7 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/wire"
@@ -110,6 +119,7 @@ func main() {
 		metrics  = flag.String("metrics-addr", "", "bmwd obs HTTP address (host:port) to scrape for per-stage latency quantiles and the server trace")
 		traceOut = flag.String("trace-out", "", "write the server's Chrome trace JSON here after the run (needs -metrics-addr with bmwd -trace-sample, or -inproc)")
 		sample   = flag.Int("trace-sample", 64, "inproc server: export 1 of every N request spans to the trace")
+		seeds    = flag.String("cluster", "", "comma-separated cluster seed addresses: fetch the cluster map and route ops across the nodes instead of dialing -addr")
 		standby  = flag.String("standby", "", "comma-separated standby addresses to fail over to")
 		reqTO    = flag.Duration("req-timeout", 5*time.Second, "per-attempt request deadline")
 		retryMax = flag.Int("retry-max", 8, "attempts per request before giving up (0 = unlimited)")
@@ -143,33 +153,60 @@ func main() {
 		fatalf("-trace-out needs -metrics-addr (a bmwd run with -http and -trace-sample) or -inproc")
 	}
 
-	addrs := []string{target}
-	if *standby != "" {
-		addrs = append(addrs, strings.Split(*standby, ",")...)
-	}
-	clients := make([]*wire.ResilientClient, *conns)
-	for i := range clients {
-		c, err := wire.NewResilientClient(wire.ResilientOptions{
-			Addrs:          addrs,
+	var (
+		clients []*wire.ResilientClient
+		cl      *cluster.Client
+	)
+	if *seeds != "" {
+		if *inproc {
+			fatalf("-cluster and -inproc are mutually exclusive")
+		}
+		c, err := cluster.NewClient(cluster.Options{
+			Seeds:          strings.Split(*seeds, ","),
 			RequestTimeout: *reqTO,
 			MaxAttempts:    *retryMax,
-			Conn: wire.ClientOptions{
-				ReadTimeout:  *reqTO,
-				WriteTimeout: *reqTO,
-			},
 		})
 		if err != nil {
-			fatalf("client: %v", err)
+			fatalf("cluster client: %v", err)
 		}
 		defer c.Close()
-		clients[i] = c
+		cl = c
+		// Probe through the merge once so a dead cluster fails fast.
+		if _, err := cl.PopMin(); err != nil {
+			fatalf("probe cluster %s: %v", *seeds, err)
+		}
+		m := cl.Map()
+		fmt.Printf("bmwload: cluster map version %d, %d node(s), %s routing, %d worker(s), %s %s\n",
+			m.Version, len(m.Nodes), m.Mode, *conns**pipeline, *mode, *duration)
+	} else {
+		addrs := []string{target}
+		if *standby != "" {
+			addrs = append(addrs, strings.Split(*standby, ",")...)
+		}
+		clients = make([]*wire.ResilientClient, *conns)
+		for i := range clients {
+			c, err := wire.NewResilientClient(wire.ResilientOptions{
+				Addrs:          addrs,
+				RequestTimeout: *reqTO,
+				MaxAttempts:    *retryMax,
+				Conn: wire.ClientOptions{
+					ReadTimeout:  *reqTO,
+					WriteTimeout: *reqTO,
+				},
+			})
+			if err != nil {
+				fatalf("client: %v", err)
+			}
+			defer c.Close()
+			clients[i] = c
+		}
+		// Probe the primary once so a bad address fails fast and loudly.
+		if _, err := clients[0].Do([]wire.Op{{Kind: wire.OpPop}}); err != nil {
+			fatalf("probe %s: %v", strings.Join(addrs, ","), err)
+		}
+		fmt.Printf("bmwload: %d resilient conn(s) x %d pipeline to %s, %s %s\n",
+			*conns, *pipeline, strings.Join(addrs, ","), *mode, *duration)
 	}
-	// Probe the primary once so a bad address fails fast and loudly.
-	if _, err := clients[0].Do([]wire.Op{{Kind: wire.OpPop}}); err != nil {
-		fatalf("probe %s: %v", strings.Join(addrs, ","), err)
-	}
-	fmt.Printf("bmwload: %d resilient conn(s) x %d pipeline to %s, %s %s\n",
-		*conns, *pipeline, strings.Join(addrs, ","), *mode, *duration)
 
 	var (
 		cnt  counters
@@ -204,7 +241,11 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			runWorker(ctx, clients[w%len(clients)], workerCfg{
+			var d doer = cl
+			if cl == nil {
+				d = clients[w%len(clients)]
+			}
+			runWorker(ctx, d, workerCfg{
 				batch:    *batch,
 				mix:      *mix,
 				rng:      rand.New(rand.NewSource(*seed + int64(w))),
@@ -233,6 +274,25 @@ func main() {
 		cnt.overloaded.Load(), cnt.full.Load())
 
 	var rs wire.ResilientStats
+	clusterMetrics := map[string]metric{}
+	if cl != nil {
+		cs := cl.Stats()
+		nodeLine := ""
+		for id, ns := range cs.PerNode {
+			rs.Retries += ns.Resilient.Retries
+			rs.Timeouts += ns.Resilient.Timeouts
+			rs.Reconnects += ns.Resilient.Reconnects
+			rs.Failovers += ns.Resilient.Failovers
+			rs.DedupMisses += ns.Resilient.DedupMisses
+			nodeLine += fmt.Sprintf(" node%d=%d", id, ns.Ops)
+			clusterMetrics[fmt.Sprintf("load_cluster_node%d_ops", id)] = metric{float64(ns.Ops), "count", "higher"}
+		}
+		fmt.Printf("bmwload: cluster redirects=%d map_refreshes=%d map_version=%d per-node ops:%s\n",
+			cs.Redirects, cs.MapRefreshes, cs.MapVersion, nodeLine)
+		clusterMetrics["load_cluster_redirects"] = metric{float64(cs.Redirects), "count", "lower"}
+		clusterMetrics["load_cluster_map_refreshes"] = metric{float64(cs.MapRefreshes), "count", "lower"}
+		clusterMetrics["load_cluster_map_version"] = metric{float64(cs.MapVersion), "count", "higher"}
+	}
 	for _, c := range clients {
 		s := c.Stats()
 		rs.Retries += s.Retries
@@ -310,6 +370,9 @@ func main() {
 		for k, m := range stageMetrics {
 			r.Metrics[k] = m
 		}
+		for k, m := range clusterMetrics {
+			r.Metrics[k] = m
+		}
 		b, err := json.MarshalIndent(r, "", "  ")
 		if err != nil {
 			fatalf("marshal report: %v", err)
@@ -330,6 +393,12 @@ func main() {
 	}
 }
 
+// doer is the worker-facing batch interface: one bmwd connection
+// (ResilientClient) or the whole cluster behind the routing client.
+type doer interface {
+	Do(ops []wire.Op) ([]wire.Result, error)
+}
+
 // workerCfg parameterises one load goroutine.
 type workerCfg struct {
 	batch    int
@@ -342,7 +411,7 @@ type workerCfg struct {
 // runWorker issues batches until ctx expires. In open-loop mode the
 // latency clock starts at the *scheduled* issue time, so a slow server
 // accrues queueing delay instead of silently omitting it.
-func runWorker(ctx context.Context, c *wire.ResilientClient, cfg workerCfg, cnt *counters, hist *obs.QuantileHistogram) {
+func runWorker(ctx context.Context, c doer, cfg workerCfg, cnt *counters, hist *obs.QuantileHistogram) {
 	ops := make([]wire.Op, cfg.batch)
 	next := time.Now().Add(cfg.offset)
 	for {

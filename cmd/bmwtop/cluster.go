@@ -1,0 +1,182 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// clusterPrefix is the metric-name prefix bmwd registers its cluster
+// gauges under.
+const clusterPrefix = "bmwd_cluster"
+
+// clusterNodeRow is one cluster node's line in the fleet view, derived
+// from that node's own /metrics.json and /readyz (scraped at the obs
+// address the cluster map advertises for it).
+type clusterNodeRow struct {
+	ID          uint32
+	Band        string
+	Obs         string // obs HTTP address from the map; "" = not advertised
+	Unreachable bool   // obs scrape failed this window
+	Role        string
+	Ready       bool
+	MapVer      float64 // the map version the node itself reports serving under
+	ReqRate     float64 // pushes+pops per second across its shards, windowed
+	Len         float64
+	ReplLag     float64
+}
+
+// clusterModel is one frame of the fleet view.
+type clusterModel struct {
+	Seed       string
+	Window     time.Duration
+	MapVersion uint64
+	Mode       string
+	Rows       []clusterNodeRow
+}
+
+// bandString renders a node's owned slice of the key space compactly.
+func bandString(m *cluster.Map, id uint32) string {
+	s, e, ok := m.Band(id)
+	if !ok {
+		return "-"
+	}
+	if m.Mode == cluster.ModeRank {
+		return fmt.Sprintf("%d..%d", s, e)
+	}
+	return fmt.Sprintf("%#x..%#x", s, e)
+}
+
+// nodeReqRate sums the windowed push+pop rate across the node's shards.
+func nodeReqRate(prev, cur obs.Snapshot, dt time.Duration) float64 {
+	total := 0.0
+	nShards := int(cur.Gauge(enginePrefix + "_shards"))
+	for i := 0; i < nShards; i++ {
+		p := fmt.Sprintf("%s_shard%d", enginePrefix, i)
+		total += rate(cur.Counter(p+"_pushes_total"), prev.Counter(p+"_pushes_total"), dt)
+		total += rate(cur.Counter(p+"_pops_total"), prev.Counter(p+"_pops_total"), dt)
+	}
+	return total
+}
+
+// buildClusterModel derives one fleet frame: the map (fetched over the
+// wire protocol from a seed) names the nodes; each row comes from that
+// node's own obs endpoint. prev/cur snapshots and probes are keyed by
+// node id; a node missing from cur was unreachable this window.
+func buildClusterModel(seed string, m *cluster.Map, prev, cur map[uint32]obs.Snapshot, probes map[uint32]map[string]any, dt time.Duration) clusterModel {
+	cm := clusterModel{
+		Seed:       seed,
+		Window:     dt,
+		MapVersion: m.Version,
+		Mode:       m.Mode.String(),
+	}
+	for _, n := range m.Nodes {
+		row := clusterNodeRow{ID: n.ID, Band: bandString(m, n.ID), Obs: n.Obs}
+		c, ok := cur[n.ID]
+		if n.Obs == "" || !ok {
+			row.Unreachable = true
+			cm.Rows = append(cm.Rows, row)
+			continue
+		}
+		row.MapVer = c.Gauge(clusterPrefix + "_map_version")
+		row.ReqRate = nodeReqRate(prev[n.ID], c, dt)
+		row.Len = c.Gauge(enginePrefix + "_len")
+		row.ReplLag = c.Gauge(replPrefix + "_lag")
+		if p := probes[n.ID]; p != nil {
+			if role, ok := p["role"].(string); ok {
+				row.Role = role
+			}
+			if ready, ok := p["ok"].(bool); ok {
+				row.Ready = ready
+			}
+		}
+		cm.Rows = append(cm.Rows, row)
+	}
+	return cm
+}
+
+// renderCluster writes one fleet frame as plain text.
+func renderCluster(w io.Writer, m clusterModel) {
+	fmt.Fprintf(w, "bmwtop — cluster via %s    map v%d (%s)    window %.1fs\n",
+		m.Seed, m.MapVersion, m.Mode, m.Window.Seconds())
+	fmt.Fprintf(w, "\n%-5s %-22s %-9s %6s %7s %10s %9s %9s %6s\n",
+		"NODE", "BAND", "ROLE", "MAPV", "READY", "REQ/S", "LEN", "LAG", "OBS")
+	for _, r := range m.Rows {
+		if r.Unreachable {
+			obsNote := "none"
+			if r.Obs != "" {
+				obsNote = "down"
+			}
+			fmt.Fprintf(w, "%-5d %-22s %-9s %6s %7s %10s %9s %9s %6s\n",
+				r.ID, r.Band, "?", "?", "?", "-", "-", "-", obsNote)
+			continue
+		}
+		ready := "no"
+		if r.Ready {
+			ready = "yes"
+		}
+		role := r.Role
+		if role == "" {
+			role = "?"
+		}
+		fmt.Fprintf(w, "%-5d %-22s %-9s %6.0f %7s %10s %9.0f %9.0f %6s\n",
+			r.ID, r.Band, role, r.MapVer, ready, fmtRate(r.ReqRate), r.Len, r.ReplLag, "up")
+	}
+}
+
+// runCluster is the -cluster main loop: refetch the map each frame (a
+// promotion or rebalance shows up as the version changing between
+// frames), scrape every node's obs endpoint, and render the fleet.
+func runCluster(seed string, interval time.Duration, once bool) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	scrape := func(m *cluster.Map) (map[uint32]obs.Snapshot, map[uint32]map[string]any) {
+		snaps := map[uint32]obs.Snapshot{}
+		probes := map[uint32]map[string]any{}
+		for _, n := range m.Nodes {
+			if n.Obs == "" {
+				continue
+			}
+			base := "http://" + n.Obs
+			s, err := fetchSnapshot(client, base)
+			if err != nil {
+				continue
+			}
+			snaps[n.ID] = s
+			probes[n.ID] = fetchProbe(client, base)
+		}
+		return snaps, probes
+	}
+
+	m, err := cluster.FetchMap(seed, 0, 5*time.Second)
+	if err != nil {
+		fatalf("cannot fetch cluster map from %s: %v", seed, err)
+	}
+	if m == nil {
+		fatalf("%s serves no cluster map (bmwd without -cluster-map?)", seed)
+	}
+	prev, _ := scrape(m)
+	prevAt := time.Now()
+
+	for {
+		time.Sleep(interval)
+		if nm, err := cluster.FetchMap(seed, 0, 5*time.Second); err == nil && nm != nil {
+			m = nm
+		}
+		cur, probes := scrape(m)
+		now := time.Now()
+		cm := buildClusterModel(seed, m, prev, cur, probes, now.Sub(prevAt))
+		if !once {
+			fmt.Print("\x1b[H\x1b[2J")
+		}
+		renderCluster(os.Stdout, cm)
+		if once {
+			return
+		}
+		prev, prevAt = cur, now
+	}
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// testClusterMap is a two-node rank map: node 1 reachable with a full
+// metric set, node 5 advertising no obs address.
+func testClusterMap() *cluster.Map {
+	return &cluster.Map{
+		Version:  4,
+		Mode:     cluster.ModeRank,
+		RankBits: 20,
+		Nodes: []cluster.Node{
+			{ID: 1, Epoch: 1, Start: 0, Addrs: []string{"127.0.0.1:1"}, Obs: "127.0.0.1:91"},
+			{ID: 5, Epoch: 2, Start: 1 << 19, Addrs: []string{"127.0.0.1:2"}},
+		},
+	}
+}
+
+func TestBuildClusterModel(t *testing.T) {
+	prev, cur := snapPair(t, func(reg *obs.Registry) func() {
+		reg.GaugeFunc(enginePrefix+"_shards", func() float64 { return 2 })
+		reg.GaugeFunc(enginePrefix+"_len", func() float64 { return 12 })
+		reg.GaugeFunc(replPrefix+"_lag", func() float64 { return 3 })
+		reg.GaugeFunc(clusterPrefix+"_map_version", func() float64 { return 4 })
+		p0 := reg.Counter(enginePrefix + "_shard0_pushes_total")
+		o1 := reg.Counter(enginePrefix + "_shard1_pops_total")
+		return func() {
+			p0.Add(120)
+			o1.Add(80)
+		}
+	})
+	m := testClusterMap()
+	cm := buildClusterModel("seed:1", m,
+		map[uint32]obs.Snapshot{1: prev},
+		map[uint32]obs.Snapshot{1: cur},
+		map[uint32]map[string]any{1: {"role": "primary", "ok": true}},
+		2*time.Second)
+
+	if cm.MapVersion != 4 || cm.Mode != "rank" || len(cm.Rows) != 2 {
+		t.Fatalf("model header: %+v", cm)
+	}
+	r := cm.Rows[0]
+	if r.ID != 1 || r.Unreachable {
+		t.Fatalf("row 0: %+v", r)
+	}
+	if r.Band != "0..524287" {
+		t.Errorf("band = %q", r.Band)
+	}
+	if r.Role != "primary" || !r.Ready || r.MapVer != 4 {
+		t.Errorf("probe fields: %+v", r)
+	}
+	if r.ReqRate != 100 { // (120 pushes + 80 pops) / 2s
+		t.Errorf("req rate = %v, want 100", r.ReqRate)
+	}
+	if r.Len != 12 || r.ReplLag != 3 {
+		t.Errorf("len/lag: %+v", r)
+	}
+	// The node with no obs address renders as unreachable, not omitted:
+	// a fleet view that silently drops nodes hides exactly the outages
+	// it exists to show.
+	if !cm.Rows[1].Unreachable || cm.Rows[1].ID != 5 {
+		t.Fatalf("row 1: %+v", cm.Rows[1])
+	}
+}
+
+func TestBuildClusterModelScrapeFailure(t *testing.T) {
+	// A node that advertises obs but did not answer this window (absent
+	// from cur) is marked unreachable.
+	m := testClusterMap()
+	cm := buildClusterModel("seed:1", m, nil, nil, nil, time.Second)
+	if len(cm.Rows) != 2 || !cm.Rows[0].Unreachable || !cm.Rows[1].Unreachable {
+		t.Fatalf("rows: %+v", cm.Rows)
+	}
+}
+
+func TestRenderCluster(t *testing.T) {
+	cm := clusterModel{
+		Seed:       "127.0.0.1:9970",
+		Window:     time.Second,
+		MapVersion: 4,
+		Mode:       "rank",
+		Rows: []clusterNodeRow{
+			{ID: 1, Band: "0..524287", Obs: "127.0.0.1:91", Role: "primary", Ready: true, MapVer: 4, ReqRate: 12345, Len: 12, ReplLag: 3},
+			{ID: 5, Band: "524288..1048575", Obs: "127.0.0.1:92", Unreachable: true},
+			{ID: 9, Band: "-", Unreachable: true}, // no obs advertised at all
+		},
+	}
+	var b strings.Builder
+	renderCluster(&b, cm)
+	out := b.String()
+
+	for _, want := range []string{
+		"map v4 (rank)",
+		"NODE", "BAND", "ROLE", "MAPV", "READY", "REQ/S", "LAG",
+		"primary", "0..524287", "yes",
+		"down", // advertised obs, scrape failed
+		"none", // no obs advertised
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "\n") < 5 {
+		t.Fatalf("render too short:\n%s", out)
+	}
+}

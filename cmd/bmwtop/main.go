@@ -12,6 +12,13 @@
 //	bmwtop -addr 127.0.0.1:9971              # refresh every second
 //	bmwtop -addr 127.0.0.1:9971 -interval 5s
 //	bmwtop -addr 127.0.0.1:9971 -once        # one frame, no ANSI, pipeable
+//	bmwtop -cluster 127.0.0.1:9970           # per-node fleet view via the cluster map
+//
+// With -cluster, bmwtop fetches the cluster map over the wire protocol
+// from the given bmwd, then scrapes every node's advertised obs
+// address and renders one row per node: role, owned band, the map
+// version it serves under, windowed request rate, queue length,
+// replication lag and readiness.
 package main
 
 import (
@@ -87,6 +94,7 @@ func fetchProbe(c *http.Client, base string) map[string]any {
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:9971", "bmwd observability HTTP address (its -http flag)")
+		clSeed   = flag.String("cluster", "", "bmwd wire address to fetch the cluster map from; renders a per-node fleet view instead of one daemon")
 		interval = flag.Duration("interval", time.Second, "poll and refresh interval")
 		once     = flag.Bool("once", false, "render a single frame (one interval window) and exit")
 		version  = flag.Bool("version", false, "print version and exit")
@@ -94,6 +102,10 @@ func main() {
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.Version("bmwtop"))
+		return
+	}
+	if *clSeed != "" {
+		runCluster(*clSeed, *interval, *once)
 		return
 	}
 

@@ -1,0 +1,575 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// headEmpty is the cached head of a node believed empty — the same
+// sentinel the engine publishes for an empty shard, one level up.
+const headEmpty = math.MaxUint64
+
+// Options parameterises a cluster Client.
+type Options struct {
+	// Seeds are addresses to fetch the bootstrap map from, tried in
+	// order, when Map is nil. Any cluster node serves its map.
+	Seeds []string
+	// Map is a static bootstrap map; set, it skips the seed fetch.
+	Map *Map
+	// RequestTimeout, MaxAttempts, BaseDelay and MaxDelay pass through
+	// to the per-node ResilientClients (their defaults apply).
+	RequestTimeout time.Duration
+	MaxAttempts    int
+	BaseDelay      time.Duration
+	MaxDelay       time.Duration
+	// RedirectMax bounds the refresh-and-re-route rounds a push batch
+	// gets after StatusNotOwner redirects (default 4); past it the
+	// refusal is surfaced to the caller.
+	RedirectMax int
+	// FetchTimeout bounds each map fetch round trip (default 2s).
+	FetchTimeout time.Duration
+}
+
+// NodeStats is one node's slice of the client's traffic.
+type NodeStats struct {
+	// Ops counts wire operations sent to the node (pushes, pops, and
+	// the merge's peek probes).
+	Ops    uint64
+	Pushes uint64
+	Pops   uint64
+	// Resilient are the node connection's retry/failover counters.
+	Resilient wire.ResilientStats
+}
+
+// Stats snapshots the client's routing counters.
+type Stats struct {
+	// MapVersion is the cluster-map version currently routed by.
+	MapVersion uint64
+	// Redirects counts ops refused with StatusNotOwner and re-routed.
+	Redirects uint64
+	// MapRefreshes counts map-refresh sweeps (redirects and explicit
+	// Refresh calls).
+	MapRefreshes uint64
+	// PerNode is keyed by node id.
+	PerNode map[uint32]NodeStats
+}
+
+// nodeConn is one replica group's connection state.
+type nodeConn struct {
+	rc                *wire.ResilientClient
+	addrs             []string
+	ops, pushes, pops atomic.Uint64
+}
+
+// Client routes queue operations across a cluster: pushes go straight
+// to the owner node under the live map (retrying StatusNotOwner
+// redirects with a map refresh), and PopMin is the cross-node strict
+// merge — an atomically-refreshed per-node head cache, drained from
+// the globally minimal head, mirroring the engine's merge across
+// shards. Each node gets one ResilientClient (failover order =
+// Addrs), so a node-local failover is absorbed below the routing
+// layer while a map change re-points it. Safe for concurrent use;
+// under concurrent callers the merge is exact per node and
+// best-effort globally, exactly like the engine's intra-process merge
+// under concurrent submitters.
+type Client struct {
+	opts Options
+
+	redirects atomic.Uint64
+	refreshes atomic.Uint64
+
+	mu     sync.Mutex
+	m      *Map
+	nodes  map[uint32]*nodeConn
+	heads  map[uint32]uint64 // cached head rank by node id; absent = unknown
+	closed bool
+}
+
+// NewClient resolves the bootstrap map (static or fetched from the
+// seeds) and returns a routing client. Connections dial lazily.
+func NewClient(opts Options) (*Client, error) {
+	if opts.RedirectMax <= 0 {
+		opts.RedirectMax = 4
+	}
+	if opts.FetchTimeout <= 0 {
+		opts.FetchTimeout = 2 * time.Second
+	}
+	c := &Client{opts: opts, nodes: map[uint32]*nodeConn{}, heads: map[uint32]uint64{}}
+	switch {
+	case opts.Map != nil:
+		if err := opts.Map.Validate(); err != nil {
+			return nil, err
+		}
+		c.m = opts.Map.Clone()
+	case len(opts.Seeds) > 0:
+		var lastErr error
+		for _, addr := range opts.Seeds {
+			m, err := FetchMap(addr, 0, opts.FetchTimeout)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if m != nil {
+				c.m = m
+				break
+			}
+		}
+		if c.m == nil {
+			return nil, fmt.Errorf("cluster: no map from any seed: %w", lastErr)
+		}
+	default:
+		return nil, errors.New("cluster: client needs a map or seed addresses")
+	}
+	return c, nil
+}
+
+// Close tears down every node connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, nc := range c.nodes {
+		nc.rc.Close()
+	}
+}
+
+// Map snapshots the live routing map. Callers must not mutate it.
+func (c *Client) Map() *Map {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m
+}
+
+// Stats snapshots the routing counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		MapVersion:   c.m.Version,
+		Redirects:    c.redirects.Load(),
+		MapRefreshes: c.refreshes.Load(),
+		PerNode:      map[uint32]NodeStats{},
+	}
+	for id, nc := range c.nodes {
+		s.PerNode[id] = NodeStats{
+			Ops:       nc.ops.Load(),
+			Pushes:    nc.pushes.Load(),
+			Pops:      nc.pops.Load(),
+			Resilient: nc.rc.Stats(),
+		}
+	}
+	return s
+}
+
+// node returns (building if needed) the connection for map node n.
+func (c *Client) node(n *Node) (*nodeConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, wire.ErrConnClosed
+	}
+	if nc := c.nodes[n.ID]; nc != nil {
+		return nc, nil
+	}
+	rc, err := wire.NewResilientClient(wire.ResilientOptions{
+		Addrs:          n.Addrs,
+		RequestTimeout: c.opts.RequestTimeout,
+		MaxAttempts:    c.opts.MaxAttempts,
+		BaseDelay:      c.opts.BaseDelay,
+		MaxDelay:       c.opts.MaxDelay,
+		Conn: wire.ClientOptions{
+			ReadTimeout:  c.opts.RequestTimeout,
+			WriteTimeout: c.opts.RequestTimeout,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	nc := &nodeConn{rc: rc, addrs: append([]string(nil), n.Addrs...)}
+	c.nodes[n.ID] = nc
+	return nc, nil
+}
+
+// adopt installs a newer map: node connections whose address lists
+// changed are re-pointed (the live conn survives until it fails),
+// connections for departed nodes are closed, and their cached heads
+// dropped. Heads of surviving nodes stay — a map change moves
+// ownership of future pushes, not the elements already queued.
+func (c *Client) adopt(m *Map) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if Compare(m, c.m) <= 0 {
+		return
+	}
+	c.m = m
+	present := map[uint32]bool{}
+	for i := range m.Nodes {
+		n := &m.Nodes[i]
+		present[n.ID] = true
+		if nc := c.nodes[n.ID]; nc != nil && !sameAddrs(nc.addrs, n.Addrs) {
+			nc.rc.SetAddrs(n.Addrs)
+			nc.addrs = append([]string(nil), n.Addrs...)
+		}
+	}
+	for id, nc := range c.nodes {
+		if !present[id] {
+			nc.rc.Close()
+			delete(c.nodes, id)
+			delete(c.heads, id)
+		}
+	}
+}
+
+func sameAddrs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Refresh sweeps the cluster (current map addresses, then seeds) for a
+// map newer than the one held, adopting the newest found. minVersion
+// is the version a redirect told us exists; the sweep stops early once
+// it is reached.
+func (c *Client) Refresh(minVersion uint64) {
+	c.refreshes.Add(1)
+	cur := c.Map()
+	var addrs []string
+	seen := map[string]bool{}
+	for _, n := range cur.Nodes {
+		for _, a := range n.Addrs {
+			if !seen[a] {
+				seen[a] = true
+				addrs = append(addrs, a)
+			}
+		}
+	}
+	for _, a := range c.opts.Seeds {
+		if !seen[a] {
+			seen[a] = true
+			addrs = append(addrs, a)
+		}
+	}
+	var best *Map
+	for _, a := range addrs {
+		m, err := FetchMap(a, cur.Version, c.opts.FetchTimeout)
+		if err != nil || m == nil {
+			continue
+		}
+		if best == nil || Compare(m, best) > 0 {
+			best = m
+		}
+		if best.Version >= minVersion {
+			break
+		}
+	}
+	if best != nil {
+		c.adopt(best)
+	}
+}
+
+// Do executes a batch of operations across the cluster and returns one
+// result per op, in order. Like engine.Submit, the ops in one batch
+// are logically concurrent: pushes fan out to their owner nodes in
+// parallel, then pops and peeks run through the strict merge. An error
+// is terminal for the whole call (a node unreachable within its retry
+// budget, or an indeterminate retry — wire.ErrDedupMiss).
+func (c *Client) Do(ops []wire.Op) ([]wire.Result, error) {
+	results := make([]wire.Result, len(ops))
+	var pushes []int
+	for i, op := range ops {
+		if op.Kind == wire.OpPush {
+			pushes = append(pushes, i)
+		}
+	}
+	if err := c.doPushes(ops, pushes, results); err != nil {
+		return nil, err
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case wire.OpPop:
+			r, err := c.PopMin()
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		case wire.OpPeek:
+			r, err := c.PeekMin()
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+	}
+	return results, nil
+}
+
+// Push routes one push to its owner.
+func (c *Client) Push(value, meta uint64) (wire.Result, error) {
+	ops := []wire.Op{{Kind: wire.OpPush, Value: value, Meta: meta}}
+	results := make([]wire.Result, 1)
+	if err := c.doPushes(ops, []int{0}, results); err != nil {
+		return wire.Result{}, err
+	}
+	return results[0], nil
+}
+
+// doPushes routes ops[idxs] to their owners, in parallel per node,
+// re-routing StatusNotOwner refusals after a map refresh for up to
+// RedirectMax rounds. Unresolved refusals keep their StatusNotOwner
+// result — the caller sees the disagreement instead of an op silently
+// dropped.
+func (c *Client) doPushes(ops []wire.Op, idxs []int, results []wire.Result) error {
+	pending := idxs
+	for round := 0; len(pending) > 0; round++ {
+		m := c.Map()
+		groups := map[int][]int{}
+		for _, i := range pending {
+			op := ops[i]
+			groups[m.NodeFor(m.KeyOf(op.Value, op.Meta))] = append(groups[m.NodeFor(m.KeyOf(op.Value, op.Meta))], i)
+		}
+		var (
+			wg       sync.WaitGroup
+			gmu      sync.Mutex
+			firstErr error
+			retry    []int
+			maxVer   uint64
+		)
+		for ni, gidx := range groups {
+			nc, err := c.node(&m.Nodes[ni])
+			if err != nil {
+				return err
+			}
+			wg.Add(1)
+			go func(id uint32, nc *nodeConn, gidx []int) {
+				defer wg.Done()
+				batch := make([]wire.Op, len(gidx))
+				for k, i := range gidx {
+					batch[k] = ops[i]
+				}
+				res, err := nc.rc.Do(batch)
+				nc.ops.Add(uint64(len(batch)))
+				gmu.Lock()
+				defer gmu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				if len(res) != len(gidx) {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("cluster: node %d answered %d results for %d ops", id, len(res), len(gidx))
+					}
+					return
+				}
+				for k, r := range res {
+					i := gidx[k]
+					if r.Status == wire.StatusNotOwner {
+						retry = append(retry, i)
+						if r.Value > maxVer {
+							maxVer = r.Value
+						}
+						results[i] = r
+						continue
+					}
+					results[i] = r
+					if r.Status == wire.StatusOK {
+						nc.pushes.Add(1)
+						c.noteOwnPush(id, ops[i].Value)
+					}
+				}
+			}(m.Nodes[ni].ID, nc, gidx)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return firstErr
+		}
+		if len(retry) == 0 {
+			return nil
+		}
+		if round >= c.opts.RedirectMax {
+			// Results already carry StatusNotOwner for the leftovers.
+			return nil
+		}
+		c.redirects.Add(uint64(len(retry)))
+		c.Refresh(maxVer)
+		pending = retry
+	}
+	return nil
+}
+
+// noteOwnPush folds the client's own acknowledged push into the head
+// cache: a sequential caller's next PopMin sees its own write without
+// an extra probe round trip.
+func (c *Client) noteOwnPush(id uint32, value uint64) {
+	c.mu.Lock()
+	if h, ok := c.heads[id]; ok && value < h {
+		c.heads[id] = value
+	}
+	c.mu.Unlock()
+}
+
+// PopMin pops the cluster's global minimum: probe any node whose head
+// is unknown, drain from the node holding the smallest cached head,
+// and fold the pop's piggybacked peek back into the cache. A pop that
+// loses a stale-head race (the believed-minimal node answers empty)
+// corrects that head and retries against the next; when every head
+// reads empty, one full re-probe round confirms before StatusEmpty is
+// returned. Exact for a sequential caller; exact per node and
+// best-effort globally under concurrency, like the engine's merge.
+func (c *Client) PopMin() (wire.Result, error) {
+	confirmedEmpty := false
+	m := c.Map()
+	for attempt := 0; attempt < 16+4*len(m.Nodes); attempt++ {
+		m = c.Map()
+		if err := c.ensureHeads(m); err != nil {
+			return wire.Result{}, err
+		}
+		id, head := c.minHead(m)
+		if head == headEmpty {
+			if confirmedEmpty {
+				return wire.Result{Status: wire.StatusEmpty}, nil
+			}
+			// Believed empty everywhere — re-probe every node once to
+			// rule out staleness before reporting empty.
+			c.mu.Lock()
+			c.heads = map[uint32]uint64{}
+			c.mu.Unlock()
+			confirmedEmpty = true
+			continue
+		}
+		n := m.ByID(id)
+		if n == nil {
+			continue // map changed under us; re-snapshot
+		}
+		nc, err := c.node(n)
+		if err != nil {
+			return wire.Result{}, err
+		}
+		res, err := nc.rc.Do([]wire.Op{{Kind: wire.OpPop}, {Kind: wire.OpPeek}})
+		nc.ops.Add(2)
+		if err != nil {
+			return wire.Result{}, err
+		}
+		if len(res) != 2 {
+			return wire.Result{}, fmt.Errorf("cluster: node %d answered %d results for pop+peek", id, len(res))
+		}
+		c.setHead(id, res[1])
+		r := res[0]
+		if r.Status == wire.StatusEmpty {
+			// Stale-head race: the cache said this node held the
+			// minimum, the node disagreed. Its head is corrected from
+			// the piggyback; try the next-best node.
+			confirmedEmpty = false
+			continue
+		}
+		if r.Status == wire.StatusOK {
+			nc.pops.Add(1)
+		}
+		return r, nil
+	}
+	return wire.Result{}, errors.New("cluster: pop did not converge (heads churning faster than probes)")
+}
+
+// PeekMin reads the cluster's global minimum without removing it,
+// probing every node fresh.
+func (c *Client) PeekMin() (wire.Result, error) {
+	m := c.Map()
+	c.mu.Lock()
+	c.heads = map[uint32]uint64{}
+	c.mu.Unlock()
+	if err := c.ensureHeads(m); err != nil {
+		return wire.Result{}, err
+	}
+	_, head := c.minHead(m)
+	if head == headEmpty {
+		return wire.Result{Status: wire.StatusEmpty}, nil
+	}
+	return wire.Result{Status: wire.StatusOK, Value: head}, nil
+}
+
+// ensureHeads probes (in parallel) every map node whose head is not
+// cached.
+func (c *Client) ensureHeads(m *Map) error {
+	var unknown []*Node
+	c.mu.Lock()
+	for i := range m.Nodes {
+		if _, ok := c.heads[m.Nodes[i].ID]; !ok {
+			unknown = append(unknown, &m.Nodes[i])
+		}
+	}
+	c.mu.Unlock()
+	if len(unknown) == 0 {
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		gmu      sync.Mutex
+		firstErr error
+	)
+	for _, n := range unknown {
+		nc, err := c.node(n)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(id uint32, nc *nodeConn) {
+			defer wg.Done()
+			res, err := nc.rc.Do([]wire.Op{{Kind: wire.OpPeek}})
+			nc.ops.Add(1)
+			if err != nil || len(res) != 1 {
+				gmu.Lock()
+				if firstErr == nil {
+					if err == nil {
+						err = fmt.Errorf("cluster: node %d answered %d results for peek", id, len(res))
+					}
+					firstErr = err
+				}
+				gmu.Unlock()
+				return
+			}
+			c.setHead(id, res[0])
+		}(n.ID, nc)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// setHead folds a peek result into the head cache.
+func (c *Client) setHead(id uint32, r wire.Result) {
+	c.mu.Lock()
+	if r.Status == wire.StatusOK {
+		c.heads[id] = r.Value
+	} else {
+		c.heads[id] = headEmpty
+	}
+	c.mu.Unlock()
+}
+
+// minHead returns the node id holding the smallest cached head
+// (headEmpty when every cached head is empty). Nodes missing from the
+// cache are ignored — callers ensureHeads first.
+func (c *Client) minHead(m *Map) (uint32, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bestID, best := uint32(0), uint64(headEmpty)
+	for i := range m.Nodes {
+		id := m.Nodes[i].ID
+		if h, ok := c.heads[id]; ok && h < best {
+			bestID, best = id, h
+		}
+	}
+	return bestID, best
+}

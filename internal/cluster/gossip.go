@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// FetchMap dials addr and asks for a map newer than since (version 0
+// fetches unconditionally). It returns (nil, nil) when the peer has
+// nothing newer. One throwaway connection per call — map refresh is a
+// control-plane rarity, not a hot path.
+func FetchMap(addr string, since uint64, timeout time.Duration) (*Map, error) {
+	payload, err := exchange(addr, wire.TClusterHello, wire.AppendClusterHello(nil, since), timeout)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) == 0 {
+		return nil, nil
+	}
+	return Decode(payload)
+}
+
+// OfferMap pushes m to addr (the gossip write) and returns the peer's
+// map when the peer answered with one of its own — the peer holding
+// something newer. (nil, nil) means the peer accepted or already knew.
+func OfferMap(addr string, m *Map, timeout time.Duration) (*Map, error) {
+	payload, err := exchange(addr, wire.TClusterMap, m.Encode(nil), timeout)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) == 0 {
+		return nil, nil
+	}
+	return Decode(payload)
+}
+
+// exchange runs one request/response round trip on a fresh connection.
+func exchange(addr string, typ wire.Type, payload []byte, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := wire.WriteFrame(conn, typ, 1, payload); err != nil {
+		return nil, err
+	}
+	f, err := wire.ReadFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	switch f.Type {
+	case wire.TClusterMap:
+		return append([]byte(nil), f.Payload...), nil
+	case wire.TError:
+		msg := ""
+		if len(f.Payload) > 1 {
+			msg = string(f.Payload[1:])
+		}
+		return nil, fmt.Errorf("cluster: peer %s refused: %s", addr, msg)
+	}
+	return nil, fmt.Errorf("cluster: peer %s answered frame type %d", addr, f.Type)
+}
+
+// GossiperConfig parameterises a node's map-gossip loop.
+type GossiperConfig struct {
+	// State is the node's cluster state.
+	State *State
+	// SelfAddrs are this process's own listen addresses, excluded from
+	// the peer sweep (a node's standby is a peer of its primary — the
+	// standby must track epoch bumps elsewhere in the cluster so it
+	// holds a current map at promotion).
+	SelfAddrs []string
+	// Interval is the sweep period (default 2s). Kick forces an
+	// immediate sweep — promotion and rebalance use it so a new map
+	// spreads in one round trip instead of one period.
+	Interval time.Duration
+	// Timeout bounds each peer exchange (default 2s).
+	Timeout time.Duration
+	// Logf, when set, receives diagnostic lines.
+	Logf func(format string, args ...any)
+}
+
+// Gossiper spreads map changes: each sweep offers the live map to
+// every address in it (minus this process's own), adopting anything
+// newer a peer answers with. Version dominance makes it convergent —
+// a sweep is idempotent once everyone holds the newest map.
+type Gossiper struct {
+	cfg   GossiperConfig
+	kick  chan struct{}
+	stop  chan struct{}
+	done  chan struct{}
+	self  map[string]bool
+	fails atomic.Uint64
+}
+
+// NewGossiper builds the loop; call Run (usually in a goroutine).
+func NewGossiper(cfg GossiperConfig) *Gossiper {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	g := &Gossiper{
+		cfg:  cfg,
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+		self: map[string]bool{},
+	}
+	for _, a := range cfg.SelfAddrs {
+		g.self[a] = true
+	}
+	return g
+}
+
+// Kick requests an immediate sweep (coalesced if one is pending).
+func (g *Gossiper) Kick() {
+	select {
+	case g.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Fails counts failed peer exchanges (dead peers during a sweep are
+// expected — the sweep carries on to the rest).
+func (g *Gossiper) Fails() uint64 { return g.fails.Load() }
+
+// Run sweeps until Stop.
+func (g *Gossiper) Run() {
+	defer close(g.done)
+	t := time.NewTicker(g.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+		case <-g.kick:
+		}
+		g.sweep()
+	}
+}
+
+// Stop ends the loop and waits for the in-flight sweep.
+func (g *Gossiper) Stop() {
+	select {
+	case <-g.stop:
+	default:
+		close(g.stop)
+	}
+	<-g.done
+}
+
+// sweep offers the live map to every peer address it names.
+func (g *Gossiper) sweep() {
+	m := g.cfg.State.Current()
+	for _, n := range m.Nodes {
+		for _, addr := range n.Addrs {
+			if g.self[addr] {
+				continue
+			}
+			reply, err := OfferMap(addr, m, g.cfg.Timeout)
+			if err != nil {
+				g.fails.Add(1)
+				continue
+			}
+			if reply != nil && g.cfg.State.Offer(reply) {
+				if g.cfg.Logf != nil {
+					g.cfg.Logf("cluster: adopted map version %d from %s", reply.Version, addr)
+				}
+				// The adopted map may name peers this sweep's snapshot
+				// did not; the next sweep covers them.
+				m = g.cfg.State.Current()
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// State is one node's view of the cluster: the current map plus this
+// node's identity in it. It backs the wire server's ownership gate and
+// cluster-map handlers, and it is where promotion mints the successor
+// map. All methods are safe for concurrent use; readers (the ownership
+// gate on the request hot path) pay one atomic load.
+type State struct {
+	self uint32
+
+	mu  sync.Mutex // serialises adopters; readers go through cur
+	cur atomic.Pointer[Map]
+
+	adopts atomic.Uint64
+
+	onChange func(*Map)
+}
+
+// NewState validates m and binds it to this node's id. The id must
+// appear in the map — a node that cannot find itself would refuse all
+// traffic, which is a deployment error worth failing fast on.
+func NewState(m *Map, self uint32) (*State, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if m.ByID(self) == nil {
+		return nil, fmt.Errorf("cluster: node id %d not in map version %d", self, m.Version)
+	}
+	st := &State{self: self}
+	st.cur.Store(m.Clone())
+	return st, nil
+}
+
+// SetOnChange installs a callback fired (from the adopting goroutine)
+// after each map change — adoption or self-promotion. Call before the
+// state sees traffic.
+func (st *State) SetOnChange(f func(*Map)) { st.onChange = f }
+
+// Self returns this node's id.
+func (st *State) Self() uint32 { return st.self }
+
+// Current returns the live map. Callers must not mutate it.
+func (st *State) Current() *Map { return st.cur.Load() }
+
+// Version returns the live map's version.
+func (st *State) Version() uint64 { return st.cur.Load().Version }
+
+// Adopts counts maps adopted from peers (gossip or direct offers).
+func (st *State) Adopts() uint64 { return st.adopts.Load() }
+
+// Owns reports whether this node owns the push (value, meta) under the
+// live map, along with that map's version — the pair the wire server's
+// OwnerGate forwards as a StatusNotOwner redirect when ownership
+// fails. A map that no longer lists this node owns it nothing: that is
+// ownership transfer mid-flight, and refusing with the new version is
+// exactly what re-routes the client.
+func (st *State) Owns(value, meta uint64) (bool, uint64) {
+	m := st.cur.Load()
+	return m.Owner(m.KeyOf(value, meta)).ID == st.self, m.Version
+}
+
+// EncodedIfNewer returns the live map's encoding when it is newer than
+// since, nil otherwise — the TClusterHello answer.
+func (st *State) EncodedIfNewer(since uint64) []byte {
+	m := st.cur.Load()
+	if m.Version <= since {
+		return nil
+	}
+	return m.Encode(nil)
+}
+
+// Offer proposes a map for adoption and reports whether it replaced
+// the live one (strictly newer under Compare). The offered map is
+// cloned on adoption, so the caller keeps ownership of its copy.
+func (st *State) Offer(m *Map) bool {
+	if err := m.Validate(); err != nil {
+		return false
+	}
+	st.mu.Lock()
+	if Compare(m, st.cur.Load()) <= 0 {
+		st.mu.Unlock()
+		return false
+	}
+	c := m.Clone()
+	st.cur.Store(c)
+	st.mu.Unlock()
+	st.adopts.Add(1)
+	if st.onChange != nil {
+		st.onChange(c)
+	}
+	return true
+}
+
+// OfferEncoded is the wire server's ClusterSink: it decodes and maybe
+// adopts a gossiped map, and returns the local map's encoding when the
+// local one is the newer of the two (nil otherwise), converging both
+// peers in one exchange. Undecodable bytes adopt nothing and answer
+// with the local map — a corrupt offer is a peer worth healing.
+func (st *State) OfferEncoded(p []byte) []byte {
+	m, err := Decode(p)
+	if err != nil {
+		return st.cur.Load().Encode(nil)
+	}
+	st.Offer(m)
+	if cur := st.cur.Load(); Compare(cur, m) > 0 {
+		return cur.Encode(nil)
+	}
+	return nil
+}
+
+// PromoteSelf mints and installs the failover successor map: this
+// node's epoch and the map version both bump, so every peer and client
+// that hears about it knows the group's serving head moved. It returns
+// the new map (for logging and an immediate gossip push). Called from
+// the replication layer's promotion path.
+func (st *State) PromoteSelf() *Map {
+	st.mu.Lock()
+	c := st.cur.Load().Clone()
+	c.Version++
+	if n := c.ByID(st.self); n != nil {
+		n.Epoch++
+	}
+	st.cur.Store(c)
+	st.mu.Unlock()
+	if st.onChange != nil {
+		st.onChange(c)
+	}
+	return c
+}

@@ -247,10 +247,14 @@ type shard struct {
 
 	// Published state, written by the shard after each drained batch
 	// and read by routers: queue length, smallest rank (emptyHead when
-	// empty), the almost-full backpressure signal, and the overload
-	// admission gate.
+	// empty) with its metadata, the almost-full backpressure signal,
+	// and the overload admission gate. headV/headM are separate words,
+	// so a reader racing a drain can see a (value, meta) pair from two
+	// different heads; PeekMin documents that tear — merge routing keys
+	// on Value alone.
 	length     atomic.Int64
 	headV      atomic.Uint64
+	headM      atomic.Uint64
 	almostFull atomic.Bool
 	overloaded atomic.Bool
 	// overUntil is the UnixNano deadline of the overload latch,
@@ -431,6 +435,31 @@ func (e *Engine) routePop() int {
 		}
 	}
 	return best
+}
+
+// PeekMin returns the engine's current global minimum — the smallest
+// published shard head — without removing it, or ok=false when every
+// shard publishes empty. It is the node-local half of the cluster's
+// cross-node strict-merge PopMin: a client probes each node's minimum
+// with this (via the wire protocol's OpPeek) and drains from the
+// globally minimal head, mirroring routePop's merge across shards one
+// level up. The read is advisory, exactly like routePop's snapshot:
+// concurrent mutators can change the head before the caller acts, and
+// the returned Meta may be torn relative to Value when a drain races
+// the read (the merge keys on Value alone).
+func (e *Engine) PeekMin() (core.Element, bool) {
+	best := core.Element{Value: emptyHead}
+	ok := false
+	for _, s := range e.shards {
+		if s.length.Load() == 0 {
+			continue
+		}
+		if v := s.headV.Load(); !ok || v < best.Value {
+			best = core.Element{Value: v, Meta: s.headM.Load()}
+			ok = true
+		}
+	}
+	return best, ok
 }
 
 // Submit routes each operation to its shard, enqueues the per-shard
@@ -731,8 +760,10 @@ func (s *shard) publish() {
 	s.length.Store(int64(s.q.Len()))
 	if el, err := s.q.Peek(); err == nil {
 		s.headV.Store(el.Value)
+		s.headM.Store(el.Meta)
 	} else {
 		s.headV.Store(emptyHead)
+		s.headM.Store(0)
 	}
 	af := s.q.AlmostFull()
 	if s.almostFull.Swap(af) != af {

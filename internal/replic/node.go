@@ -62,6 +62,10 @@ type Config struct {
 	// Called from replication goroutines — keep it non-blocking (e.g.
 	// IncidentCapturer.CaptureAsync).
 	OnIncident func(trigger, reason string)
+	// OnPromote, when set, fires after a promotion completes — the node
+	// is primary and serving. The cluster layer hooks it to bump its
+	// map epoch and gossip the successor map so clients re-route.
+	OnPromote func()
 }
 
 func (c Config) withDefaults() Config {
@@ -758,6 +762,9 @@ func (n *Node) finishPromotion() {
 	n.transition("promoted", n.streamPos.Load(), n.log.Seq())
 	n.event(slog.LevelInfo, "replic: promoted to primary",
 		"stream_seq", n.streamPos.Load(), "log_seq", n.log.Seq())
+	if n.cfg.OnPromote != nil {
+		n.cfg.OnPromote()
+	}
 }
 
 // streamOnce runs one attach-stream-apply session against the primary.

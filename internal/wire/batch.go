@@ -16,6 +16,14 @@ type OpKind uint8
 const (
 	OpPush OpKind = 1
 	OpPop  OpKind = 2
+	// OpPeek returns the server's current global minimum (StatusOK with
+	// the element, or StatusEmpty) without removing it. It is the
+	// cluster client's head probe: cross-node strict-merge PopMin keeps
+	// a per-node head cache and drains from the globally minimal head,
+	// so a cheap non-mutating read of each node's minimum is what makes
+	// the merge affordable. Peeks mutate nothing and are never
+	// replicated.
+	OpPeek OpKind = 3
 )
 
 // Op is one queue operation in a TBatch payload.
@@ -58,10 +66,16 @@ const (
 	// operation's fate as indeterminate. With a sane window this only
 	// fires on protocol misuse.
 	StatusDedupMiss Status = 8
+	// StatusNotOwner: this node does not own the cluster key-space slice
+	// the push routes to. Per-op, never connection-fatal; the result's
+	// Value carries the node's current cluster-map version, so a client
+	// holding an older map knows a refresh will re-route the op and a
+	// client already at that version knows the disagreement is real.
+	StatusNotOwner Status = 9
 )
 
 // maxStatus is the largest defined status, for decode validation.
-const maxStatus = StatusDedupMiss
+const maxStatus = StatusNotOwner
 
 // String names the status for logs.
 func (s Status) String() string {
@@ -84,6 +98,8 @@ func (s Status) String() string {
 		return "not-primary"
 	case StatusDedupMiss:
 		return "dedup-miss"
+	case StatusNotOwner:
+		return "not-owner"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }
@@ -97,8 +113,8 @@ type Result struct {
 }
 
 // Payload sizes: an op is 1 byte of kind plus 16 bytes of element for
-// pushes; a result is a fixed 17 bytes so decoding needs no knowledge
-// of the originating ops.
+// pushes; pops and peeks are the bare kind byte; a result is a fixed
+// 17 bytes so decoding needs no knowledge of the originating ops.
 const (
 	opPopSize  = 1
 	opPushSize = 1 + 16
@@ -139,8 +155,8 @@ func ParseOps(p []byte) ([]Op, error) {
 		}
 		kind := OpKind(p[0])
 		switch kind {
-		case OpPop:
-			ops = append(ops, Op{Kind: OpPop})
+		case OpPop, OpPeek:
+			ops = append(ops, Op{Kind: kind})
 			p = p[opPopSize:]
 		case OpPush:
 			if len(p) < opPushSize {
@@ -220,6 +236,21 @@ func ParseHello(p []byte) (version uint32, session uint64, err error) {
 		return 0, 0, fmt.Errorf("%w: hello payload %d bytes", ErrBadFrame, len(p))
 	}
 	return binary.LittleEndian.Uint32(p), binary.LittleEndian.Uint64(p[4:]), nil
+}
+
+// AppendClusterHello appends the TClusterHello payload: the sender's
+// current cluster-map version. The TClusterMap answer's payload is
+// encoded by internal/cluster; wire carries it as opaque bytes.
+func AppendClusterHello(dst []byte, version uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, version)
+}
+
+// ParseClusterHello decodes a TClusterHello payload.
+func ParseClusterHello(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("%w: cluster hello payload %d bytes", ErrBadFrame, len(p))
+	}
+	return binary.LittleEndian.Uint64(p), nil
 }
 
 // HelloInfo is the server's THelloOK body.

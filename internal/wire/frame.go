@@ -100,10 +100,19 @@ const (
 	// TReplChunk answers TReplFetch with the requested bytes (plus
 	// proofs, for snapshot chunks).
 	TReplChunk Type = 13
+	// TClusterHello asks a node for its cluster map: payload is the
+	// sender's current map version (u64), so an up-to-date peer answers
+	// with an empty TClusterMap instead of re-sending the whole map.
+	TClusterHello Type = 14
+	// TClusterMap carries an encoded cluster map — the answer to
+	// TClusterHello, or an unsolicited anti-entropy push between nodes.
+	// An empty payload means "nothing newer than the version you sent".
+	// The payload codec lives in internal/cluster.
+	TClusterMap Type = 15
 )
 
 // valid reports whether t is a defined frame type.
-func (t Type) valid() bool { return t >= THello && t <= TReplChunk }
+func (t Type) valid() bool { return t >= THello && t <= TClusterMap }
 
 // Decoder errors.
 var (

@@ -83,6 +83,25 @@ type (
 	// the connection — one unservable range must not abort a repair
 	// session fetching many.
 	FetchHandler func(payload []byte) ([]byte, error)
+	// OwnerGate vets each push against the node's owned slice of the
+	// cluster key space, before the op reaches the engine. A refused
+	// push gets a per-op StatusNotOwner result whose Value is the
+	// returned map version — the redirect a routing client acts on.
+	// Pops and peeks are never gated: cross-node strict-merge PopMin
+	// reads every node's minimum regardless of who owns which band.
+	// Called from connection goroutines; must be safe for concurrent
+	// use and cheap (it sits on the hot path).
+	OwnerGate func(op Op) (owned bool, mapVersion uint64)
+	// ClusterHello answers TClusterHello: it receives the requester's
+	// map version and returns the encoded local map when newer, or nil
+	// (sent as an empty TClusterMap) when the requester is current.
+	ClusterHello func(sinceVersion uint64) []byte
+	// ClusterSink ingests an unsolicited TClusterMap push (gossip):
+	// it may adopt the offered map and returns an optional reply
+	// payload — the local map when it is the newer one, nil otherwise —
+	// so one exchange converges both peers. The codec is
+	// internal/cluster's; wire treats the payloads as opaque.
+	ClusterSink func(payload []byte) []byte
 )
 
 // Server serves an engine over the wire protocol. Each accepted
@@ -104,6 +123,10 @@ type Server struct {
 	onAdmin AdminHandler
 	onRepl  ReplHandler
 	onFetch FetchHandler
+
+	onOwner        OwnerGate
+	onClusterHello ClusterHello
+	onClusterSink  ClusterSink
 
 	dedup dedupTable
 
@@ -154,6 +177,17 @@ func (s *Server) SetReplHandler(h ReplHandler) { s.onRepl = h }
 // SetFetchHandler installs the anti-entropy fetch responder. Call
 // before Serve.
 func (s *Server) SetFetchHandler(h FetchHandler) { s.onFetch = h }
+
+// SetOwnerGate installs the cluster push-ownership check. Call before
+// Serve.
+func (s *Server) SetOwnerGate(g OwnerGate) { s.onOwner = g }
+
+// SetClusterHandlers installs the cluster-map exchange responders
+// (TClusterHello and gossiped TClusterMap). Call before Serve.
+func (s *Server) SetClusterHandlers(hello ClusterHello, sink ClusterSink) {
+	s.onClusterHello = hello
+	s.onClusterSink = sink
+}
 
 // InstallDedup inserts a cached response into a session's dedup cache —
 // the follower's side of replicated dedup state, so a client retrying
@@ -278,6 +312,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	var (
 		ops     []engine.Op
 		results []engine.Result
+		wres    []Result
+		engIdx  []int
+		peeks   []int
 		session uint64
 		sess    *sessionState
 	)
@@ -358,13 +395,33 @@ func (s *Server) serveConn(conn net.Conn) {
 				out <- response{TBatchOK, f.ID, appendShedResults(nil, len(wireOps)), sp}
 				continue
 			}
+			// Front-door triage: ownership-refused pushes and peeks are
+			// answered here without touching the engine; everything else
+			// becomes an engine op, with engIdx mapping each engine
+			// result back to its slot in the wire batch.
 			ops = ops[:0]
-			for _, op := range wireOps {
+			engIdx = engIdx[:0]
+			peeks = peeks[:0]
+			if cap(wres) < len(wireOps) {
+				wres = make([]Result, len(wireOps))
+			}
+			wres = wres[:len(wireOps)]
+			for wi, op := range wireOps {
 				switch op.Kind {
 				case OpPush:
+					if s.onOwner != nil {
+						if owned, ver := s.onOwner(op); !owned {
+							wres[wi] = Result{Status: StatusNotOwner, Value: ver}
+							continue
+						}
+					}
 					ops = append(ops, engine.PushOp(core.Element{Value: op.Value, Meta: op.Meta}))
+					engIdx = append(engIdx, wi)
+				case OpPeek:
+					peeks = append(peeks, wi)
 				default:
 					ops = append(ops, engine.PopOp())
+					engIdx = append(engIdx, wi)
 				}
 			}
 			if cap(results) < len(ops) {
@@ -382,8 +439,22 @@ func (s *Server) serveConn(conn net.Conn) {
 					}
 				}
 			}
-			payload := make([]byte, 0, 4+len(results)*resultSize)
-			payload = appendEngineResults(payload, results)
+			for i, r := range results {
+				wres[engIdx[i]] = Result{Status: statusOf(r.Err), Value: r.Elem.Value, Meta: r.Elem.Meta}
+			}
+			// Peeks read the published heads after the batch's accepted
+			// ops have applied, so a [pop, peek] pair returns the popped
+			// element and the node's next head in one round trip — the
+			// cluster client's head-cache refresh piggyback.
+			for _, wi := range peeks {
+				if el, ok := s.eng.PeekMin(); ok {
+					wres[wi] = Result{Status: StatusOK, Value: el.Value, Meta: el.Meta}
+				} else {
+					wres[wi] = Result{Status: StatusEmpty}
+				}
+			}
+			payload := make([]byte, 0, 4+len(wres)*resultSize)
+			payload = AppendResults(payload, wres)
 			var wait func()
 			if s.onBatch != nil {
 				wait = s.onBatch(session, f.ID, ops, results, payload)
@@ -414,6 +485,26 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 			out <- response{TAdminOK, f.ID, AppendAdminInfo(nil, info), nil}
+		case TClusterHello:
+			if s.onClusterHello == nil {
+				sendErr(out, f.ID, StatusInvalid, errors.New("cluster serving not enabled"))
+				return
+			}
+			since, err := ParseClusterHello(f.Payload)
+			if err != nil {
+				sendErr(out, f.ID, StatusInvalid, err)
+				return
+			}
+			out <- response{TClusterMap, f.ID, s.onClusterHello(since), nil}
+		case TClusterMap:
+			if s.onClusterSink == nil {
+				sendErr(out, f.ID, StatusInvalid, errors.New("cluster serving not enabled"))
+				return
+			}
+			// The sink decides adoption; the reply (possibly empty)
+			// carries the local map back when it is the newer one, so a
+			// single gossip exchange converges both peers.
+			out <- response{TClusterMap, f.ID, s.onClusterSink(f.Payload), nil}
 		case TReplFetch:
 			if s.onFetch == nil {
 				sendErr(out, f.ID, StatusInvalid, errors.New("anti-entropy fetch not enabled"))
@@ -470,15 +561,6 @@ func appendShedResults(dst []byte, n int) []byte {
 		shed[i] = Result{Status: StatusOverloaded}
 	}
 	return AppendResults(dst, shed)
-}
-
-// appendEngineResults encodes engine results as a TBatchOK payload.
-func appendEngineResults(dst []byte, results []engine.Result) []byte {
-	wr := make([]Result, len(results))
-	for i, r := range results {
-		wr[i] = Result{Status: statusOf(r.Err), Value: r.Elem.Value, Meta: r.Elem.Meta}
-	}
-	return AppendResults(dst, wr)
 }
 
 // statusOf maps an engine error to its wire status.
